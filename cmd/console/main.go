@@ -1,0 +1,47 @@
+// Command console is the system monitor: clock, date, load, disk and mail
+// gauges, advanced by tick events. The simulated statistics source is
+// deterministic in the tick count.
+//
+// Usage:
+//
+//	console [-wm termwin] [-ticks N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atk/internal/appkit"
+	"atk/internal/consolemon"
+	"atk/internal/wsys"
+)
+
+func main() {
+	wm := flag.String("wm", "termwin", "window system")
+	ticks := flag.Int64("ticks", 3600, "advance the simulated clock this many ticks")
+	flag.Parse()
+
+	if err := run(*wm, *ticks); err != nil {
+		fmt.Fprintln(os.Stderr, "console:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wm string, ticks int64) error {
+	app, err := appkit.New("console", 320, 160, wm)
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+
+	v := consolemon.NewView(consolemon.SimSource{BaseUsers: 3000})
+	app.IM.SetChild(v)
+	app.Win.Inject(wsys.Event{Kind: wsys.TickEvent, Tick: ticks})
+	app.IM.DrainEvents()
+	app.Show(os.Stdout)
+	st := v.Stats()
+	fmt.Printf("sampled: %s %s load=%.1f disk=%d%% mailq=%d users=%d\n",
+		st.Clock, st.Date, st.Load, st.FSUsedPct, st.MailQueue, st.Users)
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	err := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestConsoleSamples(t *testing.T) {
+	out := capture(t, func() error { return run("termwin", 7200) })
+	if !strings.Contains(out, "sampled: 12:00") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "users") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

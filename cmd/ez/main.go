@@ -1,0 +1,176 @@
+// Command ez is the multi-media editor: it opens any document in the
+// toolkit external representation, displays it in a frame with a scroll
+// bar and message line (the view tree of the paper's figure), applies a
+// scripted editing session if requested, and can save the result. Unknown
+// component types in a document are demand-loaded through the class
+// system — or preserved verbatim when no code exists for them.
+//
+// Usage:
+//
+//	ez [-wm memwin|termwin] [-type "text..."] [-save out.d] [-print] [file.d]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atk/internal/appkit"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/graphics"
+	"atk/internal/pageview"
+	"atk/internal/printing"
+	"atk/internal/script"
+	"atk/internal/spell"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/widgets"
+	"atk/internal/wsys"
+)
+
+func main() {
+	wm := flag.String("wm", "termwin", "window system (memwin or termwin)")
+	typeText := flag.String("type", "", "text to type into the document")
+	save := flag.String("save", "", "write the document to this file")
+	doPrint := flag.Bool("print", false, "print the view to stdout as troff commands")
+	page := flag.Bool("page", false, "use the WYSIWYG page view instead of the screen view")
+	scriptPath := flag.String("script", "", "drive the session from an event script file")
+	flag.Parse()
+
+	if err := run(*wm, *typeText, *save, *doPrint, *page, *scriptPath, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "ez:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wm, typeText, save string, doPrint, page bool, scriptPath, path string) error {
+	app, err := appkit.New("ez", 640, 400, wm)
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+
+	// Load or create the document.
+	var doc *text.Data
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		obj, err := core.ReadObject(datastream.NewReader(f), app.Reg)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", path, err)
+		}
+		td, ok := obj.(*text.Data)
+		if !ok {
+			return fmt.Errorf("%s holds a %s, not a text document", path, obj.TypeName())
+		}
+		doc = td
+	} else {
+		doc = text.NewString("Welcome to EZ.\n\nThis window is a frame holding a scroll bar,\n" +
+			"this text view, and a message line below.\n")
+		doc.SetRegistry(app.Reg)
+		_ = doc.SetStyle(0, 14, "title")
+	}
+
+	// The paper's view tree: frame -> scroll -> text (or the WYSIWYG
+	// page view of §2 with -page; both display the same data object).
+	tv := textview.New(app.Reg)
+	tv.SetDataObject(doc)
+	var body core.View = widgets.NewScrollView(tv)
+	if page {
+		pv := pageview.New(app.Reg)
+		pv.SetDataObject(doc)
+		body = pv
+	}
+	frame := widgets.NewFrame(body)
+	app.IM.SetChild(frame)
+	frame.PostMessage(fmt.Sprintf("ez: %d characters", doc.Len()))
+
+	// Application menus sit on top of whatever the focused component
+	// contributes; the spell checker is the extension package at work.
+	dict := spell.NewDictionary()
+	app.IM.SetMenuHook(func(ms *core.MenuSet) {
+		_ = ms.Add("File~1/Save~10", func() {
+			frame.Ask("Save as:", func(name string) {
+				if err := saveDoc(doc, name); err != nil {
+					frame.PostMessage(err.Error())
+					return
+				}
+				frame.PostMessage("saved " + name)
+			})
+		})
+		_ = ms.Add("Doc~40/Spell~10", func() {
+			miss := dict.CheckText(doc)
+			if len(miss) == 0 {
+				frame.PostMessage("spell: no errors")
+				return
+			}
+			frame.PostMessage(fmt.Sprintf("spell: %d questionable words, first %q",
+				len(miss), miss[0].Word))
+		})
+	})
+
+	// Scripted typing (stands in for an interactive session).
+	if typeText != "" {
+		app.Win.Inject(wsys.Click(30, 10))
+		app.Win.Inject(wsys.Release(30, 10))
+		for _, r := range strings.ReplaceAll(typeText, `\n`, "\n") {
+			if r == '\n' {
+				app.Win.Inject(wsys.KeyDownEvent(wsys.KeyReturn))
+			} else {
+				app.Win.Inject(wsys.KeyPress(r))
+			}
+		}
+		app.IM.DrainEvents()
+	}
+
+	if scriptPath != "" {
+		src, err := os.ReadFile(scriptPath)
+		if err != nil {
+			return err
+		}
+		n, err := script.Run(app.IM, string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("script: %d commands\n", n)
+	}
+
+	app.Show(os.Stdout)
+
+	if save != "" {
+		if err := saveDoc(doc, save); err != nil {
+			return err
+		}
+		fmt.Printf("saved %s\n", save)
+	}
+	if doPrint {
+		tv.SetBounds(graphics.XYWH(0, 0, 480, 640))
+		if err := printing.Print(tv, os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// saveDoc writes doc to path in the external representation.
+func saveDoc(doc *text.Data, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := datastream.NewWriter(f)
+	if _, err := core.WriteObject(w, doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

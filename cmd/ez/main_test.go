@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	err := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestEZTypeSaveReload(t *testing.T) {
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "doc.d")
+	out := captureStdout(t, func() error {
+		return run("termwin", "typed words", saved, false, false, "", "")
+	})
+	if !strings.Contains(out, "saved") {
+		t.Fatalf("output: %s", out)
+	}
+	data, err := os.ReadFile(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\\begindata{text,") {
+		t.Fatalf("saved file:\n%s", data)
+	}
+	out2 := captureStdout(t, func() error {
+		return run("termwin", "", "", false, false, "", saved)
+	})
+	// The title style spaces glyphs out on the cell grid; compare with
+	// spaces squeezed.
+	if !strings.Contains(strings.ReplaceAll(out2, " ", ""), "typed") {
+		t.Fatalf("reopened screen:\n%s", out2)
+	}
+}
+
+func TestEZPageViewAndPrint(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("termwin", "", "", true, true, "", "")
+	})
+	if !strings.Contains(out, "x init") || !strings.Contains(out, "x stop") {
+		n := len(out)
+		if n > 300 {
+			n = 300
+		}
+		t.Fatalf("print stream missing:\n%s", out[:n])
+	}
+}
+
+func TestEZBadFile(t *testing.T) {
+	if err := run("termwin", "", "", false, false, "", "/nonexistent.d"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestEZScriptDriven(t *testing.T) {
+	dir := t.TempDir()
+	sp := filepath.Join(dir, "session.atkscript")
+	if err := os.WriteFile(sp, []byte("click 30 40\ntype scripted!\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return run("termwin", "", "", false, false, sp, "")
+	})
+	if !strings.Contains(out, "script: 2 commands") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "scripte") {
+		t.Fatalf("typed text missing:\n%s", out)
+	}
+}
+
+func TestEZAppMenusSpell(t *testing.T) {
+	dir := t.TempDir()
+	sp := filepath.Join(dir, "drive.atkscript")
+	script := "click 30 40\ntype zzqq \nmenu Doc/Spell\n"
+	if err := os.WriteFile(sp, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return run("termwin", "", "", false, false, sp, "")
+	})
+	// The spell result lands in the frame's message line, visible in the
+	// screen dump.
+	if !strings.Contains(out, "questionable") {
+		t.Fatalf("spell message missing:\n%s", out)
+	}
+}

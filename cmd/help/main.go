@@ -1,0 +1,71 @@
+// Command help is the help browser of snapshot 2: a document pane with an
+// overview and a related-tools panel. Bodies are ordinary text documents,
+// so the help system inherits the multi-media capability of the text
+// component for free.
+//
+// Usage:
+//
+//	help [-wm termwin] [-search query] [topic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atk/internal/appkit"
+	"atk/internal/helpsys"
+	"atk/internal/widgets"
+)
+
+func main() {
+	wm := flag.String("wm", "termwin", "window system")
+	search := flag.String("search", "", "search the corpus instead of browsing")
+	flag.Parse()
+
+	if err := run(*wm, *search, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "help:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wm, search, topic string) error {
+	corpus := helpsys.StandardCorpus()
+
+	if search != "" {
+		hits := corpus.Search(search)
+		if len(hits) == 0 {
+			fmt.Println("no matches for", search)
+			return nil
+		}
+		for _, h := range hits {
+			d, _ := corpus.Get(h)
+			fmt.Printf("%-16s %s\n", h, d.Title)
+		}
+		return nil
+	}
+
+	if topic == "" {
+		topic = "ez"
+	}
+	app, err := appkit.New("help", 640, 400, wm)
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+
+	sess := helpsys.NewSession(corpus)
+	browser, err := helpsys.NewView(app.Reg, sess, topic)
+	if err != nil {
+		return err
+	}
+	frame := widgets.NewFrame(widgets.NewScrollView(browser))
+	app.IM.SetChild(frame)
+	frame.PostMessage("help: " + topic)
+	app.Show(os.Stdout)
+	fmt.Println()
+	fmt.Print(browser.Describe())
+	fmt.Println("\nAll documents: " + strings.Join(corpus.Names(), ", "))
+	return nil
+}

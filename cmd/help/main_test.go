@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	err := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHelpShowsTopic(t *testing.T) {
+	out := capture(t, func() error { return run("termwin", "", "ez") })
+	if !strings.Contains(out, "EZ") || !strings.Contains(out, "Related tools") {
+		t.Fatalf("output:\n%s", out[:300])
+	}
+}
+
+func TestHelpSearch(t *testing.T) {
+	out := capture(t, func() error { return run("termwin", "editor", "") })
+	if !strings.Contains(out, "ez") {
+		t.Fatalf("search output:\n%s", out)
+	}
+	out = capture(t, func() error { return run("termwin", "zzzz", "") })
+	if !strings.Contains(out, "no matches") {
+		t.Fatalf("miss output:\n%s", out)
+	}
+}
+
+func TestHelpMissingTopic(t *testing.T) {
+	if err := run("termwin", "", "nonesuch"); err == nil {
+		t.Fatal("missing topic accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Command messages is the mail reader of snapshot 3: a folder panel, a
+// message list, and a body view that inherits the full multi-media
+// capability of the text component. It generates a deterministic
+// campus-scale corpus (1414 folders by default) and shows the requested
+// folder and message.
+//
+// Usage:
+//
+//	messages [-wm termwin] [-folders N] [-find substr] [-folder name] [-msg k]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atk/internal/appkit"
+	"atk/internal/graphics"
+	"atk/internal/mail"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/widgets"
+)
+
+func main() {
+	wm := flag.String("wm", "termwin", "window system")
+	nFolders := flag.Int("folders", 1414, "corpus size (folders)")
+	find := flag.String("find", "", "list folders containing substring")
+	folderName := flag.String("folder", "", "open this folder (default: first non-empty)")
+	msgIdx := flag.Int("msg", 0, "message index to display")
+	flag.Parse()
+
+	if err := run(*wm, *nFolders, *find, *folderName, *msgIdx); err != nil {
+		fmt.Fprintln(os.Stderr, "messages:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wm string, nFolders int, find, folderName string, msgIdx int) error {
+	app, err := appkit.New("messages", 640, 400, wm)
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+
+	store := mail.NewStore(app.Reg)
+	total, err := mail.Generate(store, mail.CorpusSpec{
+		Folders: nFolders, MaxMessages: 19, Seed: 1988,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("All %d Folders (%d messages)\n", store.Len(), total)
+
+	if find != "" {
+		for _, n := range store.FindFolders(find) {
+			fmt.Println(" ", n)
+		}
+		return nil
+	}
+
+	// Pick a folder.
+	if folderName == "" {
+		for _, n := range store.Folders() {
+			f, _ := store.Folder(n)
+			if len(f.Messages) > msgIdx {
+				folderName = n
+				break
+			}
+		}
+	}
+	folder, err := store.Folder(folderName)
+	if err != nil {
+		return err
+	}
+	if msgIdx >= len(folder.Messages) {
+		return fmt.Errorf("folder %s has %d messages", folderName, len(folder.Messages))
+	}
+	msg := folder.Messages[msgIdx]
+	msg.Unread = false
+
+	// Reading window: header pane + body, in a frame.
+	head := fmt.Sprintf("%s (%d of %d new)\n", folder.Name, msgIdx+1, folder.Unread()+1)
+	var list strings.Builder
+	list.WriteString(head)
+	for i, m := range folder.Messages {
+		cursor := "  "
+		if i == msgIdx {
+			cursor = "> "
+		}
+		list.WriteString(cursor + m.Summary() + "\n")
+	}
+	list.WriteString(strings.Repeat("-", 60) + "\n")
+	list.WriteString(fmt.Sprintf("From: %s\nSubject: %s\nDate: %s\n\n", msg.From, msg.Subject, msg.Date))
+
+	display := text.NewString(list.String())
+	display.SetRegistry(app.Reg)
+	// Append the real body document (with any embedded components) inline.
+	_ = display.Insert(display.Len(), msg.Body.String())
+	for _, e := range msg.Body.Embeds() {
+		_ = display.Embed(display.Len(), e.Obj, e.ViewName)
+	}
+	_ = display.SetStyle(0, len([]rune(head))-1, "heading")
+
+	tv := textview.New(app.Reg)
+	tv.SetDataObject(display)
+	tv.SetReadOnly(true)
+	frame := widgets.NewFrame(widgets.NewScrollView(tv))
+	app.IM.SetChild(frame)
+	frame.PostMessage("messages: " + folder.Name)
+	app.Show(os.Stdout)
+	_ = graphics.Black
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	err := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestMessagesShowsFolderAndBody(t *testing.T) {
+	out := capture(t, func() error { return run("termwin", 120, "", "", 0) })
+	if !strings.Contains(out, "All 120 Folders") {
+		t.Fatalf("header missing:\n%s", out[:200])
+	}
+}
+
+func TestMessagesFind(t *testing.T) {
+	out := capture(t, func() error { return run("termwin", 50, "andrew", "", 0) })
+	if !strings.Contains(out, "andrew.") {
+		t.Fatalf("find output:\n%s", out)
+	}
+}
+
+func TestMessagesBadFolder(t *testing.T) {
+	if err := run("termwin", 10, "", "no.such.folder", 0); err == nil {
+		t.Fatal("missing folder accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Command preview is the ditroff previewer: it formats a troff-subset
+// source file into pages and displays the requested page in a window (or
+// dumps all pages as plain text with -text).
+//
+// Usage:
+//
+//	preview [-wm termwin] [-page N] [-text] [file.tr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atk/internal/appkit"
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/troff"
+)
+
+// sample is shown when no input file is given.
+const sample = `.ce
+The Andrew Toolkit
+.ce
+An Overview
+.sp 2
+The Andrew Toolkit is an object-oriented system designed to provide a
+foundation on which a large number of diverse user-interface applications
+can be developed.
+.sp
+.ft B
+Basic Toolkit Objects
+.ft P
+.br
+Data objects and views are two closely related basic object types within
+the toolkit.
+.in 24
+The data object contains the information that is to be displayed, while
+the view contains the information about how the data is to be displayed.
+.in 0
+.bp
+Page two: the view tree and the graphics layer.
+`
+
+func main() {
+	wm := flag.String("wm", "termwin", "window system")
+	page := flag.Int("page", 1, "page to display (1-based)")
+	asText := flag.Bool("text", false, "dump all pages as plain text")
+	flag.Parse()
+
+	if err := run(*wm, *page, *asText, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "preview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wm string, page int, asText bool, path string) error {
+	src := sample
+	if path != "" {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	}
+	layout := troff.Format(src, troff.DefaultOptions)
+	fmt.Printf("%d page(s)\n", len(layout.Pages))
+
+	if asText {
+		fmt.Print(layout.PlainText())
+		return nil
+	}
+	if page < 1 || page > len(layout.Pages) {
+		return fmt.Errorf("page %d of %d", page, len(layout.Pages))
+	}
+	app, err := appkit.New(fmt.Sprintf("preview: page %d", page), 640, 480, wm)
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+
+	pv := &pageView{page: layout.Pages[page-1]}
+	pv.InitView(pv, "previewview")
+	app.IM.SetChild(pv)
+	app.Show(os.Stdout)
+	return nil
+}
+
+// pageView renders one formatted page.
+type pageView struct {
+	core.BaseView
+	page troff.Page
+}
+
+func (v *pageView) FullUpdate(d *graphics.Drawable) {
+	w, h := v.Bounds().Dx(), v.Bounds().Dy()
+	d.ClearRect(graphics.XYWH(0, 0, w, h))
+	v.page.Render(d, w)
+	d.SetValue(graphics.Gray)
+	d.DrawRect(graphics.XYWH(0, 0, w, h))
+}

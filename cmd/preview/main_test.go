@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	err := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPreviewSampleText(t *testing.T) {
+	out := capture(t, func() error { return run("termwin", 1, true, "") })
+	if !strings.Contains(out, "2 page(s)") || !strings.Contains(out, "The Andrew Toolkit") {
+		t.Fatalf("output:\n%s", out[:200])
+	}
+}
+
+func TestPreviewWindowAndFile(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "doc.tr")
+	if err := os.WriteFile(src, []byte(".ce\nHello Preview\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, func() error { return run("termwin", 1, false, src) })
+	if !strings.Contains(out, "1 page(s)") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if err := run("termwin", 9, false, src); err == nil {
+		t.Fatal("bad page accepted")
+	}
+	if err := run("termwin", 1, false, "/nonexistent.tr"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	err := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRunappSharingReport(t *testing.T) {
+	out := capture(t, func() error {
+		return run(true, []string{"ez", "messages", "help"})
+	})
+	if !strings.Contains(out, "launched ez") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "reduction") {
+		t.Fatalf("no report:\n%s", out)
+	}
+	// The second text-only app loads nothing new.
+	if !strings.Contains(out, "launched help        loaded       0 bytes") {
+		t.Fatalf("sharing not visible:\n%s", out)
+	}
+}
+
+func TestRunappUnknownApp(t *testing.T) {
+	if err := run(false, []string{"solitaire"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

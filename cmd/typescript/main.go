@@ -1,0 +1,59 @@
+// Command typescript is the shell-session application: the transcript is
+// an ordinary text document displayed in a scrollable frame; commands run
+// in a deterministic in-process shell.
+//
+// Usage:
+//
+//	typescript [-wm termwin] [-c "cmd; cmd; ..."]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atk/internal/appkit"
+	"atk/internal/typescript"
+	"atk/internal/widgets"
+)
+
+func main() {
+	wm := flag.String("wm", "termwin", "window system")
+	cmds := flag.String("c", "ls; cat /etc/motd; date", "semicolon-separated commands to run")
+	flag.Parse()
+
+	if err := run(*wm, *cmds); err != nil {
+		fmt.Fprintln(os.Stderr, "typescript:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wm, cmds string) error {
+	app, err := appkit.New("typescript", 640, 400, wm)
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+
+	sess := typescript.NewSession()
+	for _, c := range strings.Split(cmds, ";") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		// Echo the command into the transcript the way typing would.
+		tr := sess.Transcript()
+		_ = tr.Insert(tr.Len(), c)
+		sess.RunPending()
+	}
+
+	tsv := typescript.NewView(app.Reg, sess)
+	frame := widgets.NewFrame(widgets.NewScrollView(tsv))
+	app.IM.SetChild(frame)
+	tsv.Inner().SetDot(sess.Transcript().Len())
+	tsv.Inner().RevealDot()
+	frame.PostMessage(fmt.Sprintf("typescript: %d commands run", len(sess.History())))
+	app.Show(os.Stdout)
+	return nil
+}

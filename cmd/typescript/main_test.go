@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	err := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestTypescriptRunsCommands(t *testing.T) {
+	out := capture(t, func() error { return run("termwin", "echo alpha; pwd") })
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "/usr/andy") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "2 commands run") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,22 @@
+// Package atk is a Go reproduction of the Andrew Toolkit (Palay et al.,
+// USENIX Winter 1988): an object-oriented, window-system-independent
+// toolkit for compound-document user interfaces.
+//
+// The architecture follows the paper:
+//
+//   - internal/core — data objects, observers, views, the view tree with
+//     parental authority over events, and the interaction manager (§2–§3)
+//   - internal/graphics — the drawable and the Graphic porting interface (§4)
+//   - internal/datastream — the \begindata/\enddata external representation (§5)
+//   - internal/class — the Andrew Class System with dynamic load units (§6–§7)
+//   - internal/wsys/{memwin,termwin} — two complete window systems behind
+//     the six-class porting layer (§8)
+//   - components: text, table/spreadsheet, chart, drawing, equation,
+//     raster, animation; applications: ez, messages, help, typescript,
+//     console, preview, runapp; extensions: filter, spell, cmode, printing
+//
+// The benchmarks in this package (bench_test.go) regenerate every
+// quantified claim of the paper; EXPERIMENTS.md records the results. Run:
+//
+//	go test -bench=. -benchmem .
+package atk

@@ -1,0 +1,125 @@
+// Chartobserver demonstrates the multiple-views and stable-view-state
+// machinery of paper §2:
+//
+//   - one table data object displayed by TWO views at once — a spreadsheet
+//     and a pie chart — with edits through either reflected in both;
+//   - the chart's persistent parameters (title, kind) living in an
+//     auxiliary chart data object that OBSERVES the table, so they survive
+//     save/reload even though views have no permanent state.
+//
+// Run: go run ./examples/chartobserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"atk/internal/chart"
+	"atk/internal/components"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/graphics"
+	"atk/internal/table"
+	"atk/internal/tableview"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"
+)
+
+func main() {
+	reg, err := components.StandardRegistry()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The expenses table of the paper's example.
+	tbl := table.New(4, 2)
+	tbl.SetRegistry(reg)
+	rows := []struct {
+		label string
+		v     float64
+	}{{"rent", 40}, {"food", 30}, {"books", 20}, {"misc", 10}}
+	for i, r := range rows {
+		_ = tbl.SetText(i, 0, r.label)
+		_ = tbl.SetNumber(i, 1, r.v)
+	}
+
+	// The auxiliary chart data object observing the table.
+	cd := chart.New(tbl, 0, 1, 3, 1)
+	cd.SetRegistry(reg)
+	cd.Title = "Expenses 1988"
+	cd.XLabel = "category"
+
+	// Two windows, two different view types, one underlying table.
+	ws, _ := wsys.Open("memwin")
+	defer ws.Close()
+	win1, _ := ws.NewWindow("spreadsheet", 300, 150)
+	win2, _ := ws.NewWindow("pie chart", 200, 160)
+	im1 := core.NewInteractionManager(ws, win1)
+	im2 := core.NewInteractionManager(ws, win2)
+
+	spread := tableview.New(reg)
+	spread.SetDataObject(tbl)
+	im1.SetChild(spread)
+
+	cv := chart.NewView()
+	cv.SetDataObject(cd)
+	im2.SetChild(cv)
+
+	im1.FullRedraw()
+	im2.FullRedraw()
+	before := win2.(*memwin.Window).Snapshot()
+
+	// Edit the table through the spreadsheet UI: double the rent.
+	fmt.Println("editing B1 through the spreadsheet view: 40 -> 80")
+	win1.Inject(wsys.Click(tableview.HeaderSize+tbl.ColWidth(0)+4, tableview.HeaderSize+4))
+	win1.Inject(wsys.Release(tableview.HeaderSize+tbl.ColWidth(0)+4, tableview.HeaderSize+4))
+	for _, r := range "80" {
+		win1.Inject(wsys.KeyPress(r))
+	}
+	win1.Inject(wsys.KeyDownEvent(wsys.KeyReturn))
+	im1.DrainEvents()
+
+	// The chart window repaints because the chart data observed the table.
+	im2.FlushUpdates()
+	after := win2.(*memwin.Window).Snapshot()
+	fmt.Printf("chart repainted: %v (relayed %d table changes)\n",
+		!before.Equal(after), cd.Relayed)
+	fmt.Println("chart values now:", cd.Values())
+
+	// Save the CHART: parameters + source table travel together.
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, cd); err != nil {
+		log.Fatal(err)
+	}
+	_ = w.Close()
+	obj, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored := obj.(*chart.Data)
+	fmt.Printf("after save/reload: title=%q kind=%v values=%v\n",
+		restored.Title, restored.Kind, restored.Values())
+
+	// Render the restored chart to prove it is live.
+	win3, _ := ws.NewWindow("restored", 200, 160)
+	im3 := core.NewInteractionManager(ws, win3)
+	cv3 := chart.NewView()
+	cv3.SetDataObject(restored)
+	im3.SetChild(cv3)
+	im3.FullRedraw()
+	snap := win3.(*memwin.Window).Snapshot()
+	fmt.Printf("restored chart ink: %d pixels (gray shades %d)\n",
+		snap.Count(snap.Bounds(), graphics.Black), countShades(snap))
+}
+
+func countShades(bm *graphics.Bitmap) int {
+	shades := map[graphics.Pixel]bool{}
+	for _, p := range bm.Pix {
+		if p != graphics.White && p != graphics.Black {
+			shades[p] = true
+		}
+	}
+	return len(shades)
+}

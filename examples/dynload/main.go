@@ -1,0 +1,131 @@
+// Dynload demonstrates the extension mechanism of paper §7: the music
+// department writes a new component; a document embedding it is opened by
+// an editor that was never rebuilt, and the component's code loads on
+// demand. A second editor with no music code at all still round-trips the
+// document without losing the music data.
+//
+// Run: go run ./examples/dynload
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/components"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/text"
+)
+
+// musicData is the music department's new component: a melody of note
+// names. It lives in this example — no toolkit package knows about it.
+type musicData struct {
+	core.BaseData
+	notes []string
+}
+
+func newMusicData() *musicData {
+	d := &musicData{}
+	d.InitData(d, "music", "musicview")
+	return d
+}
+
+func (d *musicData) WritePayload(w *datastream.Writer) error {
+	return w.WriteText(strings.Join(d.notes, " "))
+}
+
+func (d *musicData) ReadPayload(r *datastream.Reader) error {
+	s, err := r.CollectText()
+	if err != nil {
+		return err
+	}
+	if _, err := r.Next(); err != nil && err != io.EOF { // end marker
+		return err
+	}
+	d.notes = strings.Fields(s)
+	return nil
+}
+
+// musicUnit is the dynamically loadable code for the component.
+func musicUnit() class.Unit {
+	return class.Unit{
+		Name: "musicdo", Size: 12_000,
+		Provides: []string{"music"},
+		Requires: []string{components.UnitBase},
+		Init: func(r *class.Registry) error {
+			fmt.Println("  [loader] musicdo: code loaded and linked")
+			return r.Register(class.Info{Name: "music", New: func() any { return newMusicData() }})
+		},
+	}
+}
+
+func main() {
+	// The music department authors a document on their own machine.
+	author, err := components.StandardRegistry()
+	if err != nil {
+		log.Fatal(err)
+	}
+	author.MustRegisterUnit(musicUnit())
+	doc := text.NewString("Please review the fanfare: \n")
+	doc.SetRegistry(author)
+	score, _ := author.NewObject("music")
+	m := score.(*musicData)
+	m.notes = []string{"C4", "E4", "G4", "C5"}
+	_ = doc.Embed(27, m, "musicview")
+
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, doc); err != nil {
+		log.Fatal(err)
+	}
+	_ = w.Close()
+	fmt.Printf("document written: %d bytes\n\n", sb.Len())
+
+	// Editor A has the music unit INSTALLED but not loaded. Opening the
+	// document demand-loads it.
+	fmt.Println("editor A (music unit installed, not loaded):")
+	edA, _ := components.NewRegistry()
+	edA.MustRegisterUnit(musicUnit())
+	_ = edA.Load(components.UnitText)
+	fmt.Println("  music loaded before open:", edA.IsLoaded("musicdo"))
+	objA, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb.String())), edA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  music loaded after open: ", edA.IsLoaded("musicdo"))
+	got := objA.(*text.Data).Embeds()[0].Obj.(*musicData)
+	fmt.Printf("  melody intact: %v\n", got.notes)
+	st := edA.Stats()
+	fmt.Printf("  registry: %d demand loads, %d bytes of code resident\n\n",
+		st.DemandLoads, st.BytesLoaded)
+
+	// Editor B has NO music code anywhere. The document still opens; the
+	// unknown component is preserved verbatim and survives a re-save.
+	fmt.Println("editor B (no music code at all):")
+	edB, _ := components.NewRegistry()
+	_ = edB.Load(components.UnitText)
+	objB, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb.String())), edB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	unk := objB.(*text.Data).Embeds()[0].Obj
+	fmt.Printf("  embedded object held as: %T (type %q)\n", unk, unk.TypeName())
+
+	var sb2 strings.Builder
+	w2 := datastream.NewWriter(&sb2)
+	if _, err := core.WriteObject(w2, objB.(*text.Data)); err != nil {
+		log.Fatal(err)
+	}
+	_ = w2.Close()
+	// Editor A reads editor B's re-save: the melody survived the trip
+	// through a program that had no idea what music was.
+	objC, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb2.String())), edA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	again := objC.(*text.Data).Embeds()[0].Obj.(*musicData)
+	fmt.Printf("  after B's re-save, A still reads the melody: %v\n", again.notes)
+}

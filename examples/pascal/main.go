@@ -1,0 +1,185 @@
+// Pascal reproduces snapshot 5 of the paper: "an ez window containing a
+// number of embedded objects (text, equations, and an animation) within a
+// table that is contained inside of text" — Pascal's Triangle described
+// four ways at once:
+//
+//   - a text cell explaining the table,
+//   - an equation cell with the recurrence,
+//   - an animation cell showing the triangle being built,
+//   - a spreadsheet region computing the values with formulas.
+//
+// The document is built, rendered, saved, and reloaded.
+//
+// Run: go run ./examples/pascal
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"atk/internal/anim"
+	"atk/internal/components"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/drawing"
+	"atk/internal/eq"
+	"atk/internal/graphics"
+	"atk/internal/table"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/widgets"
+	"atk/internal/wsys"
+	_ "atk/internal/wsys/memwin"
+	"atk/internal/wsys/termwin"
+)
+
+const rows = 6
+
+func main() {
+	reg, err := components.StandardRegistry()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	doc := buildDocument(reg)
+
+	// Display in the standard frame/scroll/text tree.
+	ws, _ := wsys.Open("termwin")
+	defer ws.Close()
+	win, _ := ws.NewWindow("ez: pascal.text", 640, 480)
+	im := core.NewInteractionManager(ws, win)
+	tv := textview.New(reg)
+	tv.SetDataObject(doc)
+	frame := widgets.NewFrame(widgets.NewScrollView(tv))
+	im.SetChild(frame)
+	frame.PostMessage("pascal.text: " + fmt.Sprint(doc.Len()) + " characters")
+	im.FullRedraw()
+
+	// Animate a few ticks (the user chose "animate" from the menus).
+	for t := int64(1); t <= 3; t++ {
+		win.Inject(wsys.Event{Kind: wsys.TickEvent, Tick: t})
+	}
+	im.DrainEvents()
+	fmt.Println(win.(*termwin.Window).Screen().DumpASCII())
+
+	// Verify the spreadsheet facet computed the triangle.
+	outer := doc.Embeds()[0].Obj.(*table.Data)
+	sheetCell, _ := outer.Cell(3, 1)
+	sheet := sheetCell.Obj.(*table.Data)
+	fmt.Print("spreadsheet rows of Pascal's Triangle:\n")
+	for r := 0; r < rows; r++ {
+		var vals []string
+		for c := 0; c <= r; c++ {
+			vals = append(vals, sheet.Display(r, c))
+		}
+		fmt.Println("  " + strings.Join(vals, " "))
+	}
+
+	// Save and reload the whole compound document.
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, doc); err != nil {
+		log.Fatal(err)
+	}
+	_ = w.Close()
+	obj, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	re := obj.(*text.Data)
+	reOuter := re.Embeds()[0].Obj.(*table.Data)
+	reSheetCell, _ := reOuter.Cell(3, 1)
+	reSheet := reSheetCell.Obj.(*table.Data)
+	v, _ := reSheet.Value(rows-1, 2)
+	fmt.Printf("\nsaved %d bytes; after reload row %d col 3 = %v (want %v)\n",
+		sb.Len(), rows, v, choose(rows-1, 2))
+}
+
+func buildDocument(reg interface {
+	NewObject(string) (any, error)
+}) *text.Data {
+	_ = reg
+	r, err := components.StandardRegistry()
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc := text.NewString(
+		"Pascal's Triangle\n\nThis is an example text component that contains a table. " +
+			"The table contains a number of other components including another text " +
+			"component, an equation and an animation. It also shows off the " +
+			"spreadsheet capabilities of the table.\n\n\n\nThe End\n")
+	doc.SetRegistry(r)
+	_ = doc.SetStyle(0, 17, "title")
+
+	outer := table.New(4, 2)
+	outer.SetRegistry(r)
+	_ = outer.SetColWidth(0, 150)
+	_ = outer.SetColWidth(1, 170)
+
+	// Text cell.
+	note := text.NewString("This table contains several descriptions of Pascal's Triangle.")
+	note.SetRegistry(r)
+	_ = outer.SetEmbed(0, 0, note, "textview")
+	_ = outer.SetText(0, 1, "Pascal's Triangle")
+
+	// Equation cells: the recurrence from the snapshot.
+	eq1 := eq.New("v_{0,0} = 1")
+	eq2 := eq.New("v_{i,j} = v_{i-1,j} + v_{i-1,j-1}")
+	_ = outer.SetEmbed(1, 0, eq1, "eqview")
+	_ = outer.SetEmbed(1, 1, eq2, "eqview")
+
+	// Animation cell: the triangle building up frame by frame.
+	a := anim.New(1)
+	for frame := 1; frame <= rows; frame++ {
+		var items []*drawing.Item
+		for rr := 0; rr < frame; rr++ {
+			for c := 0; c <= rr; c++ {
+				x := 60 - rr*10 + c*20
+				y := 10 + rr*12
+				items = append(items, &drawing.Item{
+					Kind: drawing.Label, P1: graphics.Pt(x, y),
+					Text: fmt.Sprint(choose(rr, c)),
+					Font: graphics.FontDesc{Family: "andy", Size: 9},
+				})
+			}
+		}
+		if err := a.AddFrame(items); err != nil {
+			log.Fatal(err)
+		}
+	}
+	_ = outer.SetEmbed(2, 0, a, "animview")
+	_ = outer.SetText(2, 1, "(double-click to animate)")
+
+	// Spreadsheet cell: the triangle as live formulas.
+	sheet := table.New(rows, rows)
+	sheet.SetRegistry(r)
+	_ = sheet.SetNumber(0, 0, 1)
+	for rr := 1; rr < rows; rr++ {
+		_ = sheet.SetNumber(rr, 0, 1)
+		for c := 1; c <= rr; c++ {
+			_ = sheet.SetFormula(rr, c,
+				"="+table.CellName(rr-1, c-1)+"+"+table.CellName(rr-1, c))
+		}
+	}
+	_ = outer.SetText(3, 0, "as a spreadsheet:")
+	_ = outer.SetEmbed(3, 1, sheet, "spread")
+
+	// Embed the outer table after the introduction.
+	pos := doc.Index("\n\n\n", 0) + 2
+	if err := doc.Embed(pos, outer, "spread"); err != nil {
+		log.Fatal(err)
+	}
+	return doc
+}
+
+func choose(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+	}
+	return c
+}

@@ -1,0 +1,129 @@
+// Viewtree reproduces the figure on page 6 of the paper: a window whose
+// view tree is
+//
+//	Interaction Manager
+//	  Frame ──────────────── Message Line
+//	    Scroll Bar
+//	      Text view  ("Dear David, Enclosed is a list of our expenses ...")
+//	        Table view (embedded)
+//
+// and demonstrates parental authority over mouse events: the frame grabs
+// events near its divider even though they overlap its children; the text
+// view delegates clicks on the table to the table's view; the scroll bar
+// consumes clicks on itself.
+//
+// Run: go run ./examples/viewtree
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atk/internal/components"
+	"atk/internal/core"
+	"atk/internal/table"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/widgets"
+	"atk/internal/wsys"
+	_ "atk/internal/wsys/memwin"
+	"atk/internal/wsys/termwin"
+)
+
+func main() {
+	reg, err := components.StandardRegistry()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws, _ := wsys.Open("termwin")
+	defer ws.Close()
+	win, err := ws.NewWindow("viewtree", 560, 360)
+	if err != nil {
+		log.Fatal(err)
+	}
+	im := core.NewInteractionManager(ws, win)
+
+	// The letter from the figure (padded so there is something to scroll).
+	letter := "February 11, 1988\n\nDear David,\nEnclosed is a list of our expenses \n\nHope you have a nice...\n"
+	for i := 1; i <= 30; i++ {
+		letter += fmt.Sprintf("(page body line %d)\n", i)
+	}
+	doc := text.NewString(letter)
+	doc.SetRegistry(reg)
+	tbl := table.New(3, 2)
+	tbl.SetRegistry(reg)
+	_ = tbl.SetText(0, 0, "David")
+	_ = tbl.SetNumber(0, 1, 120)
+	_ = tbl.SetText(1, 0, "travel")
+	_ = tbl.SetNumber(1, 1, 340)
+	_ = tbl.SetFormula(2, 1, "=B1+B2")
+	_ = doc.Embed(66, tbl, "spread")
+
+	tv := textview.New(reg)
+	tv.SetDataObject(doc)
+	scroll := widgets.NewScrollView(tv)
+	frame := widgets.NewFrame(scroll)
+	im.SetChild(frame)
+	im.FullRedraw()
+
+	// Describe the tree.
+	fmt.Println("view tree:")
+	fmt.Printf("  %s\n", im)
+	describe(frame, 1)
+
+	// 1. Mouse on the scroll bar, below the thumb: page down.
+	win.Inject(wsys.Click(6, frame.Divider()-5))
+	win.Inject(wsys.Release(6, frame.Divider()-5))
+	im.DrainEvents()
+	_, top, _ := tv.ScrollInfo()
+	fmt.Printf("\nclick on scroll bar  -> text scrolled to line %d\n", top)
+	tv.ScrollTo(0)
+
+	// 2. Mouse in the text: the text view takes it and gains the focus.
+	win.Inject(wsys.Click(120, 20))
+	win.Inject(wsys.Release(120, 20))
+	im.DrainEvents()
+	fmt.Printf("click in text        -> focus on %q, caret at %d\n",
+		im.Focus().ViewName(), tv.Dot())
+
+	// 3. Mouse over the embedded table: the table view takes it, without
+	// the text view knowing anything about tables.
+	if r, ok := tv.ChildRect(doc.Embeds()[0]); ok {
+		cx, cy := r.Center().X+widgets.ScrollBarWidth, r.Center().Y
+		win.Inject(wsys.Click(cx, cy))
+		win.Inject(wsys.Release(cx, cy))
+		im.DrainEvents()
+		fmt.Printf("click on table       -> focus on %q\n", im.Focus().ViewName())
+	}
+
+	// 4. Mouse near the frame divider: the FRAME takes it even though the
+	// point is inside a child's allocation (parental authority, §3).
+	div := frame.Divider()
+	win.Inject(wsys.Click(200, div-1))
+	win.Inject(wsys.Drag(200, div-40))
+	win.Inject(wsys.Release(200, div-40))
+	im.DrainEvents()
+	fmt.Printf("drag frame divider   -> divider moved %d -> %d\n", div, frame.Divider())
+
+	// 5. The message line displays messages posted from anywhere below.
+	tv.PostMessage("expenses total: " + tbl.Display(2, 1))
+	im.FlushUpdates()
+	fmt.Printf("message line         -> %q\n\n", frame.Message())
+
+	fmt.Println(win.(*termwin.Window).Screen().DumpASCII())
+}
+
+func describe(v core.View, depth int) {
+	pad := ""
+	for i := 0; i < depth; i++ {
+		pad += "  "
+	}
+	fmt.Printf("%s%s %v\n", pad, v.ViewName(), v.Bounds())
+	switch t := v.(type) {
+	case *widgets.Frame:
+		describe(t.Body(), depth+1)
+	case *widgets.ScrollView:
+		describe(t.Bar(), depth+1)
+		describe(t.Body(), depth+1)
+	}
+}

@@ -1,0 +1,125 @@
+package atk
+
+// Format-stability guard: testdata/sample.d is a committed compound
+// document covering every component type. If the external representation
+// ever changes incompatibly, this test fails before any user document
+// would be orphaned — the compatibility promise campus deployment
+// depended on.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"atk/internal/anim"
+	"atk/internal/components"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/drawing"
+	"atk/internal/eq"
+	"atk/internal/raster"
+	"atk/internal/table"
+	"atk/internal/text"
+)
+
+func TestCommittedSampleStillParses(t *testing.T) {
+	f, err := os.Open("testdata/sample.d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reg, err := components.StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := core.ReadObject(datastream.NewReader(f), reg)
+	if err != nil {
+		t.Fatalf("the committed format no longer parses: %v", err)
+	}
+	doc, ok := obj.(*text.Data)
+	if !ok {
+		t.Fatalf("sample is %T", obj)
+	}
+	if doc.StyleAt(0) != "title" {
+		t.Fatal("title style lost")
+	}
+	kinds := map[string]bool{}
+	for _, e := range doc.Embeds() {
+		kinds[e.Obj.TypeName()] = true
+	}
+	for _, want := range []string{"table", "drawing", "eq", "raster", "animation"} {
+		if !kinds[want] {
+			t.Errorf("component %q missing from sample", want)
+		}
+	}
+	// Spot checks on each component's content.
+	for _, e := range doc.Embeds() {
+		switch c := e.Obj.(type) {
+		case *table.Data:
+			if v, err := c.Value(0, 1); err != nil || v != 42 {
+				t.Errorf("table formula = %v, %v", v, err)
+			}
+		case *drawing.Data:
+			if len(c.Items()) != 2 {
+				t.Errorf("drawing items = %d", len(c.Items()))
+			}
+		case *eq.Data:
+			if c.Err() != nil {
+				t.Errorf("equation: %v", c.Err())
+			}
+		case *raster.Data:
+			if c.Count() == 0 {
+				t.Error("raster empty")
+			}
+		case *anim.Data:
+			if c.Frames() != 2 || c.Delay() != 2 {
+				t.Errorf("animation frames=%d delay=%d", c.Frames(), c.Delay())
+			}
+		}
+	}
+}
+
+func TestCommittedSampleRewritesStably(t *testing.T) {
+	// Reading and rewriting the sample produces a stream that parses to
+	// the same structure (not necessarily byte-identical: stream IDs may
+	// renumber).
+	raw, err := os.ReadFile("testdata/sample.d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := components.StandardRegistry()
+	obj, err := core.ReadObject(datastream.NewReader(strings.NewReader(string(raw))), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, obj.(*text.Data)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		t.Fatalf("rewrite does not parse: %v", err)
+	}
+	a, b := obj.(*text.Data), again.(*text.Data)
+	if a.String() != b.String() {
+		t.Fatal("content drifted across rewrite")
+	}
+	if len(a.Embeds()) != len(b.Embeds()) {
+		t.Fatal("embeds drifted across rewrite")
+	}
+	// Every line of the stream obeys the paper's transport guidelines.
+	for i, line := range strings.Split(sb.String(), "\n") {
+		if len(line) > datastream.MaxLine {
+			t.Fatalf("line %d too long (%d)", i, len(line))
+		}
+		for j := 0; j < len(line); j++ {
+			if c := line[j]; c != '\t' && (c < 32 || c > 126) {
+				t.Fatalf("non-ASCII byte %#x at line %d", c, i)
+			}
+		}
+	}
+}

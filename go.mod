@@ -1,0 +1,3 @@
+module atk
+
+go 1.22

@@ -1,0 +1,224 @@
+package atk
+
+// End-to-end integration tests spanning every subsystem: compose a
+// compound document, interact with it, persist it, reopen it in a
+// differently provisioned application, and verify behaviour — the
+// lifecycle a campus user exercised daily.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"atk/internal/anim"
+	"atk/internal/chart"
+	"atk/internal/class"
+	"atk/internal/components"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/drawing"
+	"atk/internal/eq"
+	"atk/internal/filter"
+	"atk/internal/graphics"
+	"atk/internal/mail"
+	"atk/internal/raster"
+	"atk/internal/spell"
+	"atk/internal/table"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/typescript"
+	"atk/internal/widgets"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"
+)
+
+// buildKitchenSink composes a document embedding every component type.
+func buildKitchenSink(t *testing.T, reg *class.Registry) *text.Data {
+	t.Helper()
+	doc := text.NewString("Everything document\n\n\n\n\n\n\nend.\n")
+	doc.SetRegistry(reg)
+	_ = doc.SetStyle(0, 19, "title")
+
+	tbl := table.New(2, 2)
+	tbl.SetRegistry(reg)
+	_ = tbl.SetNumber(0, 0, 6)
+	_ = tbl.SetFormula(0, 1, "=A1*7")
+	_ = doc.Embed(21, tbl, "spread")
+
+	dw := drawing.New()
+	dw.SetRegistry(reg)
+	_ = dw.Add(&drawing.Item{Kind: drawing.Ellipse, P1: graphics.Pt(0, 0),
+		P2: graphics.Pt(50, 30), Width: 1})
+	_ = doc.Embed(23, dw, "drawview")
+
+	_ = doc.Embed(25, eq.New("sqrt(x^2 + y^2)"), "eqview")
+
+	ra := raster.New(16, 16)
+	ra.Line(graphics.Pt(0, 0), graphics.Pt(15, 15))
+	_ = doc.Embed(27, ra, "rasterview")
+
+	an := anim.New(1)
+	_ = an.AddFrame([]*drawing.Item{{Kind: drawing.Line,
+		P1: graphics.Pt(0, 0), P2: graphics.Pt(20, 0), Width: 1}})
+	_ = an.AddFrame([]*drawing.Item{{Kind: drawing.Line,
+		P1: graphics.Pt(0, 0), P2: graphics.Pt(20, 20), Width: 1}})
+	_ = doc.Embed(29, an, "animview")
+
+	cd := chart.New(tbl, 0, 0, 0, 1)
+	cd.SetRegistry(reg)
+	cd.Title = "chart of A1:B1"
+	_ = doc.Embed(31, cd, "chartview")
+	return doc
+}
+
+func TestFullLifecycle(t *testing.T) {
+	reg, err := components.StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := buildKitchenSink(t, reg)
+
+	// Display and interact.
+	ws, _ := wsys.Open("memwin")
+	defer ws.Close()
+	win, _ := ws.NewWindow("lifecycle", 640, 480)
+	im := core.NewInteractionManager(ws, win)
+	tv := textview.New(reg)
+	tv.SetDataObject(doc)
+	frame := widgets.NewFrame(widgets.NewScrollView(tv))
+	im.SetChild(frame)
+	im.FullRedraw()
+
+	// Type at the top.
+	win.Inject(wsys.Click(widgets.ScrollBarWidth+4, 6))
+	win.Inject(wsys.Release(widgets.ScrollBarWidth+4, 6))
+	win.Inject(wsys.KeyPress('>'))
+	im.DrainEvents()
+	if !strings.HasPrefix(doc.String(), ">") {
+		t.Fatalf("edit lost: %q", doc.Slice(0, 10))
+	}
+
+	// Animate a tick.
+	win.Inject(wsys.Event{Kind: wsys.TickEvent, Tick: 1})
+	im.DrainEvents()
+
+	// Save to a real file, read it back in a lean application.
+	path := filepath.Join(t.TempDir(), "everything.d")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := datastream.NewWriter(f)
+	if _, err := core.WriteObject(w, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	lean, _ := components.NewRegistry()
+	_ = lean.Load(components.UnitText)
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	obj, err := core.ReadObject(datastream.NewReader(rf), lean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := obj.(*text.Data)
+	if len(got.Embeds()) != len(doc.Embeds()) {
+		t.Fatalf("embeds = %d, want %d", len(got.Embeds()), len(doc.Embeds()))
+	}
+	// Every component unit was demand-loaded by the read.
+	for _, unit := range []string{components.UnitTable, components.UnitDrawing,
+		components.UnitEq, components.UnitRaster, components.UnitAnim, components.UnitChart} {
+		if !lean.IsLoaded(unit) {
+			t.Errorf("unit %s not demand-loaded", unit)
+		}
+	}
+	// The restored spreadsheet still calculates.
+	rtbl := got.Embeds()[0].Obj.(*table.Data)
+	if v, err := rtbl.Value(0, 1); err != nil || v != 42 {
+		t.Fatalf("restored formula = %v, %v", v, err)
+	}
+	// The restored chart still observes its table.
+	var rchart *chart.Data
+	for _, e := range got.Embeds() {
+		if c, ok := e.Obj.(*chart.Data); ok {
+			rchart = c
+		}
+	}
+	if rchart == nil {
+		t.Fatal("chart missing after reload")
+	}
+	before := rchart.Relayed
+	_ = rchart.Source().SetNumber(0, 0, 9)
+	if rchart.Relayed != before+1 {
+		t.Fatal("restored chart not observing its table")
+	}
+
+	// Render the restored document in a fresh window.
+	win2, _ := ws.NewWindow("reloaded", 640, 480)
+	im2 := core.NewInteractionManager(ws, win2)
+	tv2 := textview.New(lean)
+	tv2.SetDataObject(got)
+	im2.SetChild(tv2)
+	im2.FullRedraw()
+	snap := win2.(*memwin.Window).Snapshot()
+	if snap.Count(snap.Bounds(), graphics.Black) < 100 {
+		t.Fatal("restored document rendered almost nothing")
+	}
+}
+
+func TestExtensionsOverDocuments(t *testing.T) {
+	// Filters and the spelling checker operate on the same text objects
+	// the editor displays.
+	d := text.NewString("zebra\napple\nmango\n\nthis sentnce has a typo\n")
+	if _, err := filter.Region(d, 0, 17, "sort"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d.String(), "apple\nmango\nzebra") {
+		t.Fatalf("after sort: %q", d.String())
+	}
+	dict := spell.NewDictionary("zebra", "apple", "mango", "typo")
+	miss := dict.CheckText(d)
+	if len(miss) != 1 || miss[0].Word != "sentnce" {
+		t.Fatalf("misspellings = %+v", miss)
+	}
+	if sugg := dict.Suggest("sentnce"); len(sugg) != 0 {
+		// "sentence" is distance 1? s-e-n-t-n-c-e -> insert 'e' = sentence;
+		// only reported if in dictionary.
+		_ = sugg
+	}
+}
+
+func TestTypescriptTranscriptIsADocument(t *testing.T) {
+	// The typescript transcript is an ordinary text object: it can be
+	// displayed, edited, even embedded in mail.
+	reg, _ := components.StandardRegistry()
+	sess := typescript.NewSession()
+	_ = sess.Run("echo carried by mail")
+	m := &mail.Message{From: "me", Subject: "my session", Date: "1-Mar-88",
+		Body: sess.Transcript()}
+	store := mail.NewStore(reg)
+	if err := store.Deliver("personal.sessions", m); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if err := mail.WriteMessage(w, m); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+	got, err := mail.ReadMessage(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got.Body.String(), "carried by mail") {
+		t.Fatal("transcript lost in the mail")
+	}
+}

@@ -1,0 +1,347 @@
+// Package anim implements the simple animation component: a sequence of
+// drawing frames played on the interaction manager's tick events. In
+// snapshot 5 an animation of Pascal's Triangle being built sits inside a
+// table cell; the user starts it by "choosing the animate item from the
+// menus", which is exactly the interface here.
+package anim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/drawing"
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+// ErrFormat reports malformed animation streams.
+var ErrFormat = errors.New("anim: bad format")
+
+// Frame is one cel: a display list of plain drawing items.
+type Frame struct {
+	Items []*drawing.Item
+}
+
+// Data is the animation data object.
+type Data struct {
+	core.BaseData
+	frames []*Frame
+	delay  int // ticks per frame
+}
+
+// New returns an empty animation with the given per-frame delay in ticks.
+func New(delay int) *Data {
+	if delay < 1 {
+		delay = 1
+	}
+	d := &Data{delay: delay}
+	d.InitData(d, "animation", "animview")
+	return d
+}
+
+// Delay returns ticks per frame.
+func (d *Data) Delay() int { return d.delay }
+
+// Frames returns the frame count.
+func (d *Data) Frames() int { return len(d.frames) }
+
+// Frame returns frame i, or nil out of range.
+func (d *Data) Frame(i int) *Frame {
+	if i < 0 || i >= len(d.frames) {
+		return nil
+	}
+	return d.frames[i]
+}
+
+// AddFrame appends a frame. Component items are rejected: animation cels
+// are pure graphics.
+func (d *Data) AddFrame(items []*drawing.Item) error {
+	for _, it := range items {
+		if it.Kind == drawing.Component {
+			return fmt.Errorf("%w: component item in frame", ErrFormat)
+		}
+	}
+	d.frames = append(d.frames, &Frame{Items: items})
+	d.NotifyObservers(core.Change{Kind: "frames"})
+	return nil
+}
+
+// Bounds returns the union of all frames' bounds.
+func (d *Data) Bounds() graphics.Rect {
+	var b graphics.Rect
+	for _, f := range d.frames {
+		for _, it := range f.Items {
+			b = b.Union(it.Bounds())
+		}
+	}
+	return b
+}
+
+// WritePayload implements core.DataObject.
+func (d *Data) WritePayload(w *datastream.Writer) error {
+	if err := w.WriteRawLine(fmt.Sprintf("anim %d %d", len(d.frames), d.delay)); err != nil {
+		return err
+	}
+	for i, f := range d.frames {
+		if err := w.WriteRawLine(fmt.Sprintf("cel %d %d", i, len(f.Items))); err != nil {
+			return err
+		}
+		for _, it := range f.Items {
+			if err := drawing.WriteItem(w, it); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadPayload implements core.DataObject.
+func (d *Data) ReadPayload(r *datastream.Reader) error {
+	d.frames = nil
+	expectFrames := -1
+	var cur *Frame
+	curWant := 0
+	for {
+		tok, err := r.Next()
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("%w: EOF inside animation", datastream.ErrBadNesting)
+			}
+			return err
+		}
+		switch tok.Kind {
+		case datastream.TokEnd:
+			if expectFrames >= 0 && len(d.frames) != expectFrames {
+				return fmt.Errorf("%w: %d cels, header said %d", ErrFormat, len(d.frames), expectFrames)
+			}
+			if cur != nil && len(cur.Items) != curWant {
+				return fmt.Errorf("%w: short cel", ErrFormat)
+			}
+			d.NotifyObservers(core.FullChange)
+			return nil
+		case datastream.TokText:
+			fields := strings.Fields(tok.Text)
+			if len(fields) == 0 {
+				continue
+			}
+			switch fields[0] {
+			case "anim":
+				if len(fields) != 3 || expectFrames >= 0 || len(d.frames) > 0 {
+					return fmt.Errorf("%w: %q", ErrFormat, tok.Text)
+				}
+				n, err1 := strconv.Atoi(fields[1])
+				delay, err2 := strconv.Atoi(fields[2])
+				if err1 != nil || err2 != nil || n < 0 || delay < 1 {
+					return fmt.Errorf("%w: %q", ErrFormat, tok.Text)
+				}
+				expectFrames, d.delay = n, delay
+			case "cel":
+				if cur != nil && len(cur.Items) != curWant {
+					return fmt.Errorf("%w: short cel", ErrFormat)
+				}
+				if len(fields) != 3 {
+					return fmt.Errorf("%w: %q", ErrFormat, tok.Text)
+				}
+				n, err := strconv.Atoi(fields[2])
+				if err != nil || n < 0 {
+					return fmt.Errorf("%w: %q", ErrFormat, tok.Text)
+				}
+				cur = &Frame{}
+				curWant = n
+				d.frames = append(d.frames, cur)
+			default:
+				if cur == nil {
+					return fmt.Errorf("%w: item before cel: %q", ErrFormat, tok.Text)
+				}
+				it, group, err := drawing.ParseItemLine(tok.Text)
+				if err != nil {
+					return err
+				}
+				if group != nil {
+					return fmt.Errorf("%w: groups not supported in cels", ErrFormat)
+				}
+				if it != nil {
+					cur.Items = append(cur.Items, it)
+				}
+			}
+		default:
+			return fmt.Errorf("%w: unexpected %v", ErrFormat, tok.Kind)
+		}
+	}
+}
+
+// View plays an animation. It advances on interaction-manager ticks while
+// playing; double-click or the Animate menu item starts/stops it.
+type View struct {
+	core.BaseView
+	playing  bool
+	frame    int
+	lastTick int64
+}
+
+// NewView returns an unattached animation view.
+func NewView() *View {
+	v := &View{}
+	v.InitView(v, "animview")
+	return v
+}
+
+// Anim returns the attached animation data, or nil.
+func (v *View) Anim() *Data {
+	d, _ := v.DataObject().(*Data)
+	return d
+}
+
+// Playing reports whether the animation is running.
+func (v *View) Playing() bool { return v.playing }
+
+// FrameIndex returns the currently displayed frame.
+func (v *View) FrameIndex() int { return v.frame }
+
+// Play starts or stops playback.
+func (v *View) Play(on bool) {
+	v.playing = on
+	v.WantUpdate(v.Self())
+}
+
+// Step advances one frame, wrapping.
+func (v *View) Step() {
+	d := v.Anim()
+	if d == nil || d.Frames() == 0 {
+		return
+	}
+	v.frame = (v.frame + 1) % d.Frames()
+	v.WantUpdate(v.Self())
+}
+
+// Tick advances playback; the interaction manager calls this through its
+// TickEvent plumbing when the view subscribes via its parent chain. Views
+// embedded in documents receive ticks from their textview/tableview host
+// forwarding (hosts call Tick on children that implement it).
+func (v *View) Tick(t int64) {
+	d := v.Anim()
+	if !v.playing || d == nil || d.Frames() == 0 {
+		return
+	}
+	if v.lastTick == 0 || t-v.lastTick >= int64(d.Delay()) {
+		v.lastTick = t
+		v.Step()
+	}
+}
+
+// DesiredSize implements core.View.
+func (v *View) DesiredSize(wHint, hHint int) (int, int) {
+	d := v.Anim()
+	if d == nil {
+		return 80, 60
+	}
+	b := d.Bounds()
+	w, h := b.Max.X+4, b.Max.Y+4
+	if w < 40 {
+		w = 40
+	}
+	if h < 30 {
+		h = 30
+	}
+	return w, h
+}
+
+// FullUpdate implements core.View.
+func (v *View) FullUpdate(dr *graphics.Drawable) {
+	w, h := v.Bounds().Dx(), v.Bounds().Dy()
+	dr.ClearRect(graphics.XYWH(0, 0, w, h))
+	d := v.Anim()
+	if d == nil || d.Frames() == 0 {
+		dr.SetValue(graphics.Gray)
+		dr.DrawRect(graphics.XYWH(0, 0, w, h))
+		return
+	}
+	if v.frame >= d.Frames() {
+		v.frame = 0
+	}
+	f := d.Frame(v.frame)
+	for _, it := range f.Items {
+		renderItem(dr, it)
+	}
+	// Progress notch.
+	dr.SetValue(graphics.Gray)
+	dr.FillRect(graphics.XYWH(0, h-2, (v.frame+1)*w/d.Frames(), 2))
+	dr.SetValue(graphics.Black)
+}
+
+func renderItem(dr *graphics.Drawable, it *drawing.Item) {
+	shade := it.Shade
+	if shade == graphics.White {
+		shade = graphics.Black
+	}
+	dr.SetValue(shade)
+	dr.SetLineWidth(it.Width)
+	switch it.Kind {
+	case drawing.Line:
+		dr.DrawLine(it.P1, it.P2)
+	case drawing.Rectangle:
+		r := graphics.Rect{Min: it.P1, Max: it.P2}.Canon()
+		if it.Filled {
+			dr.FillRect(r)
+		} else {
+			dr.DrawRect(r)
+		}
+	case drawing.Ellipse:
+		r := graphics.Rect{Min: it.P1, Max: it.P2}.Canon()
+		if it.Filled {
+			dr.FillOval(r)
+		} else {
+			dr.DrawOval(r)
+		}
+	case drawing.Polyline:
+		dr.DrawPolyline(it.Pts, false)
+	case drawing.Label:
+		dr.SetFontDesc(it.Font)
+		dr.DrawString(it.P1, it.Text)
+	case drawing.Group:
+		for _, c := range it.Children {
+			renderItem(dr, c)
+		}
+	}
+	dr.SetLineWidth(1)
+	dr.SetValue(graphics.Black)
+}
+
+// Hit implements core.View: double-click toggles playback.
+func (v *View) Hit(a wsys.MouseAction, p graphics.Point, clicks int) core.View {
+	if a == wsys.MouseDown {
+		if clicks >= 2 {
+			v.Play(!v.playing)
+		}
+		v.WantInputFocus(v.Self())
+	}
+	return v.Self()
+}
+
+// PostMenus implements core.View: the paper's "animate item".
+func (v *View) PostMenus(ms *core.MenuSet) {
+	_ = ms.Add("Animate~28/Animate~10", func() { v.Play(true) })
+	_ = ms.Add("Animate~28/Stop~11", func() { v.Play(false) })
+	_ = ms.Add("Animate~28/Step~12", v.Step)
+	v.BaseView.PostMenus(ms)
+}
+
+// Register installs the animation data and view classes in reg.
+func Register(reg *class.Registry) error {
+	if err := reg.Register(class.Info{
+		Name: "animation",
+		New:  func() any { return New(1) },
+	}); err != nil {
+		return err
+	}
+	return reg.Register(class.Info{
+		Name: "animview",
+		New:  func() any { return NewView() },
+	})
+}

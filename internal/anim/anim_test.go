@@ -1,0 +1,223 @@
+package anim
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/drawing"
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"
+)
+
+func frame(n int) []*drawing.Item {
+	items := make([]*drawing.Item, 0, n)
+	for i := 0; i < n; i++ {
+		items = append(items, &drawing.Item{
+			Kind: drawing.Line,
+			P1:   graphics.Pt(i*5, 0), P2: graphics.Pt(i*5, 20), Width: 1,
+		})
+	}
+	return items
+}
+
+func TestAddFrames(t *testing.T) {
+	d := New(2)
+	if err := d.AddFrame(frame(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddFrame(frame(3)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Frames() != 2 || d.Delay() != 2 {
+		t.Fatalf("frames=%d delay=%d", d.Frames(), d.Delay())
+	}
+	if d.Frame(1) == nil || len(d.Frame(1).Items) != 3 {
+		t.Fatal("frame content wrong")
+	}
+	if d.Frame(9) != nil || d.Frame(-1) != nil {
+		t.Fatal("out-of-range frame not nil")
+	}
+}
+
+func TestAddFrameRejectsComponents(t *testing.T) {
+	d := New(1)
+	err := d.AddFrame([]*drawing.Item{{Kind: drawing.Component}})
+	if err == nil {
+		t.Fatal("component frame accepted")
+	}
+}
+
+func TestPlaybackOnTicks(t *testing.T) {
+	d := New(2) // advance every 2 ticks
+	for i := 0; i < 4; i++ {
+		_ = d.AddFrame(frame(i + 1))
+	}
+	v := NewView()
+	v.SetDataObject(d)
+	if v.Playing() {
+		t.Fatal("playing before start")
+	}
+	v.Play(true)
+	v.Tick(1) // first tick primes
+	f0 := v.FrameIndex()
+	v.Tick(2) // not yet (delay 2)
+	if v.FrameIndex() != f0 {
+		t.Fatal("advanced too early")
+	}
+	v.Tick(3)
+	if v.FrameIndex() != (f0+1)%4 {
+		t.Fatalf("frame = %d", v.FrameIndex())
+	}
+	// Wraps around.
+	for tick := int64(4); tick < 20; tick++ {
+		v.Tick(tick)
+	}
+	if v.FrameIndex() < 0 || v.FrameIndex() >= 4 {
+		t.Fatalf("frame out of range: %d", v.FrameIndex())
+	}
+	v.Play(false)
+	fi := v.FrameIndex()
+	v.Tick(100)
+	if v.FrameIndex() != fi {
+		t.Fatal("advanced while stopped")
+	}
+}
+
+func TestStepWraps(t *testing.T) {
+	d := New(1)
+	_ = d.AddFrame(frame(1))
+	_ = d.AddFrame(frame(2))
+	v := NewView()
+	v.SetDataObject(d)
+	v.Step()
+	v.Step()
+	if v.FrameIndex() != 0 {
+		t.Fatalf("frame = %d", v.FrameIndex())
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	reg := class.NewRegistry()
+	if err := Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	d := New(3)
+	_ = d.AddFrame(frame(2))
+	_ = d.AddFrame([]*drawing.Item{
+		{Kind: drawing.Rectangle, P1: graphics.Pt(1, 1), P2: graphics.Pt(9, 9), Width: 1, Filled: true},
+		{Kind: drawing.Label, P1: graphics.Pt(0, 10), Text: "1 1", Font: graphics.DefaultFont},
+	})
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	got := obj.(*Data)
+	if got.Frames() != 2 || got.Delay() != 3 {
+		t.Fatalf("frames=%d delay=%d", got.Frames(), got.Delay())
+	}
+	if len(got.Frame(1).Items) != 2 || got.Frame(1).Items[1].Text != "1 1" {
+		t.Fatalf("frame 1 = %+v", got.Frame(1).Items)
+	}
+}
+
+func TestStreamBadInput(t *testing.T) {
+	reg := class.NewRegistry()
+	_ = Register(reg)
+	for _, body := range []string{
+		"anim x 1\n",
+		"anim 1 0\n",
+		"anim 2 1\ncel 0 0\n", // frame count mismatch
+		"cel 0 1\nline 1 2 3 4 w1 s0\nanim 1 1\n",
+		"line 1 2 3 4 w1 s0\n",                    // item before cel
+		"anim 1 1\ncel 0 2\nline 1 2 3 4 w1 s0\n", // short cel
+	} {
+		stream := "\\begindata{animation,1}\n" + body + "\\enddata{animation,1}\n"
+		if _, err := core.ReadObject(datastream.NewReader(strings.NewReader(stream)), reg); err == nil {
+			t.Errorf("bad body %q accepted", body)
+		}
+	}
+}
+
+func TestRenderingAndToggle(t *testing.T) {
+	d := New(1)
+	_ = d.AddFrame(frame(2))
+	_ = d.AddFrame(frame(6))
+	ws := memwin.New()
+	win, _ := ws.NewWindow("anim", 100, 60)
+	im := core.NewInteractionManager(ws, win)
+	v := NewView()
+	v.SetDataObject(d)
+	im.SetChild(v)
+	im.FullRedraw()
+	before := win.(*memwin.Window).Snapshot()
+	// Double-click starts playback.
+	win.Inject(wsys.Event{Kind: wsys.MouseEvent, Action: wsys.MouseDown,
+		Pos: graphics.Pt(20, 20), Clicks: 2})
+	win.Inject(wsys.Release(20, 20))
+	im.DrainEvents()
+	if !v.Playing() {
+		t.Fatal("double-click did not start playback")
+	}
+	// A tick delivered through the IM advances the frame and repaints.
+	win.Inject(wsys.Event{Kind: wsys.TickEvent, Tick: 1})
+	im.DrainEvents()
+	after := win.(*memwin.Window).Snapshot()
+	if before.Equal(after) {
+		t.Fatal("animation did not change the screen")
+	}
+}
+
+func TestAnimateMenuItem(t *testing.T) {
+	d := New(1)
+	_ = d.AddFrame(frame(1))
+	ws := memwin.New()
+	win, _ := ws.NewWindow("anim", 100, 60)
+	im := core.NewInteractionManager(ws, win)
+	v := NewView()
+	v.SetDataObject(d)
+	im.SetChild(v)
+	win.Inject(wsys.Click(10, 10))
+	win.Inject(wsys.Release(10, 10))
+	im.DrainEvents()
+	win.Inject(wsys.Event{Kind: wsys.MenuEvent, MenuPath: "Animate/Animate"})
+	im.DrainEvents()
+	if !v.Playing() {
+		t.Fatal("animate menu item did not start playback")
+	}
+	win.Inject(wsys.Event{Kind: wsys.MenuEvent, MenuPath: "Animate/Stop"})
+	im.DrainEvents()
+	if v.Playing() {
+		t.Fatal("stop failed")
+	}
+}
+
+func TestBoundsAndDesiredSize(t *testing.T) {
+	d := New(1)
+	_ = d.AddFrame([]*drawing.Item{{Kind: drawing.Line,
+		P1: graphics.Pt(0, 0), P2: graphics.Pt(100, 50), Width: 1}})
+	if d.Bounds().Max.X < 100 {
+		t.Fatalf("bounds = %v", d.Bounds())
+	}
+	v := NewView()
+	v.SetDataObject(d)
+	w, h := v.DesiredSize(0, 0)
+	if w < 100 || h < 50 {
+		t.Fatalf("desired = %d,%d", w, h)
+	}
+	empty := NewView()
+	if w, h := empty.DesiredSize(0, 0); w <= 0 || h <= 0 {
+		t.Fatal("empty desired size degenerate")
+	}
+}

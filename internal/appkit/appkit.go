@@ -1,0 +1,68 @@
+// Package appkit holds the small amount of scaffolding every application
+// binary shares: opening the window system selected by ATK_WM, rooting an
+// interaction manager, and dumping the screen for the character-cell
+// backend (which is how the demo binaries show their windows on a
+// terminal).
+package appkit
+
+import (
+	"fmt"
+	"io"
+
+	"atk/internal/class"
+	"atk/internal/components"
+	"atk/internal/core"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"  // registers the memwin backend
+	"atk/internal/wsys/termwin" // registers the termwin backend
+)
+
+// App bundles the pieces every application opens.
+type App struct {
+	WS  wsys.WindowSystem
+	Win wsys.InteractionWindow
+	IM  *core.InteractionManager
+	Reg *class.Registry
+}
+
+// New opens a window titled title of the given size on the ATK_WM-selected
+// window system (termwin by default for the demo binaries, so Dump shows
+// something) and prepares a component registry with every unit declared
+// and loaded.
+func New(title string, w, h int, backend string) (*App, error) {
+	ws, err := wsys.Open(backend)
+	if err != nil {
+		return nil, err
+	}
+	win, err := ws.NewWindow(title, w, h)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := components.StandardRegistry()
+	if err != nil {
+		return nil, err
+	}
+	return &App{WS: ws, Win: win, IM: core.NewInteractionManager(ws, win), Reg: reg}, nil
+}
+
+// Dump renders the window contents as text: the cell grid for termwin,
+// ASCII art for memwin.
+func (a *App) Dump() string {
+	switch w := a.Win.(type) {
+	case *termwin.Window:
+		return w.Screen().DumpASCII()
+	case *memwin.Window:
+		return w.Snapshot().ASCII()
+	default:
+		return fmt.Sprintf("(no dump for %T)\n", a.Win)
+	}
+}
+
+// Show redraws fully and writes the dump to out.
+func (a *App) Show(out io.Writer) {
+	a.IM.FullRedraw()
+	fmt.Fprint(out, a.Dump())
+}
+
+// Close shuts the window system down.
+func (a *App) Close() { _ = a.WS.Close() }

@@ -1,0 +1,397 @@
+// Package chart implements the chart component of paper §2's
+// stable-view-state discussion. A chart view does not observe a table
+// directly: it views an auxiliary chart *data object* that holds the
+// chart's persistent parameters (title, axis labels, source range, kind)
+// and itself observes the table. Table edits notify the chart data, which
+// relays to the chart views; saving the chart saves the parameters the
+// view alone could never keep.
+package chart
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/graphics"
+	"atk/internal/table"
+	"atk/internal/wsys"
+)
+
+// Kind selects the chart rendition.
+type Kind int
+
+// Chart kinds.
+const (
+	Pie Kind = iota
+	Bar
+)
+
+// Data is the auxiliary chart data object: persistent chart state plus an
+// observation of the source table.
+type Data struct {
+	core.BaseData
+	Title  string
+	XLabel string
+	YLabel string
+	Kind   Kind
+	R0, C0 int // source range (inclusive start)
+	R1, C1 int // source range (inclusive end)
+	src    *table.Data
+	reg    *class.Registry
+	// Relayed counts table-change notifications forwarded to views
+	// (benchmark instrumentation).
+	Relayed int64
+}
+
+// New returns a chart over src charting the given inclusive cell range.
+func New(src *table.Data, r0, c0, r1, c1 int) *Data {
+	d := &Data{src: src, R0: r0, C0: c0, R1: r1, C1: c1}
+	d.InitData(d, "chart", "chartview")
+	if src != nil {
+		src.AddObserver(d)
+	}
+	return d
+}
+
+// SetRegistry selects the registry used to restore the source table.
+func (d *Data) SetRegistry(reg *class.Registry) { d.reg = reg }
+
+func (d *Data) registry() *class.Registry {
+	if d.reg != nil {
+		return d.reg
+	}
+	return class.Default
+}
+
+// Source returns the observed table.
+func (d *Data) Source() *table.Data { return d.src }
+
+// SetSource re-points the chart at a different table.
+func (d *Data) SetSource(src *table.Data) {
+	if d.src != nil {
+		d.src.RemoveObserver(d)
+	}
+	d.src = src
+	if src != nil {
+		src.AddObserver(d)
+	}
+	d.NotifyObservers(core.FullChange)
+}
+
+// ObservedChanged implements core.Observer: the relay at the heart of the
+// auxiliary-data-object pattern. Any table change becomes a chart change.
+func (d *Data) ObservedChanged(obj core.DataObject, ch core.Change) {
+	d.Relayed++
+	d.NotifyObservers(core.Change{Kind: "source", Detail: ch})
+}
+
+// Values extracts the charted numbers (row-major over the source range;
+// unreadable cells chart as 0).
+func (d *Data) Values() []float64 {
+	if d.src == nil {
+		return nil
+	}
+	var out []float64
+	for r := d.R0; r <= d.R1; r++ {
+		for c := d.C0; c <= d.C1; c++ {
+			v, err := d.src.Value(r, c)
+			if err != nil {
+				v = 0
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Labels extracts text labels from the column (or row) preceding the
+// charted range, when available.
+func (d *Data) Labels() []string {
+	if d.src == nil {
+		return nil
+	}
+	var out []string
+	for r := d.R0; r <= d.R1; r++ {
+		for c := d.C0; c <= d.C1; c++ {
+			label := ""
+			if d.C0 > 0 {
+				label = d.src.Display(r, d.C0-1)
+			}
+			if label == "" {
+				label = table.CellName(r, c)
+			}
+			out = append(out, label)
+		}
+	}
+	return out
+}
+
+// WritePayload implements core.DataObject: parameters, then the source
+// table nested, so a saved chart is self-contained (matching the paper:
+// "only those values, along with the information that a 'chart' is
+// viewing the table, is saved" — plus the chart's own parameters).
+func (d *Data) WritePayload(w *datastream.Writer) error {
+	lines := []string{
+		fmt.Sprintf("kind %d", int(d.Kind)),
+		fmt.Sprintf("range %d %d %d %d", d.R0, d.C0, d.R1, d.C1),
+	}
+	for _, l := range lines {
+		if err := w.WriteRawLine(l); err != nil {
+			return err
+		}
+	}
+	for _, kv := range [][2]string{{"title", d.Title}, {"xlabel", d.XLabel}, {"ylabel", d.YLabel}} {
+		if kv[1] != "" {
+			if err := w.WriteText(kv[0] + " " + strconv.QuoteToASCII(kv[1])); err != nil {
+				return err
+			}
+		}
+	}
+	if d.src != nil {
+		if _, err := core.WriteObject(w, d.src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPayload implements core.DataObject.
+func (d *Data) ReadPayload(r *datastream.Reader) error {
+	for {
+		tok, err := r.Next()
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("%w: EOF inside chart", datastream.ErrBadNesting)
+			}
+			return err
+		}
+		switch tok.Kind {
+		case datastream.TokEnd:
+			d.NotifyObservers(core.FullChange)
+			return nil
+		case datastream.TokBegin:
+			obj, err := core.ReadObjectAfterBegin(r, d.registry(), tok)
+			if err != nil {
+				return err
+			}
+			src, ok := obj.(*table.Data)
+			if !ok {
+				return fmt.Errorf("chart: source is %T, want table", obj)
+			}
+			d.SetSource(src)
+		case datastream.TokText:
+			if err := d.readLine(tok.Text); err != nil {
+				return err
+			}
+		case datastream.TokView:
+			// Tolerated: some writers reference the nested table.
+		}
+	}
+}
+
+func (d *Data) readLine(s string) error {
+	fields := strings.SplitN(s, " ", 2)
+	if len(fields) == 0 || fields[0] == "" {
+		return nil
+	}
+	switch fields[0] {
+	case "kind":
+		k, err := strconv.Atoi(strings.TrimSpace(fields[1]))
+		if err != nil || k < 0 || k > int(Bar) {
+			return fmt.Errorf("chart: bad kind %q", s)
+		}
+		d.Kind = Kind(k)
+	case "range":
+		var r0, c0, r1, c1 int
+		if _, err := fmt.Sscanf(fields[1], "%d %d %d %d", &r0, &c0, &r1, &c1); err != nil {
+			return fmt.Errorf("chart: bad range %q", s)
+		}
+		d.R0, d.C0, d.R1, d.C1 = r0, c0, r1, c1
+	case "title", "xlabel", "ylabel":
+		v, err := strconv.Unquote(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return fmt.Errorf("chart: bad %s %q", fields[0], s)
+		}
+		switch fields[0] {
+		case "title":
+			d.Title = v
+		case "xlabel":
+			d.XLabel = v
+		case "ylabel":
+			d.YLabel = v
+		}
+	default:
+		return fmt.Errorf("chart: unknown line %q", s)
+	}
+	return nil
+}
+
+// View renders a chart data object as a pie or bar chart.
+type View struct {
+	core.BaseView
+}
+
+// NewView returns an unattached chart view.
+func NewView() *View {
+	v := &View{}
+	v.InitView(v, "chartview")
+	return v
+}
+
+// Chart returns the attached chart data, or nil.
+func (v *View) Chart() *Data {
+	d, _ := v.DataObject().(*Data)
+	return d
+}
+
+// DesiredSize implements core.View.
+func (v *View) DesiredSize(wHint, hHint int) (int, int) {
+	w := 160
+	if wHint > 0 && wHint < w {
+		w = wHint
+	}
+	return w, 120
+}
+
+// FullUpdate implements core.View.
+func (v *View) FullUpdate(dr *graphics.Drawable) {
+	w, h := v.Bounds().Dx(), v.Bounds().Dy()
+	dr.ClearRect(graphics.XYWH(0, 0, w, h))
+	d := v.Chart()
+	if d == nil {
+		return
+	}
+	top := 2
+	if d.Title != "" {
+		dr.SetFontDesc(graphics.FontDesc{Family: "andy", Size: 10, Style: graphics.Bold})
+		dr.DrawStringAligned(graphics.Pt(w/2, 2+dr.Font().Ascent()), d.Title, graphics.AlignCenter)
+		top += dr.FontHeight() + 2
+	}
+	vals := d.Values()
+	if len(vals) == 0 {
+		return
+	}
+	body := graphics.XYWH(2, top, w-4, h-top-2)
+	switch d.Kind {
+	case Pie:
+		v.drawPie(dr, body, vals)
+	case Bar:
+		v.drawBars(dr, body, vals)
+	}
+	dr.SetValue(graphics.Black)
+	dr.DrawRect(graphics.XYWH(0, 0, w, h))
+}
+
+func (v *View) drawPie(dr *graphics.Drawable, r graphics.Rect, vals []float64) {
+	total := 0.0
+	for _, x := range vals {
+		if x > 0 {
+			total += x
+		}
+	}
+	if total <= 0 {
+		return
+	}
+	side := min(r.Dx(), r.Dy())
+	disc := graphics.XYWH(r.Min.X+(r.Dx()-side)/2, r.Min.Y+(r.Dy()-side)/2, side, side)
+	start := 90 // noon
+	shades := []graphics.Pixel{40, 90, 140, 190, 230, 70, 120, 170}
+	for i, x := range vals {
+		if x <= 0 {
+			continue
+		}
+		sweep := int(x / total * 360)
+		if sweep < 1 {
+			sweep = 1
+		}
+		dr.SetValue(shades[i%len(shades)])
+		dr.FillArc(disc, start, sweep)
+		start += sweep
+	}
+	dr.SetValue(graphics.Black)
+	dr.DrawOval(disc)
+}
+
+func (v *View) drawBars(dr *graphics.Drawable, r graphics.Rect, vals []float64) {
+	maxV := 0.0
+	for _, x := range vals {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	if maxV <= 0 {
+		return
+	}
+	n := len(vals)
+	bw := r.Dx() / n
+	if bw < 2 {
+		bw = 2
+	}
+	for i, x := range vals {
+		if x < 0 {
+			x = 0
+		}
+		bh := int(x / maxV * float64(r.Dy()-2))
+		bar := graphics.XYWH(r.Min.X+i*bw+1, r.Max.Y-bh, bw-2, bh)
+		dr.SetValue(graphics.Gray)
+		dr.FillRect(bar)
+		dr.SetValue(graphics.Black)
+		dr.DrawRect(bar)
+	}
+	dr.DrawLine(graphics.Pt(r.Min.X, r.Max.Y-1), graphics.Pt(r.Max.X-1, r.Max.Y-1))
+}
+
+// Hit implements core.View: a click toggles pie/bar (the simplest "chart
+// parameter" to demonstrate persistent view state in the aux object).
+func (v *View) Hit(a wsys.MouseAction, p graphics.Point, clicks int) core.View {
+	if a == wsys.MouseDown && clicks >= 2 {
+		if d := v.Chart(); d != nil {
+			if d.Kind == Pie {
+				d.Kind = Bar
+			} else {
+				d.Kind = Pie
+			}
+			d.NotifyObservers(core.Change{Kind: "kind"})
+		}
+	}
+	if a == wsys.MouseDown {
+		v.WantInputFocus(v.Self())
+	}
+	return v.Self()
+}
+
+// PostMenus implements core.View.
+func (v *View) PostMenus(ms *core.MenuSet) {
+	_ = ms.Add("Chart~26/Pie~10", func() { v.setKind(Pie) })
+	_ = ms.Add("Chart~26/Bar~11", func() { v.setKind(Bar) })
+	v.BaseView.PostMenus(ms)
+}
+
+func (v *View) setKind(k Kind) {
+	if d := v.Chart(); d != nil && d.Kind != k {
+		d.Kind = k
+		d.NotifyObservers(core.Change{Kind: "kind"})
+	}
+}
+
+// Register installs the chart data and view classes in reg.
+func Register(reg *class.Registry) error {
+	if err := reg.Register(class.Info{
+		Name: "chart",
+		New: func() any {
+			d := New(nil, 0, 0, 0, 0)
+			d.reg = reg
+			return d
+		},
+	}); err != nil {
+		return err
+	}
+	return reg.Register(class.Info{
+		Name: "chartview",
+		New:  func() any { return NewView() },
+	})
+}

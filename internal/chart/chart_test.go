@@ -1,0 +1,254 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/graphics"
+	"atk/internal/table"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"
+)
+
+func testReg(t *testing.T) *class.Registry {
+	t.Helper()
+	reg := class.NewRegistry()
+	if err := table.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func sampleTable() *table.Data {
+	d := table.New(4, 2)
+	_ = d.SetText(0, 0, "rent")
+	_ = d.SetNumber(0, 1, 40)
+	_ = d.SetText(1, 0, "food")
+	_ = d.SetNumber(1, 1, 30)
+	_ = d.SetText(2, 0, "books")
+	_ = d.SetNumber(2, 1, 20)
+	_ = d.SetText(3, 0, "misc")
+	_ = d.SetNumber(3, 1, 10)
+	return d
+}
+
+func TestValuesAndLabels(t *testing.T) {
+	src := sampleTable()
+	d := New(src, 0, 1, 3, 1)
+	vals := d.Values()
+	if len(vals) != 4 || vals[0] != 40 || vals[3] != 10 {
+		t.Fatalf("values = %v", vals)
+	}
+	labels := d.Labels()
+	if len(labels) != 4 || labels[0] != "rent" || labels[2] != "books" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestAuxObjectRelaysTableChanges(t *testing.T) {
+	src := sampleTable()
+	d := New(src, 0, 1, 3, 1)
+	var kinds []string
+	d.AddObserver(obsFunc(func(o core.DataObject, ch core.Change) {
+		kinds = append(kinds, ch.Kind)
+	}))
+	_ = src.SetNumber(0, 1, 55)
+	if len(kinds) != 1 || kinds[0] != "source" {
+		t.Fatalf("relayed kinds = %v", kinds)
+	}
+	if d.Relayed != 1 {
+		t.Fatalf("Relayed = %d", d.Relayed)
+	}
+	if d.Values()[0] != 55 {
+		t.Fatal("chart values stale")
+	}
+}
+
+type obsFunc func(core.DataObject, core.Change)
+
+func (f obsFunc) ObservedChanged(o core.DataObject, ch core.Change) { f(o, ch) }
+
+func TestSetSourceRewires(t *testing.T) {
+	a, b := sampleTable(), sampleTable()
+	d := New(a, 0, 1, 3, 1)
+	d.SetSource(b)
+	before := d.Relayed
+	_ = a.SetNumber(0, 1, 99) // old source: no relay
+	if d.Relayed != before {
+		t.Fatal("old source still observed")
+	}
+	_ = b.SetNumber(0, 1, 77)
+	if d.Relayed != before+1 {
+		t.Fatal("new source not observed")
+	}
+}
+
+func TestStreamRoundTripPreservesViewState(t *testing.T) {
+	reg := testReg(t)
+	src := sampleTable()
+	src.SetRegistry(reg)
+	d := New(src, 0, 1, 3, 1)
+	d.SetRegistry(reg)
+	d.Title = "Expenses 1988"
+	d.XLabel = "category"
+	d.YLabel = "$"
+	d.Kind = Bar
+
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	got := obj.(*Data)
+	// The paper's point: axis labels and chart kind — view-ish state — are
+	// preserved because they live in the auxiliary data object.
+	if got.Title != "Expenses 1988" || got.XLabel != "category" || got.Kind != Bar {
+		t.Fatalf("state lost: %+v", got)
+	}
+	if got.Source() == nil {
+		t.Fatal("source table lost")
+	}
+	if v, _ := got.Source().Value(0, 1); v != 40 {
+		t.Fatalf("source value = %v", v)
+	}
+	if got.Values()[0] != 40 {
+		t.Fatal("chart not wired to restored source")
+	}
+	// And the restored chart still relays edits.
+	before := got.Relayed
+	_ = got.Source().SetNumber(0, 1, 1)
+	if got.Relayed != before+1 {
+		t.Fatal("restored chart not observing")
+	}
+}
+
+func TestStreamBadLines(t *testing.T) {
+	reg := testReg(t)
+	for _, body := range []string{
+		"kind x\n", "kind 9\n", "range 1 2\n", "title unquoted\n", "mystery\n",
+	} {
+		stream := "\\begindata{chart,1}\n" + body + "\\enddata{chart,1}\n"
+		if _, err := core.ReadObject(datastream.NewReader(strings.NewReader(stream)), reg); err == nil {
+			t.Errorf("bad body %q accepted", body)
+		}
+	}
+}
+
+func renderChart(t *testing.T, d *Data) *graphics.Bitmap {
+	t.Helper()
+	ws := memwin.New()
+	win, err := ws.NewWindow("chart", 200, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := core.NewInteractionManager(ws, win)
+	v := NewView()
+	v.SetDataObject(d)
+	im.SetChild(v)
+	im.FullRedraw()
+	return win.(*memwin.Window).Snapshot()
+}
+
+func TestPieRendering(t *testing.T) {
+	d := New(sampleTable(), 0, 1, 3, 1)
+	d.Title = "Pie"
+	snap := renderChart(t, d)
+	// A pie chart fills a disc with several gray shades.
+	shades := map[graphics.Pixel]bool{}
+	for _, px := range snap.Pix {
+		if px != graphics.White && px != graphics.Black {
+			shades[px] = true
+		}
+	}
+	if len(shades) < 3 {
+		t.Fatalf("pie has %d shades", len(shades))
+	}
+}
+
+func TestBarRendering(t *testing.T) {
+	d := New(sampleTable(), 0, 1, 3, 1)
+	d.Kind = Bar
+	snap := renderChart(t, d)
+	if snap.Count(snap.Bounds(), graphics.Gray) < 100 {
+		t.Fatalf("bars cover %d gray pixels", snap.Count(snap.Bounds(), graphics.Gray))
+	}
+}
+
+func TestChartUpdatesWhenTableEdited(t *testing.T) {
+	// Full pipeline: table edit -> aux chart data -> chart view repaint.
+	src := sampleTable()
+	d := New(src, 0, 1, 3, 1)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("chart", 200, 150)
+	im := core.NewInteractionManager(ws, win)
+	v := NewView()
+	v.SetDataObject(d)
+	im.SetChild(v)
+	im.FullRedraw()
+	before := win.(*memwin.Window).Snapshot()
+	_ = src.SetNumber(0, 1, 1000) // dwarf the others
+	im.FlushUpdates()
+	after := win.(*memwin.Window).Snapshot()
+	if before.Equal(after) {
+		t.Fatal("chart did not repaint after table edit")
+	}
+}
+
+func TestDoubleClickTogglesKind(t *testing.T) {
+	src := sampleTable()
+	d := New(src, 0, 1, 3, 1)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("chart", 200, 150)
+	im := core.NewInteractionManager(ws, win)
+	v := NewView()
+	v.SetDataObject(d)
+	im.SetChild(v)
+	im.FullRedraw()
+	win.Inject(wsys.Event{Kind: wsys.MouseEvent, Action: wsys.MouseDown,
+		Pos: graphics.Pt(50, 50), Clicks: 2})
+	win.Inject(wsys.Release(50, 50))
+	im.DrainEvents()
+	if d.Kind != Bar {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+}
+
+func TestMenuSetsKind(t *testing.T) {
+	src := sampleTable()
+	d := New(src, 0, 1, 3, 1)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("chart", 200, 150)
+	im := core.NewInteractionManager(ws, win)
+	v := NewView()
+	v.SetDataObject(d)
+	im.SetChild(v)
+	win.Inject(wsys.Click(50, 50))
+	win.Inject(wsys.Release(50, 50))
+	im.DrainEvents()
+	win.Inject(wsys.Event{Kind: wsys.MenuEvent, MenuPath: "Chart/Bar"})
+	im.DrainEvents()
+	if d.Kind != Bar {
+		t.Fatal("menu did not set kind")
+	}
+}
+
+func TestEmptyChartSafe(t *testing.T) {
+	d := New(nil, 0, 0, 0, 0)
+	if d.Values() != nil || d.Labels() != nil {
+		t.Fatal("nil source should yield nothing")
+	}
+	_ = renderChart(t, d) // must not panic
+}

@@ -1,0 +1,299 @@
+// Package class reproduces the Andrew Class System: a registry of named
+// classes with single inheritance, overridable object methods,
+// non-overridable class procedures, and dynamic loading of code units.
+//
+// In the original toolkit, Class was a C preprocessor plus a small runtime
+// that generated .ih/.eh headers and could load compiled object files on
+// demand. Go programs cannot load native code at run time, so this package
+// models the property the toolkit actually depends on: *instantiation by
+// name with on-demand activation of the providing code unit*. A component
+// is registered either statically (its Register call runs at program start)
+// or as part of a load Unit whose initializer runs the first time any class
+// it provides is demanded. Load activity is metered so the sharing
+// economics of runapp (paper §7) can be measured.
+//
+// A Registry is not safe for concurrent use by multiple goroutines without
+// external synchronization, matching the single-threaded discipline of the
+// original toolkit; the package-level default registry, however, is
+// internally locked so that program init order is never an issue.
+package class
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common errors returned by registry operations.
+var (
+	ErrUnknownClass  = errors.New("class: unknown class")
+	ErrUnknownMethod = errors.New("class: unknown method")
+	ErrUnknownUnit   = errors.New("class: unknown load unit")
+	ErrDuplicate     = errors.New("class: duplicate registration")
+	ErrLoadFailed    = errors.New("class: load unit initialization failed")
+	ErrBadSuper      = errors.New("class: superclass not registered")
+)
+
+// Method is an overridable object method. The receiver is passed as self;
+// args and the result are untyped, as in the original dispatch tables.
+type Method func(self any, args ...any) (any, error)
+
+// ClassProc is a class procedure: bound to the class itself, never
+// overridden by subclasses (Smalltalk class-method style, paper §6).
+type ClassProc func(args ...any) (any, error)
+
+// Info describes one class as supplied to Register. Name must be non-empty
+// and unique within a registry. Super may be empty for a root class, and
+// must already be registered otherwise. New constructs a fresh instance;
+// it may be nil for abstract classes.
+type Info struct {
+	Name    string
+	Super   string
+	Version int
+	New     func() any
+	Methods map[string]Method
+	Procs   map[string]ClassProc
+}
+
+// entry is the installed form of a class: Info plus resolved dispatch data.
+type entry struct {
+	info  Info
+	unit  string // load unit that provided it, "" if static
+	depth int    // inheritance depth, root = 0
+}
+
+// Registry holds classes and load units. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	classes map[string]*entry
+	units   map[string]*unitState
+	// provider maps a class name to the unit that can provide it when the
+	// class is not yet registered.
+	provider map[string]string
+	stats    Stats
+	loading  string // unit currently initializing, for attribution
+}
+
+// Stats meters registry activity. Byte figures are the simulated code sizes
+// declared by load units; they stand in for the text+data segment sizes the
+// paper's runapp discussion is about.
+type Stats struct {
+	Classes       int   // classes currently registered
+	UnitsDeclared int   // units registered (loaded or not)
+	UnitsLoaded   int   // units whose initializer has run
+	BytesDeclared int64 // sum of declared sizes of all units
+	BytesLoaded   int64 // sum of declared sizes of loaded units
+	DemandLoads   int   // loads triggered by NewObject/Lookup on a missing class
+	Instantiated  int   // objects created through NewObject
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		classes:  make(map[string]*entry),
+		units:    make(map[string]*unitState),
+		provider: make(map[string]string),
+	}
+}
+
+// Register installs a class described by info. It fails if the name is
+// already taken or the superclass is missing. Method maps are copied.
+func (r *Registry) Register(info Info) error {
+	if info.Name == "" {
+		return fmt.Errorf("%w: empty class name", ErrUnknownClass)
+	}
+	if _, ok := r.classes[info.Name]; ok {
+		return fmt.Errorf("%w: class %q", ErrDuplicate, info.Name)
+	}
+	depth := 0
+	if info.Super != "" {
+		sup, ok := r.classes[info.Super]
+		if !ok {
+			return fmt.Errorf("%w: %q (super of %q)", ErrBadSuper, info.Super, info.Name)
+		}
+		depth = sup.depth + 1
+	}
+	cp := info
+	cp.Methods = copyMap(info.Methods)
+	cp.Procs = copyMap(info.Procs)
+	r.classes[info.Name] = &entry{info: cp, unit: r.loading, depth: depth}
+	r.stats.Classes++
+	return nil
+}
+
+// MustRegister is Register but panics on error; for use in unit
+// initializers and package init functions where failure is a programming
+// error.
+func (r *Registry) MustRegister(info Info) {
+	if err := r.Register(info); err != nil {
+		panic(err)
+	}
+}
+
+// IsRegistered reports whether name is currently registered (it does not
+// trigger demand loading).
+func (r *Registry) IsRegistered(name string) bool {
+	_, ok := r.classes[name]
+	return ok
+}
+
+// Lookup returns the Info for name, demand-loading its unit if necessary.
+func (r *Registry) Lookup(name string) (Info, error) {
+	e, err := r.resolve(name)
+	if err != nil {
+		return Info{}, err
+	}
+	return e.info, nil
+}
+
+// NewObject instantiates the named class, demand-loading its unit if
+// required. Abstract classes (nil New) return an error.
+func (r *Registry) NewObject(name string) (any, error) {
+	e, err := r.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	if e.info.New == nil {
+		return nil, fmt.Errorf("class: %q is abstract and cannot be instantiated", name)
+	}
+	r.stats.Instantiated++
+	return e.info.New(), nil
+}
+
+// resolve finds the entry for name, triggering a demand load when the class
+// is absent but a unit claims to provide it.
+func (r *Registry) resolve(name string) (*entry, error) {
+	if e, ok := r.classes[name]; ok {
+		return e, nil
+	}
+	unit, ok := r.provider[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownClass, name)
+	}
+	r.stats.DemandLoads++
+	if err := r.Load(unit); err != nil {
+		return nil, err
+	}
+	if e, ok := r.classes[name]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("%w: unit %q loaded but did not provide %q",
+		ErrLoadFailed, unit, name)
+}
+
+// Super returns the superclass name of name, or "" for a root class.
+func (r *Registry) Super(name string) (string, error) {
+	e, err := r.resolve(name)
+	if err != nil {
+		return "", err
+	}
+	return e.info.Super, nil
+}
+
+// IsA reports whether class name is ancestor, or inherits from it. Both
+// classes must be resolvable.
+func (r *Registry) IsA(name, ancestor string) (bool, error) {
+	if _, err := r.resolve(ancestor); err != nil {
+		return false, err
+	}
+	for cur := name; cur != ""; {
+		e, err := r.resolve(cur)
+		if err != nil {
+			return false, err
+		}
+		if cur == ancestor {
+			return true, nil
+		}
+		cur = e.info.Super
+	}
+	return false, nil
+}
+
+// Ancestry returns the inheritance chain of name from itself up to its
+// root, e.g. ["scrollview", "view", "object"].
+func (r *Registry) Ancestry(name string) ([]string, error) {
+	var chain []string
+	for cur := name; cur != ""; {
+		e, err := r.resolve(cur)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, cur)
+		cur = e.info.Super
+	}
+	return chain, nil
+}
+
+// LookupMethod resolves method on class name, walking up the inheritance
+// chain so subclasses override superclasses (paper §6: "object methods ...
+// may be overridden in subclasses").
+func (r *Registry) LookupMethod(name, method string) (Method, error) {
+	for cur := name; cur != ""; {
+		e, err := r.resolve(cur)
+		if err != nil {
+			return nil, err
+		}
+		if m, ok := e.info.Methods[method]; ok {
+			return m, nil
+		}
+		cur = e.info.Super
+	}
+	return nil, fmt.Errorf("%w: %s.%s", ErrUnknownMethod, name, method)
+}
+
+// Call dispatches method on self as an instance of class name.
+func (r *Registry) Call(name, method string, self any, args ...any) (any, error) {
+	m, err := r.LookupMethod(name, method)
+	if err != nil {
+		return nil, err
+	}
+	return m(self, args...)
+}
+
+// CallProc invokes a class procedure. Class procedures are looked up on the
+// named class only — they are deliberately not inherited or overridable.
+func (r *Registry) CallProc(name, proc string, args ...any) (any, error) {
+	e, err := r.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := e.info.Procs[proc]
+	if !ok {
+		return nil, fmt.Errorf("%w: class procedure %s.%s", ErrUnknownMethod, name, proc)
+	}
+	return p(args...)
+}
+
+// Names returns all registered class names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.classes))
+	for n := range r.classes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProvidedBy returns the load unit that registered name, or "" when the
+// class was registered statically. The class must already be registered.
+func (r *Registry) ProvidedBy(name string) (string, error) {
+	e, ok := r.classes[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownClass, name)
+	}
+	return e.unit, nil
+}
+
+// Stats returns a snapshot of registry metering.
+func (r *Registry) Stats() Stats { return r.stats }
+
+func copyMap[V any](m map[string]V) map[string]V {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

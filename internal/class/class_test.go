@@ -1,0 +1,460 @@
+package class
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func reg(t *testing.T) *Registry {
+	t.Helper()
+	return NewRegistry()
+}
+
+func TestRegisterAndNewObject(t *testing.T) {
+	r := reg(t)
+	if err := r.Register(Info{Name: "object", New: func() any { return "obj" }}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := r.NewObject("object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != "obj" {
+		t.Fatalf("NewObject = %v, want obj", o)
+	}
+	if got := r.Stats().Instantiated; got != 1 {
+		t.Fatalf("Instantiated = %d, want 1", got)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	r := reg(t)
+	if err := r.Register(Info{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Register(Info{Name: "a"})
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate register err = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestRegisterRejectsEmptyName(t *testing.T) {
+	r := reg(t)
+	if err := r.Register(Info{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestRegisterRejectsMissingSuper(t *testing.T) {
+	r := reg(t)
+	err := r.Register(Info{Name: "sub", Super: "nope"})
+	if !errors.Is(err, ErrBadSuper) {
+		t.Fatalf("err = %v, want ErrBadSuper", err)
+	}
+}
+
+func TestNewObjectUnknown(t *testing.T) {
+	r := reg(t)
+	_, err := r.NewObject("ghost")
+	if !errors.Is(err, ErrUnknownClass) {
+		t.Fatalf("err = %v, want ErrUnknownClass", err)
+	}
+}
+
+func TestNewObjectAbstract(t *testing.T) {
+	r := reg(t)
+	r.MustRegister(Info{Name: "view"}) // no New: abstract
+	if _, err := r.NewObject("view"); err == nil {
+		t.Fatal("abstract class instantiated")
+	}
+}
+
+func buildChain(t *testing.T, r *Registry) {
+	t.Helper()
+	r.MustRegister(Info{Name: "object", Methods: map[string]Method{
+		"describe": func(self any, args ...any) (any, error) { return "object", nil },
+		"free":     func(self any, args ...any) (any, error) { return nil, nil },
+	}})
+	r.MustRegister(Info{Name: "view", Super: "object", Methods: map[string]Method{
+		"describe": func(self any, args ...any) (any, error) { return "view", nil },
+	}})
+	r.MustRegister(Info{Name: "textview", Super: "view",
+		New: func() any { return map[string]int{} },
+		Procs: map[string]ClassProc{
+			"staticname": func(args ...any) (any, error) { return "textview-proc", nil },
+		}})
+}
+
+func TestIsAWalksChain(t *testing.T) {
+	r := reg(t)
+	buildChain(t, r)
+	cases := []struct {
+		name, anc string
+		want      bool
+	}{
+		{"textview", "textview", true},
+		{"textview", "view", true},
+		{"textview", "object", true},
+		{"view", "textview", false},
+		{"object", "view", false},
+	}
+	for _, c := range cases {
+		got, err := r.IsA(c.name, c.anc)
+		if err != nil {
+			t.Fatalf("IsA(%s,%s): %v", c.name, c.anc, err)
+		}
+		if got != c.want {
+			t.Errorf("IsA(%s,%s) = %v, want %v", c.name, c.anc, got, c.want)
+		}
+	}
+}
+
+func TestAncestry(t *testing.T) {
+	r := reg(t)
+	buildChain(t, r)
+	chain, err := r.Ancestry("textview")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"textview", "view", "object"}
+	if len(chain) != len(want) {
+		t.Fatalf("chain = %v, want %v", chain, want)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", chain, want)
+		}
+	}
+}
+
+func TestMethodOverriding(t *testing.T) {
+	r := reg(t)
+	buildChain(t, r)
+	// textview has no describe of its own: should find view's override,
+	// not object's original.
+	got, err := r.Call("textview", "describe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "view" {
+		t.Fatalf(`Call(textview, describe) = %v, want "view"`, got)
+	}
+	// free is only on object; inherited two levels down.
+	if _, err := r.Call("textview", "free", nil); err != nil {
+		t.Fatalf("inherited method: %v", err)
+	}
+	// Unknown method.
+	_, err = r.Call("textview", "warp", nil)
+	if !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("err = %v, want ErrUnknownMethod", err)
+	}
+}
+
+func TestClassProcsNotInherited(t *testing.T) {
+	r := reg(t)
+	buildChain(t, r)
+	got, err := r.CallProc("textview", "staticname")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "textview-proc" {
+		t.Fatalf("CallProc = %v", got)
+	}
+	// A subclass would NOT see it; nor does the superclass here.
+	if _, err := r.CallProc("view", "staticname"); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("class proc leaked to other class: %v", err)
+	}
+}
+
+func TestDemandLoading(t *testing.T) {
+	r := reg(t)
+	initRan := 0
+	r.MustRegisterUnit(Unit{
+		Name: "musicdo", Size: 4096, Provides: []string{"music"},
+		Init: func(r *Registry) error {
+			initRan++
+			return r.Register(Info{Name: "music", New: func() any { return "score" }})
+		},
+	})
+	if r.IsLoaded("musicdo") {
+		t.Fatal("unit loaded before demand")
+	}
+	o, err := r.NewObject("music")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != "score" || initRan != 1 {
+		t.Fatalf("o=%v initRan=%d", o, initRan)
+	}
+	// Second instantiation must not re-run the initializer.
+	if _, err := r.NewObject("music"); err != nil {
+		t.Fatal(err)
+	}
+	if initRan != 1 {
+		t.Fatalf("initializer ran %d times, want 1", initRan)
+	}
+	st := r.Stats()
+	if st.DemandLoads != 1 || st.UnitsLoaded != 1 || st.BytesLoaded != 4096 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if u, _ := r.ProvidedBy("music"); u != "musicdo" {
+		t.Fatalf("ProvidedBy = %q", u)
+	}
+}
+
+func TestUnitRequiresChain(t *testing.T) {
+	r := reg(t)
+	var order []string
+	mk := func(name string, deps []string, provides string) Unit {
+		return Unit{
+			Name: name, Size: 100, Provides: []string{provides}, Requires: deps,
+			Init: func(r *Registry) error {
+				order = append(order, name)
+				return r.Register(Info{Name: provides, New: func() any { return provides }})
+			},
+		}
+	}
+	r.MustRegisterUnit(mk("base", nil, "b"))
+	r.MustRegisterUnit(mk("mid", []string{"base"}, "m"))
+	r.MustRegisterUnit(mk("top", []string{"mid"}, "t"))
+	if _, err := r.NewObject("t"); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "base" || order[1] != "mid" || order[2] != "top" {
+		t.Fatalf("load order = %v", order)
+	}
+	if !r.IsLoaded("base") || !r.IsLoaded("mid") {
+		t.Fatal("dependencies not marked loaded")
+	}
+}
+
+func TestUnitInitFailure(t *testing.T) {
+	r := reg(t)
+	calls := 0
+	r.MustRegisterUnit(Unit{
+		Name: "flaky", Size: 1, Provides: []string{"fl"},
+		Init: func(r *Registry) error {
+			calls++
+			if calls == 1 {
+				return errors.New("transient")
+			}
+			return r.Register(Info{Name: "fl", New: func() any { return 1 }})
+		},
+	})
+	if _, err := r.NewObject("fl"); !errors.Is(err, ErrLoadFailed) {
+		t.Fatalf("err = %v, want ErrLoadFailed", err)
+	}
+	if r.IsLoaded("flaky") {
+		t.Fatal("failed unit marked loaded")
+	}
+	// A later demand retries the load.
+	if _, err := r.NewObject("fl"); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+}
+
+func TestUnitProvidesButDoesNot(t *testing.T) {
+	r := reg(t)
+	r.MustRegisterUnit(Unit{
+		Name: "liar", Size: 1, Provides: []string{"promised"},
+		Init: func(r *Registry) error { return nil },
+	})
+	_, err := r.NewObject("promised")
+	if !errors.Is(err, ErrLoadFailed) {
+		t.Fatalf("err = %v, want ErrLoadFailed", err)
+	}
+}
+
+func TestConflictingProviders(t *testing.T) {
+	r := reg(t)
+	r.MustRegisterUnit(Unit{Name: "u1", Provides: []string{"x"},
+		Init: func(*Registry) error { return nil }})
+	err := r.RegisterUnit(Unit{Name: "u2", Provides: []string{"x"},
+		Init: func(*Registry) error { return nil }})
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestLoadUnknownUnit(t *testing.T) {
+	r := reg(t)
+	if err := r.Load("nope"); !errors.Is(err, ErrUnknownUnit) {
+		t.Fatalf("err = %v, want ErrUnknownUnit", err)
+	}
+}
+
+func TestRegisterUnitValidation(t *testing.T) {
+	r := reg(t)
+	if err := r.RegisterUnit(Unit{Name: "", Init: func(*Registry) error { return nil }}); err == nil {
+		t.Fatal("empty unit name accepted")
+	}
+	if err := r.RegisterUnit(Unit{Name: "noinit"}); err == nil {
+		t.Fatal("nil Init accepted")
+	}
+	r.MustRegisterUnit(Unit{Name: "u", Init: func(*Registry) error { return nil }})
+	if err := r.RegisterUnit(Unit{Name: "u", Init: func(*Registry) error { return nil }}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := reg(t)
+	for _, n := range []string{"zebra", "alpha", "mid"} {
+		r.MustRegister(Info{Name: n})
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zebra" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestLauncherSharing(t *testing.T) {
+	r := reg(t)
+	unit := func(name string, size int64, deps ...string) {
+		r.MustRegisterUnit(Unit{Name: name, Size: size, Requires: deps,
+			Init: func(*Registry) error { return nil }})
+	}
+	unit("basetk", 1000)
+	unit("textpkg", 400, "basetk")
+	unit("ezpkg", 100, "textpkg")
+	unit("mailpkg", 150, "textpkg")
+
+	l, err := NewLauncher(r, []string{"basetk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.BaseSize() != 1000 {
+		t.Fatalf("BaseSize = %d", l.BaseSize())
+	}
+	ez := AppSpec{Name: "ez", Units: []string{"ezpkg"}}
+	mail := AppSpec{Name: "messages", Units: []string{"mailpkg"}}
+
+	n, err := l.Launch(ez)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 { // textpkg + ezpkg
+		t.Fatalf("ez marginal = %d, want 500", n)
+	}
+	n, err = l.Launch(mail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 150 { // textpkg already shared
+		t.Fatalf("mail marginal = %d, want 150", n)
+	}
+	if got := l.ResidentSize(); got != 1650 {
+		t.Fatalf("ResidentSize = %d, want 1650", got)
+	}
+	// The static counterfactual pays base+deps per app.
+	standalone, err := StandaloneCost(r, []string{"basetk"}, []AppSpec{ez, mail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if standalone != 1500+1550 {
+		t.Fatalf("standalone = %d, want 3050", standalone)
+	}
+	if standalone <= l.ResidentSize() {
+		t.Fatal("sharing did not reduce footprint")
+	}
+	apps := l.Apps()
+	if len(apps) != 2 || apps[0] != "ez" || apps[1] != "messages" {
+		t.Fatalf("Apps = %v", apps)
+	}
+}
+
+func TestLauncherBadBase(t *testing.T) {
+	r := reg(t)
+	if _, err := NewLauncher(r, []string{"missing"}); err == nil {
+		t.Fatal("missing base unit accepted")
+	}
+}
+
+func TestStandaloneCostUnknownUnit(t *testing.T) {
+	r := reg(t)
+	_, err := StandaloneCost(r, nil, []AppSpec{{Name: "x", Units: []string{"ghost"}}})
+	if !errors.Is(err, ErrUnknownUnit) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDefaultRegistryHelpers(t *testing.T) {
+	name := "t-default-helper"
+	if err := RegisterDefault(Info{Name: name, New: func() any { return 7 }}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewObjectDefault(name)
+	if err != nil || o != 7 {
+		t.Fatalf("o=%v err=%v", o, err)
+	}
+	if err := RegisterUnitDefault(Unit{Name: name + "-unit",
+		Init: func(*Registry) error { return nil }}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any chain of n classes, IsA(leaf, k-th ancestor) holds for
+// every k, and Ancestry length equals chain length.
+func TestQuickInheritanceChain(t *testing.T) {
+	f := func(n uint8) bool {
+		depth := int(n%20) + 1
+		r := NewRegistry()
+		prev := ""
+		names := make([]string, depth)
+		for i := 0; i < depth; i++ {
+			names[i] = fmt.Sprintf("c%d", i)
+			r.MustRegister(Info{Name: names[i], Super: prev})
+			prev = names[i]
+		}
+		leaf := names[depth-1]
+		chain, err := r.Ancestry(leaf)
+		if err != nil || len(chain) != depth {
+			return false
+		}
+		for _, a := range names {
+			ok, err := r.IsA(leaf, a)
+			if err != nil || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: loading any permutation of independent units yields identical
+// BytesLoaded, and re-loading is always a no-op.
+func TestQuickLoadIdempotent(t *testing.T) {
+	f := func(seq []uint8) bool {
+		r := NewRegistry()
+		const units = 5
+		for i := 0; i < units; i++ {
+			i := i
+			r.MustRegisterUnit(Unit{
+				Name: fmt.Sprintf("u%d", i), Size: int64(i + 1),
+				Init: func(*Registry) error { return nil },
+			})
+		}
+		for _, s := range seq {
+			if err := r.Load(fmt.Sprintf("u%d", int(s)%units)); err != nil {
+				return false
+			}
+		}
+		// Load all to completion.
+		var want int64
+		for i := 0; i < units; i++ {
+			if err := r.Load(fmt.Sprintf("u%d", i)); err != nil {
+				return false
+			}
+			want += int64(i + 1)
+		}
+		return r.Stats().BytesLoaded == want && r.Stats().UnitsLoaded == units
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package class
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file models the runapp program of paper §7: a single base process
+// image containing the core toolkit, into which the code for each
+// individual application is dynamically loaded at run time. Because most
+// 1988 UNIX systems had no shared libraries, this was how multiple toolkit
+// applications shared code. The model lets the E6 benchmark quantify the
+// paper's five claims (reduced paging, resident hot code, lower VM use,
+// lower file-fetch cost, smaller application files).
+
+// AppSpec names an application and the load units it needs beyond the base.
+type AppSpec struct {
+	Name  string
+	Units []string
+}
+
+// Launcher simulates runapp: one registry shared by every application
+// launched through it. BaseUnits are loaded once at construction.
+type Launcher struct {
+	reg      *Registry
+	baseSize int64
+	apps     []string
+}
+
+// NewLauncher builds a launcher over reg and eagerly loads the base units
+// (the part of runapp that is "almost always paged in").
+func NewLauncher(reg *Registry, baseUnits []string) (*Launcher, error) {
+	l := &Launcher{reg: reg}
+	for _, u := range baseUnits {
+		before := reg.Stats().BytesLoaded
+		if err := reg.Load(u); err != nil {
+			return nil, fmt.Errorf("runapp base: %w", err)
+		}
+		l.baseSize += reg.Stats().BytesLoaded - before
+	}
+	return l, nil
+}
+
+// Registry returns the shared registry.
+func (l *Launcher) Registry() *Registry { return l.reg }
+
+// Launch loads the units an application needs (sharing anything already
+// resident) and records the launch. It returns the number of bytes that
+// actually had to be loaded for this launch — the app's marginal footprint.
+func (l *Launcher) Launch(app AppSpec) (loaded int64, err error) {
+	before := l.reg.Stats().BytesLoaded
+	for _, u := range app.Units {
+		if err := l.reg.Load(u); err != nil {
+			return 0, fmt.Errorf("runapp launch %s: %w", app.Name, err)
+		}
+	}
+	l.apps = append(l.apps, app.Name)
+	return l.reg.Stats().BytesLoaded - before, nil
+}
+
+// Apps returns the names of launched applications, sorted.
+func (l *Launcher) Apps() []string {
+	out := append([]string(nil), l.apps...)
+	sort.Strings(out)
+	return out
+}
+
+// BaseSize returns the bytes loaded for the shared base image.
+func (l *Launcher) BaseSize() int64 { return l.baseSize }
+
+// ResidentSize returns the total bytes currently loaded in the shared
+// image: base plus the union of all launched applications' units.
+func (l *Launcher) ResidentSize() int64 { return l.reg.Stats().BytesLoaded }
+
+// StandaloneCost computes what the same set of applications would cost if
+// each were a statically linked program: every app pays for the base units
+// and for all of its own units, with no sharing. This is the paper's
+// counterfactual. Units are sized by their declared Size, with Requires
+// closures included (a static linker pulls in the transitive closure).
+func StandaloneCost(reg *Registry, baseUnits []string, apps []AppSpec) (int64, error) {
+	var total int64
+	for _, app := range apps {
+		seen := make(map[string]bool)
+		var sz int64
+		var add func(u string) error
+		add = func(u string) error {
+			if seen[u] {
+				return nil
+			}
+			seen[u] = true
+			st, ok := reg.units[u]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrUnknownUnit, u)
+			}
+			sz += st.unit.Size
+			for _, dep := range st.unit.Requires {
+				if err := add(dep); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, u := range baseUnits {
+			if err := add(u); err != nil {
+				return 0, err
+			}
+		}
+		for _, u := range app.Units {
+			if err := add(u); err != nil {
+				return 0, err
+			}
+		}
+		total += sz
+	}
+	return total, nil
+}

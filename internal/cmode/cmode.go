@@ -1,0 +1,243 @@
+// Package cmode implements the C-language programming component — one of
+// the extension packages of paper §1 ("a C-language programming
+// component") and the paper's example of building specialized objects out
+// of existing ones (§10). A ctext is a text object with an attached styler
+// that lexes the buffer as C and applies styles: keywords bold, comments
+// italic, strings and preprocessor lines typewriter.
+package cmode
+
+import (
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/text"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	Ident TokenKind = iota
+	Keyword
+	Number
+	String
+	CharLit
+	Comment
+	Preproc
+	Op
+	Space
+)
+
+// Token is one lexed region of the source.
+type Token struct {
+	Kind       TokenKind
+	Start, End int // rune offsets
+}
+
+var keywords = map[string]bool{
+	"auto": true, "break": true, "case": true, "char": true, "const": true,
+	"continue": true, "default": true, "do": true, "double": true,
+	"else": true, "enum": true, "extern": true, "float": true, "for": true,
+	"goto": true, "if": true, "int": true, "long": true, "register": true,
+	"return": true, "short": true, "signed": true, "sizeof": true,
+	"static": true, "struct": true, "switch": true, "typedef": true,
+	"union": true, "unsigned": true, "void": true, "volatile": true,
+	"while": true,
+}
+
+// Lex tokenizes src as (classic) C. It never fails: unknown bytes become
+// Op tokens, unterminated strings and comments extend to the end.
+func Lex(src string) []Token {
+	rs := []rune(src)
+	var out []Token
+	i := 0
+	n := len(rs)
+	emit := func(k TokenKind, start, end int) {
+		if end > start {
+			out = append(out, Token{k, start, end})
+		}
+	}
+	isIdent := func(r rune) bool {
+		return r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+	}
+	atLineStart := true
+	for i < n {
+		r := rs[i]
+		switch {
+		case r == ' ' || r == '\t' || r == '\n':
+			j := i
+			for j < n && (rs[j] == ' ' || rs[j] == '\t' || rs[j] == '\n') {
+				if rs[j] == '\n' {
+					atLineStart = true
+				}
+				j++
+			}
+			emit(Space, i, j)
+			i = j
+			continue
+		case r == '#' && atLineStart:
+			j := i
+			for j < n && rs[j] != '\n' {
+				j++
+			}
+			emit(Preproc, i, j)
+			i = j
+		case r == '/' && i+1 < n && rs[i+1] == '*':
+			j := i + 2
+			for j+1 < n && !(rs[j] == '*' && rs[j+1] == '/') {
+				j++
+			}
+			if j+1 < n {
+				j += 2
+			} else {
+				j = n
+			}
+			emit(Comment, i, j)
+			i = j
+		case r == '/' && i+1 < n && rs[i+1] == '/':
+			j := i
+			for j < n && rs[j] != '\n' {
+				j++
+			}
+			emit(Comment, i, j)
+			i = j
+		case r == '"' || r == '\'':
+			quote := r
+			j := i + 1
+			for j < n && rs[j] != quote {
+				if rs[j] == '\\' && j+1 < n {
+					j++
+				}
+				j++
+			}
+			if j < n {
+				j++
+			}
+			kind := String
+			if quote == '\'' {
+				kind = CharLit
+			}
+			emit(kind, i, j)
+			i = j
+		case r >= '0' && r <= '9':
+			j := i
+			for j < n && (isIdent(rs[j]) || rs[j] == '.') {
+				j++
+			}
+			emit(Number, i, j)
+			i = j
+		case isIdent(r):
+			j := i
+			for j < n && isIdent(rs[j]) {
+				j++
+			}
+			word := string(rs[i:j])
+			if keywords[word] {
+				emit(Keyword, i, j)
+			} else {
+				emit(Ident, i, j)
+			}
+			i = j
+		default:
+			emit(Op, i, i+1)
+			i++
+		}
+		atLineStart = false
+	}
+	return out
+}
+
+// StyleFor maps a token kind to a text style name, "" for the default.
+func StyleFor(k TokenKind) string {
+	switch k {
+	case Keyword:
+		return "bold"
+	case Comment:
+		return "italic"
+	case String, CharLit, Preproc:
+		return "typewriter"
+	default:
+		return ""
+	}
+}
+
+// Restyle lexes d's whole buffer and applies the C styling. The buffer's
+// anchors are treated as ordinary characters (embedded objects inside
+// code are styled as identifiers would be — harmless).
+func Restyle(d *text.Data) {
+	src := d.String()
+	// One pass over the tokens builds the complete run list, installed in
+	// one bulk operation — O(tokens), and a single undo entry.
+	var runs []text.Run
+	for _, tok := range Lex(src) {
+		name := StyleFor(tok.Kind)
+		if name == "" {
+			continue
+		}
+		if n := len(runs); n > 0 && runs[n-1].End == tok.Start && runs[n-1].Style == name {
+			runs[n-1].End = tok.End
+			continue
+		}
+		runs = append(runs, text.Run{Start: tok.Start, End: tok.End, Style: name})
+	}
+	d.WithoutUndo(func() {
+		_ = d.ReplaceRuns(runs)
+	})
+}
+
+// Styler keeps a text object styled as C source by observing its edits.
+type Styler struct {
+	d         *text.Data
+	restyling bool
+	// Restyles counts full restyle passes (benchmark instrumentation).
+	Restyles int64
+}
+
+// Attach wires a styler to d and styles it immediately.
+func Attach(d *text.Data) *Styler {
+	s := &Styler{d: d}
+	d.AddObserver(s)
+	s.run()
+	return s
+}
+
+// Detach stops observing.
+func (s *Styler) Detach() { s.d.RemoveObserver(s) }
+
+// ObservedChanged implements core.Observer.
+func (s *Styler) ObservedChanged(obj core.DataObject, ch core.Change) {
+	if s.restyling || ch.Kind == "style" {
+		return
+	}
+	s.run()
+}
+
+func (s *Styler) run() {
+	s.restyling = true
+	Restyle(s.d)
+	s.restyling = false
+	s.Restyles++
+}
+
+// IsCSource guesses whether name refers to C source (the hook the
+// original used to pick the component for a file).
+func IsCSource(name string) bool {
+	return strings.HasSuffix(name, ".c") || strings.HasSuffix(name, ".h")
+}
+
+// Register installs the ctext class: a text subclass (single inheritance
+// through the class system) whose instances restyle themselves.
+func Register(reg *class.Registry) error {
+	return reg.Register(class.Info{
+		Name:  "ctext",
+		Super: "text",
+		New: func() any {
+			d := text.New()
+			d.SetRegistry(reg)
+			Attach(d)
+			return d
+		},
+	})
+}

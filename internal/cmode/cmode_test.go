@@ -1,0 +1,178 @@
+package cmode
+
+import (
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/text"
+)
+
+const sample = `#include <stdio.h>
+/* greet the world */
+int main() {
+    char *msg = "hello";
+    return 0; // done
+}
+`
+
+func kindsOf(toks []Token) map[TokenKind]int {
+	m := map[TokenKind]int{}
+	for _, t := range toks {
+		m[t.Kind]++
+	}
+	return m
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := Lex(sample)
+	k := kindsOf(toks)
+	if k[Preproc] != 1 {
+		t.Errorf("preproc = %d", k[Preproc])
+	}
+	if k[Comment] != 2 {
+		t.Errorf("comments = %d", k[Comment])
+	}
+	if k[String] != 1 {
+		t.Errorf("strings = %d", k[String])
+	}
+	if k[Keyword] < 3 { // int, char, return
+		t.Errorf("keywords = %d", k[Keyword])
+	}
+	if k[Number] != 1 {
+		t.Errorf("numbers = %d", k[Number])
+	}
+}
+
+func TestLexCoversEveryRune(t *testing.T) {
+	toks := Lex(sample)
+	covered := 0
+	last := 0
+	for _, tok := range toks {
+		if tok.Start != last {
+			t.Fatalf("gap before token at %d (last end %d)", tok.Start, last)
+		}
+		covered += tok.End - tok.Start
+		last = tok.End
+	}
+	if covered != len([]rune(sample)) {
+		t.Fatalf("covered %d of %d runes", covered, len([]rune(sample)))
+	}
+}
+
+func TestLexUnterminated(t *testing.T) {
+	for _, src := range []string{`"never closed`, "/* never closed", "'x"} {
+		toks := Lex(src)
+		if len(toks) == 0 {
+			t.Fatalf("no tokens for %q", src)
+		}
+		if toks[len(toks)-1].End != len([]rune(src)) {
+			t.Fatalf("unterminated token does not reach end for %q", src)
+		}
+	}
+}
+
+func TestLexEscapedQuote(t *testing.T) {
+	toks := Lex(`"a\"b" x`)
+	if toks[0].Kind != String || toks[0].End != 6 {
+		t.Fatalf("escaped string token = %+v", toks[0])
+	}
+}
+
+func TestLexPreprocOnlyAtLineStart(t *testing.T) {
+	toks := Lex("a # b")
+	for _, tok := range toks {
+		if tok.Kind == Preproc {
+			t.Fatal("mid-line # lexed as preproc")
+		}
+	}
+}
+
+func TestRestyleAppliesStyles(t *testing.T) {
+	d := text.NewString(sample)
+	Restyle(d)
+	// "int" at the start of line 3.
+	pos := d.Index("int main", 0)
+	if d.StyleAt(pos) != "bold" {
+		t.Fatalf("keyword style = %q", d.StyleAt(pos))
+	}
+	pos = d.Index("/* greet", 0)
+	if d.StyleAt(pos) != "italic" {
+		t.Fatalf("comment style = %q", d.StyleAt(pos))
+	}
+	pos = d.Index(`"hello"`, 0)
+	if d.StyleAt(pos) != "typewriter" {
+		t.Fatalf("string style = %q", d.StyleAt(pos))
+	}
+	pos = d.Index("#include", 0)
+	if d.StyleAt(pos) != "typewriter" {
+		t.Fatalf("preproc style = %q", d.StyleAt(pos))
+	}
+	pos = d.Index("main", 0)
+	if d.StyleAt(pos+1) != "body" {
+		t.Fatalf("ident style = %q", d.StyleAt(pos+1))
+	}
+}
+
+func TestStylerTracksEdits(t *testing.T) {
+	d := text.NewString("int x;")
+	s := Attach(d)
+	if s.Restyles != 1 {
+		t.Fatalf("initial restyles = %d", s.Restyles)
+	}
+	// Turn "int" into "print" — no longer a keyword.
+	if err := d.Insert(0, "pr"); err != nil {
+		t.Fatal(err)
+	}
+	if d.StyleAt(1) != "body" {
+		t.Fatalf("print styled as %q", d.StyleAt(1))
+	}
+	if s.Restyles != 2 {
+		t.Fatalf("restyles = %d", s.Restyles)
+	}
+	s.Detach()
+	_ = d.Insert(0, "x")
+	if s.Restyles != 2 {
+		t.Fatal("detached styler still running")
+	}
+}
+
+func TestStylerNoInfiniteLoop(t *testing.T) {
+	// SetStyle notifications must not retrigger the styler.
+	d := text.NewString("while (1) { /* spin */ }")
+	s := Attach(d)
+	before := s.Restyles
+	_ = d.Insert(0, " ")
+	if s.Restyles != before+1 {
+		t.Fatalf("restyles = %d, want %d", s.Restyles, before+1)
+	}
+}
+
+func TestCtextClass(t *testing.T) {
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	// ctext is a text subclass in the class system.
+	isa, err := reg.IsA("ctext", "text")
+	if err != nil || !isa {
+		t.Fatalf("IsA(ctext, text) = %v, %v", isa, err)
+	}
+	obj, err := reg.NewObject("ctext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := obj.(*text.Data)
+	_ = d.Insert(0, "return 1;")
+	if d.StyleAt(0) != "bold" {
+		t.Fatalf("ctext did not style itself: %q", d.StyleAt(0))
+	}
+}
+
+func TestIsCSource(t *testing.T) {
+	if !IsCSource("view.c") || !IsCSource("view.h") || IsCSource("view.go") {
+		t.Fatal("IsCSource wrong")
+	}
+}

@@ -1,0 +1,184 @@
+// Package compilepkg implements the compile extension package (paper §1):
+// run a build over program documents, collect diagnostics, and step
+// through them in the editor ("next error" navigation). The checker is an
+// in-process C surface linter — balanced delimiters, unterminated
+// strings/comments, statements missing semicolons — standing in for
+// invoking cc and parsing its output; what the editor integration needs
+// (file/line/message triples and a cursor over them) is exercised fully.
+package compilepkg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"atk/internal/cmode"
+	"atk/internal/text"
+)
+
+// Diagnostic is one compiler complaint.
+type Diagnostic struct {
+	File    string
+	Line    int // 1-based
+	Pos     int // rune offset
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s", d.File, d.Line, d.Message)
+}
+
+// Result is one build's output.
+type Result struct {
+	Diagnostics []Diagnostic
+	cursor      int
+}
+
+// Compile checks every document and returns the collected diagnostics,
+// sorted by file then position.
+func Compile(docs map[string]*text.Data) *Result {
+	res := &Result{cursor: -1}
+	files := make([]string, 0, len(docs))
+	for f := range docs {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		res.Diagnostics = append(res.Diagnostics, checkFile(f, docs[f].String())...)
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Pos < b.Pos
+	})
+	return res
+}
+
+func checkFile(file, src string) []Diagnostic {
+	var out []Diagnostic
+	rs := []rune(src)
+	lineOf := func(pos int) int {
+		line := 1
+		for i := 0; i < pos && i < len(rs); i++ {
+			if rs[i] == '\n' {
+				line++
+			}
+		}
+		return line
+	}
+	diag := func(pos int, msg string) {
+		out = append(out, Diagnostic{File: file, Line: lineOf(pos), Pos: pos, Message: msg})
+	}
+	toks := cmode.Lex(src)
+
+	// 1. Unterminated strings and comments (the lexer extends them to EOF;
+	// detect by inspecting the raw text).
+	for _, t := range toks {
+		w := string(rs[t.Start:t.End])
+		switch t.Kind {
+		case cmode.String:
+			if len(w) < 2 || !strings.HasSuffix(w, `"`) || strings.ContainsRune(w[1:len(w)-1], '\n') {
+				diag(t.Start, "unterminated string constant")
+			}
+		case cmode.CharLit:
+			if len(w) < 2 || !strings.HasSuffix(w, "'") {
+				diag(t.Start, "unterminated character constant")
+			}
+		case cmode.Comment:
+			if strings.HasPrefix(w, "/*") && !strings.HasSuffix(w, "*/") {
+				diag(t.Start, "unterminated comment")
+			}
+		}
+	}
+
+	// 2. Delimiter balance, code tokens only.
+	type open struct {
+		ch  rune
+		pos int
+	}
+	var stack []open
+	match := map[rune]rune{')': '(', ']': '[', '}': '{'}
+	for _, t := range toks {
+		if t.Kind != cmode.Op {
+			continue
+		}
+		c := rs[t.Start]
+		switch c {
+		case '(', '[', '{':
+			stack = append(stack, open{c, t.Start})
+		case ')', ']', '}':
+			if len(stack) == 0 {
+				diag(t.Start, fmt.Sprintf("unmatched '%c'", c))
+				continue
+			}
+			top := stack[len(stack)-1]
+			if top.ch != match[c] {
+				diag(t.Start, fmt.Sprintf("mismatched '%c' (opened '%c' at line %d)",
+					c, top.ch, lineOf(top.pos)))
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for _, o := range stack {
+		diag(o.pos, fmt.Sprintf("unclosed '%c'", o.ch))
+	}
+
+	// 3. return statements missing a semicolon before the closing brace —
+	// a cheap, deterministic "statement" check.
+	for i, t := range toks {
+		if t.Kind != cmode.Keyword || string(rs[t.Start:t.End]) != "return" {
+			continue
+		}
+		for j := i + 1; j < len(toks); j++ {
+			w := string(rs[toks[j].Start:toks[j].End])
+			if toks[j].Kind == cmode.Space || toks[j].Kind == cmode.Comment {
+				continue
+			}
+			if w == ";" {
+				break
+			}
+			if w == "}" || w == "{" {
+				diag(t.Start, "missing ';' after return statement")
+				break
+			}
+			if toks[j].Kind == cmode.Op && w != "(" && w != ")" && w != "-" &&
+				w != "+" && w != "*" && w != "/" && w != "?" && w != ":" &&
+				w != "<" && w != ">" && w != "=" && w != "&" && w != "|" &&
+				w != "." && w != "," && w != "!" && w != "[" && w != "]" {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// OK reports whether the build is clean.
+func (r *Result) OK() bool { return len(r.Diagnostics) == 0 }
+
+// Next advances to and returns the next diagnostic, wrapping; ok is false
+// when there are none (the "next error" editor command).
+func (r *Result) Next() (Diagnostic, bool) {
+	if len(r.Diagnostics) == 0 {
+		return Diagnostic{}, false
+	}
+	r.cursor = (r.cursor + 1) % len(r.Diagnostics)
+	return r.Diagnostics[r.cursor], true
+}
+
+// Reset rewinds the error cursor.
+func (r *Result) Reset() { r.cursor = -1 }
+
+// Summary renders the build result the way the compile window showed it.
+func (r *Result) Summary() string {
+	if r.OK() {
+		return "compilation finished: no errors\n"
+	}
+	var b strings.Builder
+	for _, d := range r.Diagnostics {
+		b.WriteString(d.String() + "\n")
+	}
+	fmt.Fprintf(&b, "%d error(s)\n", len(r.Diagnostics))
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package compilepkg
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/text"
+)
+
+func compileOne(src string) *Result {
+	return Compile(map[string]*text.Data{"main.c": text.NewString(src)})
+}
+
+func TestCleanProgram(t *testing.T) {
+	r := compileOne(`#include <stdio.h>
+int main() {
+    char *s = "ok";
+    /* fine */
+    return 0;
+}
+`)
+	if !r.OK() {
+		t.Fatalf("diagnostics = %v", r.Diagnostics)
+	}
+	if r.Summary() != "compilation finished: no errors\n" {
+		t.Fatalf("summary = %q", r.Summary())
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("Next on clean build")
+	}
+}
+
+func TestUnbalancedDelimiters(t *testing.T) {
+	r := compileOne("int main() {\n    if (x {\n}\n")
+	if r.OK() {
+		t.Fatal("unbalanced program compiled clean")
+	}
+	found := false
+	for _, d := range r.Diagnostics {
+		if strings.Contains(d.Message, "mismatched") || strings.Contains(d.Message, "unclosed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diagnostics = %v", r.Diagnostics)
+	}
+}
+
+func TestUnmatchedCloser(t *testing.T) {
+	r := compileOne("int x;\n}\n")
+	if r.OK() || !strings.Contains(r.Diagnostics[0].Message, "unmatched '}'") {
+		t.Fatalf("diagnostics = %v", r.Diagnostics)
+	}
+	if r.Diagnostics[0].Line != 2 {
+		t.Fatalf("line = %d", r.Diagnostics[0].Line)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	r := compileOne("char *s = \"never closed;\n")
+	if r.OK() {
+		t.Fatal("unterminated string compiled clean")
+	}
+	if !strings.Contains(r.Diagnostics[0].Message, "unterminated string") {
+		t.Fatalf("diagnostics = %v", r.Diagnostics)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	r := compileOne("int x; /* never closed\nint y;\n")
+	if r.OK() || !strings.Contains(r.Diagnostics[0].Message, "unterminated comment") {
+		t.Fatalf("diagnostics = %v", r.Diagnostics)
+	}
+}
+
+func TestMissingSemicolonAfterReturn(t *testing.T) {
+	r := compileOne("int f() {\n    return 0\n}\n")
+	if r.OK() {
+		t.Fatal("missing semicolon compiled clean")
+	}
+	found := false
+	for _, d := range r.Diagnostics {
+		if strings.Contains(d.Message, "missing ';'") && d.Line == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diagnostics = %v", r.Diagnostics)
+	}
+	// With the semicolon it is clean.
+	if r2 := compileOne("int f() {\n    return 0;\n}\n"); !r2.OK() {
+		t.Fatalf("clean return flagged: %v", r2.Diagnostics)
+	}
+	// return with a parenthesized expression is fine too.
+	if r3 := compileOne("int f() {\n    return (a + b);\n}\n"); !r3.OK() {
+		t.Fatalf("return (expr); flagged: %v", r3.Diagnostics)
+	}
+}
+
+func TestNextErrorNavigationWraps(t *testing.T) {
+	r := Compile(map[string]*text.Data{
+		"a.c": text.NewString("}\n"),
+		"b.c": text.NewString("}\n"),
+	})
+	if len(r.Diagnostics) != 2 {
+		t.Fatalf("diagnostics = %v", r.Diagnostics)
+	}
+	d1, _ := r.Next()
+	d2, _ := r.Next()
+	d3, _ := r.Next() // wraps
+	if d1.File != "a.c" || d2.File != "b.c" || d3.File != "a.c" {
+		t.Fatalf("order: %s %s %s", d1.File, d2.File, d3.File)
+	}
+	r.Reset()
+	d4, _ := r.Next()
+	if d4 != d1 {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestDiagnosticsSortedAcrossFiles(t *testing.T) {
+	r := Compile(map[string]*text.Data{
+		"z.c": text.NewString("}\n"),
+		"a.c": text.NewString("int x;\n\n}\n"),
+	})
+	if r.Diagnostics[0].File != "a.c" || r.Diagnostics[1].File != "z.c" {
+		t.Fatalf("order = %v", r.Diagnostics)
+	}
+	if !strings.Contains(r.Summary(), "2 error(s)") {
+		t.Fatalf("summary = %q", r.Summary())
+	}
+	if !strings.Contains(r.Diagnostics[0].String(), "a.c:3:") {
+		t.Fatalf("string = %q", r.Diagnostics[0].String())
+	}
+}
+
+func TestStringWithBracesIsIgnored(t *testing.T) {
+	// Delimiters inside strings and comments must not confuse the check.
+	r := compileOne("int main() {\n    char *s = \"}{)(\";\n    /* }{ */\n    return 0;\n}\n")
+	if !r.OK() {
+		t.Fatalf("diagnostics = %v", r.Diagnostics)
+	}
+}

@@ -1,0 +1,145 @@
+// Package components catalogs the toolkit's component packages as class
+// load units. An application registers the units it was "linked with";
+// everything else stays on disk (unloaded) until a document demands it —
+// the extension mechanism of paper §7. The declared sizes approximate the
+// relative code sizes of the original packages and drive the runapp
+// sharing arithmetic of experiment E6.
+package components
+
+import (
+	"atk/internal/anim"
+	"atk/internal/chart"
+	"atk/internal/class"
+	"atk/internal/cmode"
+	"atk/internal/drawing"
+	"atk/internal/eq"
+	"atk/internal/pageview"
+	"atk/internal/raster"
+	"atk/internal/table"
+	"atk/internal/tableview"
+	"atk/internal/text"
+	"atk/internal/textview"
+)
+
+// Unit names.
+const (
+	UnitBase    = "basetk"  // class system, graphics, view tree, widgets
+	UnitText    = "textpkg" // text data object + text view
+	UnitTable   = "tablepkg"
+	UnitChart   = "chartpkg"
+	UnitDrawing = "drawpkg"
+	UnitEq      = "eqpkg"
+	UnitRaster  = "rasterpkg"
+	UnitAnim    = "animpkg"
+	UnitCMode   = "cmodepkg"
+	UnitPage    = "pagepkg" // the WYSIWYG page view of §2
+)
+
+// Units returns the full catalog of load units for a fresh registry. The
+// base unit provides no classes of its own (the base types are plain Go
+// packages here) but anchors the dependency graph and carries the base
+// image size for the sharing model.
+func Units() []class.Unit {
+	return []class.Unit{
+		{
+			Name: UnitBase, Size: 220_000,
+			Init: func(r *class.Registry) error { return nil },
+		},
+		{
+			Name: UnitText, Size: 80_000, Requires: []string{UnitBase},
+			Provides: []string{"text", "textview"},
+			Init: func(r *class.Registry) error {
+				if err := text.Register(r); err != nil {
+					return err
+				}
+				return textview.Register(r)
+			},
+		},
+		{
+			Name: UnitTable, Size: 60_000, Requires: []string{UnitBase},
+			Provides: []string{"table", "spread"},
+			Init: func(r *class.Registry) error {
+				if err := table.Register(r); err != nil {
+					return err
+				}
+				return tableview.Register(r)
+			},
+		},
+		{
+			Name: UnitChart, Size: 25_000, Requires: []string{UnitTable},
+			Provides: []string{"chart", "chartview"},
+			Init:     chart.Register,
+		},
+		{
+			Name: UnitDrawing, Size: 55_000, Requires: []string{UnitBase},
+			Provides: []string{"drawing", "drawview"},
+			Init: func(r *class.Registry) error {
+				if err := drawing.Register(r); err != nil {
+					return err
+				}
+				return drawing.RegisterView(r)
+			},
+		},
+		{
+			Name: UnitEq, Size: 30_000, Requires: []string{UnitBase},
+			Provides: []string{"eq", "eqview"},
+			Init:     eq.Register,
+		},
+		{
+			Name: UnitRaster, Size: 20_000, Requires: []string{UnitBase},
+			Provides: []string{"raster", "rasterview"},
+			Init:     raster.Register,
+		},
+		{
+			Name: UnitAnim, Size: 25_000, Requires: []string{UnitDrawing},
+			Provides: []string{"animation", "animview"},
+			Init:     anim.Register,
+		},
+		{
+			Name: UnitCMode, Size: 15_000, Requires: []string{UnitText},
+			Provides: []string{"ctext"},
+			Init:     cmode.Register,
+		},
+		{
+			Name: UnitPage, Size: 35_000, Requires: []string{UnitText},
+			Provides: []string{"pageview"},
+			Init:     pageview.Register,
+		},
+	}
+}
+
+// NewRegistry returns a registry with every unit declared but nothing
+// loaded — the state of a freshly exec'd application before its static
+// units initialize.
+func NewRegistry() (*class.Registry, error) {
+	reg := class.NewRegistry()
+	for _, u := range Units() {
+		if err := reg.RegisterUnit(u); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// LoadAll loads every unit; the state of a monolithic statically linked
+// editor. Used by tests and the standalone applications.
+func LoadAll(reg *class.Registry) error {
+	for _, u := range Units() {
+		if err := reg.Load(u.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StandardRegistry returns a registry with all units declared and loaded.
+func StandardRegistry() (*class.Registry, error) {
+	reg, err := NewRegistry()
+	if err != nil {
+		return nil, err
+	}
+	if err := LoadAll(reg); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}

@@ -1,0 +1,143 @@
+package components
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+)
+
+func TestNewRegistryDeclaresEverythingUnloaded(t *testing.T) {
+	reg, err := NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := reg.Stats()
+	if st.UnitsLoaded != 0 {
+		t.Fatalf("units loaded eagerly: %d", st.UnitsLoaded)
+	}
+	if st.UnitsDeclared != len(Units()) {
+		t.Fatalf("declared = %d", st.UnitsDeclared)
+	}
+	if reg.IsRegistered("text") {
+		t.Fatal("text registered before demand")
+	}
+}
+
+func TestDemandLoadOnInstantiation(t *testing.T) {
+	reg, _ := NewRegistry()
+	obj, err := reg.NewObject("spread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj == nil {
+		t.Fatal("nil object")
+	}
+	if !reg.IsLoaded(UnitTable) || !reg.IsLoaded(UnitBase) {
+		t.Fatal("dependency chain not loaded")
+	}
+	if reg.IsLoaded(UnitRaster) {
+		t.Fatal("unrelated unit loaded")
+	}
+}
+
+func TestLoadAll(t *testing.T) {
+	reg, _ := NewRegistry()
+	if err := LoadAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"text", "textview", "table", "spread",
+		"chart", "chartview", "drawing", "drawview", "eq", "eqview",
+		"raster", "rasterview", "animation", "animview", "ctext"} {
+		if !reg.IsRegistered(name) {
+			t.Errorf("class %q missing after LoadAll", name)
+		}
+	}
+}
+
+func TestCrossComponentDocumentDemandLoads(t *testing.T) {
+	// The paper's scenario end to end: an application linked only with
+	// text opens a document embedding a table; the table unit loads on
+	// demand while reading.
+	full, err := StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := full.NewObject("text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type textLike interface {
+		core.DataObject
+		Insert(pos int, s string) error
+		Embed(pos int, obj core.DataObject, viewName string) error
+	}
+	td := doc.(textLike)
+	_ = td.Insert(0, "see table: ")
+	tblObj, _ := full.NewObject("table")
+	if err := td.Embed(11, tblObj.(core.DataObject), "spread"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, td); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+
+	lean, _ := NewRegistry()
+	if err := lean.Load(UnitText); err != nil { // "linked with" text only
+		t.Fatal(err)
+	}
+	if lean.IsLoaded(UnitTable) {
+		t.Fatal("table preloaded")
+	}
+	obj, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb.String())), lean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lean.IsLoaded(UnitTable) {
+		t.Fatal("table unit not demand-loaded by document read")
+	}
+	if obj.TypeName() != "text" {
+		t.Fatalf("type = %q", obj.TypeName())
+	}
+	if lean.Stats().DemandLoads == 0 {
+		t.Fatal("no demand loads recorded")
+	}
+}
+
+func TestRunappSharingAcrossApps(t *testing.T) {
+	reg, _ := NewRegistry()
+	l, err := class.NewLauncher(reg, []string{UnitBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ezCost, err := l.Launch(class.AppSpec{Name: "ez", Units: []string{UnitText, UnitTable}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mailCost, err := l.Launch(class.AppSpec{Name: "messages", Units: []string{UnitText}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mailCost != 0 {
+		t.Fatalf("messages paid %d for already-shared text", mailCost)
+	}
+	if ezCost == 0 {
+		t.Fatal("first app paid nothing")
+	}
+	standalone, err := class.StandaloneCost(reg, []string{UnitBase}, []class.AppSpec{
+		{Name: "ez", Units: []string{UnitText, UnitTable}},
+		{Name: "messages", Units: []string{UnitText}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if standalone <= l.ResidentSize() {
+		t.Fatalf("sharing not beneficial: standalone=%d shared=%d",
+			standalone, l.ResidentSize())
+	}
+}

@@ -1,0 +1,131 @@
+// Package consolemon is the system-monitor substrate behind the console
+// application: "a system monitor (console) that displays status
+// information such as the time, date, CPU load and file system
+// information" (paper §1). Sources are pluggable; the simulated source
+// derives every statistic deterministically from the tick clock so demos
+// and tests reproduce.
+package consolemon
+
+import (
+	"fmt"
+
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+// Stats is one sample of system state.
+type Stats struct {
+	Clock     string  // "10:04"
+	Date      string  // "Thu Feb 11 1988"
+	Load      float64 // CPU load average, 0..n
+	FSUsedPct int     // file system percent full
+	MailQueue int     // undelivered mail
+	Users     int
+}
+
+// Source produces samples.
+type Source interface {
+	Sample(tick int64) Stats
+}
+
+// SimSource synthesizes plausible campus-workstation statistics from the
+// tick count.
+type SimSource struct {
+	// BaseUsers sizes the simulated user population.
+	BaseUsers int
+}
+
+// Sample implements Source.
+func (s SimSource) Sample(tick int64) Stats {
+	users := s.BaseUsers
+	if users == 0 {
+		users = 3000
+	}
+	min := int(tick/60) % 60
+	hr := (10 + int(tick/3600)) % 24
+	day := 11 + int(tick/86400)%17
+	// Load breathes sinusoidally via the integer trig table.
+	load := 0.8 + 1.6*float64(graphics.ISin(int(tick)%360)+graphics.IScale)/
+		(2*float64(graphics.IScale))
+	return Stats{
+		Clock:     fmt.Sprintf("%02d:%02d", hr, min),
+		Date:      fmt.Sprintf("Thu Feb %d 1988", day),
+		Load:      load,
+		FSUsedPct: 62 + int(tick/30)%9,
+		MailQueue: int(tick/45) % 7,
+		Users:     users - int(tick/600)%40,
+	}
+}
+
+// View is the console view: a stack of labeled gauges fed by a Source on
+// every tick. It has no data object — like the scroll bar it is pure user
+// interface, reading a live source instead.
+type View struct {
+	core.BaseView
+	src   Source
+	stats Stats
+	ticks int64
+}
+
+// NewView returns a console over src.
+func NewView(src Source) *View {
+	v := &View{src: src}
+	v.InitView(v, "consoleview")
+	v.stats = src.Sample(0)
+	return v
+}
+
+// Stats returns the last sample.
+func (v *View) Stats() Stats { return v.stats }
+
+// Tick implements the tick protocol: resample and repaint.
+func (v *View) Tick(t int64) {
+	v.ticks = t
+	v.stats = v.src.Sample(t)
+	v.WantUpdate(v.Self())
+}
+
+// DesiredSize implements core.View.
+func (v *View) DesiredSize(wHint, hHint int) (int, int) { return 220, 120 }
+
+// FullUpdate implements core.View.
+func (v *View) FullUpdate(d *graphics.Drawable) {
+	w, h := v.Bounds().Dx(), v.Bounds().Dy()
+	d.ClearRect(graphics.XYWH(0, 0, w, h))
+	st := v.stats
+	d.SetFontDesc(graphics.FontDesc{Family: "andy", Size: 12, Style: graphics.Bold})
+	d.DrawString(graphics.Pt(6, 14), st.Clock+"  "+st.Date)
+	d.SetFontDesc(graphics.FontDesc{Family: "andy", Size: 10})
+	y := 26
+	gauge := func(label string, frac float64, legend string) {
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		d.SetValue(graphics.Black)
+		d.DrawString(graphics.Pt(6, y+9), label)
+		bar := graphics.XYWH(70, y, w-80, 10)
+		d.DrawRect(bar)
+		d.SetValue(graphics.Gray)
+		d.FillRect(graphics.XYWH(bar.Min.X+1, bar.Min.Y+1,
+			int(float64(bar.Dx()-2)*frac), bar.Dy()-2))
+		d.SetValue(graphics.Black)
+		d.DrawString(graphics.Pt(bar.Max.X+2, y+9), legend)
+		y += 16
+	}
+	gauge("load", st.Load/4, fmt.Sprintf("%.1f", st.Load))
+	gauge("disk", float64(st.FSUsedPct)/100, fmt.Sprintf("%d%%", st.FSUsedPct))
+	gauge("mailq", float64(st.MailQueue)/10, fmt.Sprintf("%d", st.MailQueue))
+	d.DrawString(graphics.Pt(6, y+9), fmt.Sprintf("%d users on the system", st.Users))
+}
+
+// Hit implements core.View: a click forces an immediate resample.
+func (v *View) Hit(a wsys.MouseAction, p graphics.Point, clicks int) core.View {
+	if a == wsys.MouseDown {
+		v.Tick(v.ticks + 1)
+	}
+	return v.Self()
+}

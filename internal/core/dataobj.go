@@ -1,0 +1,137 @@
+// Package core implements the Andrew Toolkit's component architecture: the
+// data-object/view separation with its observer-based delayed-update
+// mechanism (paper §2), the view tree with parental authority over event
+// distribution (paper §3), the interaction manager that roots a view tree
+// in a window, and the object-level external representation that lets any
+// component embed any other (paper §5), demand-loading unknown component
+// code through the class system (paper §7).
+package core
+
+import (
+	"sync/atomic"
+
+	"atk/internal/datastream"
+)
+
+// Change describes a modification to a data object, delivered to its
+// observers. Kind is component-specific vocabulary ("insert", "delete",
+// "cell", "full", ...); Pos and Length locate the change where that makes
+// sense; Detail carries anything else. Views use change records to decide
+// which portion of their visual representation to rebuild — the delayed
+// update mechanism the paper calls "the trickiest challenge in building a
+// data object/view pair".
+type Change struct {
+	Kind   string
+	Pos    int
+	Length int
+	Detail any
+}
+
+// FullChange is the conventional "everything may have changed" record.
+var FullChange = Change{Kind: "full"}
+
+// Observer is anything that watches a data object. Views observe their
+// data objects; auxiliary data objects (e.g. chart data observing a table)
+// observe other data objects, which is how stable view state is kept
+// without giving views persistent state.
+type Observer interface {
+	ObservedChanged(obj DataObject, ch Change)
+}
+
+// DataObject is the persistent half of a component. Implementations embed
+// BaseData for the observer plumbing. A data object knows how to write its
+// payload to, and read it from, the external representation; the enclosing
+// begin/end markers are handled by WriteObject/ReadObject so nesting is
+// uniform across all components.
+type DataObject interface {
+	// TypeName is the external-representation type ("text", "table", ...)
+	// and the class-registry name of the data class.
+	TypeName() string
+	// DefaultViewName names the view class normally used to display this
+	// object ("textview", "spread", ...).
+	DefaultViewName() string
+	// AddObserver registers o; duplicate registration is a no-op.
+	AddObserver(o Observer)
+	// RemoveObserver unregisters o if present.
+	RemoveObserver(o Observer)
+	// NotifyObservers delivers ch to every observer and bumps the
+	// modification timestamp.
+	NotifyObservers(ch Change)
+	// Timestamp returns the logical time of the last notification.
+	Timestamp() uint64
+	// WritePayload writes the object's contents (markers excluded).
+	WritePayload(w *datastream.Writer) error
+	// ReadPayload restores contents from r. The object's begin token has
+	// been consumed; the implementation must consume everything up to AND
+	// including its matching end token.
+	ReadPayload(r *datastream.Reader) error
+}
+
+// globalClock supplies modification timestamps; monotone across all
+// objects so "has anything changed since" comparisons are cheap.
+var globalClock atomic.Uint64
+
+// Now returns the next logical timestamp.
+func Now() uint64 { return globalClock.Add(1) }
+
+// BaseData supplies the observer list and timestamp for concrete data
+// objects. Embed it and call InitData in the constructor.
+type BaseData struct {
+	self      DataObject
+	typeName  string
+	viewName  string
+	observers []Observer
+	stamp     uint64
+}
+
+// InitData wires the embedding object. self must be the outermost pointer
+// so observers receive the concrete object, not the base.
+func (b *BaseData) InitData(self DataObject, typeName, viewName string) {
+	b.self = self
+	b.typeName = typeName
+	b.viewName = viewName
+	b.stamp = Now()
+}
+
+// TypeName implements DataObject.
+func (b *BaseData) TypeName() string { return b.typeName }
+
+// DefaultViewName implements DataObject.
+func (b *BaseData) DefaultViewName() string { return b.viewName }
+
+// AddObserver implements DataObject.
+func (b *BaseData) AddObserver(o Observer) {
+	for _, e := range b.observers {
+		if e == o {
+			return
+		}
+	}
+	b.observers = append(b.observers, o)
+}
+
+// RemoveObserver implements DataObject.
+func (b *BaseData) RemoveObserver(o Observer) {
+	for i, e := range b.observers {
+		if e == o {
+			b.observers = append(b.observers[:i], b.observers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Observers returns the current observer list (not a copy; treat as
+// read-only). Exposed for tests and diagnostics.
+func (b *BaseData) Observers() []Observer { return b.observers }
+
+// NotifyObservers implements DataObject. Observers added or removed during
+// delivery do not affect the in-flight notification.
+func (b *BaseData) NotifyObservers(ch Change) {
+	b.stamp = Now()
+	obs := append([]Observer(nil), b.observers...)
+	for _, o := range obs {
+		o.ObservedChanged(b.self, ch)
+	}
+}
+
+// Timestamp implements DataObject.
+func (b *BaseData) Timestamp() uint64 { return b.stamp }

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+// InteractionManager is the root of a view tree: a view wrapped around a
+// window supplied by the underlying window system (paper §3). It
+// translates window-system events into the view protocol, owns the input
+// focus, arbitrates cursors and menus, and synchronizes drawing by
+// coalescing posted update requests and sending update events back down
+// the tree.
+//
+// By design it has exactly one child view, of arbitrary type.
+type InteractionManager struct {
+	BaseView
+	ws  wsys.WindowSystem
+	win wsys.InteractionWindow
+
+	child View
+	focus View
+
+	// Mouse grab: between MouseDown and MouseUp, events go to the view
+	// that accepted the down, with coordinates translated.
+	grab View
+
+	pending  map[View]bool
+	message  string
+	cursor   wsys.CursorShape
+	menus    *MenuSet
+	menuHook func(*MenuSet)
+	popup    *popupState
+	bindings map[Chord]func()
+	ticks    int64
+	closed   bool
+
+	// EventsHandled counts dispatched events (benchmark instrumentation).
+	EventsHandled int64
+}
+
+// NewInteractionManager roots a view tree in win.
+func NewInteractionManager(ws wsys.WindowSystem, win wsys.InteractionWindow) *InteractionManager {
+	im := &InteractionManager{
+		ws:      ws,
+		win:     win,
+		pending: make(map[View]bool),
+		menus:   NewMenuSet(),
+	}
+	im.InitView(im, "im")
+	w, h := win.Size()
+	im.SetBounds(graphics.XYWH(0, 0, w, h))
+	return im
+}
+
+// Window returns the underlying window.
+func (im *InteractionManager) Window() wsys.InteractionWindow { return im.win }
+
+// WindowSystem returns the window system the window came from.
+func (im *InteractionManager) WindowSystem() wsys.WindowSystem { return im.ws }
+
+// SetChild installs the single child view, gives it the full window area,
+// and schedules a full redraw.
+func (im *InteractionManager) SetChild(v View) {
+	if im.child != nil {
+		im.child.SetParent(nil)
+	}
+	im.child = v
+	if v != nil {
+		v.SetParent(im)
+		w, h := im.win.Size()
+		v.SetBounds(graphics.XYWH(0, 0, w, h))
+		im.WantUpdate(v)
+	}
+}
+
+// Child returns the installed child view.
+func (im *InteractionManager) Child() View { return im.child }
+
+// Focus returns the view currently holding the input focus.
+func (im *InteractionManager) Focus() View { return im.focus }
+
+// Drawable returns a fresh drawable covering the whole window.
+func (im *InteractionManager) Drawable() *graphics.Drawable {
+	return graphics.NewDrawable(im.win.Graphic())
+}
+
+// DrawableFor returns a drawable whose local origin and clip match v's
+// allocated rectangle.
+func (im *InteractionManager) DrawableFor(v View) *graphics.Drawable {
+	d := im.Drawable()
+	origin := AbsOrigin(v)
+	r := graphics.Rect{Min: origin, Max: origin.Add(graphics.Pt(v.Bounds().Dx(), v.Bounds().Dy()))}
+	return d.Sub(r.Translate(graphics.Pt(0, 0)))
+}
+
+// --- upward protocol termination ---
+
+// WantUpdate implements View: requests are queued, not painted, until the
+// update cycle runs (the delayed-update mechanism of paper §2).
+func (im *InteractionManager) WantUpdate(v View) {
+	if v == nil {
+		return
+	}
+	im.pending[v] = true
+}
+
+// WantInputFocus implements View: transfers the focus immediately.
+func (im *InteractionManager) WantInputFocus(v View) {
+	if im.focus == v {
+		return
+	}
+	if im.focus != nil {
+		im.focus.LoseInputFocus()
+	}
+	im.focus = v
+	if v != nil {
+		v.ReceiveInputFocus()
+		im.RebuildMenus()
+	}
+}
+
+// PostMenus implements View: the chain terminates here.
+func (im *InteractionManager) PostMenus(ms *MenuSet) {}
+
+// PostCursor implements View: applies the shape to the window.
+func (im *InteractionManager) PostCursor(shape wsys.CursorShape) {
+	if shape == im.cursor {
+		return
+	}
+	im.cursor = shape
+	if c, err := im.ws.NewCursor(shape); err == nil {
+		im.win.SetCursor(c)
+	}
+}
+
+// Cursor returns the most recently posted cursor shape.
+func (im *InteractionManager) Cursor() wsys.CursorShape { return im.cursor }
+
+// PostMessage implements View: the message is retained for display (a
+// frame in the tree usually intercepts it first).
+func (im *InteractionManager) PostMessage(msg string) { im.message = msg }
+
+// Message returns the last message that reached the root.
+func (im *InteractionManager) Message() string { return im.message }
+
+// --- menus ---
+
+// RebuildMenus renegotiates the menu set starting from the focus view:
+// the focus contributes first, then each ancestor in turn may add or veto
+// (PostMenus climbs the tree by default).
+func (im *InteractionManager) RebuildMenus() {
+	ms := NewMenuSet()
+	if im.focus != nil {
+		im.focus.PostMenus(ms)
+	} else if im.child != nil {
+		im.child.PostMenus(ms)
+	}
+	if im.menuHook != nil {
+		im.menuHook(ms)
+	}
+	im.menus = ms
+}
+
+// SetMenuHook installs an application-level contributor that runs after
+// every menu negotiation — how applications add their File/Quit cards on
+// top of whatever the focused component offers. It may also veto
+// component items (it sees the finished set).
+func (im *InteractionManager) SetMenuHook(hook func(*MenuSet)) {
+	im.menuHook = hook
+	im.RebuildMenus()
+}
+
+// Menus returns the current negotiated menu set.
+func (im *InteractionManager) Menus() *MenuSet { return im.menus }
+
+// --- event dispatch ---
+
+// HandleEvent dispatches one window-system event through the view tree
+// and then runs the update cycle, so each event's visual consequences are
+// flushed before the next event, as the original interaction manager
+// sequenced drawing.
+func (im *InteractionManager) HandleEvent(ev wsys.Event) {
+	im.EventsHandled++
+	switch ev.Kind {
+	case wsys.MouseEvent:
+		im.dispatchMouse(ev)
+	case wsys.KeyEvent:
+		im.dispatchKey(ev)
+	case wsys.UpdateEvent:
+		if im.child != nil {
+			im.pending[im.child] = true
+		}
+	case wsys.ResizeEvent:
+		im.SetBounds(graphics.XYWH(0, 0, ev.Width, ev.Height))
+		if im.child != nil {
+			im.child.SetBounds(graphics.XYWH(0, 0, ev.Width, ev.Height))
+			im.pending[im.child] = true
+		}
+	case wsys.MenuEvent:
+		im.menus.Select(ev.MenuPath)
+	case wsys.FocusEvent:
+		// Window-level focus: nothing to do in the simulated systems.
+	case wsys.TickEvent:
+		im.ticks = ev.Tick
+		if tickers, ok := im.child.(interface{ Tick(int64) }); ok && im.child != nil {
+			tickers.Tick(ev.Tick)
+		}
+	case wsys.CloseEvent:
+		im.closed = true
+	}
+	im.FlushUpdates()
+}
+
+// dispatchMouse routes a mouse event. Outside a grab, the event is passed
+// down from the child, each parent deciding its disposition; during a
+// grab (button held), events go straight to the grabbing view with
+// coordinates translated into its space.
+func (im *InteractionManager) dispatchMouse(ev wsys.Event) {
+	if im.handlePopupMouse(ev) {
+		return
+	}
+	if ev.Button == wsys.RightButton && ev.Action == wsys.MouseDown {
+		im.PostPopup(ev.Pos)
+		return
+	}
+	if im.grab != nil && (ev.Action == wsys.MouseMove || ev.Action == wsys.MouseUp) {
+		origin := AbsOrigin(im.grab)
+		im.grab.Hit(ev.Action, ev.Pos.Sub(origin), ev.Clicks)
+		if ev.Action == wsys.MouseUp {
+			im.grab = nil
+		}
+		return
+	}
+	if im.child == nil {
+		return
+	}
+	target := im.child.Hit(ev.Action, ev.Pos.Sub(im.child.Bounds().Min), ev.Clicks)
+	if ev.Action == wsys.MouseDown && target != nil {
+		im.grab = target
+	}
+}
+
+// Closed reports whether a CloseEvent has been handled.
+func (im *InteractionManager) Closed() bool { return im.closed }
+
+// Ticks returns the last tick count seen.
+func (im *InteractionManager) Ticks() int64 { return im.ticks }
+
+// --- the update cycle ---
+
+// FlushUpdates performs the delayed update: pending views are repainted
+// parents-first (the update event travelling back down the tree), then
+// ancestors of updated views draw their overlays so material a parent
+// keeps on top of its children ends up in the right order.
+func (im *InteractionManager) FlushUpdates() {
+	if len(im.pending) == 0 {
+		return
+	}
+	views := make([]View, 0, len(im.pending))
+	for v := range im.pending {
+		views = append(views, v)
+	}
+	im.pending = make(map[View]bool)
+	sort.Slice(views, func(i, j int) bool { return Depth(views[i]) < Depth(views[j]) })
+
+	// Drop views whose ancestor is also being fully repainted: the
+	// ancestor's update covers them.
+	var toDraw []View
+	for _, v := range views {
+		covered := false
+		for _, a := range toDraw {
+			if a != v && IsAncestor(a, v) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			toDraw = append(toDraw, v)
+		}
+	}
+	for _, v := range toDraw {
+		if Root(v) != View(im) && Root(v) != im.Self() {
+			continue // detached view; request is stale
+		}
+		v.Update(im.DrawableFor(v))
+	}
+	// Overlay pass: every ancestor of an updated view, deepest last.
+	overlays := map[View]bool{}
+	for _, v := range toDraw {
+		for a := v.Parent(); a != nil; a = a.Parent() {
+			overlays[a] = true
+		}
+	}
+	ancestors := make([]View, 0, len(overlays))
+	for a := range overlays {
+		ancestors = append(ancestors, a)
+	}
+	sort.Slice(ancestors, func(i, j int) bool { return Depth(ancestors[i]) < Depth(ancestors[j]) })
+	for _, a := range ancestors {
+		if a == View(im) || a == im.Self() {
+			continue
+		}
+		a.DrawOverlay(im.DrawableFor(a))
+	}
+	// A posted popup stays on top of whatever just repainted beneath it.
+	im.drawPopup()
+	_ = im.win.Graphic().Flush()
+}
+
+// FullRedraw repaints the whole tree unconditionally and clears any
+// pending update requests (they are subsumed).
+func (im *InteractionManager) FullRedraw() {
+	im.pending = make(map[View]bool)
+	if im.child == nil {
+		return
+	}
+	d := im.DrawableFor(im.child)
+	d.ClearRect(graphics.XYWH(0, 0, im.child.Bounds().Dx(), im.child.Bounds().Dy()))
+	im.child.FullUpdate(d)
+	im.child.DrawOverlay(d)
+	_ = im.win.Graphic().Flush()
+}
+
+// Run processes events from the window until the channel closes, a
+// CloseEvent arrives, or limit events have been handled (limit <= 0 means
+// no limit). It returns the number of events processed. Simulated window
+// systems drive this loop by injecting events from another goroutine.
+func (im *InteractionManager) Run(limit int) int {
+	n := 0
+	for ev := range im.win.Events() {
+		im.HandleEvent(ev)
+		n++
+		if im.closed || (limit > 0 && n >= limit) {
+			break
+		}
+	}
+	return n
+}
+
+// DrainEvents handles every event currently queued without blocking.
+func (im *InteractionManager) DrainEvents() int {
+	n := 0
+	for {
+		select {
+		case ev, ok := <-im.win.Events():
+			if !ok {
+				return n
+			}
+			im.HandleEvent(ev)
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+// String identifies the IM in dumps.
+func (im *InteractionManager) String() string {
+	return fmt.Sprintf("InteractionManager(%s)", im.win.Title())
+}

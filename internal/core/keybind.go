@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"atk/internal/class"
+	"atk/internal/wsys"
+)
+
+// Key bindings (paper §7): "Sophisticated users can write code (using the
+// class system) to implement new commands. These commands can be bound
+// either to key sequences or to menus. When invoked, the code is loaded
+// and executed."
+//
+// A Chord names a key combination; bindings are consulted when neither the
+// focus view nor any of its ancestors consumed the key (so components keep
+// first claim on their own keys, per the tree's authority rules).
+
+// Chord identifies a key combination. Either Rune or Key is set.
+type Chord struct {
+	Rune rune
+	Key  wsys.Key
+	Ctrl bool
+	Meta bool
+}
+
+// ChordOf extracts the chord from a key event.
+func ChordOf(ev wsys.Event) Chord {
+	return Chord{Rune: ev.Rune, Key: ev.Key, Ctrl: ev.Ctrl, Meta: ev.Meta}
+}
+
+// String renders the chord ("C-x", "M-q", "pageup").
+func (c Chord) String() string {
+	s := ""
+	if c.Ctrl {
+		s += "C-"
+	}
+	if c.Meta {
+		s += "M-"
+	}
+	if c.Rune != 0 {
+		return s + string(c.Rune)
+	}
+	return s + c.Key.String()
+}
+
+// BindKey binds a chord to fn. A later binding replaces an earlier one;
+// a nil fn removes the binding.
+func (im *InteractionManager) BindKey(c Chord, fn func()) {
+	if im.bindings == nil {
+		im.bindings = make(map[Chord]func())
+	}
+	if fn == nil {
+		delete(im.bindings, c)
+		return
+	}
+	im.bindings[c] = fn
+}
+
+// BindKeyProc binds a chord to a class procedure: when the chord fires,
+// the class is resolved through reg — demand-loading its unit if the code
+// is not yet resident — and the procedure runs with the interaction
+// manager as its argument. This is §7's extension mechanism verbatim:
+// pressing the key loads and executes the user's code.
+func (im *InteractionManager) BindKeyProc(c Chord, reg *class.Registry, className, procName string) {
+	im.BindKey(c, func() {
+		if _, err := reg.CallProc(className, procName, im); err != nil {
+			im.PostMessage(fmt.Sprintf("%s: %v", c, err))
+		}
+	})
+}
+
+// Bindings returns the number of installed key bindings.
+func (im *InteractionManager) Bindings() int { return len(im.bindings) }
+
+// dispatchKey delivers a key event: first to the focus view, then —
+// unconsumed — up the focus view's ancestor chain (keyboard mapping is
+// negotiated between children and parents, §3), and finally to the
+// global bindings.
+func (im *InteractionManager) dispatchKey(ev wsys.Event) {
+	start := im.focus
+	if start == nil {
+		start = im.child
+	}
+	for v := start; v != nil; v = v.Parent() {
+		if v == View(im) || v == im.Self() {
+			break
+		}
+		if v.Key(ev) {
+			return
+		}
+	}
+	if fn, ok := im.bindings[ChordOf(ev)]; ok {
+		fn()
+	}
+}

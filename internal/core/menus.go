@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MenuSet is the negotiated menu structure for the current focus (paper
+// §3: "the same mechanism is used between children and parents to
+// negotiate the contents of menus"). As PostMenus climbs the tree, each
+// view adds its items; an ancestor may also remove a card or item it does
+// not want offered.
+//
+// Items are addressed by path "Card~cardPrio/Item~itemPrio"; priorities
+// order cards left-to-right and items top-to-bottom, mirroring the
+// original menu-list priority syntax.
+type MenuSet struct {
+	items map[string]MenuItem // keyed by Card + "\x00" + Label
+}
+
+// MenuItem is one selectable entry.
+type MenuItem struct {
+	Card     string
+	CardPrio int
+	Label    string
+	ItemPrio int
+	// Action runs when the item is chosen. It may be nil for inert items.
+	Action func()
+}
+
+// NewMenuSet returns an empty set.
+func NewMenuSet() *MenuSet {
+	return &MenuSet{items: make(map[string]MenuItem)}
+}
+
+// Add registers an item described by path, e.g. "File~10/Save~30". An item
+// added later under the same card and label replaces the earlier one — a
+// child's binding may thus be overridden by its parent, which posts after
+// it.
+func (ms *MenuSet) Add(path string, action func()) error {
+	it, err := ParseMenuPath(path)
+	if err != nil {
+		return err
+	}
+	it.Action = action
+	ms.items[it.Card+"\x00"+it.Label] = it
+	return nil
+}
+
+// Remove deletes the item with the given card and label if present.
+func (ms *MenuSet) Remove(card, label string) {
+	delete(ms.items, card+"\x00"+label)
+}
+
+// RemoveCard deletes every item on the named card (an ancestor's veto).
+func (ms *MenuSet) RemoveCard(card string) {
+	for k := range ms.items {
+		if strings.HasPrefix(k, card+"\x00") {
+			delete(ms.items, k)
+		}
+	}
+}
+
+// Len returns the number of items.
+func (ms *MenuSet) Len() int { return len(ms.items) }
+
+// Lookup finds the item with the given card and label.
+func (ms *MenuSet) Lookup(card, label string) (MenuItem, bool) {
+	it, ok := ms.items[card+"\x00"+label]
+	return it, ok
+}
+
+// Cards returns card names ordered by priority then name.
+func (ms *MenuSet) Cards() []string {
+	prio := map[string]int{}
+	for _, it := range ms.items {
+		if p, ok := prio[it.Card]; !ok || it.CardPrio < p {
+			prio[it.Card] = it.CardPrio
+		}
+	}
+	cards := make([]string, 0, len(prio))
+	for c := range prio {
+		cards = append(cards, c)
+	}
+	sort.Slice(cards, func(i, j int) bool {
+		if prio[cards[i]] != prio[cards[j]] {
+			return prio[cards[i]] < prio[cards[j]]
+		}
+		return cards[i] < cards[j]
+	})
+	return cards
+}
+
+// Items returns the items of one card ordered by priority then label.
+func (ms *MenuSet) Items(card string) []MenuItem {
+	var out []MenuItem
+	for _, it := range ms.items {
+		if it.Card == card {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ItemPrio != out[j].ItemPrio {
+			return out[i].ItemPrio < out[j].ItemPrio
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// Select runs the action of the item addressed by "Card/Label" (priorities
+// in the path are ignored on selection). It reports whether an item ran.
+func (ms *MenuSet) Select(path string) bool {
+	card, label := path, ""
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		card, label = path[:i], path[i+1:]
+	}
+	card = stripPrio(card)
+	label = stripPrio(label)
+	it, ok := ms.items[card+"\x00"+label]
+	if !ok || it.Action == nil {
+		return false
+	}
+	it.Action()
+	return true
+}
+
+// String renders the menu structure for dumps and tests.
+func (ms *MenuSet) String() string {
+	var b strings.Builder
+	for _, card := range ms.Cards() {
+		fmt.Fprintf(&b, "[%s]", card)
+		for i, it := range ms.Items(card) {
+			if i > 0 {
+				b.WriteByte(' ')
+			} else {
+				b.WriteByte(' ')
+			}
+			b.WriteString(it.Label)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseMenuPath parses "Card~prio/Label~prio" (priorities optional,
+// defaulting to 50).
+func ParseMenuPath(path string) (MenuItem, error) {
+	slash := strings.IndexByte(path, '/')
+	if slash < 0 {
+		return MenuItem{}, fmt.Errorf("core: menu path %q lacks '/'", path)
+	}
+	card, cardPrio, err := splitPrio(path[:slash])
+	if err != nil {
+		return MenuItem{}, err
+	}
+	label, itemPrio, err := splitPrio(path[slash+1:])
+	if err != nil {
+		return MenuItem{}, err
+	}
+	if card == "" || label == "" {
+		return MenuItem{}, fmt.Errorf("core: menu path %q has empty segment", path)
+	}
+	return MenuItem{Card: card, CardPrio: cardPrio, Label: label, ItemPrio: itemPrio}, nil
+}
+
+func splitPrio(seg string) (name string, prio int, err error) {
+	prio = 50
+	if i := strings.IndexByte(seg, '~'); i >= 0 {
+		p, perr := strconv.Atoi(seg[i+1:])
+		if perr != nil {
+			return "", 0, fmt.Errorf("core: bad menu priority in %q", seg)
+		}
+		return seg[:i], p, nil
+	}
+	return seg, prio, nil
+}
+
+func stripPrio(seg string) string {
+	if i := strings.IndexByte(seg, '~'); i >= 0 {
+		return seg[:i]
+	}
+	return seg
+}

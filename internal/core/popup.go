@@ -1,0 +1,171 @@
+package core
+
+import (
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+// Pop-up menus: Andrew menus were posted from a mouse button, displaying
+// the negotiated card/item structure as an overlay. The interaction
+// manager owns the popup because menus are arbitrated at the root
+// (paper §3: "how to arbitrate the display of menus").
+//
+// Right-button down posts the menu for the view under the pointer (which
+// receives the input focus first, so its menus are the ones negotiated);
+// a subsequent left/right-button down selects the item under the pointer
+// or dismisses the popup.
+
+const (
+	popupItemH = 16
+	popupPad   = 6
+	popupGapW  = 12
+)
+
+// popupState is the visible popup, when any.
+type popupState struct {
+	at    graphics.Point
+	rect  graphics.Rect
+	cards []string
+	// items[i] lists card i's items; rows are addressed (card, item).
+	items [][]MenuItem
+}
+
+// PopupVisible reports whether a menu popup is on screen.
+func (im *InteractionManager) PopupVisible() bool { return im.popup != nil }
+
+// PostPopup negotiates menus for the view under p and shows the popup.
+func (im *InteractionManager) PostPopup(p graphics.Point) {
+	// Give the view under the pointer the focus (and thus the menus).
+	if im.child != nil {
+		if target := im.child.Hit(wsys.MouseHover, p.Sub(im.child.Bounds().Min), 0); target != nil {
+			im.WantInputFocus(target)
+		}
+	}
+	im.RebuildMenus()
+	ms := im.menus
+	if ms.Len() == 0 {
+		return
+	}
+	st := &popupState{at: p, cards: ms.Cards()}
+	maxRows := 0
+	width := popupPad
+	f := graphics.Open(graphics.FontDesc{Family: "andy", Size: 10})
+	for _, card := range st.cards {
+		items := ms.Items(card)
+		st.items = append(st.items, items)
+		if len(items)+1 > maxRows {
+			maxRows = len(items) + 1
+		}
+		colW := f.TextWidth(card)
+		for _, it := range items {
+			if w := f.TextWidth(it.Label); w > colW {
+				colW = w
+			}
+		}
+		width += colW + popupGapW
+	}
+	h := maxRows*popupItemH + 2*popupPad
+	// Clamp on screen.
+	winW, winH := im.win.Size()
+	x, y := p.X, p.Y
+	if x+width > winW {
+		x = winW - width
+	}
+	if y+h > winH {
+		y = winH - h
+	}
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	st.rect = graphics.XYWH(x, y, width, h)
+	im.popup = st
+	im.drawPopup()
+}
+
+// drawPopup paints the overlay directly (popups bypass the update cycle,
+// as transient window-system furniture did).
+func (im *InteractionManager) drawPopup() {
+	st := im.popup
+	if st == nil {
+		return
+	}
+	d := im.Drawable()
+	d.ClearRect(st.rect)
+	d.SetValue(graphics.Black)
+	d.DrawRect(st.rect)
+	d.SetFontDesc(graphics.FontDesc{Family: "andy", Size: 10, Style: graphics.Bold})
+	f := d.Font()
+	x := st.rect.Min.X + popupPad
+	for i, card := range st.cards {
+		y := st.rect.Min.Y + popupPad
+		d.SetFontDesc(graphics.FontDesc{Family: "andy", Size: 10, Style: graphics.Bold})
+		d.DrawString(graphics.Pt(x, y+f.Ascent()), card)
+		colW := d.TextWidth(card)
+		d.SetFontDesc(graphics.FontDesc{Family: "andy", Size: 10})
+		for _, it := range st.items[i] {
+			y += popupItemH
+			d.DrawString(graphics.Pt(x, y+f.Ascent()), it.Label)
+			if w := d.TextWidth(it.Label); w > colW {
+				colW = w
+			}
+		}
+		x += colW + popupGapW
+	}
+	_ = im.win.Graphic().Flush()
+}
+
+// popupHit maps a point to the item under it, if any.
+func (st *popupState) hit(p graphics.Point) (MenuItem, bool) {
+	if !p.In(st.rect) {
+		return MenuItem{}, false
+	}
+	f := graphics.Open(graphics.FontDesc{Family: "andy", Size: 10})
+	x := st.rect.Min.X + popupPad
+	for i, card := range st.cards {
+		colW := f.TextWidth(card)
+		for _, it := range st.items[i] {
+			if w := f.TextWidth(it.Label); w > colW {
+				colW = w
+			}
+		}
+		if p.X >= x && p.X < x+colW+popupGapW {
+			row := (p.Y - st.rect.Min.Y - popupPad) / popupItemH
+			if row >= 1 && row-1 < len(st.items[i]) {
+				return st.items[i][row-1], true
+			}
+			return MenuItem{}, false
+		}
+		x += colW + popupGapW
+	}
+	return MenuItem{}, false
+}
+
+// dismissPopup removes the overlay and repaints what it covered.
+func (im *InteractionManager) dismissPopup() {
+	im.popup = nil
+	if im.child != nil {
+		im.pending[im.child] = true
+		im.FlushUpdates()
+	}
+}
+
+// handlePopupMouse consumes mouse events while a popup is visible. It
+// returns true when the event was the popup's.
+func (im *InteractionManager) handlePopupMouse(ev wsys.Event) bool {
+	if im.popup == nil {
+		return false
+	}
+	if ev.Action != wsys.MouseDown {
+		return true // swallow drags/ups while posted
+	}
+	it, ok := im.popup.hit(ev.Pos)
+	im.dismissPopup()
+	if ok && it.Action != nil {
+		it.Action()
+		im.FlushUpdates()
+	}
+	return true
+}

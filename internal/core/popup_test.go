@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+func rightClick(x, y int) wsys.Event {
+	return wsys.Event{Kind: wsys.MouseEvent, Action: wsys.MouseDown,
+		Button: wsys.RightButton, Pos: graphics.Pt(x, y), Clicks: 1}
+}
+
+func TestPopupPostsAndRenders(t *testing.T) {
+	im, win := newTestIM(t)
+	v := newNoteView()
+	v.acceptMouse = true
+	im.SetChild(v)
+	im.FullRedraw()
+	before := win.Snapshot()
+
+	win.Inject(rightClick(30, 20))
+	im.DrainEvents()
+	if !im.PopupVisible() {
+		t.Fatal("popup not visible")
+	}
+	after := win.Snapshot()
+	if before.Equal(after) {
+		t.Fatal("popup drew nothing")
+	}
+	// The menus came from the view under the pointer.
+	if _, ok := im.Menus().Lookup("Note", "Clear"); !ok {
+		t.Fatalf("menus = %s", im.Menus())
+	}
+}
+
+func TestPopupSelectRunsAction(t *testing.T) {
+	im, win := newTestIM(t)
+	v := newNoteView()
+	v.acceptMouse = true
+	im.SetChild(v)
+	im.FullRedraw()
+
+	win.Inject(rightClick(10, 10))
+	im.DrainEvents()
+	if !im.PopupVisible() {
+		t.Fatal("popup missing")
+	}
+	ran := false
+	_ = im.Menus().Add("Note~10/Clear~10", func() { ran = true })
+	im.popup.items = [][]MenuItem{im.Menus().Items("Note")} // refresh captured actions
+	// The single card's first item sits one row below the card title.
+	r := im.popup.rect
+	win.Inject(wsys.Click(r.Min.X+popupPad+2, r.Min.Y+popupPad+popupItemH+2))
+	im.DrainEvents()
+	if im.PopupVisible() {
+		t.Fatal("popup not dismissed")
+	}
+	if !ran {
+		t.Fatal("menu action did not run")
+	}
+}
+
+func TestPopupDismissOnMissClick(t *testing.T) {
+	im, win := newTestIM(t)
+	v := newNoteView()
+	v.acceptMouse = true
+	im.SetChild(v)
+	im.FullRedraw()
+	win.Inject(rightClick(10, 10))
+	im.DrainEvents()
+	hitsAfterPost := len(v.mouseHits) // PostPopup hovers once to find the view
+	// Click far away: dismiss, run nothing, and the view repaints.
+	win.Inject(wsys.Click(119, 59))
+	im.DrainEvents()
+	if im.PopupVisible() {
+		t.Fatal("popup survived miss click")
+	}
+	// The mouse down that dismissed the popup is not delivered to views.
+	if len(v.mouseHits) != hitsAfterPost {
+		t.Fatalf("dismiss click leaked: %v", v.mouseHits)
+	}
+}
+
+func TestPopupWithNoMenusDoesNotPost(t *testing.T) {
+	im, win := newTestIM(t)
+	im.SetChild(newSplitView(newNoteView(), newNoteView())) // contributes nothing
+	im.FullRedraw()
+	win.Inject(rightClick(55, 10))
+	im.DrainEvents()
+	// splitView's children contribute Note menus only when hit accepts;
+	// the divider region posts the split's (empty) chain. Either way a
+	// popup with zero items must not post.
+	if im.PopupVisible() && im.Menus().Len() == 0 {
+		t.Fatal("empty popup posted")
+	}
+}
+
+func TestPopupClampedToWindow(t *testing.T) {
+	im, win := newTestIM(t)
+	v := newNoteView()
+	v.acceptMouse = true
+	im.SetChild(v)
+	im.FullRedraw()
+	win.Inject(rightClick(119, 59)) // bottom-right corner of the 120x60 window
+	im.DrainEvents()
+	if !im.PopupVisible() {
+		t.Fatal("popup missing")
+	}
+	r := im.popup.rect
+	if r.Max.X > 120 || r.Max.Y > 60 || r.Min.X < 0 || r.Min.Y < 0 {
+		t.Fatalf("popup rect %v escapes the window", r)
+	}
+}

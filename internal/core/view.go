@@ -1,0 +1,244 @@
+package core
+
+import (
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+// View is the transient, interactive half of a component (paper §§2-3).
+// Views form a strict containment tree: each view is a rectangle entirely
+// inside its parent, and the parent holds authority over how events are
+// distributed to its children. Nothing about a view survives the
+// application; persistent state belongs in data objects.
+//
+// Implementations embed BaseView, which supplies the tree plumbing and
+// forwards the upward protocol (update requests, focus requests, menu and
+// cursor negotiation, messages) toward the interaction manager at the
+// root.
+type View interface {
+	// ViewName is the class-registry name of this view type.
+	ViewName() string
+	// Self returns the outermost object (the value registered with
+	// InitView), never the embedded base.
+	Self() View
+
+	// Parent returns the containing view, nil at the root.
+	Parent() View
+	// SetParent links or unlinks (nil) the view into a tree.
+	SetParent(p View)
+
+	// Bounds returns the view's rectangle in its parent's coordinates.
+	Bounds() graphics.Rect
+	// SetBounds allocates screen space; parents call this during layout.
+	SetBounds(r graphics.Rect)
+	// DesiredSize lets a child negotiate its preferred size given hints
+	// (the space the parent is prepared to offer; hints may be 0 meaning
+	// "whatever you want").
+	DesiredSize(wHint, hHint int) (w, h int)
+
+	// SetDataObject attaches the data object this view displays and
+	// registers the view as an observer. Views that are pure interface
+	// (scroll bars) never get one.
+	SetDataObject(d DataObject)
+	// DataObject returns the attached data object, or nil.
+	DataObject() DataObject
+	// ObservedChanged implements Observer: the delayed-update entry point.
+	ObservedChanged(obj DataObject, ch Change)
+
+	// FullUpdate redraws the entire allocated rectangle onto d, whose
+	// local (0,0) is the view's top-left corner.
+	FullUpdate(d *graphics.Drawable)
+	// Update repairs the image after data changes; the default redraws
+	// fully. Called by the interaction manager's update cycle, never
+	// directly by the view itself (the delayed-update discipline).
+	Update(d *graphics.Drawable)
+	// DrawOverlay runs after all descendants have updated, letting a
+	// parent repaint material it keeps on top of its children (e.g. the
+	// frame's divider).
+	DrawOverlay(d *graphics.Drawable)
+
+	// Hit offers a mouse event at p (local coordinates). The view decides
+	// — by its own semantics, not by who is visually on top — whether to
+	// consume it, pass it to a child (translating coordinates), or refuse
+	// it by returning nil. It returns the view that consumed the event.
+	Hit(action wsys.MouseAction, p graphics.Point, clicks int) View
+	// Key offers a key event to the view holding the input focus; true
+	// means consumed.
+	Key(ev wsys.Event) bool
+
+	// Upward protocol. Default implementations forward to the parent;
+	// the interaction manager terminates each chain.
+
+	// WantUpdate requests that v be repainted during the next update
+	// cycle (posted up the tree, coming back down as an update event).
+	WantUpdate(v View)
+	// WantInputFocus asks that v receive subsequent key events.
+	WantInputFocus(v View)
+	// ReceiveInputFocus notifies the view it now has the focus.
+	ReceiveInputFocus()
+	// LoseInputFocus notifies the view it no longer has the focus.
+	LoseInputFocus()
+	// PostMenus lets the view contribute items to ms and passes the set
+	// up so ancestors can add or veto (menu negotiation).
+	PostMenus(ms *MenuSet)
+	// PostCursor proposes the cursor shape while the pointer is over the
+	// requesting view.
+	PostCursor(shape wsys.CursorShape)
+	// PostMessage sends a line for the message area (frames intercept it;
+	// the interaction manager is the fallback).
+	PostMessage(msg string)
+}
+
+// BaseView supplies default behavior for all of View except drawing, which
+// concrete views override. The zero value is unusable: call InitView.
+type BaseView struct {
+	self   View
+	parent View
+	bounds graphics.Rect
+	data   DataObject
+	name   string
+}
+
+// InitView wires the embedding view. self must be the outermost pointer.
+func (b *BaseView) InitView(self View, name string) {
+	b.self = self
+	b.name = name
+}
+
+// ViewName implements View.
+func (b *BaseView) ViewName() string { return b.name }
+
+// Self implements View.
+func (b *BaseView) Self() View { return b.self }
+
+// Parent implements View.
+func (b *BaseView) Parent() View { return b.parent }
+
+// SetParent implements View.
+func (b *BaseView) SetParent(p View) { b.parent = p }
+
+// Bounds implements View.
+func (b *BaseView) Bounds() graphics.Rect { return b.bounds }
+
+// SetBounds implements View.
+func (b *BaseView) SetBounds(r graphics.Rect) { b.bounds = r }
+
+// DesiredSize implements View; the default accepts whatever is offered.
+func (b *BaseView) DesiredSize(wHint, hHint int) (int, int) { return wHint, hHint }
+
+// SetDataObject implements View, registering the view as observer.
+func (b *BaseView) SetDataObject(d DataObject) {
+	if b.data != nil {
+		b.data.RemoveObserver(b.self)
+	}
+	b.data = d
+	if d != nil {
+		d.AddObserver(b.self)
+	}
+}
+
+// DataObject implements View.
+func (b *BaseView) DataObject() DataObject { return b.data }
+
+// ObservedChanged implements View: any data change schedules a repaint of
+// this view. Views with incremental redraw override this to record what
+// changed and repair only that.
+func (b *BaseView) ObservedChanged(obj DataObject, ch Change) {
+	b.WantUpdate(b.self)
+}
+
+// FullUpdate implements View; the base draws nothing.
+func (b *BaseView) FullUpdate(d *graphics.Drawable) {}
+
+// Update implements View; the default repaints fully.
+func (b *BaseView) Update(d *graphics.Drawable) { b.self.FullUpdate(d) }
+
+// DrawOverlay implements View; the base has no overlay.
+func (b *BaseView) DrawOverlay(d *graphics.Drawable) {}
+
+// Hit implements View; the base refuses all mouse events.
+func (b *BaseView) Hit(action wsys.MouseAction, p graphics.Point, clicks int) View {
+	return nil
+}
+
+// Key implements View; the base consumes nothing.
+func (b *BaseView) Key(ev wsys.Event) bool { return false }
+
+// WantUpdate implements View by forwarding up the tree.
+func (b *BaseView) WantUpdate(v View) {
+	if b.parent != nil {
+		b.parent.WantUpdate(v)
+	}
+}
+
+// WantInputFocus implements View by forwarding up the tree.
+func (b *BaseView) WantInputFocus(v View) {
+	if b.parent != nil {
+		b.parent.WantInputFocus(v)
+	}
+}
+
+// ReceiveInputFocus implements View.
+func (b *BaseView) ReceiveInputFocus() {}
+
+// LoseInputFocus implements View.
+func (b *BaseView) LoseInputFocus() {}
+
+// PostMenus implements View by passing the set up unchanged.
+func (b *BaseView) PostMenus(ms *MenuSet) {
+	if b.parent != nil {
+		b.parent.PostMenus(ms)
+	}
+}
+
+// PostCursor implements View by forwarding up the tree.
+func (b *BaseView) PostCursor(shape wsys.CursorShape) {
+	if b.parent != nil {
+		b.parent.PostCursor(shape)
+	}
+}
+
+// PostMessage implements View by forwarding up the tree.
+func (b *BaseView) PostMessage(msg string) {
+	if b.parent != nil {
+		b.parent.PostMessage(msg)
+	}
+}
+
+// AbsOrigin returns v's top-left corner in root (window) coordinates by
+// accumulating bounds up the parent chain.
+func AbsOrigin(v View) graphics.Point {
+	var p graphics.Point
+	for cur := v; cur != nil; cur = cur.Parent() {
+		p = p.Add(cur.Bounds().Min)
+	}
+	return p
+}
+
+// Depth returns the number of ancestors above v.
+func Depth(v View) int {
+	n := 0
+	for cur := v.Parent(); cur != nil; cur = cur.Parent() {
+		n++
+	}
+	return n
+}
+
+// Root returns the topmost ancestor of v (v itself if unparented).
+func Root(v View) View {
+	cur := v
+	for cur.Parent() != nil {
+		cur = cur.Parent()
+	}
+	return cur
+}
+
+// IsAncestor reports whether a is v or an ancestor of v.
+func IsAncestor(a, v View) bool {
+	for cur := v; cur != nil; cur = cur.Parent() {
+		if cur == a || cur.Self() == a {
+			return true
+		}
+	}
+	return false
+}

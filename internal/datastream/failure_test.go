@@ -1,0 +1,160 @@
+package datastream
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// failAfterN fails every write after the first n bytes have been accepted.
+type failAfterN struct {
+	n       int
+	written int
+}
+
+var errDisk = errors.New("simulated disk full")
+
+func (w *failAfterN) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		ok := w.n - w.written
+		if ok < 0 {
+			ok = 0
+		}
+		w.written += ok
+		return ok, errDisk
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestWriterSurfacesDeviceErrors(t *testing.T) {
+	// The bufio layer may defer the failure; it must surface by Close at
+	// the latest, and once seen the writer stays failed.
+	for _, budget := range []int{0, 10, 100, 5000} {
+		w := NewWriter(&failAfterN{n: budget})
+		var firstErr error
+		for i := 0; i < 200 && firstErr == nil; i++ {
+			if _, err := w.Begin("text"); err != nil {
+				firstErr = err
+				break
+			}
+			if err := w.WriteText(strings.Repeat("payload ", 10)); err != nil {
+				firstErr = err
+				break
+			}
+			if err := w.End(); err != nil {
+				firstErr = err
+				break
+			}
+		}
+		if firstErr == nil {
+			firstErr = w.Close()
+		}
+		if !errors.Is(firstErr, errDisk) {
+			t.Fatalf("budget %d: err = %v", budget, firstErr)
+		}
+		// Sticky: all later operations fail fast with the same error.
+		if _, err := w.Begin("text"); !errors.Is(err, errDisk) {
+			t.Fatalf("budget %d: post-failure Begin err = %v", budget, err)
+		}
+	}
+}
+
+func TestReaderToleratesArbitraryJunk(t *testing.T) {
+	// Any byte soup must produce either tokens or an error — never a hang
+	// or panic. (A coarse fuzz over deterministic seeds.)
+	seeds := []string{
+		"\\", "\\\\", "\\begindata", "\\begindata{", "\\begindata{a,",
+		"\\begindata{a,1}", "\x00\x01\x02", "normal\nlines\n",
+		"\\view{x}", "\\enddata{,}", strings.Repeat("\\", 100),
+		"a\\", "a\\\nb", "\\u{bad}", "\\begindata{a,1}\n\\begindata{a,1}\n",
+	}
+	for _, s := range seeds {
+		r := NewReader(strings.NewReader(s))
+		for i := 0; i < 1000; i++ {
+			_, err := r.Next()
+			if err != nil {
+				break
+			}
+		}
+	}
+}
+
+func TestDeeplyNestedStreams(t *testing.T) {
+	// 500 levels of nesting: writer and reader agree, depth tracks.
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	const depth = 500
+	for i := 0; i < depth; i++ {
+		if _, err := w.Begin("box"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Depth() != depth {
+		t.Fatalf("writer depth = %d", w.Depth())
+	}
+	for i := 0; i < depth; i++ {
+		if err := w.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(strings.NewReader(sb.String()))
+	maxDepth := 0
+	for {
+		_, err := r.Next()
+		if err != nil {
+			break
+		}
+		if r.Depth() > maxDepth {
+			maxDepth = r.Depth()
+		}
+	}
+	if maxDepth != depth {
+		t.Fatalf("reader max depth = %d", maxDepth)
+	}
+}
+
+func TestManySiblingsRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	if _, err := w.Begin("doc"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	for i := 0; i < n; i++ {
+		id, err := w.Begin("child")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteText(fmt.Sprintf("child %d", id)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(strings.NewReader(sb.String()))
+	begins := 0
+	for {
+		tok, err := r.Next()
+		if err != nil {
+			break
+		}
+		if tok.Kind == TokBegin && tok.Type == "child" {
+			begins++
+		}
+	}
+	if begins != n {
+		t.Fatalf("children = %d", begins)
+	}
+}

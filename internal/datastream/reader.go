@@ -1,0 +1,282 @@
+package datastream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TokenKind discriminates reader tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokBegin TokenKind = iota // \begindata{Type,ID}
+	TokEnd                    // \enddata{Type,ID}
+	TokView                   // \view{Type,ID}
+	TokText                   // one logical line of decoded payload text
+)
+
+// String names the kind.
+func (k TokenKind) String() string {
+	switch k {
+	case TokBegin:
+		return "begin"
+	case TokEnd:
+		return "end"
+	case TokView:
+		return "view"
+	case TokText:
+		return "text"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// Token is one event from the stream. Text tokens carry one decoded
+// logical line WITHOUT its trailing newline; continuation-wrapped physical
+// lines have already been joined.
+type Token struct {
+	Kind TokenKind
+	Type string
+	ID   int
+	Text string
+}
+
+// Reader parses external representations. It validates marker nesting as
+// it goes and supports skipping a whole object without parsing its
+// payload.
+type Reader struct {
+	br    *bufio.Reader
+	stack []openObj
+	line  int
+	// peeked holds a token pushed back by Peek.
+	peeked *Token
+}
+
+// NewReader returns a Reader consuming r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// Line returns the current physical line number (1-based, after the last
+// token read).
+func (r *Reader) Line() int { return r.line }
+
+// Depth returns how many objects are currently open.
+func (r *Reader) Depth() int { return len(r.stack) }
+
+// Next returns the next token, or io.EOF when the stream ends. At EOF any
+// still-open object is reported as ErrBadNesting.
+func (r *Reader) Next() (Token, error) {
+	if r.peeked != nil {
+		t := *r.peeked
+		r.peeked = nil
+		return t, nil
+	}
+	return r.next()
+}
+
+// Peek returns the next token without consuming it.
+func (r *Reader) Peek() (Token, error) {
+	if r.peeked == nil {
+		t, err := r.next()
+		if err != nil {
+			return t, err
+		}
+		r.peeked = &t
+	}
+	return *r.peeked, nil
+}
+
+func (r *Reader) next() (Token, error) {
+	raw, err := r.readPhysical()
+	if err != nil {
+		if err == io.EOF && len(r.stack) > 0 {
+			top := r.stack[len(r.stack)-1]
+			return Token{}, fmt.Errorf("%w: EOF with %s,%d open (line %d)",
+				ErrBadNesting, top.typ, top.id, r.line)
+		}
+		return Token{}, err
+	}
+	switch {
+	case strings.HasPrefix(raw, `\begindata{`):
+		typ, id, err := parseMarker(raw, `\begindata{`)
+		if err != nil {
+			return Token{}, fmt.Errorf("%w at line %d: %v", ErrSyntax, r.line, err)
+		}
+		r.stack = append(r.stack, openObj{typ, id})
+		return Token{Kind: TokBegin, Type: typ, ID: id}, nil
+	case strings.HasPrefix(raw, `\enddata{`):
+		typ, id, err := parseMarker(raw, `\enddata{`)
+		if err != nil {
+			return Token{}, fmt.Errorf("%w at line %d: %v", ErrSyntax, r.line, err)
+		}
+		if len(r.stack) == 0 {
+			return Token{}, fmt.Errorf("%w: enddata{%s,%d} with nothing open (line %d)",
+				ErrBadNesting, typ, id, r.line)
+		}
+		top := r.stack[len(r.stack)-1]
+		if top.typ != typ || top.id != id {
+			return Token{}, fmt.Errorf("%w: enddata{%s,%d} closes begindata{%s,%d} (line %d)",
+				ErrBadNesting, typ, id, top.typ, top.id, r.line)
+		}
+		r.stack = r.stack[:len(r.stack)-1]
+		return Token{Kind: TokEnd, Type: typ, ID: id}, nil
+	case strings.HasPrefix(raw, `\view{`):
+		typ, id, err := parseMarker(raw, `\view{`)
+		if err != nil {
+			return Token{}, fmt.Errorf("%w at line %d: %v", ErrSyntax, r.line, err)
+		}
+		return Token{Kind: TokView, Type: typ, ID: id}, nil
+	}
+	// Payload text: decode escapes, joining continuation lines.
+	var b strings.Builder
+	line := raw
+	for {
+		cont, err := decodeInto(&b, line)
+		if err != nil {
+			return Token{}, fmt.Errorf("%w at line %d: %v", ErrSyntax, r.line, err)
+		}
+		if !cont {
+			break
+		}
+		line, err = r.readPhysical()
+		if err != nil {
+			if err == io.EOF {
+				return Token{}, fmt.Errorf("%w: EOF in continuation (line %d)", ErrSyntax, r.line)
+			}
+			return Token{}, err
+		}
+	}
+	return Token{Kind: TokText, Text: b.String()}, nil
+}
+
+// readPhysical reads one physical line without its newline.
+func (r *Reader) readPhysical() (string, error) {
+	s, err := r.br.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && s != "" {
+			r.line++
+			return strings.TrimSuffix(s, "\n"), nil
+		}
+		return "", err
+	}
+	r.line++
+	return strings.TrimSuffix(s, "\n"), nil
+}
+
+// decodeInto decodes one physical payload line into b. It returns
+// cont=true when the line ended with a continuation backslash.
+func decodeInto(b *strings.Builder, line string) (cont bool, err error) {
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		if i == len(line)-1 {
+			return true, nil // continuation
+		}
+		switch line[i+1] {
+		case '\\':
+			b.WriteByte('\\')
+			i += 2
+		case 'u':
+			j := strings.IndexByte(line[i+2:], ';')
+			if j < 0 {
+				return false, fmt.Errorf("unterminated \\u escape")
+			}
+			code, perr := strconv.ParseInt(line[i+2:i+2+j], 16, 32)
+			if perr != nil {
+				return false, fmt.Errorf("bad \\u escape %q", line[i:i+2+j+1])
+			}
+			b.WriteRune(rune(code))
+			i += 2 + j + 1
+		default:
+			return false, fmt.Errorf("unknown escape \\%c", line[i+1])
+		}
+	}
+	return false, nil
+}
+
+// parseMarker parses `PREFIXtype,id}` given the prefix including '{'.
+func parseMarker(line, prefix string) (typ string, id int, err error) {
+	body := line[len(prefix):]
+	if !strings.HasSuffix(body, "}") {
+		return "", 0, fmt.Errorf("missing closing brace in %q", line)
+	}
+	body = body[:len(body)-1]
+	comma := strings.LastIndexByte(body, ',')
+	if comma < 0 {
+		return "", 0, fmt.Errorf("missing comma in %q", line)
+	}
+	typ = strings.TrimSpace(body[:comma])
+	idStr := strings.TrimSpace(body[comma+1:])
+	if err := checkTypeName(typ); err != nil {
+		return "", 0, err
+	}
+	id, err = strconv.Atoi(idStr)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad id %q", idStr)
+	}
+	return typ, id, nil
+}
+
+// SkipObject consumes tokens until the object opened by the given begin
+// token is closed, without interpreting any payload. This is the paper's
+// requirement that "it must be possible to find all the data associated
+// with an object without actually parsing the data": an application that
+// cannot (yet) handle a type still skips it cleanly — or hands the marker
+// range to the class system to demand-load a handler.
+func (r *Reader) SkipObject(begin Token) error {
+	if begin.Kind != TokBegin {
+		return fmt.Errorf("%w: SkipObject needs a begin token", ErrSyntax)
+	}
+	depth := 1
+	for depth > 0 {
+		t, err := r.Next()
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("%w: EOF while skipping %s,%d", ErrBadNesting, begin.Type, begin.ID)
+			}
+			return err
+		}
+		switch t.Kind {
+		case TokBegin:
+			depth++
+		case TokEnd:
+			depth--
+		}
+	}
+	return nil
+}
+
+// CollectText reads consecutive text tokens, returning the concatenated
+// logical lines (newline separated) and the first non-text token, which is
+// left un-consumed for the caller.
+func (r *Reader) CollectText() (string, error) {
+	var b strings.Builder
+	first := true
+	for {
+		t, err := r.Peek()
+		if err != nil {
+			return b.String(), err
+		}
+		if t.Kind != TokText {
+			return b.String(), nil
+		}
+		if _, err := r.Next(); err != nil {
+			return b.String(), err
+		}
+		if !first {
+			b.WriteByte('\n')
+		}
+		first = false
+		b.WriteString(t.Text)
+	}
+}

@@ -1,0 +1,559 @@
+// Package drawing implements the vector drawing component: a display list
+// of stroked and filled items (lines, rectangles, ellipses, polylines,
+// text labels) with grouping, z-order, hit testing, and — per the paper's
+// "the drawing component will soon support this feature" — embedded
+// components inside the drawing.
+package drawing
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/graphics"
+)
+
+// ErrBadItem reports malformed drawing items.
+var ErrBadItem = errors.New("drawing: bad item")
+
+// ItemKind discriminates drawing items.
+type ItemKind int
+
+// Item kinds.
+const (
+	Line ItemKind = iota
+	Rectangle
+	Ellipse
+	Polyline
+	Label
+	Group
+	Component // an embedded data object displayed inside the drawing
+)
+
+// Item is one display-list element. Which fields are meaningful depends
+// on Kind; Children is used by Group, Obj/ViewName by Component.
+type Item struct {
+	Kind     ItemKind
+	P1, P2   graphics.Point // Line endpoints; bounding box corners otherwise
+	Pts      []graphics.Point
+	Text     string
+	Font     graphics.FontDesc
+	Width    int  // stroke width
+	Filled   bool // Rectangle/Ellipse fill
+	Shade    graphics.Pixel
+	Children []*Item
+	Obj      core.DataObject
+	ViewName string
+}
+
+// Bounds returns the item's bounding rectangle.
+func (it *Item) Bounds() graphics.Rect {
+	switch it.Kind {
+	case Line:
+		return graphics.Rect{Min: it.P1, Max: it.P2}.Canon().Inset(-it.Width)
+	case Polyline:
+		var b graphics.Rect
+		for i, p := range it.Pts {
+			r := graphics.Rect{Min: p, Max: p.Add(graphics.Pt(1, 1))}
+			if i == 0 {
+				b = r
+			} else {
+				b = b.Union(r)
+			}
+		}
+		return b.Inset(-it.Width)
+	case Label:
+		f := graphics.Open(it.Font)
+		return graphics.XYWH(it.P1.X, it.P1.Y-f.Ascent(), f.TextWidth(it.Text), f.Height())
+	case Group:
+		var b graphics.Rect
+		for i, c := range it.Children {
+			if i == 0 {
+				b = c.Bounds()
+			} else {
+				b = b.Union(c.Bounds())
+			}
+		}
+		return b
+	default:
+		return graphics.Rect{Min: it.P1, Max: it.P2}.Canon()
+	}
+}
+
+// Translate moves the item (and any children) by d.
+func (it *Item) Translate(d graphics.Point) {
+	it.P1 = it.P1.Add(d)
+	it.P2 = it.P2.Add(d)
+	for i := range it.Pts {
+		it.Pts[i] = it.Pts[i].Add(d)
+	}
+	for _, c := range it.Children {
+		c.Translate(d)
+	}
+}
+
+// Hits reports whether p is "on" the item, with slop pixels of tolerance
+// (the line-over-text scenario of paper §3 needs tolerant line hits).
+func (it *Item) Hits(p graphics.Point, slop int) bool {
+	switch it.Kind {
+	case Line:
+		return distPointSeg(p, it.P1, it.P2) <= slop+it.Width/2
+	case Polyline:
+		for i := 0; i+1 < len(it.Pts); i++ {
+			if distPointSeg(p, it.Pts[i], it.Pts[i+1]) <= slop+it.Width/2 {
+				return true
+			}
+		}
+		return false
+	case Group:
+		for _, c := range it.Children {
+			if c.Hits(p, slop) {
+				return true
+			}
+		}
+		return false
+	default:
+		return p.In(it.Bounds().Inset(-slop))
+	}
+}
+
+// distPointSeg returns the (approximate, integer) distance from p to the
+// segment ab.
+func distPointSeg(p, a, b graphics.Point) int {
+	abx, aby := b.X-a.X, b.Y-a.Y
+	apx, apy := p.X-a.X, p.Y-a.Y
+	den := abx*abx + aby*aby
+	if den == 0 {
+		return isqrt(apx*apx + apy*apy)
+	}
+	t := apx*abx + apy*aby
+	if t < 0 {
+		t = 0
+	}
+	if t > den {
+		t = den
+	}
+	cx := a.X + abx*t/den
+	cy := a.Y + aby*t/den
+	dx, dy := p.X-cx, p.Y-cy
+	return isqrt(dx*dx + dy*dy)
+}
+
+func isqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	x := n
+	for y := (x + 1) / 2; y < x; y = (x + n/x) / 2 {
+		x = y
+	}
+	return x
+}
+
+// Data is the drawing data object: an ordered display list (later items
+// draw on top).
+type Data struct {
+	core.BaseData
+	items []*Item
+	reg   *class.Registry
+}
+
+// New returns an empty drawing.
+func New() *Data {
+	d := &Data{}
+	d.InitData(d, "drawing", "drawview")
+	return d
+}
+
+// SetRegistry selects the registry for embedded components on read.
+func (d *Data) SetRegistry(reg *class.Registry) { d.reg = reg }
+
+func (d *Data) registry() *class.Registry {
+	if d.reg != nil {
+		return d.reg
+	}
+	return class.Default
+}
+
+// Items returns the display list (read-only).
+func (d *Data) Items() []*Item { return d.items }
+
+// Add appends an item on top of the display list.
+func (d *Data) Add(it *Item) error {
+	if err := validate(it); err != nil {
+		return err
+	}
+	d.items = append(d.items, it)
+	d.NotifyObservers(core.Change{Kind: "add", Pos: len(d.items) - 1})
+	return nil
+}
+
+func validate(it *Item) error {
+	if it == nil {
+		return fmt.Errorf("%w: nil", ErrBadItem)
+	}
+	switch it.Kind {
+	case Polyline:
+		if len(it.Pts) < 2 {
+			return fmt.Errorf("%w: polyline with %d points", ErrBadItem, len(it.Pts))
+		}
+	case Label:
+		if it.Text == "" {
+			return fmt.Errorf("%w: empty label", ErrBadItem)
+		}
+		if it.Font.Size == 0 {
+			it.Font = graphics.DefaultFont
+		}
+	case Group:
+		if len(it.Children) == 0 {
+			return fmt.Errorf("%w: empty group", ErrBadItem)
+		}
+		for _, c := range it.Children {
+			if err := validate(c); err != nil {
+				return err
+			}
+		}
+	case Component:
+		if it.Obj == nil {
+			return fmt.Errorf("%w: component without object", ErrBadItem)
+		}
+		if it.ViewName == "" {
+			it.ViewName = it.Obj.DefaultViewName()
+		}
+	}
+	if it.Width < 1 {
+		it.Width = 1
+	}
+	return nil
+}
+
+// Remove deletes the item at index i.
+func (d *Data) Remove(i int) error {
+	if i < 0 || i >= len(d.items) {
+		return fmt.Errorf("%w: index %d of %d", ErrBadItem, i, len(d.items))
+	}
+	d.items = append(d.items[:i], d.items[i+1:]...)
+	d.NotifyObservers(core.Change{Kind: "remove", Pos: i})
+	return nil
+}
+
+// Raise moves item i to the top of the z-order.
+func (d *Data) Raise(i int) error {
+	if i < 0 || i >= len(d.items) {
+		return fmt.Errorf("%w: index %d of %d", ErrBadItem, i, len(d.items))
+	}
+	it := d.items[i]
+	d.items = append(append(d.items[:i], d.items[i+1:]...), it)
+	d.NotifyObservers(core.Change{Kind: "zorder"})
+	return nil
+}
+
+// TopAt returns the topmost item (and its index) hit by p, or nil. This
+// is the semantic decision the paper's drawing-editor example demands:
+// only the drawing component can decide whether a click selects the line
+// or the text underneath it.
+func (d *Data) TopAt(p graphics.Point, slop int) (*Item, int) {
+	for i := len(d.items) - 1; i >= 0; i-- {
+		if d.items[i].Hits(p, slop) {
+			return d.items[i], i
+		}
+	}
+	return nil, -1
+}
+
+// MoveItem translates item i by delta.
+func (d *Data) MoveItem(i int, delta graphics.Point) error {
+	if i < 0 || i >= len(d.items) {
+		return fmt.Errorf("%w: index %d of %d", ErrBadItem, i, len(d.items))
+	}
+	d.items[i].Translate(delta)
+	d.NotifyObservers(core.Change{Kind: "move", Pos: i})
+	return nil
+}
+
+// Bounds returns the union of all item bounds.
+func (d *Data) Bounds() graphics.Rect {
+	var b graphics.Rect
+	for i, it := range d.items {
+		if i == 0 {
+			b = it.Bounds()
+		} else {
+			b = b.Union(it.Bounds())
+		}
+	}
+	return b
+}
+
+// --- external representation ---
+
+// WritePayload implements core.DataObject. Items are written one per
+// line; groups nest with "group n"; components write their object inline.
+func (d *Data) WritePayload(w *datastream.Writer) error {
+	for _, it := range d.items {
+		if err := writeItem(w, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeItem(w *datastream.Writer, it *Item) error {
+	switch it.Kind {
+	case Line:
+		return w.WriteRawLine(fmt.Sprintf("line %d %d %d %d w%d s%d",
+			it.P1.X, it.P1.Y, it.P2.X, it.P2.Y, it.Width, it.Shade))
+	case Rectangle, Ellipse:
+		k := "rect"
+		if it.Kind == Ellipse {
+			k = "oval"
+		}
+		fill := 0
+		if it.Filled {
+			fill = 1
+		}
+		return w.WriteRawLine(fmt.Sprintf("%s %d %d %d %d w%d s%d f%d",
+			k, it.P1.X, it.P1.Y, it.P2.X, it.P2.Y, it.Width, it.Shade, fill))
+	case Polyline:
+		parts := make([]string, 0, len(it.Pts)+2)
+		parts = append(parts, fmt.Sprintf("poly w%d s%d", it.Width, it.Shade))
+		for _, p := range it.Pts {
+			parts = append(parts, fmt.Sprintf("%d,%d", p.X, p.Y))
+		}
+		return w.WriteText(strings.Join(parts, " "))
+	case Label:
+		return w.WriteText(fmt.Sprintf("label %d %d %s %s",
+			it.P1.X, it.P1.Y, it.Font, strconv.QuoteToASCII(it.Text)))
+	case Group:
+		if err := w.WriteRawLine(fmt.Sprintf("group %d", len(it.Children))); err != nil {
+			return err
+		}
+		for _, c := range it.Children {
+			if err := writeItem(w, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Component:
+		if err := w.WriteRawLine(fmt.Sprintf("component %d %d %d %d",
+			it.P1.X, it.P1.Y, it.P2.X, it.P2.Y)); err != nil {
+			return err
+		}
+		id, err := core.WriteObject(w, it.Obj)
+		if err != nil {
+			return err
+		}
+		return w.View(it.ViewName, id)
+	}
+	return fmt.Errorf("%w: kind %d", ErrBadItem, it.Kind)
+}
+
+// ReadPayload implements core.DataObject.
+func (d *Data) ReadPayload(r *datastream.Reader) error {
+	d.items = nil
+	var pending *Item // component awaiting its object + view
+	var groupStack []*Item
+	var addItem func(it *Item)
+	addItem = func(it *Item) {
+		if n := len(groupStack); n > 0 {
+			g := groupStack[n-1]
+			g.Children = append(g.Children, it)
+			if len(g.Children) == cap(g.Children) {
+				// The group is complete: pop it and place it wherever it
+				// belongs (possibly completing an enclosing group too).
+				groupStack = groupStack[:n-1]
+				addItem(g)
+			}
+			return
+		}
+		d.items = append(d.items, it)
+	}
+	for {
+		tok, err := r.Next()
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("%w: EOF inside drawing", datastream.ErrBadNesting)
+			}
+			return err
+		}
+		switch tok.Kind {
+		case datastream.TokEnd:
+			if len(groupStack) > 0 {
+				return fmt.Errorf("%w: unterminated group", ErrBadItem)
+			}
+			d.NotifyObservers(core.FullChange)
+			return nil
+		case datastream.TokBegin:
+			if pending == nil {
+				return fmt.Errorf("drawing: nested %s without component line", tok.Type)
+			}
+			obj, err := core.ReadObjectAfterBegin(r, d.registry(), tok)
+			if err != nil {
+				return err
+			}
+			pending.Obj = obj
+		case datastream.TokView:
+			if pending == nil || pending.Obj == nil {
+				return fmt.Errorf("drawing: \\view without component")
+			}
+			pending.ViewName = tok.Type
+			addItem(pending)
+			pending = nil
+		case datastream.TokText:
+			it, group, err := parseItem(tok.Text)
+			if err != nil {
+				return err
+			}
+			switch {
+			case group != nil:
+				groupStack = append(groupStack, group)
+			case it != nil && it.Kind == Component:
+				pending = it
+			case it != nil:
+				addItem(it)
+			}
+		}
+	}
+}
+
+// parseItem parses one item line; group lines return a group shell whose
+// Children capacity records the expected count.
+func parseItem(s string) (*Item, *Item, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, nil, nil
+	}
+	bad := func() (*Item, *Item, error) {
+		return nil, nil, fmt.Errorf("%w: %q", ErrBadItem, s)
+	}
+	atoi := func(s string) (int, bool) {
+		v, err := strconv.Atoi(s)
+		return v, err == nil
+	}
+	switch fields[0] {
+	case "line", "rect", "oval":
+		if len(fields) < 7 {
+			return bad()
+		}
+		x1, ok1 := atoi(fields[1])
+		y1, ok2 := atoi(fields[2])
+		x2, ok3 := atoi(fields[3])
+		y2, ok4 := atoi(fields[4])
+		wv, ok5 := atoi(strings.TrimPrefix(fields[5], "w"))
+		sv, ok6 := atoi(strings.TrimPrefix(fields[6], "s"))
+		if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || !ok6 {
+			return bad()
+		}
+		it := &Item{P1: graphics.Pt(x1, y1), P2: graphics.Pt(x2, y2),
+			Width: wv, Shade: graphics.Pixel(sv)}
+		switch fields[0] {
+		case "line":
+			it.Kind = Line
+		case "rect":
+			it.Kind = Rectangle
+		case "oval":
+			it.Kind = Ellipse
+		}
+		if it.Kind != Line {
+			if len(fields) < 8 {
+				return bad()
+			}
+			fv, ok := atoi(strings.TrimPrefix(fields[7], "f"))
+			if !ok {
+				return bad()
+			}
+			it.Filled = fv != 0
+		}
+		return it, nil, nil
+	case "poly":
+		if len(fields) < 5 {
+			return bad()
+		}
+		wv, ok1 := atoi(strings.TrimPrefix(fields[1], "w"))
+		sv, ok2 := atoi(strings.TrimPrefix(fields[2], "s"))
+		if !ok1 || !ok2 {
+			return bad()
+		}
+		it := &Item{Kind: Polyline, Width: wv, Shade: graphics.Pixel(sv)}
+		for _, pt := range fields[3:] {
+			xy := strings.SplitN(pt, ",", 2)
+			if len(xy) != 2 {
+				return bad()
+			}
+			x, ok1 := atoi(xy[0])
+			y, ok2 := atoi(xy[1])
+			if !ok1 || !ok2 {
+				return bad()
+			}
+			it.Pts = append(it.Pts, graphics.Pt(x, y))
+		}
+		return it, nil, nil
+	case "label":
+		if len(fields) < 5 {
+			return bad()
+		}
+		x, ok1 := atoi(fields[1])
+		y, ok2 := atoi(fields[2])
+		fd, err := graphics.ParseFontDesc(fields[3])
+		if !ok1 || !ok2 || err != nil {
+			return bad()
+		}
+		txt, err := strconv.Unquote(strings.Join(fields[4:], " "))
+		if err != nil {
+			return bad()
+		}
+		return &Item{Kind: Label, P1: graphics.Pt(x, y), Font: fd, Text: txt, Width: 1}, nil, nil
+	case "group":
+		n, ok := atoi(fields[1])
+		if len(fields) != 2 || !ok || n < 1 {
+			return bad()
+		}
+		return nil, &Item{Kind: Group, Children: make([]*Item, 0, n), Width: 1}, nil
+	case "component":
+		if len(fields) != 5 {
+			return bad()
+		}
+		x1, ok1 := atoi(fields[1])
+		y1, ok2 := atoi(fields[2])
+		x2, ok3 := atoi(fields[3])
+		y2, ok4 := atoi(fields[4])
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return bad()
+		}
+		return &Item{Kind: Component, P1: graphics.Pt(x1, y1), P2: graphics.Pt(x2, y2), Width: 1}, nil, nil
+	default:
+		return bad()
+	}
+}
+
+// Register installs the drawing data class in reg.
+func Register(reg *class.Registry) error {
+	return reg.Register(class.Info{
+		Name: "drawing",
+		New: func() any {
+			d := New()
+			d.reg = reg
+			return d
+		},
+	})
+}
+
+// WriteItem writes one display-list item in external form; exported for
+// components (like the animation) that store drawing items in their own
+// payloads. Component items require an enclosing object stream and are
+// rejected here.
+func WriteItem(w *datastream.Writer, it *Item) error {
+	if it.Kind == Component {
+		return fmt.Errorf("%w: component items need a full drawing stream", ErrBadItem)
+	}
+	return writeItem(w, it)
+}
+
+// ParseItemLine parses one external item line. Exactly one of the returns
+// is non-nil on success: an ordinary item, or a group shell expecting
+// cap(Children) members.
+func ParseItemLine(s string) (*Item, *Item, error) { return parseItem(s) }

@@ -1,0 +1,387 @@
+package drawing
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/graphics"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"
+)
+
+func testReg(t *testing.T) *class.Registry {
+	t.Helper()
+	reg := class.NewRegistry()
+	for _, f := range []func(*class.Registry) error{
+		Register, RegisterView, text.Register, textview.Register,
+	} {
+		if err := f(reg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func lineItem(x1, y1, x2, y2 int) *Item {
+	return &Item{Kind: Line, P1: graphics.Pt(x1, y1), P2: graphics.Pt(x2, y2), Width: 1}
+}
+
+func TestAddRemoveRaise(t *testing.T) {
+	d := New()
+	a := lineItem(0, 0, 10, 10)
+	b := &Item{Kind: Rectangle, P1: graphics.Pt(5, 5), P2: graphics.Pt(20, 20), Width: 1}
+	if err := d.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Items()) != 2 {
+		t.Fatal("items missing")
+	}
+	if err := d.Raise(0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Items()[1] != a {
+		t.Fatal("raise failed")
+	}
+	if err := d.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Items()) != 1 || d.Items()[0] != a {
+		t.Fatal("remove failed")
+	}
+	if err := d.Remove(5); !errors.Is(err, ErrBadItem) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := d.Raise(-1); !errors.Is(err, ErrBadItem) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d := New()
+	if err := d.Add(nil); err == nil {
+		t.Fatal("nil item accepted")
+	}
+	if err := d.Add(&Item{Kind: Polyline, Pts: []graphics.Point{{X: 1, Y: 1}}}); err == nil {
+		t.Fatal("1-point polyline accepted")
+	}
+	if err := d.Add(&Item{Kind: Label}); err == nil {
+		t.Fatal("empty label accepted")
+	}
+	if err := d.Add(&Item{Kind: Group}); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if err := d.Add(&Item{Kind: Component}); err == nil {
+		t.Fatal("component without object accepted")
+	}
+}
+
+func TestHitTestingSemantics(t *testing.T) {
+	// The paper's scenario: text with a line over it. Only the drawing can
+	// decide which one a click near the line selects.
+	d := New()
+	label := &Item{Kind: Label, P1: graphics.Pt(10, 30), Text: "hello", Font: graphics.DefaultFont}
+	line := lineItem(0, 28, 80, 28) // runs right through the text
+	_ = d.Add(label)
+	_ = d.Add(line) // on top
+	it, idx := d.TopAt(graphics.Pt(30, 28), 2)
+	if it != line || idx != 1 {
+		t.Fatalf("top at line = %v (idx %d)", it, idx)
+	}
+	// A click clearly inside the text but away from the line selects it.
+	it, _ = d.TopAt(graphics.Pt(30, 33), 2)
+	if it != label {
+		t.Fatalf("top at text = %+v", it)
+	}
+	// A miss selects nothing.
+	if it, idx := d.TopAt(graphics.Pt(200, 200), 2); it != nil || idx != -1 {
+		t.Fatal("miss selected something")
+	}
+}
+
+func TestLineHitTolerance(t *testing.T) {
+	it := lineItem(0, 0, 100, 0)
+	if !it.Hits(graphics.Pt(50, 2), 3) {
+		t.Fatal("near miss not tolerated")
+	}
+	if it.Hits(graphics.Pt(50, 10), 3) {
+		t.Fatal("far point hit")
+	}
+	// Degenerate zero-length line.
+	pt := lineItem(5, 5, 5, 5)
+	if !pt.Hits(graphics.Pt(6, 6), 2) {
+		t.Fatal("point line not hit")
+	}
+}
+
+func TestGroupBoundsAndTranslate(t *testing.T) {
+	g := &Item{Kind: Group, Children: []*Item{
+		lineItem(0, 0, 10, 10),
+		lineItem(20, 20, 30, 30),
+	}}
+	b := g.Bounds()
+	if !b.Contains(graphics.XYWH(0, 0, 10, 10)) || !b.Contains(graphics.XYWH(20, 20, 10, 10)) {
+		t.Fatalf("bounds = %v", b)
+	}
+	g.Translate(graphics.Pt(5, 5))
+	if g.Children[0].P1 != graphics.Pt(5, 5) {
+		t.Fatal("translate did not reach children")
+	}
+	if !g.Hits(graphics.Pt(10, 10), 1) {
+		t.Fatal("group hit fails")
+	}
+}
+
+func TestMoveItemNotifies(t *testing.T) {
+	d := New()
+	_ = d.Add(lineItem(0, 0, 10, 10))
+	n := 0
+	d.AddObserver(obsFunc(func(core.DataObject, core.Change) { n++ }))
+	if err := d.MoveItem(0, graphics.Pt(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Items()[0].P1 != graphics.Pt(3, 4) {
+		t.Fatal("move failed")
+	}
+	if n != 1 {
+		t.Fatal("no notification")
+	}
+}
+
+type obsFunc func(core.DataObject, core.Change)
+
+func (f obsFunc) ObservedChanged(o core.DataObject, ch core.Change) { f(o, ch) }
+
+func roundTrip(t *testing.T, reg *class.Registry, d *Data) *Data {
+	t.Helper()
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	return obj.(*Data)
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	reg := testReg(t)
+	d := New()
+	d.SetRegistry(reg)
+	_ = d.Add(lineItem(1, 2, 3, 4))
+	_ = d.Add(&Item{Kind: Rectangle, P1: graphics.Pt(0, 0), P2: graphics.Pt(40, 30),
+		Width: 2, Filled: true, Shade: graphics.Gray})
+	_ = d.Add(&Item{Kind: Ellipse, P1: graphics.Pt(5, 5), P2: graphics.Pt(25, 15), Width: 1})
+	_ = d.Add(&Item{Kind: Polyline, Width: 1,
+		Pts: []graphics.Point{{X: 0, Y: 0}, {X: 5, Y: 9}, {X: 10, Y: 0}}})
+	_ = d.Add(&Item{Kind: Label, P1: graphics.Pt(10, 20), Text: "big cats é",
+		Font: graphics.FontDesc{Family: "andy", Size: 14, Style: graphics.Bold}})
+	_ = d.Add(&Item{Kind: Group, Children: []*Item{
+		lineItem(0, 0, 1, 1),
+		&Item{Kind: Group, Children: []*Item{lineItem(2, 2, 3, 3)}},
+	}})
+
+	got := roundTrip(t, reg, d)
+	if len(got.Items()) != len(d.Items()) {
+		t.Fatalf("items = %d, want %d", len(got.Items()), len(d.Items()))
+	}
+	if got.Items()[0].P2 != graphics.Pt(3, 4) {
+		t.Fatal("line lost")
+	}
+	if !got.Items()[1].Filled || got.Items()[1].Shade != graphics.Gray {
+		t.Fatal("rect attributes lost")
+	}
+	if got.Items()[4].Text != "big cats é" || got.Items()[4].Font.Style != graphics.Bold {
+		t.Fatalf("label lost: %+v", got.Items()[4])
+	}
+	g := got.Items()[5]
+	if g.Kind != Group || len(g.Children) != 2 || g.Children[1].Kind != Group {
+		t.Fatalf("nested group lost: %+v", g)
+	}
+}
+
+func TestStreamEmbeddedComponent(t *testing.T) {
+	reg := testReg(t)
+	d := New()
+	d.SetRegistry(reg)
+	note := text.NewString("inside the drawing")
+	note.SetRegistry(reg)
+	_ = d.Add(&Item{Kind: Component, P1: graphics.Pt(10, 10), P2: graphics.Pt(110, 60),
+		Obj: note, ViewName: "textview"})
+	got := roundTrip(t, reg, d)
+	it := got.Items()[0]
+	if it.Kind != Component || it.ViewName != "textview" {
+		t.Fatalf("component lost: %+v", it)
+	}
+	if it.Obj.(*text.Data).String() != "inside the drawing" {
+		t.Fatal("embedded text lost")
+	}
+}
+
+func TestStreamBadInput(t *testing.T) {
+	reg := testReg(t)
+	for _, body := range []string{
+		"line 1 2 3\n",
+		"line a b c d w1 s0\n",
+		"rect 1 2 3 4 w1 s0\n", // missing fill
+		"poly w1 s0 1,2 3\n",
+		"label 1 2 notafont \"x\"\n",
+		"group 0\n",
+		"wiggle 1 2\n",
+		"component 1 2 3\n",
+	} {
+		stream := "\\begindata{drawing,1}\n" + body + "\\enddata{drawing,1}\n"
+		if _, err := core.ReadObject(datastream.NewReader(strings.NewReader(stream)), reg); err == nil {
+			t.Errorf("bad body %q accepted", body)
+		}
+	}
+}
+
+func TestViewSelectDragDelete(t *testing.T) {
+	reg := testReg(t)
+	d := New()
+	d.SetRegistry(reg)
+	_ = d.Add(&Item{Kind: Rectangle, P1: graphics.Pt(10, 10), P2: graphics.Pt(50, 50), Width: 1})
+	v := NewView(reg)
+	v.SetDataObject(d)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("draw", 200, 150)
+	im := core.NewInteractionManager(ws, win)
+	im.SetChild(v)
+	im.FullRedraw()
+
+	// Click inside the rect: selects it.
+	win.Inject(wsys.Click(30, 30))
+	win.Inject(wsys.Drag(40, 35))
+	win.Inject(wsys.Release(40, 35))
+	im.DrainEvents()
+	if v.Selected() != 0 {
+		t.Fatalf("selected = %d", v.Selected())
+	}
+	// The drag moved the item by (10,5).
+	if d.Items()[0].P1 != graphics.Pt(20, 15) {
+		t.Fatalf("after drag P1 = %v", d.Items()[0].P1)
+	}
+	// Delete removes it.
+	win.Inject(wsys.KeyDownEvent(wsys.KeyDelete))
+	im.DrainEvents()
+	if len(d.Items()) != 0 {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestViewClickEmptyClearsSelection(t *testing.T) {
+	reg := testReg(t)
+	d := New()
+	_ = d.Add(lineItem(0, 0, 10, 10))
+	v := NewView(reg)
+	v.SetDataObject(d)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("draw", 200, 150)
+	im := core.NewInteractionManager(ws, win)
+	im.SetChild(v)
+	win.Inject(wsys.Click(5, 5))
+	win.Inject(wsys.Release(5, 5))
+	im.DrainEvents()
+	if v.Selected() != 0 {
+		t.Fatal("line not selected")
+	}
+	win.Inject(wsys.Click(150, 100))
+	win.Inject(wsys.Release(150, 100))
+	im.DrainEvents()
+	if v.Selected() != -1 {
+		t.Fatal("selection not cleared")
+	}
+}
+
+func TestViewEmbeddedComponentRouting(t *testing.T) {
+	reg := testReg(t)
+	d := New()
+	d.SetRegistry(reg)
+	note := text.NewString("drawme")
+	note.SetRegistry(reg)
+	_ = d.Add(&Item{Kind: Component, P1: graphics.Pt(20, 20), P2: graphics.Pt(160, 80),
+		Obj: note, ViewName: "textview"})
+	v := NewView(reg)
+	v.SetDataObject(d)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("draw", 250, 150)
+	im := core.NewInteractionManager(ws, win)
+	im.SetChild(v)
+	im.FullRedraw()
+	win.Inject(wsys.Click(30, 30))
+	win.Inject(wsys.Release(30, 30))
+	win.Inject(wsys.KeyPress('X'))
+	im.DrainEvents()
+	if !strings.Contains(note.String(), "X") {
+		t.Fatalf("embedded text unedited: %q", note.String())
+	}
+}
+
+func TestViewRenders(t *testing.T) {
+	reg := testReg(t)
+	d := New()
+	_ = d.Add(lineItem(0, 0, 100, 100))
+	_ = d.Add(&Item{Kind: Ellipse, P1: graphics.Pt(20, 20), P2: graphics.Pt(80, 60), Width: 1})
+	_ = d.Add(&Item{Kind: Label, P1: graphics.Pt(10, 90), Text: "fig 1", Font: graphics.DefaultFont})
+	v := NewView(reg)
+	v.SetDataObject(d)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("draw", 150, 120)
+	im := core.NewInteractionManager(ws, win)
+	im.SetChild(v)
+	im.FullRedraw()
+	snap := win.(*memwin.Window).Snapshot()
+	if snap.Count(snap.Bounds(), graphics.Black) < 100 {
+		t.Fatal("drawing rendered too little ink")
+	}
+}
+
+func TestMenusRaiseDelete(t *testing.T) {
+	reg := testReg(t)
+	d := New()
+	a, b := lineItem(0, 0, 10, 0), lineItem(0, 5, 10, 5)
+	_ = d.Add(a)
+	_ = d.Add(b)
+	v := NewView(reg)
+	v.SetDataObject(d)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("draw", 100, 100)
+	im := core.NewInteractionManager(ws, win)
+	im.SetChild(v)
+	win.Inject(wsys.Click(5, 0)) // select a
+	win.Inject(wsys.Release(5, 0))
+	im.DrainEvents()
+	win.Inject(wsys.Event{Kind: wsys.MenuEvent, MenuPath: "Draw/Raise"})
+	im.DrainEvents()
+	if d.Items()[1] != a {
+		t.Fatal("menu raise failed")
+	}
+	win.Inject(wsys.Event{Kind: wsys.MenuEvent, MenuPath: "Draw/Delete"})
+	im.DrainEvents()
+	if len(d.Items()) != 1 {
+		t.Fatal("menu delete failed")
+	}
+}
+
+func TestWriteItemRejectsComponent(t *testing.T) {
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	err := WriteItem(w, &Item{Kind: Component})
+	if !errors.Is(err, ErrBadItem) {
+		t.Fatalf("err = %v", err)
+	}
+}

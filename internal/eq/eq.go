@@ -1,0 +1,543 @@
+// Package eq implements the equation component: a source-language data
+// object and a layout engine that typesets it with fractions, sub- and
+// superscripts and radicals. The Pascal's Triangle document (snapshot 5)
+// embeds equations like "v(i,j) = v(i-1,j) + v(i-1,j-1)" in a table cell.
+//
+// The source language:
+//
+//	a + b - c * d = e        infix with the usual symbols
+//	x^2   x_i   x_i^2        superscripts and subscripts (braces group:
+//	v_{i-1}                   multi-token scripts)
+//	frac(a, b)               a stacked fraction
+//	sqrt(x)                  a radical
+//	(...)                    parentheses
+package eq
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+// ErrParse reports malformed equation source.
+var ErrParse = errors.New("eq: parse error")
+
+// Data is the equation data object: the source string plus its parsed
+// form.
+type Data struct {
+	core.BaseData
+	src  string
+	root box // nil when src is empty or unparseable
+	err  error
+}
+
+// New returns an equation for src; a parse error is retained and shown
+// by the view rather than failing construction, so users can edit their
+// way out of a bad state.
+func New(src string) *Data {
+	d := &Data{}
+	d.InitData(d, "eq", "eqview")
+	d.SetSource(src)
+	return d
+}
+
+// Source returns the current source text.
+func (d *Data) Source() string { return d.src }
+
+// Err returns the current parse error, nil if the source is well formed.
+func (d *Data) Err() error { return d.err }
+
+// SetSource replaces the source, reparses and notifies observers.
+func (d *Data) SetSource(src string) {
+	d.src = src
+	d.root, d.err = parse(src)
+	d.NotifyObservers(core.Change{Kind: "source"})
+}
+
+// WritePayload implements core.DataObject.
+func (d *Data) WritePayload(w *datastream.Writer) error {
+	return w.WriteText(d.src)
+}
+
+// ReadPayload implements core.DataObject.
+func (d *Data) ReadPayload(r *datastream.Reader) error {
+	src, err := r.CollectText()
+	if err != nil {
+		return err
+	}
+	tok, err := r.Next()
+	if err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("%w: EOF inside eq", datastream.ErrBadNesting)
+		}
+		return err
+	}
+	if tok.Kind != datastream.TokEnd {
+		return fmt.Errorf("eq: unexpected %v in payload", tok.Kind)
+	}
+	d.SetSource(src)
+	return nil
+}
+
+// --- layout boxes ---
+
+// box is a laid-out fragment: it can measure itself for a font size and
+// render at a baseline position.
+type box interface {
+	// measure returns width, ascent (above baseline) and descent.
+	measure(size int) (w, asc, desc int)
+	// render draws at pen position (x, baseline).
+	render(dr *graphics.Drawable, x, baseline, size int)
+}
+
+func font(size int) *graphics.Font {
+	return graphics.Open(graphics.FontDesc{Family: "andy", Size: size})
+}
+
+// textBox is a run of symbols set in the equation face.
+type textBox struct{ s string }
+
+func (b textBox) measure(size int) (int, int, int) {
+	f := font(size)
+	return f.TextWidth(b.s), f.Ascent(), f.Descent()
+}
+
+func (b textBox) render(dr *graphics.Drawable, x, baseline, size int) {
+	dr.SetFont(font(size))
+	dr.DrawString(graphics.Pt(x, baseline), b.s)
+}
+
+// hbox lays children left to right on a common baseline.
+type hbox struct{ kids []box }
+
+func (b hbox) measure(size int) (w, asc, desc int) {
+	for _, k := range b.kids {
+		kw, ka, kd := k.measure(size)
+		w += kw
+		if ka > asc {
+			asc = ka
+		}
+		if kd > desc {
+			desc = kd
+		}
+	}
+	return w, asc, desc
+}
+
+func (b hbox) render(dr *graphics.Drawable, x, baseline, size int) {
+	for _, k := range b.kids {
+		kw, _, _ := k.measure(size)
+		k.render(dr, x, baseline, size)
+		x += kw
+	}
+}
+
+// scriptBox attaches optional sub and sup boxes to a nucleus.
+type scriptBox struct {
+	nuc      box
+	sub, sup box
+}
+
+func scriptSize(size int) int {
+	s := size * 7 / 10
+	if s < 6 {
+		s = 6
+	}
+	return s
+}
+
+func (b scriptBox) measure(size int) (w, asc, desc int) {
+	nw, na, nd := b.nuc.measure(size)
+	w, asc, desc = nw, na, nd
+	ss := scriptSize(size)
+	sw := 0
+	if b.sup != nil {
+		uw, ua, _ := b.sup.measure(ss)
+		if uw > sw {
+			sw = uw
+		}
+		if na/2+ua > asc {
+			asc = na/2 + ua
+		}
+	}
+	if b.sub != nil {
+		uw, _, ud := b.sub.measure(ss)
+		if uw > sw {
+			sw = uw
+		}
+		if nd/2+ud+ss/2 > desc {
+			desc = nd/2 + ud + ss/2
+		}
+	}
+	return w + sw, asc, desc
+}
+
+func (b scriptBox) render(dr *graphics.Drawable, x, baseline, size int) {
+	nw, na, nd := b.nuc.measure(size)
+	b.nuc.render(dr, x, baseline, size)
+	ss := scriptSize(size)
+	if b.sup != nil {
+		b.sup.render(dr, x+nw, baseline-na/2, ss)
+	}
+	if b.sub != nil {
+		b.sub.render(dr, x+nw, baseline+nd/2+ss/2, ss)
+	}
+}
+
+// fracBox stacks numerator over denominator with a rule on the baseline.
+type fracBox struct{ num, den box }
+
+func (b fracBox) measure(size int) (w, asc, desc int) {
+	nw, na, nd := b.num.measure(size)
+	dw, da, dd := b.den.measure(size)
+	w = max(nw, dw) + 6
+	asc = na + nd + 3
+	desc = da + dd + 3
+	return w, asc, desc
+}
+
+func (b fracBox) render(dr *graphics.Drawable, x, baseline, size int) {
+	w, _, _ := b.measure(size)
+	nw, _, nd := b.num.measure(size)
+	dw, da, _ := b.den.measure(size)
+	axis := baseline - font(size).Ascent()/3
+	b.num.render(dr, x+(w-nw)/2, axis-3-nd, size)
+	b.den.render(dr, x+(w-dw)/2, axis+3+da, size)
+	dr.SetValue(graphics.Black)
+	dr.DrawLine(graphics.Pt(x, axis), graphics.Pt(x+w-1, axis))
+}
+
+// sqrtBox draws a radical over its body.
+type sqrtBox struct{ body box }
+
+func (b sqrtBox) measure(size int) (w, asc, desc int) {
+	bw, ba, bd := b.body.measure(size)
+	return bw + size, ba + 3, bd
+}
+
+func (b sqrtBox) render(dr *graphics.Drawable, x, baseline, size int) {
+	bw, ba, bd := b.body.measure(size)
+	hook := size
+	top := baseline - ba - 2
+	dr.SetValue(graphics.Black)
+	dr.DrawLine(graphics.Pt(x, baseline-ba/2), graphics.Pt(x+hook/2, baseline+bd))
+	dr.DrawLine(graphics.Pt(x+hook/2, baseline+bd), graphics.Pt(x+hook, top))
+	dr.DrawLine(graphics.Pt(x+hook, top), graphics.Pt(x+hook+bw, top))
+	b.body.render(dr, x+hook, baseline, size)
+}
+
+// parenBox wraps a body in stretchy parentheses (drawn as arcs).
+type parenBox struct{ body box }
+
+func (b parenBox) measure(size int) (w, asc, desc int) {
+	bw, ba, bd := b.body.measure(size)
+	return bw + size, ba, bd
+}
+
+func (b parenBox) render(dr *graphics.Drawable, x, baseline, size int) {
+	bw, ba, bd := b.body.measure(size)
+	h := ba + bd
+	dr.SetValue(graphics.Black)
+	dr.DrawArc(graphics.XYWH(x, baseline-ba, size/2+2, h), 90, 180)
+	b.body.render(dr, x+size/2, baseline, size)
+	dr.DrawArc(graphics.XYWH(x+size/2+bw-2, baseline-ba, size/2+2, h), 270, 180)
+}
+
+// --- parser ---
+
+type eqParser struct {
+	toks []string
+	pos  int
+}
+
+// tokenize splits into identifiers/numbers, single symbols, and braces.
+func tokenize(src string) []string {
+	var toks []string
+	i := 0
+	isWord := func(c byte) bool {
+		return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '.'
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case isWord(c):
+			j := i
+			for j < len(src) && isWord(src[j]) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			toks = append(toks, string(c))
+			i++
+		}
+	}
+	return toks
+}
+
+func parse(src string) (box, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, nil
+	}
+	p := &eqParser{toks: tokenize(src)}
+	b, err := p.sequence(func(t string) bool { return false })
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("%w: trailing %q", ErrParse, p.toks[p.pos])
+	}
+	return b, nil
+}
+
+func (p *eqParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+// sequence parses atoms (with scripts) until stop or end of input.
+func (p *eqParser) sequence(stop func(string) bool) (box, error) {
+	var kids []box
+	for p.pos < len(p.toks) && !stop(p.peek()) {
+		atom, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		// Attach scripts.
+		var sub, sup box
+		for p.peek() == "_" || p.peek() == "^" {
+			op := p.peek()
+			p.pos++
+			s, err := p.scriptArg()
+			if err != nil {
+				return nil, err
+			}
+			if op == "_" {
+				sub = s
+			} else {
+				sup = s
+			}
+		}
+		if sub != nil || sup != nil {
+			atom = scriptBox{nuc: atom, sub: sub, sup: sup}
+		}
+		kids = append(kids, atom)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return hbox{kids: kids}, nil
+}
+
+func (p *eqParser) scriptArg() (box, error) {
+	if p.peek() == "{" {
+		p.pos++
+		b, err := p.sequence(func(t string) bool { return t == "}" })
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != "}" {
+			return nil, fmt.Errorf("%w: missing '}'", ErrParse)
+		}
+		p.pos++
+		return b, nil
+	}
+	return p.atom()
+}
+
+func (p *eqParser) atom() (box, error) {
+	t := p.peek()
+	switch {
+	case t == "":
+		return nil, fmt.Errorf("%w: unexpected end", ErrParse)
+	case t == "(":
+		p.pos++
+		b, err := p.sequence(func(s string) bool { return s == ")" })
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, fmt.Errorf("%w: missing ')'", ErrParse)
+		}
+		p.pos++
+		return parenBox{body: b}, nil
+	case t == "frac" || t == "sqrt":
+		p.pos++
+		if p.peek() != "(" {
+			return nil, fmt.Errorf("%w: %s needs '('", ErrParse, t)
+		}
+		p.pos++
+		first, err := p.sequence(func(s string) bool { return s == "," || s == ")" })
+		if err != nil {
+			return nil, err
+		}
+		if t == "sqrt" {
+			if p.peek() != ")" {
+				return nil, fmt.Errorf("%w: sqrt needs one argument", ErrParse)
+			}
+			p.pos++
+			return sqrtBox{body: first}, nil
+		}
+		if p.peek() != "," {
+			return nil, fmt.Errorf("%w: frac needs two arguments", ErrParse)
+		}
+		p.pos++
+		second, err := p.sequence(func(s string) bool { return s == ")" })
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, fmt.Errorf("%w: missing ')'", ErrParse)
+		}
+		p.pos++
+		return fracBox{num: first, den: second}, nil
+	case t == ")" || t == "}":
+		return nil, fmt.Errorf("%w: unexpected %q", ErrParse, t)
+	case t == ",":
+		// A comma outside frac() is ordinary notation: v(i,j).
+		p.pos++
+		return textBox{s: ", "}, nil
+	case t == "{":
+		p.pos++
+		b, err := p.sequence(func(s string) bool { return s == "}" })
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != "}" {
+			return nil, fmt.Errorf("%w: missing '}'", ErrParse)
+		}
+		p.pos++
+		return b, nil
+	default:
+		p.pos++
+		// Operators get breathing room.
+		switch t {
+		case "+", "-", "=", "<", ">", "*":
+			return textBox{s: " " + t + " "}, nil
+		}
+		return textBox{s: t}, nil
+	}
+}
+
+// --- view ---
+
+// View renders an equation; clicking focuses it and keystrokes edit the
+// source directly (reparsed on every change).
+type View struct {
+	core.BaseView
+	editing bool
+}
+
+// NewView returns an unattached equation view.
+func NewView() *View {
+	v := &View{}
+	v.InitView(v, "eqview")
+	return v
+}
+
+// Eq returns the attached equation data, or nil.
+func (v *View) Eq() *Data {
+	d, _ := v.DataObject().(*Data)
+	return d
+}
+
+// Size is the equation body font size.
+const Size = 14
+
+// DesiredSize implements core.View.
+func (v *View) DesiredSize(wHint, hHint int) (int, int) {
+	d := v.Eq()
+	if d == nil || d.root == nil {
+		return 60, 24
+	}
+	w, asc, desc := d.root.measure(Size)
+	return w + 8, asc + desc + 8
+}
+
+// FullUpdate implements core.View.
+func (v *View) FullUpdate(dr *graphics.Drawable) {
+	w, h := v.Bounds().Dx(), v.Bounds().Dy()
+	dr.ClearRect(graphics.XYWH(0, 0, w, h))
+	d := v.Eq()
+	if d == nil {
+		return
+	}
+	if d.err != nil {
+		dr.SetFontDesc(graphics.FontDesc{Family: "typewriter", Size: 10, Style: graphics.Fixed})
+		dr.DrawString(graphics.Pt(2, 12), d.src+" ?")
+		return
+	}
+	if d.root == nil {
+		return
+	}
+	_, asc, _ := d.root.measure(Size)
+	d.root.render(dr, 4, 4+asc, Size)
+	if v.editing {
+		dr.SetValue(graphics.Gray)
+		dr.DrawRect(graphics.XYWH(0, 0, w, h))
+		dr.SetValue(graphics.Black)
+	}
+}
+
+// Hit implements core.View.
+func (v *View) Hit(a wsys.MouseAction, p graphics.Point, clicks int) core.View {
+	if a == wsys.MouseDown {
+		v.editing = true
+		v.WantInputFocus(v.Self())
+		v.WantUpdate(v.Self())
+	}
+	return v.Self()
+}
+
+// Key implements core.View: append/erase source characters.
+func (v *View) Key(ev wsys.Event) bool {
+	d := v.Eq()
+	if d == nil || !v.editing {
+		return false
+	}
+	switch {
+	case ev.Key == wsys.KeyBackspace:
+		if len(d.src) > 0 {
+			d.SetSource(d.src[:len(d.src)-1])
+		}
+	case ev.Key == wsys.KeyEscape, ev.Key == wsys.KeyReturn:
+		v.editing = false
+		v.WantUpdate(v.Self())
+	case ev.Rune != 0:
+		d.SetSource(d.src + string(ev.Rune))
+	default:
+		return false
+	}
+	return true
+}
+
+// LoseInputFocus implements core.View.
+func (v *View) LoseInputFocus() {
+	v.editing = false
+	v.WantUpdate(v.Self())
+}
+
+// Register installs the equation data and view classes in reg.
+func Register(reg *class.Registry) error {
+	if err := reg.Register(class.Info{
+		Name: "eq",
+		New:  func() any { return New("") },
+	}); err != nil {
+		return err
+	}
+	return reg.Register(class.Info{
+		Name: "eqview",
+		New:  func() any { return NewView() },
+	})
+}

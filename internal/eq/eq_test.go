@@ -1,0 +1,238 @@
+package eq
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"
+)
+
+func TestParseValid(t *testing.T) {
+	for _, src := range []string{
+		"a + b",
+		"x^2",
+		"x_i",
+		"x_i^2",
+		"v_{i-1}",
+		"frac(a, b)",
+		"sqrt(x + y)",
+		"(a + b) * c",
+		"v(i,j) = v(i-1,j) + v(i-1,j-1)",
+		"frac(1, sqrt(2)) + x^{n+1}",
+		"",
+		"   ",
+	} {
+		d := New(src)
+		if d.Err() != nil {
+			t.Errorf("parse %q: %v", src, d.Err())
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	for _, src := range []string{
+		"(a",
+		"a)",
+		"x^",
+		"x_{i",
+		"frac(a)",
+		"frac(a, b",
+		"sqrt(a, b)",
+		"frac a",
+		"}",
+	} {
+		d := New(src)
+		if d.Err() == nil {
+			t.Errorf("parse %q succeeded", src)
+		}
+	}
+}
+
+func TestParseErrorRetainedNotFatal(t *testing.T) {
+	d := New("(unclosed")
+	if d.Err() == nil {
+		t.Fatal("no error retained")
+	}
+	d.SetSource("(closed)")
+	if d.Err() != nil {
+		t.Fatalf("recovery failed: %v", d.Err())
+	}
+}
+
+func TestMeasureGrowsWithContent(t *testing.T) {
+	small := New("x")
+	big := New("x + y + z + w")
+	sw, _, _ := small.root.measure(Size)
+	bw, _, _ := big.root.measure(Size)
+	if bw <= sw {
+		t.Fatalf("widths %d vs %d", sw, bw)
+	}
+	// A fraction is taller than plain text.
+	fr := New("frac(a, b)")
+	_, fa, fd := fr.root.measure(Size)
+	_, pa, pd := small.root.measure(Size)
+	if fa+fd <= pa+pd {
+		t.Fatal("fraction not taller")
+	}
+}
+
+func TestSuperscriptRaises(t *testing.T) {
+	plain := New("x")
+	sup := New("x^2")
+	_, pa, _ := plain.root.measure(Size)
+	_, sa, _ := sup.root.measure(Size)
+	if sa <= pa {
+		t.Fatalf("superscript ascent %d vs %d", sa, pa)
+	}
+	sub := New("x_i")
+	_, _, pd := plain.root.measure(Size)
+	_, _, sd := sub.root.measure(Size)
+	if sd <= pd {
+		t.Fatalf("subscript descent %d vs %d", sd, pd)
+	}
+}
+
+func render(t *testing.T, d *Data) *graphics.Bitmap {
+	t.Helper()
+	ws := memwin.New()
+	win, _ := ws.NewWindow("eq", 300, 80)
+	im := core.NewInteractionManager(ws, win)
+	v := NewView()
+	v.SetDataObject(d)
+	im.SetChild(v)
+	im.FullRedraw()
+	return win.(*memwin.Window).Snapshot()
+}
+
+func TestRendering(t *testing.T) {
+	d := New("v(i,j) = v(i-1,j) + v(i-1,j-1)")
+	snap := render(t, d)
+	if snap.Count(snap.Bounds(), graphics.Black) < 50 {
+		t.Fatal("equation rendered too little ink")
+	}
+}
+
+func TestRenderingFraction(t *testing.T) {
+	d := New("frac(a+b, c)")
+	snap := render(t, d)
+	// The fraction rule is a horizontal black run.
+	found := false
+	for y := 0; y < snap.H; y++ {
+		run := 0
+		for x := 0; x < snap.W; x++ {
+			if snap.At(x, y) == graphics.Black {
+				run++
+				if run > 10 {
+					found = true
+				}
+			} else {
+				run = 0
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no fraction rule found")
+	}
+}
+
+func TestRenderingBadSourceShowsFallback(t *testing.T) {
+	d := New("(broken")
+	snap := render(t, d)
+	if snap.Count(snap.Bounds(), graphics.Black) == 0 {
+		t.Fatal("error state rendered nothing")
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	reg := class.NewRegistry()
+	if err := Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	d := New("x^2 + frac(1, 2)")
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := obj.(*Data)
+	if got.Source() != d.Source() {
+		t.Fatalf("source = %q", got.Source())
+	}
+	if got.Err() != nil {
+		t.Fatalf("restored equation unparsed: %v", got.Err())
+	}
+}
+
+func TestEditingThroughKeys(t *testing.T) {
+	ws := memwin.New()
+	win, _ := ws.NewWindow("eq", 300, 80)
+	im := core.NewInteractionManager(ws, win)
+	d := New("x")
+	v := NewView()
+	v.SetDataObject(d)
+	im.SetChild(v)
+	im.FullRedraw()
+	win.Inject(wsys.Click(10, 10))
+	win.Inject(wsys.Release(10, 10))
+	for _, r := range "^2" {
+		win.Inject(wsys.KeyPress(r))
+	}
+	im.DrainEvents()
+	if d.Source() != "x^2" {
+		t.Fatalf("source = %q", d.Source())
+	}
+	win.Inject(wsys.KeyDownEvent(wsys.KeyBackspace))
+	im.DrainEvents()
+	if d.Source() != "x^" {
+		t.Fatalf("source = %q", d.Source())
+	}
+	if d.Err() == nil {
+		t.Fatal("intermediate state should be a parse error")
+	}
+	win.Inject(wsys.KeyDownEvent(wsys.KeyReturn)) // leave editing
+	im.DrainEvents()
+	win.Inject(wsys.KeyPress('z')) // no longer editing: ignored
+	im.DrainEvents()
+	if d.Source() != "x^" {
+		t.Fatal("keys leaked after editing ended")
+	}
+}
+
+func TestObserversNotifiedOnSetSource(t *testing.T) {
+	d := New("x")
+	n := 0
+	d.AddObserver(obsFunc(func(core.DataObject, core.Change) { n++ }))
+	d.SetSource("y")
+	if n != 1 {
+		t.Fatalf("notifications = %d", n)
+	}
+}
+
+type obsFunc func(core.DataObject, core.Change)
+
+func (f obsFunc) ObservedChanged(o core.DataObject, ch core.Change) { f(o, ch) }
+
+func TestTokenize(t *testing.T) {
+	toks := tokenize("v(i-1, j)^2")
+	want := []string{"v", "(", "i", "-", "1", ",", "j", ")", "^", "2"}
+	if len(toks) != len(want) {
+		t.Fatalf("toks = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("toks = %v, want %v", toks, want)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package filter implements the filter mechanism of paper footnote 1: "the
+// ability to use standard tools on regions of text contained in a file
+// being edited". Because the module must stay self-contained (and the
+// original spirit is UNIX text tools), the standard filters are
+// implemented in-process; arbitrary functions can also be registered.
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"atk/internal/text"
+)
+
+// ErrUnknown reports a filter name with no registration.
+var ErrUnknown = errors.New("filter: unknown filter")
+
+// Func transforms a region of text.
+type Func func(string) (string, error)
+
+var (
+	mu      sync.Mutex
+	filters = map[string]Func{}
+)
+
+// RegisterFunc installs a named filter, replacing any previous one.
+func RegisterFunc(name string, f Func) {
+	mu.Lock()
+	defer mu.Unlock()
+	filters[name] = f
+}
+
+// Names returns the registered filter names, sorted.
+func Names() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(filters))
+	for n := range filters {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apply runs the named filter over s.
+func Apply(name, s string) (string, error) {
+	mu.Lock()
+	f, ok := filters[name]
+	mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	return f(s)
+}
+
+// Region runs the named filter over [start,end) of d, replacing the
+// region with the output, and returns the new region end. Embedded
+// objects inside the region abort the filter rather than being destroyed.
+func Region(d *text.Data, start, end int, name string) (int, error) {
+	if start < 0 || end > d.Len() || start > end {
+		return 0, fmt.Errorf("filter: bad region [%d,%d)", start, end)
+	}
+	region := d.Slice(start, end)
+	if strings.ContainsRune(region, text.AnchorRune) {
+		return 0, fmt.Errorf("filter: region contains embedded objects")
+	}
+	out, err := Apply(name, region)
+	if err != nil {
+		return 0, err
+	}
+	if err := d.Delete(start, end-start); err != nil {
+		return 0, err
+	}
+	if err := d.Insert(start, out); err != nil {
+		return 0, err
+	}
+	return start + len([]rune(out)), nil
+}
+
+// The standard filters, mirroring the era's tool set.
+func init() {
+	RegisterFunc("sort", func(s string) (string, error) {
+		lines, trail := splitKeepTrail(s)
+		sort.Strings(lines)
+		return strings.Join(lines, "\n") + trail, nil
+	})
+	RegisterFunc("rev", func(s string) (string, error) {
+		lines, trail := splitKeepTrail(s)
+		for i, l := range lines {
+			rs := []rune(l)
+			for a, b := 0, len(rs)-1; a < b; a, b = a+1, b-1 {
+				rs[a], rs[b] = rs[b], rs[a]
+			}
+			lines[i] = string(rs)
+		}
+		return strings.Join(lines, "\n") + trail, nil
+	})
+	RegisterFunc("tac", func(s string) (string, error) {
+		lines, trail := splitKeepTrail(s)
+		for a, b := 0, len(lines)-1; a < b; a, b = a+1, b-1 {
+			lines[a], lines[b] = lines[b], lines[a]
+		}
+		return strings.Join(lines, "\n") + trail, nil
+	})
+	RegisterFunc("uniq", func(s string) (string, error) {
+		lines, trail := splitKeepTrail(s)
+		out := lines[:0]
+		for i, l := range lines {
+			if i == 0 || l != lines[i-1] {
+				out = append(out, l)
+			}
+		}
+		return strings.Join(out, "\n") + trail, nil
+	})
+	RegisterFunc("upper", func(s string) (string, error) {
+		return strings.ToUpper(s), nil
+	})
+	RegisterFunc("lower", func(s string) (string, error) {
+		return strings.ToLower(s), nil
+	})
+	RegisterFunc("wc", func(s string) (string, error) {
+		lines := strings.Count(s, "\n")
+		words := len(strings.Fields(s))
+		return fmt.Sprintf("%d %d %d\n", lines, words, len(s)), nil
+	})
+	RegisterFunc("expand", func(s string) (string, error) {
+		return strings.ReplaceAll(s, "\t", "        "), nil
+	})
+	RegisterFunc("indent", func(s string) (string, error) {
+		lines, trail := splitKeepTrail(s)
+		for i, l := range lines {
+			if l != "" {
+				lines[i] = "    " + l
+			}
+		}
+		return strings.Join(lines, "\n") + trail, nil
+	})
+}
+
+// splitKeepTrail splits into lines, remembering whether a trailing newline
+// must be restored.
+func splitKeepTrail(s string) ([]string, string) {
+	trail := ""
+	if strings.HasSuffix(s, "\n") {
+		trail = "\n"
+		s = strings.TrimSuffix(s, "\n")
+	}
+	return strings.Split(s, "\n"), trail
+}

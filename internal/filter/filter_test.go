@@ -1,0 +1,119 @@
+package filter
+
+import (
+	"errors"
+	"testing"
+
+	"atk/internal/core"
+	"atk/internal/text"
+)
+
+func TestStandardFiltersRegistered(t *testing.T) {
+	names := Names()
+	want := []string{"expand", "indent", "lower", "rev", "sort", "tac", "uniq", "upper", "wc"}
+	if len(names) < len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Errorf("missing filter %q", w)
+		}
+	}
+}
+
+func TestApplyBasics(t *testing.T) {
+	cases := []struct{ name, in, want string }{
+		{"sort", "b\na\nc\n", "a\nb\nc\n"},
+		{"sort", "b\na", "a\nb"},
+		{"rev", "abc\nxy\n", "cba\nyx\n"},
+		{"tac", "1\n2\n3\n", "3\n2\n1\n"},
+		{"uniq", "a\na\nb\na\n", "a\nb\na\n"},
+		{"upper", "mixed Case", "MIXED CASE"},
+		{"lower", "MIXED Case", "mixed case"},
+		{"wc", "one two\nthree\n", "2 3 14\n"},
+		{"expand", "a\tb", "a        b"},
+		{"indent", "x\n\ny\n", "    x\n\n    y\n"},
+	}
+	for _, c := range cases {
+		got, err := Apply(c.name, c.in)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s(%q) = %q, want %q", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+func TestApplyUnknown(t *testing.T) {
+	if _, err := Apply("nonesuch", "x"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegisterFunc(t *testing.T) {
+	RegisterFunc("double", func(s string) (string, error) { return s + s, nil })
+	got, err := Apply("double", "ab")
+	if err != nil || got != "abab" {
+		t.Fatalf("double = %q, %v", got, err)
+	}
+}
+
+func TestRegionReplacesText(t *testing.T) {
+	d := text.NewString("header\nbanana\napple\ncherry\nfooter")
+	start := d.Index("banana", 0)
+	end := d.Index("footer", 0)
+	newEnd, err := Region(d, start, end, "sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.String() != "header\napple\nbanana\ncherry\nfooter" {
+		t.Fatalf("content = %q", d.String())
+	}
+	if newEnd != end {
+		t.Fatalf("newEnd = %d, want %d", newEnd, end)
+	}
+}
+
+func TestRegionBounds(t *testing.T) {
+	d := text.NewString("abc")
+	if _, err := Region(d, 2, 1, "sort"); err == nil {
+		t.Fatal("inverted region accepted")
+	}
+	if _, err := Region(d, 0, 99, "sort"); err == nil {
+		t.Fatal("oversized region accepted")
+	}
+	if _, err := Region(d, 0, 3, "nonesuch"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+	// Unknown filter must not modify the buffer.
+	if d.String() != "abc" {
+		t.Fatal("failed filter modified buffer")
+	}
+}
+
+func TestRegionRefusesEmbeddedObjects(t *testing.T) {
+	d := text.NewString("ab")
+	if err := d.Embed(1, core.NewUnknownData("music"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Region(d, 0, d.Len(), "upper"); err == nil {
+		t.Fatal("region with embed accepted")
+	}
+	if len(d.Embeds()) != 1 {
+		t.Fatal("embed destroyed")
+	}
+}
+
+func TestRegionGrowsAndShrinks(t *testing.T) {
+	d := text.NewString("one two three")
+	RegisterFunc("first", func(s string) (string, error) { return "X", nil })
+	newEnd, err := Region(d, 0, d.Len(), "first")
+	if err != nil || d.String() != "X" || newEnd != 1 {
+		t.Fatalf("shrink: %q end=%d err=%v", d.String(), newEnd, err)
+	}
+}

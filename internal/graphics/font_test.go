@@ -1,0 +1,143 @@
+package graphics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFontDescRoundTrip(t *testing.T) {
+	cases := []FontDesc{
+		{Family: "andy", Size: 12},
+		{Family: "andy", Size: 12, Style: Bold},
+		{Family: "andysans", Size: 10, Style: Bold | Italic},
+		{Family: "typewriter", Size: 8, Style: Fixed},
+	}
+	for _, d := range cases {
+		s := d.String()
+		got, err := ParseFontDesc(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if got != d {
+			t.Fatalf("round trip %q: got %+v want %+v", s, got, d)
+		}
+	}
+}
+
+func TestParseFontDescErrors(t *testing.T) {
+	for _, s := range []string{"", "12", "andy", "andy0", "andy12q"} {
+		if _, err := ParseFontDesc(s); err == nil {
+			t.Errorf("ParseFontDesc(%q) succeeded", s)
+		}
+	}
+}
+
+func TestFontStyleString(t *testing.T) {
+	if Plain.String() != "r" {
+		t.Fatalf("plain = %q", Plain.String())
+	}
+	if (Bold | Italic).String() != "bi" {
+		t.Fatalf("bi = %q", (Bold | Italic).String())
+	}
+}
+
+func TestOpenCaches(t *testing.T) {
+	a := Open(FontDesc{Family: "andy", Size: 12})
+	b := Open(FontDesc{Family: "andy", Size: 12})
+	if a != b {
+		t.Fatal("identical descriptions produced distinct fonts")
+	}
+	c := Open(FontDesc{Family: "andy", Size: 14})
+	if a == c {
+		t.Fatal("distinct descriptions shared a font")
+	}
+}
+
+func TestMetricsScaleWithSize(t *testing.T) {
+	small := Open(FontDesc{Family: "andy", Size: 8})
+	big := Open(FontDesc{Family: "andy", Size: 24})
+	if big.Height() <= small.Height() {
+		t.Fatal("height does not grow with size")
+	}
+	if big.TextWidth("hello") <= small.TextWidth("hello") {
+		t.Fatal("width does not grow with size")
+	}
+	if small.Ascent() <= 0 || small.Descent() <= 0 {
+		t.Fatal("degenerate metrics")
+	}
+}
+
+func TestFixedFaceUniformWidths(t *testing.T) {
+	f := Open(FontDesc{Family: "typewriter", Size: 12, Style: Fixed})
+	w := f.RuneWidth('i')
+	for _, r := range "imMW. " {
+		if f.RuneWidth(r) != w {
+			t.Fatalf("fixed face width of %q = %d, want %d", r, f.RuneWidth(r), w)
+		}
+	}
+}
+
+func TestProportionalWidthsVary(t *testing.T) {
+	f := Open(FontDesc{Family: "andy", Size: 12})
+	if f.RuneWidth('i') >= f.RuneWidth('m') {
+		t.Fatal("proportional face has uniform widths")
+	}
+}
+
+func TestTextFit(t *testing.T) {
+	f := Open(FontDesc{Family: "andy", Size: 12})
+	s := "hello world"
+	full := f.TextWidth(s)
+	n, used := f.TextFit(s, full)
+	if n != len(s) || used != full {
+		t.Fatalf("full fit: n=%d used=%d", n, used)
+	}
+	n, used = f.TextFit(s, full-1)
+	if n >= len(s) || used > full-1 {
+		t.Fatalf("partial fit: n=%d used=%d", n, used)
+	}
+	if n, used = f.TextFit(s, 0); n != 0 || used != 0 {
+		t.Fatalf("zero fit: n=%d used=%d", n, used)
+	}
+}
+
+// Property: TextWidth is additive over concatenation and TextFit never
+// overshoots its budget.
+func TestQuickTextWidthAdditive(t *testing.T) {
+	f := Open(FontDesc{Family: "andy", Size: 12})
+	fn := func(a, b string, budget uint16) bool {
+		if f.TextWidth(a)+f.TextWidth(b) != f.TextWidth(a+b) {
+			return false
+		}
+		n, used := f.TextFit(a, int(budget)%200)
+		return used <= int(budget)%200 && n <= len([]rune(a))
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlyphRowsCoverage(t *testing.T) {
+	for r := rune(32); r < 127; r++ {
+		g := GlyphRows(r)
+		if r != ' ' {
+			nonzero := false
+			for _, row := range g {
+				if row != 0 {
+					nonzero = true
+				}
+				if row > 0x1F {
+					t.Fatalf("glyph %q row exceeds 5 bits: %02x", r, row)
+				}
+			}
+			if !nonzero {
+				t.Errorf("glyph %q is blank", r)
+			}
+		}
+	}
+	// Missing glyphs get the box.
+	box := GlyphRows('é')
+	if box[0] != 0x1F {
+		t.Fatalf("missing glyph rendition = %v", box)
+	}
+}

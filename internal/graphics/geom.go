@@ -1,0 +1,171 @@
+// Package graphics is the output layer of the toolkit (paper §4). It
+// defines the geometry vocabulary (Point, Rect, Region), device-independent
+// font descriptions with deterministic synthetic metrics, the Bitmap type
+// shared by off-screen windows and the raster component, the Graphic
+// interface — the per-window-system output class of the porting layer
+// (paper §8) — and the Drawable, the stateful object every view draws
+// through. Retargeting a view's Drawable at a different Graphic (a printer
+// device, an off-screen window) is how printing works.
+package graphics
+
+import "fmt"
+
+// Point is an integer screen coordinate. X grows rightward, Y downward.
+type Point struct{ X, Y int }
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int) Point { return Point{x, y} }
+
+// Add returns p+q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p-q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// In reports whether p lies in r.
+func (p Point) In(r Rect) bool {
+	return r.Min.X <= p.X && p.X < r.Max.X && r.Min.Y <= p.Y && p.Y < r.Max.Y
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Rect is a half-open rectangle: it contains points p with
+// Min.X <= p.X < Max.X and Min.Y <= p.Y < Max.Y.
+type Rect struct{ Min, Max Point }
+
+// R builds a rect from two corner coordinates, canonicalizing order.
+func R(x0, y0, x1, y1 int) Rect {
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	if y1 < y0 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Point{x0, y0}, Point{x1, y1}}
+}
+
+// XYWH builds a rect from an origin and a size.
+func XYWH(x, y, w, h int) Rect { return Rect{Point{x, y}, Point{x + w, y + h}} }
+
+// Dx returns the width of r.
+func (r Rect) Dx() int { return r.Max.X - r.Min.X }
+
+// Dy returns the height of r.
+func (r Rect) Dy() int { return r.Max.Y - r.Min.Y }
+
+// Size returns (width, height).
+func (r Rect) Size() (int, int) { return r.Dx(), r.Dy() }
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool { return r.Min.X >= r.Max.X || r.Min.Y >= r.Max.Y }
+
+// Eq reports whether r and s contain the same points; all empty rects are
+// considered equal.
+func (r Rect) Eq(s Rect) bool {
+	if r.Empty() && s.Empty() {
+		return true
+	}
+	return r == s
+}
+
+// Translate returns r moved by d.
+func (r Rect) Translate(d Point) Rect {
+	return Rect{r.Min.Add(d), r.Max.Add(d)}
+}
+
+// Inset returns r shrunk by n on every side (grown when n is negative).
+func (r Rect) Inset(n int) Rect {
+	return Rect{Point{r.Min.X + n, r.Min.Y + n}, Point{r.Max.X - n, r.Max.Y - n}}
+}
+
+// Intersect returns the largest rect contained by both r and s; the result
+// is empty (but not necessarily the zero Rect) when they do not overlap.
+func (r Rect) Intersect(s Rect) Rect {
+	if r.Min.X < s.Min.X {
+		r.Min.X = s.Min.X
+	}
+	if r.Min.Y < s.Min.Y {
+		r.Min.Y = s.Min.Y
+	}
+	if r.Max.X > s.Max.X {
+		r.Max.X = s.Max.X
+	}
+	if r.Max.Y > s.Max.Y {
+		r.Max.Y = s.Max.Y
+	}
+	if r.Empty() {
+		return Rect{}
+	}
+	return r
+}
+
+// Union returns the smallest rect containing both r and s. An empty rect
+// contributes nothing.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	if r.Min.X > s.Min.X {
+		r.Min.X = s.Min.X
+	}
+	if r.Min.Y > s.Min.Y {
+		r.Min.Y = s.Min.Y
+	}
+	if r.Max.X < s.Max.X {
+		r.Max.X = s.Max.X
+	}
+	if r.Max.Y < s.Max.Y {
+		r.Max.Y = s.Max.Y
+	}
+	return r
+}
+
+// Contains reports whether s lies entirely within r.
+func (r Rect) Contains(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return r.Min.X <= s.Min.X && s.Max.X <= r.Max.X &&
+		r.Min.Y <= s.Min.Y && s.Max.Y <= r.Max.Y
+}
+
+// Overlaps reports whether r and s share any point.
+func (r Rect) Overlaps(s Rect) bool { return !r.Intersect(s).Empty() }
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Canon returns r with Min and Max swapped as needed so it is well formed.
+func (r Rect) Canon() Rect {
+	if r.Max.X < r.Min.X {
+		r.Min.X, r.Max.X = r.Max.X, r.Min.X
+	}
+	if r.Max.Y < r.Min.Y {
+		r.Min.Y, r.Max.Y = r.Max.Y, r.Min.Y
+	}
+	return r
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d %d,%d]", r.Min.X, r.Min.Y, r.Max.X, r.Max.Y)
+}
+
+// Pixel is a device-independent pixel value. The toolkit targets 1988-era
+// monochrome displays: 0 is white (background), 255 is black (foreground),
+// intermediate values are gray levels a backend may approximate or
+// threshold.
+type Pixel = uint8
+
+// Standard pixel values.
+const (
+	White Pixel = 0
+	Gray  Pixel = 128
+	Black Pixel = 255
+)

@@ -1,0 +1,241 @@
+package graphics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := XYWH(10, 20, 30, 40)
+	if r.Dx() != 30 || r.Dy() != 40 {
+		t.Fatalf("size = %d,%d", r.Dx(), r.Dy())
+	}
+	if r.Empty() {
+		t.Fatal("non-empty rect reported empty")
+	}
+	if !Pt(10, 20).In(r) || Pt(40, 20).In(r) || Pt(10, 60).In(r) {
+		t.Fatal("half-open containment wrong")
+	}
+	if c := r.Center(); c != Pt(25, 40) {
+		t.Fatalf("center = %v", c)
+	}
+}
+
+func TestRectCanonAndR(t *testing.T) {
+	r := R(5, 9, 1, 2)
+	if r != (Rect{Pt(1, 2), Pt(5, 9)}) {
+		t.Fatalf("R did not canonicalize: %v", r)
+	}
+	if got := (Rect{Pt(5, 9), Pt(1, 2)}).Canon(); got != r {
+		t.Fatalf("Canon = %v", got)
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := XYWH(0, 0, 10, 10)
+	b := XYWH(5, 5, 10, 10)
+	got := a.Intersect(b)
+	if got != R(5, 5, 10, 10) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if u := a.Union(b); u != R(0, 0, 15, 15) {
+		t.Fatalf("Union = %v", u)
+	}
+	c := XYWH(20, 20, 3, 3)
+	if !a.Intersect(c).Empty() {
+		t.Fatal("disjoint intersect non-empty")
+	}
+	if !a.Overlaps(b) || a.Overlaps(c) {
+		t.Fatal("Overlaps wrong")
+	}
+	var empty Rect
+	if a.Union(empty) != a || empty.Union(a) != a {
+		t.Fatal("union with empty not identity")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	a := XYWH(0, 0, 10, 10)
+	if !a.Contains(XYWH(2, 2, 3, 3)) || a.Contains(XYWH(8, 8, 5, 5)) {
+		t.Fatal("Contains wrong")
+	}
+	if !a.Contains(Rect{}) {
+		t.Fatal("every rect contains the empty rect")
+	}
+}
+
+func TestRectInsetTranslate(t *testing.T) {
+	a := XYWH(0, 0, 10, 10)
+	if got := a.Inset(2); got != R(2, 2, 8, 8) {
+		t.Fatalf("Inset = %v", got)
+	}
+	if got := a.Translate(Pt(3, -1)); got != R(3, -1, 13, 9) {
+		t.Fatalf("Translate = %v", got)
+	}
+}
+
+func TestRectEq(t *testing.T) {
+	if !(Rect{}).Eq(R(5, 5, 5, 9)) {
+		t.Fatal("empty rects should be Eq")
+	}
+	if !XYWH(1, 1, 2, 2).Eq(XYWH(1, 1, 2, 2)) {
+		t.Fatal("identical rects not Eq")
+	}
+	if XYWH(1, 1, 2, 2).Eq(XYWH(1, 1, 2, 3)) {
+		t.Fatal("distinct rects Eq")
+	}
+}
+
+// quickRect maps fuzz bytes into small rects so intersections happen often.
+func quickRect(a, b, c, d uint8) Rect {
+	return R(int(a%32), int(b%32), int(a%32)+int(c%16), int(b%32)+int(d%16))
+}
+
+func TestQuickIntersectionCommutes(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i uint8) bool {
+		r1 := quickRect(a, b, c, d)
+		r2 := quickRect(e, g, h, i)
+		return r1.Intersect(r2).Eq(r2.Intersect(r1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionContainsBoth(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i uint8) bool {
+		r1 := quickRect(a, b, c, d)
+		r2 := quickRect(e, g, h, i)
+		u := r1.Union(r2)
+		return u.Contains(r1) && u.Contains(r2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionBasics(t *testing.T) {
+	g := RectRegion(XYWH(0, 0, 10, 10))
+	if g.Empty() || g.Area() != 100 {
+		t.Fatalf("area = %d", g.Area())
+	}
+	if !g.ContainsPoint(Pt(9, 9)) || g.ContainsPoint(Pt(10, 9)) {
+		t.Fatal("containment wrong")
+	}
+	if EmptyRegion().Area() != 0 || !EmptyRegion().Empty() {
+		t.Fatal("empty region wrong")
+	}
+	if RectRegion(Rect{}).Area() != 0 {
+		t.Fatal("empty rect region should be empty")
+	}
+}
+
+func TestRegionUnionDisjoint(t *testing.T) {
+	g := RectRegion(XYWH(0, 0, 5, 5)).UnionRect(XYWH(10, 10, 5, 5))
+	if g.Area() != 50 {
+		t.Fatalf("area = %d", g.Area())
+	}
+	if b := g.Bounds(); b != R(0, 0, 15, 15) {
+		t.Fatalf("bounds = %v", b)
+	}
+}
+
+func TestRegionUnionOverlap(t *testing.T) {
+	g := RectRegion(XYWH(0, 0, 10, 10)).UnionRect(XYWH(5, 5, 10, 10))
+	if g.Area() != 100+100-25 {
+		t.Fatalf("area = %d", g.Area())
+	}
+}
+
+func TestRegionSubtractHole(t *testing.T) {
+	g := RectRegion(XYWH(0, 0, 10, 10)).Subtract(RectRegion(XYWH(3, 3, 4, 4)))
+	if g.Area() != 100-16 {
+		t.Fatalf("area = %d", g.Area())
+	}
+	if g.ContainsPoint(Pt(4, 4)) || !g.ContainsPoint(Pt(0, 0)) {
+		t.Fatal("hole containment wrong")
+	}
+}
+
+func TestRegionIntersect(t *testing.T) {
+	a := RectRegion(XYWH(0, 0, 10, 10)).UnionRect(XYWH(20, 0, 10, 10))
+	b := RectRegion(XYWH(5, 5, 30, 2))
+	got := a.Intersect(b)
+	if got.Area() != 5*2+10*2 {
+		t.Fatalf("area = %d, rects %v", got.Area(), got.Rects())
+	}
+}
+
+func TestRegionCoalescesBands(t *testing.T) {
+	// Two vertically adjacent same-width rects should coalesce into one.
+	g := RectRegion(XYWH(0, 0, 10, 5)).UnionRect(XYWH(0, 5, 10, 5))
+	if n := len(g.Rects()); n != 1 {
+		t.Fatalf("rects = %d (%v), want 1", n, g.Rects())
+	}
+}
+
+// Property: for random small regions, set-algebra identities hold pointwise.
+func TestQuickRegionAlgebra(t *testing.T) {
+	build := func(data []uint8) Region {
+		g := EmptyRegion()
+		for i := 0; i+3 < len(data) && i < 12; i += 4 {
+			g = g.UnionRect(quickRect(data[i], data[i+1], data[i+2], data[i+3]))
+		}
+		return g
+	}
+	f := func(d1, d2 []uint8) bool {
+		a, b := build(d1), build(d2)
+		u, n, s := a.Union(b), a.Intersect(b), a.Subtract(b)
+		for y := 0; y < 48; y++ {
+			for x := 0; x < 48; x++ {
+				p := Pt(x, y)
+				ina, inb := a.ContainsPoint(p), b.ContainsPoint(p)
+				if u.ContainsPoint(p) != (ina || inb) {
+					return false
+				}
+				if n.ContainsPoint(p) != (ina && inb) {
+					return false
+				}
+				if s.ContainsPoint(p) != (ina && !inb) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: region rectangles are pairwise disjoint, and area equals the
+// number of covered lattice points.
+func TestQuickRegionDisjoint(t *testing.T) {
+	f := func(d []uint8) bool {
+		g := EmptyRegion()
+		for i := 0; i+3 < len(d) && i < 20; i += 4 {
+			g = g.UnionRect(quickRect(d[i], d[i+1], d[i+2], d[i+3]))
+		}
+		rects := g.Rects()
+		for i := range rects {
+			for j := i + 1; j < len(rects); j++ {
+				if rects[i].Overlaps(rects[j]) {
+					return false
+				}
+			}
+		}
+		count := 0
+		for y := 0; y < 48; y++ {
+			for x := 0; x < 48; x++ {
+				if g.ContainsPoint(Pt(x, y)) {
+					count++
+				}
+			}
+		}
+		return count == g.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

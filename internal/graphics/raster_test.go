@@ -1,0 +1,267 @@
+package graphics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func collect() (set func(x, y int), pts *map[Point]bool) {
+	m := map[Point]bool{}
+	return func(x, y int) { m[Pt(x, y)] = true }, &m
+}
+
+func TestRasterLineEndpoints(t *testing.T) {
+	set, pts := collect()
+	RasterLine(Pt(0, 0), Pt(7, 3), 1, set)
+	if !(*pts)[Pt(0, 0)] || !(*pts)[Pt(7, 3)] {
+		t.Fatal("line missing endpoints")
+	}
+	// A Bresenham line from (0,0) to (7,3) touches exactly 8 columns.
+	cols := map[int]bool{}
+	for p := range *pts {
+		cols[p.X] = true
+	}
+	if len(cols) != 8 {
+		t.Fatalf("columns = %d, want 8", len(cols))
+	}
+}
+
+func TestRasterLineVerticalHorizontalDiagonal(t *testing.T) {
+	set, pts := collect()
+	RasterLine(Pt(2, 2), Pt(2, 8), 1, set)
+	if len(*pts) != 7 {
+		t.Fatalf("vertical line pixels = %d, want 7", len(*pts))
+	}
+	set2, pts2 := collect()
+	RasterLine(Pt(2, 2), Pt(8, 2), 1, set2)
+	if len(*pts2) != 7 {
+		t.Fatalf("horizontal line pixels = %d, want 7", len(*pts2))
+	}
+	set3, pts3 := collect()
+	RasterLine(Pt(0, 0), Pt(5, 5), 1, set3)
+	if len(*pts3) != 6 {
+		t.Fatalf("diagonal line pixels = %d, want 6", len(*pts3))
+	}
+}
+
+func TestRasterLineWidth(t *testing.T) {
+	set, pts := collect()
+	RasterLine(Pt(0, 5), Pt(9, 5), 3, set)
+	for x := 0; x <= 9; x++ {
+		for dy := -1; dy <= 1; dy++ {
+			if !(*pts)[Pt(x, 5+dy)] {
+				t.Fatalf("thick line missing (%d,%d)", x, 5+dy)
+			}
+		}
+	}
+}
+
+// Property: a 1-wide Bresenham line is symmetric under endpoint swap in
+// pixel-count, and its pixel count equals max(|dx|,|dy|)+1.
+func TestQuickLinePixelCount(t *testing.T) {
+	f := func(ax, ay, bx, by uint8) bool {
+		a := Pt(int(ax%32), int(ay%32))
+		b := Pt(int(bx%32), int(by%32))
+		set, pts := collect()
+		RasterLine(a, b, 1, set)
+		want := max(abs(b.X-a.X), abs(b.Y-a.Y)) + 1
+		return len(*pts) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRasterOvalFillInsideBounds(t *testing.T) {
+	r := XYWH(0, 0, 20, 12)
+	set, pts := collect()
+	RasterOval(r, 1, true, set)
+	for p := range *pts {
+		if !p.In(r) {
+			t.Fatalf("oval fill escaped bounds at %v", p)
+		}
+	}
+	// The center must be filled, the corners must not.
+	if !(*pts)[r.Center()] {
+		t.Fatal("oval fill missing center")
+	}
+	if (*pts)[Pt(0, 0)] || (*pts)[Pt(19, 11)] {
+		t.Fatal("oval fill covered a corner")
+	}
+}
+
+func TestRasterOvalDegenerate(t *testing.T) {
+	set, pts := collect()
+	RasterOval(XYWH(3, 3, 1, 1), 1, false, set)
+	if len(*pts) != 1 || !(*pts)[Pt(3, 3)] {
+		t.Fatalf("1x1 oval = %v", *pts)
+	}
+	set2, pts2 := collect()
+	RasterOval(Rect{}, 1, false, set2)
+	if len(*pts2) != 0 {
+		t.Fatal("empty oval drew pixels")
+	}
+}
+
+func TestRasterPolygonFillTriangle(t *testing.T) {
+	tri := []Point{Pt(0, 0), Pt(10, 0), Pt(0, 10)}
+	set, pts := collect()
+	RasterPolygonFill(tri, set)
+	if !(*pts)[Pt(1, 1)] {
+		t.Fatal("triangle interior not filled")
+	}
+	if (*pts)[Pt(9, 9)] {
+		t.Fatal("triangle fill covered far corner")
+	}
+	// Degenerate inputs are no-ops.
+	set2, pts2 := collect()
+	RasterPolygonFill(tri[:2], set2)
+	if len(*pts2) != 0 {
+		t.Fatal("2-point polygon drew pixels")
+	}
+}
+
+func TestArcPoints(t *testing.T) {
+	r := XYWH(0, 0, 100, 100)
+	pts := ArcPoints(r, 0, 90)
+	if len(pts) < 3 {
+		t.Fatalf("arc points = %d", len(pts))
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	// 0° is 3 o'clock: right edge, center height. 90° is top center.
+	if abs(first.X-99) > 2 || abs(first.Y-49) > 2 {
+		t.Fatalf("arc start = %v", first)
+	}
+	if abs(last.X-49) > 2 || abs(last.Y-0) > 2 {
+		t.Fatalf("arc end = %v", last)
+	}
+}
+
+func TestISinICos(t *testing.T) {
+	cases := []struct{ deg, sin, cos int }{
+		{0, 0, IScale}, {90, IScale, 0}, {180, 0, -IScale}, {270, -IScale, 0},
+		{360, 0, IScale}, {-90, -IScale, 0}, {450, IScale, 0},
+	}
+	for _, c := range cases {
+		if got := ISin(c.deg); abs(got-c.sin) > IScale/100 {
+			t.Errorf("ISin(%d) = %d, want ~%d", c.deg, got, c.sin)
+		}
+		if got := ICos(c.deg); abs(got-c.cos) > IScale/100 {
+			t.Errorf("ICos(%d) = %d, want ~%d", c.deg, got, c.cos)
+		}
+	}
+	// 30° and 45° sanity.
+	if got := ISin(30); abs(got-IScale/2) > IScale/50 {
+		t.Errorf("ISin(30) = %d, want ~%d", got, IScale/2)
+	}
+	if got := ISin(45); abs(got-724) > IScale/50 {
+		t.Errorf("ISin(45) = %d, want ~724", got)
+	}
+}
+
+// Property: sin²+cos² ≈ 1 for all angles.
+func TestQuickTrigIdentity(t *testing.T) {
+	f := func(d int16) bool {
+		s, c := ISin(int(d)), ICos(int(d))
+		mag := s*s + c*c
+		want := IScale * IScale
+		return abs(mag-want) < want/20
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRasterGlyph(t *testing.T) {
+	set, pts := collect()
+	RasterGlyph('H', 0, 12, 8, 10, Plain, set)
+	if len(*pts) == 0 {
+		t.Fatal("glyph drew nothing")
+	}
+	for p := range *pts {
+		if p.Y > 12 || p.Y < 0 || p.X < 0 || p.X > 9 {
+			t.Fatalf("glyph pixel out of box: %v", p)
+		}
+	}
+	// Bold covers at least as many pixels.
+	setB, ptsB := collect()
+	RasterGlyph('H', 0, 12, 8, 10, Bold, setB)
+	if len(*ptsB) < len(*pts) {
+		t.Fatal("bold glyph thinner than plain")
+	}
+	// Space is blank.
+	setS, ptsS := collect()
+	RasterGlyph(' ', 0, 12, 8, 10, Plain, setS)
+	if len(*ptsS) != 0 {
+		t.Fatal("space glyph drew pixels")
+	}
+}
+
+func TestBitmapOps(t *testing.T) {
+	b := NewBitmap(10, 8)
+	if b.At(3, 3) != White {
+		t.Fatal("fresh bitmap not white")
+	}
+	b.Set(3, 3, Black)
+	if b.At(3, 3) != Black {
+		t.Fatal("set/get failed")
+	}
+	b.Set(-1, 0, Black) // silently discarded
+	b.Set(10, 0, Black)
+	if b.At(-1, 0) != White || b.At(10, 0) != White {
+		t.Fatal("out-of-range access leaked")
+	}
+	b.Fill(XYWH(0, 0, 2, 2), Black)
+	if b.Count(b.Bounds(), Black) != 5 {
+		t.Fatalf("count = %d", b.Count(b.Bounds(), Black))
+	}
+	c := b.Clone()
+	if !b.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c.Invert(c.Bounds())
+	if b.Equal(c) {
+		t.Fatal("invert did nothing")
+	}
+	c.Invert(c.Bounds())
+	if !b.Equal(c) {
+		t.Fatal("double invert not identity")
+	}
+}
+
+func TestBitmapBlit(t *testing.T) {
+	src := NewBitmap(4, 4)
+	src.Fill(src.Bounds(), Black)
+	dst := NewBitmap(10, 10)
+	dst.Blit(Pt(8, 8), src, src.Bounds()) // clipped at edges
+	if dst.Count(dst.Bounds(), Black) != 4 {
+		t.Fatalf("clipped blit count = %d", dst.Count(dst.Bounds(), Black))
+	}
+	dst2 := NewBitmap(10, 10)
+	dst2.Blit(Pt(2, 2), src, XYWH(1, 1, 2, 2))
+	if dst2.Count(dst2.Bounds(), Black) != 4 {
+		t.Fatalf("sub-rect blit count = %d", dst2.Count(dst2.Bounds(), Black))
+	}
+}
+
+func TestBitmapASCII(t *testing.T) {
+	b := NewBitmap(3, 2)
+	b.Set(1, 0, Black)
+	b.Set(2, 1, Gray)
+	got := b.ASCII()
+	want := ".#.\n..+\n"
+	if got != want {
+		t.Fatalf("ASCII:\n%s\nwant:\n%s", got, want)
+	}
+	if !strings.Contains(b.String(), "3x2") {
+		t.Fatalf("String = %q", b.String())
+	}
+}
+
+func TestNewBitmapNegative(t *testing.T) {
+	b := NewBitmap(-3, -3)
+	if b.W != 0 || b.H != 0 || len(b.Pix) != 0 {
+		t.Fatalf("negative bitmap = %v", b)
+	}
+}

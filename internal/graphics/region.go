@@ -1,0 +1,229 @@
+package graphics
+
+import "sort"
+
+// Region is a set of points represented as a list of disjoint,
+// y-banded rectangles sorted by (Min.Y, Min.X). Regions are used for
+// clipping and for the update-coalescing performed by the interaction
+// manager: many small damage rects collapse into one region.
+//
+// Region values are immutable once built; operations return new regions.
+type Region struct {
+	rects []Rect
+}
+
+// EmptyRegion returns the region containing no points.
+func EmptyRegion() Region { return Region{} }
+
+// RectRegion returns the region covering exactly r.
+func RectRegion(r Rect) Region {
+	if r.Empty() {
+		return Region{}
+	}
+	return Region{rects: []Rect{r}}
+}
+
+// Rects returns the region's rectangles. The slice must not be modified.
+func (g Region) Rects() []Rect { return g.rects }
+
+// Empty reports whether the region contains no points.
+func (g Region) Empty() bool { return len(g.rects) == 0 }
+
+// Bounds returns the smallest rect containing the region.
+func (g Region) Bounds() Rect {
+	var b Rect
+	for _, r := range g.rects {
+		b = b.Union(r)
+	}
+	return b
+}
+
+// Area returns the number of points in the region.
+func (g Region) Area() int {
+	a := 0
+	for _, r := range g.rects {
+		a += r.Dx() * r.Dy()
+	}
+	return a
+}
+
+// ContainsPoint reports whether p is in the region.
+func (g Region) ContainsPoint(p Point) bool {
+	for _, r := range g.rects {
+		if p.In(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// yBreaks collects the distinct y coordinates where band boundaries of
+// either region fall.
+func yBreaks(a, b Region) []int {
+	set := map[int]bool{}
+	for _, r := range a.rects {
+		set[r.Min.Y] = true
+		set[r.Max.Y] = true
+	}
+	for _, r := range b.rects {
+		set[r.Min.Y] = true
+		set[r.Max.Y] = true
+	}
+	ys := make([]int, 0, len(set))
+	for y := range set {
+		ys = append(ys, y)
+	}
+	sort.Ints(ys)
+	return ys
+}
+
+// spansIn returns the sorted, merged x-spans of region g within band
+// [y0,y1). A span is a pair of x coordinates.
+func (g Region) spansIn(y0, y1 int) [][2]int {
+	var spans [][2]int
+	for _, r := range g.rects {
+		if r.Min.Y <= y0 && y1 <= r.Max.Y {
+			spans = append(spans, [2]int{r.Min.X, r.Max.X})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+	return mergeSpans(spans)
+}
+
+func mergeSpans(spans [][2]int) [][2]int {
+	out := spans[:0]
+	for _, s := range spans {
+		if n := len(out); n > 0 && s[0] <= out[n-1][1] {
+			if s[1] > out[n-1][1] {
+				out[n-1][1] = s[1]
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// combine builds a new region band by band, using op to merge the x-span
+// lists of the two inputs within each band.
+func combine(a, b Region, op func(sa, sb [][2]int) [][2]int) Region {
+	ys := yBreaks(a, b)
+	var out []Rect
+	for i := 0; i+1 < len(ys); i++ {
+		y0, y1 := ys[i], ys[i+1]
+		spans := op(a.spansIn(y0, y1), b.spansIn(y0, y1))
+		for _, s := range spans {
+			nr := R(s[0], y0, s[1], y1)
+			// Coalesce with the rect above when x-extents match exactly.
+			merged := false
+			for j := len(out) - 1; j >= 0; j-- {
+				if out[j].Max.Y != y0 {
+					if out[j].Max.Y < y0 {
+						break
+					}
+					continue
+				}
+				if out[j].Min.X == nr.Min.X && out[j].Max.X == nr.Max.X {
+					out[j].Max.Y = y1
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				out = append(out, nr)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Min.Y != out[j].Min.Y {
+			return out[i].Min.Y < out[j].Min.Y
+		}
+		return out[i].Min.X < out[j].Min.X
+	})
+	return Region{rects: out}
+}
+
+func unionSpans(sa, sb [][2]int) [][2]int {
+	all := append(append([][2]int{}, sa...), sb...)
+	sort.Slice(all, func(i, j int) bool { return all[i][0] < all[j][0] })
+	return mergeSpans(all)
+}
+
+func intersectSpans(sa, sb [][2]int) [][2]int {
+	var out [][2]int
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		lo := max(sa[i][0], sb[j][0])
+		hi := min(sa[i][1], sb[j][1])
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+		if sa[i][1] < sb[j][1] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+func subtractSpans(sa, sb [][2]int) [][2]int {
+	var out [][2]int
+	for _, a := range sa {
+		lo := a[0]
+		for _, b := range sb {
+			if b[1] <= lo {
+				continue
+			}
+			if b[0] >= a[1] {
+				break
+			}
+			if b[0] > lo {
+				out = append(out, [2]int{lo, b[0]})
+			}
+			if b[1] > lo {
+				lo = b[1]
+			}
+			if lo >= a[1] {
+				break
+			}
+		}
+		if lo < a[1] {
+			out = append(out, [2]int{lo, a[1]})
+		}
+	}
+	return out
+}
+
+// Union returns the set of points in either region.
+func (g Region) Union(h Region) Region {
+	if g.Empty() {
+		return h
+	}
+	if h.Empty() {
+		return g
+	}
+	return combine(g, h, unionSpans)
+}
+
+// Intersect returns the set of points in both regions.
+func (g Region) Intersect(h Region) Region {
+	if g.Empty() || h.Empty() {
+		return Region{}
+	}
+	return combine(g, h, intersectSpans)
+}
+
+// Subtract returns the points of g not in h.
+func (g Region) Subtract(h Region) Region {
+	if g.Empty() || h.Empty() {
+		return g
+	}
+	return combine(g, h, subtractSpans)
+}
+
+// UnionRect is shorthand for g.Union(RectRegion(r)).
+func (g Region) UnionRect(r Rect) Region { return g.Union(RectRegion(r)) }
+
+// IntersectRect is shorthand for g.Intersect(RectRegion(r)).
+func (g Region) IntersectRect(r Rect) Region { return g.Intersect(RectRegion(r)) }

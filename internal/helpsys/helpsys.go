@@ -1,0 +1,205 @@
+// Package helpsys is the help-system substrate (snapshot 2): a corpus of
+// named documents with titles, overview hierarchy, and "related tools"
+// cross references, plus navigation history. Because help bodies are text
+// data objects displayed by the ordinary text view, the help system
+// "automatically inherits the multi-media functionality of the text
+// component" (paper §1).
+package helpsys
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"atk/internal/text"
+)
+
+// ErrNoDoc reports a missing help document.
+var ErrNoDoc = errors.New("helpsys: no such document")
+
+// Doc is one help document.
+type Doc struct {
+	Name     string // lookup key ("ez", "console", ...)
+	Title    string
+	Body     *text.Data
+	Related  []string // names of related tools (the right-hand panel)
+	Keywords []string
+}
+
+// Corpus is the set of help documents.
+type Corpus struct {
+	docs map[string]*Doc
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus { return &Corpus{docs: make(map[string]*Doc)} }
+
+// Add installs a document (replacing a previous one of the same name).
+func (c *Corpus) Add(d *Doc) error {
+	if d == nil || d.Name == "" {
+		return fmt.Errorf("helpsys: document needs a name")
+	}
+	if d.Body == nil {
+		d.Body = text.New()
+	}
+	c.docs[d.Name] = d
+	return nil
+}
+
+// Get finds a document by name.
+func (c *Corpus) Get(name string) (*Doc, error) {
+	d, ok := c.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoDoc, name)
+	}
+	return d, nil
+}
+
+// Names returns all document names, sorted (the overview list).
+func (c *Corpus) Names() []string {
+	out := make([]string, 0, len(c.docs))
+	for n := range c.docs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the document count.
+func (c *Corpus) Len() int { return len(c.docs) }
+
+// Search returns the names of documents whose title, keywords or body
+// mention query (case-insensitive), sorted.
+func (c *Corpus) Search(query string) []string {
+	q := strings.ToLower(query)
+	var out []string
+	for n, d := range c.docs {
+		if strings.Contains(strings.ToLower(d.Title), q) ||
+			strings.Contains(strings.ToLower(d.Body.String()), q) {
+			out = append(out, n)
+			continue
+		}
+		for _, k := range d.Keywords {
+			if strings.Contains(strings.ToLower(k), q) {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Session is one user's help browsing state: a current document and a
+// history stack.
+type Session struct {
+	corpus  *Corpus
+	history []string
+	pos     int // index into history of the current doc; -1 when empty
+}
+
+// NewSession starts a session over corpus.
+func NewSession(corpus *Corpus) *Session {
+	return &Session{corpus: corpus, pos: -1}
+}
+
+// Visit opens the named document, truncating any forward history.
+func (s *Session) Visit(name string) (*Doc, error) {
+	d, err := s.corpus.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	s.history = append(s.history[:s.pos+1], name)
+	s.pos = len(s.history) - 1
+	return d, nil
+}
+
+// Current returns the open document, nil if none.
+func (s *Session) Current() *Doc {
+	if s.pos < 0 {
+		return nil
+	}
+	d, _ := s.corpus.Get(s.history[s.pos])
+	return d
+}
+
+// Back moves to the previous document; false at the start of history.
+func (s *Session) Back() bool {
+	if s.pos <= 0 {
+		return false
+	}
+	s.pos--
+	return true
+}
+
+// Forward re-advances after Back; false at the end of history.
+func (s *Session) Forward() bool {
+	if s.pos+1 >= len(s.history) {
+		return false
+	}
+	s.pos++
+	return true
+}
+
+// History returns the visited names up to the current position.
+func (s *Session) History() []string {
+	return append([]string(nil), s.history[:s.pos+1]...)
+}
+
+// StandardCorpus builds the corpus of snapshot 2: the EZ overview with its
+// related-tools list and the program documents in the right-hand panel.
+func StandardCorpus() *Corpus {
+	c := NewCorpus()
+	add := func(name, title, body string, related ...string) {
+		_ = c.Add(&Doc{
+			Name: name, Title: title, Body: text.NewString(body),
+			Related:  related,
+			Keywords: strings.Fields(name + " " + title),
+		})
+	}
+	add("ez", "EZ: A Document Editor",
+		"EZ is an editing program that you can use to create, edit,\n"+
+			"and format many different types of documents. This help\n"+
+			"document introduces EZ and explains how you can use it to\n"+
+			"create and edit text documents. It is composed of these parts:\n\n"+
+			"1. Related information about EZ\n"+
+			"2. Starting EZ\n"+
+			"3. Selecting text and using menus\n"+
+			"4. Previewing and printing your documents\n"+
+			"5. Quitting\n"+
+			"6. Advice\n",
+		"messages", "help", "preview", "typescript")
+	add("messages", "Reading and Sending Mail",
+		"The messages program presents folders of mail and bulletin\n"+
+			"boards. A message body may contain any component: drawings,\n"+
+			"rasters, tables, even animations.\n", "ez", "console")
+	add("help", "About Help",
+		"The help program displays documents like this one. The panel on\n"+
+			"the right lists related tools; click a name to follow it.\n", "ez")
+	add("console", "The Console",
+		"Console displays status information such as the time, date, CPU\n"+
+			"load and file system information.\n", "typescript")
+	add("typescript", "Typescript: a Shell Interface",
+		"Typescript provides an enhanced interface to the C-shell. Type a\n"+
+			"command at the prompt; output is appended to the transcript,\n"+
+			"which is an ordinary editable document.\n", "console", "ez")
+	add("preview", "Previewing Documents",
+		"Preview displays ditroff output page by page before printing.\n", "ez")
+	add("andrew-tour", "Andrew Tour",
+		"A guided tour of the Andrew system for new users.\n", "ez", "help")
+	add("bulletin-boards", "Bulletin Boards",
+		"Campus bulletin boards are folders anyone may read.\n", "messages")
+	add("customizing", "Customizing Andrew",
+		"Key bindings and menus can be extended by dynamically loaded\n"+
+			"code: sophisticated users write commands using the class system.\n", "ez")
+	add("managing-files", "Managing Files and Directories",
+		"Files live in the distributed file system; documents are stored\n"+
+			"in the toolkit external representation.\n", "typescript")
+	add("printing", "Printing Documents",
+		"Printing redraws a document onto a printer drawable (troff).\n", "preview", "ez")
+	add("programming", "Programming with the Toolkit",
+		"To port the toolkit to another window system, six classes must\n"+
+			"be written, encompassing approximately 70 routines.\n", "ez", "customizing")
+	return c
+}

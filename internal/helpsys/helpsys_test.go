@@ -1,0 +1,131 @@
+package helpsys
+
+import (
+	"errors"
+	"testing"
+
+	"atk/internal/text"
+)
+
+func TestCorpusAddGet(t *testing.T) {
+	c := NewCorpus()
+	if err := c.Add(&Doc{Name: "x", Title: "X", Body: text.NewString("body")}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Get("x")
+	if err != nil || d.Title != "X" {
+		t.Fatalf("get = %+v, %v", d, err)
+	}
+	if _, err := c.Get("missing"); !errors.Is(err, ErrNoDoc) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.Add(nil); err == nil {
+		t.Fatal("nil doc accepted")
+	}
+	if err := c.Add(&Doc{}); err == nil {
+		t.Fatal("unnamed doc accepted")
+	}
+	// Nil body replaced.
+	_ = c.Add(&Doc{Name: "y"})
+	d, _ = c.Get("y")
+	if d.Body == nil {
+		t.Fatal("nil body kept")
+	}
+}
+
+func TestStandardCorpus(t *testing.T) {
+	c := StandardCorpus()
+	if c.Len() < 10 {
+		t.Fatalf("corpus has %d docs", c.Len())
+	}
+	ez, err := c.Get("ez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ez.Title != "EZ: A Document Editor" {
+		t.Fatalf("title = %q", ez.Title)
+	}
+	if len(ez.Related) == 0 {
+		t.Fatal("ez has no related tools")
+	}
+	// Every related link resolves.
+	for _, name := range c.Names() {
+		d, _ := c.Get(name)
+		for _, rel := range d.Related {
+			if _, err := c.Get(rel); err != nil {
+				t.Errorf("%s: dangling related link %q", name, rel)
+			}
+		}
+	}
+}
+
+func TestSearch(t *testing.T) {
+	c := StandardCorpus()
+	hits := c.Search("editor")
+	if len(hits) == 0 {
+		t.Fatal("no hits for editor")
+	}
+	found := false
+	for _, h := range hits {
+		if h == "ez" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ez not in %v", hits)
+	}
+	// Body search.
+	hits = c.Search("70 routines")
+	if len(hits) != 1 || hits[0] != "programming" {
+		t.Fatalf("body search = %v", hits)
+	}
+	if len(c.Search("zzzznothing")) != 0 {
+		t.Fatal("phantom hits")
+	}
+}
+
+func TestSessionNavigation(t *testing.T) {
+	c := StandardCorpus()
+	s := NewSession(c)
+	if s.Current() != nil {
+		t.Fatal("fresh session has a current doc")
+	}
+	if _, err := s.Visit("nope"); !errors.Is(err, ErrNoDoc) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Visit("ez"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Visit("messages"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Visit("console"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Current().Name != "console" {
+		t.Fatalf("current = %q", s.Current().Name)
+	}
+	if !s.Back() || s.Current().Name != "messages" {
+		t.Fatalf("back -> %q", s.Current().Name)
+	}
+	if !s.Back() || s.Current().Name != "ez" {
+		t.Fatalf("back -> %q", s.Current().Name)
+	}
+	if s.Back() {
+		t.Fatal("back past start")
+	}
+	if !s.Forward() || s.Current().Name != "messages" {
+		t.Fatalf("forward -> %q", s.Current().Name)
+	}
+	// Visiting truncates forward history.
+	if _, err := s.Visit("help"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Forward() {
+		t.Fatal("forward after branch")
+	}
+	h := s.History()
+	if len(h) != 3 || h[2] != "help" {
+		t.Fatalf("history = %v", h)
+	}
+}

@@ -1,0 +1,220 @@
+package helpsys
+
+import (
+	"fmt"
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/wsys"
+)
+
+// RelatedWidth is the pixel width of the related-tools panel (the right
+// hand panel of snapshot 2).
+const RelatedWidth = 150
+
+// View is the help browser: a read-only document pane on the left and the
+// related-tools panel on the right. Clicking a related tool visits it;
+// 'b' and 'f' (or the Help menu) walk the history. The body pane is an
+// ordinary text view, so help pages inherit the text component's whole
+// repertoire, embedded components included.
+type View struct {
+	core.BaseView
+	reg  *class.Registry
+	sess *Session
+	body *textview.View
+
+	// related rows currently displayed: name and its hit rectangle.
+	relRows []relRow
+}
+
+type relRow struct {
+	name string
+	rect graphics.Rect
+}
+
+// NewView returns a browser over sess, opened at topic.
+func NewView(reg *class.Registry, sess *Session, topic string) (*View, error) {
+	v := &View{reg: reg, sess: sess, body: textview.New(reg)}
+	v.InitView(v, "helpview")
+	v.body.SetParent(v)
+	v.body.SetReadOnly(true)
+	if topic != "" {
+		if _, err := sess.Visit(topic); err != nil {
+			return nil, err
+		}
+	}
+	v.refresh()
+	return v, nil
+}
+
+// Session returns the navigation session.
+func (v *View) Session() *Session { return v.sess }
+
+// refresh rebuilds the body document from the current help doc.
+func (v *View) refresh() {
+	doc := v.sess.Current()
+	if doc == nil {
+		v.body.SetDataObject(text.NewString("no document"))
+		return
+	}
+	display := text.NewString(doc.Title + "\n\n")
+	display.SetRegistry(v.reg)
+	_ = display.SetStyle(0, len([]rune(doc.Title)), "heading")
+	_ = display.Insert(display.Len(), doc.Body.String())
+	// Carry any embedded components across (help is multi-media).
+	for _, e := range doc.Body.Embeds() {
+		_ = display.Embed(display.Len(), e.Obj, e.ViewName)
+	}
+	v.body.SetDataObject(display)
+	v.body.SetDot(0)
+	v.body.ScrollTo(0)
+	v.WantUpdate(v.Self())
+}
+
+// SetBounds implements core.View.
+func (v *View) SetBounds(r graphics.Rect) {
+	v.BaseView.SetBounds(r)
+	v.body.SetBounds(graphics.XYWH(0, 0, r.Dx()-RelatedWidth, r.Dy()))
+}
+
+// FullUpdate implements core.View.
+func (v *View) FullUpdate(d *graphics.Drawable) {
+	w, h := v.Bounds().Dx(), v.Bounds().Dy()
+	d.ClearRect(graphics.XYWH(0, 0, w, h))
+	v.body.FullUpdate(d.Sub(v.body.Bounds()))
+	// The related panel.
+	px := w - RelatedWidth
+	d.SetValue(graphics.Black)
+	d.DrawLine(graphics.Pt(px, 0), graphics.Pt(px, h-1))
+	d.SetFontDesc(graphics.FontDesc{Family: "andy", Size: 10, Style: graphics.Bold})
+	y := 4 + d.Font().Ascent()
+	d.DrawString(graphics.Pt(px+6, y), "Related tools")
+	d.SetFontDesc(graphics.FontDesc{Family: "andy", Size: 10})
+	v.relRows = v.relRows[:0]
+	doc := v.sess.Current()
+	if doc == nil {
+		return
+	}
+	rowH := d.FontHeight() + 4
+	y += 8
+	for _, rel := range doc.Related {
+		y += rowH
+		if y > h {
+			break
+		}
+		rect := graphics.XYWH(px+1, y-d.Font().Ascent()-2, RelatedWidth-2, rowH)
+		d.DrawString(graphics.Pt(px+10, y), rel)
+		v.relRows = append(v.relRows, relRow{name: rel, rect: rect})
+	}
+	// History line at the bottom of the panel.
+	hist := v.sess.History()
+	if len(hist) > 1 {
+		d.SetValue(graphics.Gray)
+		d.DrawString(graphics.Pt(px+6, h-6),
+			fmt.Sprintf("(%d visited)", len(hist)))
+		d.SetValue(graphics.Black)
+	}
+}
+
+// Hit implements core.View: related rows navigate; everything left of the
+// panel goes to the body.
+func (v *View) Hit(a wsys.MouseAction, p graphics.Point, clicks int) core.View {
+	if p.X >= v.Bounds().Dx()-RelatedWidth {
+		if a == wsys.MouseDown {
+			for _, row := range v.relRows {
+				if p.In(row.rect) {
+					v.Visit(row.name)
+					break
+				}
+			}
+			v.WantInputFocus(v.Self())
+		}
+		return v.Self()
+	}
+	if got := v.body.Hit(a, p, clicks); got != nil {
+		// Keep the focus on the browser so navigation keys work, unless an
+		// embedded component claimed the event.
+		if got == core.View(v.body) && a == wsys.MouseDown {
+			v.WantInputFocus(v.Self())
+		}
+		return got
+	}
+	return v.Self()
+}
+
+// Visit opens a document by name and repaints.
+func (v *View) Visit(name string) {
+	if _, err := v.sess.Visit(name); err != nil {
+		v.PostMessage(err.Error())
+		return
+	}
+	v.refresh()
+	v.PostMessage("help: " + name)
+}
+
+// Key implements core.View: navigation over a read-only body.
+func (v *View) Key(ev wsys.Event) bool {
+	switch {
+	case ev.Rune == 'b':
+		if v.sess.Back() {
+			v.refresh()
+		}
+	case ev.Rune == 'f':
+		if v.sess.Forward() {
+			v.refresh()
+		}
+	default:
+		return v.body.Key(ev)
+	}
+	return true
+}
+
+// ScrollInfo implements widgets.Scrollee by delegation to the body.
+func (v *View) ScrollInfo() (int, int, int) { return v.body.ScrollInfo() }
+
+// ScrollTo implements widgets.Scrollee by delegation to the body.
+func (v *View) ScrollTo(top int) { v.body.ScrollTo(top) }
+
+// PostMenus implements core.View.
+func (v *View) PostMenus(ms *core.MenuSet) {
+	_ = ms.Add("Help~21/Back~10", func() {
+		if v.sess.Back() {
+			v.refresh()
+		}
+	})
+	_ = ms.Add("Help~21/Forward~11", func() {
+		if v.sess.Forward() {
+			v.refresh()
+		}
+	})
+	cur := v.sess.Current()
+	if cur != nil {
+		for i, rel := range cur.Related {
+			rel := rel
+			_ = ms.Add(fmt.Sprintf("Help~21/Visit %s~%d", rel, 20+i), func() {
+				v.Visit(rel)
+			})
+		}
+	}
+	v.BaseView.PostMenus(ms)
+}
+
+// Describe renders the current page for terminal dumps (cmd/help).
+func (v *View) Describe() string {
+	doc := v.sess.Current()
+	if doc == nil {
+		return "(no document)\n"
+	}
+	var b strings.Builder
+	b.WriteString(doc.Title + "\n")
+	b.WriteString(strings.Repeat("-", len(doc.Title)) + "\n")
+	b.WriteString(doc.Body.String())
+	if len(doc.Related) > 0 {
+		b.WriteString("\nRelated: " + strings.Join(doc.Related, ", ") + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package helpsys
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"
+)
+
+func setupBrowser(t *testing.T) (*core.InteractionManager, *memwin.Window, *View) {
+	t.Helper()
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := textview.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(StandardCorpus())
+	v, err := NewView(reg, sess, "ez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := memwin.New()
+	win, err := ws.NewWindow("help", 520, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := core.NewInteractionManager(ws, win)
+	im.SetChild(v)
+	im.FullRedraw()
+	return im, win.(*memwin.Window), v
+}
+
+func TestBrowserOpensTopic(t *testing.T) {
+	_, win, v := setupBrowser(t)
+	if v.Session().Current().Name != "ez" {
+		t.Fatalf("current = %q", v.Session().Current().Name)
+	}
+	snap := win.Snapshot()
+	if snap.Count(snap.Bounds(), graphics.Black) < 100 {
+		t.Fatal("browser rendered little ink")
+	}
+	if len(v.relRows) == 0 {
+		t.Fatal("no related rows laid out")
+	}
+	if !strings.Contains(v.Describe(), "EZ: A Document Editor") {
+		t.Fatalf("describe = %q", v.Describe()[:60])
+	}
+}
+
+func TestBrowserMissingTopic(t *testing.T) {
+	reg := class.NewRegistry()
+	_ = text.Register(reg)
+	_ = textview.Register(reg)
+	if _, err := NewView(reg, NewSession(StandardCorpus()), "ghost"); err == nil {
+		t.Fatal("missing topic accepted")
+	}
+}
+
+func TestClickRelatedVisits(t *testing.T) {
+	im, win, v := setupBrowser(t)
+	if len(v.relRows) == 0 {
+		t.Fatal("no rows")
+	}
+	row := v.relRows[0]
+	win.Inject(wsys.Click(row.rect.Center().X, row.rect.Center().Y))
+	win.Inject(wsys.Release(row.rect.Center().X, row.rect.Center().Y))
+	im.DrainEvents()
+	if v.Session().Current().Name != row.name {
+		t.Fatalf("current = %q, want %q", v.Session().Current().Name, row.name)
+	}
+	// Back returns to ez via the keyboard.
+	win.Inject(wsys.KeyPress('b'))
+	im.DrainEvents()
+	if v.Session().Current().Name != "ez" {
+		t.Fatalf("after back: %q", v.Session().Current().Name)
+	}
+	win.Inject(wsys.KeyPress('f'))
+	im.DrainEvents()
+	if v.Session().Current().Name != row.name {
+		t.Fatalf("after forward: %q", v.Session().Current().Name)
+	}
+}
+
+func TestBrowserMenusNavigate(t *testing.T) {
+	im, win, v := setupBrowser(t)
+	win.Inject(wsys.Click(400, 20)) // focus the browser (related panel)
+	win.Inject(wsys.Release(400, 20))
+	im.DrainEvents()
+	ms := im.Menus()
+	if _, ok := ms.Lookup("Help", "Back"); !ok {
+		t.Fatalf("menus = %s", ms)
+	}
+	// A "Visit X" item exists for each related tool and works.
+	rel := v.Session().Current().Related[0]
+	if !ms.Select("Help/Visit " + rel) {
+		t.Fatalf("no visit item for %q in %s", rel, ms)
+	}
+	im.FlushUpdates()
+	if v.Session().Current().Name != rel {
+		t.Fatalf("current = %q", v.Session().Current().Name)
+	}
+}
+
+func TestBrowserScrollsBody(t *testing.T) {
+	// Pad a doc so the body scrolls through the Scrollee interface.
+	corpus := StandardCorpus()
+	long := &Doc{Name: "long", Title: "Long",
+		Body: text.NewString(strings.Repeat("line\n", 100))}
+	_ = corpus.Add(long)
+	reg := class.NewRegistry()
+	_ = text.Register(reg)
+	_ = textview.Register(reg)
+	v, err := NewView(reg, NewSession(corpus), "long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetBounds(graphics.XYWH(0, 0, 520, 200))
+	total, top, vis := v.ScrollInfo()
+	if total <= vis || top != 0 {
+		t.Fatalf("info = %d,%d,%d", total, top, vis)
+	}
+	v.ScrollTo(10)
+	if _, top, _ = v.ScrollInfo(); top != 10 {
+		t.Fatalf("top = %d", top)
+	}
+}

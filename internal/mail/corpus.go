@@ -1,0 +1,137 @@
+package mail
+
+import (
+	"fmt"
+	"strings"
+
+	"atk/internal/drawing"
+	"atk/internal/graphics"
+	"atk/internal/raster"
+	"atk/internal/text"
+)
+
+// The corpus generator synthesizes a campus-scale message population
+// deterministically from a seed, standing in for the production bboard
+// data the paper's snapshots show (1414 folders, "All 1414 Folders").
+
+// rng is a small deterministic linear congruential generator so corpora
+// are reproducible without math/rand's global state.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 17
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) pick(ss []string) string { return ss[r.intn(len(ss))] }
+
+var (
+	deptNames = []string{"andrew", "acad", "cmu", "dept", "itc", "org", "soc"}
+	subNames  = []string{"ms", "toolkit", "wm", "vice", "bboard", "forum",
+		"demo", "gripes", "kernel", "networks", "opinion", "pictures",
+		"music", "ee", "cs", "stats", "misc", "general"}
+	leafNames = []string{"demo", "dev", "test", "news", "old", "daily",
+		"weekly", "archive", "q", "a", "help", "info", "digest", "announce",
+		"chatter", "wanted", "offered", "reviews", "events", "talks"}
+	people = []string{
+		"Nathaniel Borenstein", "Andrew Palay", "Wilfred Hansen",
+		"Michael Kazar", "Mark Sherman", "Maria Wadlow", "Zalman Stern",
+		"Miles Bader", "Thom Peters", "Thomas Neuendorffer", "Bruce Lucas",
+		"David Nichols", "Adam Stoller", "Curt Galloway",
+	}
+	subjects = []string{
+		"The big picture", "The demo agenda", "Toolkit release notes",
+		"Big Cat", "Window system conversion", "X.11 performance",
+		"New bboard policy", "Multi-media examples wanted",
+		"Pascal's Triangle in a cell", "EZ keybindings", "Spelling checker",
+		"Fonts on the IBM RT", "Mail retrieval times", "Console gauges",
+	}
+	bodies = []string{
+		"The Andrew message system is, not surprisingly, internally\ncomplicated.",
+		"Enclosed is a list of our expenses for the demo.",
+		"Knowing your fondness for big cats, here's a picture I recently found.",
+		"We hope to be using X.11 within the ITC exclusively by the middle\nof winter.",
+		"Users are beginning to experiment with the multi-media facility.",
+		"Since the release of EZ, use of emacs has dramatically decreased.",
+		"The timetable for converting the campus is the summer of 1988.",
+	}
+	months = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+		"Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+)
+
+// CorpusSpec sizes a synthetic corpus.
+type CorpusSpec struct {
+	Folders     int
+	MaxMessages int // per folder
+	Seed        uint64
+}
+
+// SnapshotSpec reproduces the scale of snapshot 3: 1414 folders.
+var SnapshotSpec = CorpusSpec{Folders: 1414, MaxMessages: 19, Seed: 1988}
+
+// Generate fills store with a deterministic corpus and returns the total
+// message count.
+func Generate(store *Store, spec CorpusSpec) (int, error) {
+	r := &rng{s: spec.Seed ^ 0x9e3779b97f4a7c15}
+	total := 0
+	for i := 0; i < spec.Folders; i++ {
+		name := fmt.Sprintf("%s.%s.%s", r.pick(deptNames), r.pick(subNames), r.pick(leafNames))
+		if _, err := store.Folder(name); err == nil {
+			name = fmt.Sprintf("%s.%d", name, i) // disambiguate collisions
+		}
+		if _, err := store.AddFolder(name); err != nil {
+			return total, err
+		}
+		n := r.intn(spec.MaxMessages + 1)
+		for j := 0; j < n; j++ {
+			body := text.NewString(r.pick(bodies) + "\n")
+			// Snapshot 3 shows a drawing inside a message body and
+			// snapshot 4 a raster; a slice of the corpus is multi-media.
+			switch r.intn(12) {
+			case 0:
+				dw := drawing.New()
+				_ = dw.Add(&drawing.Item{Kind: drawing.Rectangle,
+					P1: graphics.Pt(0, 0),
+					P2: graphics.Pt(40+r.intn(40), 20+r.intn(20)), Width: 1})
+				_ = dw.Add(&drawing.Item{Kind: drawing.Label,
+					P1: graphics.Pt(4, 14), Text: "fig", Font: graphics.DefaultFont})
+				_ = body.Embed(body.Len(), dw, "drawview")
+			case 1:
+				ra := raster.New(24, 16)
+				ra.Line(graphics.Pt(0, r.intn(16)), graphics.Pt(23, r.intn(16)))
+				_ = body.Embed(body.Len(), ra, "rasterview")
+			}
+			m := &Message{
+				From:    r.pick(people),
+				To:      name,
+				Subject: r.pick(subjects),
+				Date:    fmt.Sprintf("%d-%s-8%d", 1+r.intn(28), r.pick(months), 7+r.intn(2)),
+				Body:    body,
+			}
+			if err := store.Deliver(name, m); err != nil {
+				return total, err
+			}
+			total++
+		}
+	}
+	return total, nil
+}
+
+// FindFolders returns folder names containing substr, for the folder-list
+// filter box.
+func (s *Store) FindFolders(substr string) []string {
+	var out []string
+	for _, n := range s.Folders() {
+		if strings.Contains(n, substr) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

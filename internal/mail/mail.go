@@ -1,0 +1,276 @@
+// Package mail is the message-store substrate under the messages
+// application (paper §1; Borenstein et al.'s companion paper describes the
+// production system). Folders hold messages whose bodies are full
+// multi-media documents — because bodies are text data objects, "it can be
+// sent in a mail message as easily as edited in a document" holds for any
+// component. The corpus generator synthesizes the campus-scale folder
+// population of snapshot 3 (1414 folders).
+package mail
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/text"
+)
+
+// Errors from store operations.
+var (
+	ErrNoFolder  = errors.New("mail: no such folder")
+	ErrDuplicate = errors.New("mail: folder exists")
+	ErrFormat    = errors.New("mail: bad message format")
+)
+
+// Message is one mail message. The body is a text document and may embed
+// any component (drawings in snapshot 3, a raster in snapshot 4).
+type Message struct {
+	From    string
+	To      string
+	Subject string
+	Date    string // "23-Oct-87" era format
+	Body    *text.Data
+	Unread  bool
+}
+
+// Summary renders the message-list line of the reading window.
+func (m *Message) Summary() string {
+	mark := " "
+	if m.Unread {
+		mark = "*"
+	}
+	return fmt.Sprintf("%s %s  %s  %s (%d)", mark, m.Date, m.Subject, m.From, m.Body.Len())
+}
+
+// Folder is a named sequence of messages; names are dotted, bboard style
+// ("andrew.ms.demo").
+type Folder struct {
+	Name     string
+	Messages []*Message
+}
+
+// Unread counts unread messages.
+func (f *Folder) Unread() int {
+	n := 0
+	for _, m := range f.Messages {
+		if m.Unread {
+			n++
+		}
+	}
+	return n
+}
+
+// Store is a collection of folders. Not goroutine-safe, like all toolkit
+// data.
+type Store struct {
+	folders map[string]*Folder
+	reg     *class.Registry
+}
+
+// NewStore returns an empty store using reg for body documents.
+func NewStore(reg *class.Registry) *Store {
+	return &Store{folders: make(map[string]*Folder), reg: reg}
+}
+
+// AddFolder creates a folder.
+func (s *Store) AddFolder(name string) (*Folder, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty name", ErrNoFolder)
+	}
+	if _, ok := s.folders[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	f := &Folder{Name: name}
+	s.folders[name] = f
+	return f, nil
+}
+
+// Folder finds a folder by name.
+func (s *Store) Folder(name string) (*Folder, error) {
+	f, ok := s.folders[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoFolder, name)
+	}
+	return f, nil
+}
+
+// Folders returns all folder names, sorted (the left panel of snapshot 3).
+func (s *Store) Folders() []string {
+	out := make([]string, 0, len(s.folders))
+	for n := range s.folders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the folder count.
+func (s *Store) Len() int { return len(s.folders) }
+
+// Deliver appends a message to the named folder, creating it if needed.
+func (s *Store) Deliver(folder string, m *Message) error {
+	f, ok := s.folders[folder]
+	if !ok {
+		var err error
+		f, err = s.AddFolder(folder)
+		if err != nil {
+			return err
+		}
+	}
+	if m.Body == nil {
+		m.Body = text.New()
+	}
+	m.Unread = true
+	f.Messages = append(f.Messages, m)
+	return nil
+}
+
+// WriteMessage serializes a message: headers then the body document.
+func WriteMessage(w *datastream.Writer, m *Message) error {
+	if _, err := w.Begin("message"); err != nil {
+		return err
+	}
+	for _, h := range [][2]string{
+		{"From", m.From}, {"To", m.To}, {"Subject", m.Subject}, {"Date", m.Date},
+	} {
+		if err := w.WriteText(h[0] + ": " + strconv.QuoteToASCII(h[1])); err != nil {
+			return err
+		}
+	}
+	if _, err := core.WriteObject(w, m.Body); err != nil {
+		return err
+	}
+	return w.End()
+}
+
+// ReadMessage parses one message from r using reg for the body document.
+func ReadMessage(r *datastream.Reader, reg *class.Registry) (*Message, error) {
+	begin, err := r.Next()
+	if err != nil {
+		return nil, err
+	}
+	if begin.Kind != datastream.TokBegin || begin.Type != "message" {
+		return nil, fmt.Errorf("%w: expected message, got %v %q", ErrFormat, begin.Kind, begin.Type)
+	}
+	m := &Message{}
+	for {
+		tok, err := r.Peek()
+		if err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("%w: EOF in message", ErrFormat)
+			}
+			return nil, err
+		}
+		switch tok.Kind {
+		case datastream.TokEnd:
+			_, _ = r.Next()
+			if m.Body == nil {
+				m.Body = text.New()
+			}
+			return m, nil
+		case datastream.TokText:
+			_, _ = r.Next()
+			if err := m.readHeader(tok.Text); err != nil {
+				return nil, err
+			}
+		case datastream.TokBegin:
+			obj, err := core.ReadObject(r, reg)
+			if err != nil {
+				return nil, err
+			}
+			body, ok := obj.(*text.Data)
+			if !ok {
+				return nil, fmt.Errorf("%w: body is %T", ErrFormat, obj)
+			}
+			m.Body = body
+		default:
+			return nil, fmt.Errorf("%w: unexpected %v", ErrFormat, tok.Kind)
+		}
+	}
+}
+
+func (m *Message) readHeader(line string) error {
+	i := strings.Index(line, ": ")
+	if i < 0 {
+		return fmt.Errorf("%w: header %q", ErrFormat, line)
+	}
+	val, err := strconv.Unquote(line[i+2:])
+	if err != nil {
+		return fmt.Errorf("%w: header %q", ErrFormat, line)
+	}
+	switch line[:i] {
+	case "From":
+		m.From = val
+	case "To":
+		m.To = val
+	case "Subject":
+		m.Subject = val
+	case "Date":
+		m.Date = val
+	default:
+		// Unknown headers are preserved in spirit by being ignored.
+	}
+	return nil
+}
+
+// WriteFolder serializes a whole folder.
+func WriteFolder(w *datastream.Writer, f *Folder) error {
+	if _, err := w.Begin("folder"); err != nil {
+		return err
+	}
+	if err := w.WriteText("name " + strconv.QuoteToASCII(f.Name)); err != nil {
+		return err
+	}
+	for _, m := range f.Messages {
+		if err := WriteMessage(w, m); err != nil {
+			return err
+		}
+	}
+	return w.End()
+}
+
+// ReadFolder parses a folder written by WriteFolder.
+func ReadFolder(r *datastream.Reader, reg *class.Registry) (*Folder, error) {
+	begin, err := r.Next()
+	if err != nil {
+		return nil, err
+	}
+	if begin.Kind != datastream.TokBegin || begin.Type != "folder" {
+		return nil, fmt.Errorf("%w: expected folder", ErrFormat)
+	}
+	f := &Folder{}
+	for {
+		tok, err := r.Peek()
+		if err != nil {
+			return nil, err
+		}
+		switch tok.Kind {
+		case datastream.TokEnd:
+			_, _ = r.Next()
+			return f, nil
+		case datastream.TokText:
+			_, _ = r.Next()
+			if strings.HasPrefix(tok.Text, "name ") {
+				name, err := strconv.Unquote(strings.TrimPrefix(tok.Text, "name "))
+				if err != nil {
+					return nil, fmt.Errorf("%w: folder name", ErrFormat)
+				}
+				f.Name = name
+			}
+		case datastream.TokBegin:
+			m, err := ReadMessage(r, reg)
+			if err != nil {
+				return nil, err
+			}
+			f.Messages = append(f.Messages, m)
+		default:
+			return nil, fmt.Errorf("%w: unexpected %v", ErrFormat, tok.Kind)
+		}
+	}
+}

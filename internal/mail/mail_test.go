@@ -1,0 +1,243 @@
+package mail
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/drawing"
+	"atk/internal/graphics"
+	"atk/internal/text"
+)
+
+func testReg(t *testing.T) *class.Registry {
+	t.Helper()
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := drawing.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestStoreFolders(t *testing.T) {
+	s := NewStore(testReg(t))
+	if _, err := s.AddFolder("andrew.ms.demo"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddFolder("andrew.ms.demo"); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.AddFolder(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := s.Folder("nope"); !errors.Is(err, ErrNoFolder) {
+		t.Fatalf("err = %v", err)
+	}
+	_, _ = s.AddFolder("aaa.first")
+	names := s.Folders()
+	if len(names) != 2 || names[0] != "aaa.first" {
+		t.Fatalf("folders = %v", names)
+	}
+}
+
+func TestDeliverAndUnread(t *testing.T) {
+	s := NewStore(testReg(t))
+	m := &Message{From: "Andrew Palay", Subject: "Big Cat", Date: "23-Oct-87",
+		Body: text.NewString("Knowing your fondness for big cats...")}
+	if err := s.Deliver("personal.inbox", m); err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Folder("personal.inbox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Messages) != 1 || f.Unread() != 1 {
+		t.Fatalf("messages=%d unread=%d", len(f.Messages), f.Unread())
+	}
+	f.Messages[0].Unread = false
+	if f.Unread() != 0 {
+		t.Fatal("unread count stale")
+	}
+	if !strings.Contains(m.Summary(), "Big Cat") {
+		t.Fatalf("summary = %q", m.Summary())
+	}
+}
+
+func TestDeliverNilBody(t *testing.T) {
+	s := NewStore(testReg(t))
+	if err := s.Deliver("f", &Message{Subject: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := s.Folder("f")
+	if f.Messages[0].Body == nil {
+		t.Fatal("nil body not replaced")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	reg := testReg(t)
+	body := text.NewString("Enclosed is a list of our expenses.\n")
+	body.SetRegistry(reg)
+	m := &Message{
+		From: "Nathaniel Borenstein", To: "Andrew Palay <ap@andrew>",
+		Subject: "The big \"picture\"", Date: "23-Oct-87", Body: body,
+	}
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if err := WriteMessage(w, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if got.From != m.From || got.To != m.To || got.Subject != m.Subject || got.Date != m.Date {
+		t.Fatalf("headers = %+v", got)
+	}
+	if got.Body.String() != body.String() {
+		t.Fatalf("body = %q", got.Body.String())
+	}
+}
+
+func TestMessageWithEmbeddedDrawing(t *testing.T) {
+	// Snapshot 3: "The message being displayed contains a drawing within
+	// the text of the message."
+	reg := testReg(t)
+	body := text.NewString("the drawing below depicts these complications\n")
+	body.SetRegistry(reg)
+	dw := drawing.New()
+	dw.SetRegistry(reg)
+	_ = dw.Add(&drawing.Item{Kind: drawing.Rectangle,
+		P1: graphics.Pt(0, 0), P2: graphics.Pt(60, 30), Width: 1})
+	_ = dw.Add(&drawing.Item{Kind: drawing.Label, P1: graphics.Pt(5, 20),
+		Text: "VICE", Font: graphics.DefaultFont})
+	if err := body.Embed(body.Len(), dw, ""); err != nil {
+		t.Fatal(err)
+	}
+	m := &Message{From: "nsb", Subject: "The demo agenda", Date: "23-Oct-87", Body: body}
+
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if err := WriteMessage(w, m); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+	got, err := ReadMessage(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	embeds := got.Body.Embeds()
+	if len(embeds) != 1 {
+		t.Fatalf("embeds = %d", len(embeds))
+	}
+	gd, ok := embeds[0].Obj.(*drawing.Data)
+	if !ok || len(gd.Items()) != 2 {
+		t.Fatalf("drawing lost: %#v", embeds[0].Obj)
+	}
+}
+
+func TestFolderRoundTrip(t *testing.T) {
+	reg := testReg(t)
+	f := &Folder{Name: "andrew.ms.demo"}
+	for i := 0; i < 3; i++ {
+		body := text.NewString("message body")
+		body.SetRegistry(reg)
+		f.Messages = append(f.Messages, &Message{
+			From: "x", Subject: "s", Date: "1-Jan-88", Body: body,
+		})
+	}
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if err := WriteFolder(w, f); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+	got, err := ReadFolder(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != f.Name || len(got.Messages) != 3 {
+		t.Fatalf("folder = %+v", got)
+	}
+}
+
+func TestReadMessageErrors(t *testing.T) {
+	reg := testReg(t)
+	for _, s := range []string{
+		"\\begindata{notmessage,1}\n\\enddata{notmessage,1}\n",
+		"\\begindata{message,1}\nbroken header\n\\enddata{message,1}\n",
+		"\\begindata{message,1}\nFrom: unquoted\n\\enddata{message,1}\n",
+	} {
+		if _, err := ReadMessage(datastream.NewReader(strings.NewReader(s)), reg); err == nil {
+			t.Errorf("bad message %q accepted", s)
+		}
+	}
+}
+
+func TestCorpusGeneration(t *testing.T) {
+	reg := testReg(t)
+	s := NewStore(reg)
+	spec := CorpusSpec{Folders: 200, MaxMessages: 10, Seed: 42}
+	total, err := Generate(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 200 {
+		t.Fatalf("folders = %d", s.Len())
+	}
+	if total < 200 { // expect ~5 per folder
+		t.Fatalf("total messages = %d", total)
+	}
+	// Deterministic: same seed, same corpus.
+	s2 := NewStore(reg)
+	total2, _ := Generate(s2, spec)
+	if total2 != total {
+		t.Fatalf("non-deterministic: %d vs %d", total, total2)
+	}
+	names1, names2 := s.Folders(), s2.Folders()
+	for i := range names1 {
+		if names1[i] != names2[i] {
+			t.Fatal("folder names differ across runs")
+		}
+	}
+	// Bodies are real documents.
+	f, _ := s.Folder(names1[0])
+	for _, n := range names1 {
+		ff, _ := s.Folder(n)
+		if len(ff.Messages) > 0 {
+			f = ff
+			break
+		}
+	}
+	if len(f.Messages) > 0 && f.Messages[0].Body.Len() == 0 {
+		t.Fatal("empty generated body")
+	}
+}
+
+func TestSnapshotScale(t *testing.T) {
+	if SnapshotSpec.Folders != 1414 {
+		t.Fatal("snapshot spec drifted") // the number in snapshot 3
+	}
+}
+
+func TestFindFolders(t *testing.T) {
+	s := NewStore(testReg(t))
+	_, _ = s.AddFolder("andrew.ms.demo")
+	_, _ = s.AddFolder("andrew.wm.news")
+	_, _ = s.AddFolder("cmu.misc.x")
+	got := s.FindFolders("andrew")
+	if len(got) != 2 {
+		t.Fatalf("found = %v", got)
+	}
+}
+
+var _ = core.FullChange // keep import for future observer assertions

@@ -1,0 +1,236 @@
+package pageview
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/table"
+	"atk/internal/tableview"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"
+)
+
+func testReg(t *testing.T) *class.Registry {
+	t.Helper()
+	reg := class.NewRegistry()
+	for _, f := range []func(*class.Registry) error{
+		text.Register, textview.Register, Register, table.Register, tableview.Register,
+	} {
+		if err := f(reg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func newPage(t *testing.T, content string) (*View, *text.Data) {
+	t.Helper()
+	reg := testReg(t)
+	d := text.NewString(content)
+	d.SetRegistry(reg)
+	v := New(reg)
+	v.SetDataObject(d)
+	v.SetBounds(graphics.XYWH(0, 0, PageW+16, PageH+16))
+	return v, d
+}
+
+func TestSingleShortPage(t *testing.T) {
+	v, _ := newPage(t, "a short document")
+	if v.Pages() != 1 {
+		t.Fatalf("pages = %d", v.Pages())
+	}
+}
+
+func TestLongDocumentPaginates(t *testing.T) {
+	v, _ := newPage(t, strings.Repeat("a line of body text\n", 200))
+	if v.Pages() < 3 {
+		t.Fatalf("pages = %d", v.Pages())
+	}
+}
+
+func TestPageNavigation(t *testing.T) {
+	v, _ := newPage(t, strings.Repeat("line\n", 200))
+	n := v.Pages()
+	v.SetPage(1)
+	if v.PageIndex() != 1 {
+		t.Fatalf("page = %d", v.PageIndex())
+	}
+	v.SetPage(999)
+	if v.PageIndex() != n-1 {
+		t.Fatalf("clamped = %d", v.PageIndex())
+	}
+	v.SetPage(-3)
+	if v.PageIndex() != 0 {
+		t.Fatalf("clamped low = %d", v.PageIndex())
+	}
+	// Keys.
+	if !v.Key(wsys.KeyDownEvent(wsys.KeyPageDown)) || v.PageIndex() != 1 {
+		t.Fatal("pagedown failed")
+	}
+	if !v.Key(wsys.KeyDownEvent(wsys.KeyHome)) || v.PageIndex() != 0 {
+		t.Fatal("home failed")
+	}
+	if !v.Key(wsys.KeyDownEvent(wsys.KeyEnd)) || v.PageIndex() != n-1 {
+		t.Fatal("end failed")
+	}
+	if v.Key(wsys.KeyPress('x')) {
+		t.Fatal("pageview consumed a printable key")
+	}
+}
+
+func TestCenteredTitleIsCentered(t *testing.T) {
+	v, d := newPage(t, "Title Line\nbody follows")
+	_ = d.SetStyle(0, 10, "title") // title style is JustifyCenter
+	v.ensure()
+	ln := v.pages[0].lines[0]
+	if ln.x <= 0 {
+		t.Fatalf("title not centered: x = %d", ln.x)
+	}
+	body := v.pages[0].lines[1]
+	if body.x != 0 {
+		t.Fatalf("body indented: x = %d", body.x)
+	}
+}
+
+func TestTwoViewTypesOneDataObject(t *testing.T) {
+	// The §2 scenario verbatim: a screen view and a WYSIWYG view of the
+	// same text data object; an edit through the screen view appears in
+	// the page view automatically.
+	reg := testReg(t)
+	d := text.NewString("shared content\n" + strings.Repeat("filler line\n", 150))
+	d.SetRegistry(reg)
+
+	ws := memwin.New()
+	win1, _ := ws.NewWindow("screen view", 400, 300)
+	win2, _ := ws.NewWindow("page view", PageW+16, PageH+16)
+	im1 := core.NewInteractionManager(ws, win1)
+	im2 := core.NewInteractionManager(ws, win2)
+
+	tv := textview.New(reg)
+	tv.SetDataObject(d)
+	im1.SetChild(tv)
+	pv := New(reg)
+	pv.SetDataObject(d)
+	im2.SetChild(pv)
+	im1.FullRedraw()
+	im2.FullRedraw()
+	pagesBefore := pv.Pages()
+	before := win2.(*memwin.Window).Snapshot()
+
+	// Type through the SCREEN view.
+	win1.Inject(wsys.Click(5, 5))
+	win1.Inject(wsys.Release(5, 5))
+	for _, r := range "EDITED: " {
+		win1.Inject(wsys.KeyPress(r))
+	}
+	im1.DrainEvents()
+	// The page view's window repaints through its own IM's update cycle.
+	im2.FlushUpdates()
+	after := win2.(*memwin.Window).Snapshot()
+	if before.Equal(after) {
+		t.Fatal("page view did not reflect the screen view's edit")
+	}
+	if !strings.Contains(d.String(), "EDITED: ") {
+		t.Fatalf("content = %q", d.Slice(0, 20))
+	}
+	// Deleting most of the document shrinks the page count in the page
+	// view (repagination through the observer).
+	_ = d.Delete(20, d.Len()-20)
+	im2.FlushUpdates()
+	if pv.Pages() >= pagesBefore {
+		t.Fatalf("pages = %d, was %d", pv.Pages(), pagesBefore)
+	}
+}
+
+func TestEmbeddedComponentGetsOwnBlock(t *testing.T) {
+	reg := testReg(t)
+	d := text.NewString("before  after")
+	d.SetRegistry(reg)
+	tbl := table.New(2, 2)
+	tbl.SetRegistry(reg)
+	_ = tbl.SetNumber(0, 0, 7)
+	_ = d.Embed(7, tbl, "spread")
+	v := New(reg)
+	v.SetDataObject(d)
+	v.SetBounds(graphics.XYWH(0, 0, PageW+16, PageH+16))
+	v.ensure()
+	foundChild := false
+	for _, ln := range v.pages[0].lines {
+		if ln.child != nil {
+			foundChild = true
+			if ln.cw <= 0 || ln.ch <= 0 {
+				t.Fatalf("child box %dx%d", ln.cw, ln.ch)
+			}
+		}
+	}
+	if !foundChild {
+		t.Fatal("embedded component missing from pagination")
+	}
+}
+
+func TestRenderingShowsPageAndFolio(t *testing.T) {
+	reg := testReg(t)
+	d := text.NewString("printed page content here")
+	d.SetRegistry(reg)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("page", PageW+16, PageH+16)
+	im := core.NewInteractionManager(ws, win)
+	v := New(reg)
+	v.SetDataObject(d)
+	im.SetChild(v)
+	im.FullRedraw()
+	snap := win.(*memwin.Window).Snapshot()
+	// Gray desk around a white page with black border and text.
+	if snap.At(2, 2) != graphics.Gray {
+		t.Fatal("no desk backdrop")
+	}
+	if snap.Count(snap.Bounds(), graphics.Black) < 100 {
+		t.Fatal("page rendered little ink")
+	}
+}
+
+func TestDoubleClickTurnsPage(t *testing.T) {
+	reg := testReg(t)
+	d := text.NewString(strings.Repeat("line\n", 200))
+	d.SetRegistry(reg)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("page", PageW+16, PageH+16)
+	im := core.NewInteractionManager(ws, win)
+	v := New(reg)
+	v.SetDataObject(d)
+	im.SetChild(v)
+	im.FullRedraw()
+	// Double-click the right half.
+	win.Inject(wsys.Event{Kind: wsys.MouseEvent, Action: wsys.MouseDown,
+		Pos: graphics.Pt(PageW-10, 300), Clicks: 2})
+	win.Inject(wsys.Release(PageW-10, 300))
+	im.DrainEvents()
+	if v.PageIndex() != 1 {
+		t.Fatalf("page = %d", v.PageIndex())
+	}
+}
+
+func TestMenus(t *testing.T) {
+	reg := testReg(t)
+	d := text.NewString(strings.Repeat("line\n", 200))
+	d.SetRegistry(reg)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("page", PageW+16, PageH+16)
+	im := core.NewInteractionManager(ws, win)
+	v := New(reg)
+	v.SetDataObject(d)
+	im.SetChild(v)
+	win.Inject(wsys.Click(100, 100))
+	win.Inject(wsys.Release(100, 100))
+	im.DrainEvents()
+	win.Inject(wsys.Event{Kind: wsys.MenuEvent, MenuPath: "Page/Next"})
+	im.DrainEvents()
+	if v.PageIndex() != 1 {
+		t.Fatal("menu page turn failed")
+	}
+}

@@ -1,0 +1,173 @@
+// Package printing implements the default printing mechanism of paper §4:
+// "when a view receives a print request for a specific type of printer it
+// can temporarily shift its pointer to a drawable for that printer type
+// and do a redraw of its image." The printer device here is a troff-style
+// command stream: a Graphic implementation that records device-independent
+// drawing commands instead of pixels.
+package printing
+
+import (
+	"fmt"
+	"io"
+
+	"atk/internal/core"
+	"atk/internal/graphics"
+)
+
+// TroffDevice is a Graphic that emits device-independent troff-flavored
+// drawing commands. Every porting-layer operation becomes one command
+// line, so printed output is diffable in tests and genuinely independent
+// of any window system.
+type TroffDevice struct {
+	w      io.Writer
+	bounds graphics.Rect
+	clip   graphics.Rect
+	err    error
+	// Commands counts emitted commands.
+	Commands int64
+}
+
+// NewTroffDevice returns a device of the given page size writing to w.
+func NewTroffDevice(w io.Writer, width, height int) *TroffDevice {
+	d := &TroffDevice{w: w, bounds: graphics.XYWH(0, 0, width, height)}
+	d.clip = d.bounds
+	d.emit("x init %d %d", width, height)
+	return d
+}
+
+// Err returns the first write error.
+func (t *TroffDevice) Err() error { return t.err }
+
+func (t *TroffDevice) emit(format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	t.Commands++
+	_, t.err = fmt.Fprintf(t.w, format+"\n", args...)
+}
+
+// Bounds implements graphics.Graphic.
+func (t *TroffDevice) Bounds() graphics.Rect { return t.bounds }
+
+// SetClip implements graphics.Graphic.
+func (t *TroffDevice) SetClip(r graphics.Rect) {
+	r = r.Intersect(t.bounds)
+	if r == t.clip {
+		return
+	}
+	t.clip = r
+	t.emit("x clip %d %d %d %d", r.Min.X, r.Min.Y, r.Max.X, r.Max.Y)
+}
+
+// Clear implements graphics.Graphic.
+func (t *TroffDevice) Clear(r graphics.Rect) {
+	t.emit("D e %d %d %d %d", r.Min.X, r.Min.Y, r.Dx(), r.Dy())
+}
+
+// FillRect implements graphics.Graphic.
+func (t *TroffDevice) FillRect(r graphics.Rect, v graphics.Pixel) {
+	t.emit("D R %d %d %d %d g%d", r.Min.X, r.Min.Y, r.Dx(), r.Dy(), v)
+}
+
+// DrawLine implements graphics.Graphic.
+func (t *TroffDevice) DrawLine(a, b graphics.Point, width int, v graphics.Pixel) {
+	t.emit("D l %d %d %d %d w%d g%d", a.X, a.Y, b.X, b.Y, width, v)
+}
+
+// DrawRect implements graphics.Graphic.
+func (t *TroffDevice) DrawRect(r graphics.Rect, width int, v graphics.Pixel) {
+	t.emit("D r %d %d %d %d w%d g%d", r.Min.X, r.Min.Y, r.Dx(), r.Dy(), width, v)
+}
+
+// DrawOval implements graphics.Graphic.
+func (t *TroffDevice) DrawOval(r graphics.Rect, width int, v graphics.Pixel) {
+	t.emit("D o %d %d %d %d w%d g%d", r.Min.X, r.Min.Y, r.Dx(), r.Dy(), width, v)
+}
+
+// FillOval implements graphics.Graphic.
+func (t *TroffDevice) FillOval(r graphics.Rect, v graphics.Pixel) {
+	t.emit("D O %d %d %d %d g%d", r.Min.X, r.Min.Y, r.Dx(), r.Dy(), v)
+}
+
+// DrawArc implements graphics.Graphic.
+func (t *TroffDevice) DrawArc(r graphics.Rect, startDeg, sweepDeg, width int, v graphics.Pixel) {
+	t.emit("D a %d %d %d %d %d %d w%d g%d",
+		r.Min.X, r.Min.Y, r.Dx(), r.Dy(), startDeg, sweepDeg, width, v)
+}
+
+// FillArc implements graphics.Graphic.
+func (t *TroffDevice) FillArc(r graphics.Rect, startDeg, sweepDeg int, v graphics.Pixel) {
+	t.emit("D A %d %d %d %d %d %d g%d",
+		r.Min.X, r.Min.Y, r.Dx(), r.Dy(), startDeg, sweepDeg, v)
+}
+
+// DrawPolyline implements graphics.Graphic.
+func (t *TroffDevice) DrawPolyline(pts []graphics.Point, width int, v graphics.Pixel, closed bool) {
+	cmd := "p"
+	if closed {
+		cmd = "P"
+	}
+	s := fmt.Sprintf("D %s w%d g%d", cmd, width, v)
+	for _, p := range pts {
+		s += fmt.Sprintf(" %d %d", p.X, p.Y)
+	}
+	t.emit("%s", s)
+}
+
+// FillPolygon implements graphics.Graphic.
+func (t *TroffDevice) FillPolygon(pts []graphics.Point, v graphics.Pixel) {
+	s := fmt.Sprintf("D F g%d", v)
+	for _, p := range pts {
+		s += fmt.Sprintf(" %d %d", p.X, p.Y)
+	}
+	t.emit("%s", s)
+}
+
+// DrawString implements graphics.Graphic.
+func (t *TroffDevice) DrawString(p graphics.Point, s string, f *graphics.Font, v graphics.Pixel) {
+	t.emit("H %d V %d f %s t %q", p.X, p.Y, f.Desc, s)
+}
+
+// DrawBitmap implements graphics.Graphic: rasters print as inline hex.
+func (t *TroffDevice) DrawBitmap(dst graphics.Point, bm *graphics.Bitmap) {
+	t.emit("D i %d %d %d %d n%d", dst.X, dst.Y, bm.W, bm.H,
+		bm.Count(bm.Bounds(), graphics.Black))
+}
+
+// CopyArea implements graphics.Graphic; meaningless on paper, recorded
+// for completeness.
+func (t *TroffDevice) CopyArea(src graphics.Rect, dst graphics.Point) {
+	t.emit("x copy %d %d %d %d %d %d", src.Min.X, src.Min.Y, src.Max.X, src.Max.Y, dst.X, dst.Y)
+}
+
+// InvertArea implements graphics.Graphic: selection highlights are not
+// printed, matching the original's behavior of printing unselected
+// content.
+func (t *TroffDevice) InvertArea(r graphics.Rect) {}
+
+// Flush implements graphics.Graphic.
+func (t *TroffDevice) Flush() error {
+	t.emit("x flush")
+	return t.err
+}
+
+// Print redraws v onto a printer device writing to w, using the view's
+// current size. This is the §4 mechanism verbatim: build a drawable over
+// the printer Graphic, redraw, restore nothing because the view never
+// knew the difference.
+func Print(v core.View, w io.Writer) error {
+	width, height := v.Bounds().Dx(), v.Bounds().Dy()
+	if width <= 0 || height <= 0 {
+		width, height = v.DesiredSize(480, 640)
+		v.SetBounds(graphics.XYWH(0, 0, width, height))
+	}
+	dev := NewTroffDevice(w, width, height)
+	d := graphics.NewDrawable(dev)
+	v.FullUpdate(d)
+	v.DrawOverlay(d)
+	if err := d.Flush(); err != nil {
+		return err
+	}
+	dev.emit("x stop")
+	return dev.Err()
+}

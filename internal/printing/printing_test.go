@@ -1,0 +1,122 @@
+package printing
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/text"
+	"atk/internal/textview"
+)
+
+func TestTroffDeviceEmitsCommands(t *testing.T) {
+	var sb strings.Builder
+	dev := NewTroffDevice(&sb, 400, 300)
+	dev.FillRect(graphics.XYWH(0, 0, 10, 10), graphics.Black)
+	dev.DrawLine(graphics.Pt(0, 0), graphics.Pt(5, 5), 1, graphics.Black)
+	dev.DrawString(graphics.Pt(10, 20), "hello", graphics.Open(graphics.DefaultFont), graphics.Black)
+	dev.DrawOval(graphics.XYWH(0, 0, 8, 8), 1, graphics.Black)
+	dev.FillArc(graphics.XYWH(0, 0, 8, 8), 0, 90, graphics.Gray)
+	dev.DrawPolyline([]graphics.Point{{X: 0, Y: 0}, {X: 3, Y: 3}}, 1, graphics.Black, true)
+	dev.FillPolygon([]graphics.Point{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 0, Y: 3}}, graphics.Black)
+	dev.DrawBitmap(graphics.Pt(1, 1), graphics.NewBitmap(4, 4))
+	dev.CopyArea(graphics.XYWH(0, 0, 4, 4), graphics.Pt(8, 8))
+	dev.InvertArea(graphics.XYWH(0, 0, 4, 4)) // no-op on paper
+	if err := dev.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"x init 400 300", "D R", "D l", `t "hello"`, "D o", "D A", "D P", "D F", "D i", "x copy", "x flush",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if dev.Commands < 10 {
+		t.Fatalf("commands = %d", dev.Commands)
+	}
+}
+
+func TestClipDeduplicated(t *testing.T) {
+	var sb strings.Builder
+	dev := NewTroffDevice(&sb, 100, 100)
+	r := graphics.XYWH(0, 0, 50, 50)
+	dev.SetClip(r)
+	dev.SetClip(r) // identical: no extra command
+	if strings.Count(sb.String(), "x clip") != 1 {
+		t.Fatalf("clip commands:\n%s", sb.String())
+	}
+}
+
+func TestPrintRedrawsViewOntoPrinter(t *testing.T) {
+	// Paper §4: a view shifts its drawable to a printer device and
+	// redraws. The text view never learns it printed.
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := textview.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	d := text.NewString("February 11, 1988\nDear David,\nEnclosed is a list of our expenses.")
+	v := textview.New(reg)
+	v.SetDataObject(d)
+	v.SetBounds(graphics.XYWH(0, 0, 400, 200))
+
+	var sb strings.Builder
+	if err := Print(v, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"Dear David,"`) {
+		t.Fatalf("printed output missing text:\n%s", out)
+	}
+	if !strings.Contains(out, "x init 400 200") {
+		t.Fatal("page not initialized from view size")
+	}
+	if !strings.Contains(out, "x stop") {
+		t.Fatal("page not finished")
+	}
+}
+
+func TestPrintSizesUnboundedView(t *testing.T) {
+	reg := class.NewRegistry()
+	_ = text.Register(reg)
+	_ = textview.Register(reg)
+	v := textview.New(reg)
+	v.SetDataObject(text.NewString("sized on demand"))
+	var sb strings.Builder
+	if err := Print(v, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x init") {
+		t.Fatal("no init emitted")
+	}
+}
+
+func TestPrintPropagatesWriteErrors(t *testing.T) {
+	reg := class.NewRegistry()
+	_ = text.Register(reg)
+	_ = textview.Register(reg)
+	v := textview.New(reg)
+	v.SetDataObject(text.NewString("text"))
+	v.SetBounds(graphics.XYWH(0, 0, 100, 50))
+	if err := Print(v, failWriter{}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errFail }
+
+var errFail = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "simulated device failure" }
+
+var _ core.View = (*textview.View)(nil)

@@ -1,0 +1,357 @@
+// Package raster implements the raster (bitmap image) component. Its
+// external representation follows the paper's §5 guidance for binary-ish
+// data: hex rows in 7-bit ASCII where "the bits representing a new row
+// always begin on a new line", keeping even image data mail-transportable
+// and vaguely human-inspectable.
+package raster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+// ErrFormat reports malformed raster streams.
+var ErrFormat = errors.New("raster: bad format")
+
+// Data is the raster data object: a 1-bit image.
+type Data struct {
+	core.BaseData
+	w, h int
+	bits []uint64 // row-major, packed
+}
+
+// New returns a white raster of the given size.
+func New(w, h int) *Data {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	d := &Data{w: w, h: h, bits: make([]uint64, ((w+63)/64)*h)}
+	d.InitData(d, "raster", "rasterview")
+	return d
+}
+
+// FromBitmap builds a raster from a bitmap (non-white pixels become set).
+func FromBitmap(bm *graphics.Bitmap) *Data {
+	d := New(bm.W, bm.H)
+	for y := 0; y < bm.H; y++ {
+		for x := 0; x < bm.W; x++ {
+			if bm.At(x, y) != graphics.White {
+				d.setNoNotify(x, y, true)
+			}
+		}
+	}
+	return d
+}
+
+// Size returns (width, height).
+func (d *Data) Size() (int, int) { return d.w, d.h }
+
+func (d *Data) stride() int { return (d.w + 63) / 64 }
+
+// Get reports whether pixel (x,y) is set; out of range reads false.
+func (d *Data) Get(x, y int) bool {
+	if x < 0 || y < 0 || x >= d.w || y >= d.h {
+		return false
+	}
+	return d.bits[y*d.stride()+x/64]&(1<<(uint(x)%64)) != 0
+}
+
+func (d *Data) setNoNotify(x, y int, on bool) {
+	if x < 0 || y < 0 || x >= d.w || y >= d.h {
+		return
+	}
+	i := y*d.stride() + x/64
+	mask := uint64(1) << (uint(x) % 64)
+	if on {
+		d.bits[i] |= mask
+	} else {
+		d.bits[i] &^= mask
+	}
+}
+
+// Set writes pixel (x,y) and notifies observers.
+func (d *Data) Set(x, y int, on bool) {
+	d.setNoNotify(x, y, on)
+	d.NotifyObservers(core.Change{Kind: "pixel", Pos: y*d.w + x})
+}
+
+// Line draws a 1-pixel line of set bits.
+func (d *Data) Line(a, b graphics.Point) {
+	graphics.RasterLine(a, b, 1, func(x, y int) { d.setNoNotify(x, y, true) })
+	d.NotifyObservers(core.Change{Kind: "line"})
+}
+
+// FillRect sets every bit in r.
+func (d *Data) FillRect(r graphics.Rect, on bool) {
+	r = r.Intersect(graphics.XYWH(0, 0, d.w, d.h))
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		for x := r.Min.X; x < r.Max.X; x++ {
+			d.setNoNotify(x, y, on)
+		}
+	}
+	d.NotifyObservers(core.Change{Kind: "rect"})
+}
+
+// Invert flips every bit in r.
+func (d *Data) Invert(r graphics.Rect) {
+	r = r.Intersect(graphics.XYWH(0, 0, d.w, d.h))
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		for x := r.Min.X; x < r.Max.X; x++ {
+			d.setNoNotify(x, y, !d.Get(x, y))
+		}
+	}
+	d.NotifyObservers(core.Change{Kind: "invert"})
+}
+
+// Count returns the number of set bits.
+func (d *Data) Count() int {
+	n := 0
+	for y := 0; y < d.h; y++ {
+		for x := 0; x < d.w; x++ {
+			if d.Get(x, y) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Bitmap renders the raster as a bitmap.
+func (d *Data) Bitmap() *graphics.Bitmap {
+	bm := graphics.NewBitmap(d.w, d.h)
+	for y := 0; y < d.h; y++ {
+		for x := 0; x < d.w; x++ {
+			if d.Get(x, y) {
+				bm.Set(x, y, graphics.Black)
+			}
+		}
+	}
+	return bm
+}
+
+// Scaled returns a new raster scaled by integer factor n >= 1.
+func (d *Data) Scaled(n int) *Data {
+	if n < 1 {
+		n = 1
+	}
+	out := New(d.w*n, d.h*n)
+	for y := 0; y < d.h; y++ {
+		for x := 0; x < d.w; x++ {
+			if !d.Get(x, y) {
+				continue
+			}
+			for dy := 0; dy < n; dy++ {
+				for dx := 0; dx < n; dx++ {
+					out.setNoNotify(x*n+dx, y*n+dy, true)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WritePayload implements core.DataObject: a header line then one logical
+// hex line per row (the datastream writer wraps long rows with
+// continuations, so physical lines stay under 80 columns while each row
+// still begins on a fresh line).
+func (d *Data) WritePayload(w *datastream.Writer) error {
+	if err := w.WriteRawLine(fmt.Sprintf("bits %d %d", d.w, d.h)); err != nil {
+		return err
+	}
+	bytesPerRow := (d.w + 7) / 8
+	var sb strings.Builder
+	for y := 0; y < d.h; y++ {
+		sb.Reset()
+		for bx := 0; bx < bytesPerRow; bx++ {
+			var b byte
+			for bit := 0; bit < 8; bit++ {
+				if d.Get(bx*8+bit, y) {
+					b |= 1 << bit
+				}
+			}
+			fmt.Fprintf(&sb, "%02x", b)
+		}
+		if err := w.WriteText(sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPayload implements core.DataObject.
+func (d *Data) ReadPayload(r *datastream.Reader) error {
+	tok, err := r.Next()
+	if err != nil {
+		return err
+	}
+	if tok.Kind != datastream.TokText || !strings.HasPrefix(tok.Text, "bits ") {
+		return fmt.Errorf("%w: missing bits header", ErrFormat)
+	}
+	var w, h int
+	if _, err := fmt.Sscanf(tok.Text, "bits %d %d", &w, &h); err != nil || w < 1 || h < 1 {
+		return fmt.Errorf("%w: bad header %q", ErrFormat, tok.Text)
+	}
+	nd := New(w, h)
+	bytesPerRow := (w + 7) / 8
+	for y := 0; y < h; y++ {
+		tok, err := r.Next()
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("%w: EOF at row %d", ErrFormat, y)
+			}
+			return err
+		}
+		if tok.Kind != datastream.TokText {
+			return fmt.Errorf("%w: short raster (%d of %d rows)", ErrFormat, y, h)
+		}
+		if len(tok.Text) != bytesPerRow*2 {
+			return fmt.Errorf("%w: row %d has %d hex chars, want %d",
+				ErrFormat, y, len(tok.Text), bytesPerRow*2)
+		}
+		for bx := 0; bx < bytesPerRow; bx++ {
+			v, err := strconv.ParseUint(tok.Text[bx*2:bx*2+2], 16, 8)
+			if err != nil {
+				return fmt.Errorf("%w: row %d byte %d", ErrFormat, y, bx)
+			}
+			for bit := 0; bit < 8; bit++ {
+				if v&(1<<bit) != 0 {
+					nd.setNoNotify(bx*8+bit, y, true)
+				}
+			}
+		}
+	}
+	end, err := r.Next()
+	if err != nil {
+		return err
+	}
+	if end.Kind != datastream.TokEnd {
+		return fmt.Errorf("%w: trailing content after rows", ErrFormat)
+	}
+	d.w, d.h, d.bits = nd.w, nd.h, nd.bits
+	d.NotifyObservers(core.FullChange)
+	return nil
+}
+
+// View displays (and edits) a raster: click sets pixels, shift via right
+// button clears, drag paints.
+type View struct {
+	core.BaseView
+	painting bool
+	erase    bool
+	last     graphics.Point
+	// Scale is the integer zoom factor for display.
+	Scale int
+}
+
+// NewView returns an unattached raster view.
+func NewView() *View {
+	v := &View{Scale: 1}
+	v.InitView(v, "rasterview")
+	return v
+}
+
+// Raster returns the attached raster data, or nil.
+func (v *View) Raster() *Data {
+	d, _ := v.DataObject().(*Data)
+	return d
+}
+
+// DesiredSize implements core.View.
+func (v *View) DesiredSize(wHint, hHint int) (int, int) {
+	d := v.Raster()
+	if d == nil {
+		return 32, 32
+	}
+	w, h := d.Size()
+	return w*v.Scale + 2, h*v.Scale + 2
+}
+
+// FullUpdate implements core.View.
+func (v *View) FullUpdate(dr *graphics.Drawable) {
+	w, h := v.Bounds().Dx(), v.Bounds().Dy()
+	dr.ClearRect(graphics.XYWH(0, 0, w, h))
+	d := v.Raster()
+	if d == nil {
+		return
+	}
+	if v.Scale <= 1 {
+		dr.DrawBitmap(graphics.Pt(1, 1), d.Bitmap())
+	} else {
+		dr.DrawBitmap(graphics.Pt(1, 1), d.Scaled(v.Scale).Bitmap())
+	}
+	dr.SetValue(graphics.Gray)
+	dr.DrawRect(graphics.XYWH(0, 0, w, h))
+	dr.SetValue(graphics.Black)
+}
+
+// Hit implements core.View: paint with the left button, erase with the
+// right.
+func (v *View) Hit(a wsys.MouseAction, p graphics.Point, clicks int) core.View {
+	d := v.Raster()
+	if d == nil {
+		return nil
+	}
+	scale := v.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	px := graphics.Pt((p.X-1)/scale, (p.Y-1)/scale)
+	switch a {
+	case wsys.MouseDown:
+		v.painting = true
+		v.erase = false
+		v.last = px
+		d.Set(px.X, px.Y, !v.erase)
+		v.WantInputFocus(v.Self())
+	case wsys.MouseMove:
+		if v.painting {
+			d.Line(v.last, px)
+			v.last = px
+		}
+	case wsys.MouseUp:
+		v.painting = false
+	}
+	v.PostCursor(wsys.CursorGunsight)
+	return v.Self()
+}
+
+// PostMenus implements core.View.
+func (v *View) PostMenus(ms *core.MenuSet) {
+	_ = ms.Add("Raster~27/Invert~10", func() {
+		if d := v.Raster(); d != nil {
+			d.Invert(graphics.XYWH(0, 0, d.w, d.h))
+		}
+	})
+	_ = ms.Add("Raster~27/Clear~11", func() {
+		if d := v.Raster(); d != nil {
+			d.FillRect(graphics.XYWH(0, 0, d.w, d.h), false)
+		}
+	})
+	v.BaseView.PostMenus(ms)
+}
+
+// Register installs the raster data and view classes in reg.
+func Register(reg *class.Registry) error {
+	if err := reg.Register(class.Info{
+		Name: "raster",
+		New:  func() any { return New(1, 1) },
+	}); err != nil {
+		return err
+	}
+	return reg.Register(class.Info{
+		Name: "rasterview",
+		New:  func() any { return NewView() },
+	})
+}

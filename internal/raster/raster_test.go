@@ -1,0 +1,287 @@
+package raster
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"
+)
+
+func testReg(t *testing.T) *class.Registry {
+	t.Helper()
+	reg := class.NewRegistry()
+	if err := Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestSetGet(t *testing.T) {
+	d := New(70, 10) // width crosses a word boundary
+	if d.Get(0, 0) {
+		t.Fatal("fresh raster has set bits")
+	}
+	d.Set(0, 0, true)
+	d.Set(69, 9, true)
+	d.Set(64, 5, true)
+	if !d.Get(0, 0) || !d.Get(69, 9) || !d.Get(64, 5) {
+		t.Fatal("set/get failed")
+	}
+	d.Set(0, 0, false)
+	if d.Get(0, 0) {
+		t.Fatal("clear failed")
+	}
+	// Out of range is safe.
+	d.Set(-1, 0, true)
+	d.Set(1000, 0, true)
+	if d.Get(-1, 0) || d.Get(1000, 0) {
+		t.Fatal("out of range leaked")
+	}
+}
+
+func TestLineAndRect(t *testing.T) {
+	d := New(20, 20)
+	d.Line(graphics.Pt(0, 0), graphics.Pt(19, 19))
+	if !d.Get(10, 10) {
+		t.Fatal("line missing midpoint")
+	}
+	d.FillRect(graphics.XYWH(5, 5, 3, 3), true)
+	if d.Count() < 9 {
+		t.Fatalf("count = %d", d.Count())
+	}
+	d.FillRect(graphics.XYWH(0, 0, 20, 20), false)
+	if d.Count() != 0 {
+		t.Fatal("clear all failed")
+	}
+}
+
+func TestInvert(t *testing.T) {
+	d := New(8, 8)
+	d.Invert(graphics.XYWH(0, 0, 4, 4))
+	if d.Count() != 16 {
+		t.Fatalf("count = %d", d.Count())
+	}
+	d.Invert(graphics.XYWH(0, 0, 4, 4))
+	if d.Count() != 0 {
+		t.Fatal("double invert not identity")
+	}
+}
+
+func TestBitmapAndFromBitmap(t *testing.T) {
+	bm := graphics.NewBitmap(10, 10)
+	bm.Set(3, 4, graphics.Black)
+	bm.Set(7, 8, graphics.Gray)
+	d := FromBitmap(bm)
+	if !d.Get(3, 4) || !d.Get(7, 8) {
+		t.Fatal("FromBitmap lost pixels")
+	}
+	back := d.Bitmap()
+	if back.At(3, 4) != graphics.Black {
+		t.Fatal("Bitmap lost pixels")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	d := New(4, 4)
+	d.Set(1, 1, true)
+	s := d.Scaled(3)
+	w, h := s.Size()
+	if w != 12 || h != 12 {
+		t.Fatalf("size = %d,%d", w, h)
+	}
+	for y := 3; y < 6; y++ {
+		for x := 3; x < 6; x++ {
+			if !s.Get(x, y) {
+				t.Fatalf("scaled pixel (%d,%d) unset", x, y)
+			}
+		}
+	}
+	if s.Count() != 9 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func roundTrip(t *testing.T, d *Data) *Data {
+	t.Helper()
+	reg := testReg(t)
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	return obj.(*Data)
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	d := New(70, 12)
+	d.Line(graphics.Pt(0, 0), graphics.Pt(69, 11))
+	d.FillRect(graphics.XYWH(10, 2, 5, 5), true)
+	got := roundTrip(t, d)
+	w, h := got.Size()
+	if w != 70 || h != 12 {
+		t.Fatalf("size = %d,%d", w, h)
+	}
+	if got.Count() != d.Count() {
+		t.Fatalf("count = %d want %d", got.Count(), d.Count())
+	}
+	for y := 0; y < 12; y++ {
+		for x := 0; x < 70; x++ {
+			if got.Get(x, y) != d.Get(x, y) {
+				t.Fatalf("pixel (%d,%d) differs", x, y)
+			}
+		}
+	}
+}
+
+func TestStreamRowsAreSeparateLines(t *testing.T) {
+	// The paper's guideline: bits of a new row begin on a new line.
+	d := New(16, 3)
+	d.Set(0, 1, true)
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, d); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	// begindata, header, 3 rows, enddata.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), sb.String())
+	}
+	if lines[2] != "0000" || lines[3] != "0100" {
+		t.Fatalf("rows: %q %q", lines[2], lines[3])
+	}
+}
+
+func TestStreamWideRasterStaysUnder80Cols(t *testing.T) {
+	d := New(600, 2) // 150 hex chars per row: must wrap
+	d.Set(599, 1, true)
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, d); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+	for i, line := range strings.Split(sb.String(), "\n") {
+		if len(line) > datastream.MaxLine {
+			t.Fatalf("line %d is %d chars", i, len(line))
+		}
+	}
+	got := roundTrip(t, d)
+	if !got.Get(599, 1) {
+		t.Fatal("wide raster lost its pixel")
+	}
+}
+
+func TestStreamBadInput(t *testing.T) {
+	reg := testReg(t)
+	for _, body := range []string{
+		"nobits\n",
+		"bits 0 5\n",
+		"bits 8 2\nzz\nzz\n",
+		"bits 8 2\n00\n",       // short
+		"bits 8 2\n0000\n00\n", // row length mismatch
+		"bits 8 1\n00\nextra\n",
+	} {
+		stream := "\\begindata{raster,1}\n" + body + "\\enddata{raster,1}\n"
+		if _, err := core.ReadObject(datastream.NewReader(strings.NewReader(stream)), reg); err == nil {
+			t.Errorf("bad body %q accepted", body)
+		}
+	}
+}
+
+// Property: any random small raster round-trips exactly.
+func TestQuickStreamRoundTrip(t *testing.T) {
+	f := func(wd, ht uint8, pts []uint16) bool {
+		w := int(wd%40) + 1
+		h := int(ht%20) + 1
+		d := New(w, h)
+		for _, p := range pts {
+			d.setNoNotify(int(p)%w, int(p/256)%h, true)
+		}
+		got := roundTrip(t, d)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if got.Get(x, y) != d.Get(x, y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewPaintAndRender(t *testing.T) {
+	d := New(50, 40)
+	v := NewView()
+	v.SetDataObject(d)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("raster", 100, 80)
+	im := core.NewInteractionManager(ws, win)
+	im.SetChild(v)
+	im.FullRedraw()
+
+	// Paint a stroke.
+	win.Inject(wsys.Click(10, 10))
+	win.Inject(wsys.Drag(20, 10))
+	win.Inject(wsys.Release(20, 10))
+	im.DrainEvents()
+	if d.Count() < 5 {
+		t.Fatalf("painted %d pixels", d.Count())
+	}
+	snap := win.(*memwin.Window).Snapshot()
+	if snap.Count(snap.Bounds(), graphics.Black) < 5 {
+		t.Fatal("paint not rendered")
+	}
+}
+
+func TestViewMenus(t *testing.T) {
+	d := New(10, 10)
+	v := NewView()
+	v.SetDataObject(d)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("raster", 40, 40)
+	im := core.NewInteractionManager(ws, win)
+	im.SetChild(v)
+	win.Inject(wsys.Click(5, 5))
+	win.Inject(wsys.Release(5, 5))
+	im.DrainEvents()
+	win.Inject(wsys.Event{Kind: wsys.MenuEvent, MenuPath: "Raster/Invert"})
+	im.DrainEvents()
+	if d.Count() != 100-1 { // one painted pixel inverted away
+		t.Fatalf("count after invert = %d", d.Count())
+	}
+	win.Inject(wsys.Event{Kind: wsys.MenuEvent, MenuPath: "Raster/Clear"})
+	im.DrainEvents()
+	if d.Count() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestViewDesiredSizeScales(t *testing.T) {
+	d := New(30, 20)
+	v := NewView()
+	v.SetDataObject(d)
+	w1, h1 := v.DesiredSize(0, 0)
+	v.Scale = 2
+	w2, h2 := v.DesiredSize(0, 0)
+	if w2 <= w1 || h2 <= h1 {
+		t.Fatal("scale did not grow size")
+	}
+}

@@ -1,0 +1,178 @@
+// Package script drives an interaction manager from a textual event
+// script — the regression-testing harness a deployed toolkit grows. One
+// command per line; '#' starts a comment. Commands:
+//
+//	click X Y          left-button press+release at (X,Y)
+//	dblclick X Y       double click
+//	rightclick X Y     post the menus
+//	press X Y          button down only
+//	drag X Y           move with the button held
+//	release X Y        button up
+//	type TEXT...       type the rest of the line ("\n" and "\t" escapes)
+//	key NAME           a named key: return, tab, backspace, left, ...
+//	ctrl C             a control chord
+//	menu Card/Item     select a menu item
+//	tick N             advance the clock to tick N
+//	resize W H         resize the window
+//	wait               drain pending events (also implicit at end)
+//
+// Scripts run deterministically: each command's events are injected and
+// drained before the next command runs.
+package script
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+// ErrSyntax reports a malformed script line.
+var ErrSyntax = errors.New("script: syntax error")
+
+// keyNames maps script names to keys.
+var keyNames = map[string]wsys.Key{
+	"return": wsys.KeyReturn, "tab": wsys.KeyTab,
+	"backspace": wsys.KeyBackspace, "delete": wsys.KeyDelete,
+	"escape": wsys.KeyEscape, "left": wsys.KeyLeft, "right": wsys.KeyRight,
+	"up": wsys.KeyUp, "down": wsys.KeyDown, "home": wsys.KeyHome,
+	"end": wsys.KeyEnd, "pageup": wsys.KeyPageUp, "pagedown": wsys.KeyPageDown,
+}
+
+// Run executes src against im, draining events after every command. It
+// returns the number of commands executed.
+func Run(im *core.InteractionManager, src string) (int, error) {
+	n := 0
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := runLine(im, line); err != nil {
+			return n, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		im.DrainEvents()
+		n++
+	}
+	im.DrainEvents()
+	return n, nil
+}
+
+func runLine(im *core.InteractionManager, line string) error {
+	win := im.Window()
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	argXY := func() (int, int, error) {
+		if len(fields) != 3 {
+			return 0, 0, fmt.Errorf("%w: %s needs X Y", ErrSyntax, cmd)
+		}
+		x, err1 := strconv.Atoi(fields[1])
+		y, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return 0, 0, fmt.Errorf("%w: bad coordinates %q", ErrSyntax, line)
+		}
+		return x, y, nil
+	}
+	switch cmd {
+	case "click":
+		x, y, err := argXY()
+		if err != nil {
+			return err
+		}
+		win.Inject(wsys.Click(x, y))
+		win.Inject(wsys.Release(x, y))
+	case "dblclick":
+		x, y, err := argXY()
+		if err != nil {
+			return err
+		}
+		win.Inject(wsys.Event{Kind: wsys.MouseEvent, Action: wsys.MouseDown,
+			Pos: pt(x, y), Clicks: 2})
+		win.Inject(wsys.Release(x, y))
+	case "rightclick":
+		x, y, err := argXY()
+		if err != nil {
+			return err
+		}
+		win.Inject(wsys.Event{Kind: wsys.MouseEvent, Action: wsys.MouseDown,
+			Button: wsys.RightButton, Pos: pt(x, y), Clicks: 1})
+	case "press":
+		x, y, err := argXY()
+		if err != nil {
+			return err
+		}
+		win.Inject(wsys.Click(x, y))
+	case "drag":
+		x, y, err := argXY()
+		if err != nil {
+			return err
+		}
+		win.Inject(wsys.Drag(x, y))
+	case "release":
+		x, y, err := argXY()
+		if err != nil {
+			return err
+		}
+		win.Inject(wsys.Release(x, y))
+	case "type":
+		rest := strings.TrimPrefix(line, "type")
+		rest = strings.TrimPrefix(rest, " ")
+		rest = strings.ReplaceAll(rest, `\n`, "\n")
+		rest = strings.ReplaceAll(rest, `\t`, "\t")
+		for _, r := range rest {
+			switch r {
+			case '\n':
+				win.Inject(wsys.KeyDownEvent(wsys.KeyReturn))
+			case '\t':
+				win.Inject(wsys.KeyDownEvent(wsys.KeyTab))
+			default:
+				win.Inject(wsys.KeyPress(r))
+			}
+		}
+	case "key":
+		if len(fields) != 2 {
+			return fmt.Errorf("%w: key needs a name", ErrSyntax)
+		}
+		k, ok := keyNames[fields[1]]
+		if !ok {
+			return fmt.Errorf("%w: unknown key %q", ErrSyntax, fields[1])
+		}
+		win.Inject(wsys.KeyDownEvent(k))
+	case "ctrl":
+		if len(fields) != 2 || len(fields[1]) != 1 {
+			return fmt.Errorf("%w: ctrl needs one character", ErrSyntax)
+		}
+		win.Inject(wsys.CtrlKey(rune(fields[1][0])))
+	case "menu":
+		if len(fields) != 2 {
+			return fmt.Errorf("%w: menu needs Card/Item", ErrSyntax)
+		}
+		win.Inject(wsys.Event{Kind: wsys.MenuEvent, MenuPath: fields[1]})
+	case "tick":
+		if len(fields) != 2 {
+			return fmt.Errorf("%w: tick needs N", ErrSyntax)
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("%w: bad tick %q", ErrSyntax, fields[1])
+		}
+		win.Inject(wsys.Event{Kind: wsys.TickEvent, Tick: n})
+	case "resize":
+		x, y, err := argXY()
+		if err != nil {
+			return err
+		}
+		return win.Resize(x, y)
+	case "wait":
+		// The post-command drain does the work.
+	default:
+		return fmt.Errorf("%w: unknown command %q", ErrSyntax, cmd)
+	}
+	return nil
+}
+
+func pt(x, y int) graphics.Point { return graphics.Pt(x, y) }

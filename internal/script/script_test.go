@@ -1,0 +1,135 @@
+package script
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/widgets"
+	"atk/internal/wsys/memwin"
+)
+
+func setup(t *testing.T) (*core.InteractionManager, *textview.View, *text.Data) {
+	t.Helper()
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := textview.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	ws := memwin.New()
+	win, err := ws.NewWindow("script", 400, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := core.NewInteractionManager(ws, win)
+	d := text.NewString("hello scripted world")
+	d.SetRegistry(reg)
+	tv := textview.New(reg)
+	tv.SetDataObject(d)
+	im.SetChild(widgets.NewFrame(widgets.NewScrollView(tv)))
+	im.FullRedraw()
+	return im, tv, d
+}
+
+func TestScriptEndToEnd(t *testing.T) {
+	im, tv, d := setup(t)
+	src := `
+# put the caret at the start and type
+click 18 5
+key home
+type >>\t
+key return
+type second line
+wait
+`
+	n, err := Run(im, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("commands = %d", n)
+	}
+	if !strings.HasPrefix(d.String(), ">>\t\nsecond line") {
+		t.Fatalf("content = %q", d.String())
+	}
+	_ = tv
+}
+
+func TestScriptSelectionAndMenus(t *testing.T) {
+	im, tv, d := setup(t)
+	src := `
+click 18 5
+press 18 5
+drag 60 5
+release 60 5
+menu Style/Bold
+`
+	if _, err := Run(im, src); err != nil {
+		t.Fatal(err)
+	}
+	s, e := tv.Selection()
+	if s >= e {
+		t.Fatal("drag did not select")
+	}
+	if d.StyleAt(s) != "bold" {
+		t.Fatalf("style = %q", d.StyleAt(s))
+	}
+}
+
+func TestScriptCtrlAndTicks(t *testing.T) {
+	im, _, d := setup(t)
+	src := `
+click 18 5
+type zap
+ctrl z
+tick 42
+resize 500 300
+`
+	if _, err := Run(im, src); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(d.String(), "zap") {
+		t.Fatalf("undo did not run: %q", d.String())
+	}
+	if im.Ticks() != 42 {
+		t.Fatalf("ticks = %d", im.Ticks())
+	}
+	if im.Bounds().Dx() != 500 {
+		t.Fatalf("width = %d", im.Bounds().Dx())
+	}
+}
+
+func TestScriptRightClickPostsMenus(t *testing.T) {
+	im, _, _ := setup(t)
+	if _, err := Run(im, "rightclick 60 30\n"); err != nil {
+		t.Fatal(err)
+	}
+	if !im.PopupVisible() {
+		t.Fatal("popup not posted")
+	}
+}
+
+func TestScriptErrors(t *testing.T) {
+	im, _, _ := setup(t)
+	for _, bad := range []string{
+		"click 1", "click a b", "key nosuchkey", "ctrl", "ctrl xx",
+		"menu", "tick x", "warp 1 2", "resize 0 0",
+	} {
+		if _, err := Run(im, bad); err == nil {
+			t.Errorf("script %q accepted", bad)
+		} else if !errors.Is(err, ErrSyntax) && bad != "resize 0 0" {
+			t.Errorf("script %q: err = %v", bad, err)
+		}
+	}
+	// Errors carry the line number.
+	_, err := Run(im, "click 1 1\n\nbogus\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package spell implements the spelling checker extension package (paper
+// §1). The dictionary uses affix folding — plurals, -ing/-ed forms,
+// simple suffixes — over a base word list, the approach of the era's
+// spell(1), so a compact dictionary still accepts inflected forms.
+package spell
+
+import (
+	"sort"
+	"strings"
+
+	"atk/internal/text"
+)
+
+// Dictionary holds base words (lower case).
+type Dictionary struct {
+	words map[string]bool
+}
+
+// NewDictionary builds a dictionary from the given words plus the built-in
+// core vocabulary.
+func NewDictionary(extra ...string) *Dictionary {
+	d := &Dictionary{words: make(map[string]bool, len(coreWords)+len(extra))}
+	for _, w := range coreWords {
+		d.words[w] = true
+	}
+	for _, w := range extra {
+		d.Add(w)
+	}
+	return d
+}
+
+// Add inserts a word.
+func (d *Dictionary) Add(w string) {
+	w = strings.ToLower(strings.TrimSpace(w))
+	if w != "" {
+		d.words[w] = true
+	}
+}
+
+// Size returns the number of base words.
+func (d *Dictionary) Size() int { return len(d.words) }
+
+// Known reports whether w (any case) is accepted, directly or through
+// affix folding.
+func (d *Dictionary) Known(w string) bool {
+	w = strings.ToLower(w)
+	if w == "" || d.words[w] {
+		return true
+	}
+	// Pure numbers are fine.
+	numeric := true
+	for _, r := range w {
+		if r < '0' || r > '9' {
+			numeric = false
+			break
+		}
+	}
+	if numeric {
+		return true
+	}
+	for _, cand := range unfold(w) {
+		if d.words[cand] {
+			return true
+		}
+	}
+	return false
+}
+
+// unfold strips common suffixes, yielding base-word candidates.
+func unfold(w string) []string {
+	var out []string
+	add := func(s string) {
+		if len(s) >= 2 {
+			out = append(out, s)
+		}
+	}
+	strip := func(suffix string) (string, bool) {
+		if strings.HasSuffix(w, suffix) {
+			return w[:len(w)-len(suffix)], true
+		}
+		return "", false
+	}
+	if s, ok := strip("'s"); ok {
+		add(s)
+	}
+	if s, ok := strip("s"); ok {
+		add(s)
+	}
+	if s, ok := strip("es"); ok {
+		add(s)
+	}
+	if s, ok := strip("ies"); ok {
+		add(s + "y")
+	}
+	if s, ok := strip("ed"); ok {
+		add(s)
+		add(s + "e")
+		if n := len(s); n >= 2 && s[n-1] == s[n-2] { // stopped -> stop
+			add(s[:n-1])
+		}
+	}
+	if s, ok := strip("ing"); ok {
+		add(s)
+		add(s + "e")
+		if n := len(s); n >= 2 && s[n-1] == s[n-2] { // running -> run
+			add(s[:n-1])
+		}
+	}
+	if s, ok := strip("ly"); ok {
+		add(s)
+	}
+	if s, ok := strip("er"); ok {
+		add(s)
+		add(s + "e")
+	}
+	if s, ok := strip("est"); ok {
+		add(s)
+		add(s + "e")
+	}
+	return out
+}
+
+// Misspelling locates one questionable word.
+type Misspelling struct {
+	Word       string
+	Start, End int // rune offsets
+}
+
+// CheckString scans s and returns the misspellings in order.
+func (d *Dictionary) CheckString(s string) []Misspelling {
+	var out []Misspelling
+	rs := []rune(s)
+	i := 0
+	isLetter := func(r rune) bool {
+		return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '\''
+	}
+	for i < len(rs) {
+		if !isLetter(rs[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(rs) && isLetter(rs[j]) {
+			j++
+		}
+		word := strings.Trim(string(rs[i:j]), "'")
+		if word != "" && !d.Known(word) {
+			out = append(out, Misspelling{Word: word, Start: i, End: j})
+		}
+		i = j
+	}
+	return out
+}
+
+// CheckText scans a text data object (anchors are skipped naturally since
+// they are not letters).
+func (d *Dictionary) CheckText(t *text.Data) []Misspelling {
+	return d.CheckString(t.String())
+}
+
+// Suggest proposes dictionary words within edit distance 1 of w (the
+// classic cheap correction set), sorted.
+func (d *Dictionary) Suggest(w string) []string {
+	w = strings.ToLower(w)
+	seen := map[string]bool{}
+	try := func(cand string) {
+		if cand != w && !seen[cand] && d.words[cand] {
+			seen[cand] = true
+		}
+	}
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	// Deletions.
+	for i := range w {
+		try(w[:i] + w[i+1:])
+	}
+	// Transpositions.
+	for i := 0; i+1 < len(w); i++ {
+		try(w[:i] + string(w[i+1]) + string(w[i]) + w[i+2:])
+	}
+	// Replacements and insertions.
+	for i := 0; i <= len(w); i++ {
+		for _, c := range letters {
+			if i < len(w) {
+				try(w[:i] + string(c) + w[i+1:])
+			}
+			try(w[:i] + string(c) + w[i:])
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// coreWords is a compact base vocabulary: enough for documents about the
+// toolkit itself plus common English function words. Real deployments
+// load /usr/dict/words on top via NewDictionary(extra...).
+var coreWords = []string{
+	"a", "able", "about", "above", "across", "after", "again", "all",
+	"allow", "also", "an", "and", "animation", "any", "application", "are",
+	"as", "at", "author", "b", "bar", "base", "be", "because", "been",
+	"before", "begin", "being", "below", "between", "bit", "bitmap", "board",
+	"both", "box", "buffer", "build", "built", "but", "button", "by", "c",
+	"call", "campus", "can", "car", "case", "cat", "cell", "change",
+	"character", "chart", "check", "child", "children", "choose", "class",
+	"click", "code", "column", "come", "command", "component", "compose",
+	"computer", "contain", "content", "control", "copy", "could", "create",
+	"current", "cursor", "cut", "d", "data", "date", "day", "dear", "delete",
+	"design", "develop", "developer", "dialog", "did", "different",
+	"directory", "display", "do", "document", "does", "down", "draw",
+	"drawing", "each", "easy", "edit", "editor", "end", "enclose",
+	"environment", "equation", "error", "even", "event", "ever", "every", "example",
+	"expense", "facility", "feature", "few", "field", "figure", "file",
+	"filter", "find", "first", "folder", "follow", "fond", "font", "for",
+	"form", "found", "frame", "free", "from", "full", "function", "general",
+	"get", "give", "go", "good", "graphic", "great", "had", "handle", "has",
+	"have", "he", "help", "her", "here", "high", "him", "his", "hope", "how",
+	"i", "if", "image", "in", "include", "information", "input", "insert",
+	"inside", "instead", "interaction", "interface", "into", "is", "it",
+	"item", "its", "just", "keep", "key", "keyboard", "kind", "know", "knot",
+	"label", "language", "large", "last", "later", "left", "let", "letter",
+	"level", "like", "line", "list", "little", "load", "long", "look",
+	"machine", "mail", "make", "manager", "many", "may", "me", "mechanism",
+	"member", "memory", "menu", "message", "might", "mouse", "move", "much",
+	"music", "must", "my", "name", "need", "new", "nice", "no", "normal",
+	"not", "note", "now", "number", "object", "of", "off", "often", "old",
+	"on", "one", "only", "open", "or", "order", "organization", "original",
+	"other", "our", "out", "over", "own", "page", "paper", "paragraph",
+	"parent", "part", "paste", "people", "picture", "piece", "place",
+	"point", "position", "power", "present", "preview", "print", "problem",
+	"process", "program", "programmer", "provide", "put", "raster", "read",
+	"recent", "rectangle", "release", "request", "require", "rest", "right",
+	"row", "run", "same", "save", "say", "screen", "scroll", "search",
+	"second", "section", "see", "select", "send", "sent", "set", "several",
+	"shall", "she", "should", "show", "simple", "since", "size", "small",
+	"so", "software", "some", "space", "spell", "spread", "spreadsheet",
+	"standard", "start", "state", "still", "stop", "store", "string",
+	"structure", "style", "subject", "support", "system", "tab", "table",
+	"take", "tell", "text", "than", "that", "the", "their", "them", "then",
+	"there", "these", "they", "thing", "this", "those", "through", "time",
+	"to", "too", "tool", "toolkit", "top", "triangle", "two", "type",
+	"under", "unique", "university", "until", "up", "update", "use", "user",
+	"value", "version", "very", "view", "want", "was", "way", "we", "well",
+	"were", "what", "when", "where", "which", "while", "who", "why", "will",
+	"window", "with", "within", "without", "word", "work", "world", "would",
+	"write", "year", "yes", "you", "your",
+}

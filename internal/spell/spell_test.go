@@ -1,0 +1,121 @@
+package spell
+
+import (
+	"testing"
+
+	"atk/internal/text"
+)
+
+func TestKnownBaseWords(t *testing.T) {
+	d := NewDictionary()
+	for _, w := range []string{"the", "toolkit", "window", "System", "THE"} {
+		if !d.Known(w) {
+			t.Errorf("%q unknown", w)
+		}
+	}
+	for _, w := range []string{"xyzzy", "qqq", "wndow"} {
+		if d.Known(w) {
+			t.Errorf("%q accepted", w)
+		}
+	}
+}
+
+func TestAffixFolding(t *testing.T) {
+	d := NewDictionary("stop", "carry", "run")
+	for _, w := range []string{
+		"windows", "systems", "changed", "changes", "editing", "stopped",
+		"stopping", "carries", "running", "nicely", "smaller", "smallest",
+		"user's",
+	} {
+		if !d.Known(w) {
+			t.Errorf("inflected %q unknown", w)
+		}
+	}
+}
+
+func TestNumbersAccepted(t *testing.T) {
+	d := NewDictionary()
+	if !d.Known("1988") || !d.Known("3000") {
+		t.Fatal("numbers rejected")
+	}
+}
+
+func TestAddAndSize(t *testing.T) {
+	d := NewDictionary()
+	n := d.Size()
+	d.Add("Zowie")
+	if !d.Known("zowie") || d.Size() != n+1 {
+		t.Fatal("Add failed")
+	}
+	d.Add("  ")
+	if d.Size() != n+1 {
+		t.Fatal("blank word added")
+	}
+}
+
+func TestCheckString(t *testing.T) {
+	d := NewDictionary()
+	miss := d.CheckString("The toolkt is a systm for building applications.")
+	if len(miss) != 2 {
+		t.Fatalf("misses = %+v", miss)
+	}
+	if miss[0].Word != "toolkt" || miss[1].Word != "systm" {
+		t.Fatalf("misses = %+v", miss)
+	}
+	// Offsets point at the words.
+	s := "The toolkt is a systm for building applications."
+	if s[miss[0].Start:miss[0].End] != "toolkt" {
+		t.Fatalf("offsets wrong: %+v", miss[0])
+	}
+}
+
+func TestCheckText(t *testing.T) {
+	d := NewDictionary()
+	td := text.NewString("a documnt with one error")
+	miss := d.CheckText(td)
+	if len(miss) != 1 || miss[0].Word != "documnt" {
+		t.Fatalf("misses = %+v", miss)
+	}
+}
+
+func TestCheckSkipsAnchors(t *testing.T) {
+	d := NewDictionary()
+	td := text.NewString("good text here")
+	// An anchor in the middle must not create a phantom word.
+	// (Anchors are non-letters, so they split words naturally.)
+	miss := d.CheckText(td)
+	if len(miss) != 0 {
+		t.Fatalf("misses = %+v", miss)
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	d := NewDictionary()
+	sug := d.Suggest("windw")
+	found := false
+	for _, s := range sug {
+		if s == "window" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("suggestions = %v", sug)
+	}
+	// Transposition.
+	sug = d.Suggest("teh")
+	found = false
+	for _, s := range sug {
+		if s == "the" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("suggestions for teh = %v", sug)
+	}
+	// The word itself is never suggested.
+	for _, s := range d.Suggest("the") {
+		if s == "the" {
+			t.Fatal("suggested the input itself")
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package styleed implements the style editor extension package (paper
+// §1 lists "a style editor" among the extension packages). The Editor
+// manipulates a text object's style table and runs: define and modify
+// named styles, apply them to ranges, inspect where styles are used, and
+// import one document's styles into another — the operations the original
+// style editor offered through its panels.
+package styleed
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/text"
+)
+
+// ErrNoStyle reports operations on undefined styles.
+var ErrNoStyle = errors.New("styleed: no such style")
+
+// Editor edits the styles of one text object.
+type Editor struct {
+	doc *text.Data
+}
+
+// New returns an editor over doc.
+func New(doc *text.Data) *Editor { return &Editor{doc: doc} }
+
+// Styles lists the defined style names, sorted.
+func (e *Editor) Styles() []string { return e.doc.Styles().Names() }
+
+// Get returns the definition of name.
+func (e *Editor) Get(name string) (text.StyleDef, error) {
+	if !e.doc.Styles().Has(name) {
+		return text.StyleDef{}, fmt.Errorf("%w: %q", ErrNoStyle, name)
+	}
+	return e.doc.Styles().Lookup(name), nil
+}
+
+// Define creates or replaces a style.
+func (e *Editor) Define(d text.StyleDef) error {
+	return e.doc.Styles().Define(d)
+}
+
+// Derive creates a new style based on an existing one with a
+// modification applied — the "new style like X but bigger" workflow.
+func (e *Editor) Derive(base, name string, mod func(*text.StyleDef)) error {
+	def, err := e.Get(base)
+	if err != nil {
+		return err
+	}
+	def.Name = name
+	if mod != nil {
+		mod(&def)
+	}
+	return e.Define(def)
+}
+
+// SetFamily changes a style's font family in place; every run carrying
+// the style re-renders on the next update (views observe the document).
+func (e *Editor) SetFamily(name, family string) error {
+	return e.modify(name, func(d *text.StyleDef) { d.Font.Family = family })
+}
+
+// SetSize changes a style's point size.
+func (e *Editor) SetSize(name string, size int) error {
+	if size <= 0 {
+		return fmt.Errorf("styleed: bad size %d", size)
+	}
+	return e.modify(name, func(d *text.StyleDef) { d.Font.Size = size })
+}
+
+// SetFace changes a style's face bits.
+func (e *Editor) SetFace(name string, face graphics.FontStyle) error {
+	return e.modify(name, func(d *text.StyleDef) { d.Font.Style = face })
+}
+
+// SetIndent changes a style's left indent.
+func (e *Editor) SetIndent(name string, indent int) error {
+	if indent < 0 {
+		return fmt.Errorf("styleed: negative indent")
+	}
+	return e.modify(name, func(d *text.StyleDef) { d.Indent = indent })
+}
+
+// SetJustify changes a style's justification.
+func (e *Editor) SetJustify(name string, j text.Justify) error {
+	return e.modify(name, func(d *text.StyleDef) { d.Justify = j })
+}
+
+func (e *Editor) modify(name string, mod func(*text.StyleDef)) error {
+	def, err := e.Get(name)
+	if err != nil {
+		return err
+	}
+	mod(&def)
+	if err := e.doc.Styles().Define(def); err != nil {
+		return err
+	}
+	// A definition change affects every run carrying the style: notify
+	// the document's observers so views repaint.
+	e.doc.NotifyObservers(core.Change{Kind: "style", Length: e.doc.Len()})
+	return nil
+}
+
+// Apply styles [start,end) of the document with name.
+func (e *Editor) Apply(start, end int, name string) error {
+	return e.doc.SetStyle(start, end, name)
+}
+
+// Usage reports how many runes each style currently covers, including the
+// implicit body coverage, sorted by style name.
+func (e *Editor) Usage() map[string]int {
+	usage := map[string]int{}
+	covered := 0
+	for _, r := range e.doc.Runs() {
+		usage[r.Style] += r.End - r.Start
+		covered += r.End - r.Start
+	}
+	usage[text.DefaultStyleName] += e.doc.Len() - covered
+	return usage
+}
+
+// RunsOf lists the ranges carrying the named style.
+func (e *Editor) RunsOf(name string) []text.Run {
+	var out []text.Run
+	for _, r := range e.doc.Runs() {
+		if r.Style == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ClearStyle removes every run of the named style (content reverts to
+// body).
+func (e *Editor) ClearStyle(name string) error {
+	runs := e.RunsOf(name)
+	// Apply in reverse so earlier SetStyle calls do not disturb later
+	// ranges (they do not shift, but stay tidy anyway).
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Start > runs[j].Start })
+	for _, r := range runs {
+		if err := e.doc.SetStyle(r.Start, r.End, text.DefaultStyleName); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenameStyle renames a style definition and rewrites every run.
+func (e *Editor) RenameStyle(oldName, newName string) error {
+	def, err := e.Get(oldName)
+	if err != nil {
+		return err
+	}
+	def.Name = newName
+	if err := e.Define(def); err != nil {
+		return err
+	}
+	for _, r := range e.RunsOf(oldName) {
+		if err := e.doc.SetStyle(r.Start, r.End, newName); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImportStyles copies every style definition from src that dst lacks —
+// how a campus style sheet propagated between documents.
+func ImportStyles(dst, src *text.Data) int {
+	n := 0
+	for _, name := range src.Styles().Names() {
+		if !dst.Styles().Has(name) {
+			_ = dst.Styles().Define(src.Styles().Lookup(name))
+			n++
+		}
+	}
+	return n
+}
+
+// Describe renders a style definition for the editor's panel.
+func Describe(d text.StyleDef) string {
+	just := ""
+	switch d.Justify {
+	case text.JustifyCenter:
+		just = " centered"
+	case text.JustifyRight:
+		just = " right"
+	}
+	indent := ""
+	if d.Indent > 0 {
+		indent = fmt.Sprintf(" indent=%d", d.Indent)
+	}
+	return fmt.Sprintf("%s: %s%s%s", d.Name, d.Font, indent, just)
+}

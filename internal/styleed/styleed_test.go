@@ -1,0 +1,168 @@
+package styleed
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/text"
+)
+
+func TestGetAndStyles(t *testing.T) {
+	e := New(text.NewString("doc"))
+	if _, err := e.Get("body"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Get("nonesuch"); !errors.Is(err, ErrNoStyle) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(e.Styles()) < 5 {
+		t.Fatalf("styles = %v", e.Styles())
+	}
+}
+
+func TestDeriveAndModify(t *testing.T) {
+	d := text.NewString("some document text")
+	e := New(d)
+	if err := e.Derive("body", "caption", func(s *text.StyleDef) {
+		s.Font.Size = 9
+		s.Justify = text.JustifyCenter
+	}); err != nil {
+		t.Fatal(err)
+	}
+	def, err := e.Get("caption")
+	if err != nil || def.Font.Size != 9 || def.Justify != text.JustifyCenter {
+		t.Fatalf("caption = %+v, %v", def, err)
+	}
+	if err := e.SetSize("caption", 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetFamily("caption", "andysans"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetFace("caption", graphics.Italic); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetIndent("caption", 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetJustify("caption", text.JustifyRight); err != nil {
+		t.Fatal(err)
+	}
+	def, _ = e.Get("caption")
+	if def.Font.Size != 11 || def.Font.Family != "andysans" ||
+		def.Font.Style != graphics.Italic || def.Indent != 12 ||
+		def.Justify != text.JustifyRight {
+		t.Fatalf("caption = %+v", def)
+	}
+	if err := e.SetSize("caption", 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if err := e.SetIndent("caption", -1); err == nil {
+		t.Fatal("negative indent accepted")
+	}
+	if err := e.SetSize("ghost", 10); !errors.Is(err, ErrNoStyle) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestModifyNotifiesObservers(t *testing.T) {
+	d := text.NewString("watched")
+	e := New(d)
+	n := 0
+	d.AddObserver(obsFunc(func(core.DataObject, core.Change) { n++ }))
+	if err := e.SetSize("body", 13); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("style change did not notify document observers")
+	}
+}
+
+func TestUsageAndRunsOf(t *testing.T) {
+	d := text.NewString("0123456789")
+	e := New(d)
+	_ = e.Apply(0, 3, "bold")
+	_ = e.Apply(5, 9, "italic")
+	u := e.Usage()
+	if u["bold"] != 3 || u["italic"] != 4 || u["body"] != 3 {
+		t.Fatalf("usage = %v", u)
+	}
+	runs := e.RunsOf("bold")
+	if len(runs) != 1 || runs[0].End != 3 {
+		t.Fatalf("runs = %v", runs)
+	}
+}
+
+func TestClearStyle(t *testing.T) {
+	d := text.NewString("0123456789")
+	e := New(d)
+	_ = e.Apply(0, 3, "bold")
+	_ = e.Apply(6, 9, "bold")
+	if err := e.ClearStyle("bold"); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.RunsOf("bold")) != 0 {
+		t.Fatal("bold runs remain")
+	}
+	if d.StyleAt(1) != "body" {
+		t.Fatal("content not reverted")
+	}
+}
+
+func TestRenameStyle(t *testing.T) {
+	d := text.NewString("0123456789")
+	e := New(d)
+	_ = e.Derive("bold", "shout", nil)
+	_ = e.Apply(2, 6, "shout")
+	if err := e.RenameStyle("shout", "emphasis"); err != nil {
+		t.Fatal(err)
+	}
+	if d.StyleAt(3) != "emphasis" {
+		t.Fatalf("style at 3 = %q", d.StyleAt(3))
+	}
+	if _, err := e.Get("emphasis"); err != nil {
+		t.Fatal("renamed definition missing")
+	}
+	if err := e.RenameStyle("ghost", "x"); !errors.Is(err, ErrNoStyle) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestImportStyles(t *testing.T) {
+	src := text.NewString("src")
+	_ = src.Styles().Define(text.StyleDef{Name: "special",
+		Font: graphics.FontDesc{Family: "andy", Size: 15}})
+	dst := text.NewString("dst")
+	n := ImportStyles(dst, src)
+	if n == 0 || !dst.Styles().Has("special") {
+		t.Fatalf("imported %d", n)
+	}
+	// Importing again is a no-op.
+	if ImportStyles(dst, src) != 0 {
+		t.Fatal("re-import copied styles")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := text.StyleDef{Name: "title",
+		Font:    graphics.FontDesc{Family: "andy", Size: 20, Style: graphics.Bold},
+		Justify: text.JustifyCenter}
+	s := Describe(d)
+	if !strings.Contains(s, "title") || !strings.Contains(s, "andy20b") ||
+		!strings.Contains(s, "centered") {
+		t.Fatalf("describe = %q", s)
+	}
+	right := Describe(text.StyleDef{Name: "r",
+		Font: graphics.FontDesc{Family: "a", Size: 9}, Indent: 5,
+		Justify: text.JustifyRight})
+	if !strings.Contains(right, "indent=5") || !strings.Contains(right, "right") {
+		t.Fatalf("describe = %q", right)
+	}
+}
+
+type obsFunc func(core.DataObject, core.Change)
+
+func (f obsFunc) ObservedChanged(o core.DataObject, ch core.Change) { f(o, ch) }

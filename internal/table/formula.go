@@ -1,0 +1,417 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The formula language:
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := factor (('*'|'/') factor)*
+//	factor := unary ('^' factor)?          (right associative)
+//	unary  := '-' unary | primary
+//	primary:= number | cellref | func '(' args ')' | '(' expr ')'
+//	args   := (expr | range) (',' (expr | range))*
+//	range  := cellref ':' cellref          (only as a function argument)
+//
+// Functions: sum, avg, min, max, count, abs, sqrt, round.
+// Cell references are A1-style; evaluation pulls dependent cells through
+// the table's memoizing evaluator, so chains recalc correctly and cycles
+// are detected.
+
+type evalCtx struct {
+	d    *Data
+	eval func(i int) (float64, error)
+}
+
+func (ctx *evalCtx) cell(r, c int) (float64, error) {
+	i, err := ctx.d.idx(r, c)
+	if err != nil {
+		return 0, err
+	}
+	return ctx.eval(i)
+}
+
+type node interface {
+	eval(ctx *evalCtx) (float64, error)
+}
+
+type numNode float64
+
+func (n numNode) eval(*evalCtx) (float64, error) { return float64(n), nil }
+
+type refNode struct{ r, c int }
+
+func (n refNode) eval(ctx *evalCtx) (float64, error) { return ctx.cell(n.r, n.c) }
+
+type binNode struct {
+	op   byte
+	l, r node
+}
+
+func (n binNode) eval(ctx *evalCtx) (float64, error) {
+	l, err := n.l.eval(ctx)
+	if err != nil {
+		return 0, err
+	}
+	r, err := n.r.eval(ctx)
+	if err != nil {
+		return 0, err
+	}
+	switch n.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("%w: division by zero", ErrFormula)
+		}
+		return l / r, nil
+	case '^':
+		return math.Pow(l, r), nil
+	}
+	return 0, fmt.Errorf("%w: bad operator %q", ErrFormula, n.op)
+}
+
+type negNode struct{ x node }
+
+func (n negNode) eval(ctx *evalCtx) (float64, error) {
+	v, err := n.x.eval(ctx)
+	return -v, err
+}
+
+type rangeNode struct{ r0, c0, r1, c1 int }
+
+func (n rangeNode) eval(*evalCtx) (float64, error) {
+	return 0, fmt.Errorf("%w: range outside a function", ErrFormula)
+}
+
+// values expands a range argument into the cells it covers.
+func (n rangeNode) values(ctx *evalCtx) ([]float64, error) {
+	r0, r1 := min(n.r0, n.r1), max(n.r0, n.r1)
+	c0, c1 := min(n.c0, n.c1), max(n.c0, n.c1)
+	var out []float64
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			v, err := ctx.cell(r, c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+type callNode struct {
+	fn   string
+	args []node
+}
+
+func (n callNode) eval(ctx *evalCtx) (float64, error) {
+	var vals []float64
+	for _, a := range n.args {
+		if rg, ok := a.(rangeNode); ok {
+			vs, err := rg.values(ctx)
+			if err != nil {
+				return 0, err
+			}
+			vals = append(vals, vs...)
+			continue
+		}
+		v, err := a.eval(ctx)
+		if err != nil {
+			return 0, err
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("%w: %s() needs arguments", ErrFormula, n.fn)
+	}
+	switch n.fn {
+	case "sum":
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s, nil
+	case "avg":
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals)), nil
+	case "min":
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case "max":
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m, nil
+	case "count":
+		return float64(len(vals)), nil
+	case "abs":
+		return math.Abs(vals[0]), nil
+	case "sqrt":
+		if vals[0] < 0 {
+			return 0, fmt.Errorf("%w: sqrt of negative", ErrFormula)
+		}
+		return math.Sqrt(vals[0]), nil
+	case "round":
+		return math.Round(vals[0]), nil
+	}
+	return 0, fmt.Errorf("%w: unknown function %q", ErrFormula, n.fn)
+}
+
+// --- parser ---
+
+type parser struct {
+	src string
+	pos int
+}
+
+func parseFormula(src string) (node, error) {
+	p := &parser{src: src}
+	n, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("%w: trailing %q", ErrFormula, p.src[p.pos:])
+	}
+	return n, nil
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	p.ws()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) expr() (node, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		if op != '+' && op != '-' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = binNode{op, l, r}
+	}
+}
+
+func (p *parser) term() (node, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		if op != '*' && op != '/' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = binNode{op, l, r}
+	}
+}
+
+func (p *parser) factor() (node, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == '^' {
+		p.pos++
+		r, err := p.factor() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return binNode{'^', l, r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (node, error) {
+	if p.peek() == '-' {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return negNode{x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (node, error) {
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		n, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("%w: missing ')'", ErrFormula)
+		}
+		p.pos++
+		return n, nil
+	case c >= '0' && c <= '9' || c == '.':
+		return p.number()
+	case c >= 'A' && c <= 'Z':
+		return p.cellRefOrRange()
+	case c >= 'a' && c <= 'z':
+		return p.call()
+	case c == 0:
+		return nil, fmt.Errorf("%w: unexpected end of formula", ErrFormula)
+	default:
+		return nil, fmt.Errorf("%w: unexpected %q", ErrFormula, c)
+	}
+}
+
+func (p *parser) number() (node, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' ||
+			((c == '+' || c == '-') && p.pos > start && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E')) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad number %q", ErrFormula, p.src[start:p.pos])
+	}
+	return numNode(v), nil
+}
+
+func (p *parser) cellName() (r, c int, err error) {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= 'A' && p.src[p.pos] <= 'Z' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	return parseCellNameAt(p.src[start:p.pos])
+}
+
+func parseCellNameAt(s string) (int, int, error) {
+	r, c, err := ParseCellName(s)
+	return r, c, err
+}
+
+func (p *parser) cellRefOrRange() (node, error) {
+	r0, c0, err := p.cellName()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == ':' {
+		p.pos++
+		r1, c1, err := p.cellName()
+		if err != nil {
+			return nil, err
+		}
+		return rangeNode{r0, c0, r1, c1}, nil
+	}
+	return refNode{r0, c0}, nil
+}
+
+func (p *parser) call() (node, error) {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= 'a' && p.src[p.pos] <= 'z' {
+		p.pos++
+	}
+	fn := strings.ToLower(p.src[start:p.pos])
+	if !knownFuncs[fn] {
+		return nil, fmt.Errorf("%w: unknown function %q", ErrFormula, fn)
+	}
+	if p.peek() != '(' {
+		return nil, fmt.Errorf("%w: expected '(' after %q", ErrFormula, fn)
+	}
+	p.pos++
+	var args []node
+	if p.peek() != ')' {
+		for {
+			a, err := p.argument()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.peek() != ',' {
+				break
+			}
+			p.pos++
+		}
+	}
+	if p.peek() != ')' {
+		return nil, fmt.Errorf("%w: missing ')' in %s()", ErrFormula, fn)
+	}
+	p.pos++
+	if len(args) == 0 {
+		return nil, fmt.Errorf("%w: %s() needs arguments", ErrFormula, fn)
+	}
+	return callNode{fn: fn, args: args}, nil
+}
+
+var knownFuncs = map[string]bool{
+	"sum": true, "avg": true, "min": true, "max": true,
+	"count": true, "abs": true, "sqrt": true, "round": true,
+}
+
+// argument parses either an expression or a bare range.
+func (p *parser) argument() (node, error) {
+	// A range can only start with a cell name; try that first.
+	if c := p.peek(); c >= 'A' && c <= 'Z' {
+		save := p.pos
+		ref, err := p.cellRefOrRange()
+		if err != nil {
+			return nil, err
+		}
+		if _, isRange := ref.(rangeNode); isRange {
+			return ref, nil
+		}
+		// A plain ref may still be part of a larger expression: rewind and
+		// let the expression parser have it.
+		p.pos = save
+	}
+	return p.expr()
+}

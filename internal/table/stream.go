@@ -1,0 +1,260 @@
+package table
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+)
+
+// External representation of a table:
+//
+//	\begindata{table,2}
+//	dims 3 4
+//	colw 1 90
+//	cell 0 0 n 12
+//	cell 0 1 t "label text"
+//	cell 1 0 f "=A1*2"
+//	embed 2 2 textview
+//	\begindata{text,3}...\enddata{text,3}
+//	\view{textview,3}
+//	\enddata{table,2}
+//
+// Every line is 7-bit raw; text payloads are Go-quoted so they stay on
+// one short line (long strings are split across continuation "more"
+// lines).
+
+// WritePayload implements core.DataObject.
+func (d *Data) WritePayload(w *datastream.Writer) error {
+	if err := w.WriteRawLine(fmt.Sprintf("dims %d %d", d.rows, d.cols)); err != nil {
+		return err
+	}
+	for c, cw := range d.colW {
+		if cw > 0 {
+			if err := w.WriteRawLine(fmt.Sprintf("colw %d %d", c, cw)); err != nil {
+				return err
+			}
+		}
+	}
+	for r := 0; r < d.rows; r++ {
+		for c := 0; c < d.cols; c++ {
+			cell := d.cells[r*d.cols+c]
+			switch cell.Kind {
+			case Empty:
+				continue
+			case Number:
+				if err := w.WriteRawLine(fmt.Sprintf("cell %d %d n %s",
+					r, c, strconv.FormatFloat(cell.Value, 'g', -1, 64))); err != nil {
+					return err
+				}
+			case Text:
+				if err := writeQuoted(w, fmt.Sprintf("cell %d %d t ", r, c), cell.Str); err != nil {
+					return err
+				}
+			case Formula:
+				if err := writeQuoted(w, fmt.Sprintf("cell %d %d f ", r, c), cell.Str); err != nil {
+					return err
+				}
+			case Embed:
+				if err := w.WriteRawLine(fmt.Sprintf("embed %d %d %s", r, c, cell.ViewNam)); err != nil {
+					return err
+				}
+				id, err := core.WriteObject(w, cell.Obj)
+				if err != nil {
+					return err
+				}
+				if err := w.View(cell.ViewNam, id); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeQuoted emits prefix + a Go-quoted string as one logical payload
+// line. WriteText handles the datastream escaping and wraps long values
+// with continuation lines, so arbitrary content round-trips while every
+// physical line stays under the 80-column limit.
+func writeQuoted(w *datastream.Writer, prefix, s string) error {
+	return w.WriteText(prefix + strconv.QuoteToASCII(s))
+}
+
+// ReadPayload implements core.DataObject.
+func (d *Data) ReadPayload(r *datastream.Reader) error {
+	d.rows, d.cols = 1, 1
+	d.cells = make([]Cell, 1)
+	d.colW = make([]int, 1)
+	var pendingEmbed *struct {
+		r, c int
+		view string
+		obj  core.DataObject
+	}
+	var lastQuoted *string // target of "more" continuation lines
+	for {
+		tok, err := r.Next()
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("%w: EOF inside table", datastream.ErrBadNesting)
+			}
+			return err
+		}
+		switch tok.Kind {
+		case datastream.TokEnd:
+			if err := d.fixupFormulas(); err != nil {
+				return err
+			}
+			d.recalc()
+			d.NotifyObservers(core.FullChange)
+			return nil
+		case datastream.TokBegin:
+			if pendingEmbed == nil {
+				return fmt.Errorf("table: unexpected nested %s with no embed line", tok.Type)
+			}
+			obj, err := core.ReadObjectAfterBegin(r, d.registry(), tok)
+			if err != nil {
+				return err
+			}
+			pendingEmbed.obj = obj
+		case datastream.TokView:
+			if pendingEmbed == nil || pendingEmbed.obj == nil {
+				return fmt.Errorf("table: \\view with no pending embed")
+			}
+			i, err := d.idx(pendingEmbed.r, pendingEmbed.c)
+			if err != nil {
+				return err
+			}
+			d.cells[i] = Cell{Kind: Embed, Obj: pendingEmbed.obj, ViewNam: tok.Type}
+			pendingEmbed = nil
+		case datastream.TokText:
+			fields := strings.SplitN(tok.Text, " ", 4)
+			if len(fields) == 0 || fields[0] == "" {
+				continue
+			}
+			switch fields[0] {
+			case "dims":
+				if len(fields) < 3 {
+					return fmt.Errorf("table: bad dims %q", tok.Text)
+				}
+				rows, err1 := strconv.Atoi(fields[1])
+				cols, err2 := strconv.Atoi(fields[2])
+				if err1 != nil || err2 != nil || rows < 1 || cols < 1 {
+					return fmt.Errorf("table: bad dims %q", tok.Text)
+				}
+				d.rows, d.cols = rows, cols
+				d.cells = make([]Cell, rows*cols)
+				d.colW = make([]int, cols)
+			case "colw":
+				if len(fields) < 3 {
+					return fmt.Errorf("table: bad colw %q", tok.Text)
+				}
+				c, err1 := strconv.Atoi(fields[1])
+				cw, err2 := strconv.Atoi(fields[2])
+				if err1 != nil || err2 != nil || c < 0 || c >= d.cols {
+					return fmt.Errorf("table: bad colw %q", tok.Text)
+				}
+				d.colW[c] = cw
+			case "cell":
+				lastQuoted = nil
+				if len(fields) != 4 {
+					return fmt.Errorf("table: bad cell %q", tok.Text)
+				}
+				row, err1 := strconv.Atoi(fields[1])
+				col, err2 := strconv.Atoi(fields[2])
+				if err1 != nil || err2 != nil {
+					return fmt.Errorf("table: bad cell %q", tok.Text)
+				}
+				kind := fields[3][0]
+				rest := strings.TrimSpace(fields[3][1:])
+				i, err := d.idx(row, col)
+				if err != nil {
+					return err
+				}
+				switch kind {
+				case 'n':
+					v, err := strconv.ParseFloat(rest, 64)
+					if err != nil {
+						return fmt.Errorf("table: bad number %q", tok.Text)
+					}
+					d.cells[i] = Cell{Kind: Number, Value: v}
+				case 't':
+					s, err := strconv.Unquote(rest)
+					if err != nil {
+						return fmt.Errorf("table: bad text %q", tok.Text)
+					}
+					d.cells[i] = Cell{Kind: Text, Str: s}
+					lastQuoted = &d.cells[i].Str
+				case 'f':
+					s, err := strconv.Unquote(rest)
+					if err != nil {
+						return fmt.Errorf("table: bad formula %q", tok.Text)
+					}
+					d.cells[i] = Cell{Kind: Formula, Str: s}
+					lastQuoted = &d.cells[i].Str
+				default:
+					return fmt.Errorf("table: unknown cell kind %q", kind)
+				}
+			case "more":
+				if lastQuoted == nil {
+					return fmt.Errorf("table: dangling more line")
+				}
+				rest := strings.TrimPrefix(tok.Text, "more ")
+				s, err := strconv.Unquote(rest)
+				if err != nil {
+					return fmt.Errorf("table: bad more line %q", tok.Text)
+				}
+				*lastQuoted += s
+			case "embed":
+				if len(fields) != 4 {
+					return fmt.Errorf("table: bad embed %q", tok.Text)
+				}
+				row, err1 := strconv.Atoi(fields[1])
+				col, err2 := strconv.Atoi(fields[2])
+				if err1 != nil || err2 != nil {
+					return fmt.Errorf("table: bad embed %q", tok.Text)
+				}
+				pendingEmbed = &struct {
+					r, c int
+					view string
+					obj  core.DataObject
+				}{r: row, c: col, view: fields[3]}
+			default:
+				return fmt.Errorf("table: unknown line %q", tok.Text)
+			}
+		}
+	}
+}
+
+// fixupFormulas compiles formula sources after a read.
+func (d *Data) fixupFormulas() error {
+	for i := range d.cells {
+		cell := &d.cells[i]
+		if cell.Kind == Formula && cell.expr == nil {
+			if !strings.HasPrefix(cell.Str, "=") {
+				return fmt.Errorf("%w: stored formula %q", ErrFormula, cell.Str)
+			}
+			expr, err := parseFormula(cell.Str[1:])
+			if err != nil {
+				return err
+			}
+			cell.expr = expr
+		}
+	}
+	return nil
+}
+
+// Register installs the table data class in reg.
+func Register(reg *class.Registry) error {
+	return reg.Register(class.Info{
+		Name: "table",
+		New: func() any {
+			d := New(1, 1)
+			d.reg = reg
+			return d
+		},
+	})
+}

@@ -1,0 +1,323 @@
+// Package table implements the table/spreadsheet data object (paper §1
+// lists "tables, spreadsheets" among the toolkit's higher-level editable
+// components; snapshot 5 shows Pascal's Triangle built with the
+// spreadsheet facility of the table object). A table is a grid of cells —
+// empty, text, number, formula, or an embedded component — with a
+// dependency-tracked recalculation engine.
+package table
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+)
+
+// Errors reported by table operations.
+var (
+	ErrBounds  = errors.New("table: cell out of range")
+	ErrCycle   = errors.New("table: formula cycle")
+	ErrFormula = errors.New("table: formula error")
+)
+
+// CellKind discriminates cell contents.
+type CellKind int
+
+// Cell kinds.
+const (
+	Empty CellKind = iota
+	Text
+	Number
+	Formula
+	Embed
+)
+
+// Cell is one table cell. Value carries the last computed result for
+// Number and Formula cells; Err records a formula evaluation failure.
+type Cell struct {
+	Kind    CellKind
+	Str     string  // Text content or Formula source ("=A1+B2")
+	Value   float64 // numeric value (Number, evaluated Formula)
+	Err     error   // evaluation error for Formula cells
+	Obj     core.DataObject
+	ViewNam string
+	expr    node // compiled formula
+}
+
+// Data is the table data object.
+type Data struct {
+	core.BaseData
+	rows, cols int
+	cells      []Cell
+	colW       []int // column widths in pixels (0 = default)
+
+	reg *class.Registry
+	// Recalcs counts full recalculations (benchmark instrumentation).
+	Recalcs int64
+}
+
+// DefaultColWidth is the pixel width of a column with no explicit width.
+const DefaultColWidth = 64
+
+// New returns an empty rows x cols table.
+func New(rows, cols int) *Data {
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	d := &Data{rows: rows, cols: cols, cells: make([]Cell, rows*cols), colW: make([]int, cols)}
+	d.InitData(d, "table", "spread")
+	return d
+}
+
+// SetRegistry selects the registry used for embedded components on read.
+func (d *Data) SetRegistry(reg *class.Registry) { d.reg = reg }
+
+func (d *Data) registry() *class.Registry {
+	if d.reg != nil {
+		return d.reg
+	}
+	return class.Default
+}
+
+// Dims returns (rows, cols).
+func (d *Data) Dims() (int, int) { return d.rows, d.cols }
+
+func (d *Data) idx(r, c int) (int, error) {
+	if r < 0 || c < 0 || r >= d.rows || c >= d.cols {
+		return 0, fmt.Errorf("%w: r%dc%d of %dx%d", ErrBounds, r, c, d.rows, d.cols)
+	}
+	return r*d.cols + c, nil
+}
+
+// Cell returns a copy of the cell at (r,c).
+func (d *Data) Cell(r, c int) (Cell, error) {
+	i, err := d.idx(r, c)
+	if err != nil {
+		return Cell{}, err
+	}
+	return d.cells[i], nil
+}
+
+// ColWidth returns the pixel width of column c.
+func (d *Data) ColWidth(c int) int {
+	if c >= 0 && c < len(d.colW) && d.colW[c] > 0 {
+		return d.colW[c]
+	}
+	return DefaultColWidth
+}
+
+// SetColWidth sets column c's pixel width (0 restores the default).
+func (d *Data) SetColWidth(c, w int) error {
+	if c < 0 || c >= d.cols {
+		return fmt.Errorf("%w: col %d", ErrBounds, c)
+	}
+	d.colW[c] = w
+	d.NotifyObservers(core.Change{Kind: "layout"})
+	return nil
+}
+
+func (d *Data) setCell(r, c int, cell Cell) error {
+	i, err := d.idx(r, c)
+	if err != nil {
+		return err
+	}
+	d.cells[i] = cell
+	d.recalc()
+	d.NotifyObservers(core.Change{Kind: "cell", Pos: i})
+	return nil
+}
+
+// Clear empties the cell at (r,c).
+func (d *Data) Clear(r, c int) error { return d.setCell(r, c, Cell{}) }
+
+// SetText makes (r,c) a text cell.
+func (d *Data) SetText(r, c int, s string) error {
+	return d.setCell(r, c, Cell{Kind: Text, Str: s})
+}
+
+// SetNumber makes (r,c) a number cell.
+func (d *Data) SetNumber(r, c int, v float64) error {
+	return d.setCell(r, c, Cell{Kind: Number, Value: v})
+}
+
+// SetFormula makes (r,c) a formula cell; src must begin with '='. A parse
+// error is returned immediately; evaluation errors (cycles, bad refs) are
+// recorded on the cell.
+func (d *Data) SetFormula(r, c int, src string) error {
+	if !strings.HasPrefix(src, "=") {
+		return fmt.Errorf("%w: formula %q must start with '='", ErrFormula, src)
+	}
+	expr, err := parseFormula(src[1:])
+	if err != nil {
+		return err
+	}
+	return d.setCell(r, c, Cell{Kind: Formula, Str: src, expr: expr})
+}
+
+// SetEmbed places obj in (r,c), displayed by viewName (empty = default).
+func (d *Data) SetEmbed(r, c int, obj core.DataObject, viewName string) error {
+	if obj == nil {
+		return fmt.Errorf("table: nil object embedded")
+	}
+	if viewName == "" {
+		viewName = obj.DefaultViewName()
+	}
+	return d.setCell(r, c, Cell{Kind: Embed, Obj: obj, ViewNam: viewName})
+}
+
+// Set parses input the way the spreadsheet UI does: "=..." is a formula,
+// a parseable number is a number, anything else is text; empty clears.
+func (d *Data) Set(r, c int, input string) error {
+	switch {
+	case input == "":
+		return d.Clear(r, c)
+	case strings.HasPrefix(input, "="):
+		return d.SetFormula(r, c, input)
+	default:
+		if v, err := strconv.ParseFloat(strings.TrimSpace(input), 64); err == nil {
+			return d.SetNumber(r, c, v)
+		}
+		return d.SetText(r, c, input)
+	}
+}
+
+// Value returns the numeric value of (r,c): numbers and evaluated
+// formulas; text and empty cells are 0.
+func (d *Data) Value(r, c int) (float64, error) {
+	cell, err := d.Cell(r, c)
+	if err != nil {
+		return 0, err
+	}
+	if cell.Kind == Formula && cell.Err != nil {
+		return 0, cell.Err
+	}
+	return cell.Value, nil
+}
+
+// Display returns the string shown in the cell.
+func (d *Data) Display(r, c int) string {
+	cell, err := d.Cell(r, c)
+	if err != nil {
+		return ""
+	}
+	switch cell.Kind {
+	case Text:
+		return cell.Str
+	case Number:
+		return formatNum(cell.Value)
+	case Formula:
+		if cell.Err != nil {
+			return "#ERR"
+		}
+		return formatNum(cell.Value)
+	case Embed:
+		return ""
+	default:
+		return ""
+	}
+}
+
+func formatNum(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Resize grows or shrinks the grid, preserving surviving cells.
+func (d *Data) Resize(rows, cols int) error {
+	if rows < 1 || cols < 1 {
+		return fmt.Errorf("%w: resize to %dx%d", ErrBounds, rows, cols)
+	}
+	nc := make([]Cell, rows*cols)
+	for r := 0; r < min(rows, d.rows); r++ {
+		for c := 0; c < min(cols, d.cols); c++ {
+			nc[r*cols+c] = d.cells[r*d.cols+c]
+		}
+	}
+	nw := make([]int, cols)
+	copy(nw, d.colW)
+	d.rows, d.cols, d.cells, d.colW = rows, cols, nc, nw
+	d.recalc()
+	d.NotifyObservers(core.Change{Kind: "dims"})
+	return nil
+}
+
+// recalc re-evaluates every formula with memoized dependency walking and
+// on-stack cycle detection.
+func (d *Data) recalc() {
+	d.Recalcs++
+	state := make([]uint8, len(d.cells)) // 0 fresh, 1 in progress, 2 done
+	var eval func(i int) (float64, error)
+	eval = func(i int) (float64, error) {
+		cell := &d.cells[i]
+		switch state[i] {
+		case 1:
+			return 0, ErrCycle
+		case 2:
+			if cell.Kind == Formula {
+				return cell.Value, cell.Err
+			}
+			return cell.Value, nil
+		}
+		state[i] = 1
+		defer func() { state[i] = 2 }()
+		if cell.Kind != Formula {
+			return cell.Value, nil
+		}
+		v, err := cell.expr.eval(&evalCtx{d: d, eval: eval})
+		cell.Value, cell.Err = v, err
+		if err != nil {
+			cell.Value = 0
+		}
+		return cell.Value, cell.Err
+	}
+	for i := range d.cells {
+		if d.cells[i].Kind == Formula {
+			_, _ = eval(i)
+		}
+	}
+}
+
+// Recalc forces a full recalculation (normally automatic on edits).
+func (d *Data) Recalc() { d.recalc() }
+
+// ColName converts a 0-based column index to spreadsheet letters (A, B,
+// ..., Z, AA, ...).
+func ColName(c int) string {
+	name := ""
+	for {
+		name = string(rune('A'+c%26)) + name
+		c = c/26 - 1
+		if c < 0 {
+			break
+		}
+	}
+	return name
+}
+
+// CellName renders (r,c) as "A1"-style (rows are 1-based).
+func CellName(r, c int) string { return ColName(c) + strconv.Itoa(r+1) }
+
+// ParseCellName parses "A1"-style references into 0-based (r,c).
+func ParseCellName(s string) (r, c int, err error) {
+	i := 0
+	for i < len(s) && s[i] >= 'A' && s[i] <= 'Z' {
+		c = c*26 + int(s[i]-'A') + 1
+		i++
+	}
+	if i == 0 || i == len(s) {
+		return 0, 0, fmt.Errorf("%w: bad cell name %q", ErrFormula, s)
+	}
+	row, err := strconv.Atoi(s[i:])
+	if err != nil || row < 1 {
+		return 0, 0, fmt.Errorf("%w: bad cell name %q", ErrFormula, s)
+	}
+	return row - 1, c - 1, nil
+}

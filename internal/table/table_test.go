@@ -1,0 +1,467 @@
+package table
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/text"
+)
+
+func TestCellNames(t *testing.T) {
+	cases := []struct {
+		r, c int
+		name string
+	}{
+		{0, 0, "A1"}, {4, 1, "B5"}, {0, 25, "Z1"}, {0, 26, "AA1"}, {9, 27, "AB10"},
+	}
+	for _, cs := range cases {
+		if got := CellName(cs.r, cs.c); got != cs.name {
+			t.Errorf("CellName(%d,%d) = %q, want %q", cs.r, cs.c, got, cs.name)
+		}
+		r, c, err := ParseCellName(cs.name)
+		if err != nil || r != cs.r || c != cs.c {
+			t.Errorf("ParseCellName(%q) = %d,%d,%v", cs.name, r, c, err)
+		}
+	}
+	for _, bad := range []string{"", "A", "1", "a1", "A0", "Ax"} {
+		if _, _, err := ParseCellName(bad); err == nil {
+			t.Errorf("ParseCellName(%q) accepted", bad)
+		}
+	}
+}
+
+// Property: CellName and ParseCellName are inverse for all small cells.
+func TestQuickCellNameRoundTrip(t *testing.T) {
+	f := func(r, c uint16) bool {
+		rr, cc := int(r%2000), int(c%2000)
+		gr, gc, err := ParseCellName(CellName(rr, cc))
+		return err == nil && gr == rr && gc == cc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAndDisplay(t *testing.T) {
+	d := New(3, 3)
+	if err := d.SetNumber(0, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetText(0, 1, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Display(0, 0) != "42" || d.Display(0, 1) != "hello" || d.Display(2, 2) != "" {
+		t.Fatalf("displays: %q %q %q", d.Display(0, 0), d.Display(0, 1), d.Display(2, 2))
+	}
+	if d.Display(0, 0) != "42" {
+		t.Fatal("integer formatting")
+	}
+	_ = d.SetNumber(1, 0, 2.5)
+	if d.Display(1, 0) != "2.5" {
+		t.Fatalf("float display = %q", d.Display(1, 0))
+	}
+}
+
+func TestSetParsesInput(t *testing.T) {
+	d := New(2, 2)
+	_ = d.Set(0, 0, "3.5")
+	_ = d.Set(0, 1, "words")
+	_ = d.Set(1, 0, "=A1*2")
+	_ = d.Set(1, 1, "")
+	c, _ := d.Cell(0, 0)
+	if c.Kind != Number || c.Value != 3.5 {
+		t.Fatalf("number cell = %+v", c)
+	}
+	c, _ = d.Cell(0, 1)
+	if c.Kind != Text {
+		t.Fatalf("text cell = %+v", c)
+	}
+	c, _ = d.Cell(1, 0)
+	if c.Kind != Formula || c.Value != 7 {
+		t.Fatalf("formula cell = %+v", c)
+	}
+	c, _ = d.Cell(1, 1)
+	if c.Kind != Empty {
+		t.Fatalf("cleared cell = %+v", c)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d := New(2, 2)
+	if err := d.SetNumber(5, 0, 1); !errors.Is(err, ErrBounds) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Cell(-1, 0); !errors.Is(err, ErrBounds) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Value(0, 9); !errors.Is(err, ErrBounds) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFormulaChain(t *testing.T) {
+	d := New(3, 3)
+	_ = d.SetNumber(0, 0, 2)         // A1
+	_ = d.SetFormula(0, 1, "=A1*10") // B1
+	_ = d.SetFormula(0, 2, "=B1+A1") // C1
+	v, err := d.Value(0, 2)
+	if err != nil || v != 22 {
+		t.Fatalf("C1 = %v, %v", v, err)
+	}
+	// Changing the root recalculates everything.
+	_ = d.SetNumber(0, 0, 3)
+	if v, _ := d.Value(0, 2); v != 33 {
+		t.Fatalf("C1 after change = %v", v)
+	}
+}
+
+func TestFormulaFunctions(t *testing.T) {
+	d := New(4, 2)
+	for i := 0; i < 4; i++ {
+		_ = d.SetNumber(i, 0, float64(i+1)) // A1..A4 = 1..4
+	}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"=sum(A1:A4)", 10},
+		{"=avg(A1:A4)", 2.5},
+		{"=min(A1:A4)", 1},
+		{"=max(A1:A4)", 4},
+		{"=count(A1:A4)", 4},
+		{"=abs(-5)", 5},
+		{"=sqrt(16)", 4},
+		{"=round(2.6)", 3},
+		{"=sum(A1,A2,10)", 13},
+		{"=2^10", 1024},
+		{"=2^3^2", 512}, // right associative
+		{"=-A1+10", 9},
+		{"=(A1+A2)*A3", 9},
+		{"=sum(A1:A2, max(A3,A4))", 7},
+	}
+	for _, c := range cases {
+		if err := d.SetFormula(0, 1, c.src); err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		v, err := d.Value(0, 1)
+		if err != nil || v != c.want {
+			t.Errorf("%s = %v (%v), want %v", c.src, v, err, c.want)
+		}
+	}
+}
+
+func TestFormulaParseErrors(t *testing.T) {
+	d := New(2, 2)
+	for _, src := range []string{
+		"no equals", "=", "=1+", "=(1", "=foo(1)", "=1 2", "=A", "=sum()",
+		"=#", "=1..2",
+	} {
+		if err := d.SetFormula(0, 0, src); err == nil {
+			t.Errorf("formula %q accepted", src)
+		}
+	}
+}
+
+func TestFormulaEvalErrors(t *testing.T) {
+	d := New(2, 2)
+	_ = d.SetFormula(0, 0, "=1/0")
+	if _, err := d.Value(0, 0); !errors.Is(err, ErrFormula) {
+		t.Fatalf("div by zero err = %v", err)
+	}
+	if d.Display(0, 0) != "#ERR" {
+		t.Fatalf("display = %q", d.Display(0, 0))
+	}
+	_ = d.SetFormula(0, 1, "=Z99") // out of range ref
+	if _, err := d.Value(0, 1); err == nil {
+		t.Fatal("bad ref accepted")
+	}
+	_ = d.SetFormula(1, 0, "=sqrt(-1)")
+	if _, err := d.Value(1, 0); err == nil {
+		t.Fatal("sqrt(-1) accepted")
+	}
+	_ = d.SetFormula(1, 1, "=A1:B2")
+	if _, err := d.Value(1, 1); err == nil {
+		t.Fatal("bare range accepted")
+	}
+}
+
+func TestFormulaCycleDetected(t *testing.T) {
+	d := New(2, 2)
+	_ = d.SetFormula(0, 0, "=B1+1")
+	_ = d.SetFormula(0, 1, "=A1+1")
+	_, err := d.Value(0, 0)
+	if !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v", err)
+	}
+	// Self reference too.
+	_ = d.SetFormula(1, 1, "=B2")
+	if _, err := d.Value(1, 1); !errors.Is(err, ErrCycle) {
+		t.Fatalf("self ref err = %v", err)
+	}
+	// Breaking the cycle recovers.
+	_ = d.SetNumber(0, 1, 5)
+	if v, err := d.Value(0, 0); err != nil || v != 6 {
+		t.Fatalf("after break = %v, %v", v, err)
+	}
+}
+
+func TestPascalsTriangle(t *testing.T) {
+	// The spreadsheet from snapshot 5: v(i,j) = v(i-1,j-1) + v(i-1,j).
+	const n = 8
+	d := New(n, n)
+	_ = d.SetNumber(0, 0, 1)
+	for r := 1; r < n; r++ {
+		for c := 0; c <= r; c++ {
+			switch c {
+			case 0:
+				_ = d.SetNumber(r, 0, 1)
+			default:
+				_ = d.SetFormula(r, c, "="+CellName(r-1, c-1)+"+"+CellName(r-1, c))
+			}
+		}
+	}
+	// Row 7 of Pascal's triangle: 1 7 21 35 35 21 7 1.
+	want := []float64{1, 7, 21, 35, 35, 21, 7, 1}
+	for c, wv := range want {
+		v, err := d.Value(n-1, c)
+		if err != nil || v != wv {
+			t.Fatalf("row 8 col %d = %v (%v), want %v", c, v, err, wv)
+		}
+	}
+}
+
+func TestResizePreservesAndDrops(t *testing.T) {
+	d := New(2, 2)
+	_ = d.SetNumber(0, 0, 1)
+	_ = d.SetNumber(1, 1, 2)
+	if err := d.Resize(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Value(1, 1); v != 2 {
+		t.Fatal("resize lost cell")
+	}
+	if err := d.Resize(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Value(0, 0); v != 1 {
+		t.Fatal("shrink lost cell")
+	}
+	if _, err := d.Cell(1, 1); err == nil {
+		t.Fatal("dropped cell still addressable")
+	}
+	if err := d.Resize(0, 5); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+}
+
+func TestColWidths(t *testing.T) {
+	d := New(2, 3)
+	if d.ColWidth(1) != DefaultColWidth {
+		t.Fatal("default width")
+	}
+	if err := d.SetColWidth(1, 90); err != nil {
+		t.Fatal(err)
+	}
+	if d.ColWidth(1) != 90 {
+		t.Fatal("width not set")
+	}
+	if err := d.SetColWidth(9, 10); !errors.Is(err, ErrBounds) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestObserversNotified(t *testing.T) {
+	d := New(2, 2)
+	n := 0
+	d.AddObserver(obsFunc(func(core.DataObject, core.Change) { n++ }))
+	_ = d.SetNumber(0, 0, 1)
+	_ = d.SetText(0, 1, "x")
+	_ = d.Resize(3, 3)
+	_ = d.SetColWidth(0, 50)
+	if n != 4 {
+		t.Fatalf("notifications = %d", n)
+	}
+}
+
+type obsFunc func(core.DataObject, core.Change)
+
+func (f obsFunc) ObservedChanged(o core.DataObject, ch core.Change) { f(o, ch) }
+
+// --- external representation ---
+
+func testReg(t *testing.T) *class.Registry {
+	t.Helper()
+	reg := class.NewRegistry()
+	if err := Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := text.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func roundTrip(t *testing.T, reg *class.Registry, d *Data) *Data {
+	t.Helper()
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		t.Fatalf("read: %v\nstream:\n%s", err, sb.String())
+	}
+	got, ok := obj.(*Data)
+	if !ok {
+		t.Fatalf("got %T", obj)
+	}
+	return got
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	reg := testReg(t)
+	d := New(3, 4)
+	_ = d.SetNumber(0, 0, 12)
+	_ = d.SetText(0, 1, "expenses for Q1")
+	_ = d.SetFormula(1, 0, "=A1*2")
+	_ = d.SetColWidth(2, 100)
+	got := roundTrip(t, reg, d)
+	if r, c := got.Dims(); r != 3 || c != 4 {
+		t.Fatalf("dims = %d,%d", r, c)
+	}
+	if v, _ := got.Value(1, 0); v != 24 {
+		t.Fatalf("formula value = %v", v)
+	}
+	if got.Display(0, 1) != "expenses for Q1" {
+		t.Fatalf("text = %q", got.Display(0, 1))
+	}
+	if got.ColWidth(2) != 100 {
+		t.Fatal("col width lost")
+	}
+	cell, _ := got.Cell(1, 0)
+	if cell.Str != "=A1*2" {
+		t.Fatalf("formula source = %q", cell.Str)
+	}
+}
+
+func TestStreamLongTextSplit(t *testing.T) {
+	reg := testReg(t)
+	d := New(1, 1)
+	long := strings.Repeat("a long cell value with spaces ", 10) + "é\n tab\t end"
+	_ = d.SetText(0, 0, long)
+	got := roundTrip(t, reg, d)
+	if got.Display(0, 0) != long {
+		t.Fatalf("long text = %q", got.Display(0, 0))
+	}
+}
+
+func TestStreamEmbeddedText(t *testing.T) {
+	reg := testReg(t)
+	d := New(2, 2)
+	inner := text.NewString("cell note")
+	inner.SetRegistry(reg)
+	if err := d.SetEmbed(1, 1, inner, "textview"); err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, reg, d)
+	cell, _ := got.Cell(1, 1)
+	if cell.Kind != Embed || cell.ViewNam != "textview" {
+		t.Fatalf("cell = %+v", cell)
+	}
+	in, ok := cell.Obj.(*text.Data)
+	if !ok || in.String() != "cell note" {
+		t.Fatalf("inner = %#v", cell.Obj)
+	}
+}
+
+func TestStreamTextInTableInText(t *testing.T) {
+	// The paper's flagship nesting: a table inside text, with text inside
+	// the table.
+	reg := testReg(t)
+	tbl := New(2, 2)
+	tbl.SetRegistry(reg)
+	note := text.NewString("inner note")
+	note.SetRegistry(reg)
+	_ = tbl.SetEmbed(0, 0, note, "")
+	_ = tbl.SetNumber(1, 1, 99)
+	doc := text.NewString("Report:  done.")
+	doc.SetRegistry(reg)
+	if err := doc.Embed(8, tbl, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	w := datastream.NewWriter(&sb)
+	if _, err := core.WriteObject(w, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := core.ReadObject(datastream.NewReader(strings.NewReader(sb.String())), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDoc := obj.(*text.Data)
+	gotTbl, ok := gotDoc.Embeds()[0].Obj.(*Data)
+	if !ok {
+		t.Fatalf("embedded = %#v", gotDoc.Embeds()[0].Obj)
+	}
+	if v, _ := gotTbl.Value(1, 1); v != 99 {
+		t.Fatalf("table value = %v", v)
+	}
+	gotNote, _ := gotTbl.Cell(0, 0)
+	if gotNote.Obj.(*text.Data).String() != "inner note" {
+		t.Fatal("doubly nested text lost")
+	}
+}
+
+func TestStreamBadInput(t *testing.T) {
+	reg := testReg(t)
+	bad := []string{
+		"dims x 2\n",
+		"dims 2\n",
+		"colw 9 10\n",
+		"cell 0 0 q 1\n",
+		"cell 0 0 n notanumber\n",
+		"cell 0 0 t unquoted\n",
+		"cell 9 9 n 1\n",
+		"mystery\n",
+		"more \"dangling\"\n",
+		"embed 0 0\n",
+	}
+	for _, body := range bad {
+		stream := "\\begindata{table,1}\ndims 2 2\n" + body + "\\enddata{table,1}\n"
+		if _, err := core.ReadObject(datastream.NewReader(strings.NewReader(stream)), reg); err == nil {
+			t.Errorf("bad body %q accepted", body)
+		}
+	}
+}
+
+func TestRecalcCounter(t *testing.T) {
+	d := New(2, 2)
+	before := d.Recalcs
+	_ = d.SetNumber(0, 0, 1)
+	d.Recalc()
+	if d.Recalcs != before+2 {
+		t.Fatalf("recalcs = %d", d.Recalcs)
+	}
+}
+
+func TestValueOfTextIsZero(t *testing.T) {
+	d := New(1, 2)
+	_ = d.SetText(0, 0, "header")
+	_ = d.SetFormula(0, 1, "=A1+5")
+	if v, err := d.Value(0, 1); err != nil || v != 5 {
+		t.Fatalf("text treated as %v (%v)", v, err)
+	}
+}

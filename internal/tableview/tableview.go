@@ -1,0 +1,555 @@
+// Package tableview implements "spread", the spreadsheet view on the
+// table data object (the view type named in the paper's external
+// representation example: \view{spread,2}). It draws the grid, routes
+// events to embedded component views in cells, lets the user select and
+// edit cells, and exposes the spreadsheet input conventions (leading '='
+// is a formula).
+package tableview
+
+import (
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/table"
+	"atk/internal/wsys"
+)
+
+// RowHeight is the fixed pixel height of table rows (embedded components
+// may stretch their row).
+const RowHeight = 18
+
+// HeaderSize is the pixel size of the row/column header bands.
+const HeaderSize = 16
+
+// Spread is the table view.
+type Spread struct {
+	core.BaseView
+	reg *class.Registry
+
+	selR, selC int
+	editing    bool
+	editBuf    strings.Builder
+
+	topRow int // first visible row (vertical scroll unit = rows)
+
+	childVs map[int]core.View     // cell index -> embedded child view
+	rects   map[int]graphics.Rect // cell index -> local child rect
+}
+
+// New returns an unattached spread view.
+func New(reg *class.Registry) *Spread {
+	v := &Spread{
+		reg:     reg,
+		childVs: make(map[int]core.View),
+		rects:   make(map[int]graphics.Rect),
+	}
+	v.InitView(v, "spread")
+	return v
+}
+
+func (v *Spread) registry() *class.Registry {
+	if v.reg != nil {
+		return v.reg
+	}
+	return class.Default
+}
+
+// Table returns the attached table data object, or nil.
+func (v *Spread) Table() *table.Data {
+	d, _ := v.DataObject().(*table.Data)
+	return d
+}
+
+// Selected returns the selected cell.
+func (v *Spread) Selected() (int, int) { return v.selR, v.selC }
+
+// Select moves the selection, committing any edit in progress.
+func (v *Spread) Select(r, c int) {
+	d := v.Table()
+	if d == nil {
+		return
+	}
+	v.commitEdit()
+	rows, cols := d.Dims()
+	if r < 0 {
+		r = 0
+	}
+	if c < 0 {
+		c = 0
+	}
+	if r >= rows {
+		r = rows - 1
+	}
+	if c >= cols {
+		c = cols - 1
+	}
+	v.selR, v.selC = r, c
+	v.WantUpdate(v.Self())
+}
+
+// Editing reports whether a cell edit is in progress.
+func (v *Spread) Editing() bool { return v.editing }
+
+// EditBuffer returns the in-progress edit text.
+func (v *Spread) EditBuffer() string { return v.editBuf.String() }
+
+// commitEdit parses and stores the edit buffer into the selected cell.
+func (v *Spread) commitEdit() {
+	if !v.editing {
+		return
+	}
+	v.editing = false
+	d := v.Table()
+	if d == nil {
+		return
+	}
+	if err := d.Set(v.selR, v.selC, v.editBuf.String()); err != nil {
+		v.PostMessage(err.Error())
+	}
+	v.editBuf.Reset()
+}
+
+// rowHeight computes row r's height: tall enough for any embedded child.
+func (v *Spread) rowHeight(r int) int {
+	d := v.Table()
+	if d == nil {
+		return RowHeight
+	}
+	h := RowHeight
+	_, cols := d.Dims()
+	for c := 0; c < cols; c++ {
+		cell, err := d.Cell(r, c)
+		if err != nil || cell.Kind != table.Embed {
+			continue
+		}
+		if cv := v.childFor(r, c, cell); cv != nil {
+			_, ch := cv.DesiredSize(d.ColWidth(c)-2, 0)
+			if ch+2 > h {
+				h = ch + 2
+			}
+		}
+	}
+	return h
+}
+
+func (v *Spread) cellIndex(r, c int) int {
+	d := v.Table()
+	if d == nil {
+		return -1
+	}
+	_, cols := d.Dims()
+	return r*cols + c
+}
+
+// childFor lazily instantiates the view for an embedded cell.
+func (v *Spread) childFor(r, c int, cell table.Cell) core.View {
+	i := v.cellIndex(r, c)
+	if cv, ok := v.childVs[i]; ok {
+		if cv != nil && cv.DataObject() == cell.Obj {
+			return cv
+		}
+	}
+	cv, err := core.NewViewFor(v.registry(), cell.ViewNam, cell.Obj)
+	if err != nil {
+		v.childVs[i] = nil
+		return nil
+	}
+	cv.SetParent(v.Self())
+	v.childVs[i] = cv
+	return cv
+}
+
+// colX returns the local x of column c's left edge.
+func (v *Spread) colX(c int) int {
+	d := v.Table()
+	x := HeaderSize
+	for i := 0; i < c; i++ {
+		x += d.ColWidth(i)
+	}
+	return x
+}
+
+// rowY returns the local y of row r's top edge.
+func (v *Spread) rowY(r int) int {
+	y := HeaderSize
+	for i := v.topRow; i < r; i++ {
+		y += v.rowHeight(i)
+	}
+	return y
+}
+
+// DesiredSize implements core.View: the natural size of the whole grid.
+func (v *Spread) DesiredSize(wHint, hHint int) (int, int) {
+	d := v.Table()
+	if d == nil {
+		return 60, 40
+	}
+	rows, cols := d.Dims()
+	w := HeaderSize
+	for c := 0; c < cols; c++ {
+		w += d.ColWidth(c)
+	}
+	h := HeaderSize
+	for r := 0; r < rows; r++ {
+		h += v.rowHeight(r)
+	}
+	if wHint > 0 && w > wHint {
+		w = wHint
+	}
+	if hHint > 0 && h > hHint {
+		h = hHint
+	}
+	return w + 1, h + 1
+}
+
+// ScrollInfo implements widgets.Scrollee (rows are the scroll unit).
+func (v *Spread) ScrollInfo() (total, top, visible int) {
+	d := v.Table()
+	if d == nil {
+		return 0, 0, 1
+	}
+	rows, _ := d.Dims()
+	vis := (v.Bounds().Dy() - HeaderSize) / RowHeight
+	if vis < 1 {
+		vis = 1
+	}
+	return rows, v.topRow, vis
+}
+
+// ScrollTo implements widgets.Scrollee.
+func (v *Spread) ScrollTo(top int) {
+	d := v.Table()
+	if d == nil {
+		return
+	}
+	rows, _ := d.Dims()
+	if top >= rows {
+		top = rows - 1
+	}
+	if top < 0 {
+		top = 0
+	}
+	if top != v.topRow {
+		v.topRow = top
+		v.WantUpdate(v.Self())
+	}
+}
+
+// FullUpdate implements core.View.
+func (v *Spread) FullUpdate(dr *graphics.Drawable) {
+	w, h := v.Bounds().Dx(), v.Bounds().Dy()
+	dr.ClearRect(graphics.XYWH(0, 0, w, h))
+	d := v.Table()
+	if d == nil {
+		return
+	}
+	for k := range v.rects {
+		delete(v.rects, k)
+	}
+	rows, cols := d.Dims()
+	small := graphics.FontDesc{Family: "andy", Size: 10}
+	dr.SetFontDesc(small)
+	dr.SetValue(graphics.Gray)
+	// Column headers.
+	x := HeaderSize
+	for c := 0; c < cols && x < w; c++ {
+		cw := d.ColWidth(c)
+		dr.DrawStringInBox(graphics.XYWH(x, 0, cw, HeaderSize), table.ColName(c))
+		x += cw
+	}
+	// Row headers and cells.
+	y := HeaderSize
+	for r := v.topRow; r < rows && y < h; r++ {
+		rh := v.rowHeight(r)
+		dr.SetValue(graphics.Gray)
+		dr.SetFontDesc(small)
+		dr.DrawStringInBox(graphics.XYWH(0, y, HeaderSize, rh), itoa(r+1))
+		x = HeaderSize
+		for c := 0; c < cols && x < w; c++ {
+			cw := d.ColWidth(c)
+			cellRect := graphics.XYWH(x, y, cw, rh)
+			v.drawCell(dr, d, r, c, cellRect)
+			x += cw
+		}
+		y += rh
+	}
+	// Grid lines.
+	dr.SetValue(graphics.Gray)
+	x = HeaderSize
+	for c := 0; c <= cols && x <= w; c++ {
+		dr.DrawLine(graphics.Pt(x, 0), graphics.Pt(x, min(y, h)-1))
+		if c < cols {
+			x += d.ColWidth(c)
+		}
+	}
+	yy := HeaderSize
+	for r := v.topRow; r <= rows && yy <= h; r++ {
+		dr.DrawLine(graphics.Pt(0, yy), graphics.Pt(min(x, w)-1, yy))
+		if r < rows {
+			yy += v.rowHeight(r)
+		}
+	}
+	// Selection box.
+	if v.selR >= v.topRow {
+		sel := graphics.XYWH(v.colX(v.selC), v.rowY(v.selR), d.ColWidth(v.selC), v.rowHeight(v.selR))
+		dr.SetValue(graphics.Black)
+		dr.SetLineWidth(2)
+		dr.DrawRect(sel)
+		dr.SetLineWidth(1)
+	}
+}
+
+func (v *Spread) drawCell(dr *graphics.Drawable, d *table.Data, r, c int, rect graphics.Rect) {
+	cell, err := d.Cell(r, c)
+	if err != nil {
+		return
+	}
+	if cell.Kind == table.Embed {
+		inner := rect.Inset(1)
+		v.rects[v.cellIndex(r, c)] = inner
+		if cv := v.childFor(r, c, cell); cv != nil {
+			cv.SetBounds(inner)
+			cv.FullUpdate(dr.Sub(inner))
+			cv.DrawOverlay(dr.Sub(inner))
+		}
+		return
+	}
+	s := d.Display(r, c)
+	if v.editing && r == v.selR && c == v.selC {
+		s = v.editBuf.String() + "_"
+	}
+	if s == "" {
+		return
+	}
+	dr.SetValue(graphics.Black)
+	dr.SetFontDesc(graphics.FontDesc{Family: "andy", Size: 11})
+	pad := graphics.XYWH(rect.Min.X+2, rect.Min.Y, rect.Dx()-4, rect.Dy())
+	old := dr.SetClipLocal(pad)
+	if cell.Kind == table.Number || (cell.Kind == table.Formula && cell.Err == nil) {
+		dr.DrawStringAligned(graphics.Pt(pad.Max.X, baselineIn(pad, dr)), s, graphics.AlignRight)
+	} else {
+		dr.DrawString(graphics.Pt(pad.Min.X, baselineIn(pad, dr)), s)
+	}
+	dr.RestoreClip(old)
+}
+
+func baselineIn(r graphics.Rect, d *graphics.Drawable) int {
+	f := d.Font()
+	return r.Min.Y + (r.Dy()+f.Ascent()-f.Descent())/2
+}
+
+// cellAt maps a local point to a cell, or (-1,-1) for headers/outside.
+func (v *Spread) cellAt(p graphics.Point) (int, int) {
+	d := v.Table()
+	if d == nil || p.X < HeaderSize || p.Y < HeaderSize {
+		return -1, -1
+	}
+	rows, cols := d.Dims()
+	x := HeaderSize
+	col := -1
+	for c := 0; c < cols; c++ {
+		x += d.ColWidth(c)
+		if p.X < x {
+			col = c
+			break
+		}
+	}
+	y := HeaderSize
+	row := -1
+	for r := v.topRow; r < rows; r++ {
+		y += v.rowHeight(r)
+		if p.Y < y {
+			row = r
+			break
+		}
+	}
+	if row < 0 || col < 0 {
+		return -1, -1
+	}
+	return row, col
+}
+
+// Hit implements core.View: events over embedded cells go to the child
+// view; otherwise clicks select cells.
+func (v *Spread) Hit(a wsys.MouseAction, p graphics.Point, clicks int) core.View {
+	for i, r := range v.rects {
+		if p.In(r) {
+			if cv := v.childVs[i]; cv != nil {
+				if got := cv.Hit(a, p.Sub(r.Min), clicks); got != nil {
+					return got
+				}
+			}
+		}
+	}
+	if a == wsys.MouseDown {
+		if r, c := v.cellAt(p); r >= 0 {
+			v.Select(r, c)
+			if clicks >= 2 {
+				v.beginEdit()
+			}
+		}
+		v.WantInputFocus(v.Self())
+	}
+	v.PostCursor(wsys.CursorCrosshair)
+	return v.Self()
+}
+
+func (v *Spread) beginEdit() {
+	d := v.Table()
+	if d == nil {
+		return
+	}
+	v.editing = true
+	v.editBuf.Reset()
+	cell, err := d.Cell(v.selR, v.selC)
+	if err == nil {
+		switch cell.Kind {
+		case table.Formula:
+			v.editBuf.WriteString(cell.Str)
+		case table.Text:
+			v.editBuf.WriteString(cell.Str)
+		case table.Number:
+			v.editBuf.WriteString(d.Display(v.selR, v.selC))
+		}
+	}
+	v.WantUpdate(v.Self())
+}
+
+// Key implements core.View: the spreadsheet keymap.
+func (v *Spread) Key(ev wsys.Event) bool {
+	d := v.Table()
+	if d == nil {
+		return false
+	}
+	if v.editing {
+		switch {
+		case ev.Key == wsys.KeyReturn:
+			v.commitEdit()
+			v.Select(v.selR+1, v.selC)
+		case ev.Key == wsys.KeyTab:
+			v.commitEdit()
+			v.Select(v.selR, v.selC+1)
+		case ev.Key == wsys.KeyEscape:
+			v.editing = false
+			v.editBuf.Reset()
+		case ev.Key == wsys.KeyBackspace:
+			s := v.editBuf.String()
+			if len(s) > 0 {
+				v.editBuf.Reset()
+				v.editBuf.WriteString(s[:len(s)-1])
+			}
+		case ev.Rune != 0:
+			v.editBuf.WriteRune(ev.Rune)
+		default:
+			return false
+		}
+		v.WantUpdate(v.Self())
+		return true
+	}
+	switch {
+	case ev.Key == wsys.KeyLeft:
+		v.Select(v.selR, v.selC-1)
+	case ev.Key == wsys.KeyRight, ev.Key == wsys.KeyTab:
+		v.Select(v.selR, v.selC+1)
+	case ev.Key == wsys.KeyUp:
+		v.Select(v.selR-1, v.selC)
+	case ev.Key == wsys.KeyDown, ev.Key == wsys.KeyReturn:
+		v.Select(v.selR+1, v.selC)
+	case ev.Key == wsys.KeyDelete, ev.Key == wsys.KeyBackspace:
+		if err := d.Clear(v.selR, v.selC); err != nil {
+			v.PostMessage(err.Error())
+		}
+	case ev.Rune != 0:
+		v.beginEdit()
+		v.editBuf.Reset()
+		v.editBuf.WriteRune(ev.Rune)
+		v.WantUpdate(v.Self())
+	default:
+		return false
+	}
+	return true
+}
+
+// PostMenus implements core.View.
+func (v *Spread) PostMenus(ms *core.MenuSet) {
+	_ = ms.Add("Table~25/Add Row~10", func() {
+		d := v.Table()
+		rows, cols := d.Dims()
+		if err := d.Resize(rows+1, cols); err != nil {
+			v.PostMessage(err.Error())
+		}
+	})
+	_ = ms.Add("Table~25/Add Column~11", func() {
+		d := v.Table()
+		rows, cols := d.Dims()
+		if err := d.Resize(rows, cols+1); err != nil {
+			v.PostMessage(err.Error())
+		}
+	})
+	_ = ms.Add("Table~25/Delete Row~13", func() {
+		d := v.Table()
+		rows, cols := d.Dims()
+		if rows > 1 {
+			if err := d.Resize(rows-1, cols); err != nil {
+				v.PostMessage(err.Error())
+			}
+			v.Select(min(v.selR, rows-2), v.selC)
+		}
+	})
+	_ = ms.Add("Table~25/Delete Column~14", func() {
+		d := v.Table()
+		rows, cols := d.Dims()
+		if cols > 1 {
+			if err := d.Resize(rows, cols-1); err != nil {
+				v.PostMessage(err.Error())
+			}
+			v.Select(v.selR, min(v.selC, cols-2))
+		}
+	})
+	_ = ms.Add("Table~25/Recalculate~12", func() {
+		v.Table().Recalc()
+		v.WantUpdate(v.Self())
+	})
+	v.BaseView.PostMenus(ms)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// Register installs the spread view class in reg.
+func Register(reg *class.Registry) error {
+	return reg.Register(class.Info{
+		Name: "spread",
+		New:  func() any { return New(reg) },
+	})
+}
+
+// Tick forwards clock ticks to embedded component views that animate.
+func (v *Spread) Tick(t int64) {
+	for _, cv := range v.childVs {
+		if ticker, ok := cv.(interface{ Tick(int64) }); ok && cv != nil {
+			ticker.Tick(t)
+		}
+	}
+}

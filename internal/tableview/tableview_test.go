@@ -1,0 +1,255 @@
+package tableview
+
+import (
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/table"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"
+)
+
+func testReg(t *testing.T) *class.Registry {
+	t.Helper()
+	reg := class.NewRegistry()
+	for _, f := range []func(*class.Registry) error{
+		table.Register, Register, text.Register, textview.Register,
+	} {
+		if err := f(reg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func setup(t *testing.T) (*core.InteractionManager, *memwin.Window, *Spread, *table.Data) {
+	t.Helper()
+	reg := testReg(t)
+	d := table.New(5, 4)
+	d.SetRegistry(reg)
+	v := New(reg)
+	v.SetDataObject(d)
+	ws := memwin.New()
+	win, err := ws.NewWindow("spread", 400, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := core.NewInteractionManager(ws, win)
+	im.SetChild(v)
+	im.FullRedraw()
+	return im, win.(*memwin.Window), v, d
+}
+
+func TestClickSelectsCell(t *testing.T) {
+	im, win, v, d := setup(t)
+	// Cell (1,1): x in [HeaderSize+64, HeaderSize+128), y in [HeaderSize+18, ...).
+	x := HeaderSize + d.ColWidth(0) + 5
+	y := HeaderSize + RowHeight + 5
+	win.Inject(wsys.Click(x, y))
+	win.Inject(wsys.Release(x, y))
+	im.DrainEvents()
+	r, c := v.Selected()
+	if r != 1 || c != 1 {
+		t.Fatalf("selected = %d,%d", r, c)
+	}
+	// Header clicks do not move the selection.
+	win.Inject(wsys.Click(2, 2))
+	win.Inject(wsys.Release(2, 2))
+	im.DrainEvents()
+	if r, c = v.Selected(); r != 1 || c != 1 {
+		t.Fatalf("header click moved selection to %d,%d", r, c)
+	}
+}
+
+func TestTypingEditsCell(t *testing.T) {
+	im, win, v, d := setup(t)
+	win.Inject(wsys.Click(HeaderSize+5, HeaderSize+5))
+	win.Inject(wsys.Release(HeaderSize+5, HeaderSize+5))
+	for _, r := range "42" {
+		win.Inject(wsys.KeyPress(r))
+	}
+	win.Inject(wsys.KeyDownEvent(wsys.KeyReturn))
+	im.DrainEvents()
+	if got, _ := d.Value(0, 0); got != 42 {
+		t.Fatalf("A1 = %v", got)
+	}
+	// Return moved the selection down.
+	if r, c := v.Selected(); r != 1 || c != 0 {
+		t.Fatalf("selection after return = %d,%d", r, c)
+	}
+}
+
+func TestFormulaEntryThroughUI(t *testing.T) {
+	im, win, _, d := setup(t)
+	win.Inject(wsys.Click(HeaderSize+5, HeaderSize+5))
+	win.Inject(wsys.Release(HeaderSize+5, HeaderSize+5))
+	for _, r := range "6" {
+		win.Inject(wsys.KeyPress(r))
+	}
+	win.Inject(wsys.KeyDownEvent(wsys.KeyTab)) // commit, move right
+	for _, r := range "=A1*7" {
+		win.Inject(wsys.KeyPress(r))
+	}
+	win.Inject(wsys.KeyDownEvent(wsys.KeyReturn))
+	im.DrainEvents()
+	if got, _ := d.Value(0, 1); got != 42 {
+		t.Fatalf("B1 = %v", got)
+	}
+}
+
+func TestEscapeCancelsEdit(t *testing.T) {
+	im, win, v, d := setup(t)
+	_ = d.SetNumber(0, 0, 7)
+	win.Inject(wsys.Click(HeaderSize+5, HeaderSize+5))
+	win.Inject(wsys.Release(HeaderSize+5, HeaderSize+5))
+	win.Inject(wsys.KeyPress('9'))
+	win.Inject(wsys.KeyDownEvent(wsys.KeyEscape))
+	im.DrainEvents()
+	if v.Editing() {
+		t.Fatal("still editing after escape")
+	}
+	if got, _ := d.Value(0, 0); got != 7 {
+		t.Fatalf("escape committed: %v", got)
+	}
+}
+
+func TestArrowNavigationAndClamping(t *testing.T) {
+	im, win, v, _ := setup(t)
+	win.Inject(wsys.Click(HeaderSize+5, HeaderSize+5))
+	win.Inject(wsys.Release(HeaderSize+5, HeaderSize+5))
+	win.Inject(wsys.KeyDownEvent(wsys.KeyUp))   // clamped at 0
+	win.Inject(wsys.KeyDownEvent(wsys.KeyLeft)) // clamped at 0
+	win.Inject(wsys.KeyDownEvent(wsys.KeyDown))
+	win.Inject(wsys.KeyDownEvent(wsys.KeyRight))
+	im.DrainEvents()
+	if r, c := v.Selected(); r != 1 || c != 1 {
+		t.Fatalf("selected = %d,%d", r, c)
+	}
+	for i := 0; i < 20; i++ {
+		win.Inject(wsys.KeyDownEvent(wsys.KeyDown))
+	}
+	im.DrainEvents()
+	if r, _ := v.Selected(); r != 4 {
+		t.Fatalf("clamped row = %d", r)
+	}
+}
+
+func TestDeleteClearsCell(t *testing.T) {
+	im, win, _, d := setup(t)
+	_ = d.SetNumber(0, 0, 9)
+	win.Inject(wsys.Click(HeaderSize+5, HeaderSize+5))
+	win.Inject(wsys.Release(HeaderSize+5, HeaderSize+5))
+	win.Inject(wsys.KeyDownEvent(wsys.KeyDelete))
+	im.DrainEvents()
+	cell, _ := d.Cell(0, 0)
+	if cell.Kind != table.Empty {
+		t.Fatalf("cell = %+v", cell)
+	}
+}
+
+func TestDoubleClickEditsInPlace(t *testing.T) {
+	im, win, v, d := setup(t)
+	_ = d.SetText(0, 0, "old")
+	win.Inject(wsys.Event{Kind: wsys.MouseEvent, Action: wsys.MouseDown,
+		Pos: graphics.Pt(HeaderSize+5, HeaderSize+5), Clicks: 2})
+	win.Inject(wsys.Release(HeaderSize+5, HeaderSize+5))
+	im.DrainEvents()
+	if !v.Editing() || v.EditBuffer() != "old" {
+		t.Fatalf("editing=%v buf=%q", v.Editing(), v.EditBuffer())
+	}
+}
+
+func TestRenderingShowsValues(t *testing.T) {
+	im, win, _, d := setup(t)
+	_ = d.SetNumber(0, 0, 12345)
+	_ = d.SetText(1, 1, "hello")
+	im.FullRedraw()
+	snap := win.Snapshot()
+	if snap.Count(snap.Bounds(), graphics.Black) < 30 {
+		t.Fatal("table rendered almost nothing")
+	}
+}
+
+func TestEmbeddedTextInCell(t *testing.T) {
+	reg := testReg(t)
+	d := table.New(2, 2)
+	d.SetRegistry(reg)
+	note := text.NewString("note")
+	note.SetRegistry(reg)
+	if err := d.SetEmbed(1, 1, note, "textview"); err != nil {
+		t.Fatal(err)
+	}
+	v := New(reg)
+	v.SetDataObject(d)
+	ws := memwin.New()
+	win, _ := ws.NewWindow("s", 400, 200)
+	im := core.NewInteractionManager(ws, win)
+	im.SetChild(v)
+	im.FullRedraw()
+
+	// The embedded cell's rect is registered; clicking it routes the event
+	// to the text view, which takes focus; typing edits the note.
+	i := v.cellIndex(1, 1)
+	r, ok := v.rects[i]
+	if !ok {
+		t.Fatal("embedded rect missing")
+	}
+	cx, cy := core.AbsOrigin(v).X+r.Center().X, core.AbsOrigin(v).Y+r.Center().Y
+	win.Inject(wsys.Click(cx, cy))
+	win.Inject(wsys.Release(cx, cy))
+	win.Inject(wsys.KeyPress('!'))
+	im.DrainEvents()
+	if note.String() == "note" {
+		t.Fatalf("embedded text unedited: %q", note.String())
+	}
+}
+
+func TestScrollInfo(t *testing.T) {
+	_, _, v, d := setup(t)
+	total, top, vis := v.ScrollInfo()
+	rows, _ := d.Dims()
+	if total != rows || top != 0 || vis < 1 {
+		t.Fatalf("info = %d,%d,%d", total, top, vis)
+	}
+	v.ScrollTo(3)
+	if _, top, _ = v.ScrollInfo(); top != 3 {
+		t.Fatalf("top = %d", top)
+	}
+	v.ScrollTo(99)
+	if _, top, _ = v.ScrollInfo(); top != rows-1 {
+		t.Fatalf("clamped = %d", top)
+	}
+}
+
+func TestMenusAddRowColumn(t *testing.T) {
+	im, win, _, d := setup(t)
+	win.Inject(wsys.Click(HeaderSize+5, HeaderSize+5))
+	win.Inject(wsys.Release(HeaderSize+5, HeaderSize+5))
+	im.DrainEvents()
+	win.Inject(wsys.Event{Kind: wsys.MenuEvent, MenuPath: "Table/Add Row"})
+	win.Inject(wsys.Event{Kind: wsys.MenuEvent, MenuPath: "Table/Add Column"})
+	im.DrainEvents()
+	r, c := d.Dims()
+	if r != 6 || c != 5 {
+		t.Fatalf("dims = %d,%d", r, c)
+	}
+}
+
+func TestDesiredSizeTracksGrid(t *testing.T) {
+	reg := testReg(t)
+	small := New(reg)
+	sd := table.New(2, 2)
+	small.SetDataObject(sd)
+	big := New(reg)
+	bd := table.New(10, 6)
+	big.SetDataObject(bd)
+	_, sh := small.DesiredSize(0, 0)
+	_, bh := big.DesiredSize(0, 0)
+	if bh <= sh {
+		t.Fatalf("heights %d vs %d", sh, bh)
+	}
+}

@@ -1,0 +1,226 @@
+// Package tags implements the tags extension package (paper §1): an index
+// from identifier definitions to their locations across a set of program
+// documents, so "go to definition" works inside the editor. Definitions
+// are recognized with the cmode lexer using the heuristics of the era's
+// ctags: a function name is an identifier at the start of a line followed
+// by '(' whose line does not end in ';'; a #define names its first
+// identifier; struct/enum/union and typedef name their following
+// identifier.
+package tags
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"atk/internal/cmode"
+	"atk/internal/text"
+)
+
+// ErrNotFound reports a missing tag.
+var ErrNotFound = errors.New("tags: not found")
+
+// Tag is one definition site.
+type Tag struct {
+	Name string
+	File string
+	Pos  int // rune offset in the document
+	Line int // 1-based
+	Kind string
+}
+
+// Index is a built tag table.
+type Index struct {
+	byName map[string][]Tag
+	files  int
+}
+
+// Build scans the given documents (file name -> text object).
+func Build(docs map[string]*text.Data) *Index {
+	idx := &Index{byName: make(map[string][]Tag)}
+	names := make([]string, 0, len(docs))
+	for n := range docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, file := range names {
+		idx.scan(file, docs[file].String())
+		idx.files++
+	}
+	for _, ts := range idx.byName {
+		sort.Slice(ts, func(i, j int) bool {
+			if ts[i].File != ts[j].File {
+				return ts[i].File < ts[j].File
+			}
+			return ts[i].Pos < ts[j].Pos
+		})
+	}
+	return idx
+}
+
+func (idx *Index) scan(file, src string) {
+	toks := cmode.Lex(src)
+	rs := []rune(src)
+	lineOf := func(pos int) int {
+		line := 1
+		for i := 0; i < pos && i < len(rs); i++ {
+			if rs[i] == '\n' {
+				line++
+			}
+		}
+		return line
+	}
+	word := func(t cmode.Token) string { return string(rs[t.Start:t.End]) }
+	atLineStart := func(pos int) bool {
+		return pos == 0 || rs[pos-1] == '\n'
+	}
+	lineEndsWithSemi := func(pos int) bool {
+		for i := pos; i < len(rs); i++ {
+			switch rs[i] {
+			case '\n':
+				return false
+			case ';':
+				return true
+			}
+		}
+		return false
+	}
+	add := func(name, kind string, pos int) {
+		idx.byName[name] = append(idx.byName[name], Tag{
+			Name: name, File: file, Pos: pos, Line: lineOf(pos), Kind: kind,
+		})
+	}
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch t.Kind {
+		case cmode.Preproc:
+			fields := strings.Fields(word(t))
+			if len(fields) >= 2 && fields[0] == "#define" {
+				name := fields[1]
+				if j := strings.IndexByte(name, '('); j >= 0 {
+					name = name[:j]
+				}
+				add(name, "macro", t.Start)
+			}
+		case cmode.Keyword:
+			kw := word(t)
+			if kw == "struct" || kw == "union" || kw == "enum" {
+				if n, ok := nextIdent(toks, i); ok {
+					// Only a definition when '{' follows the name.
+					if o, ok2 := nextNonSpace(toks, n); ok2 && word(toks[o]) == "{" {
+						add(word(toks[n]), kw, toks[n].Start)
+					}
+				}
+			}
+			if kw == "typedef" {
+				// The last identifier before the terminating ';' names the
+				// type.
+				last := -1
+				for j := i + 1; j < len(toks); j++ {
+					w := word(toks[j])
+					if toks[j].Kind == cmode.Ident {
+						last = j
+					}
+					if w == ";" {
+						break
+					}
+				}
+				if last >= 0 {
+					add(word(toks[last]), "typedef", toks[last].Start)
+				}
+			}
+		case cmode.Ident:
+			// Function definition heuristic: ident '(' ... at a line whose
+			// statement is not a declaration (no trailing ';' on the line).
+			if n, ok := nextNonSpace(toks, i); ok && word(toks[n]) == "(" {
+				if isDefinitionSite(toks, rs, i, atLineStart) && !lineEndsWithSemi(t.Start) {
+					add(word(t), "func", t.Start)
+				}
+			}
+		}
+	}
+}
+
+// isDefinitionSite: the identifier starts the line, or the line starts
+// with type-ish tokens leading to it (e.g. "static int foo(").
+func isDefinitionSite(toks []cmode.Token, rs []rune,
+	i int, atLineStart func(int) bool) bool {
+	// Walk backwards over idents/keywords/'*'/spaces on the same line.
+	j := i
+	for j > 0 {
+		prev := toks[j-1]
+		w := string(rs[prev.Start:prev.End])
+		if prev.Kind == cmode.Space {
+			if strings.Contains(w, "\n") {
+				break
+			}
+			j--
+			continue
+		}
+		if prev.Kind == cmode.Ident || prev.Kind == cmode.Keyword || w == "*" {
+			j--
+			continue
+		}
+		return false // an operator/paren precedes: it is a call
+	}
+	return atLineStart(toks[j].Start)
+}
+
+func nextIdent(toks []cmode.Token, i int) (int, bool) {
+	for j := i + 1; j < len(toks); j++ {
+		if toks[j].Kind == cmode.Ident {
+			return j, true
+		}
+		if toks[j].Kind != cmode.Space {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+func nextNonSpace(toks []cmode.Token, i int) (int, bool) {
+	for j := i + 1; j < len(toks); j++ {
+		if toks[j].Kind != cmode.Space {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// Lookup returns all definitions of name.
+func (idx *Index) Lookup(name string) ([]Tag, error) {
+	ts := idx.byName[name]
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return ts, nil
+}
+
+// Names returns all tagged names, sorted.
+func (idx *Index) Names() []string {
+	out := make([]string, 0, len(idx.byName))
+	for n := range idx.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of distinct tagged names.
+func (idx *Index) Len() int { return len(idx.byName) }
+
+// Files returns how many documents were scanned.
+func (idx *Index) Files() int { return idx.files }
+
+// Complete returns tagged names with the given prefix, sorted — the
+// editor's tag completion.
+func (idx *Index) Complete(prefix string) []string {
+	var out []string
+	for _, n := range idx.Names() {
+		if strings.HasPrefix(n, prefix) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package tags
+
+import (
+	"errors"
+	"testing"
+
+	"atk/internal/text"
+)
+
+const viewC = `#include "class.h"
+#define MAXVIEWS 64
+#define MIN(a,b) ((a)<(b)?(a):(b))
+
+struct view {
+    int x, y;
+};
+
+typedef struct view view_t;
+
+enum cursor { ARROW, IBEAM };
+
+static int view_Hit(struct view *v, long x)
+{
+    return helper(x);
+}
+
+long view_DesiredSize(v, w)
+struct view *v;
+{
+    return 0;
+}
+`
+
+const textC = `extern int view_Hit();
+
+int text_Insert(struct text *t, int pos)
+{
+    view_Hit(0, 0);
+    return 1;
+}
+`
+
+func buildIdx(t *testing.T) *Index {
+	t.Helper()
+	return Build(map[string]*text.Data{
+		"view.c": text.NewString(viewC),
+		"text.c": text.NewString(textC),
+	})
+}
+
+func TestFunctionDefinitions(t *testing.T) {
+	idx := buildIdx(t)
+	ts, err := idx.Lookup("view_Hit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defined in view.c; the call in text.c and the extern decl are NOT
+	// definitions.
+	if len(ts) != 1 || ts[0].File != "view.c" || ts[0].Kind != "func" {
+		t.Fatalf("view_Hit = %+v", ts)
+	}
+	if ts[0].Line != 13 {
+		t.Fatalf("line = %d", ts[0].Line)
+	}
+	if _, err := idx.Lookup("text_Insert"); err != nil {
+		t.Fatal("text_Insert not tagged")
+	}
+	// helper() is only called, never defined.
+	if _, err := idx.Lookup("helper"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("call site tagged: %v", err)
+	}
+}
+
+func TestMacrosAndTypes(t *testing.T) {
+	idx := buildIdx(t)
+	if ts, err := idx.Lookup("MAXVIEWS"); err != nil || ts[0].Kind != "macro" {
+		t.Fatalf("MAXVIEWS = %+v, %v", ts, err)
+	}
+	if ts, err := idx.Lookup("MIN"); err != nil || ts[0].Kind != "macro" {
+		t.Fatalf("MIN = %+v, %v", ts, err)
+	}
+	if ts, err := idx.Lookup("view"); err != nil || ts[0].Kind != "struct" {
+		t.Fatalf("struct view = %+v, %v", ts, err)
+	}
+	if ts, err := idx.Lookup("view_t"); err != nil || ts[0].Kind != "typedef" {
+		t.Fatalf("view_t = %+v, %v", ts, err)
+	}
+	if ts, err := idx.Lookup("cursor"); err != nil || ts[0].Kind != "enum" {
+		t.Fatalf("enum cursor = %+v, %v", ts, err)
+	}
+}
+
+func TestIndexMeta(t *testing.T) {
+	idx := buildIdx(t)
+	if idx.Files() != 2 {
+		t.Fatalf("files = %d", idx.Files())
+	}
+	if idx.Len() < 6 {
+		t.Fatalf("names = %v", idx.Names())
+	}
+	comp := idx.Complete("view_")
+	if len(comp) != 3 { // view_DesiredSize, view_Hit, view_t
+		t.Fatalf("complete = %v", comp)
+	}
+	if len(idx.Complete("zz")) != 0 {
+		t.Fatal("phantom completions")
+	}
+}
+
+func TestKAndRStyleDefinition(t *testing.T) {
+	idx := buildIdx(t)
+	// view_DesiredSize uses K&R parameter style; still tagged.
+	if _, err := idx.Lookup("view_DesiredSize"); err != nil {
+		t.Fatal("K&R definition not tagged")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	idx := Build(nil)
+	if idx.Len() != 0 || idx.Files() != 0 {
+		t.Fatal("empty index not empty")
+	}
+	if _, err := idx.Lookup("x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStructDeclarationNotTagged(t *testing.T) {
+	// "struct view *v" (a use) must not tag view again.
+	idx := Build(map[string]*text.Data{
+		"a.c": text.NewString("struct point { int x; };\nstruct point *origin;\n"),
+	})
+	ts, err := idx.Lookup("point")
+	if err != nil || len(ts) != 1 {
+		t.Fatalf("point = %+v, %v", ts, err)
+	}
+}

@@ -1,0 +1,100 @@
+package text
+
+import (
+	"fmt"
+
+	"atk/internal/core"
+)
+
+// Extract returns a new text object holding a copy of [start,end):
+// content, style runs (clipped and shifted), and embedded components.
+// Embedded data objects are shared, not deep-copied — extraction is the
+// first half of cut/copy, and the clipboard's external representation
+// makes the eventual copy when it serializes.
+func (d *Data) Extract(start, end int) (*Data, error) {
+	if start < 0 || end > d.length || start > end {
+		return nil, fmt.Errorf("%w: extract [%d,%d) of %d", ErrRange, start, end, d.length)
+	}
+	out := New()
+	out.reg = d.reg
+	// Content, anchors included.
+	content := []rune(d.Slice(start, end))
+	out.orig = content
+	out.length = len(content)
+	if out.length > 0 {
+		out.pieces = []piece{{srcOrig, 0, out.length}}
+	}
+	// Styles: definitions referenced by clipped runs, plus the runs.
+	for _, r := range d.runs {
+		s, e := max(r.Start, start), min(r.End, end)
+		if s >= e {
+			continue
+		}
+		if !out.styles.Has(r.Style) || d.styles.Lookup(r.Style) != out.styles.Lookup(r.Style) {
+			_ = out.styles.Define(d.styles.Lookup(r.Style))
+		}
+		out.runs = append(out.runs, Run{Start: s - start, End: e - start, Style: r.Style})
+	}
+	// Embeds in range.
+	for _, e := range d.embeds {
+		if e.Pos >= start && e.Pos < end {
+			out.embeds = append(out.embeds, &Embedded{
+				Pos: e.Pos - start, Obj: e.Obj, ViewName: e.ViewName,
+			})
+		}
+	}
+	return out, nil
+}
+
+// InsertData splices a whole text object — content, styles, embeds — into
+// d at pos. Style definitions src carries that d lacks are imported.
+func (d *Data) InsertData(pos int, src *Data) error {
+	if pos < 0 || pos > d.length {
+		return fmt.Errorf("%w: insert at %d of %d", ErrRange, pos, d.length)
+	}
+	if src.Len() == 0 {
+		return nil
+	}
+	// Insert the raw content (anchors included) in one piece-table splice;
+	// insertRunes shifts existing runs and embeds.
+	if err := d.insertRunes(pos, []rune(src.String()), "insert"); err != nil {
+		return err
+	}
+	// Import style definitions and graft the runs.
+	for _, name := range src.styles.Names() {
+		if !d.styles.Has(name) {
+			_ = d.styles.Define(src.styles.Lookup(name))
+		}
+	}
+	for _, r := range src.runs {
+		d.runs = append(d.runs, Run{Start: r.Start + pos, End: r.End + pos, Style: r.Style})
+	}
+	sortRuns(d.runs)
+	// Graft the embeds.
+	for _, e := range src.embeds {
+		d.embeds = append(d.embeds, &Embedded{
+			Pos: e.Pos + pos, Obj: e.Obj, ViewName: e.ViewName,
+		})
+	}
+	sortEmbeds(d.embeds)
+	// The content insertion already notified; announce the grafted
+	// styles separately (no position shifting implied by "style").
+	d.NotifyObservers(core.Change{Kind: "style", Pos: pos, Length: src.Len()})
+	return nil
+}
+
+func sortRuns(runs []Run) {
+	for i := 1; i < len(runs); i++ {
+		for j := i; j > 0 && runs[j].Start < runs[j-1].Start; j-- {
+			runs[j], runs[j-1] = runs[j-1], runs[j]
+		}
+	}
+}
+
+func sortEmbeds(es []*Embedded) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].Pos < es[j-1].Pos; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package text
+
+import (
+	"testing"
+
+	"atk/internal/core"
+)
+
+func TestExtractPlain(t *testing.T) {
+	d := NewString("hello brave world")
+	ext, err := d.Extract(6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.String() != "brave" {
+		t.Fatalf("content = %q", ext.String())
+	}
+	// The source is untouched.
+	if d.String() != "hello brave world" {
+		t.Fatal("extract mutated source")
+	}
+}
+
+func TestExtractStylesClippedAndShifted(t *testing.T) {
+	d := NewString("0123456789")
+	_ = d.SetStyle(2, 8, "bold")
+	ext, err := d.Extract(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := ext.Runs()
+	if len(runs) != 1 || runs[0] != (Run{0, 4, "bold"}) {
+		t.Fatalf("runs = %v", runs)
+	}
+}
+
+func TestExtractCustomStyleDefinitionTravels(t *testing.T) {
+	d := NewString("0123456789")
+	def := d.Styles().Lookup("body")
+	def.Name = "custom"
+	def.Indent = 33
+	_ = d.Styles().Define(def)
+	_ = d.SetStyle(1, 5, "custom")
+	ext, _ := d.Extract(0, 6)
+	if !ext.Styles().Has("custom") || ext.Styles().Lookup("custom").Indent != 33 {
+		t.Fatal("custom style definition lost")
+	}
+}
+
+func TestExtractEmbeds(t *testing.T) {
+	d := NewString("ab  cd")
+	o1 := core.NewUnknownData("music")
+	o2 := core.NewUnknownData("table")
+	_ = d.Embed(2, o1, "musicview")
+	_ = d.Embed(4, o2, "spread") // after o1's anchor: "ab♦ ♦ cd" positions 2 and 4
+	ext, err := d.Extract(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext.Embeds()) != 2 {
+		t.Fatalf("embeds = %v", ext.Embeds())
+	}
+	if ext.Embeds()[0].Pos != 1 || ext.Embeds()[0].Obj != core.DataObject(o1) {
+		t.Fatalf("first embed = %+v", ext.Embeds()[0])
+	}
+	// Out-of-range embeds are excluded.
+	ext2, _ := d.Extract(0, 2)
+	if len(ext2.Embeds()) != 0 {
+		t.Fatalf("embeds = %v", ext2.Embeds())
+	}
+}
+
+func TestExtractBounds(t *testing.T) {
+	d := NewString("abc")
+	if _, err := d.Extract(2, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := d.Extract(0, 9); err == nil {
+		t.Fatal("oversized range accepted")
+	}
+	empty, err := d.Extract(1, 1)
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("empty extract: %v, %v", empty, err)
+	}
+}
+
+func TestInsertDataSplicesEverything(t *testing.T) {
+	src := NewString("RICH")
+	_ = src.SetStyle(0, 4, "bold")
+	_ = src.Embed(2, core.NewUnknownData("blob"), "blobview")
+	dst := NewString("before after")
+	if err := dst.InsertData(7, src); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 12+5 {
+		t.Fatalf("len = %d", dst.Len())
+	}
+	if dst.Slice(7, 9) != "RI" {
+		t.Fatalf("content = %q", dst.String())
+	}
+	if dst.StyleAt(8) != "bold" || dst.StyleAt(3) != "body" {
+		t.Fatalf("styles: %q %q", dst.StyleAt(8), dst.StyleAt(3))
+	}
+	es := dst.Embeds()
+	if len(es) != 1 || es[0].Pos != 9 {
+		t.Fatalf("embeds = %+v", es)
+	}
+	// The anchor really is at the embed position.
+	if r, _ := dst.RuneAt(9); r != AnchorRune {
+		t.Fatalf("rune at 9 = %q", r)
+	}
+}
+
+func TestInsertDataShiftsExistingEmbeds(t *testing.T) {
+	dst := NewString("xy")
+	_ = dst.Embed(1, core.NewUnknownData("old"), "oldview")
+	src := NewString("AB")
+	_ = src.Embed(1, core.NewUnknownData("new"), "newview")
+	if err := dst.InsertData(0, src); err != nil {
+		t.Fatal(err)
+	}
+	es := dst.Embeds()
+	if len(es) != 2 {
+		t.Fatalf("embeds = %v", es)
+	}
+	if es[0].ViewName != "newview" || es[0].Pos != 1 {
+		t.Fatalf("first = %+v", es[0])
+	}
+	if es[1].ViewName != "oldview" || es[1].Pos != 4 {
+		t.Fatalf("second = %+v", es[1])
+	}
+}
+
+func TestInsertDataEmptyAndBounds(t *testing.T) {
+	dst := NewString("abc")
+	if err := dst.InsertData(0, New()); err != nil {
+		t.Fatal(err)
+	}
+	if dst.String() != "abc" {
+		t.Fatal("empty insert changed content")
+	}
+	if err := dst.InsertData(9, NewString("x")); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+func TestExtractInsertRoundTrip(t *testing.T) {
+	d := NewString("the quick brown fox")
+	_ = d.SetStyle(4, 9, "italic")
+	_ = d.Embed(10, core.NewUnknownData("pic"), "picview")
+	ext, err := d.Extract(4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewString("[]")
+	if err := dst.InsertData(1, ext); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 2+8 {
+		t.Fatalf("len = %d", dst.Len())
+	}
+	if dst.StyleAt(1) != "italic" {
+		t.Fatalf("style = %q", dst.StyleAt(1))
+	}
+	if len(dst.Embeds()) != 1 || dst.Embeds()[0].Pos != 7 {
+		t.Fatalf("embeds = %+v", dst.Embeds())
+	}
+}

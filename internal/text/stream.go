@@ -1,0 +1,233 @@
+package text
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/graphics"
+)
+
+// External representation of a text object:
+//
+//	\begindata{text,1}
+//	\begindata{textstyles,2}
+//	def quotation andy 12 i 24 0
+//	run 5 12 bold
+//	\enddata{textstyles,2}
+//	...encoded content...
+//	\begindata{table,3}...\enddata{table,3}
+//	\view{spread,3}
+//	...more content...
+//	\enddata{text,1}
+//
+// The optional textstyles block carries non-standard style definitions and
+// all style runs; content chunks between embedded objects are written with
+// the datastream text encoding, so any runes round-trip.
+
+// Reg is the class registry used to instantiate embedded component types
+// during ReadPayload. It defaults to class.Default; tests and applications
+// with their own registries may override it per object.
+func (d *Data) SetRegistry(reg *class.Registry) { d.reg = reg }
+
+func (d *Data) registry() *class.Registry {
+	if d.reg != nil {
+		return d.reg
+	}
+	return class.Default
+}
+
+// WritePayload implements core.DataObject.
+func (d *Data) WritePayload(w *datastream.Writer) error {
+	if err := d.writeStyles(w); err != nil {
+		return err
+	}
+	cursor := 0
+	for _, e := range d.embeds {
+		if chunk := d.Slice(cursor, e.Pos); chunk != "" {
+			if err := w.WriteText(chunk); err != nil {
+				return err
+			}
+		}
+		id, err := core.WriteObject(w, e.Obj)
+		if err != nil {
+			return err
+		}
+		if err := w.View(e.ViewName, id); err != nil {
+			return err
+		}
+		cursor = e.Pos + 1 // skip the anchor rune
+	}
+	if chunk := d.Slice(cursor, d.length); chunk != "" {
+		if err := w.WriteText(chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Data) writeStyles(w *datastream.Writer) error {
+	// Emit definitions for every style a run references that differs from
+	// the stock table, plus every run.
+	if len(d.runs) == 0 {
+		return nil
+	}
+	if _, err := w.Begin("textstyles"); err != nil {
+		return err
+	}
+	stock := NewStyleTable()
+	seen := map[string]bool{}
+	for _, r := range d.runs {
+		if seen[r.Style] {
+			continue
+		}
+		seen[r.Style] = true
+		def := d.styles.Lookup(r.Style)
+		if stock.Has(def.Name) && stock.Lookup(def.Name) == def {
+			continue // standard style, implied
+		}
+		line := fmt.Sprintf("def %s %s %d %s %d %d", def.Name, def.Font.Family,
+			def.Font.Size, def.Font.Style, def.Indent, int(def.Justify))
+		if err := w.WriteRawLine(line); err != nil {
+			return err
+		}
+	}
+	for _, r := range d.runs {
+		if err := w.WriteRawLine(fmt.Sprintf("run %d %d %s", r.Start, r.End-r.Start, r.Style)); err != nil {
+			return err
+		}
+	}
+	return w.End()
+}
+
+// ReadPayload implements core.DataObject: it consumes tokens through the
+// object's own end marker, restoring content, styles and embedded
+// children (instantiated through the registry, demand-loading their code).
+func (d *Data) ReadPayload(r *datastream.Reader) error {
+	// Reset.
+	d.orig, d.add, d.pieces, d.length = nil, nil, nil, 0
+	d.runs, d.embeds = nil, nil
+
+	var content []rune
+	var pendingObj core.DataObject
+	var runs []Run
+	for {
+		tok, err := r.Next()
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("%w: EOF inside text object", datastream.ErrBadNesting)
+			}
+			return err
+		}
+		switch tok.Kind {
+		case datastream.TokEnd:
+			// Our own end marker: done.
+			d.orig = content
+			d.length = len(content)
+			if d.length > 0 {
+				d.pieces = []piece{{srcOrig, 0, d.length}}
+			}
+			d.runs = runs
+			d.NotifyObservers(core.FullChange)
+			return nil
+		case datastream.TokText:
+			// Join contiguous text tokens with newlines (the writer's
+			// contract), taking care at chunk boundaries.
+			content = append(content, []rune(tok.Text)...)
+			if next, err := r.Peek(); err == nil && next.Kind == datastream.TokText {
+				content = append(content, '\n')
+			}
+		case datastream.TokBegin:
+			if tok.Type == "textstyles" {
+				if err := d.readStyles(r, &runs); err != nil {
+					return err
+				}
+				continue
+			}
+			obj, err := core.ReadObjectAfterBegin(r, d.registry(), tok)
+			if err != nil {
+				return err
+			}
+			pendingObj = obj
+		case datastream.TokView:
+			if pendingObj == nil {
+				return fmt.Errorf("text: \\view{%s,%d} with no preceding object", tok.Type, tok.ID)
+			}
+			d.embeds = append(d.embeds, &Embedded{
+				Pos: len(content), Obj: pendingObj, ViewName: tok.Type,
+			})
+			content = append(content, AnchorRune)
+			pendingObj = nil
+		}
+	}
+}
+
+func (d *Data) readStyles(r *datastream.Reader, runs *[]Run) error {
+	for {
+		tok, err := r.Next()
+		if err != nil {
+			return err
+		}
+		switch tok.Kind {
+		case datastream.TokEnd:
+			return nil
+		case datastream.TokText:
+			fields := strings.Fields(tok.Text)
+			if len(fields) == 0 {
+				continue
+			}
+			switch fields[0] {
+			case "def":
+				if len(fields) != 7 {
+					return fmt.Errorf("text: bad style def %q", tok.Text)
+				}
+				size, err1 := strconv.Atoi(fields[3])
+				style, err2 := graphics.ParseFontStyle(fields[4])
+				indent, err3 := strconv.Atoi(fields[5])
+				just, err4 := strconv.Atoi(fields[6])
+				if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+					return fmt.Errorf("text: bad style def %q", tok.Text)
+				}
+				if err := d.styles.Define(StyleDef{
+					Name:    fields[1],
+					Font:    graphics.FontDesc{Family: fields[2], Size: size, Style: style},
+					Indent:  indent,
+					Justify: Justify(just),
+				}); err != nil {
+					return err
+				}
+			case "run":
+				if len(fields) != 4 {
+					return fmt.Errorf("text: bad style run %q", tok.Text)
+				}
+				start, err1 := strconv.Atoi(fields[1])
+				n, err2 := strconv.Atoi(fields[2])
+				if err1 != nil || err2 != nil || start < 0 || n < 0 {
+					return fmt.Errorf("text: bad style run %q", tok.Text)
+				}
+				*runs = append(*runs, Run{Start: start, End: start + n, Style: fields[3]})
+			default:
+				return fmt.Errorf("text: unknown textstyles line %q", tok.Text)
+			}
+		default:
+			return fmt.Errorf("text: unexpected %v inside textstyles", tok.Kind)
+		}
+	}
+}
+
+// Register installs the text data class in reg. View classes live in the
+// textview package so a data-only program stays small.
+func Register(reg *class.Registry) error {
+	return reg.Register(class.Info{
+		Name: "text",
+		New: func() any {
+			d := New()
+			d.reg = reg
+			return d
+		},
+	})
+}

@@ -1,0 +1,206 @@
+package text
+
+import (
+	"fmt"
+	"sort"
+
+	"atk/internal/core"
+	"atk/internal/graphics"
+)
+
+// Justify selects paragraph alignment for a style.
+type Justify int
+
+// Justification modes.
+const (
+	JustifyLeft Justify = iota
+	JustifyCenter
+	JustifyRight
+)
+
+// StyleDef is a named style: the unit the style editor manipulates. A
+// style fully determines the font and paragraph treatment of the runs that
+// carry it.
+type StyleDef struct {
+	Name    string
+	Font    graphics.FontDesc
+	Indent  int // left indent in pixels
+	Justify Justify
+}
+
+// Run applies a named style to the half-open range [Start,End).
+type Run struct {
+	Start, End int
+	Style      string
+}
+
+// StyleTable maps style names to definitions.
+type StyleTable struct {
+	defs map[string]StyleDef
+}
+
+// DefaultStyleName is the style of any text not covered by a run.
+const DefaultStyleName = "body"
+
+// NewStyleTable returns a table with the standard Andrew-ish styles.
+func NewStyleTable() *StyleTable {
+	t := &StyleTable{defs: make(map[string]StyleDef)}
+	for _, d := range []StyleDef{
+		{Name: "body", Font: graphics.FontDesc{Family: "andy", Size: 12}},
+		{Name: "bold", Font: graphics.FontDesc{Family: "andy", Size: 12, Style: graphics.Bold}},
+		{Name: "italic", Font: graphics.FontDesc{Family: "andy", Size: 12, Style: graphics.Italic}},
+		{Name: "bigger", Font: graphics.FontDesc{Family: "andy", Size: 16}},
+		{Name: "heading", Font: graphics.FontDesc{Family: "andy", Size: 16, Style: graphics.Bold}},
+		{Name: "title", Font: graphics.FontDesc{Family: "andy", Size: 20, Style: graphics.Bold}, Justify: JustifyCenter},
+		{Name: "typewriter", Font: graphics.FontDesc{Family: "typewriter", Size: 12, Style: graphics.Fixed}},
+		{Name: "quotation", Font: graphics.FontDesc{Family: "andy", Size: 12, Style: graphics.Italic}, Indent: 24},
+	} {
+		t.defs[d.Name] = d
+	}
+	return t
+}
+
+// Define adds or replaces a style definition.
+func (t *StyleTable) Define(d StyleDef) error {
+	if d.Name == "" {
+		return fmt.Errorf("text: style with empty name")
+	}
+	if d.Font.Size <= 0 {
+		return fmt.Errorf("text: style %q has non-positive size", d.Name)
+	}
+	t.defs[d.Name] = d
+	return nil
+}
+
+// Lookup resolves a style name; unknown names fall back to body so a
+// document referencing a missing style still displays.
+func (t *StyleTable) Lookup(name string) StyleDef {
+	if d, ok := t.defs[name]; ok {
+		return d
+	}
+	return t.defs[DefaultStyleName]
+}
+
+// Has reports whether name is defined.
+func (t *StyleTable) Has(name string) bool {
+	_, ok := t.defs[name]
+	return ok
+}
+
+// Names returns all defined style names, sorted.
+func (t *StyleTable) Names() []string {
+	out := make([]string, 0, len(t.defs))
+	for n := range t.defs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetStyle applies the named style to [start,end), splitting and merging
+// runs as needed so runs stay sorted and non-overlapping.
+func (d *Data) SetStyle(start, end int, name string) error {
+	if start < 0 || end > d.length || start > end {
+		return fmt.Errorf("%w: style [%d,%d) of %d", ErrRange, start, end, d.length)
+	}
+	if !d.styles.Has(name) {
+		return fmt.Errorf("text: unknown style %q", name)
+	}
+	if start == end {
+		return nil
+	}
+	journal := !d.inUndo && !d.noUndo
+	var prev []Run
+	if journal {
+		prev = append([]Run(nil), d.runs...)
+	}
+	var out []Run
+	for _, r := range d.runs {
+		// Keep the parts of r outside [start,end).
+		if r.End <= start || r.Start >= end {
+			out = append(out, r)
+			continue
+		}
+		if r.Start < start {
+			out = append(out, Run{r.Start, start, r.Style})
+		}
+		if r.End > end {
+			out = append(out, Run{end, r.End, r.Style})
+		}
+	}
+	if name != DefaultStyleName {
+		out = append(out, Run{start, end, name})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	// Merge adjacent runs of the same style.
+	merged := out[:0]
+	for _, r := range out {
+		if n := len(merged); n > 0 && merged[n-1].End == r.Start && merged[n-1].Style == r.Style {
+			merged[n-1].End = r.End
+			continue
+		}
+		merged = append(merged, r)
+	}
+	d.runs = merged
+	if journal {
+		d.record(editOp{kind: opStyle, prev: prev, next: append([]Run(nil), merged...)})
+	}
+	d.NotifyObservers(core.Change{Kind: "style", Pos: start, Length: end - start})
+	return nil
+}
+
+// ReplaceRuns installs a complete style-run list in one operation — the
+// bulk path for programmatic restyling (the C-mode lexer, style import).
+// Runs must be sorted, non-overlapping, in range, and reference defined
+// styles; the whole replacement is a single journal entry.
+func (d *Data) ReplaceRuns(runs []Run) error {
+	prevEnd := 0
+	for _, r := range runs {
+		if r.Start < prevEnd || r.Start >= r.End || r.End > d.length {
+			return fmt.Errorf("%w: bad run %+v", ErrRange, r)
+		}
+		if !d.styles.Has(r.Style) {
+			return fmt.Errorf("text: unknown style %q", r.Style)
+		}
+		prevEnd = r.End
+	}
+	journal := !d.inUndo && !d.noUndo
+	var prev []Run
+	if journal {
+		prev = append([]Run(nil), d.runs...)
+	}
+	d.runs = append([]Run(nil), runs...)
+	if journal {
+		d.record(editOp{kind: opStyle, prev: prev, next: append([]Run(nil), d.runs...)})
+	}
+	d.NotifyObservers(core.Change{Kind: "style", Pos: 0, Length: d.length})
+	return nil
+}
+
+// StyleAt returns the style name in effect at pos.
+func (d *Data) StyleAt(pos int) string {
+	for _, r := range d.runs {
+		if r.Start <= pos && pos < r.End {
+			return r.Style
+		}
+	}
+	return DefaultStyleName
+}
+
+// StyleSpan returns the extent [start,end) over which the style at pos is
+// constant, along with the style name — what a layout engine consumes.
+func (d *Data) StyleSpan(pos int) (start, end int, name string) {
+	start, end, name = 0, d.length, DefaultStyleName
+	for _, r := range d.runs {
+		if r.Start <= pos && pos < r.End {
+			return r.Start, r.End, r.Style
+		}
+		if r.End <= pos && r.End > start {
+			start = r.End
+		}
+		if r.Start > pos && r.Start < end {
+			end = r.Start
+		}
+	}
+	return start, end, name
+}

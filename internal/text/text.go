@@ -1,0 +1,427 @@
+// Package text implements the multi-font text data object, the toolkit's
+// flagship component: a piece-table buffer with named-style runs and
+// embedded-object anchors. Any other component can be embedded at any
+// position; the text object uses the generic mechanism of core, so a
+// component type invented years later embeds exactly like a table does
+// (the music-department scenario of paper §1).
+package text
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+)
+
+// AnchorRune is the placeholder occupying one rune position wherever a
+// component is embedded.
+const AnchorRune = '￼'
+
+// Errors reported by buffer operations.
+var (
+	ErrRange = errors.New("text: position out of range")
+)
+
+type pieceSrc uint8
+
+const (
+	srcOrig pieceSrc = iota
+	srcAdd
+)
+
+type piece struct {
+	src pieceSrc
+	off int
+	n   int
+}
+
+// Embedded records one embedded component: the data object, the view type
+// that should display it, and its rune position in the buffer.
+type Embedded struct {
+	Pos      int
+	Obj      core.DataObject
+	ViewName string
+}
+
+// Data is the text data object. It is not safe for concurrent use, like
+// all toolkit data objects.
+type Data struct {
+	core.BaseData
+	orig   []rune
+	add    []rune
+	pieces []piece
+	length int
+
+	styles *StyleTable
+	runs   []Run
+	embeds []*Embedded
+
+	// reg instantiates embedded component types during ReadPayload;
+	// nil means class.Default.
+	reg *class.Registry
+
+	// Undo journal (see undo.go).
+	undoLog []editOp
+	redoLog []editOp
+	inUndo  bool
+	noUndo  bool
+}
+
+// New returns an empty text object with the standard style table.
+func New() *Data {
+	d := &Data{styles: NewStyleTable()}
+	d.InitData(d, "text", "textview")
+	return d
+}
+
+// NewString returns a text object initialized with s.
+func NewString(s string) *Data {
+	d := New()
+	d.orig = []rune(s)
+	d.length = len(d.orig)
+	if d.length > 0 {
+		d.pieces = []piece{{srcOrig, 0, d.length}}
+	}
+	return d
+}
+
+// Len returns the buffer length in runes (anchors count as one).
+func (d *Data) Len() int { return d.length }
+
+// Styles returns the style table.
+func (d *Data) Styles() *StyleTable { return d.styles }
+
+// Runs returns the style runs (sorted, non-overlapping, read-only).
+func (d *Data) Runs() []Run { return d.runs }
+
+// Embeds returns the embedded components ordered by position (read-only).
+func (d *Data) Embeds() []*Embedded { return d.embeds }
+
+// RuneAt returns the rune at pos.
+func (d *Data) RuneAt(pos int) (rune, error) {
+	if pos < 0 || pos >= d.length {
+		return 0, fmt.Errorf("%w: %d of %d", ErrRange, pos, d.length)
+	}
+	for _, p := range d.pieces {
+		if pos < p.n {
+			return d.src(p.src)[p.off+pos], nil
+		}
+		pos -= p.n
+	}
+	return 0, fmt.Errorf("%w: piece table inconsistent", ErrRange)
+}
+
+func (d *Data) src(s pieceSrc) []rune {
+	if s == srcOrig {
+		return d.orig
+	}
+	return d.add
+}
+
+// Slice returns the runes in [start,end) as a string; anchors appear as
+// AnchorRune.
+func (d *Data) Slice(start, end int) string {
+	if start < 0 {
+		start = 0
+	}
+	if end > d.length {
+		end = d.length
+	}
+	if start >= end {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(end - start)
+	pos := 0
+	for _, p := range d.pieces {
+		if pos >= end {
+			break
+		}
+		pEnd := pos + p.n
+		if pEnd <= start {
+			pos = pEnd
+			continue
+		}
+		lo, hi := max(start, pos), min(end, pEnd)
+		seg := d.src(p.src)[p.off+lo-pos : p.off+hi-pos]
+		b.WriteString(string(seg))
+		pos = pEnd
+	}
+	return b.String()
+}
+
+// String returns the whole buffer.
+func (d *Data) String() string { return d.Slice(0, d.length) }
+
+// Insert places s at pos. An s containing AnchorRune is rejected; anchors
+// enter only through Embed.
+func (d *Data) Insert(pos int, s string) error {
+	if strings.ContainsRune(s, AnchorRune) {
+		return fmt.Errorf("text: cannot insert anchor rune directly")
+	}
+	return d.insertRunes(pos, []rune(s), "insert")
+}
+
+func (d *Data) insertRunes(pos int, rs []rune, kind string) error {
+	if pos < 0 || pos > d.length {
+		return fmt.Errorf("%w: insert at %d of %d", ErrRange, pos, d.length)
+	}
+	if len(rs) == 0 {
+		return nil
+	}
+	d.record(editOp{kind: opInsert, pos: pos, text: string(rs)})
+	off := len(d.add)
+	d.add = append(d.add, rs...)
+	np := piece{srcAdd, off, len(rs)}
+
+	d.pieces = d.spliceIn(pos, np)
+	d.length += len(rs)
+	d.shiftForInsert(pos, len(rs))
+	d.NotifyObservers(core.Change{Kind: kind, Pos: pos, Length: len(rs)})
+	return nil
+}
+
+// spliceIn returns the piece list with np inserted at rune position pos.
+func (d *Data) spliceIn(pos int, np piece) []piece {
+	out := make([]piece, 0, len(d.pieces)+2)
+	placed := false
+	cur := 0
+	for _, p := range d.pieces {
+		if !placed && pos <= cur {
+			out = append(out, np)
+			placed = true
+		}
+		if !placed && pos < cur+p.n {
+			// Split p.
+			left := piece{p.src, p.off, pos - cur}
+			right := piece{p.src, p.off + (pos - cur), p.n - (pos - cur)}
+			out = append(out, left, np, right)
+			placed = true
+			cur += p.n
+			continue
+		}
+		out = append(out, p)
+		cur += p.n
+	}
+	if !placed {
+		out = append(out, np)
+	}
+	return out
+}
+
+// Delete removes [pos, pos+n). Embedded components inside the range are
+// dropped from the embed list.
+func (d *Data) Delete(pos, n int) error {
+	if pos < 0 || n < 0 || pos+n > d.length {
+		return fmt.Errorf("%w: delete [%d,%d) of %d", ErrRange, pos, pos+n, d.length)
+	}
+	if n == 0 {
+		return nil
+	}
+	if !d.inUndo {
+		op := editOp{kind: opDelete, pos: pos, text: d.Slice(pos, pos+n)}
+		for _, e := range d.embeds {
+			if e.Pos >= pos && e.Pos < pos+n {
+				op.embeds = append(op.embeds, &Embedded{Pos: e.Pos, Obj: e.Obj, ViewName: e.ViewName})
+			}
+		}
+		d.record(op)
+	}
+	out := make([]piece, 0, len(d.pieces)+1)
+	cur := 0
+	end := pos + n
+	for _, p := range d.pieces {
+		pEnd := cur + p.n
+		switch {
+		case pEnd <= pos || cur >= end: // untouched
+			out = append(out, p)
+		default:
+			if cur < pos { // left remainder
+				out = append(out, piece{p.src, p.off, pos - cur})
+			}
+			if pEnd > end { // right remainder
+				out = append(out, piece{p.src, p.off + (end - cur), pEnd - end})
+			}
+		}
+		cur = pEnd
+	}
+	d.pieces = out
+	d.length -= n
+	d.shiftForDelete(pos, n)
+	d.NotifyObservers(core.Change{Kind: "delete", Pos: pos, Length: n})
+	return nil
+}
+
+// Embed inserts obj at pos, displayed by viewName (empty means the
+// object's default view).
+func (d *Data) Embed(pos int, obj core.DataObject, viewName string) error {
+	if obj == nil {
+		return fmt.Errorf("text: nil object embedded")
+	}
+	if viewName == "" {
+		viewName = obj.DefaultViewName()
+	}
+	// Journal the embed as one composite op (anchor + record) so redo
+	// restores the record along with the anchor rune.
+	suppress := d.inUndo
+	d.inUndo = true
+	err := d.insertRunes(pos, []rune{AnchorRune}, "child")
+	d.inUndo = suppress
+	if err != nil {
+		return err
+	}
+	e := &Embedded{Pos: pos, Obj: obj, ViewName: viewName}
+	d.embeds = append(d.embeds, e)
+	sort.Slice(d.embeds, func(i, j int) bool { return d.embeds[i].Pos < d.embeds[j].Pos })
+	d.record(editOp{kind: opEmbed, pos: pos, text: string(AnchorRune),
+		embeds: []*Embedded{{Pos: pos, Obj: obj, ViewName: viewName}}})
+	return nil
+}
+
+// EmbeddedAt returns the embedded component whose anchor is at pos, nil if
+// none.
+func (d *Data) EmbeddedAt(pos int) *Embedded {
+	for _, e := range d.embeds {
+		if e.Pos == pos {
+			return e
+		}
+	}
+	return nil
+}
+
+// shiftForInsert moves anchors and style runs right of pos. A run
+// strictly containing pos grows (text typed inside a bold run stays
+// bold); a run ending exactly at pos does not.
+func (d *Data) shiftForInsert(pos, n int) {
+	for _, e := range d.embeds {
+		if e.Pos >= pos {
+			e.Pos += n
+		}
+	}
+	for i := range d.runs {
+		r := &d.runs[i]
+		if r.Start >= pos {
+			r.Start += n
+		}
+		if r.End > pos {
+			r.End += n
+		}
+	}
+}
+
+// shiftForDelete clamps anchors and style runs over a deleted range.
+func (d *Data) shiftForDelete(pos, n int) {
+	end := pos + n
+	keep := d.embeds[:0]
+	for _, e := range d.embeds {
+		switch {
+		case e.Pos < pos:
+			keep = append(keep, e)
+		case e.Pos >= end:
+			e.Pos -= n
+			keep = append(keep, e)
+		}
+	}
+	d.embeds = keep
+	outRuns := d.runs[:0]
+	for _, r := range d.runs {
+		r.Start = clampDel(r.Start, pos, end, n)
+		r.End = clampDel(r.End, pos, end, n)
+		if r.Start < r.End {
+			outRuns = append(outRuns, r)
+		}
+	}
+	d.runs = outRuns
+}
+
+func clampDel(x, pos, end, n int) int {
+	switch {
+	case x <= pos:
+		return x
+	case x >= end:
+		return x - n
+	default:
+		return pos
+	}
+}
+
+// Index returns the first occurrence of sub at or after from, or -1. The
+// search sees anchors as AnchorRune.
+func (d *Data) Index(sub string, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	s := d.Slice(from, d.length)
+	i := strings.Index(s, sub)
+	if i < 0 {
+		return -1
+	}
+	// Convert the byte offset back to runes.
+	return from + len([]rune(s[:i]))
+}
+
+// WordAt returns the word boundaries around pos (letters and digits).
+func (d *Data) WordAt(pos int) (start, end int) {
+	isWord := func(r rune) bool {
+		return r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+	}
+	start, end = pos, pos
+	for start > 0 {
+		r, err := d.RuneAt(start - 1)
+		if err != nil || !isWord(r) {
+			break
+		}
+		start--
+	}
+	for end < d.length {
+		r, err := d.RuneAt(end)
+		if err != nil || !isWord(r) {
+			break
+		}
+		end++
+	}
+	return start, end
+}
+
+// LineStart returns the position just after the previous newline.
+func (d *Data) LineStart(pos int) int {
+	for pos > 0 {
+		r, err := d.RuneAt(pos - 1)
+		if err != nil || r == '\n' {
+			break
+		}
+		pos--
+	}
+	return pos
+}
+
+// LineEnd returns the position of the next newline (or Len).
+func (d *Data) LineEnd(pos int) int {
+	for pos < d.length {
+		r, err := d.RuneAt(pos)
+		if err != nil || r == '\n' {
+			break
+		}
+		pos++
+	}
+	return pos
+}
+
+// PieceCount exposes fragmentation for benchmarks.
+func (d *Data) PieceCount() int { return len(d.pieces) }
+
+// Compact rebuilds the buffer into a single piece, shedding fragmentation
+// accumulated by editing.
+func (d *Data) Compact() {
+	s := []rune(d.String())
+	d.orig = s
+	d.add = nil
+	if len(s) > 0 {
+		d.pieces = []piece{{srcOrig, 0, len(s)}}
+	} else {
+		d.pieces = nil
+	}
+}

@@ -1,0 +1,226 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+
+	"atk/internal/core"
+)
+
+func TestUndoInsert(t *testing.T) {
+	d := NewString("hello")
+	_ = d.Insert(5, " world")
+	if !d.CanUndo() {
+		t.Fatal("nothing to undo")
+	}
+	if !d.Undo() || d.String() != "hello" {
+		t.Fatalf("after undo: %q", d.String())
+	}
+	if !d.Redo() || d.String() != "hello world" {
+		t.Fatalf("after redo: %q", d.String())
+	}
+}
+
+func TestUndoDelete(t *testing.T) {
+	d := NewString("hello world")
+	_ = d.Delete(5, 6)
+	if !d.Undo() || d.String() != "hello world" {
+		t.Fatalf("after undo: %q", d.String())
+	}
+	if !d.Redo() || d.String() != "hello" {
+		t.Fatalf("after redo: %q", d.String())
+	}
+}
+
+func TestUndoStyle(t *testing.T) {
+	d := NewString("hello world")
+	_ = d.SetStyle(0, 5, "bold")
+	_ = d.SetStyle(6, 11, "italic")
+	if !d.Undo() {
+		t.Fatal("undo failed")
+	}
+	if d.StyleAt(7) != "body" || d.StyleAt(1) != "bold" {
+		t.Fatalf("styles: %q %q", d.StyleAt(7), d.StyleAt(1))
+	}
+	if !d.Undo() || d.StyleAt(1) != "body" {
+		t.Fatal("second undo failed")
+	}
+	if !d.Redo() || d.StyleAt(1) != "bold" {
+		t.Fatal("redo failed")
+	}
+}
+
+func TestUndoDeleteRestoresEmbeds(t *testing.T) {
+	d := NewString("keep [X] keep")
+	obj := core.NewUnknownData("pic")
+	_ = d.Embed(6, obj, "picview")
+	if len(d.Embeds()) != 1 {
+		t.Fatal("embed missing")
+	}
+	// Delete a range covering the anchor.
+	_ = d.Delete(5, 4)
+	if len(d.Embeds()) != 0 {
+		t.Fatal("embed not dropped by delete")
+	}
+	if !d.Undo() {
+		t.Fatal("undo failed")
+	}
+	if len(d.Embeds()) != 1 || d.Embeds()[0].Obj != core.DataObject(obj) {
+		t.Fatalf("embed not restored: %+v", d.Embeds())
+	}
+	if d.Embeds()[0].Pos != 6 {
+		t.Fatalf("restored at %d", d.Embeds()[0].Pos)
+	}
+	if r, _ := d.RuneAt(6); r != AnchorRune {
+		t.Fatal("anchor rune not restored")
+	}
+}
+
+func TestUndoEmbedAndRedo(t *testing.T) {
+	d := NewString("ab")
+	_ = d.Embed(1, core.NewUnknownData("pic"), "picview")
+	if !d.Undo() {
+		t.Fatal("undo failed")
+	}
+	if d.Len() != 2 || len(d.Embeds()) != 0 {
+		t.Fatalf("after undo: len=%d embeds=%d", d.Len(), len(d.Embeds()))
+	}
+	if !d.Redo() {
+		t.Fatal("redo failed")
+	}
+	if d.Len() != 3 || len(d.Embeds()) != 1 || d.Embeds()[0].Pos != 1 {
+		t.Fatalf("after redo: len=%d embeds=%+v", d.Len(), d.Embeds())
+	}
+}
+
+func TestNewEditClearsRedo(t *testing.T) {
+	d := NewString("a")
+	_ = d.Insert(1, "b")
+	_ = d.Undo()
+	if !d.CanRedo() {
+		t.Fatal("no redo available")
+	}
+	_ = d.Insert(1, "c")
+	if d.CanRedo() {
+		t.Fatal("redo survived a fresh edit")
+	}
+}
+
+func TestUndoOnEmptyJournal(t *testing.T) {
+	d := NewString("x")
+	if d.Undo() || d.Redo() {
+		t.Fatal("undo/redo on empty journal reported work")
+	}
+}
+
+func TestUndoDepthBounded(t *testing.T) {
+	d := New()
+	for i := 0; i < UndoDepth+50; i++ {
+		_ = d.Insert(0, "x")
+	}
+	// The journal trims with headroom: it never exceeds twice the depth.
+	if d.UndoDepthNow() > 2*UndoDepth {
+		t.Fatalf("journal depth = %d", d.UndoDepthNow())
+	}
+}
+
+// Property: undoing every operation of a random edit script restores the
+// original content exactly, and redoing everything restores the final
+// content.
+func TestQuickUndoAllRestoresOriginal(t *testing.T) {
+	type op struct {
+		Insert bool
+		Pos    uint16
+		Text   string
+		N      uint8
+	}
+	f := func(ops []op) bool {
+		d := NewString("the original content")
+		original := d.String()
+		applied := 0
+		for _, o := range ops {
+			if applied >= 50 {
+				break
+			}
+			if o.Insert {
+				pos := int(o.Pos) % (d.Len() + 1)
+				txt := o.Text
+				if len(txt) > 10 {
+					txt = txt[:10]
+				}
+				if err := d.Insert(pos, txt); err != nil {
+					continue
+				}
+				if len([]rune(txt)) > 0 {
+					applied++
+				}
+			} else if d.Len() > 0 {
+				pos := int(o.Pos) % d.Len()
+				n := int(o.N) % (d.Len() - pos + 1)
+				if n > 0 {
+					_ = d.Delete(pos, n)
+					applied++
+				}
+			}
+		}
+		final := d.String()
+		for d.Undo() {
+		}
+		if d.String() != original {
+			return false
+		}
+		for d.Redo() {
+		}
+		return d.String() == final
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceRunsBulk(t *testing.T) {
+	d := NewString("0123456789")
+	_ = d.SetStyle(0, 3, "bold")
+	runs := []Run{{0, 2, "italic"}, {5, 9, "typewriter"}}
+	if err := d.ReplaceRuns(runs); err != nil {
+		t.Fatal(err)
+	}
+	if d.StyleAt(1) != "italic" || d.StyleAt(6) != "typewriter" || d.StyleAt(3) != "body" {
+		t.Fatalf("runs = %v", d.Runs())
+	}
+	// One undo restores the pre-replacement state (bulk = one journal op).
+	if !d.Undo() {
+		t.Fatal("undo failed")
+	}
+	if d.StyleAt(1) != "bold" {
+		t.Fatalf("after undo: %v", d.Runs())
+	}
+	// Validation.
+	for _, bad := range [][]Run{
+		{{2, 1, "bold"}},                   // inverted
+		{{0, 99, "bold"}},                  // out of range
+		{{0, 3, "bold"}, {2, 5, "italic"}}, // overlap
+		{{0, 3, "nonesuch"}},               // unknown style
+	} {
+		if err := d.ReplaceRuns(bad); err == nil {
+			t.Errorf("bad runs %v accepted", bad)
+		}
+	}
+}
+
+func TestWithoutUndoSuppressesJournal(t *testing.T) {
+	d := NewString("abc")
+	before := d.UndoDepthNow()
+	d.WithoutUndo(func() {
+		_ = d.Insert(0, "x")
+		_ = d.SetStyle(0, 2, "bold")
+	})
+	if d.UndoDepthNow() != before {
+		t.Fatalf("journal grew by %d", d.UndoDepthNow()-before)
+	}
+	// Journaling resumes afterwards.
+	_ = d.Insert(0, "y")
+	if d.UndoDepthNow() != before+1 {
+		t.Fatal("journal did not resume")
+	}
+}

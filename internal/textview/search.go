@@ -1,0 +1,113 @@
+package textview
+
+import (
+	"atk/internal/core"
+)
+
+// Search support: forward/reverse incremental search over the buffer,
+// wired to the Search menu card and to the frame's dialog facility when
+// one encloses the view.
+
+// SearchForward selects the next occurrence of pat after the caret,
+// wrapping once; it reports whether a match was found.
+func (v *View) SearchForward(pat string) bool {
+	d := v.Text()
+	if d == nil || pat == "" {
+		return false
+	}
+	from := v.dot
+	if s, e := v.Selection(); s < e {
+		from = e
+	}
+	pos := d.Index(pat, from)
+	if pos < 0 {
+		pos = d.Index(pat, 0) // wrap
+	}
+	if pos < 0 {
+		v.PostMessage("search: not found: " + pat)
+		return false
+	}
+	v.SetSelection(pos, pos+len([]rune(pat)))
+	v.RevealDot()
+	v.lastSearch = pat
+	return true
+}
+
+// SearchBackward selects the previous occurrence of pat before the caret.
+func (v *View) SearchBackward(pat string) bool {
+	d := v.Text()
+	if d == nil || pat == "" {
+		return false
+	}
+	limit, _ := v.Selection()
+	best := -1
+	for from := 0; ; {
+		pos := d.Index(pat, from)
+		if pos < 0 || pos >= limit {
+			break
+		}
+		best = pos
+		from = pos + 1
+	}
+	if best < 0 {
+		// Wrap to the last occurrence in the document.
+		for from := 0; ; {
+			pos := d.Index(pat, from)
+			if pos < 0 {
+				break
+			}
+			best = pos
+			from = pos + 1
+		}
+	}
+	if best < 0 {
+		v.PostMessage("search: not found: " + pat)
+		return false
+	}
+	v.SetSelection(best, best+len([]rune(pat)))
+	v.RevealDot()
+	v.lastSearch = pat
+	return true
+}
+
+// SearchAgain repeats the last search forward.
+func (v *View) SearchAgain() bool {
+	if v.lastSearch == "" {
+		v.PostMessage("search: nothing to repeat")
+		return false
+	}
+	return v.SearchForward(v.lastSearch)
+}
+
+// ReplaceSelection replaces the current selection with s (used by
+// search-and-replace loops driven from menus or scripts).
+func (v *View) ReplaceSelection(s string) {
+	v.insert(s)
+}
+
+// askAndSearch uses an enclosing frame's dialog to prompt for a pattern.
+// Without a frame in the ancestry it falls back to repeating the last
+// search.
+func (v *View) askAndSearch(forward bool) {
+	type asker interface {
+		Ask(prompt string, cb func(string))
+	}
+	for p := core.View(v.Self()); p != nil; p = p.Parent() {
+		if a, ok := p.(asker); ok {
+			dir := "Search forward:"
+			if !forward {
+				dir = "Search backward:"
+			}
+			a.Ask(dir, func(ans string) {
+				if forward {
+					v.SearchForward(ans)
+				} else {
+					v.SearchBackward(ans)
+				}
+				v.WantInputFocus(v.Self())
+			})
+			return
+		}
+	}
+	v.SearchAgain()
+}

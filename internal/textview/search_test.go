@@ -1,0 +1,258 @@
+package textview
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/text"
+	"atk/internal/widgets"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"
+)
+
+func TestSearchForward(t *testing.T) {
+	v, d := newView(t, "the cat sat on the mat", 300, 100)
+	v.SetDot(0)
+	if !v.SearchForward("at") {
+		t.Fatal("not found")
+	}
+	s, e := v.Selection()
+	if d.Slice(s, e) != "at" || s != 5 {
+		t.Fatalf("selection = [%d,%d)", s, e)
+	}
+	// Repeat finds the next one.
+	if !v.SearchAgain() {
+		t.Fatal("again failed")
+	}
+	if s, _ = v.Selection(); s != 9 {
+		t.Fatalf("second match at %d", s)
+	}
+	// Wraps from the end.
+	v.SetDot(d.Len())
+	if !v.SearchForward("the") {
+		t.Fatal("wrap failed")
+	}
+	if s, _ = v.Selection(); s != 0 {
+		t.Fatalf("wrapped match at %d", s)
+	}
+}
+
+func TestSearchBackward(t *testing.T) {
+	v, _ := newView(t, "aa bb aa bb aa", 300, 100)
+	v.SetDot(14)
+	if !v.SearchBackward("aa") {
+		t.Fatal("not found")
+	}
+	s, _ := v.Selection()
+	if s != 12 {
+		t.Fatalf("match at %d", s)
+	}
+	if !v.SearchBackward("aa") {
+		t.Fatal("second backward failed")
+	}
+	if s, _ = v.Selection(); s != 6 {
+		t.Fatalf("match at %d", s)
+	}
+	// Wraps from the start.
+	v.SetDot(0)
+	if !v.SearchBackward("bb") {
+		t.Fatal("backward wrap failed")
+	}
+	if s, _ = v.Selection(); s != 9 { // the last "bb"
+		t.Fatalf("wrapped at %d", s)
+	}
+}
+
+func TestSearchMissPostsMessage(t *testing.T) {
+	im, _, v, _ := newIMWithView(t, "haystack", 300, 100)
+	if v.SearchForward("needle") {
+		t.Fatal("phantom match")
+	}
+	if im.Message() == "" {
+		t.Fatal("no message posted")
+	}
+	if v.SearchAgain() {
+		// lastSearch was not set on failure... it is only set on success,
+		// and nothing succeeded yet, so SearchAgain must fail too.
+		t.Fatal("SearchAgain succeeded with no prior hit")
+	}
+}
+
+func TestSearchThroughFrameDialog(t *testing.T) {
+	// Ctrl-S prompts in the enclosing frame's message line; typing the
+	// pattern and return performs the search.
+	ws := memwin.New()
+	win, _ := ws.NewWindow("search", 300, 140)
+	im := core.NewInteractionManager(ws, win)
+	v, d := newView(t, "alpha beta gamma", 300, 100)
+	frame := widgets.NewFrame(widgets.NewScrollView(v))
+	im.SetChild(frame)
+	im.FullRedraw()
+
+	win.Inject(wsys.Click(widgets.ScrollBarWidth+2, 5))
+	win.Inject(wsys.Release(widgets.ScrollBarWidth+2, 5))
+	win.Inject(wsys.CtrlKey('s'))
+	im.DrainEvents()
+	if !frame.Asking() {
+		t.Fatal("dialog not started")
+	}
+	for _, r := range "beta" {
+		win.Inject(wsys.KeyPress(r))
+	}
+	win.Inject(wsys.KeyDownEvent(wsys.KeyReturn))
+	im.DrainEvents()
+	s, e := v.Selection()
+	if d.Slice(s, e) != "beta" {
+		t.Fatalf("selection = %q", d.Slice(s, e))
+	}
+	// Focus returned to the text view for continued editing.
+	if im.Focus() != core.View(v) {
+		t.Fatalf("focus = %v", im.Focus())
+	}
+}
+
+func TestSearchMenuItems(t *testing.T) {
+	im, win, v, d := newIMWithView(t, "find the needle here", 300, 100)
+	win.Inject(wsys.Click(5, 5))
+	win.Inject(wsys.Release(5, 5))
+	im.DrainEvents()
+	if _, ok := im.Menus().Lookup("Search", "Forward"); !ok {
+		t.Fatal("search menu missing")
+	}
+	v.SetDot(0)
+	v.SearchForward("needle")
+	s, e := v.Selection()
+	if d.Slice(s, e) != "needle" {
+		t.Fatal("search failed")
+	}
+	// "Again" via menu repeats.
+	win.Inject(wsys.Event{Kind: wsys.MenuEvent, MenuPath: "Search/Again"})
+	im.DrainEvents()
+	if s2, _ := v.Selection(); s2 != s {
+		// Only one occurrence: the repeat wraps back to the same match.
+		t.Fatalf("again moved to %d", s2)
+	}
+}
+
+func TestReplaceSelection(t *testing.T) {
+	v, d := newView(t, "hello world", 300, 100)
+	v.SearchForward("world")
+	v.ReplaceSelection("campus")
+	if d.String() != "hello campus" {
+		t.Fatalf("content = %q", d.String())
+	}
+}
+
+func TestRichClipboardCarriesComponents(t *testing.T) {
+	// Cut a region containing an embedded table from one document; paste
+	// it into another. The component and styles arrive intact because the
+	// clipboard holds the external representation.
+	reg := testReg(t)
+	src := text.NewString("keep [table here] keep")
+	src.SetRegistry(reg)
+	_ = src.SetStyle(6, 11, "bold")
+	inner := text.NewString("CELLS")
+	inner.SetRegistry(reg)
+	_ = src.Embed(16, inner, "textview")
+	v1 := New(reg)
+	v1.SetDataObject(src)
+	v1.SetBounds(graphics.XYWH(0, 0, 400, 100))
+
+	v1.SetSelection(5, 18) // "[table here ♦]"
+	v1.Cut()
+	if !strings.HasPrefix(Clipboard(), `\begindata{text,`) {
+		t.Fatalf("clipboard not external rep: %q", Clipboard()[:min(40, len(Clipboard()))])
+	}
+	if strings.ContainsRune(src.String(), text.AnchorRune) {
+		t.Fatal("cut left the anchor behind")
+	}
+
+	dst := text.NewString("target: ")
+	dst.SetRegistry(reg)
+	v2 := New(reg)
+	v2.SetDataObject(dst)
+	v2.SetBounds(graphics.XYWH(0, 0, 400, 100))
+	v2.SetDot(dst.Len())
+	v2.Paste()
+	if len(dst.Embeds()) != 1 {
+		t.Fatalf("embeds after paste = %d", len(dst.Embeds()))
+	}
+	pasted := dst.Embeds()[0].Obj.(*text.Data)
+	if pasted.String() != "CELLS" {
+		t.Fatalf("component content = %q", pasted.String())
+	}
+	if dst.StyleAt(dst.Index("table", 0)) != "bold" {
+		t.Fatal("style lost in transit")
+	}
+}
+
+func TestPlainSelectionStaysPlainInClipboard(t *testing.T) {
+	_, _, v, _ := newIMWithView(t, "ordinary words", 300, 100)
+	v.SetSelection(0, 8)
+	v.Copy()
+	if Clipboard() != "ordinary" {
+		t.Fatalf("clipboard = %q", Clipboard())
+	}
+}
+
+func TestStyledSelectionRidesAsDocument(t *testing.T) {
+	_, _, v, d := newIMWithView(t, "styled words", 300, 100)
+	_ = d.SetStyle(0, 6, "title")
+	v.SetSelection(0, 6)
+	v.Copy()
+	if !strings.HasPrefix(Clipboard(), `\begindata{text,`) {
+		t.Fatalf("clipboard = %q", Clipboard())
+	}
+	// Pasting into a fresh doc restores the style.
+	dst := text.NewString("")
+	dst.SetRegistry(v.registry())
+	v2 := New(v.registry())
+	v2.SetDataObject(dst)
+	v2.SetBounds(graphics.XYWH(0, 0, 300, 100))
+	v2.Paste()
+	if dst.String() != "styled" || dst.StyleAt(0) != "title" {
+		t.Fatalf("pasted %q style %q", dst.String(), dst.StyleAt(0))
+	}
+}
+
+func TestUndoRedoThroughView(t *testing.T) {
+	im, win, v, d := newIMWithView(t, "base", 300, 100)
+	win.Inject(wsys.Click(5, 5))
+	win.Inject(wsys.Release(5, 5))
+	im.DrainEvents()
+	v.SetDot(4)
+	for _, r := range "XY" {
+		win.Inject(wsys.KeyPress(r))
+	}
+	im.DrainEvents()
+	if d.String() != "baseXY" {
+		t.Fatalf("content = %q", d.String())
+	}
+	win.Inject(wsys.CtrlKey('z'))
+	win.Inject(wsys.CtrlKey('z'))
+	im.DrainEvents()
+	if d.String() != "base" {
+		t.Fatalf("after undo: %q", d.String())
+	}
+	win.Inject(wsys.CtrlKey('g'))
+	im.DrainEvents()
+	if d.String() != "baseX" {
+		t.Fatalf("after redo: %q", d.String())
+	}
+	// The menu items exist.
+	if _, ok := im.Menus().Lookup("Edit", "Undo"); !ok {
+		t.Fatal("undo menu missing")
+	}
+	// Empty journal posts a message instead of failing silently.
+	for i := 0; i < 5; i++ {
+		win.Inject(wsys.CtrlKey('z'))
+	}
+	im.DrainEvents()
+	win.Inject(wsys.CtrlKey('z'))
+	im.DrainEvents()
+	if im.Message() != "nothing to undo" {
+		t.Fatalf("message = %q", im.Message())
+	}
+}

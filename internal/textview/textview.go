@@ -1,0 +1,495 @@
+// Package textview implements the display-based text view of paper §2 — a
+// "semi-WYSIWYG" (WYSLRN) editor view on the text data object. It lays out
+// multi-font text with wrapping and indents, edits in place, scrolls, and
+// displays embedded components inline, delegating events that land on them
+// to their views: the embedding behaviour that motivated the toolkit.
+package textview
+
+import (
+	"strings"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/text"
+)
+
+// clipboard is the process-wide cut buffer shared by all text views, like
+// the window system cut buffer of the era.
+var clipboard string
+
+// Clipboard returns the current cut-buffer contents.
+func Clipboard() string { return clipboard }
+
+// SetClipboard stores s in the cut buffer.
+func SetClipboard(s string) { clipboard = s }
+
+// segment is one run of same-font text (or one embedded child) on a line.
+type segment struct {
+	start, end int // rune range in the buffer
+	x, w       int // horizontal placement
+	font       *graphics.Font
+	child      *text.Embedded // non-nil for an anchor segment
+}
+
+// line is one laid-out line.
+type line struct {
+	start, end int // rune range, end excludes the newline
+	nlEnd      int // end including the newline if present
+	h, ascent  int
+	indent     int
+	segs       []segment
+}
+
+// View is the text view. Create with New, attach data with SetDataObject.
+type View struct {
+	core.BaseView
+	reg *class.Registry
+
+	topLine  int
+	dot      int // caret position
+	mark     int // selection anchor; selection is [min(dot,mark), max)
+	dragging bool
+
+	lines   []line
+	layoutW int
+	dirty   bool
+
+	children map[*text.Embedded]core.View
+	rects    map[*text.Embedded]graphics.Rect // local rects of visible children
+
+	readOnly bool
+	// lastSearch remembers the pattern for SearchAgain.
+	lastSearch string
+	// Inserted counts runes typed (benchmark instrumentation).
+	Inserted int64
+}
+
+// New returns an unattached text view using reg to instantiate embedded
+// component views (nil means class.Default).
+func New(reg *class.Registry) *View {
+	v := &View{
+		reg:      reg,
+		children: make(map[*text.Embedded]core.View),
+		rects:    make(map[*text.Embedded]graphics.Rect),
+		dirty:    true,
+	}
+	v.InitView(v, "textview")
+	return v
+}
+
+func (v *View) registry() *class.Registry {
+	if v.reg != nil {
+		return v.reg
+	}
+	return class.Default
+}
+
+// Text returns the attached text data object, or nil.
+func (v *View) Text() *text.Data {
+	d, _ := v.DataObject().(*text.Data)
+	return d
+}
+
+// SetReadOnly disables editing (used by help and mail readers).
+func (v *View) SetReadOnly(ro bool) { v.readOnly = ro }
+
+// Dot returns the caret position.
+func (v *View) Dot() int { return v.dot }
+
+// SetDot places the caret (collapsing the selection) and repaints.
+func (v *View) SetDot(pos int) {
+	pos = v.clampPos(pos)
+	v.dot, v.mark = pos, pos
+	v.WantUpdate(v.Self())
+}
+
+// Selection returns the selected range (start <= end; empty when equal).
+func (v *View) Selection() (int, int) {
+	if v.dot < v.mark {
+		return v.dot, v.mark
+	}
+	return v.mark, v.dot
+}
+
+// SetSelection selects [start,end) and places the caret at end.
+func (v *View) SetSelection(start, end int) {
+	v.mark, v.dot = v.clampPos(start), v.clampPos(end)
+	v.WantUpdate(v.Self())
+}
+
+func (v *View) clampPos(pos int) int {
+	d := v.Text()
+	if d == nil || pos < 0 {
+		return 0
+	}
+	if pos > d.Len() {
+		return d.Len()
+	}
+	return pos
+}
+
+// ObservedChanged implements core.View: record that layout is stale and
+// adjust the caret across the edit (the delayed-update contract: no
+// drawing happens here).
+func (v *View) ObservedChanged(obj core.DataObject, ch core.Change) {
+	v.dirty = true
+	switch ch.Kind {
+	case "insert", "child":
+		if v.dot >= ch.Pos {
+			v.dot += ch.Length
+		}
+		if v.mark >= ch.Pos {
+			v.mark += ch.Length
+		}
+	case "delete":
+		v.dot = shrinkAcross(v.dot, ch.Pos, ch.Length)
+		v.mark = shrinkAcross(v.mark, ch.Pos, ch.Length)
+	}
+	v.dot, v.mark = v.clampPos(v.dot), v.clampPos(v.mark)
+	v.WantUpdate(v.Self())
+}
+
+func shrinkAcross(x, pos, n int) int {
+	switch {
+	case x <= pos:
+		return x
+	case x >= pos+n:
+		return x - n
+	default:
+		return pos
+	}
+}
+
+// --- layout ---
+
+// relayout rebuilds the line table for the current width.
+func (v *View) relayout() {
+	w := v.Bounds().Dx()
+	if w <= 0 {
+		w = 1
+	}
+	d := v.Text()
+	v.lines = v.lines[:0]
+	if d == nil {
+		v.dirty = false
+		return
+	}
+	pos := 0
+	for pos <= d.Len() {
+		ln := v.layoutLine(d, pos, w)
+		v.lines = append(v.lines, ln)
+		if ln.nlEnd == pos { // safety: always progress
+			break
+		}
+		pos = ln.nlEnd
+		if pos == d.Len() {
+			// A trailing newline yields one final empty line; otherwise stop.
+			if r, err := d.RuneAt(pos - 1); err == nil && r == '\n' {
+				v.lines = append(v.lines, v.layoutLine(d, pos, w))
+			}
+			break
+		}
+	}
+	v.layoutW = w
+	v.dirty = false
+	if v.topLine > len(v.lines)-1 {
+		v.topLine = max(0, len(v.lines)-1)
+	}
+}
+
+// layoutLine lays out one display line starting at pos.
+func (v *View) layoutLine(d *text.Data, pos, width int) line {
+	styleDef := d.Styles().Lookup(d.StyleAt(pos))
+	ln := line{start: pos, indent: styleDef.Indent}
+	x := styleDef.Indent
+	lastBreak, lastBreakX := -1, 0
+	cur := pos
+	minFont := graphics.Open(styleDef.Font)
+	ln.h, ln.ascent = minFont.Height(), minFont.Ascent()
+
+	flushSeg := func(segStart, segEnd int, f *graphics.Font, startX int) {
+		if segEnd > segStart {
+			ln.segs = append(ln.segs, segment{
+				start: segStart, end: segEnd, x: startX,
+				w: 0, font: f,
+			})
+		}
+	}
+
+	segStart, segStartX := pos, x
+	var segFont *graphics.Font
+	for cur < d.Len() {
+		spanStart, spanEnd, styleName := d.StyleSpan(cur)
+		_ = spanStart
+		def := d.Styles().Lookup(styleName)
+		f := graphics.Open(def.Font)
+		if segFont == nil {
+			segFont = f
+		}
+		if f != segFont {
+			flushSeg(segStart, cur, segFont, segStartX)
+			segStart, segStartX, segFont = cur, x, f
+		}
+		r, err := d.RuneAt(cur)
+		if err != nil {
+			break
+		}
+		if r == '\n' {
+			flushSeg(segStart, cur, segFont, segStartX)
+			ln.end = cur
+			ln.nlEnd = cur + 1
+			v.growLine(&ln, segFont)
+			return ln
+		}
+		if r == text.AnchorRune {
+			// Embedded component: give it its desired size within the
+			// remaining width.
+			e := d.EmbeddedAt(cur)
+			flushSeg(segStart, cur, segFont, segStartX)
+			cw, chh := v.childSize(e, width-x)
+			ln.segs = append(ln.segs, segment{start: cur, end: cur + 1, x: x, w: cw, child: e})
+			if chh > ln.h {
+				ln.ascent += chh - ln.h
+				ln.h = chh
+			}
+			x += cw
+			cur++
+			segStart, segStartX = cur, x
+			lastBreak, lastBreakX = cur, x
+			if cur < spanEnd {
+				continue
+			}
+			continue
+		}
+		rw := segFont.RuneWidth(r)
+		if x+rw > width && cur > ln.start {
+			// Wrap: prefer the last space.
+			if lastBreak > ln.start {
+				flushSeg(segStart, lastBreak, segFont, segStartX)
+				trimTrailing(&ln, lastBreak)
+				ln.end, ln.nlEnd = lastBreak, lastBreak
+				_ = lastBreakX
+			} else {
+				flushSeg(segStart, cur, segFont, segStartX)
+				ln.end, ln.nlEnd = cur, cur
+			}
+			v.growLine(&ln, segFont)
+			return ln
+		}
+		if r == ' ' || r == '\t' {
+			lastBreak, lastBreakX = cur+1, x+rw
+		}
+		x += rw
+		cur++
+		if f.Height() > ln.h {
+			ln.ascent = f.Ascent()
+			ln.h = f.Height()
+		}
+	}
+	flushSeg(segStart, cur, segFont, segStartX)
+	ln.end, ln.nlEnd = cur, cur
+	if cur == pos {
+		ln.nlEnd = pos // empty final line
+	}
+	v.growLine(&ln, segFont)
+	return ln
+}
+
+func trimTrailing(ln *line, brk int) {
+	// Drop segments (or parts) past the break point.
+	out := ln.segs[:0]
+	for _, s := range ln.segs {
+		if s.start >= brk {
+			continue
+		}
+		if s.end > brk {
+			s.end = brk
+		}
+		out = append(out, s)
+	}
+	ln.segs = out
+}
+
+func (v *View) growLine(ln *line, f *graphics.Font) {
+	for _, s := range ln.segs {
+		if s.child == nil && s.font != nil && s.font.Height() > ln.h {
+			ln.h = s.font.Height()
+			ln.ascent = s.font.Ascent()
+		}
+	}
+	if ln.h < 4 {
+		ln.h = 4
+	}
+}
+
+// childSize returns the embedded child's size, creating its view on first
+// use (demand-loading the view class if necessary).
+func (v *View) childSize(e *text.Embedded, availW int) (int, int) {
+	if e == nil {
+		return 10, 10
+	}
+	cv := v.childView(e)
+	if cv == nil {
+		return 12, 12 // unknown component placeholder box
+	}
+	if availW < 20 {
+		availW = 20
+	}
+	w, h := cv.DesiredSize(availW, 0)
+	if w > availW {
+		w = availW
+	}
+	if w < 8 {
+		w = 8
+	}
+	if h < 8 {
+		h = 8
+	}
+	return w, h
+}
+
+// childView returns (creating lazily) the view for an embedded component.
+func (v *View) childView(e *text.Embedded) core.View {
+	if cv, ok := v.children[e]; ok {
+		return cv
+	}
+	cv, err := core.NewViewFor(v.registry(), e.ViewName, e.Obj)
+	if err != nil {
+		// No view class: remember the miss so we don't retry every layout.
+		v.children[e] = nil
+		return nil
+	}
+	cv.SetParent(v.Self())
+	v.children[e] = cv
+	return cv
+}
+
+// Lines returns the number of layout lines (relayouting if needed).
+func (v *View) Lines() int {
+	v.ensureLayout()
+	return len(v.lines)
+}
+
+func (v *View) ensureLayout() {
+	if v.dirty || v.layoutW != v.Bounds().Dx() {
+		v.relayout()
+	}
+}
+
+// SetBounds implements core.View.
+func (v *View) SetBounds(r graphics.Rect) {
+	old := v.Bounds()
+	v.BaseView.SetBounds(r)
+	if old.Dx() != r.Dx() {
+		v.dirty = true
+	}
+}
+
+// DesiredSize implements core.View: text wants whatever width is offered
+// and the height of its content.
+func (v *View) DesiredSize(wHint, hHint int) (int, int) {
+	if wHint <= 0 {
+		wHint = 300
+	}
+	save := v.Bounds()
+	v.BaseView.SetBounds(graphics.XYWH(0, 0, wHint, 1))
+	v.dirty = true
+	v.ensureLayout()
+	h := 0
+	for _, ln := range v.lines {
+		h += ln.h
+	}
+	v.BaseView.SetBounds(save)
+	v.dirty = true
+	if hHint > 0 && h > hHint {
+		h = hHint
+	}
+	return wHint, h + 4
+}
+
+// visibleLines returns how many lines fit in the view.
+func (v *View) visibleLines() int {
+	v.ensureLayout()
+	h := v.Bounds().Dy()
+	n := 0
+	for i := v.topLine; i < len(v.lines) && h > 0; i++ {
+		h -= v.lines[i].h
+		if h >= 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// ScrollInfo implements widgets.Scrollee.
+func (v *View) ScrollInfo() (total, top, visible int) {
+	v.ensureLayout()
+	return len(v.lines), v.topLine, v.visibleLines()
+}
+
+// ScrollTo implements widgets.Scrollee.
+func (v *View) ScrollTo(top int) {
+	v.ensureLayout()
+	if top > len(v.lines)-1 {
+		top = len(v.lines) - 1
+	}
+	if top < 0 {
+		top = 0
+	}
+	if top != v.topLine {
+		v.topLine = top
+		v.WantUpdate(v.Self())
+	}
+}
+
+// lineOf returns the index of the layout line containing pos.
+func (v *View) lineOf(pos int) int {
+	v.ensureLayout()
+	for i, ln := range v.lines {
+		if pos >= ln.start && pos < ln.nlEnd {
+			return i
+		}
+		if pos == ln.end && ln.nlEnd == ln.end { // end of unwrapped last line
+			return i
+		}
+	}
+	if n := len(v.lines); n > 0 {
+		return n - 1
+	}
+	return 0
+}
+
+// RevealDot scrolls so the caret is visible.
+func (v *View) RevealDot() {
+	li := v.lineOf(v.dot)
+	if li < v.topLine {
+		v.ScrollTo(li)
+	} else if vis := v.visibleLines(); li >= v.topLine+vis {
+		v.ScrollTo(li - vis + 1)
+	}
+}
+
+func (v *View) String() string {
+	d := v.Text()
+	if d == nil {
+		return "textview(empty)"
+	}
+	s := d.String()
+	if len(s) > 24 {
+		s = s[:24] + "..."
+	}
+	return "textview(" + strings.ReplaceAll(s, "\n", "/") + ")"
+}
+
+// Tick forwards clock ticks to embedded component views that animate.
+func (v *View) Tick(t int64) {
+	for _, cv := range v.children {
+		if ticker, ok := cv.(interface{ Tick(int64) }); ok && cv != nil {
+			ticker.Tick(t)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package troff implements the ditroff-subset formatter behind the preview
+// application (paper §1 lists "a ditroff previewer" among the basic
+// applications). It parses a useful subset of troff requests, fills and
+// breaks lines against a page width, and produces device-independent pages
+// that the preview view renders through the ordinary graphics layer.
+//
+// Supported requests: .br .sp [n] .ce [n] .ft R/B/I/P .ps [n] .ll n
+// .ti n .in n .nf .fi .bp; everything else is ignored (as real previewers
+// tolerated unknown requests).
+package troff
+
+import (
+	"strconv"
+	"strings"
+
+	"atk/internal/graphics"
+)
+
+// OutLine is one formatted output line.
+type OutLine struct {
+	Text     string
+	Font     graphics.FontDesc
+	X        int // left offset in pixels
+	Centered bool
+}
+
+// Page is one formatted page.
+type Page struct {
+	Lines []OutLine
+}
+
+// Layout holds formatter output.
+type Layout struct {
+	Pages []Page
+}
+
+// Options size the simulated page.
+type Options struct {
+	LineLen      int // pixels; the .ll default
+	LinesPerPage int
+	BaseSize     int // point size
+}
+
+// DefaultOptions matches an 80-column, 60-line page at 12pt.
+var DefaultOptions = Options{LineLen: 480, LinesPerPage: 56, BaseSize: 12}
+
+type formatter struct {
+	opt Options
+
+	font     graphics.FontStyle
+	prevFont graphics.FontStyle
+	size     int
+	lineLen  int
+	indent   int
+	tempInd  int // one-line temporary indent, -1 when unset
+	fill     bool
+	center   int // lines remaining to center
+
+	cur     []string // words accumulated for the current output line
+	curW    int
+	pages   []Page
+	curPage Page
+}
+
+// Format runs the formatter over src.
+func Format(src string, opt Options) *Layout {
+	if opt.LineLen <= 0 {
+		opt.LineLen = DefaultOptions.LineLen
+	}
+	if opt.LinesPerPage <= 0 {
+		opt.LinesPerPage = DefaultOptions.LinesPerPage
+	}
+	if opt.BaseSize <= 0 {
+		opt.BaseSize = DefaultOptions.BaseSize
+	}
+	f := &formatter{
+		opt: opt, size: opt.BaseSize, lineLen: opt.LineLen,
+		fill: true, tempInd: -1,
+	}
+	for _, line := range strings.Split(src, "\n") {
+		f.feed(line)
+	}
+	f.flushLine()
+	f.breakPage(false)
+	return &Layout{Pages: f.pages}
+}
+
+func (f *formatter) fontDesc() graphics.FontDesc {
+	return graphics.FontDesc{Family: "andy", Size: f.size, Style: f.font}
+}
+
+func (f *formatter) metrics() *graphics.Font { return graphics.Open(f.fontDesc()) }
+
+func (f *formatter) feed(line string) {
+	if strings.HasPrefix(line, ".") {
+		f.request(line)
+		return
+	}
+	if !f.fill {
+		f.emit(OutLine{Text: line, Font: f.fontDesc(), X: f.curIndent()})
+		return
+	}
+	if strings.TrimSpace(line) == "" {
+		f.flushLine()
+		f.emit(OutLine{Font: f.fontDesc()}) // blank line
+		return
+	}
+	if f.center > 0 {
+		// Centered lines break per input line, as .ce does in troff.
+		f.flushLine()
+		for _, word := range strings.Fields(line) {
+			f.addWord(word)
+		}
+		f.flushLine()
+		return
+	}
+	for _, word := range strings.Fields(line) {
+		f.addWord(word)
+	}
+}
+
+func (f *formatter) curIndent() int {
+	if f.tempInd >= 0 {
+		return f.tempInd
+	}
+	return f.indent
+}
+
+func (f *formatter) addWord(word string) {
+	m := f.metrics()
+	w := m.TextWidth(word)
+	space := m.RuneWidth(' ')
+	avail := f.lineLen - f.curIndent()
+	if len(f.cur) > 0 && f.curW+space+w > avail {
+		f.flushLine()
+	}
+	if len(f.cur) > 0 {
+		f.curW += space
+	}
+	f.cur = append(f.cur, word)
+	f.curW += w
+}
+
+func (f *formatter) flushLine() {
+	if len(f.cur) == 0 {
+		return
+	}
+	ol := OutLine{
+		Text: strings.Join(f.cur, " "),
+		Font: f.fontDesc(),
+		X:    f.curIndent(),
+	}
+	if f.center > 0 {
+		ol.Centered = true
+		ol.X = 0
+		f.center--
+	}
+	f.tempInd = -1
+	f.cur, f.curW = nil, 0
+	f.emit(ol)
+}
+
+func (f *formatter) emit(ol OutLine) {
+	f.curPage.Lines = append(f.curPage.Lines, ol)
+	if len(f.curPage.Lines) >= f.opt.LinesPerPage {
+		f.breakPage(true)
+	}
+}
+
+func (f *formatter) breakPage(force bool) {
+	if len(f.curPage.Lines) == 0 && !force && len(f.pages) > 0 {
+		return
+	}
+	if len(f.curPage.Lines) > 0 || len(f.pages) == 0 {
+		f.pages = append(f.pages, f.curPage)
+		f.curPage = Page{}
+	}
+}
+
+func (f *formatter) request(line string) {
+	parts := strings.Fields(line)
+	req := parts[0]
+	arg := func(def int) int {
+		if len(parts) < 2 {
+			return def
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(parts[1], "p"))
+		if err != nil {
+			return def
+		}
+		return n
+	}
+	switch req {
+	case ".br":
+		f.flushLine()
+	case ".sp":
+		f.flushLine()
+		for i := 0; i < arg(1); i++ {
+			f.emit(OutLine{Font: f.fontDesc()})
+		}
+	case ".ce":
+		f.flushLine()
+		f.center = arg(1)
+	case ".ft":
+		f.flushLine()
+		old := f.font
+		if len(parts) < 2 || parts[1] == "P" {
+			f.font = f.prevFont
+		} else {
+			switch parts[1] {
+			case "B":
+				f.font = graphics.Bold
+			case "I":
+				f.font = graphics.Italic
+			case "R":
+				f.font = 0
+			case "BI":
+				f.font = graphics.Bold | graphics.Italic
+			}
+		}
+		f.prevFont = old
+	case ".ps":
+		f.flushLine()
+		if n := arg(f.opt.BaseSize); n > 0 {
+			f.size = n
+		}
+	case ".ll":
+		f.flushLine()
+		if n := arg(f.opt.LineLen); n > 0 {
+			f.lineLen = n
+		}
+	case ".in":
+		f.flushLine()
+		f.indent = arg(0)
+	case ".ti":
+		f.flushLine()
+		f.tempInd = arg(0)
+	case ".nf":
+		f.flushLine()
+		f.fill = false
+	case ".fi":
+		f.fill = true
+	case ".bp":
+		f.flushLine()
+		f.breakPage(true)
+	default:
+		// Unknown requests (and comments .\") are ignored.
+	}
+}
+
+// Render draws one page onto d, top-left at (margin, margin).
+func (p *Page) Render(d *graphics.Drawable, width int) {
+	const margin = 8
+	y := margin
+	for _, ol := range p.Lines {
+		f := graphics.Open(ol.Font)
+		base := y + f.Ascent()
+		if ol.Text != "" {
+			d.SetFont(f)
+			if ol.Centered {
+				d.DrawStringAligned(graphics.Pt(width/2, base), ol.Text, graphics.AlignCenter)
+			} else {
+				d.DrawString(graphics.Pt(margin+ol.X, base), ol.Text)
+			}
+		}
+		y += f.Height()
+	}
+}
+
+// PlainText renders the layout as plain text, one page separated by form
+// feeds, for golden tests and the terminal backend.
+func (l *Layout) PlainText() string {
+	var b strings.Builder
+	for i, p := range l.Pages {
+		if i > 0 {
+			b.WriteString("\f\n")
+		}
+		for _, ol := range p.Lines {
+			if ol.Centered {
+				pad := (80 - len(ol.Text)) / 2
+				if pad > 0 {
+					b.WriteString(strings.Repeat(" ", pad))
+				}
+			} else if ol.X > 0 {
+				b.WriteString(strings.Repeat(" ", ol.X/6))
+			}
+			b.WriteString(ol.Text)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

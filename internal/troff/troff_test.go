@@ -1,0 +1,170 @@
+package troff
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/graphics"
+	"atk/internal/wsys/memwin"
+)
+
+func fmtOne(src string) *Layout { return Format(src, DefaultOptions) }
+
+func TestPlainFill(t *testing.T) {
+	l := fmtOne("hello world\nthis joins the same line")
+	if len(l.Pages) != 1 {
+		t.Fatalf("pages = %d", len(l.Pages))
+	}
+	lines := l.Pages[0].Lines
+	if len(lines) != 1 {
+		t.Fatalf("lines = %+v", lines)
+	}
+	if lines[0].Text != "hello world this joins the same line" {
+		t.Fatalf("text = %q", lines[0].Text)
+	}
+}
+
+func TestFillWraps(t *testing.T) {
+	l := fmtOne(strings.Repeat("word ", 60))
+	if len(l.Pages[0].Lines) < 3 {
+		t.Fatalf("long text did not wrap: %d lines", len(l.Pages[0].Lines))
+	}
+	f := graphics.Open(graphics.FontDesc{Family: "andy", Size: DefaultOptions.BaseSize})
+	for _, ol := range l.Pages[0].Lines {
+		if f.TextWidth(ol.Text) > DefaultOptions.LineLen {
+			t.Fatalf("line overflows: %q", ol.Text)
+		}
+	}
+}
+
+func TestBreakRequest(t *testing.T) {
+	l := fmtOne("one\n.br\ntwo")
+	lines := l.Pages[0].Lines
+	if len(lines) != 2 || lines[0].Text != "one" || lines[1].Text != "two" {
+		t.Fatalf("lines = %+v", lines)
+	}
+}
+
+func TestSpacing(t *testing.T) {
+	l := fmtOne("a\n.sp 2\nb")
+	lines := l.Pages[0].Lines
+	if len(lines) != 4 || lines[1].Text != "" || lines[2].Text != "" {
+		t.Fatalf("lines = %+v", lines)
+	}
+}
+
+func TestCentering(t *testing.T) {
+	l := fmtOne(".ce\nTitle Line\nnot centered")
+	lines := l.Pages[0].Lines
+	if !lines[0].Centered || lines[0].Text != "Title Line" {
+		t.Fatalf("line 0 = %+v", lines[0])
+	}
+	if lines[1].Centered {
+		t.Fatal("line 1 centered")
+	}
+}
+
+func TestFontAndSize(t *testing.T) {
+	l := fmtOne(".ft B\nbold words\n.ft P\nplain again\n.ps 16\nbig")
+	lines := l.Pages[0].Lines
+	if lines[0].Font.Style&graphics.Bold == 0 {
+		t.Fatalf("line 0 font = %+v", lines[0].Font)
+	}
+	if lines[1].Font.Style&graphics.Bold != 0 {
+		t.Fatalf(".ft P did not restore: %+v", lines[1].Font)
+	}
+	if lines[2].Font.Size != 16 {
+		t.Fatalf("size = %d", lines[2].Font.Size)
+	}
+}
+
+func TestIndents(t *testing.T) {
+	l := fmtOne(".in 40\nindented text\n.ti 10\ntemporary\n.br\nback to forty")
+	lines := l.Pages[0].Lines
+	if lines[0].X != 40 {
+		t.Fatalf("indent = %d", lines[0].X)
+	}
+	if lines[1].X != 10 {
+		t.Fatalf("temp indent = %d", lines[1].X)
+	}
+	if lines[2].X != 40 {
+		t.Fatalf("indent after ti = %d", lines[2].X)
+	}
+}
+
+func TestNoFill(t *testing.T) {
+	l := fmtOne(".nf\nline  with   spacing\nsecond\n.fi\njoined once more now")
+	lines := l.Pages[0].Lines
+	if lines[0].Text != "line  with   spacing" {
+		t.Fatalf("nf line = %q", lines[0].Text)
+	}
+	if lines[1].Text != "second" {
+		t.Fatalf("nf line 2 = %q", lines[1].Text)
+	}
+}
+
+func TestPageBreaks(t *testing.T) {
+	l := fmtOne("a\n.bp\nb")
+	if len(l.Pages) != 2 {
+		t.Fatalf("pages = %d", len(l.Pages))
+	}
+	// Automatic page fill.
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString("line\n.br\n")
+	}
+	l2 := fmtOne(sb.String())
+	if len(l2.Pages) < 2 {
+		t.Fatalf("long doc pages = %d", len(l2.Pages))
+	}
+	if len(l2.Pages[0].Lines) != DefaultOptions.LinesPerPage {
+		t.Fatalf("page 0 lines = %d", len(l2.Pages[0].Lines))
+	}
+}
+
+func TestUnknownRequestsIgnored(t *testing.T) {
+	l := fmtOne(".TH TITLE 1\n.\\\" comment\nactual text")
+	lines := l.Pages[0].Lines
+	if len(lines) != 1 || lines[0].Text != "actual text" {
+		t.Fatalf("lines = %+v", lines)
+	}
+}
+
+func TestLineLengthRequest(t *testing.T) {
+	narrow := Format(".ll 100\n"+strings.Repeat("word ", 30), DefaultOptions)
+	wide := Format(strings.Repeat("word ", 30), DefaultOptions)
+	if len(narrow.Pages[0].Lines) <= len(wide.Pages[0].Lines) {
+		t.Fatal(".ll did not narrow the measure")
+	}
+}
+
+func TestPlainText(t *testing.T) {
+	l := fmtOne(".ce\nTitle\n.br\nbody text\n.bp\npage two")
+	out := l.PlainText()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "\f") {
+		t.Fatalf("plain = %q", out)
+	}
+	// Centered lines are padded.
+	first := strings.SplitN(out, "\n", 2)[0]
+	if !strings.HasPrefix(first, " ") {
+		t.Fatalf("centered line not padded: %q", first)
+	}
+}
+
+func TestRenderToGraphics(t *testing.T) {
+	l := fmtOne(".ce\nThe Andrew Toolkit\n.sp\nAn overview of the system.")
+	bm := graphics.NewBitmap(500, 300)
+	g := memwin.NewGraphic(bm)
+	d := graphics.NewDrawable(g)
+	l.Pages[0].Render(d, 500)
+	if bm.Count(bm.Bounds(), graphics.Black) < 50 {
+		t.Fatal("render produced little ink")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	l := fmtOne("")
+	if len(l.Pages) != 1 {
+		t.Fatalf("pages = %d", len(l.Pages))
+	}
+}

@@ -1,0 +1,281 @@
+// Package typescript is the shell-session substrate behind the typescript
+// application: "a typescript facility that provides an enhanced interface
+// to the C-shell" (paper §1). The transcript is an ordinary text data
+// object, so it scrolls, edits and embeds like any document. The shell
+// itself is a small in-process csh-flavored interpreter over a virtual
+// file system, keeping sessions deterministic and sandboxed (the paper
+// notes typescript is the one OS-dependent application; this is our
+// OS-independent equivalent).
+package typescript
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"atk/internal/core"
+	"atk/internal/text"
+)
+
+// Prompt is the shell prompt appended after every command.
+const Prompt = "% "
+
+// Session is one shell session: a virtual file system, environment,
+// history, and the transcript document.
+type Session struct {
+	fs      map[string]string // path -> contents; dirs end with "/"
+	cwd     string
+	env     map[string]string
+	history []string
+	clock   int64 // advanced by ticks; date derives from it
+
+	transcript *text.Data
+	promptPos  int // position right after the last prompt
+}
+
+// NewSession returns a session with a small standard file tree.
+func NewSession() *Session {
+	s := &Session{
+		fs: map[string]string{
+			"/usr/andy/":             "/",
+			"/usr/andy/papers/":      "/",
+			"/usr/andy/papers/atk.d": "\\begindata{text,1}\nThe Andrew Toolkit - An Overview\n\\enddata{text,1}\n",
+			"/usr/andy/pascal.d":     "\\begindata{text,1}\nPascal's Triangle\n\\enddata{text,1}\n",
+			"/usr/andy/.cshrc":       "set prompt='% '\n",
+			"/etc/motd":              "Welcome to the Andrew system.\n",
+		},
+		cwd:        "/usr/andy",
+		env:        map[string]string{"HOME": "/usr/andy", "SHELL": "/bin/csh"},
+		transcript: text.New(),
+	}
+	s.append("Andrew typescript (csh)\n" + Prompt)
+	return s
+}
+
+// Transcript returns the session's document.
+func (s *Session) Transcript() *text.Data { return s.transcript }
+
+// PromptPos returns the buffer position immediately after the prompt; the
+// typescript view treats text beyond it as the command being typed.
+func (s *Session) PromptPos() int { return s.promptPos }
+
+// Tick advances the session clock (wired to interaction-manager ticks).
+func (s *Session) Tick(t int64) { s.clock = t }
+
+// History returns the executed commands.
+func (s *Session) History() []string {
+	return append([]string(nil), s.history...)
+}
+
+func (s *Session) append(out string) {
+	_ = s.transcript.Insert(s.transcript.Len(), out)
+	s.promptPos = s.transcript.Len()
+}
+
+// Pending returns the partially typed command after the prompt.
+func (s *Session) Pending() string {
+	return s.transcript.Slice(s.promptPos, s.transcript.Len())
+}
+
+// Run executes one command line: output and the next prompt are appended
+// to the transcript, and the output alone is returned.
+func (s *Session) Run(line string) string {
+	line = strings.TrimSpace(line)
+	out := ""
+	if line != "" {
+		s.history = append(s.history, line)
+		out = s.exec(line)
+	}
+	s.append(out + Prompt)
+	return out
+}
+
+// RunPending executes whatever follows the prompt (the view calls this on
+// return). The typed text stays in the transcript, a newline is added,
+// then output and a fresh prompt.
+func (s *Session) RunPending() string {
+	line := s.Pending()
+	_ = s.transcript.Insert(s.transcript.Len(), "\n")
+	line = strings.TrimSpace(line)
+	out := ""
+	if line != "" {
+		s.history = append(s.history, line)
+		out = s.exec(line)
+	}
+	s.append(out + Prompt)
+	return out
+}
+
+func (s *Session) exec(line string) string {
+	// Pipes: cmd | cmd | ... with each stage receiving the previous
+	// stage's output as extra input lines (a csh-ish simplification).
+	stages := strings.Split(line, "|")
+	input := ""
+	for _, stage := range stages {
+		args := strings.Fields(stage)
+		if len(args) == 0 {
+			continue
+		}
+		input = s.run1(args, input)
+	}
+	return input
+}
+
+func (s *Session) run1(args []string, input string) string {
+	switch args[0] {
+	case "echo":
+		return strings.Join(args[1:], " ") + "\n"
+	case "pwd":
+		return s.cwd + "\n"
+	case "cd":
+		dir := s.env["HOME"]
+		if len(args) > 1 {
+			dir = s.abs(args[1])
+		}
+		if !s.isDir(dir) {
+			return "cd: no such directory: " + dir + "\n"
+		}
+		s.cwd = strings.TrimSuffix(dir, "/")
+		return ""
+	case "ls":
+		dir := s.cwd
+		if len(args) > 1 {
+			dir = s.abs(args[1])
+		}
+		return s.ls(dir)
+	case "cat":
+		if input != "" && len(args) == 1 {
+			return input
+		}
+		var b strings.Builder
+		for _, a := range args[1:] {
+			if c, ok := s.fs[s.abs(a)]; ok && !strings.HasSuffix(s.abs(a), "/") {
+				b.WriteString(c)
+			} else {
+				fmt.Fprintf(&b, "cat: %s: no such file\n", a)
+			}
+		}
+		return b.String()
+	case "wc":
+		src := input
+		if len(args) > 1 {
+			src = s.fs[s.abs(args[1])]
+		}
+		lines := strings.Count(src, "\n")
+		words := len(strings.Fields(src))
+		return fmt.Sprintf("%7d %7d %7d\n", lines, words, len(src))
+	case "grep":
+		if len(args) < 2 {
+			return "usage: grep pattern [file]\n"
+		}
+		src := input
+		if len(args) > 2 {
+			src = s.fs[s.abs(args[2])]
+		}
+		var b strings.Builder
+		for _, l := range strings.Split(strings.TrimSuffix(src, "\n"), "\n") {
+			if strings.Contains(l, args[1]) {
+				b.WriteString(l + "\n")
+			}
+		}
+		return b.String()
+	case "sort":
+		lines := strings.Split(strings.TrimSuffix(input, "\n"), "\n")
+		sort.Strings(lines)
+		return strings.Join(lines, "\n") + "\n"
+	case "date":
+		// A deterministic date derived from the session clock.
+		day := 11 + int(s.clock/86400)%17
+		return fmt.Sprintf("Thu Feb %d %02d:%02d:%02d EST 1988\n",
+			day, (10+int(s.clock/3600))%24, int(s.clock/60)%60, int(s.clock)%60)
+	case "history":
+		var b strings.Builder
+		for i, h := range s.history {
+			fmt.Fprintf(&b, "%5d  %s\n", i+1, h)
+		}
+		return b.String()
+	case "setenv":
+		if len(args) == 3 {
+			s.env[args[1]] = args[2]
+			return ""
+		}
+		return "usage: setenv NAME value\n"
+	case "printenv":
+		keys := make([]string, 0, len(s.env))
+		for k := range s.env {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%s\n", k, s.env[k])
+		}
+		return b.String()
+	case "write":
+		// write FILE words...: create a file (our stand-in for redirection).
+		if len(args) < 2 {
+			return "usage: write file words...\n"
+		}
+		s.fs[s.abs(args[1])] = strings.Join(args[2:], " ") + "\n"
+		return ""
+	case "help":
+		return "commands: echo pwd cd ls cat wc grep sort date history setenv printenv write help\n"
+	default:
+		return args[0] + ": command not found\n"
+	}
+}
+
+func (s *Session) abs(p string) string {
+	if strings.HasPrefix(p, "/") {
+		return p
+	}
+	return s.cwd + "/" + p
+}
+
+func (s *Session) isDir(p string) bool {
+	if !strings.HasSuffix(p, "/") {
+		p += "/"
+	}
+	if _, ok := s.fs[p]; ok {
+		return true
+	}
+	for k := range s.fs {
+		if strings.HasPrefix(k, p) {
+			return true
+		}
+	}
+	return p == "/"
+}
+
+func (s *Session) ls(dir string) string {
+	if !strings.HasSuffix(dir, "/") {
+		dir += "/"
+	}
+	seen := map[string]bool{}
+	for k := range s.fs {
+		if !strings.HasPrefix(k, dir) || k == dir {
+			continue
+		}
+		rest := strings.TrimPrefix(k, dir)
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i+1]
+		}
+		seen[rest] = true
+	}
+	if len(seen) == 0 {
+		if !s.isDir(dir) {
+			return "ls: " + strings.TrimSuffix(dir, "/") + ": no such directory\n"
+		}
+		return ""
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "\n") + "\n"
+}
+
+// Observer compatibility: sessions can observe nothing; present for
+// symmetry with other substrates.
+var _ = core.Change{}

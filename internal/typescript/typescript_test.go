@@ -1,0 +1,172 @@
+package typescript
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFreshSessionHasPrompt(t *testing.T) {
+	s := NewSession()
+	if !strings.HasSuffix(s.Transcript().String(), Prompt) {
+		t.Fatalf("transcript = %q", s.Transcript().String())
+	}
+	if s.Pending() != "" {
+		t.Fatalf("pending = %q", s.Pending())
+	}
+}
+
+func TestEcho(t *testing.T) {
+	s := NewSession()
+	out := s.Run("echo hello world")
+	if out != "hello world\n" {
+		t.Fatalf("out = %q", out)
+	}
+	if !strings.Contains(s.Transcript().String(), "hello world") {
+		t.Fatal("output not in transcript")
+	}
+	if !strings.HasSuffix(s.Transcript().String(), Prompt) {
+		t.Fatal("no fresh prompt")
+	}
+}
+
+func TestPwdCdLs(t *testing.T) {
+	s := NewSession()
+	if out := s.Run("pwd"); out != "/usr/andy\n" {
+		t.Fatalf("pwd = %q", out)
+	}
+	if out := s.Run("ls"); !strings.Contains(out, "papers/") || !strings.Contains(out, "pascal.d") {
+		t.Fatalf("ls = %q", out)
+	}
+	if out := s.Run("cd papers"); out != "" {
+		t.Fatalf("cd = %q", out)
+	}
+	if out := s.Run("pwd"); out != "/usr/andy/papers\n" {
+		t.Fatalf("pwd = %q", out)
+	}
+	if out := s.Run("cd /nope"); !strings.Contains(out, "no such") {
+		t.Fatalf("bad cd = %q", out)
+	}
+	if out := s.Run("cd"); out != "" {
+		t.Fatalf("cd home = %q", out)
+	}
+	if out := s.Run("pwd"); out != "/usr/andy\n" {
+		t.Fatalf("pwd after cd = %q", out)
+	}
+}
+
+func TestCatAndWc(t *testing.T) {
+	s := NewSession()
+	out := s.Run("cat /etc/motd")
+	if out != "Welcome to the Andrew system.\n" {
+		t.Fatalf("cat = %q", out)
+	}
+	if out := s.Run("cat nosuch"); !strings.Contains(out, "no such file") {
+		t.Fatalf("cat missing = %q", out)
+	}
+	out = s.Run("wc /etc/motd")
+	if !strings.Contains(out, "1") {
+		t.Fatalf("wc = %q", out)
+	}
+}
+
+func TestPipes(t *testing.T) {
+	s := NewSession()
+	out := s.Run("cat /etc/motd | grep Andrew")
+	if out != "Welcome to the Andrew system.\n" {
+		t.Fatalf("pipe = %q", out)
+	}
+	out = s.Run("cat /etc/motd | grep nothinghere")
+	if out != "" {
+		t.Fatalf("empty grep = %q", out)
+	}
+	out = s.Run("ls / | sort")
+	if !strings.Contains(out, "etc/") {
+		t.Fatalf("ls|sort = %q", out)
+	}
+}
+
+func TestWriteCreatesFiles(t *testing.T) {
+	s := NewSession()
+	_ = s.Run("write notes.txt remember the demo")
+	if out := s.Run("cat notes.txt"); out != "remember the demo\n" {
+		t.Fatalf("cat = %q", out)
+	}
+	if out := s.Run("ls"); !strings.Contains(out, "notes.txt") {
+		t.Fatalf("ls = %q", out)
+	}
+}
+
+func TestHistoryAndEnv(t *testing.T) {
+	s := NewSession()
+	_ = s.Run("echo a")
+	_ = s.Run("echo b")
+	out := s.Run("history")
+	if !strings.Contains(out, "1  echo a") || !strings.Contains(out, "2  echo b") {
+		t.Fatalf("history = %q", out)
+	}
+	if len(s.History()) != 3 {
+		t.Fatalf("history len = %d", len(s.History()))
+	}
+	_ = s.Run("setenv EDITOR ez")
+	if out := s.Run("printenv"); !strings.Contains(out, "EDITOR=ez") {
+		t.Fatalf("printenv = %q", out)
+	}
+}
+
+func TestDateUsesClock(t *testing.T) {
+	s := NewSession()
+	d1 := s.Run("date")
+	s.Tick(3600)
+	d2 := s.Run("date")
+	if d1 == d2 {
+		t.Fatal("date ignored the clock")
+	}
+	if !strings.Contains(d1, "1988") {
+		t.Fatalf("date = %q", d1)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	s := NewSession()
+	if out := s.Run("frobnicate"); !strings.Contains(out, "command not found") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRunPending(t *testing.T) {
+	s := NewSession()
+	// Simulate the view typing after the prompt.
+	tr := s.Transcript()
+	_ = tr.Insert(tr.Len(), "echo typed live")
+	if s.Pending() != "echo typed live" {
+		t.Fatalf("pending = %q", s.Pending())
+	}
+	out := s.RunPending()
+	if out != "typed live\n" {
+		t.Fatalf("out = %q", out)
+	}
+	if s.Pending() != "" {
+		t.Fatalf("pending after run = %q", s.Pending())
+	}
+	// The transcript preserves the full session shape.
+	want := "echo typed live\ntyped live\n" + Prompt
+	if !strings.HasSuffix(tr.String(), want) {
+		t.Fatalf("transcript tail = %q", tr.String())
+	}
+}
+
+func TestEmptyCommandJustReprompts(t *testing.T) {
+	s := NewSession()
+	before := len(s.History())
+	_ = s.Run("   ")
+	if len(s.History()) != before {
+		t.Fatal("blank line entered history")
+	}
+}
+
+func TestHelpListsCommands(t *testing.T) {
+	s := NewSession()
+	if out := s.Run("help"); !strings.Contains(out, "echo") {
+		t.Fatalf("help = %q", out)
+	}
+}

@@ -1,0 +1,130 @@
+package typescript
+
+import (
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/textview"
+	"atk/internal/wsys"
+)
+
+// View is the interactive typescript view: a text view over the session's
+// transcript with the shell discipline layered on top — return at the end
+// of the buffer runs the pending command, the region before the prompt is
+// protected from editing, and ticks advance the session clock. It
+// composes the ordinary text view rather than reimplementing editing,
+// exactly as the original typescript was "an enhanced interface" over the
+// base editor.
+type View struct {
+	core.BaseView
+	sess *Session
+	tv   *textview.View
+}
+
+// NewView returns a view over sess.
+func NewView(reg *class.Registry, sess *Session) *View {
+	v := &View{sess: sess, tv: textview.New(reg)}
+	v.InitView(v, "typescriptview")
+	v.tv.SetParent(v)
+	v.tv.SetDataObject(sess.Transcript())
+	v.tv.SetDot(sess.Transcript().Len())
+	return v
+}
+
+// Session returns the underlying shell session.
+func (v *View) Session() *Session { return v.sess }
+
+// Inner returns the composed text view (tests).
+func (v *View) Inner() *textview.View { return v.tv }
+
+// SetBounds implements core.View.
+func (v *View) SetBounds(r graphics.Rect) {
+	v.BaseView.SetBounds(r)
+	v.tv.SetBounds(graphics.XYWH(0, 0, r.Dx(), r.Dy()))
+}
+
+// DesiredSize implements core.View.
+func (v *View) DesiredSize(wHint, hHint int) (int, int) {
+	return v.tv.DesiredSize(wHint, hHint)
+}
+
+// FullUpdate implements core.View.
+func (v *View) FullUpdate(d *graphics.Drawable) { v.tv.FullUpdate(d) }
+
+// ScrollInfo implements widgets.Scrollee by delegation.
+func (v *View) ScrollInfo() (int, int, int) { return v.tv.ScrollInfo() }
+
+// ScrollTo implements widgets.Scrollee by delegation.
+func (v *View) ScrollTo(top int) { v.tv.ScrollTo(top) }
+
+// Hit implements core.View: clicks behave as in the text view, but the
+// view keeps the focus for itself so Key sees the shell discipline.
+func (v *View) Hit(a wsys.MouseAction, p graphics.Point, clicks int) core.View {
+	v.tv.Hit(a, p, clicks)
+	if a == wsys.MouseDown {
+		v.WantInputFocus(v.Self())
+	}
+	return v.Self()
+}
+
+// Key implements core.View with the shell discipline.
+func (v *View) Key(ev wsys.Event) bool {
+	tr := v.sess.Transcript()
+	switch {
+	case ev.Key == wsys.KeyReturn:
+		// Anywhere in the buffer, return runs the pending command; the
+		// caret jumps to the new prompt.
+		v.sess.RunPending()
+		v.tv.SetDot(tr.Len())
+		v.tv.RevealDot()
+		v.WantUpdate(v.Self())
+		return true
+	case ev.Key == wsys.KeyBackspace:
+		// Never erase across the prompt.
+		if v.tv.Dot() <= v.sess.PromptPos() {
+			return true
+		}
+		return v.tv.Key(ev)
+	case ev.Rune != 0 && !ev.Ctrl:
+		// Typing always goes to the command line: snap the caret to the
+		// end if it wandered into history.
+		if v.tv.Dot() < v.sess.PromptPos() {
+			v.tv.SetDot(tr.Len())
+		}
+		return v.tv.Key(ev)
+	default:
+		return v.tv.Key(ev)
+	}
+}
+
+// Tick implements the tick protocol, advancing the session clock.
+func (v *View) Tick(t int64) { v.sess.Tick(t) }
+
+// PostMenus implements core.View.
+func (v *View) PostMenus(ms *core.MenuSet) {
+	_ = ms.Add("Shell~23/Run Line~10", func() {
+		v.sess.RunPending()
+		v.tv.SetDot(v.sess.Transcript().Len())
+	})
+	_ = ms.Add("Shell~23/History~11", func() {
+		v.PostMessage(lastHistory(v.sess))
+	})
+	v.tv.ContributeMenus(ms)
+	v.BaseView.PostMenus(ms)
+}
+
+func lastHistory(s *Session) string {
+	h := s.History()
+	if len(h) == 0 {
+		return "history: empty"
+	}
+	return "last: " + h[len(h)-1]
+}
+
+// RegisterView installs the typescript view class in reg.
+func RegisterView(reg *class.Registry) error {
+	return reg.Register(class.Info{
+		Name: "typescriptview",
+		New:  func() any { return NewView(reg, NewSession()) },
+	})
+}

@@ -1,0 +1,202 @@
+package widgets
+
+import (
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+// Label is a static single line of text.
+type Label struct {
+	core.BaseView
+	text  string
+	font  graphics.FontDesc
+	align graphics.TextAlign
+}
+
+// NewLabel returns a label showing text in the default font.
+func NewLabel(text string) *Label {
+	l := &Label{text: text, font: graphics.DefaultFont}
+	l.InitView(l, "label")
+	return l
+}
+
+// SetText changes the label and schedules a repaint.
+func (l *Label) SetText(s string) {
+	if s == l.text {
+		return
+	}
+	l.text = s
+	l.WantUpdate(l.Self())
+}
+
+// Text returns the current text.
+func (l *Label) Text() string { return l.text }
+
+// SetFont selects the label's font.
+func (l *Label) SetFont(fd graphics.FontDesc) { l.font = fd }
+
+// SetAlign selects horizontal alignment within the label's bounds.
+func (l *Label) SetAlign(a graphics.TextAlign) { l.align = a }
+
+// DesiredSize implements core.View.
+func (l *Label) DesiredSize(wHint, hHint int) (int, int) {
+	f := graphics.Open(l.font)
+	return f.TextWidth(l.text) + 4, f.Height() + 4
+}
+
+// FullUpdate implements core.View.
+func (l *Label) FullUpdate(d *graphics.Drawable) {
+	r := graphics.XYWH(0, 0, l.Bounds().Dx(), l.Bounds().Dy())
+	d.ClearRect(r)
+	d.SetFontDesc(l.font)
+	switch l.align {
+	case graphics.AlignCenter:
+		d.DrawStringInBox(r, l.text)
+	case graphics.AlignRight:
+		d.DrawStringAligned(graphics.Pt(r.Max.X-2, baseline(r, d)), l.text, graphics.AlignRight)
+	default:
+		d.DrawString(graphics.Pt(2, baseline(r, d)), l.text)
+	}
+}
+
+func baseline(r graphics.Rect, d *graphics.Drawable) int {
+	f := d.Font()
+	return r.Min.Y + (r.Dy()+f.Ascent()-f.Descent())/2
+}
+
+// Button is a push button: highlights on press, fires its action when the
+// button is released inside it.
+type Button struct {
+	core.BaseView
+	label   string
+	font    graphics.FontDesc
+	action  func()
+	pressed bool
+	// Fired counts activations (test instrumentation).
+	Fired int
+}
+
+// NewButton returns a button with the given label and action.
+func NewButton(label string, action func()) *Button {
+	b := &Button{label: label, font: graphics.DefaultFont, action: action}
+	b.InitView(b, "button")
+	return b
+}
+
+// Label returns the button text.
+func (b *Button) Label() string { return b.label }
+
+// SetLabel changes the button text.
+func (b *Button) SetLabel(s string) {
+	b.label = s
+	b.WantUpdate(b.Self())
+}
+
+// DesiredSize implements core.View.
+func (b *Button) DesiredSize(wHint, hHint int) (int, int) {
+	f := graphics.Open(b.font)
+	return f.TextWidth(b.label) + 16, f.Height() + 8
+}
+
+// FullUpdate implements core.View.
+func (b *Button) FullUpdate(d *graphics.Drawable) {
+	r := graphics.XYWH(0, 0, b.Bounds().Dx(), b.Bounds().Dy())
+	d.ClearRect(r)
+	d.SetValue(graphics.Black)
+	d.RoundRect(r.Inset(1), 3)
+	d.SetFontDesc(b.font)
+	d.DrawStringInBox(r, b.label)
+	if b.pressed {
+		d.InvertArea(r.Inset(2))
+	}
+}
+
+// Hit implements core.View.
+func (b *Button) Hit(a wsys.MouseAction, p graphics.Point, clicks int) core.View {
+	inside := p.In(graphics.XYWH(0, 0, b.Bounds().Dx(), b.Bounds().Dy()))
+	switch a {
+	case wsys.MouseDown:
+		b.pressed = true
+		b.WantUpdate(b.Self())
+	case wsys.MouseMove:
+		if b.pressed != inside {
+			b.pressed = inside
+			b.WantUpdate(b.Self())
+		}
+	case wsys.MouseUp:
+		was := b.pressed
+		b.pressed = false
+		b.WantUpdate(b.Self())
+		if was && inside {
+			b.Fired++
+			if b.action != nil {
+				b.action()
+			}
+		}
+	}
+	return b.Self()
+}
+
+// Border draws a rectangular border around a single child view.
+type Border struct {
+	core.BaseView
+	child core.View
+	width int
+}
+
+// NewBorder wraps child with a border of the given stroke width.
+func NewBorder(child core.View, width int) *Border {
+	if width < 1 {
+		width = 1
+	}
+	b := &Border{child: child, width: width}
+	b.InitView(b, "border")
+	child.SetParent(b)
+	return b
+}
+
+// Child returns the wrapped view.
+func (b *Border) Child() core.View { return b.child }
+
+// SetBounds implements core.View.
+func (b *Border) SetBounds(r graphics.Rect) {
+	b.BaseView.SetBounds(r)
+	inner := graphics.XYWH(b.width+1, b.width+1, r.Dx()-2*(b.width+1), r.Dy()-2*(b.width+1))
+	b.child.SetBounds(inner)
+}
+
+// DesiredSize implements core.View.
+func (b *Border) DesiredSize(wHint, hHint int) (int, int) {
+	pad := 2 * (b.width + 1)
+	cw, ch := b.child.DesiredSize(wHint-pad, hHint-pad)
+	return cw + pad, ch + pad
+}
+
+// FullUpdate implements core.View.
+func (b *Border) FullUpdate(d *graphics.Drawable) {
+	r := graphics.XYWH(0, 0, b.Bounds().Dx(), b.Bounds().Dy())
+	d.SetValue(graphics.Black)
+	d.SetLineWidth(b.width)
+	d.DrawRect(r)
+	d.SetLineWidth(1)
+	b.child.FullUpdate(d.Sub(b.child.Bounds()))
+}
+
+// Hit implements core.View.
+func (b *Border) Hit(a wsys.MouseAction, p graphics.Point, clicks int) core.View {
+	if p.In(b.child.Bounds()) {
+		return b.child.Hit(a, p.Sub(b.child.Bounds().Min), clicks)
+	}
+	return nil
+}
+
+// Key implements core.View by delegating to the child.
+func (b *Border) Key(ev wsys.Event) bool { return b.child.Key(ev) }
+
+// Tick forwards clock ticks to the bordered child.
+func (b *Border) Tick(t int64) {
+	if ticker, ok := b.child.(interface{ Tick(int64) }); ok {
+		ticker.Tick(t)
+	}
+}

@@ -1,0 +1,218 @@
+package widgets
+
+import (
+	"strings"
+
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+// MessageLineHeight is the pixel height of the frame's message area.
+const MessageLineHeight = 18
+
+// Frame is the window dressing of paper §3's figure: it holds a body view
+// and a message line, separated by a thin dividing line the user may drag.
+// The frame intercepts PostMessage from its descendants and displays the
+// text in the message line; it also provides a minimal dialog facility
+// (a question whose answer is typed into the message line).
+//
+// The frame demonstrates parental authority over events: it accepts mouse
+// events in a band around the divider — space that overlaps its
+// children's allocations — so the divider stays easy to grab.
+type Frame struct {
+	core.BaseView
+	body core.View
+
+	// divider is the y of the dividing line in local coordinates; the
+	// message line occupies the space below it.
+	divider  int
+	dragging bool
+
+	message string
+
+	// Dialog state: when prompt is non-empty, keys are routed to the
+	// message line until return, then answer is delivered.
+	prompt   string
+	answer   strings.Builder
+	onAnswer func(string)
+}
+
+// DividerBand is the half-height of the divider's enlarged hit area.
+const DividerBand = 3
+
+// NewFrame wraps body in a frame.
+func NewFrame(body core.View) *Frame {
+	f := &Frame{body: body}
+	f.InitView(f, "frame")
+	body.SetParent(f)
+	return f
+}
+
+// Body returns the framed view.
+func (f *Frame) Body() core.View { return f.body }
+
+// Message returns the current message-line text.
+func (f *Frame) Message() string { return f.message }
+
+// SetBounds implements core.View, placing the divider so the message line
+// keeps its height unless the user has dragged it elsewhere.
+func (f *Frame) SetBounds(r graphics.Rect) {
+	old := f.Bounds()
+	f.BaseView.SetBounds(r)
+	if f.divider == 0 || old.Dy() != r.Dy() {
+		f.divider = r.Dy() - MessageLineHeight
+		if f.divider < 0 {
+			f.divider = 0
+		}
+	}
+	f.layout()
+}
+
+func (f *Frame) layout() {
+	w := f.Bounds().Dx()
+	f.body.SetBounds(graphics.XYWH(0, 0, w, f.divider))
+}
+
+// FullUpdate implements core.View.
+func (f *Frame) FullUpdate(d *graphics.Drawable) {
+	f.body.FullUpdate(d.Sub(f.body.Bounds()))
+	f.DrawOverlay(d)
+}
+
+// DrawOverlay implements core.View: the divider and message line are drawn
+// after the children so they stay on top.
+func (f *Frame) DrawOverlay(d *graphics.Drawable) {
+	w, h := f.Bounds().Dx(), f.Bounds().Dy()
+	d.SetValue(graphics.Black)
+	d.DrawLine(graphics.Pt(0, f.divider), graphics.Pt(w-1, f.divider))
+	msgArea := graphics.XYWH(0, f.divider+1, w, h-f.divider-1)
+	d.ClearRect(msgArea)
+	text := f.message
+	if f.prompt != "" {
+		text = f.prompt + " " + f.answer.String()
+	}
+	if text != "" && msgArea.Dy() > 2 {
+		d.SetFontDesc(graphics.FontDesc{Family: "andy", Size: 10})
+		d.DrawString(graphics.Pt(4, f.divider+1+d.Font().Ascent()+1), text)
+	}
+}
+
+// Hit implements core.View. The divider band is handled by the frame
+// itself; clicks in the message area are consumed (they dismiss a
+// message); everything else is offered to the body.
+func (f *Frame) Hit(a wsys.MouseAction, p graphics.Point, clicks int) core.View {
+	if f.dragging || abs(p.Y-f.divider) <= DividerBand {
+		switch a {
+		case wsys.MouseDown:
+			f.dragging = true
+			f.PostCursor(wsys.CursorHandle)
+		case wsys.MouseMove:
+			if f.dragging {
+				f.moveDivider(p.Y)
+			}
+		case wsys.MouseUp:
+			f.dragging = false
+			f.PostCursor(wsys.CursorArrow)
+		}
+		return f.Self()
+	}
+	if p.Y > f.divider {
+		if a == wsys.MouseDown && f.message != "" {
+			f.message = ""
+			f.WantUpdate(f.Self())
+		}
+		return f.Self()
+	}
+	if p.In(f.body.Bounds()) {
+		return f.body.Hit(a, p.Sub(f.body.Bounds().Min), clicks)
+	}
+	return nil
+}
+
+func (f *Frame) moveDivider(y int) {
+	h := f.Bounds().Dy()
+	if y < 10 {
+		y = 10
+	}
+	if y > h-2 {
+		y = h - 2
+	}
+	f.divider = y
+	f.layout()
+	f.WantUpdate(f.Self())
+}
+
+// Divider returns the divider's current y coordinate (for tests).
+func (f *Frame) Divider() int { return f.divider }
+
+// Key implements core.View: during a dialog the frame consumes keys into
+// the answer; otherwise keys pass to the body.
+func (f *Frame) Key(ev wsys.Event) bool {
+	if f.prompt != "" {
+		switch {
+		case ev.Key == wsys.KeyReturn:
+			prompt := f.prompt
+			f.prompt = ""
+			ans := f.answer.String()
+			f.answer.Reset()
+			f.message = ""
+			cb := f.onAnswer
+			f.onAnswer = nil
+			f.WantUpdate(f.Self())
+			_ = prompt
+			if cb != nil {
+				cb(ans)
+			}
+		case ev.Key == wsys.KeyBackspace:
+			s := f.answer.String()
+			if len(s) > 0 {
+				f.answer.Reset()
+				f.answer.WriteString(s[:len(s)-1])
+			}
+			f.WantUpdate(f.Self())
+		case ev.Rune != 0:
+			f.answer.WriteRune(ev.Rune)
+			f.WantUpdate(f.Self())
+		}
+		return true
+	}
+	return f.body.Key(ev)
+}
+
+// PostMessage implements core.View: the frame intercepts messages from its
+// subtree and shows them in the message line (this is why the chain goes
+// UP the tree: the nearest enclosing frame wins).
+func (f *Frame) PostMessage(msg string) {
+	f.message = msg
+	f.WantUpdate(f.Self())
+}
+
+// Ask starts a dialog: prompt is shown in the message line, and the line
+// collects keystrokes until return, when cb receives the answer. This is
+// the "dialog box facility" the frame and message line provide together
+// (paper §3, footnote 4).
+func (f *Frame) Ask(prompt string, cb func(answer string)) {
+	f.prompt = prompt
+	f.answer.Reset()
+	f.onAnswer = cb
+	f.WantInputFocus(f.Self())
+	f.WantUpdate(f.Self())
+}
+
+// Asking reports whether a dialog is in progress.
+func (f *Frame) Asking() bool { return f.prompt != "" }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Tick forwards clock ticks to the framed body.
+func (f *Frame) Tick(t int64) {
+	if ticker, ok := f.body.(interface{ Tick(int64) }); ok {
+		ticker.Tick(t)
+	}
+}

@@ -1,0 +1,370 @@
+package widgets
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"
+)
+
+// fakeScrollee is a scrollable view of 100 lines, 10 visible.
+type fakeScrollee struct {
+	core.BaseView
+	top     int
+	total   int
+	visible int
+	keys    int
+}
+
+func newFakeScrollee() *fakeScrollee {
+	s := &fakeScrollee{total: 100, visible: 10}
+	s.InitView(s, "fakescrollee")
+	return s
+}
+
+func (s *fakeScrollee) ScrollInfo() (int, int, int) { return s.total, s.top, s.visible }
+func (s *fakeScrollee) ScrollTo(top int)            { s.top = top }
+func (s *fakeScrollee) Key(ev wsys.Event) bool      { s.keys++; return true }
+func (s *fakeScrollee) Hit(a wsys.MouseAction, p graphics.Point, c int) core.View {
+	return s.Self()
+}
+
+func newIM(t *testing.T, w, h int) (*core.InteractionManager, *memwin.Window) {
+	t.Helper()
+	ws := memwin.New()
+	win, err := ws.NewWindow("widgets", w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewInteractionManager(ws, win), win.(*memwin.Window)
+}
+
+func TestScrollBarPaging(t *testing.T) {
+	im, win := newIM(t, 200, 100)
+	body := newFakeScrollee()
+	sv := NewScrollView(body)
+	im.SetChild(sv)
+	im.FlushUpdates()
+
+	// Click near the bottom of the bar: page down.
+	win.Inject(wsys.Click(5, 95))
+	win.Inject(wsys.Release(5, 95))
+	im.DrainEvents()
+	if body.top != 9 { // visible-1
+		t.Fatalf("top after page down = %d", body.top)
+	}
+	// Click near the top: page up.
+	win.Inject(wsys.Click(5, 1))
+	win.Inject(wsys.Release(5, 1))
+	im.DrainEvents()
+	if body.top != 0 {
+		t.Fatalf("top after page up = %d", body.top)
+	}
+}
+
+func TestScrollBarThumbDrag(t *testing.T) {
+	im, win := newIM(t, 200, 100)
+	body := newFakeScrollee()
+	sv := NewScrollView(body)
+	im.SetChild(sv)
+	im.FlushUpdates()
+
+	// The thumb covers y in [0,10) initially (top=0, visible=10, h=100).
+	win.Inject(wsys.Click(5, 5))
+	win.Inject(wsys.Drag(5, 55))
+	win.Inject(wsys.Release(5, 55))
+	im.DrainEvents()
+	if body.top != 50 {
+		t.Fatalf("top after drag = %d", body.top)
+	}
+	// Clamping: drag far past the end.
+	win.Inject(wsys.Click(5, body.top+3))
+	win.Inject(wsys.Drag(5, 500))
+	win.Inject(wsys.Release(5, 500))
+	im.DrainEvents()
+	if body.top != 90 { // total - visible
+		t.Fatalf("clamped top = %d", body.top)
+	}
+}
+
+func TestScrollBarContentFits(t *testing.T) {
+	body := newFakeScrollee()
+	body.total, body.visible = 5, 10 // everything visible
+	bar := NewScrollBar(body)
+	bar.SetBounds(graphics.XYWH(0, 0, ScrollBarWidth, 100))
+	th := bar.thumb()
+	if th.Dy() != 100 {
+		t.Fatalf("thumb should fill the bar, got %v", th)
+	}
+}
+
+func TestScrollViewLayoutAndRouting(t *testing.T) {
+	im, win := newIM(t, 200, 100)
+	body := newFakeScrollee()
+	sv := NewScrollView(body)
+	im.SetChild(sv)
+	if body.Bounds().Min.X != ScrollBarWidth {
+		t.Fatalf("body at %v", body.Bounds())
+	}
+	if w, _ := sv.DesiredSize(100, 50); w < ScrollBarWidth {
+		t.Fatalf("desired width = %d", w)
+	}
+	// Keys route to the body.
+	win.Inject(wsys.KeyPress('k'))
+	im.DrainEvents()
+	if body.keys != 1 {
+		t.Fatalf("body keys = %d", body.keys)
+	}
+}
+
+func TestFrameMessageInterception(t *testing.T) {
+	im, _ := newIM(t, 200, 120)
+	body := newFakeScrollee()
+	frame := NewFrame(body)
+	im.SetChild(frame)
+	im.FlushUpdates()
+	// A message posted deep in the tree lands in the frame, not the IM.
+	body.PostMessage("file saved")
+	if frame.Message() != "file saved" {
+		t.Fatalf("frame message = %q", frame.Message())
+	}
+	if im.Message() != "" {
+		t.Fatal("message leaked past the frame")
+	}
+}
+
+func TestFrameDividerDrag(t *testing.T) {
+	im, win := newIM(t, 200, 120)
+	body := newFakeScrollee()
+	frame := NewFrame(body)
+	im.SetChild(frame)
+	im.FlushUpdates()
+	div := frame.Divider()
+	if div != 120-MessageLineHeight {
+		t.Fatalf("initial divider = %d", div)
+	}
+	// Grab within the band (±3px) and drag up.
+	win.Inject(wsys.Click(100, div-2))
+	win.Inject(wsys.Drag(100, 60))
+	win.Inject(wsys.Release(100, 60))
+	im.DrainEvents()
+	if frame.Divider() != 60 {
+		t.Fatalf("divider after drag = %d", frame.Divider())
+	}
+	if body.Bounds().Dy() != 60 {
+		t.Fatalf("body height = %d", body.Bounds().Dy())
+	}
+}
+
+func TestFrameDividerClamping(t *testing.T) {
+	im, win := newIM(t, 200, 120)
+	frame := NewFrame(newFakeScrollee())
+	im.SetChild(frame)
+	win.Inject(wsys.Click(100, frame.Divider()))
+	win.Inject(wsys.Drag(100, -50))
+	win.Inject(wsys.Release(100, -50))
+	im.DrainEvents()
+	if frame.Divider() < 10 {
+		t.Fatalf("divider under-clamped: %d", frame.Divider())
+	}
+}
+
+func TestFrameDialog(t *testing.T) {
+	im, win := newIM(t, 200, 120)
+	body := newFakeScrollee()
+	frame := NewFrame(body)
+	im.SetChild(frame)
+	var got string
+	frame.Ask("File name:", func(ans string) { got = ans })
+	if !frame.Asking() {
+		t.Fatal("dialog not active")
+	}
+	for _, r := range "doc.d" {
+		win.Inject(wsys.KeyPress(r))
+	}
+	win.Inject(wsys.KeyDownEvent(wsys.KeyBackspace))
+	win.Inject(wsys.KeyPress('x'))
+	win.Inject(wsys.KeyDownEvent(wsys.KeyReturn))
+	im.DrainEvents()
+	if got != "doc.x" {
+		t.Fatalf("answer = %q", got)
+	}
+	if frame.Asking() {
+		t.Fatal("dialog still active")
+	}
+	// Keys flow to the body again afterwards.
+	win.Inject(wsys.KeyPress('z'))
+	im.DrainEvents()
+	if body.keys == 0 {
+		t.Fatal("keys not restored to body")
+	}
+}
+
+func TestFrameMessageDismissedByClick(t *testing.T) {
+	im, win := newIM(t, 200, 120)
+	frame := NewFrame(newFakeScrollee())
+	im.SetChild(frame)
+	frame.PostMessage("notice")
+	im.FlushUpdates()
+	win.Inject(wsys.Click(50, frame.Divider()+8))
+	win.Inject(wsys.Release(50, frame.Divider()+8))
+	im.DrainEvents()
+	if frame.Message() != "" {
+		t.Fatalf("message not dismissed: %q", frame.Message())
+	}
+}
+
+func TestButtonFiresOnReleaseInside(t *testing.T) {
+	im, win := newIM(t, 100, 40)
+	fired := 0
+	btn := NewButton("OK", func() { fired++ })
+	im.SetChild(btn)
+	im.FlushUpdates()
+	win.Inject(wsys.Click(50, 20))
+	win.Inject(wsys.Release(50, 20))
+	im.DrainEvents()
+	if fired != 1 || btn.Fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// Press inside, release outside: no fire.
+	win.Inject(wsys.Click(50, 20))
+	win.Inject(wsys.Drag(200, 200))
+	win.Inject(wsys.Release(200, 200))
+	im.DrainEvents()
+	if fired != 1 {
+		t.Fatalf("fired after outside release = %d", fired)
+	}
+}
+
+func TestButtonDesiredSizeTracksLabel(t *testing.T) {
+	short := NewButton("a", nil)
+	long := NewButton("a much longer label", nil)
+	sw, _ := short.DesiredSize(0, 0)
+	lw, _ := long.DesiredSize(0, 0)
+	if lw <= sw {
+		t.Fatal("desired width does not grow with label")
+	}
+	long.SetLabel("x")
+	if long.Label() != "x" {
+		t.Fatal("SetLabel failed")
+	}
+}
+
+func TestLabelRendering(t *testing.T) {
+	im, win := newIM(t, 200, 30)
+	l := NewLabel("Connected")
+	im.SetChild(l)
+	im.FullRedraw()
+	snap := win.Snapshot()
+	if snap.Count(snap.Bounds(), graphics.Black) == 0 {
+		t.Fatal("label drew nothing")
+	}
+	l.SetText("Disconnected")
+	if l.Text() != "Disconnected" {
+		t.Fatal("SetText failed")
+	}
+	l.SetText("Disconnected") // no-op path
+	l.SetAlign(graphics.AlignCenter)
+	l.SetFont(graphics.FontDesc{Family: "andy", Size: 14, Style: graphics.Bold})
+	im.FullRedraw()
+	w, h := l.DesiredSize(0, 0)
+	if w <= 0 || h <= 0 {
+		t.Fatal("degenerate desired size")
+	}
+}
+
+func TestBorderLayoutAndDelegation(t *testing.T) {
+	im, win := newIM(t, 100, 100)
+	inner := newFakeScrollee()
+	b := NewBorder(inner, 2)
+	im.SetChild(b)
+	im.FlushUpdates()
+	if inner.Bounds().Min.X != 3 || inner.Bounds().Min.Y != 3 {
+		t.Fatalf("inner bounds = %v", inner.Bounds())
+	}
+	win.Inject(wsys.KeyPress('q'))
+	im.DrainEvents()
+	if inner.keys != 1 {
+		t.Fatal("key not delegated")
+	}
+	snap := win.Snapshot()
+	if snap.At(0, 0) != graphics.Black {
+		t.Fatal("border not drawn")
+	}
+	// Mouse inside goes to child, on the border is refused.
+	if v := b.Hit(wsys.MouseDown, graphics.Pt(50, 50), 1); v != core.View(inner) {
+		t.Fatalf("hit = %v", v)
+	}
+	if v := b.Hit(wsys.MouseDown, graphics.Pt(0, 0), 1); v != nil {
+		t.Fatal("border edge consumed event")
+	}
+}
+
+func TestFrameViewTreeOfThePaperFigure(t *testing.T) {
+	// Reconstruct the figure from paper p.6: Frame -> (ScrollBar -> Text)
+	// plus message line; here the "text" is the fake scrollee.
+	im, win := newIM(t, 300, 200)
+	body := newFakeScrollee()
+	sv := NewScrollView(body)
+	frame := NewFrame(sv)
+	im.SetChild(frame)
+	im.FullRedraw()
+
+	// Event on the scroll bar scrolls; event in the body reaches the body;
+	// event on the divider is the frame's.
+	win.Inject(wsys.Click(5, 100))
+	win.Inject(wsys.Release(5, 100))
+	im.DrainEvents()
+	if body.top == 0 {
+		t.Fatal("scroll bar did not scroll")
+	}
+	frameDiv := frame.Divider()
+	win.Inject(wsys.Click(150, frameDiv))
+	win.Inject(wsys.Drag(150, frameDiv-30))
+	win.Inject(wsys.Release(150, frameDiv-30))
+	im.DrainEvents()
+	if frame.Divider() != frameDiv-30 {
+		t.Fatal("frame divider did not move")
+	}
+	// The screen contains the divider line drawn over everything.
+	snap := win.Snapshot()
+	found := false
+	for x := 0; x < 300; x++ {
+		if snap.At(x, frame.Divider()) == graphics.Black {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("divider line not visible")
+	}
+}
+
+func TestScrollBarDesiredSize(t *testing.T) {
+	sb := NewScrollBar(newFakeScrollee())
+	w, h := sb.DesiredSize(500, 300)
+	if w != ScrollBarWidth || h != 300 {
+		t.Fatalf("desired = %d,%d", w, h)
+	}
+}
+
+func TestMenuTransparency(t *testing.T) {
+	// Menus posted from the body pass through scroll view and frame.
+	im, _ := newIM(t, 200, 120)
+	body := newFakeScrollee()
+	frame := NewFrame(NewScrollView(body))
+	im.SetChild(frame)
+	ms := core.NewMenuSet()
+	body.PostMenus(ms)
+	// Chain reached the IM without panic; the set is unchanged (no one
+	// contributes here).
+	if ms.Len() != 0 {
+		t.Fatalf("unexpected items: %s", ms)
+	}
+	if !strings.Contains(im.String(), "InteractionManager") {
+		t.Fatal("IM stringer")
+	}
+}

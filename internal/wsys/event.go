@@ -1,0 +1,177 @@
+package wsys
+
+import (
+	"fmt"
+
+	"atk/internal/graphics"
+)
+
+// EventKind discriminates the events a window system delivers to the
+// interaction manager (paper §3: "key strokes, mouse events, menu events
+// and exposure events").
+type EventKind int
+
+// Event kinds.
+const (
+	KeyEvent EventKind = iota
+	MouseEvent
+	UpdateEvent // exposure / damage
+	ResizeEvent
+	MenuEvent
+	FocusEvent
+	CloseEvent
+	TickEvent // periodic timer used by console and animations
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case KeyEvent:
+		return "key"
+	case MouseEvent:
+		return "mouse"
+	case UpdateEvent:
+		return "update"
+	case ResizeEvent:
+		return "resize"
+	case MenuEvent:
+		return "menu"
+	case FocusEvent:
+		return "focus"
+	case CloseEvent:
+		return "close"
+	case TickEvent:
+		return "tick"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// MouseAction is the phase of a mouse gesture.
+type MouseAction int
+
+// Mouse actions.
+const (
+	MouseDown MouseAction = iota
+	MouseUp
+	MouseMove // with a button held (drag)
+	MouseHover
+)
+
+// String names the action.
+func (a MouseAction) String() string {
+	switch a {
+	case MouseDown:
+		return "down"
+	case MouseUp:
+		return "up"
+	case MouseMove:
+		return "move"
+	case MouseHover:
+		return "hover"
+	default:
+		return fmt.Sprintf("mouse(%d)", int(a))
+	}
+}
+
+// MouseButton identifies the button of a mouse event.
+type MouseButton int
+
+// Mouse buttons.
+const (
+	LeftButton MouseButton = iota
+	MiddleButton
+	RightButton
+)
+
+// Event is a window-system event. Fields are populated according to Kind;
+// a single concrete type keeps the channel monomorphic and allocation-free
+// under load.
+type Event struct {
+	Kind EventKind
+
+	// KeyEvent.
+	Rune rune // printable input, 0 when Key is set
+	Key  Key  // named keys (arrows, return, ...)
+	Ctrl bool
+	Meta bool
+
+	// MouseEvent.
+	Action MouseAction
+	Button MouseButton
+	Pos    graphics.Point
+	Clicks int // 1 = single, 2 = double
+
+	// UpdateEvent: damaged area (zero means whole window).
+	Damage graphics.Rect
+
+	// ResizeEvent.
+	Width, Height int
+
+	// MenuEvent: the selected item's menu path, e.g. "File~4/Save~3".
+	MenuPath string
+
+	// FocusEvent.
+	GainedFocus bool
+
+	// TickEvent: monotonically increasing tick count.
+	Tick int64
+}
+
+// Key enumerates named, non-printable keys.
+type Key int
+
+// Named keys.
+const (
+	NoKey Key = iota
+	KeyReturn
+	KeyTab
+	KeyBackspace
+	KeyDelete
+	KeyEscape
+	KeyLeft
+	KeyRight
+	KeyUp
+	KeyDown
+	KeyHome
+	KeyEnd
+	KeyPageUp
+	KeyPageDown
+)
+
+// String names the key.
+func (k Key) String() string {
+	names := [...]string{"none", "return", "tab", "backspace", "delete",
+		"escape", "left", "right", "up", "down", "home", "end", "pageup", "pagedown"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("key(%d)", int(k))
+}
+
+// KeyPress builds a printable-rune key event.
+func KeyPress(r rune) Event { return Event{Kind: KeyEvent, Rune: r} }
+
+// KeyDownEvent builds a named-key event.
+func KeyDownEvent(k Key) Event { return Event{Kind: KeyEvent, Key: k} }
+
+// CtrlKey builds a control-chord key event.
+func CtrlKey(r rune) Event { return Event{Kind: KeyEvent, Rune: r, Ctrl: true} }
+
+// Click builds a single left-button down event at (x,y).
+func Click(x, y int) Event {
+	return Event{Kind: MouseEvent, Action: MouseDown, Button: LeftButton,
+		Pos: graphics.Pt(x, y), Clicks: 1}
+}
+
+// Release builds the matching left-button up event.
+func Release(x, y int) Event {
+	return Event{Kind: MouseEvent, Action: MouseUp, Button: LeftButton,
+		Pos: graphics.Pt(x, y), Clicks: 1}
+}
+
+// Drag builds a left-button move event.
+func Drag(x, y int) Event {
+	return Event{Kind: MouseEvent, Action: MouseMove, Button: LeftButton,
+		Pos: graphics.Pt(x, y), Clicks: 1}
+}

@@ -1,0 +1,183 @@
+// Package memwin is an in-memory raster window system: the stand-in for
+// the original ITC window manager. Windows are bitmaps, input is injected
+// programmatically, and output can be snapshotted or dumped as ASCII art,
+// which makes every toolkit application's behaviour observable and
+// deterministic in tests and benchmarks.
+package memwin
+
+import (
+	"atk/internal/graphics"
+)
+
+// Graphic rasterizes the porting-layer drawing operations into a Bitmap.
+// It implements graphics.Graphic.
+type Graphic struct {
+	bm   *graphics.Bitmap
+	clip graphics.Rect
+	// ops counts primitive calls; used by benchmarks comparing backends.
+	ops int64
+}
+
+// NewGraphic returns a Graphic drawing into bm.
+func NewGraphic(bm *graphics.Bitmap) *Graphic {
+	return &Graphic{bm: bm, clip: bm.Bounds()}
+}
+
+// Bitmap exposes the backing store (for snapshots and tests).
+func (g *Graphic) Bitmap() *graphics.Bitmap { return g.bm }
+
+// Ops returns the number of primitive operations performed.
+func (g *Graphic) Ops() int64 { return g.ops }
+
+// Bounds implements graphics.Graphic.
+func (g *Graphic) Bounds() graphics.Rect { return g.bm.Bounds() }
+
+// SetClip implements graphics.Graphic.
+func (g *Graphic) SetClip(r graphics.Rect) {
+	g.clip = r.Intersect(g.bm.Bounds())
+}
+
+// set writes one clipped pixel.
+func (g *Graphic) set(x, y int, v graphics.Pixel) {
+	if !graphics.Pt(x, y).In(g.clip) {
+		return
+	}
+	g.bm.Set(x, y, v)
+}
+
+func (g *Graphic) setter(v graphics.Pixel) func(x, y int) {
+	return func(x, y int) { g.set(x, y, v) }
+}
+
+// Clear implements graphics.Graphic.
+func (g *Graphic) Clear(r graphics.Rect) { g.FillRect(r, graphics.White) }
+
+// FillRect implements graphics.Graphic.
+func (g *Graphic) FillRect(r graphics.Rect, v graphics.Pixel) {
+	g.ops++
+	g.bm.Fill(r.Intersect(g.clip), v)
+}
+
+// DrawLine implements graphics.Graphic.
+func (g *Graphic) DrawLine(a, b graphics.Point, width int, v graphics.Pixel) {
+	g.ops++
+	graphics.RasterLine(a, b, width, g.setter(v))
+}
+
+// DrawRect implements graphics.Graphic.
+func (g *Graphic) DrawRect(r graphics.Rect, width int, v graphics.Pixel) {
+	g.ops++
+	r = r.Canon()
+	if r.Empty() {
+		return
+	}
+	for i := 0; i < width; i++ {
+		rr := r.Inset(i)
+		if rr.Empty() {
+			return
+		}
+		x0, y0, x1, y1 := rr.Min.X, rr.Min.Y, rr.Max.X-1, rr.Max.Y-1
+		set := g.setter(v)
+		graphics.RasterLine(graphics.Pt(x0, y0), graphics.Pt(x1, y0), 1, set)
+		graphics.RasterLine(graphics.Pt(x1, y0), graphics.Pt(x1, y1), 1, set)
+		graphics.RasterLine(graphics.Pt(x1, y1), graphics.Pt(x0, y1), 1, set)
+		graphics.RasterLine(graphics.Pt(x0, y1), graphics.Pt(x0, y0), 1, set)
+	}
+}
+
+// DrawOval implements graphics.Graphic.
+func (g *Graphic) DrawOval(r graphics.Rect, width int, v graphics.Pixel) {
+	g.ops++
+	graphics.RasterOval(r, width, false, g.setter(v))
+}
+
+// FillOval implements graphics.Graphic.
+func (g *Graphic) FillOval(r graphics.Rect, v graphics.Pixel) {
+	g.ops++
+	graphics.RasterOval(r, 1, true, g.setter(v))
+}
+
+// DrawArc implements graphics.Graphic.
+func (g *Graphic) DrawArc(r graphics.Rect, startDeg, sweepDeg, width int, v graphics.Pixel) {
+	g.ops++
+	pts := graphics.ArcPoints(r, startDeg, sweepDeg)
+	set := g.setter(v)
+	for i := 0; i+1 < len(pts); i++ {
+		graphics.RasterLine(pts[i], pts[i+1], width, set)
+	}
+}
+
+// FillArc implements graphics.Graphic.
+func (g *Graphic) FillArc(r graphics.Rect, startDeg, sweepDeg int, v graphics.Pixel) {
+	g.ops++
+	pts := graphics.ArcPoints(r, startDeg, sweepDeg)
+	center := r.Center()
+	poly := append([]graphics.Point{center}, pts...)
+	graphics.RasterPolygonFill(poly, g.setter(v))
+}
+
+// DrawPolyline implements graphics.Graphic.
+func (g *Graphic) DrawPolyline(pts []graphics.Point, width int, v graphics.Pixel, closed bool) {
+	g.ops++
+	set := g.setter(v)
+	for i := 0; i+1 < len(pts); i++ {
+		graphics.RasterLine(pts[i], pts[i+1], width, set)
+	}
+	if closed && len(pts) > 2 {
+		graphics.RasterLine(pts[len(pts)-1], pts[0], width, set)
+	}
+}
+
+// FillPolygon implements graphics.Graphic.
+func (g *Graphic) FillPolygon(pts []graphics.Point, v graphics.Pixel) {
+	g.ops++
+	graphics.RasterPolygonFill(pts, g.setter(v))
+}
+
+// DrawString implements graphics.Graphic by scaling the shared 5x7 face.
+func (g *Graphic) DrawString(p graphics.Point, s string, f *graphics.Font, v graphics.Pixel) {
+	g.ops++
+	renderString(p, s, f, g.setter(v))
+}
+
+func renderString(p graphics.Point, s string, f *graphics.Font, set func(x, y int)) {
+	x := p.X
+	for _, r := range s {
+		w := f.RuneWidth(r)
+		graphics.RasterGlyph(r, x, p.Y, w, f.Ascent(), f.Desc.Style, set)
+		x += w
+	}
+}
+
+// DrawBitmap implements graphics.Graphic.
+func (g *Graphic) DrawBitmap(dst graphics.Point, bm *graphics.Bitmap) {
+	g.ops++
+	for y := 0; y < bm.H; y++ {
+		for x := 0; x < bm.W; x++ {
+			g.set(dst.X+x, dst.Y+y, bm.At(x, y))
+		}
+	}
+}
+
+// CopyArea implements graphics.Graphic. Overlap-safe via an intermediate
+// copy, which is how the ITC window manager implemented scrolling too.
+func (g *Graphic) CopyArea(src graphics.Rect, dst graphics.Point) {
+	g.ops++
+	src = src.Intersect(g.bm.Bounds())
+	tmp := graphics.NewBitmap(src.Dx(), src.Dy())
+	tmp.Blit(graphics.Pt(0, 0), g.bm, src)
+	for y := 0; y < tmp.H; y++ {
+		for x := 0; x < tmp.W; x++ {
+			g.set(dst.X+x, dst.Y+y, tmp.At(x, y))
+		}
+	}
+}
+
+// InvertArea implements graphics.Graphic.
+func (g *Graphic) InvertArea(r graphics.Rect) {
+	g.ops++
+	g.bm.Invert(r.Intersect(g.clip))
+}
+
+// Flush implements graphics.Graphic; memory surfaces need no flushing.
+func (g *Graphic) Flush() error { return nil }

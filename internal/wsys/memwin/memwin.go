@@ -1,0 +1,222 @@
+package memwin
+
+import (
+	"fmt"
+	"sync"
+
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+func init() {
+	wsys.RegisterBackend("memwin", func() (wsys.WindowSystem, error) {
+		return New(), nil
+	})
+}
+
+// System is the in-memory window system. It implements wsys.WindowSystem.
+type System struct {
+	mu      sync.Mutex
+	windows []*Window
+	closed  bool
+}
+
+// New returns a fresh in-memory window system.
+func New() *System { return &System{} }
+
+// Name implements wsys.WindowSystem.
+func (s *System) Name() string { return "memwin" }
+
+// NewWindow implements wsys.WindowSystem.
+func (s *System) NewWindow(title string, w, h int) (wsys.InteractionWindow, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("memwin: window system closed")
+	}
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("memwin: bad window size %dx%d", w, h)
+	}
+	win := &Window{
+		title:  title,
+		bm:     graphics.NewBitmap(w, h),
+		events: make(chan wsys.Event, 256),
+	}
+	win.g = NewGraphic(win.bm)
+	s.windows = append(s.windows, win)
+	return win, nil
+}
+
+// NewOffScreenWindow implements wsys.WindowSystem.
+func (s *System) NewOffScreenWindow(w, h int) (wsys.OffScreenWindow, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("memwin: bad off-screen size %dx%d", w, h)
+	}
+	bm := graphics.NewBitmap(w, h)
+	return &offscreen{bm: bm, g: NewGraphic(bm)}, nil
+}
+
+// NewCursor implements wsys.WindowSystem.
+func (s *System) NewCursor(shape wsys.CursorShape) (wsys.Cursor, error) {
+	return cursor{shape: shape}, nil
+}
+
+// FontRenderer implements wsys.WindowSystem.
+func (s *System) FontRenderer() wsys.FontRenderer { return fontRenderer{} }
+
+// Flush implements wsys.WindowSystem; memory needs no flushing.
+func (s *System) Flush() error { return nil }
+
+// Close implements wsys.WindowSystem: closes all windows.
+func (s *System) Close() error {
+	s.mu.Lock()
+	wins := s.windows
+	s.windows = nil
+	s.closed = true
+	s.mu.Unlock()
+	for _, w := range wins {
+		_ = w.Close()
+	}
+	return nil
+}
+
+// Windows returns the still-open windows (test/demo introspection).
+func (s *System) Windows() []*Window {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Window(nil), s.windows...)
+}
+
+// Window is a memwin top-level window. It implements
+// wsys.InteractionWindow.
+type Window struct {
+	mu     sync.Mutex
+	title  string
+	bm     *graphics.Bitmap
+	g      *Graphic
+	events chan wsys.Event
+	cursor wsys.Cursor
+	closed bool
+}
+
+// Graphic implements wsys.InteractionWindow.
+func (w *Window) Graphic() graphics.Graphic { return w.g }
+
+// Raster returns the concrete Graphic for snapshot-style inspection.
+func (w *Window) Raster() *Graphic { return w.g }
+
+// Size implements wsys.InteractionWindow.
+func (w *Window) Size() (int, int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bm.W, w.bm.H
+}
+
+// Resize implements wsys.InteractionWindow: reallocates the backing store
+// (old content is preserved top-left) and delivers a resize event.
+func (w *Window) Resize(width, height int) error {
+	if width <= 0 || height <= 0 {
+		return fmt.Errorf("memwin: bad resize %dx%d", width, height)
+	}
+	w.mu.Lock()
+	nb := graphics.NewBitmap(width, height)
+	nb.Blit(graphics.Pt(0, 0), w.bm, w.bm.Bounds())
+	w.bm = nb
+	w.g = NewGraphic(nb)
+	w.mu.Unlock()
+	w.Inject(wsys.Event{Kind: wsys.ResizeEvent, Width: width, Height: height})
+	return nil
+}
+
+// SetTitle implements wsys.InteractionWindow.
+func (w *Window) SetTitle(title string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.title = title
+}
+
+// Title implements wsys.InteractionWindow.
+func (w *Window) Title() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.title
+}
+
+// Events implements wsys.InteractionWindow.
+func (w *Window) Events() <-chan wsys.Event { return w.events }
+
+// Inject implements wsys.InteractionWindow. Events injected after close
+// are dropped; a full queue drops the oldest event, favoring liveness, as
+// the ITC window manager did under input floods.
+func (w *Window) Inject(ev wsys.Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	select {
+	case w.events <- ev:
+	default:
+		select {
+		case <-w.events:
+		default:
+		}
+		w.events <- ev
+	}
+}
+
+// SetCursor implements wsys.InteractionWindow.
+func (w *Window) SetCursor(c wsys.Cursor) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.cursor = c
+}
+
+// Cursor returns the current cursor (test introspection).
+func (w *Window) Cursor() wsys.Cursor {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cursor
+}
+
+// Snapshot returns a copy of the current window contents.
+func (w *Window) Snapshot() *graphics.Bitmap {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bm.Clone()
+}
+
+// Close implements wsys.InteractionWindow.
+func (w *Window) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	close(w.events)
+	return nil
+}
+
+type offscreen struct {
+	bm *graphics.Bitmap
+	g  *Graphic
+}
+
+func (o *offscreen) Graphic() graphics.Graphic  { return o.g }
+func (o *offscreen) Size() (int, int)           { return o.bm.W, o.bm.H }
+func (o *offscreen) Snapshot() *graphics.Bitmap { return o.bm.Clone() }
+func (o *offscreen) Free() error                { return nil }
+
+type cursor struct{ shape wsys.CursorShape }
+
+func (c cursor) Shape() wsys.CursorShape { return c.shape }
+func (c cursor) Free() error             { return nil }
+
+type fontRenderer struct{}
+
+func (fontRenderer) Render(p graphics.Point, s string, f *graphics.Font, set func(x, y int)) {
+	renderString(p, s, f, set)
+}
+
+func (fontRenderer) CellAligned() bool { return false }

@@ -1,0 +1,316 @@
+package memwin
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+func TestGraphicFillAndClear(t *testing.T) {
+	bm := graphics.NewBitmap(20, 20)
+	g := NewGraphic(bm)
+	g.FillRect(graphics.XYWH(5, 5, 10, 10), graphics.Black)
+	if bm.Count(bm.Bounds(), graphics.Black) != 100 {
+		t.Fatalf("ink = %d", bm.Count(bm.Bounds(), graphics.Black))
+	}
+	g.Clear(graphics.XYWH(5, 5, 10, 10))
+	if bm.Count(bm.Bounds(), graphics.Black) != 0 {
+		t.Fatal("clear left ink")
+	}
+}
+
+func TestGraphicClip(t *testing.T) {
+	bm := graphics.NewBitmap(20, 20)
+	g := NewGraphic(bm)
+	g.SetClip(graphics.XYWH(0, 0, 10, 10))
+	g.FillRect(graphics.XYWH(0, 0, 20, 20), graphics.Black)
+	if got := bm.Count(bm.Bounds(), graphics.Black); got != 100 {
+		t.Fatalf("clipped fill ink = %d, want 100", got)
+	}
+	// Lines are clipped per pixel.
+	g.SetClip(graphics.XYWH(0, 0, 5, 5))
+	g.DrawLine(graphics.Pt(0, 12), graphics.Pt(19, 12), 1, graphics.Black)
+	if bm.Count(graphics.XYWH(0, 12, 20, 1), graphics.Black) != 0 {
+		t.Fatal("line escaped clip")
+	}
+}
+
+func TestGraphicDrawRectBorderOnly(t *testing.T) {
+	bm := graphics.NewBitmap(12, 12)
+	g := NewGraphic(bm)
+	g.DrawRect(graphics.XYWH(1, 1, 10, 10), 1, graphics.Black)
+	if bm.At(1, 1) != graphics.Black || bm.At(10, 10) != graphics.Black {
+		t.Fatal("border corners missing")
+	}
+	if bm.At(5, 5) != graphics.White {
+		t.Fatal("interior painted")
+	}
+	want := 4*10 - 4
+	if got := bm.Count(bm.Bounds(), graphics.Black); got != want {
+		t.Fatalf("border ink = %d, want %d", got, want)
+	}
+}
+
+func TestGraphicString(t *testing.T) {
+	bm := graphics.NewBitmap(100, 20)
+	g := NewGraphic(bm)
+	f := graphics.Open(graphics.DefaultFont)
+	g.DrawString(graphics.Pt(2, 15), "Hi", f, graphics.Black)
+	if bm.Count(bm.Bounds(), graphics.Black) == 0 {
+		t.Fatal("string drew nothing")
+	}
+	// Italic and bold styles also render.
+	g2 := NewGraphic(graphics.NewBitmap(100, 20))
+	g2.DrawString(graphics.Pt(2, 15), "Hi",
+		graphics.Open(graphics.FontDesc{Family: "andy", Size: 12, Style: graphics.Bold | graphics.Italic}),
+		graphics.Black)
+	if g2.Bitmap().Count(g2.Bitmap().Bounds(), graphics.Black) == 0 {
+		t.Fatal("styled string drew nothing")
+	}
+}
+
+func TestGraphicCopyAreaScroll(t *testing.T) {
+	bm := graphics.NewBitmap(10, 10)
+	g := NewGraphic(bm)
+	g.FillRect(graphics.XYWH(0, 8, 10, 2), graphics.Black)
+	// Scroll up by 2: the band moves from y=8 to y=6.
+	g.CopyArea(graphics.XYWH(0, 2, 10, 8), graphics.Pt(0, 0))
+	if bm.At(5, 6) != graphics.Black {
+		t.Fatal("scrolled content missing")
+	}
+}
+
+func TestGraphicCopyAreaOverlapping(t *testing.T) {
+	bm := graphics.NewBitmap(10, 4)
+	g := NewGraphic(bm)
+	bm.Set(0, 0, graphics.Black)
+	// Shift right by 1, overlapping source/destination.
+	g.CopyArea(graphics.XYWH(0, 0, 9, 4), graphics.Pt(1, 0))
+	if bm.At(1, 0) != graphics.Black {
+		t.Fatal("overlap copy lost pixel")
+	}
+}
+
+func TestGraphicInvert(t *testing.T) {
+	bm := graphics.NewBitmap(4, 4)
+	g := NewGraphic(bm)
+	g.InvertArea(graphics.XYWH(0, 0, 2, 2))
+	if bm.At(0, 0) != graphics.Black || bm.At(3, 3) != graphics.White {
+		t.Fatal("invert wrong")
+	}
+	g.InvertArea(graphics.XYWH(0, 0, 2, 2))
+	if bm.At(0, 0) != graphics.White {
+		t.Fatal("double invert not identity")
+	}
+}
+
+func TestGraphicOvalAndPolygon(t *testing.T) {
+	bm := graphics.NewBitmap(40, 30)
+	g := NewGraphic(bm)
+	g.FillOval(graphics.XYWH(2, 2, 30, 20), graphics.Black)
+	if bm.At(17, 12) != graphics.Black {
+		t.Fatal("oval center empty")
+	}
+	g2 := NewGraphic(graphics.NewBitmap(40, 30))
+	g2.FillPolygon([]graphics.Point{{X: 5, Y: 5}, {X: 30, Y: 5}, {X: 17, Y: 25}}, graphics.Gray)
+	if g2.Bitmap().At(17, 10) != graphics.Gray {
+		t.Fatal("polygon center empty")
+	}
+	g2.DrawPolyline([]graphics.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}}, 1, graphics.Black, true)
+	if g2.Bitmap().At(5, 0) != graphics.Black || g2.Bitmap().At(5, 5) != graphics.Black {
+		t.Fatal("closed polyline missing segments")
+	}
+}
+
+func TestGraphicArcWedge(t *testing.T) {
+	bm := graphics.NewBitmap(50, 50)
+	g := NewGraphic(bm)
+	g.FillArc(graphics.XYWH(0, 0, 50, 50), 0, 90, graphics.Black)
+	// The first-quadrant wedge covers up-right of center.
+	if bm.At(35, 15) != graphics.Black {
+		t.Fatal("wedge interior empty")
+	}
+	if bm.At(10, 35) == graphics.Black {
+		t.Fatal("wedge covered opposite quadrant")
+	}
+}
+
+func TestWindowLifecycle(t *testing.T) {
+	s := New()
+	if len(s.Windows()) != 0 {
+		t.Fatal("fresh system has windows")
+	}
+	win, err := s.NewWindow("w", 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Windows()) != 1 {
+		t.Fatal("window not tracked")
+	}
+	mw := win.(*Window)
+	mw.Graphic().FillRect(graphics.XYWH(0, 0, 10, 10), graphics.Black)
+	snap := mw.Snapshot()
+	if snap.Count(snap.Bounds(), graphics.Black) != 100 {
+		t.Fatal("snapshot mismatch")
+	}
+	// Resize preserves old content top-left.
+	if err := mw.Resize(80, 80); err != nil {
+		t.Fatal(err)
+	}
+	snap = mw.Snapshot()
+	if snap.W != 80 || snap.At(5, 5) != graphics.Black {
+		t.Fatal("resize lost content")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewWindow("late", 10, 10); err == nil {
+		t.Fatal("closed system created window")
+	}
+}
+
+func TestOpsCounter(t *testing.T) {
+	g := NewGraphic(graphics.NewBitmap(10, 10))
+	before := g.Ops()
+	g.FillRect(graphics.XYWH(0, 0, 5, 5), graphics.Black)
+	g.DrawLine(graphics.Pt(0, 0), graphics.Pt(9, 9), 1, graphics.Black)
+	if g.Ops() != before+2 {
+		t.Fatalf("ops = %d", g.Ops())
+	}
+}
+
+func TestASCIIDumpReadable(t *testing.T) {
+	bm := graphics.NewBitmap(8, 4)
+	g := NewGraphic(bm)
+	g.FillRect(graphics.XYWH(0, 0, 8, 1), graphics.Black)
+	dump := bm.ASCII()
+	if !strings.HasPrefix(dump, "########\n") {
+		t.Fatalf("dump = %q", dump)
+	}
+}
+
+func TestFontRendererInterface(t *testing.T) {
+	s := New()
+	fr := s.FontRenderer()
+	if fr.CellAligned() {
+		t.Fatal("memwin should not be cell aligned")
+	}
+	n := 0
+	fr.Render(graphics.Pt(0, 10), "A", graphics.Open(graphics.DefaultFont),
+		func(x, y int) { n++ })
+	if n == 0 {
+		t.Fatal("renderer set no pixels")
+	}
+	var _ wsys.FontRenderer = fr
+}
+
+func TestSystemAndWindowSurface(t *testing.T) {
+	s := New()
+	if s.Name() != "memwin" {
+		t.Fatal("name")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	win, err := s.NewWindow("w", 60, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewWindow("bad", -1, 10); err == nil {
+		t.Fatal("bad size accepted")
+	}
+	mw := win.(*Window)
+	if mw.Raster() == nil || mw.Raster().Bounds().Empty() {
+		t.Fatal("raster")
+	}
+	win.SetTitle("t2")
+	if win.Title() != "t2" {
+		t.Fatal("title")
+	}
+	w, h := win.Size()
+	if w != 60 || h != 40 {
+		t.Fatalf("size %dx%d", w, h)
+	}
+	if err := win.Resize(0, 10); err == nil {
+		t.Fatal("bad resize accepted")
+	}
+	c, err := s.NewCursor(wsys.CursorWait)
+	if err != nil || c.Shape() != wsys.CursorWait {
+		t.Fatalf("cursor: %v %v", c, err)
+	}
+	if err := c.Free(); err != nil {
+		t.Fatal(err)
+	}
+	win.SetCursor(c)
+	if mw.Cursor() != c {
+		t.Fatal("cursor not kept")
+	}
+	win.Inject(wsys.KeyPress('k'))
+	ev := <-win.Events()
+	if ev.Rune != 'k' {
+		t.Fatalf("event %+v", ev)
+	}
+	if err := win.Graphic().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Close drops later injects silently.
+	_ = win.Close()
+	win.Inject(wsys.KeyPress('x'))
+	_ = win.Close()
+}
+
+func TestOffscreenSurface(t *testing.T) {
+	s := New()
+	off, err := s.NewOffScreenWindow(32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewOffScreenWindow(0, 0); err == nil {
+		t.Fatal("bad offscreen accepted")
+	}
+	w, h := off.Size()
+	if w != 32 || h != 16 {
+		t.Fatalf("size %dx%d", w, h)
+	}
+	off.Graphic().FillRect(graphics.XYWH(0, 0, 4, 4), graphics.Black)
+	if off.Snapshot().Count(graphics.XYWH(0, 0, 32, 16), graphics.Black) != 16 {
+		t.Fatal("snapshot")
+	}
+	if err := off.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphicArcAndOvalOutline(t *testing.T) {
+	bm := graphics.NewBitmap(60, 60)
+	g := NewGraphic(bm)
+	if g.Bounds() != bm.Bounds() {
+		t.Fatal("bounds")
+	}
+	g.DrawOval(graphics.XYWH(5, 5, 50, 40), 1, graphics.Black)
+	if bm.Count(bm.Bounds(), graphics.Black) == 0 {
+		t.Fatal("oval outline empty")
+	}
+	before := bm.Count(bm.Bounds(), graphics.Black)
+	g.DrawArc(graphics.XYWH(5, 5, 50, 50), 0, 180, 1, graphics.Black)
+	if bm.Count(bm.Bounds(), graphics.Black) <= before {
+		t.Fatal("arc drew nothing")
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphicDrawBitmapClipped(t *testing.T) {
+	bm := graphics.NewBitmap(10, 10)
+	g := NewGraphic(bm)
+	src := graphics.NewBitmap(4, 4)
+	src.Fill(src.Bounds(), graphics.Black)
+	g.SetClip(graphics.XYWH(0, 0, 2, 2))
+	g.DrawBitmap(graphics.Pt(0, 0), src)
+	if bm.Count(bm.Bounds(), graphics.Black) != 4 {
+		t.Fatalf("clipped bitmap ink = %d", bm.Count(bm.Bounds(), graphics.Black))
+	}
+}

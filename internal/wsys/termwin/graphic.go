@@ -1,0 +1,389 @@
+// Package termwin is a character-cell window system: the stand-in for the
+// second window system of paper §8 (X.11 in the original deployment). It
+// shares no rendering code with memwin — it maps the same logical pixel
+// coordinates onto a grid of character cells — yet every toolkit
+// application runs on it unmodified, which is the portability claim E7
+// measures.
+package termwin
+
+import (
+	"strings"
+
+	"atk/internal/graphics"
+)
+
+// CellW and CellH are the pixel dimensions of one character cell. All
+// porting-layer coordinates arrive in pixels; this backend quantizes them.
+const (
+	CellW = 8
+	CellH = 16
+)
+
+// Graphic renders porting-layer operations onto a cell grid. It implements
+// graphics.Graphic.
+type Graphic struct {
+	cols, rows int
+	cells      []rune
+	inverse    []bool
+	clip       graphics.Rect // pixel space
+	ops        int64
+}
+
+// NewGraphic returns a Graphic with the given cell dimensions.
+func NewGraphic(cols, rows int) *Graphic {
+	g := &Graphic{
+		cols: cols, rows: rows,
+		cells:   make([]rune, cols*rows),
+		inverse: make([]bool, cols*rows),
+	}
+	g.clip = g.Bounds()
+	for i := range g.cells {
+		g.cells[i] = ' '
+	}
+	return g
+}
+
+// Ops returns the number of primitive operations performed.
+func (g *Graphic) Ops() int64 { return g.ops }
+
+// Bounds implements graphics.Graphic (pixel space).
+func (g *Graphic) Bounds() graphics.Rect {
+	return graphics.XYWH(0, 0, g.cols*CellW, g.rows*CellH)
+}
+
+// SetClip implements graphics.Graphic.
+func (g *Graphic) SetClip(r graphics.Rect) { g.clip = r.Intersect(g.Bounds()) }
+
+// cellAt converts a pixel point to cell coordinates.
+func cellAt(p graphics.Point) (cx, cy int) { return p.X / CellW, p.Y / CellH }
+
+// putCell writes ch at cell (cx,cy) if its cell center is inside the clip.
+func (g *Graphic) putCell(cx, cy int, ch rune) {
+	if cx < 0 || cy < 0 || cx >= g.cols || cy >= g.rows {
+		return
+	}
+	center := graphics.Pt(cx*CellW+CellW/2, cy*CellH+CellH/2)
+	if !center.In(g.clip) {
+		return
+	}
+	g.cells[cy*g.cols+cx] = ch
+	g.inverse[cy*g.cols+cx] = false
+}
+
+// Clear implements graphics.Graphic.
+func (g *Graphic) Clear(r graphics.Rect) { g.fill(r, ' ') }
+
+// FillRect implements graphics.Graphic.
+func (g *Graphic) FillRect(r graphics.Rect, v graphics.Pixel) {
+	g.fill(r, shade(v))
+}
+
+func shade(v graphics.Pixel) rune {
+	switch {
+	case v == graphics.White:
+		return ' '
+	case v < 85:
+		return '.'
+	case v < 170:
+		return '+'
+	default:
+		return '#'
+	}
+}
+
+func (g *Graphic) fill(r graphics.Rect, ch rune) {
+	g.ops++
+	r = r.Canon()
+	cx0, cy0 := cellAt(r.Min)
+	cx1, cy1 := cellAt(graphics.Pt(r.Max.X-1, r.Max.Y-1))
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			g.putCell(cx, cy, ch)
+		}
+	}
+}
+
+// DrawLine implements graphics.Graphic with character approximations.
+func (g *Graphic) DrawLine(a, b graphics.Point, width int, v graphics.Pixel) {
+	g.ops++
+	ax, ay := cellAt(a)
+	bx, by := cellAt(b)
+	ch := '*'
+	switch {
+	case ay == by:
+		ch = '-'
+	case ax == bx:
+		ch = '|'
+	case (bx-ax > 0) == (by-ay > 0):
+		ch = '\\'
+	default:
+		ch = '/'
+	}
+	// Bresenham over cells.
+	dx, dy := abs(bx-ax), abs(by-ay)
+	sx, sy := 1, 1
+	if bx < ax {
+		sx = -1
+	}
+	if by < ay {
+		sy = -1
+	}
+	x, y, e := ax, ay, dx-dy
+	for {
+		g.putCell(x, y, ch)
+		if x == bx && y == by {
+			return
+		}
+		e2 := 2 * e
+		if e2 > -dy {
+			e -= dy
+			x += sx
+		}
+		if e2 < dx {
+			e += dx
+			y += sy
+		}
+	}
+}
+
+// DrawRect implements graphics.Graphic with box-drawing characters.
+func (g *Graphic) DrawRect(r graphics.Rect, width int, v graphics.Pixel) {
+	g.ops++
+	r = r.Canon()
+	if r.Empty() {
+		return
+	}
+	cx0, cy0 := cellAt(r.Min)
+	cx1, cy1 := cellAt(graphics.Pt(r.Max.X-1, r.Max.Y-1))
+	for cx := cx0; cx <= cx1; cx++ {
+		g.putCell(cx, cy0, '-')
+		g.putCell(cx, cy1, '-')
+	}
+	for cy := cy0; cy <= cy1; cy++ {
+		g.putCell(cx0, cy, '|')
+		g.putCell(cx1, cy, '|')
+	}
+	g.putCell(cx0, cy0, '+')
+	g.putCell(cx1, cy0, '+')
+	g.putCell(cx0, cy1, '+')
+	g.putCell(cx1, cy1, '+')
+}
+
+// DrawOval implements graphics.Graphic.
+func (g *Graphic) DrawOval(r graphics.Rect, width int, v graphics.Pixel) {
+	g.ops++
+	for _, p := range graphics.ArcPoints(r, 0, 360) {
+		cx, cy := cellAt(p)
+		g.putCell(cx, cy, 'o')
+	}
+}
+
+// FillOval implements graphics.Graphic.
+func (g *Graphic) FillOval(r graphics.Rect, v graphics.Pixel) {
+	g.ops++
+	ch := shade(v)
+	set := func(x, y int) {
+		cx, cy := cellAt(graphics.Pt(x, y))
+		g.putCell(cx, cy, ch)
+	}
+	graphics.RasterOval(r, 1, true, set)
+}
+
+// DrawArc implements graphics.Graphic.
+func (g *Graphic) DrawArc(r graphics.Rect, startDeg, sweepDeg, width int, v graphics.Pixel) {
+	g.ops++
+	for _, p := range graphics.ArcPoints(r, startDeg, sweepDeg) {
+		cx, cy := cellAt(p)
+		g.putCell(cx, cy, '*')
+	}
+}
+
+// FillArc implements graphics.Graphic.
+func (g *Graphic) FillArc(r graphics.Rect, startDeg, sweepDeg int, v graphics.Pixel) {
+	g.ops++
+	pts := graphics.ArcPoints(r, startDeg, sweepDeg)
+	poly := append([]graphics.Point{r.Center()}, pts...)
+	ch := shade(v)
+	graphics.RasterPolygonFill(poly, func(x, y int) {
+		cx, cy := cellAt(graphics.Pt(x, y))
+		g.putCell(cx, cy, ch)
+	})
+}
+
+// DrawPolyline implements graphics.Graphic.
+func (g *Graphic) DrawPolyline(pts []graphics.Point, width int, v graphics.Pixel, closed bool) {
+	for i := 0; i+1 < len(pts); i++ {
+		g.DrawLine(pts[i], pts[i+1], width, v)
+	}
+	if closed && len(pts) > 2 {
+		g.DrawLine(pts[len(pts)-1], pts[0], width, v)
+	}
+}
+
+// FillPolygon implements graphics.Graphic.
+func (g *Graphic) FillPolygon(pts []graphics.Point, v graphics.Pixel) {
+	g.ops++
+	ch := shade(v)
+	graphics.RasterPolygonFill(pts, func(x, y int) {
+		cx, cy := cellAt(graphics.Pt(x, y))
+		g.putCell(cx, cy, ch)
+	})
+}
+
+// DrawString implements graphics.Graphic: one rune per cell, baseline
+// mapped to the cell row containing it.
+func (g *Graphic) DrawString(p graphics.Point, s string, f *graphics.Font, v graphics.Pixel) {
+	g.ops++
+	cy := (p.Y - 1) / CellH
+	x := p.X
+	for _, r := range s {
+		cx := x / CellW
+		if r != ' ' || true { // spaces overwrite too: text replaces content
+			g.putCell(cx, cy, r)
+		}
+		x += f.RuneWidth(r)
+		if nx := x / CellW; nx == cx {
+			// Force at least one cell of advance so narrow glyphs do not
+			// collide in cell space.
+			x = (cx + 1) * CellW
+		}
+	}
+}
+
+// DrawBitmap implements graphics.Graphic: cells sample the bitmap.
+func (g *Graphic) DrawBitmap(dst graphics.Point, bm *graphics.Bitmap) {
+	g.ops++
+	for cy := 0; cy <= (bm.H-1)/CellH; cy++ {
+		for cx := 0; cx <= (bm.W-1)/CellW; cx++ {
+			// Majority sample of the cell's pixels.
+			ink := 0
+			total := 0
+			for y := cy * CellH; y < (cy+1)*CellH && y < bm.H; y++ {
+				for x := cx * CellW; x < (cx+1)*CellW && x < bm.W; x++ {
+					total++
+					if bm.At(x, y) != graphics.White {
+						ink++
+					}
+				}
+			}
+			if total == 0 {
+				continue
+			}
+			var ch rune
+			switch {
+			case ink == 0:
+				ch = ' '
+			case ink*2 >= total:
+				ch = '#'
+			default:
+				ch = '+'
+			}
+			dcx, dcy := cellAt(dst.Add(graphics.Pt(cx*CellW, cy*CellH)))
+			g.putCell(dcx, dcy, ch)
+		}
+	}
+}
+
+// CopyArea implements graphics.Graphic on the cell grid.
+func (g *Graphic) CopyArea(src graphics.Rect, dst graphics.Point) {
+	g.ops++
+	src = src.Intersect(g.Bounds())
+	cx0, cy0 := cellAt(src.Min)
+	cx1, cy1 := cellAt(graphics.Pt(src.Max.X-1, src.Max.Y-1))
+	dcx, dcy := cellAt(dst)
+	h, w := cy1-cy0+1, cx1-cx0+1
+	tmp := make([]rune, 0, w*h)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			if cx < 0 || cy < 0 || cx >= g.cols || cy >= g.rows {
+				tmp = append(tmp, ' ')
+			} else {
+				tmp = append(tmp, g.cells[cy*g.cols+cx])
+			}
+		}
+	}
+	for i, ch := range tmp {
+		g.putCell(dcx+i%w, dcy+i/w, ch)
+	}
+}
+
+// InvertArea implements graphics.Graphic with a reverse-video flag.
+func (g *Graphic) InvertArea(r graphics.Rect) {
+	g.ops++
+	r = r.Intersect(g.clip).Canon()
+	if r.Empty() {
+		return
+	}
+	cx0, cy0 := cellAt(r.Min)
+	cx1, cy1 := cellAt(graphics.Pt(r.Max.X-1, r.Max.Y-1))
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			if cx < 0 || cy < 0 || cx >= g.cols || cy >= g.rows {
+				continue
+			}
+			g.inverse[cy*g.cols+cx] = !g.inverse[cy*g.cols+cx]
+		}
+	}
+}
+
+// Flush implements graphics.Graphic.
+func (g *Graphic) Flush() error { return nil }
+
+// Dump renders the screen as plain text, marking reverse-video cells by
+// substituting '▓' — tests use DumpASCII for the 7-bit variant.
+func (g *Graphic) Dump() string {
+	var b strings.Builder
+	for cy := 0; cy < g.rows; cy++ {
+		for cx := 0; cx < g.cols; cx++ {
+			ch := g.cells[cy*g.cols+cx]
+			if g.inverse[cy*g.cols+cx] {
+				if ch == ' ' {
+					ch = '▓'
+				}
+			}
+			b.WriteRune(ch)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DumpASCII is Dump with reverse-video cells rendered as '%' so output
+// stays 7-bit clean (the paper's own external-representation guideline).
+func (g *Graphic) DumpASCII() string {
+	var b strings.Builder
+	for cy := 0; cy < g.rows; cy++ {
+		for cx := 0; cx < g.cols; cx++ {
+			ch := g.cells[cy*g.cols+cx]
+			if g.inverse[cy*g.cols+cx] && ch == ' ' {
+				ch = '%'
+			}
+			if ch > 126 {
+				ch = '?'
+			}
+			b.WriteRune(ch)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Cell returns the rune at cell (cx,cy), for tests.
+func (g *Graphic) Cell(cx, cy int) rune {
+	if cx < 0 || cy < 0 || cx >= g.cols || cy >= g.rows {
+		return 0
+	}
+	return g.cells[cy*g.cols+cx]
+}
+
+// FindText reports whether s appears contiguously on any row.
+func (g *Graphic) FindText(s string) bool {
+	return strings.Contains(g.Dump(), s)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,222 @@
+package termwin
+
+import (
+	"fmt"
+	"sync"
+
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+func init() {
+	wsys.RegisterBackend("termwin", func() (wsys.WindowSystem, error) {
+		return New(), nil
+	})
+}
+
+// System is the character-cell window system. It implements
+// wsys.WindowSystem.
+type System struct {
+	mu      sync.Mutex
+	windows []*Window
+	closed  bool
+}
+
+// New returns a fresh terminal window system.
+func New() *System { return &System{} }
+
+// Name implements wsys.WindowSystem.
+func (s *System) Name() string { return "termwin" }
+
+// NewWindow implements wsys.WindowSystem. The pixel size is rounded up to
+// whole cells.
+func (s *System) NewWindow(title string, w, h int) (wsys.InteractionWindow, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("termwin: window system closed")
+	}
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("termwin: bad window size %dx%d", w, h)
+	}
+	win := &Window{
+		title:  title,
+		g:      NewGraphic((w+CellW-1)/CellW, (h+CellH-1)/CellH),
+		events: make(chan wsys.Event, 256),
+	}
+	s.windows = append(s.windows, win)
+	return win, nil
+}
+
+// NewOffScreenWindow implements wsys.WindowSystem.
+func (s *System) NewOffScreenWindow(w, h int) (wsys.OffScreenWindow, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("termwin: bad off-screen size %dx%d", w, h)
+	}
+	return &offscreen{g: NewGraphic((w+CellW-1)/CellW, (h+CellH-1)/CellH)}, nil
+}
+
+// NewCursor implements wsys.WindowSystem. Terminal cursors are all the
+// block cursor; the shape is retained so views can still negotiate it.
+func (s *System) NewCursor(shape wsys.CursorShape) (wsys.Cursor, error) {
+	return cursor{shape: shape}, nil
+}
+
+// FontRenderer implements wsys.WindowSystem.
+func (s *System) FontRenderer() wsys.FontRenderer { return fontRenderer{} }
+
+// Flush implements wsys.WindowSystem.
+func (s *System) Flush() error { return nil }
+
+// Close implements wsys.WindowSystem.
+func (s *System) Close() error {
+	s.mu.Lock()
+	wins := s.windows
+	s.windows = nil
+	s.closed = true
+	s.mu.Unlock()
+	for _, w := range wins {
+		_ = w.Close()
+	}
+	return nil
+}
+
+// Window is a termwin top-level window. It implements
+// wsys.InteractionWindow.
+type Window struct {
+	mu     sync.Mutex
+	title  string
+	g      *Graphic
+	events chan wsys.Event
+	cursor wsys.Cursor
+	closed bool
+}
+
+// Graphic implements wsys.InteractionWindow.
+func (w *Window) Graphic() graphics.Graphic { return w.g }
+
+// Screen returns the concrete cell Graphic for dumping.
+func (w *Window) Screen() *Graphic { return w.g }
+
+// Size implements wsys.InteractionWindow (pixel space).
+func (w *Window) Size() (int, int) {
+	b := w.g.Bounds()
+	return b.Dx(), b.Dy()
+}
+
+// Resize implements wsys.InteractionWindow.
+func (w *Window) Resize(width, height int) error {
+	if width <= 0 || height <= 0 {
+		return fmt.Errorf("termwin: bad resize %dx%d", width, height)
+	}
+	w.mu.Lock()
+	w.g = NewGraphic((width+CellW-1)/CellW, (height+CellH-1)/CellH)
+	w.mu.Unlock()
+	w.Inject(wsys.Event{Kind: wsys.ResizeEvent, Width: width, Height: height})
+	return nil
+}
+
+// SetTitle implements wsys.InteractionWindow.
+func (w *Window) SetTitle(title string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.title = title
+}
+
+// Title implements wsys.InteractionWindow.
+func (w *Window) Title() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.title
+}
+
+// Events implements wsys.InteractionWindow.
+func (w *Window) Events() <-chan wsys.Event { return w.events }
+
+// Inject implements wsys.InteractionWindow.
+func (w *Window) Inject(ev wsys.Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	select {
+	case w.events <- ev:
+	default:
+		select {
+		case <-w.events:
+		default:
+		}
+		w.events <- ev
+	}
+}
+
+// SetCursor implements wsys.InteractionWindow.
+func (w *Window) SetCursor(c wsys.Cursor) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.cursor = c
+}
+
+// Cursor returns the current cursor.
+func (w *Window) Cursor() wsys.Cursor {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cursor
+}
+
+// Close implements wsys.InteractionWindow.
+func (w *Window) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	close(w.events)
+	return nil
+}
+
+type offscreen struct{ g *Graphic }
+
+func (o *offscreen) Graphic() graphics.Graphic { return o.g }
+
+func (o *offscreen) Size() (int, int) {
+	b := o.g.Bounds()
+	return b.Dx(), b.Dy()
+}
+
+// Snapshot renders the cell grid into a bitmap, one pixel per cell, so
+// off-screen composition works uniformly across backends.
+func (o *offscreen) Snapshot() *graphics.Bitmap {
+	bm := graphics.NewBitmap(o.g.cols, o.g.rows)
+	for cy := 0; cy < o.g.rows; cy++ {
+		for cx := 0; cx < o.g.cols; cx++ {
+			if o.g.Cell(cx, cy) != ' ' {
+				bm.Set(cx, cy, graphics.Black)
+			}
+		}
+	}
+	return bm
+}
+
+func (o *offscreen) Free() error { return nil }
+
+type cursor struct{ shape wsys.CursorShape }
+
+func (c cursor) Shape() wsys.CursorShape { return c.shape }
+func (c cursor) Free() error             { return nil }
+
+type fontRenderer struct{}
+
+// Render maps glyphs onto cells through a throwaway Graphic; cell backends
+// do not rasterize.
+func (fontRenderer) Render(p graphics.Point, s string, f *graphics.Font, set func(x, y int)) {
+	x := p.X
+	for range s {
+		set(x/CellW, (p.Y-1)/CellH)
+		x += CellW
+	}
+}
+
+func (fontRenderer) CellAligned() bool { return true }

@@ -1,0 +1,293 @@
+package termwin
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+func TestGraphicCellGeometry(t *testing.T) {
+	g := NewGraphic(10, 5)
+	b := g.Bounds()
+	if b.Dx() != 10*CellW || b.Dy() != 5*CellH {
+		t.Fatalf("bounds = %v", b)
+	}
+}
+
+func TestFillRectShades(t *testing.T) {
+	g := NewGraphic(10, 4)
+	g.FillRect(graphics.XYWH(0, 0, 2*CellW, CellH), graphics.Black)
+	g.FillRect(graphics.XYWH(0, CellH, 2*CellW, CellH), graphics.Gray)
+	g.FillRect(graphics.XYWH(0, 2*CellH, 2*CellW, CellH), 40)
+	if g.Cell(0, 0) != '#' || g.Cell(1, 1) != '+' || g.Cell(0, 2) != '.' {
+		t.Fatalf("shading wrong:\n%s", g.Dump())
+	}
+	g.Clear(graphics.XYWH(0, 0, 2*CellW, CellH))
+	if g.Cell(0, 0) != ' ' {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestDrawLineCharacters(t *testing.T) {
+	g := NewGraphic(10, 10)
+	g.DrawLine(graphics.Pt(0, 8), graphics.Pt(9*CellW, 8), 1, graphics.Black)
+	if g.Cell(4, 0) != '-' {
+		t.Fatalf("horizontal line char = %q", g.Cell(4, 0))
+	}
+	g2 := NewGraphic(10, 10)
+	g2.DrawLine(graphics.Pt(8, 0), graphics.Pt(8, 9*CellH), 1, graphics.Black)
+	if g2.Cell(1, 4) != '|' {
+		t.Fatalf("vertical line char = %q", g2.Cell(1, 4))
+	}
+	g3 := NewGraphic(10, 10)
+	g3.DrawLine(graphics.Pt(0, 0), graphics.Pt(9*CellW, 9*CellH), 1, graphics.Black)
+	if g3.Cell(5, 5) != '\\' {
+		t.Fatalf("diagonal char = %q:\n%s", g3.Cell(5, 5), g3.Dump())
+	}
+}
+
+func TestDrawRectBox(t *testing.T) {
+	g := NewGraphic(10, 6)
+	g.DrawRect(graphics.XYWH(0, 0, 5*CellW, 3*CellH), 1, graphics.Black)
+	dump := g.Dump()
+	if g.Cell(0, 0) != '+' || g.Cell(4, 0) != '+' || g.Cell(0, 2) != '+' || g.Cell(4, 2) != '+' {
+		t.Fatalf("corners wrong:\n%s", dump)
+	}
+	if g.Cell(2, 0) != '-' || g.Cell(0, 1) != '|' {
+		t.Fatalf("edges wrong:\n%s", dump)
+	}
+}
+
+func TestDrawString(t *testing.T) {
+	g := NewGraphic(20, 3)
+	f := graphics.Open(graphics.DefaultFont)
+	g.DrawString(graphics.Pt(0, CellH-2), "Hello", f, graphics.Black)
+	if !g.FindText("Hello") {
+		t.Fatalf("text not found:\n%s", g.Dump())
+	}
+}
+
+func TestDrawStringNarrowGlyphsAdvance(t *testing.T) {
+	g := NewGraphic(20, 3)
+	f := graphics.Open(graphics.DefaultFont)
+	// "iii" has narrow advances that would collapse into one cell without
+	// forced advance.
+	g.DrawString(graphics.Pt(0, CellH-2), "iii", f, graphics.Black)
+	if !g.FindText("iii") {
+		t.Fatalf("narrow glyphs collided:\n%s", g.Dump())
+	}
+}
+
+func TestInvertArea(t *testing.T) {
+	g := NewGraphic(10, 3)
+	g.InvertArea(graphics.XYWH(0, 0, 2*CellW, CellH))
+	if !strings.Contains(g.DumpASCII(), "%") {
+		t.Fatalf("no reverse-video marker:\n%s", g.DumpASCII())
+	}
+	g.InvertArea(graphics.XYWH(0, 0, 2*CellW, CellH))
+	if strings.Contains(g.DumpASCII(), "%") {
+		t.Fatal("double invert not identity")
+	}
+}
+
+func TestCopyArea(t *testing.T) {
+	g := NewGraphic(10, 4)
+	g.FillRect(graphics.XYWH(0, 0, CellW, CellH), graphics.Black)
+	g.CopyArea(graphics.XYWH(0, 0, CellW, CellH), graphics.Pt(3*CellW, 2*CellH))
+	if g.Cell(3, 2) != '#' {
+		t.Fatalf("copy failed:\n%s", g.Dump())
+	}
+}
+
+func TestClipRespected(t *testing.T) {
+	g := NewGraphic(10, 4)
+	g.SetClip(graphics.XYWH(0, 0, 2*CellW, 2*CellH))
+	g.FillRect(graphics.XYWH(0, 0, 10*CellW, 4*CellH), graphics.Black)
+	if g.Cell(0, 0) != '#' {
+		t.Fatal("clip erased everything")
+	}
+	if g.Cell(5, 3) == '#' {
+		t.Fatal("fill escaped clip")
+	}
+}
+
+func TestDrawBitmapSampling(t *testing.T) {
+	g := NewGraphic(10, 4)
+	bm := graphics.NewBitmap(CellW*2, CellH)
+	bm.Fill(graphics.XYWH(0, 0, CellW, CellH), graphics.Black) // left cell solid
+	bm.Set(CellW+1, 1, graphics.Black)                         // right cell sparse
+	g.DrawBitmap(graphics.Pt(0, 0), bm)
+	if g.Cell(0, 0) != '#' || g.Cell(1, 0) != '+' {
+		t.Fatalf("sampling wrong:\n%s", g.Dump())
+	}
+}
+
+func TestOvalAndPolygon(t *testing.T) {
+	g := NewGraphic(20, 10)
+	g.DrawOval(graphics.XYWH(0, 0, 16*CellW, 8*CellH), 1, graphics.Black)
+	if !strings.Contains(g.Dump(), "o") {
+		t.Fatal("oval drew nothing")
+	}
+	g2 := NewGraphic(20, 10)
+	g2.FillPolygon([]graphics.Point{
+		{X: 0, Y: 0}, {X: 10 * CellW, Y: 0}, {X: 5 * CellW, Y: 8 * CellH},
+	}, graphics.Black)
+	if g2.Cell(5, 2) != '#' {
+		t.Fatalf("polygon fill empty:\n%s", g2.Dump())
+	}
+}
+
+func TestDumpASCIIIs7Bit(t *testing.T) {
+	g := NewGraphic(10, 4)
+	g.InvertArea(graphics.XYWH(0, 0, CellW, CellH))
+	for _, r := range g.DumpASCII() {
+		if r > 126 {
+			t.Fatalf("non-ASCII rune %q in dump", r)
+		}
+	}
+}
+
+func TestWindowRoundsUpToCells(t *testing.T) {
+	s := New()
+	win, err := s.NewWindow("t", 100, 100) // not multiples of cell size
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := win.Size()
+	if w%CellW != 0 || h%CellH != 0 {
+		t.Fatalf("size %dx%d not cell aligned", w, h)
+	}
+	if w < 100 || h < 100 {
+		t.Fatalf("size %dx%d smaller than requested", w, h)
+	}
+}
+
+func TestOffscreenSnapshot(t *testing.T) {
+	s := New()
+	off, err := s.NewOffScreenWindow(CellW*4, CellH*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.Graphic().FillRect(graphics.XYWH(0, 0, CellW, CellH), graphics.Black)
+	snap := off.Snapshot()
+	if snap.At(0, 0) != graphics.Black {
+		t.Fatal("snapshot empty")
+	}
+}
+
+func TestFontRendererCellAligned(t *testing.T) {
+	s := New()
+	if !s.FontRenderer().CellAligned() {
+		t.Fatal("termwin must be cell aligned")
+	}
+}
+
+func TestWindowLifecycleAndEvents(t *testing.T) {
+	s := New()
+	win, err := s.NewWindow("t", 160, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win.SetTitle("renamed")
+	if win.Title() != "renamed" {
+		t.Fatal("title")
+	}
+	win.Inject(wsysClick(5, 5))
+	ev := <-win.Events()
+	if ev.Pos.X != 5 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if err := win.Resize(320, 128); err != nil {
+		t.Fatal(err)
+	}
+	<-win.Events() // resize event
+	w, h := win.Size()
+	if w != 320 || h != 128 {
+		t.Fatalf("size = %d,%d", w, h)
+	}
+	if err := win.Resize(0, 0); err == nil {
+		t.Fatal("zero resize accepted")
+	}
+	c, _ := s.NewCursor(0)
+	win.SetCursor(c)
+	if tw := win.(*Window); tw.Cursor() != c {
+		t.Fatal("cursor")
+	}
+	if err := win.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := win.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	win.Inject(wsysClick(1, 1)) // dropped after close, no panic
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewWindow("late", 10, 10); err == nil {
+		t.Fatal("closed system created a window")
+	}
+	if _, err := s.NewOffScreenWindow(0, 5); err == nil {
+		t.Fatal("bad offscreen accepted")
+	}
+}
+
+func TestQueueOverflowKeepsNewest(t *testing.T) {
+	s := New()
+	win, _ := s.NewWindow("flood", 80, 32)
+	for i := 0; i < 400; i++ {
+		win.Inject(wsysClick(i, 0))
+	}
+	var last int
+	n := 0
+	for {
+		select {
+		case ev := <-win.Events():
+			last = ev.Pos.X
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n == 0 || n > 256 || last != 399 {
+		t.Fatalf("n=%d last=%d", n, last)
+	}
+}
+
+func TestDumpShowsReverseVideo(t *testing.T) {
+	g := NewGraphic(4, 2)
+	g.InvertArea(g.Bounds())
+	if !strings.Contains(g.Dump(), "▓") {
+		t.Fatalf("dump = %q", g.Dump())
+	}
+}
+
+func TestFontRendererRenderTouchesCells(t *testing.T) {
+	s := New()
+	n := 0
+	s.FontRenderer().Render(graphics.Pt(0, CellH-1), "abc",
+		graphics.Open(graphics.DefaultFont), func(x, y int) { n++ })
+	if n != 3 {
+		t.Fatalf("cells touched = %d", n)
+	}
+}
+
+func TestDrawArcAndFillArcCells(t *testing.T) {
+	g := NewGraphic(20, 10)
+	g.DrawArc(graphics.XYWH(0, 0, 16*CellW, 8*CellH), 0, 90, 1, graphics.Black)
+	if !strings.Contains(g.Dump(), "*") {
+		t.Fatal("arc drew nothing")
+	}
+	g2 := NewGraphic(20, 10)
+	g2.FillArc(graphics.XYWH(0, 0, 16*CellW, 8*CellH), 0, 90, graphics.Black)
+	if !strings.Contains(g2.Dump(), "#") {
+		t.Fatal("wedge drew nothing")
+	}
+}
+
+func wsysClick(x, y int) wsys.Event { return wsys.Click(x, y) }

@@ -1,0 +1,176 @@
+// Package wsys defines the window-system porting layer of paper §8. A port
+// supplies six classes: WindowSystem, InteractionWindow (the window-side
+// half of the interaction manager), Cursor, Graphic (defined in the
+// graphics package, since the Drawable speaks it), FontRenderer, and
+// OffScreenWindow. Once a backend implements these, every toolkit
+// application runs on it unmodified; the backend is chosen at run time by
+// the ATK_WM environment variable, exactly as the original chose between
+// the ITC window manager and X.11.
+package wsys
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"atk/internal/graphics"
+)
+
+// EnvVar names the environment variable that selects the window system.
+const EnvVar = "ATK_WM"
+
+// WindowSystem is the root porting class: a handle from which the other
+// window system objects are obtained.
+type WindowSystem interface {
+	// Name identifies the backend ("memwin", "termwin", ...).
+	Name() string
+	// NewWindow creates a top-level window of the given pixel size.
+	NewWindow(title string, w, h int) (InteractionWindow, error)
+	// NewOffScreenWindow creates an off-screen drawing surface.
+	NewOffScreenWindow(w, h int) (OffScreenWindow, error)
+	// NewCursor creates a cursor of a standard shape.
+	NewCursor(shape CursorShape) (Cursor, error)
+	// FontRenderer returns the backend's glyph-rendering policy.
+	FontRenderer() FontRenderer
+	// Flush pushes all buffered output for all windows.
+	Flush() error
+	// Close releases the connection to the window system.
+	Close() error
+}
+
+// InteractionWindow is the window half of an interaction manager: the
+// surface a view tree is rooted in, plus its event source. The toolkit's
+// interaction manager (internal/core) wraps one of these.
+type InteractionWindow interface {
+	// Graphic returns the window's output surface.
+	Graphic() graphics.Graphic
+	// Size returns the current inner size in pixels.
+	Size() (w, h int)
+	// Resize changes the window size, generating a resize event.
+	Resize(w, h int) error
+	// SetTitle sets the title bar text.
+	SetTitle(title string)
+	// Title returns the current title.
+	Title() string
+	// Events returns the window's event channel. The channel is closed
+	// when the window closes.
+	Events() <-chan Event
+	// Inject places an event on the window's queue as if the user had
+	// produced it; simulated backends deliver all input this way.
+	Inject(ev Event)
+	// SetCursor sets the cursor shown over the window.
+	SetCursor(c Cursor)
+	// Close destroys the window and closes its event channel.
+	Close() error
+}
+
+// OffScreenWindow is an off-screen drawing surface whose contents can be
+// copied into an on-screen window (porting class six).
+type OffScreenWindow interface {
+	// Graphic returns the surface to draw on.
+	Graphic() graphics.Graphic
+	// Size returns the surface size.
+	Size() (w, h int)
+	// Snapshot returns the current contents as a bitmap.
+	Snapshot() *graphics.Bitmap
+	// Free releases the surface.
+	Free() error
+}
+
+// CursorShape enumerates the standard cursor shapes the toolkit requests.
+type CursorShape int
+
+// Standard cursors.
+const (
+	CursorArrow CursorShape = iota
+	CursorIBeam
+	CursorCrosshair
+	CursorWait
+	CursorHandle // the frame's divider-drag cursor
+	CursorGunsight
+)
+
+// String names the shape.
+func (s CursorShape) String() string {
+	switch s {
+	case CursorArrow:
+		return "arrow"
+	case CursorIBeam:
+		return "ibeam"
+	case CursorCrosshair:
+		return "crosshair"
+	case CursorWait:
+		return "wait"
+	case CursorHandle:
+		return "handle"
+	case CursorGunsight:
+		return "gunsight"
+	default:
+		return fmt.Sprintf("cursor(%d)", int(s))
+	}
+}
+
+// Cursor is a realized cursor on some window system.
+type Cursor interface {
+	// Shape returns the standard shape this cursor renders.
+	Shape() CursorShape
+	// Free releases the cursor.
+	Free() error
+}
+
+// FontRenderer is the per-backend glyph policy: raster backends scale the
+// shared 5x7 face; cell backends map every glyph to one character cell.
+type FontRenderer interface {
+	// Render draws s at baseline p on the given set-pixel function.
+	Render(p graphics.Point, s string, f *graphics.Font, set func(x, y int))
+	// CellAligned reports whether the backend positions text on a
+	// character-cell grid rather than at exact pixel positions.
+	CellAligned() bool
+}
+
+// Registry of available window systems, populated by backend packages'
+// init functions — the analogue of the dynamically loadable window-system
+// modules in §8.
+
+var (
+	regMu    sync.Mutex
+	backends = map[string]func() (WindowSystem, error){}
+)
+
+// RegisterBackend makes a window system available under name.
+func RegisterBackend(name string, open func() (WindowSystem, error)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	backends[name] = open
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(backends))
+	for n := range backends {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open connects to the named window system. An empty name consults ATK_WM
+// and falls back to "memwin".
+func Open(name string) (WindowSystem, error) {
+	if name == "" {
+		name = os.Getenv(EnvVar)
+	}
+	if name == "" {
+		name = "memwin"
+	}
+	regMu.Lock()
+	open, ok := backends[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("wsys: unknown window system %q (have %v)", name, Backends())
+	}
+	return open()
+}

@@ -1,0 +1,251 @@
+package wsys_test
+
+import (
+	"os"
+	"testing"
+
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+	_ "atk/internal/wsys/memwin"
+	_ "atk/internal/wsys/termwin"
+)
+
+func TestBackendsRegistered(t *testing.T) {
+	names := wsys.Backends()
+	want := map[string]bool{"memwin": false, "termwin": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, ok := range want {
+		if !ok {
+			t.Errorf("backend %q not registered (have %v)", n, names)
+		}
+	}
+}
+
+func TestOpenByName(t *testing.T) {
+	for _, name := range []string{"memwin", "termwin"} {
+		ws, err := wsys.Open(name)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", name, err)
+		}
+		if ws.Name() != name {
+			t.Fatalf("Name = %q, want %q", ws.Name(), name)
+		}
+		if err := ws.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenUnknown(t *testing.T) {
+	if _, err := wsys.Open("newsstand"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestOpenEnvSelection(t *testing.T) {
+	t.Setenv(wsys.EnvVar, "termwin")
+	ws, err := wsys.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	if ws.Name() != "termwin" {
+		t.Fatalf("env selection gave %q", ws.Name())
+	}
+}
+
+func TestOpenDefault(t *testing.T) {
+	old, had := os.LookupEnv(wsys.EnvVar)
+	os.Unsetenv(wsys.EnvVar)
+	defer func() {
+		if had {
+			os.Setenv(wsys.EnvVar, old)
+		}
+	}()
+	ws, err := wsys.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	if ws.Name() != "memwin" {
+		t.Fatalf("default backend = %q, want memwin", ws.Name())
+	}
+}
+
+// conformance runs the same assertions against every registered backend:
+// the essence of window-system independence.
+func TestBackendConformance(t *testing.T) {
+	for _, name := range []string{"memwin", "termwin"} {
+		t.Run(name, func(t *testing.T) {
+			ws, err := wsys.Open(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ws.Close()
+
+			win, err := ws.NewWindow("test", 320, 240)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, h := win.Size()
+			if w < 320 || h < 240 {
+				t.Fatalf("size = %dx%d, want at least 320x240", w, h)
+			}
+			win.SetTitle("retitled")
+			if win.Title() != "retitled" {
+				t.Fatalf("title = %q", win.Title())
+			}
+
+			g := win.Graphic()
+			if g.Bounds().Empty() {
+				t.Fatal("empty graphic bounds")
+			}
+			g.FillRect(graphics.XYWH(10, 10, 50, 50), graphics.Black)
+			g.DrawLine(graphics.Pt(0, 0), graphics.Pt(100, 100), 1, graphics.Black)
+			g.DrawString(graphics.Pt(10, 100), "hello", graphics.Open(graphics.DefaultFont), graphics.Black)
+			if err := g.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Event injection and ordered delivery.
+			win.Inject(wsys.Click(5, 5))
+			win.Inject(wsys.KeyPress('x'))
+			ev := <-win.Events()
+			if ev.Kind != wsys.MouseEvent || ev.Pos != graphics.Pt(5, 5) {
+				t.Fatalf("first event = %+v", ev)
+			}
+			ev = <-win.Events()
+			if ev.Kind != wsys.KeyEvent || ev.Rune != 'x' {
+				t.Fatalf("second event = %+v", ev)
+			}
+
+			// Resize produces an event.
+			if err := win.Resize(400, 300); err != nil {
+				t.Fatal(err)
+			}
+			ev = <-win.Events()
+			if ev.Kind != wsys.ResizeEvent || ev.Width != 400 {
+				t.Fatalf("resize event = %+v", ev)
+			}
+
+			// Cursors.
+			c, err := ws.NewCursor(wsys.CursorIBeam)
+			if err != nil {
+				t.Fatal(err)
+			}
+			win.SetCursor(c)
+			if c.Shape() != wsys.CursorIBeam {
+				t.Fatalf("cursor shape = %v", c.Shape())
+			}
+
+			// Off-screen window.
+			off, err := ws.NewOffScreenWindow(64, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off.Graphic().FillRect(graphics.XYWH(0, 0, 64, 64), graphics.Black)
+			snap := off.Snapshot()
+			if snap.Count(snap.Bounds(), graphics.Black) == 0 {
+				t.Fatal("off-screen drawing left no trace")
+			}
+			if err := off.Free(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Bad sizes rejected.
+			if _, err := ws.NewWindow("bad", 0, 10); err == nil {
+				t.Fatal("zero-width window accepted")
+			}
+			if _, err := ws.NewOffScreenWindow(-1, 5); err == nil {
+				t.Fatal("negative off-screen accepted")
+			}
+
+			// Close is idempotent and closes the event channel.
+			if err := win.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := win.Close(); err != nil {
+				t.Fatal(err)
+			}
+			win.Inject(wsys.KeyPress('q')) // dropped, no panic
+			for range win.Events() {
+				// drain until closed
+			}
+		})
+	}
+}
+
+func TestEventQueueOverflowDropsOldest(t *testing.T) {
+	ws, err := wsys.Open("memwin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	win, err := ws.NewWindow("flood", 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		win.Inject(wsys.KeyPress(rune('a' + i%26)))
+	}
+	// The queue holds 256; the newest event must still be present.
+	n := 0
+	var last wsys.Event
+	for {
+		select {
+		case ev := <-win.Events():
+			last = ev
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n == 0 || n > 256 {
+		t.Fatalf("drained %d events", n)
+	}
+	if last.Rune != rune('a'+399%26) {
+		t.Fatalf("newest event lost: %q", last.Rune)
+	}
+}
+
+func TestEventHelpers(t *testing.T) {
+	ev := wsys.Click(3, 4)
+	if ev.Action != wsys.MouseDown || ev.Clicks != 1 {
+		t.Fatalf("Click = %+v", ev)
+	}
+	if wsys.Release(1, 1).Action != wsys.MouseUp {
+		t.Fatal("Release wrong")
+	}
+	if wsys.Drag(1, 1).Action != wsys.MouseMove {
+		t.Fatal("Drag wrong")
+	}
+	if !wsys.CtrlKey('c').Ctrl {
+		t.Fatal("CtrlKey wrong")
+	}
+	if wsys.KeyDownEvent(wsys.KeyReturn).Key != wsys.KeyReturn {
+		t.Fatal("KeyDownEvent wrong")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if wsys.KeyEvent.String() != "key" || wsys.TickEvent.String() != "tick" {
+		t.Fatal("EventKind.String wrong")
+	}
+	if wsys.MouseDown.String() != "down" || wsys.MouseHover.String() != "hover" {
+		t.Fatal("MouseAction.String wrong")
+	}
+	if wsys.KeyPageDown.String() != "pagedown" {
+		t.Fatal("Key.String wrong")
+	}
+	if wsys.CursorIBeam.String() != "ibeam" {
+		t.Fatal("CursorShape.String wrong")
+	}
+	if wsys.EventKind(99).String() == "" || wsys.Key(99).String() == "" {
+		t.Fatal("unknown stringers empty")
+	}
+}

@@ -1,0 +1,189 @@
+package atk
+
+// The program-editing workbench: the extension packages of paper §1
+// (C-language component, compile package, tags package, style editor)
+// working together over documents in a live editor — the environment
+// that displaced emacs at the ITC (§9).
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/cmode"
+	"atk/internal/compilepkg"
+	"atk/internal/components"
+	"atk/internal/core"
+	"atk/internal/styleed"
+	"atk/internal/tags"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/wsys"
+	"atk/internal/wsys/memwin"
+)
+
+const viewSrc = `#include "class.h"
+
+static struct view *focus;
+
+struct view *view_Create(struct classinfo *ci)
+{
+    return allocate(ci);
+}
+
+int view_Hit(struct view *v, long x, long y)
+{
+    return x >= 0 && y >= 0;
+}
+`
+
+func TestProgramEditingWorkbench(t *testing.T) {
+	reg, err := components.StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open view.c as a ctext: the class system instantiates the text
+	// subclass, which styles itself as C.
+	obj, err := reg.NewObject("ctext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := obj.(*text.Data)
+	if err := doc.Insert(0, viewSrc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.StyleAt(doc.Index("static", 0)) != "bold" {
+		t.Fatal("ctext did not style the keyword")
+	}
+	if doc.StyleAt(doc.Index("#include", 0)) != "typewriter" {
+		t.Fatal("ctext did not style the preproc line")
+	}
+
+	// Display it in an editor window and type a (broken) function.
+	ws := memwin.New()
+	defer ws.Close()
+	win, _ := ws.NewWindow("view.c", 520, 400)
+	im := core.NewInteractionManager(ws, win)
+	tv := textview.New(reg)
+	tv.SetDataObject(doc)
+	im.SetChild(tv)
+	im.FullRedraw()
+	win.Inject(wsys.Click(2, 2))
+	win.Inject(wsys.Release(2, 2))
+	im.DrainEvents()
+	tv.SetDot(doc.Len())
+	for _, r := range "\nint broken() {\n    return 1\n}\n" {
+		if r == '\n' {
+			win.Inject(wsys.KeyDownEvent(wsys.KeyReturn))
+		} else {
+			win.Inject(wsys.KeyPress(r))
+		}
+	}
+	im.DrainEvents()
+
+	docs := map[string]*text.Data{"view.c": doc}
+
+	// Compile: the missing semicolon is caught; next-error navigation
+	// drives the caret to it.
+	result := compilepkg.Compile(docs)
+	if result.OK() {
+		t.Fatal("broken program compiled clean")
+	}
+	diag, ok := result.Next()
+	if !ok || !strings.Contains(diag.Message, "missing ';'") {
+		t.Fatalf("diag = %+v", diag)
+	}
+	tv.SetDot(diag.Pos)
+	if got := doc.Slice(diag.Pos, diag.Pos+6); got != "return" {
+		t.Fatalf("caret landed on %q", got)
+	}
+
+	// Fix it through the editor and recompile clean.
+	fixPos := doc.Index("return 1\n}", 0) + len("return 1")
+	if err := doc.Insert(fixPos, ";"); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := compilepkg.Compile(docs); !r2.OK() {
+		t.Fatalf("still broken: %v", r2.Diagnostics)
+	}
+	// The styler tracked every edit (keyword in the new function is bold).
+	if doc.StyleAt(doc.Index("int broken", 0)) != "bold" {
+		t.Fatal("typed keyword not styled")
+	}
+
+	// Tags: both functions and the new one are indexed; goto-definition
+	// moves the caret.
+	idx := tags.Build(docs)
+	for _, name := range []string{"view_Create", "view_Hit", "broken"} {
+		ts, err := idx.Lookup(name)
+		if err != nil {
+			t.Fatalf("tag %s: %v", name, err)
+		}
+		tv.SetDot(ts[0].Pos)
+		if !strings.HasPrefix(doc.Slice(ts[0].Pos, doc.Len()), name) {
+			t.Fatalf("tag %s points at %q", name, doc.Slice(ts[0].Pos, ts[0].Pos+10))
+		}
+	}
+
+	// Style editor: make comments larger everywhere by editing the italic
+	// style definition; the document is notified.
+	ed := styleed.New(doc)
+	n := 0
+	doc.AddObserver(obsCounter{&n})
+	if err := ed.SetSize("italic", 14); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("style edit did not notify")
+	}
+	usage := ed.Usage()
+	if usage["bold"] == 0 || usage["typewriter"] == 0 {
+		t.Fatalf("usage = %v", usage)
+	}
+}
+
+type obsCounter struct{ n *int }
+
+func (o obsCounter) ObservedChanged(core.DataObject, core.Change) { *o.n++ }
+
+func TestWorkbenchTagsAcrossGeneratedTree(t *testing.T) {
+	// A larger synthetic source tree: N files, each defining functions;
+	// the index finds every one exactly once.
+	docs := map[string]*text.Data{}
+	want := 0
+	for f := 0; f < 20; f++ {
+		var b strings.Builder
+		for g := 0; g < 10; g++ {
+			name := "fn_" + string(rune('a'+f)) + "_" + string(rune('a'+g))
+			b.WriteString("int " + name + "(int x)\n{\n    return x;\n}\n\n")
+			want++
+		}
+		docs["file"+string(rune('a'+f))+".c"] = text.NewString(b.String())
+	}
+	idx := tags.Build(docs)
+	if idx.Len() != want {
+		t.Fatalf("tags = %d, want %d", idx.Len(), want)
+	}
+	if idx.Files() != 20 {
+		t.Fatalf("files = %d", idx.Files())
+	}
+	// And the whole tree compiles clean.
+	if r := compilepkg.Compile(docs); !r.OK() {
+		t.Fatalf("diagnostics = %v", r.Diagnostics)
+	}
+}
+
+func TestWorkbenchCModeClassIsSubclass(t *testing.T) {
+	reg, _ := components.StandardRegistry()
+	isa, err := reg.IsA("ctext", "text")
+	if err != nil || !isa {
+		t.Fatalf("IsA = %v, %v", isa, err)
+	}
+	chain, err := reg.Ancestry("ctext")
+	if err != nil || len(chain) != 2 {
+		t.Fatalf("ancestry = %v, %v", chain, err)
+	}
+	_ = cmode.StyleFor(cmode.Keyword)
+	var _ *class.Registry = reg
+}

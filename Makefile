@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test verify fuzz generate bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate: everything must pass before a change lands.
+# It builds and vets every package, runs the full test suite under the
+# race detector, and smoke-fuzzes the datastream reader.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/datastream
+
+# fuzz runs both fuzz targets for longer; extend FUZZTIME for real runs.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/datastream
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) .
+
+# generate rebuilds committed artifacts (testdata/sample.d).
+generate:
+	$(GO) generate ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

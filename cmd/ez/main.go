@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	ez [-wm memwin|termwin] [-type "text..."] [-save out.d] [-print] [file.d]
+//	ez [-wm memwin|termwin] [-lenient] [-type "text..."] [-save out.d] [-print] [file.d]
+//
+// With -lenient, a damaged document (truncated in transit, corrupted
+// markers) is opened anyway: the parser resynchronizes at marker
+// boundaries, salvages every component that still parses, and reports
+// each repair on stderr with its line number.
 package main
 
 import (
@@ -37,15 +42,16 @@ func main() {
 	doPrint := flag.Bool("print", false, "print the view to stdout as troff commands")
 	page := flag.Bool("page", false, "use the WYSIWYG page view instead of the screen view")
 	scriptPath := flag.String("script", "", "drive the session from an event script file")
+	lenient := flag.Bool("lenient", false, "recover what can be salvaged from a damaged document")
 	flag.Parse()
 
-	if err := run(*wm, *typeText, *save, *doPrint, *page, *scriptPath, flag.Arg(0)); err != nil {
+	if err := run(*wm, *typeText, *save, *doPrint, *page, *lenient, *scriptPath, flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "ez:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wm, typeText, save string, doPrint, page bool, scriptPath, path string) error {
+func run(wm, typeText, save string, doPrint, page, lenient bool, scriptPath, path string) error {
 	app, err := appkit.New("ez", 640, 400, wm)
 	if err != nil {
 		return err
@@ -59,10 +65,18 @@ func run(wm, typeText, save string, doPrint, page bool, scriptPath, path string)
 		if err != nil {
 			return err
 		}
-		obj, err := core.ReadObject(datastream.NewReader(f), app.Reg)
+		mode := datastream.Strict
+		if lenient {
+			mode = datastream.Lenient
+		}
+		r := datastream.NewReaderOptions(f, datastream.Options{Mode: mode})
+		obj, err := core.ReadObject(r, app.Reg)
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("reading %s: %w", path, err)
+		}
+		for _, diag := range r.Diagnostics() {
+			fmt.Fprintf(os.Stderr, "ez: %s: %s\n", path, diag)
 		}
 		td, ok := obj.(*text.Data)
 		if !ok {

@@ -34,7 +34,7 @@ func TestEZTypeSaveReload(t *testing.T) {
 	dir := t.TempDir()
 	saved := filepath.Join(dir, "doc.d")
 	out := captureStdout(t, func() error {
-		return run("termwin", "typed words", saved, false, false, "", "")
+		return run("termwin", "typed words", saved, false, false, false, "", "")
 	})
 	if !strings.Contains(out, "saved") {
 		t.Fatalf("output: %s", out)
@@ -47,7 +47,7 @@ func TestEZTypeSaveReload(t *testing.T) {
 		t.Fatalf("saved file:\n%s", data)
 	}
 	out2 := captureStdout(t, func() error {
-		return run("termwin", "", "", false, false, "", saved)
+		return run("termwin", "", "", false, false, false, "", saved)
 	})
 	// The title style spaces glyphs out on the cell grid; compare with
 	// spaces squeezed.
@@ -58,7 +58,7 @@ func TestEZTypeSaveReload(t *testing.T) {
 
 func TestEZPageViewAndPrint(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("termwin", "", "", true, true, "", "")
+		return run("termwin", "", "", true, true, false, "", "")
 	})
 	if !strings.Contains(out, "x init") || !strings.Contains(out, "x stop") {
 		n := len(out)
@@ -70,7 +70,7 @@ func TestEZPageViewAndPrint(t *testing.T) {
 }
 
 func TestEZBadFile(t *testing.T) {
-	if err := run("termwin", "", "", false, false, "", "/nonexistent.d"); err == nil {
+	if err := run("termwin", "", "", false, false, false, "", "/nonexistent.d"); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -82,7 +82,7 @@ func TestEZScriptDriven(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := captureStdout(t, func() error {
-		return run("termwin", "", "", false, false, sp, "")
+		return run("termwin", "", "", false, false, false, sp, "")
 	})
 	if !strings.Contains(out, "script: 2 commands") {
 		t.Fatalf("output:\n%s", out)
@@ -100,11 +100,36 @@ func TestEZAppMenusSpell(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := captureStdout(t, func() error {
-		return run("termwin", "", "", false, false, sp, "")
+		return run("termwin", "", "", false, false, false, sp, "")
 	})
 	// The spell result lands in the frame's message line, visible in the
 	// screen dump.
 	if !strings.Contains(out, "questionable") {
 		t.Fatalf("spell message missing:\n%s", out)
+	}
+}
+
+func TestEZLenientOpensDamagedDocument(t *testing.T) {
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "doc.d")
+	captureStdout(t, func() error {
+		return run("termwin", "salvage me", saved, false, false, false, "", "")
+	})
+	// Truncate the document mid-stream, as a failed transfer would.
+	data, err := os.ReadFile(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(saved, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("termwin", "", "", false, false, false, "", saved); err == nil {
+		t.Fatal("strict mode opened a truncated document")
+	}
+	out := captureStdout(t, func() error {
+		return run("termwin", "", "", false, false, true, "", saved)
+	})
+	if !strings.Contains(strings.ReplaceAll(out, " ", ""), "salvage") {
+		t.Fatalf("salvaged screen:\n%s", out)
 	}
 }

@@ -1,0 +1,128 @@
+// Command mksample deterministically regenerates testdata/sample.d, the
+// committed compound document that the format-stability guard
+// (format_test.go) parses. It builds the document programmatically via
+// components.SampleDoc, writes it, then re-reads the written bytes
+// strictly and re-verifies every embedded component, so a sample that
+// would fail the guard is never written.
+//
+// Usage:
+//
+//	go run ./cmd/mksample -o testdata/sample.d
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"atk/internal/anim"
+	"atk/internal/components"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/drawing"
+	"atk/internal/eq"
+	"atk/internal/raster"
+	"atk/internal/table"
+	"atk/internal/text"
+)
+
+func main() {
+	out := flag.String("o", "testdata/sample.d", "output path")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "mksample:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	reg, err := components.StandardRegistry()
+	if err != nil {
+		return err
+	}
+	doc, err := components.SampleDoc(reg)
+	if err != nil {
+		return err
+	}
+
+	var buf bytes.Buffer
+	w := datastream.NewWriter(&buf)
+	if _, err := core.WriteObject(w, doc); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+
+	if err := verify(buf.Bytes()); err != nil {
+		return fmt.Errorf("generated sample failed self-check: %w", err)
+	}
+	if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", out, buf.Len())
+	return nil
+}
+
+// verify re-reads the rendered stream strictly and applies the same spot
+// checks as the committed format guard.
+func verify(raw []byte) error {
+	sreg, err := components.StandardRegistry()
+	if err != nil {
+		return err
+	}
+	obj, err := core.ReadObject(datastream.NewReader(bytes.NewReader(raw)), sreg)
+	if err != nil {
+		return err
+	}
+	doc, ok := obj.(*text.Data)
+	if !ok {
+		return fmt.Errorf("sample is %T, want *text.Data", obj)
+	}
+	if got := doc.StyleAt(0); got != "title" {
+		return fmt.Errorf("style at 0 = %q, want title", got)
+	}
+	kinds := map[string]bool{}
+	for _, e := range doc.Embeds() {
+		kinds[e.Obj.TypeName()] = true
+		switch c := e.Obj.(type) {
+		case *table.Data:
+			if v, err := c.Value(0, 1); err != nil || v != 42 {
+				return fmt.Errorf("table formula = %v, %v", v, err)
+			}
+		case *drawing.Data:
+			if len(c.Items()) != 2 {
+				return fmt.Errorf("drawing items = %d", len(c.Items()))
+			}
+		case *eq.Data:
+			if c.Err() != nil {
+				return fmt.Errorf("equation: %v", c.Err())
+			}
+		case *raster.Data:
+			if c.Count() == 0 {
+				return fmt.Errorf("raster empty")
+			}
+		case *anim.Data:
+			if c.Frames() != 2 || c.Delay() != 2 {
+				return fmt.Errorf("animation frames=%d delay=%d", c.Frames(), c.Delay())
+			}
+		}
+	}
+	for _, want := range []string{"table", "drawing", "eq", "raster", "animation"} {
+		if !kinds[want] {
+			return fmt.Errorf("component %q missing", want)
+		}
+	}
+	for i, line := range bytes.Split(raw, []byte("\n")) {
+		if len(line) > datastream.MaxLine {
+			return fmt.Errorf("line %d too long (%d)", i+1, len(line))
+		}
+		for _, c := range line {
+			if c != '\t' && (c < 32 || c > 126) {
+				return fmt.Errorf("non-ASCII byte %#x on line %d", c, i+1)
+			}
+		}
+	}
+	return nil
+}

@@ -1,20 +1,27 @@
 // Command preview is the ditroff previewer: it formats a troff-subset
 // source file into pages and displays the requested page in a window (or
-// dumps all pages as plain text with -text).
+// dumps all pages as plain text with -text). A toolkit document in the
+// external representation (\begindata...) is also accepted: its text
+// content is extracted and paginated. With -lenient a damaged document is
+// salvaged instead of rejected, with each repair reported on stderr.
 //
 // Usage:
 //
-//	preview [-wm termwin] [-page N] [-text] [file.tr]
+//	preview [-wm termwin] [-page N] [-text] [-lenient] [file.tr|file.d]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"atk/internal/appkit"
+	"atk/internal/components"
 	"atk/internal/core"
+	"atk/internal/datastream"
 	"atk/internal/graphics"
+	"atk/internal/text"
 	"atk/internal/troff"
 )
 
@@ -46,15 +53,16 @@ func main() {
 	wm := flag.String("wm", "termwin", "window system")
 	page := flag.Int("page", 1, "page to display (1-based)")
 	asText := flag.Bool("text", false, "dump all pages as plain text")
+	lenient := flag.Bool("lenient", false, "salvage damaged toolkit documents instead of rejecting them")
 	flag.Parse()
 
-	if err := run(*wm, *page, *asText, flag.Arg(0)); err != nil {
+	if err := run(*wm, *page, *asText, *lenient, flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "preview:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wm string, page int, asText bool, path string) error {
+func run(wm string, page int, asText, lenient bool, path string) error {
 	src := sample
 	if path != "" {
 		b, err := os.ReadFile(path)
@@ -62,6 +70,12 @@ func run(wm string, page int, asText bool, path string) error {
 			return err
 		}
 		src = string(b)
+		if strings.HasPrefix(src, `\begindata{`) {
+			src, err = extractDocument(path, b, lenient)
+			if err != nil {
+				return err
+			}
+		}
 	}
 	layout := troff.Format(src, troff.DefaultOptions)
 	fmt.Printf("%d page(s)\n", len(layout.Pages))
@@ -84,6 +98,33 @@ func run(wm string, page int, asText bool, path string) error {
 	app.IM.SetChild(pv)
 	app.Show(os.Stdout)
 	return nil
+}
+
+// extractDocument parses a toolkit external-representation document and
+// returns its text content for pagination. Embedded non-text components
+// appear as their anchor runes.
+func extractDocument(path string, raw []byte, lenient bool) (string, error) {
+	reg, err := components.StandardRegistry()
+	if err != nil {
+		return "", err
+	}
+	mode := datastream.Strict
+	if lenient {
+		mode = datastream.Lenient
+	}
+	r := datastream.NewReaderOptions(strings.NewReader(string(raw)), datastream.Options{Mode: mode})
+	obj, err := core.ReadObject(r, reg)
+	if err != nil {
+		return "", fmt.Errorf("reading %s: %w", path, err)
+	}
+	for _, diag := range r.Diagnostics() {
+		fmt.Fprintf(os.Stderr, "preview: %s: %s\n", path, diag)
+	}
+	doc, ok := obj.(*text.Data)
+	if !ok {
+		return "", fmt.Errorf("%s holds a %s, not a text document", path, obj.TypeName())
+	}
+	return doc.String(), nil
 }
 
 // pageView renders one formatted page.

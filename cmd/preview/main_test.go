@@ -31,7 +31,7 @@ func capture(t *testing.T, f func() error) string {
 }
 
 func TestPreviewSampleText(t *testing.T) {
-	out := capture(t, func() error { return run("termwin", 1, true, "") })
+	out := capture(t, func() error { return run("termwin", 1, true, false, "") })
 	if !strings.Contains(out, "2 page(s)") || !strings.Contains(out, "The Andrew Toolkit") {
 		t.Fatalf("output:\n%s", out[:200])
 	}
@@ -42,14 +42,41 @@ func TestPreviewWindowAndFile(t *testing.T) {
 	if err := os.WriteFile(src, []byte(".ce\nHello Preview\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out := capture(t, func() error { return run("termwin", 1, false, src) })
+	out := capture(t, func() error { return run("termwin", 1, false, false, src) })
 	if !strings.Contains(out, "1 page(s)") {
 		t.Fatalf("output:\n%s", out)
 	}
-	if err := run("termwin", 9, false, src); err == nil {
+	if err := run("termwin", 9, false, false, src); err == nil {
 		t.Fatal("bad page accepted")
 	}
-	if err := run("termwin", 1, false, "/nonexistent.tr"); err == nil {
+	if err := run("termwin", 1, false, false, "/nonexistent.tr"); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPreviewToolkitDocument(t *testing.T) {
+	// A datastream document is accepted and its text paginated; a damaged
+	// copy is rejected strictly but salvaged with -lenient.
+	raw, err := os.ReadFile("../../testdata/sample.d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(t.TempDir(), "doc.d")
+	if err := os.WriteFile(src, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, func() error { return run("termwin", 1, true, false, src) })
+	if !strings.Contains(out, "The Andrew Toolkit") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if err := os.WriteFile(src, raw[:len(raw)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("termwin", 1, true, false, src); err == nil {
+		t.Fatal("strict mode accepted a truncated document")
+	}
+	out = capture(t, func() error { return run("termwin", 1, true, true, src) })
+	if !strings.Contains(out, "The Andrew Toolkit") {
+		t.Fatalf("salvaged output:\n%s", out)
 	}
 }

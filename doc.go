@@ -20,3 +20,7 @@
 //
 //	go test -bench=. -benchmem .
 package atk
+
+// testdata/sample.d is a committed artifact regenerated deterministically
+// from components.SampleDoc; format_test.go guards its stability.
+//go:generate go run ./cmd/mksample -o testdata/sample.d

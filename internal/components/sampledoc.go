@@ -1,0 +1,133 @@
+package components
+
+import (
+	"fmt"
+
+	"atk/internal/anim"
+	"atk/internal/class"
+	"atk/internal/drawing"
+	"atk/internal/eq"
+	"atk/internal/graphics"
+	"atk/internal/raster"
+	"atk/internal/table"
+	"atk/internal/text"
+)
+
+// SampleDoc builds the canonical compound document committed as
+// testdata/sample.d: a titled text document embedding one of each
+// component type (table, drawing, equation, raster, animation). The
+// format-stability guard (format_test.go) and the lenient-recovery tests
+// both parse the committed rendering of this document, and cmd/mksample
+// regenerates it deterministically.
+func SampleDoc(reg *class.Registry) (*text.Data, error) {
+	d := text.New()
+	d.SetRegistry(reg)
+	appendText := func(s string) error { return d.Insert(d.Len(), s) }
+
+	if err := appendText("The Andrew Toolkit\n" +
+		"A compound document exercising every standard component.\n" +
+		"\n" +
+		"A spreadsheet knows the answer: "); err != nil {
+		return nil, err
+	}
+
+	tbl := table.New(2, 2)
+	tbl.SetRegistry(reg)
+	if err := tbl.SetText(0, 0, "the answer"); err != nil {
+		return nil, err
+	}
+	if err := tbl.SetFormula(0, 1, "=42"); err != nil {
+		return nil, err
+	}
+	if err := tbl.SetNumber(1, 0, 6); err != nil {
+		return nil, err
+	}
+	if err := tbl.SetText(1, 1, "times nine"); err != nil {
+		return nil, err
+	}
+	if v, err := tbl.Value(0, 1); err != nil || v != 42 {
+		return nil, fmt.Errorf("sample table formula = %v, %v", v, err)
+	}
+	if err := d.Embed(d.Len(), tbl, ""); err != nil {
+		return nil, err
+	}
+
+	if err := appendText("\n\nA drawing of a line crossing a box: "); err != nil {
+		return nil, err
+	}
+	dr := drawing.New()
+	dr.SetRegistry(reg)
+	if err := dr.Add(&drawing.Item{
+		Kind: drawing.Rectangle,
+		P1:   graphics.Pt(8, 8), P2: graphics.Pt(40, 24),
+		Width: 1,
+	}); err != nil {
+		return nil, err
+	}
+	if err := dr.Add(&drawing.Item{
+		Kind: drawing.Line,
+		P1:   graphics.Pt(0, 0), P2: graphics.Pt(48, 32),
+		Width: 2,
+	}); err != nil {
+		return nil, err
+	}
+	if err := d.Embed(d.Len(), dr, ""); err != nil {
+		return nil, err
+	}
+
+	if err := appendText("\n\nAn equation: "); err != nil {
+		return nil, err
+	}
+	equation := eq.New("frac(a, b) + x^2")
+	if err := equation.Err(); err != nil {
+		return nil, fmt.Errorf("sample equation: %w", err)
+	}
+	if err := d.Embed(d.Len(), equation, ""); err != nil {
+		return nil, err
+	}
+
+	if err := appendText("\n\nA raster image: "); err != nil {
+		return nil, err
+	}
+	ras := raster.New(16, 16)
+	ras.FillRect(graphics.XYWH(2, 2, 8, 8), true)
+	ras.Line(graphics.Pt(0, 15), graphics.Pt(15, 0))
+	if ras.Count() == 0 {
+		return nil, fmt.Errorf("sample raster is empty")
+	}
+	if err := d.Embed(d.Len(), ras, ""); err != nil {
+		return nil, err
+	}
+
+	if err := appendText("\n\nAn animation of a sweeping line: "); err != nil {
+		return nil, err
+	}
+	an := anim.New(2)
+	if err := an.AddFrame([]*drawing.Item{{
+		Kind: drawing.Line,
+		P1:   graphics.Pt(0, 0), P2: graphics.Pt(32, 0),
+		Width: 1,
+	}}); err != nil {
+		return nil, err
+	}
+	if err := an.AddFrame([]*drawing.Item{{
+		Kind: drawing.Line,
+		P1:   graphics.Pt(0, 0), P2: graphics.Pt(32, 32),
+		Width: 1,
+	}}); err != nil {
+		return nil, err
+	}
+	if err := d.Embed(d.Len(), an, ""); err != nil {
+		return nil, err
+	}
+
+	if err := appendText("\n\nEnd of the sample document.\n"); err != nil {
+		return nil, err
+	}
+
+	// The document title carries the stock "title" style from offset 0.
+	if err := d.SetStyle(0, len("The Andrew Toolkit"), "title"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

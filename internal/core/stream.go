@@ -71,10 +71,42 @@ func ReadObjectAfterBegin(r *datastream.Reader, reg *class.Registry, begin datas
 	if !ok {
 		return nil, fmt.Errorf("%w: %q produced %T", ErrNotDataObject, begin.Type, inst)
 	}
+	depth := r.Depth() // includes this object's own frame
 	if err := obj.ReadPayload(r); err != nil {
+		if r.Lenient() {
+			// The component could not make sense of its payload. Skip to
+			// the object's end marker (the lenient reader synthesizes one
+			// at EOF if need be) and stand in a placeholder, so the rest
+			// of the document is still salvaged.
+			if serr := skipToClose(r, depth); serr == nil {
+				r.AddDiagnostic(r.Line(), "component %s,%d dropped: %v", begin.Type, begin.ID, err)
+				// Stand in a pristine instance of the same class: unlike an
+				// empty UnknownData under a registered type name, a default
+				// instance serializes to a valid payload of its type, so a
+				// salvaged document still write→read→writes stably.
+				if fresh, ferr := reg.NewObject(begin.Type); ferr == nil {
+					if p, ok := fresh.(DataObject); ok {
+						return p, nil
+					}
+				}
+				return NewUnknownData(begin.Type), nil
+			}
+		}
 		return nil, fmt.Errorf("reading %s: %w", begin.Type, err)
 	}
 	return obj, nil
+}
+
+// skipToClose consumes tokens until the object whose frame sits at depth
+// has been closed. If the failing parser already consumed the end marker,
+// the reader is below depth and nothing is consumed.
+func skipToClose(r *datastream.Reader, depth int) error {
+	for r.Depth() >= depth {
+		if _, err := r.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // NewViewFor instantiates the named view class through reg and attaches

@@ -1,0 +1,98 @@
+package datastream
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzReader drives both parse modes over arbitrary bytes. The contract
+// under test:
+//
+//   - Strict mode terminates: every input ends in io.EOF or a parse
+//     error within a bounded number of tokens.
+//   - Lenient mode never reports a syntax problem as an error — the only
+//     ways out are io.EOF (possibly with diagnostics) or ErrLimit — and
+//     the delivered begin/end tokens stay balanced, ending at depth 0.
+//   - Tight resource limits convert pathological inputs into ErrLimit
+//     instead of unbounded memory growth, in both modes.
+func FuzzReader(f *testing.F) {
+	seeds := []string{
+		"",
+		"\\begindata{text,1}\nhello\n\\enddata{text,1}\n",
+		"\\begindata{text,1}\n\\begindata{table,2}\ndims 2 2\n\\enddata{table,2}\n\\view{tableview,2}\n\\enddata{text,1}\n",
+		"\\begindata{text,1}\nhello\n\\enddata{text,1\nworld\n",
+		"\\enddata{ghost,9}\n",
+		"\\begindata{a,1}\n\\enddata{b,1}\n\\enddata{a,1}\n",
+		"\\", "\\\\", "\\begindata{", "\\u12", "\\u12;ok\n",
+		"a\\\nb\nc\n", "a\\",
+		"\x00\x01\x7f\n",
+		strings.Repeat("\\begindata{a,1}\n", 20),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		// A token either consumes at least one physical line or pops one
+		// stack frame, so this bound can only be exceeded by a bug.
+		cap := strings.Count(data, "\n") + len(data)/16 + 64
+
+		rs := NewReader(strings.NewReader(data))
+		for n := 0; ; n++ {
+			if n > cap {
+				t.Fatalf("strict: runaway token stream")
+			}
+			if _, err := rs.Next(); err != nil {
+				break
+			}
+		}
+
+		rl := NewReaderOptions(strings.NewReader(data), Options{Mode: Lenient})
+		depth := 0
+		for n := 0; ; n++ {
+			if n > cap {
+				t.Fatalf("lenient: runaway token stream")
+			}
+			tok, err := rl.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil && !errors.Is(err, ErrLimit) {
+				t.Fatalf("lenient: non-limit error %v", err)
+			}
+			if err != nil {
+				return
+			}
+			switch tok.Kind {
+			case TokBegin:
+				depth++
+			case TokEnd:
+				depth--
+			}
+			if depth < 0 {
+				t.Fatalf("lenient: negative nesting depth")
+			}
+		}
+		if depth != 0 {
+			t.Fatalf("lenient: depth %d at EOF", depth)
+		}
+
+		rt := NewReaderOptions(strings.NewReader(data), Options{
+			Mode:   Lenient,
+			Limits: Limits{MaxDepth: 8, MaxLineBytes: 512, MaxPayloadBytes: 4096},
+		})
+		for n := 0; ; n++ {
+			if n > cap {
+				t.Fatalf("tight limits: runaway token stream")
+			}
+			_, err := rt.Next()
+			if err == io.EOF || errors.Is(err, ErrLimit) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("tight limits: non-limit error %v", err)
+			}
+		}
+	})
+}

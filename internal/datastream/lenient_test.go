@@ -1,0 +1,307 @@
+package datastream
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// drain consumes tokens until an error, returning the tokens and error.
+func drain(r *Reader) ([]Token, error) {
+	var toks []Token
+	for {
+		t, err := r.Next()
+		if err != nil {
+			return toks, err
+		}
+		toks = append(toks, t)
+		if len(toks) > 10000 {
+			return toks, errors.New("runaway stream")
+		}
+	}
+}
+
+func lenientReader(s string) *Reader {
+	return NewReaderOptions(strings.NewReader(s), Options{Mode: Lenient})
+}
+
+func TestLenientDropsMalformedMarkers(t *testing.T) {
+	// One corrupt enddata marker: strict fails, lenient resyncs and still
+	// delivers a balanced stream.
+	in := "\\begindata{text,1}\nhello\n\\enddata{text,1\nworld\n"
+	r := NewReader(strings.NewReader(in))
+	if _, err := drain(r); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("strict err = %v", err)
+	}
+	lr := lenientReader(in)
+	toks, err := drain(lr)
+	if err != io.EOF {
+		t.Fatalf("lenient err = %v", err)
+	}
+	var kinds []TokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	// begin, "hello", corrupt line dropped, "world", synthesized end.
+	want := []TokenKind{TokBegin, TokText, TokText, TokEnd}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	if len(lr.Diagnostics()) == 0 {
+		t.Fatal("no diagnostics recorded")
+	}
+	// The corrupt marker line (line 3) is named in a diagnostic.
+	found := false
+	for _, d := range lr.Diagnostics() {
+		if d.Line == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no diagnostic for line 3: %v", lr.Diagnostics())
+	}
+}
+
+func TestLenientClosesOpenObjectsAtEOF(t *testing.T) {
+	lr := lenientReader("\\begindata{text,1}\n\\begindata{table,2}\ndims 1 1\n")
+	toks, err := drain(lr)
+	if err != io.EOF {
+		t.Fatalf("err = %v", err)
+	}
+	if lr.Depth() != 0 {
+		t.Fatalf("depth at EOF = %d", lr.Depth())
+	}
+	// The two synthesized ends close inner before outer.
+	n := len(toks)
+	if n < 2 || toks[n-2].Type != "table" || toks[n-1].Type != "text" ||
+		toks[n-2].Kind != TokEnd || toks[n-1].Kind != TokEnd {
+		t.Fatalf("tail = %+v", toks)
+	}
+}
+
+func TestLenientReconcilesMismatchedEnd(t *testing.T) {
+	// The inner table's end marker is lost; the outer text's end must
+	// implicitly close the table first, preserving nesting for consumers.
+	in := "\\begindata{text,1}\n\\begindata{table,2}\ndims 1 1\n\\enddata{text,1}\n"
+	toks, err := drain(lenientReader(in))
+	if err != io.EOF {
+		t.Fatalf("err = %v", err)
+	}
+	var ends []string
+	for _, tok := range toks {
+		if tok.Kind == TokEnd {
+			ends = append(ends, tok.Type)
+		}
+	}
+	if len(ends) != 2 || ends[0] != "table" || ends[1] != "text" {
+		t.Fatalf("ends = %v", ends)
+	}
+}
+
+func TestLenientDropsUnmatchedEnd(t *testing.T) {
+	in := "\\enddata{ghost,9}\nhello\n"
+	toks, err := drain(lenientReader(in))
+	if err != io.EOF {
+		t.Fatalf("err = %v", err)
+	}
+	if len(toks) != 1 || toks[0].Kind != TokText || toks[0].Text != "hello" {
+		t.Fatalf("toks = %+v", toks)
+	}
+}
+
+func TestLenientNeverFailsOnJunk(t *testing.T) {
+	// The crash-freedom contract: in lenient mode every input terminates
+	// in io.EOF (or ErrLimit), with begin/end balance maintained.
+	seeds := []string{
+		"\\", "\\\\", "\\begindata", "\\begindata{", "\\begindata{a,",
+		"\\begindata{a,1}", "\x00\x01\x02", "normal\nlines\n",
+		"\\view{x}", "\\enddata{,}", strings.Repeat("\\", 100),
+		"a\\", "a\\\nb", "\\u{bad}", "\\begindata{a,1}\n\\begindata{a,1}\n",
+		"\\enddata{a,1}\n\\enddata{b,2}\n", "\\u12",
+		"\\begindata{a,1}\n\\enddata{b,1}\n\\enddata{a,1}\n",
+	}
+	for _, s := range seeds {
+		lr := lenientReader(s)
+		depth := 0
+		for {
+			tok, err := lr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("input %q: err = %v", s, err)
+			}
+			switch tok.Kind {
+			case TokBegin:
+				depth++
+			case TokEnd:
+				depth--
+			}
+			if depth < 0 {
+				t.Fatalf("input %q: negative depth", s)
+			}
+		}
+		if depth != 0 {
+			t.Fatalf("input %q: depth %d at EOF", s, depth)
+		}
+	}
+}
+
+func TestLimitMaxDepth(t *testing.T) {
+	in := strings.Repeat("\\begindata{a,1}\n", 10)
+	for _, mode := range []Mode{Strict, Lenient} {
+		r := NewReaderOptions(strings.NewReader(in), Options{
+			Mode:   mode,
+			Limits: Limits{MaxDepth: 4},
+		})
+		_, err := drain(r)
+		if !errors.Is(err, ErrLimit) {
+			t.Fatalf("mode %v: err = %v", mode, err)
+		}
+	}
+}
+
+func TestLimitMaxLineBytes(t *testing.T) {
+	// A hostile "line" that never supplies a newline must not buffer
+	// unboundedly.
+	in := strings.Repeat("x", 4096)
+	for _, mode := range []Mode{Strict, Lenient} {
+		r := NewReaderOptions(strings.NewReader(in), Options{
+			Mode:   mode,
+			Limits: Limits{MaxLineBytes: 256},
+		})
+		_, err := drain(r)
+		if !errors.Is(err, ErrLimit) {
+			t.Fatalf("mode %v: err = %v", mode, err)
+		}
+	}
+}
+
+func TestLimitMaxPayloadBytes(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString("0123456789\n")
+	}
+	for _, mode := range []Mode{Strict, Lenient} {
+		r := NewReaderOptions(strings.NewReader(sb.String()), Options{
+			Mode:   mode,
+			Limits: Limits{MaxPayloadBytes: 128},
+		})
+		_, err := drain(r)
+		if !errors.Is(err, ErrLimit) {
+			t.Fatalf("mode %v: err = %v", mode, err)
+		}
+	}
+}
+
+func TestDefaultLimitsAllowLegitimateDocuments(t *testing.T) {
+	// The 500-deep stream of TestDeeplyNestedStreams stays well under the
+	// defaults; spot-check a mid-size document against them.
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	for i := 0; i < 500; i++ {
+		if _, err := w.Begin("box"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if err := w.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drain(NewReader(strings.NewReader(sb.String()))); err != io.EOF {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLineAccountingAcrossPeek(t *testing.T) {
+	r := NewReader(strings.NewReader("\\begindata{text,1}\nhi\n\\enddata{text,1}\n"))
+	if _, err := r.Next(); err != nil { // begin, line 1
+		t.Fatal(err)
+	}
+	if r.Line() != 1 {
+		t.Fatalf("after begin, Line() = %d", r.Line())
+	}
+	// Peeking the text token reads ahead physically but must not move the
+	// reported position: a diagnostic emitted now belongs to line 1's
+	// token, not the peeked one.
+	if _, err := r.Peek(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Line() != 1 {
+		t.Fatalf("after Peek, Line() = %d (peek consumed the position)", r.Line())
+	}
+	tok, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Line != 2 || r.Line() != 2 {
+		t.Fatalf("text token line = %d, Line() = %d", tok.Line, r.Line())
+	}
+}
+
+func TestLineAccountingAcrossContinuations(t *testing.T) {
+	// One logical line wrapped over three physical lines: the token
+	// reports the line it STARTED on; the next token's line accounts for
+	// all physical lines consumed by the join.
+	in := "\\begindata{text,1}\nab\\\ncd\\\nef\nnext\n\\enddata{text,1}\n"
+	r := NewReader(strings.NewReader(in))
+	if _, err := r.Next(); err != nil { // begin
+		t.Fatal(err)
+	}
+	tok, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Text != "abcdef" || tok.Line != 2 {
+		t.Fatalf("joined token = %+v", tok)
+	}
+	tok, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Text != "next" || tok.Line != 5 {
+		t.Fatalf("following token = %+v, want line 5", tok)
+	}
+	tok, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Kind != TokEnd || tok.Line != 6 || r.Line() != 6 {
+		t.Fatalf("end token = %+v, Line() = %d", tok, r.Line())
+	}
+}
+
+func TestWriterRejectsOverlongMarkers(t *testing.T) {
+	long := strings.Repeat("t", 100)
+	w := NewWriter(io.Discard)
+	if _, err := w.Begin(long); !errors.Is(err, ErrLongLine) {
+		t.Fatalf("Begin err = %v", err)
+	}
+	w2 := NewWriter(io.Discard)
+	if err := w2.View(long, 1); !errors.Is(err, ErrLongLine) {
+		t.Fatalf("View err = %v", err)
+	}
+	// The longest acceptable name still fits: \begindata{NAME,ID} with a
+	// one-digit id leaves MaxLine-13 characters for the name.
+	okName := strings.Repeat("t", MaxLine-len(`\begindata{,1}`))
+	w3 := NewWriter(io.Discard)
+	if _, err := w3.Begin(okName); err != nil {
+		t.Fatalf("max-length name rejected: %v", err)
+	}
+	if err := w3.End(); err != nil {
+		t.Fatalf("matching enddata failed: %v", err)
+	}
+	if err := w3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

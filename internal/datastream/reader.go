@@ -2,6 +2,7 @@ package datastream
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -37,49 +38,180 @@ func (k TokenKind) String() string {
 
 // Token is one event from the stream. Text tokens carry one decoded
 // logical line WITHOUT its trailing newline; continuation-wrapped physical
-// lines have already been joined.
+// lines have already been joined. Line is the physical line (1-based) on
+// which the token started — for a continuation-joined text token, the
+// first of its physical lines.
 type Token struct {
 	Kind TokenKind
 	Type string
 	ID   int
 	Text string
+	Line int
+}
+
+// Mode selects how the reader treats malformed input.
+type Mode int
+
+// Reader modes.
+const (
+	// Strict fails on the first malformed marker, bad nesting, or bad
+	// escape — the mode every writer-produced stream must satisfy.
+	Strict Mode = iota
+	// Lenient resynchronizes at marker boundaries instead of failing:
+	// junk lines are dropped, unmatched markers are reconciled against the
+	// open-object stack, and objects left open at EOF are closed with
+	// synthesized end tokens. Every repair is recorded as a
+	// ParseDiagnostic. Lenient reads fail only on I/O errors or resource
+	// limits (ErrLimit), never on malformed content.
+	Lenient
+)
+
+// ErrLimit reports that a stream exceeded a resource limit. Limits are
+// enforced in both modes and are never recovered from: they protect
+// memory, not format compatibility.
+var ErrLimit = errors.New("datastream: resource limit exceeded")
+
+// Limits bounds what a single stream may consume. A zero field takes the
+// corresponding DefaultLimits value.
+type Limits struct {
+	// MaxDepth is the maximum begin/end nesting depth.
+	MaxDepth int
+	// MaxLineBytes is the maximum length of one physical line. Writers
+	// keep lines under 80 columns, but readers must survive hostile input
+	// that never supplies a newline.
+	MaxLineBytes int
+	// MaxPayloadBytes caps the total decoded payload text delivered over
+	// the reader's lifetime, bounding what a document can make its
+	// consumers buffer.
+	MaxPayloadBytes int
+}
+
+// DefaultLimits are generous enough for any legitimate document while
+// still bounding hostile ones.
+var DefaultLimits = Limits{
+	MaxDepth:        4096,
+	MaxLineBytes:    1 << 20, // 1 MiB
+	MaxPayloadBytes: 1 << 28, // 256 MiB
+}
+
+// ParseDiagnostic records one repair made by a lenient reader (or a
+// salvage performed by a higher layer), located by physical line.
+type ParseDiagnostic struct {
+	Line int
+	Msg  string
+}
+
+// String formats the diagnostic for human consumption.
+func (d ParseDiagnostic) String() string {
+	return fmt.Sprintf("line %d: %s", d.Line, d.Msg)
+}
+
+// maxDiagnostics caps the diagnostic list so a hostile document cannot
+// grow it without bound; repairs past the cap still happen, silently.
+const maxDiagnostics = 1000
+
+// Options configures a Reader beyond the strict defaults.
+type Options struct {
+	Mode   Mode
+	Limits Limits
 }
 
 // Reader parses external representations. It validates marker nesting as
 // it goes and supports skipping a whole object without parsing its
-// payload.
+// payload. In Lenient mode it additionally recovers from malformed input;
+// see Mode.
 type Reader struct {
-	br    *bufio.Reader
-	stack []openObj
-	line  int
+	br     *bufio.Reader
+	stack  []openObj
+	mode   Mode
+	limits Limits
+	diags  []ParseDiagnostic
+	// line is the number of physical lines consumed so far.
+	line int
+	// lastLine is the starting line of the last token returned by Next.
+	lastLine int
+	// payload is the total decoded payload bytes delivered so far.
+	payload int
 	// peeked holds a token pushed back by Peek.
 	peeked *Token
+	// synth holds pending synthesized end tokens queued by lenient
+	// recovery; they are delivered (and the stack popped) before any new
+	// input is read.
+	synth []Token
 }
 
-// NewReader returns a Reader consuming r.
+// NewReader returns a strict Reader with default limits consuming r.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{br: bufio.NewReader(r)}
+	return NewReaderOptions(r, Options{})
 }
 
-// Line returns the current physical line number (1-based, after the last
-// token read).
-func (r *Reader) Line() int { return r.line }
+// NewReaderOptions returns a Reader with the given mode and limits.
+func NewReaderOptions(r io.Reader, opts Options) *Reader {
+	lim := opts.Limits
+	if lim.MaxDepth <= 0 {
+		lim.MaxDepth = DefaultLimits.MaxDepth
+	}
+	if lim.MaxLineBytes <= 0 {
+		lim.MaxLineBytes = DefaultLimits.MaxLineBytes
+	}
+	if lim.MaxPayloadBytes <= 0 {
+		lim.MaxPayloadBytes = DefaultLimits.MaxPayloadBytes
+	}
+	return &Reader{br: bufio.NewReader(r), mode: opts.Mode, limits: lim}
+}
+
+// Mode returns the reader's error-handling mode.
+func (r *Reader) Mode() Mode { return r.mode }
+
+// Lenient reports whether the reader recovers from malformed input.
+func (r *Reader) Lenient() bool { return r.mode == Lenient }
+
+// Diagnostics returns the repairs recorded so far, in stream order. The
+// slice is owned by the reader; callers must not modify it.
+func (r *Reader) Diagnostics() []ParseDiagnostic { return r.diags }
+
+// AddDiagnostic lets higher layers (object restoration, component
+// parsers) record salvage decisions in the same report as the reader's
+// own repairs.
+func (r *Reader) AddDiagnostic(line int, format string, args ...any) {
+	if len(r.diags) < maxDiagnostics {
+		r.diags = append(r.diags, ParseDiagnostic{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// Line returns the physical line number (1-based) on which the last token
+// returned by Next started. Peek does not advance it; a continuation-
+// joined text token reports its first physical line. Zero before the
+// first token.
+func (r *Reader) Line() int { return r.lastLine }
+
+// InputLine returns the number of physical lines consumed from the
+// underlying stream, which can run ahead of Line after a Peek or across
+// continuation joins.
+func (r *Reader) InputLine() int { return r.line }
 
 // Depth returns how many objects are currently open.
 func (r *Reader) Depth() int { return len(r.stack) }
 
 // Next returns the next token, or io.EOF when the stream ends. At EOF any
-// still-open object is reported as ErrBadNesting.
+// still-open object is reported as ErrBadNesting (strict) or closed with
+// synthesized end tokens (lenient).
 func (r *Reader) Next() (Token, error) {
 	if r.peeked != nil {
 		t := *r.peeked
 		r.peeked = nil
+		r.lastLine = t.Line
 		return t, nil
 	}
-	return r.next()
+	t, err := r.next()
+	if err == nil {
+		r.lastLine = t.Line
+	}
+	return t, err
 }
 
-// Peek returns the next token without consuming it.
+// Peek returns the next token without consuming it. Line() is unaffected
+// until the token is actually consumed by Next.
 func (r *Reader) Peek() (Token, error) {
 	if r.peeked == nil {
 		t, err := r.next()
@@ -91,81 +223,182 @@ func (r *Reader) Peek() (Token, error) {
 	return *r.peeked, nil
 }
 
-func (r *Reader) next() (Token, error) {
-	raw, err := r.readPhysical()
-	if err != nil {
-		if err == io.EOF && len(r.stack) > 0 {
-			top := r.stack[len(r.stack)-1]
-			return Token{}, fmt.Errorf("%w: EOF with %s,%d open (line %d)",
-				ErrBadNesting, top.typ, top.id, r.line)
-		}
-		return Token{}, err
-	}
-	switch {
-	case strings.HasPrefix(raw, `\begindata{`):
-		typ, id, err := parseMarker(raw, `\begindata{`)
-		if err != nil {
-			return Token{}, fmt.Errorf("%w at line %d: %v", ErrSyntax, r.line, err)
-		}
-		r.stack = append(r.stack, openObj{typ, id})
-		return Token{Kind: TokBegin, Type: typ, ID: id}, nil
-	case strings.HasPrefix(raw, `\enddata{`):
-		typ, id, err := parseMarker(raw, `\enddata{`)
-		if err != nil {
-			return Token{}, fmt.Errorf("%w at line %d: %v", ErrSyntax, r.line, err)
-		}
-		if len(r.stack) == 0 {
-			return Token{}, fmt.Errorf("%w: enddata{%s,%d} with nothing open (line %d)",
-				ErrBadNesting, typ, id, r.line)
-		}
-		top := r.stack[len(r.stack)-1]
-		if top.typ != typ || top.id != id {
-			return Token{}, fmt.Errorf("%w: enddata{%s,%d} closes begindata{%s,%d} (line %d)",
-				ErrBadNesting, typ, id, top.typ, top.id, r.line)
-		}
+// popSynth delivers one queued synthesized end token, keeping the stack
+// in step with what consumers have seen.
+func (r *Reader) popSynth() Token {
+	t := r.synth[0]
+	r.synth = r.synth[1:]
+	if t.Kind == TokEnd && len(r.stack) > 0 {
 		r.stack = r.stack[:len(r.stack)-1]
-		return Token{Kind: TokEnd, Type: typ, ID: id}, nil
-	case strings.HasPrefix(raw, `\view{`):
-		typ, id, err := parseMarker(raw, `\view{`)
-		if err != nil {
-			return Token{}, fmt.Errorf("%w at line %d: %v", ErrSyntax, r.line, err)
-		}
-		return Token{Kind: TokView, Type: typ, ID: id}, nil
 	}
-	// Payload text: decode escapes, joining continuation lines.
-	var b strings.Builder
-	line := raw
+	return t
+}
+
+func (r *Reader) next() (Token, error) {
 	for {
-		cont, err := decodeInto(&b, line)
-		if err != nil {
-			return Token{}, fmt.Errorf("%w at line %d: %v", ErrSyntax, r.line, err)
+		if len(r.synth) > 0 {
+			return r.popSynth(), nil
 		}
-		if !cont {
-			break
-		}
-		line, err = r.readPhysical()
+		raw, err := r.readPhysical()
 		if err != nil {
-			if err == io.EOF {
-				return Token{}, fmt.Errorf("%w: EOF in continuation (line %d)", ErrSyntax, r.line)
+			if err == io.EOF && len(r.stack) > 0 {
+				if r.mode == Lenient {
+					for i := len(r.stack) - 1; i >= 0; i-- {
+						o := r.stack[i]
+						r.AddDiagnostic(r.line, "EOF with %s,%d still open; closed implicitly", o.typ, o.id)
+						r.synth = append(r.synth, Token{Kind: TokEnd, Type: o.typ, ID: o.id, Line: r.line})
+					}
+					continue
+				}
+				top := r.stack[len(r.stack)-1]
+				return Token{}, fmt.Errorf("%w: EOF with %s,%d open (line %d)",
+					ErrBadNesting, top.typ, top.id, r.line)
 			}
 			return Token{}, err
 		}
+		startLine := r.line
+		switch {
+		case strings.HasPrefix(raw, `\begindata{`):
+			typ, id, perr := parseMarker(raw, `\begindata{`)
+			if perr != nil {
+				if r.mode == Lenient {
+					r.AddDiagnostic(startLine, "malformed begindata marker dropped: %v", perr)
+					continue
+				}
+				return Token{}, fmt.Errorf("%w at line %d: %v", ErrSyntax, startLine, perr)
+			}
+			if len(r.stack) >= r.limits.MaxDepth {
+				return Token{}, fmt.Errorf("%w: nesting deeper than %d (line %d)",
+					ErrLimit, r.limits.MaxDepth, startLine)
+			}
+			r.stack = append(r.stack, openObj{typ, id})
+			return Token{Kind: TokBegin, Type: typ, ID: id, Line: startLine}, nil
+		case strings.HasPrefix(raw, `\enddata{`):
+			typ, id, perr := parseMarker(raw, `\enddata{`)
+			if perr != nil {
+				if r.mode == Lenient {
+					r.AddDiagnostic(startLine, "malformed enddata marker dropped: %v", perr)
+					continue
+				}
+				return Token{}, fmt.Errorf("%w at line %d: %v", ErrSyntax, startLine, perr)
+			}
+			if len(r.stack) == 0 {
+				if r.mode == Lenient {
+					r.AddDiagnostic(startLine, "enddata{%s,%d} with nothing open; dropped", typ, id)
+					continue
+				}
+				return Token{}, fmt.Errorf("%w: enddata{%s,%d} with nothing open (line %d)",
+					ErrBadNesting, typ, id, startLine)
+			}
+			top := r.stack[len(r.stack)-1]
+			if top.typ != typ || top.id != id {
+				if r.mode == Lenient {
+					match := -1
+					for i := len(r.stack) - 1; i >= 0; i-- {
+						if r.stack[i].typ == typ && r.stack[i].id == id {
+							match = i
+							break
+						}
+					}
+					if match < 0 {
+						r.AddDiagnostic(startLine, "enddata{%s,%d} matches no open object; dropped", typ, id)
+						continue
+					}
+					// The marker closes an outer object: everything opened
+					// inside it was left unterminated. Close the
+					// intermediates implicitly, then the matched object;
+					// the stack is popped as each token is delivered.
+					for i := len(r.stack) - 1; i > match; i-- {
+						o := r.stack[i]
+						r.AddDiagnostic(startLine, "enddata{%s,%d} implicitly closes %s,%d", typ, id, o.typ, o.id)
+						r.synth = append(r.synth, Token{Kind: TokEnd, Type: o.typ, ID: o.id, Line: startLine})
+					}
+					r.synth = append(r.synth, Token{Kind: TokEnd, Type: typ, ID: id, Line: startLine})
+					continue
+				}
+				return Token{}, fmt.Errorf("%w: enddata{%s,%d} closes begindata{%s,%d} (line %d)",
+					ErrBadNesting, typ, id, top.typ, top.id, startLine)
+			}
+			r.stack = r.stack[:len(r.stack)-1]
+			return Token{Kind: TokEnd, Type: typ, ID: id, Line: startLine}, nil
+		case strings.HasPrefix(raw, `\view{`):
+			typ, id, perr := parseMarker(raw, `\view{`)
+			if perr != nil {
+				if r.mode == Lenient {
+					r.AddDiagnostic(startLine, "malformed view marker dropped: %v", perr)
+					continue
+				}
+				return Token{}, fmt.Errorf("%w at line %d: %v", ErrSyntax, startLine, perr)
+			}
+			return Token{Kind: TokView, Type: typ, ID: id, Line: startLine}, nil
+		}
+		// Payload text: decode escapes, joining continuation lines.
+		var b strings.Builder
+		line := raw
+		dropped := false
+		for {
+			cont, derr := decodeInto(&b, line)
+			if derr != nil {
+				if r.mode == Lenient {
+					r.AddDiagnostic(r.line, "undecodable payload line dropped: %v", derr)
+					dropped = true
+					break
+				}
+				return Token{}, fmt.Errorf("%w at line %d: %v", ErrSyntax, r.line, derr)
+			}
+			if r.payload+b.Len() > r.limits.MaxPayloadBytes {
+				return Token{}, fmt.Errorf("%w: payload exceeds %d bytes (line %d)",
+					ErrLimit, r.limits.MaxPayloadBytes, r.line)
+			}
+			if !cont {
+				break
+			}
+			line, err = r.readPhysical()
+			if err != nil {
+				if err == io.EOF {
+					if r.mode == Lenient {
+						// Keep what was decoded; the next call deals with
+						// EOF (and any still-open objects).
+						r.AddDiagnostic(r.line, "EOF in continuation; partial line kept")
+						break
+					}
+					return Token{}, fmt.Errorf("%w: EOF in continuation (line %d)", ErrSyntax, r.line)
+				}
+				return Token{}, err
+			}
+		}
+		if dropped {
+			continue
+		}
+		r.payload += b.Len()
+		return Token{Kind: TokText, Text: b.String(), Line: startLine}, nil
 	}
-	return Token{Kind: TokText, Text: b.String()}, nil
 }
 
-// readPhysical reads one physical line without its newline.
+// readPhysical reads one physical line without its newline, refusing
+// lines longer than MaxLineBytes.
 func (r *Reader) readPhysical() (string, error) {
-	s, err := r.br.ReadString('\n')
-	if err != nil {
-		if err == io.EOF && s != "" {
-			r.line++
-			return strings.TrimSuffix(s, "\n"), nil
+	var buf []byte
+	for {
+		frag, err := r.br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if len(buf) > r.limits.MaxLineBytes {
+			return "", fmt.Errorf("%w: physical line longer than %d bytes (line %d)",
+				ErrLimit, r.limits.MaxLineBytes, r.line+1)
 		}
-		return "", err
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			if err == io.EOF && len(buf) > 0 {
+				r.line++
+				return string(buf), nil
+			}
+			return "", err
+		}
+		r.line++
+		return strings.TrimSuffix(string(buf), "\n"), nil
 	}
-	r.line++
-	return strings.TrimSuffix(s, "\n"), nil
 }
 
 // decodeInto decodes one physical payload line into b. It returns

@@ -89,8 +89,17 @@ func (w *Writer) BeginID(typ string, id int) error {
 	if id >= w.nextID {
 		w.nextID = id + 1
 	}
+	// Marker lines cannot be wrapped with continuations (readers recognize
+	// them by physical-line prefix), so a type name that would push the
+	// marker past MaxLine is rejected outright. The \enddata form is two
+	// characters shorter, so checking the begindata form covers both.
+	marker := fmt.Sprintf("\\begindata{%s,%d}", typ, id)
+	if len(marker) > MaxLine {
+		w.err = fmt.Errorf("%w: marker %q is %d chars; type name too long", ErrLongLine, marker, len(marker))
+		return w.err
+	}
 	w.stack = append(w.stack, openObj{typ, id})
-	_, err := fmt.Fprintf(w.bw, "\\begindata{%s,%d}\n", typ, id)
+	_, err := fmt.Fprintf(w.bw, "%s\n", marker)
 	return w.keep(err)
 }
 
@@ -119,7 +128,12 @@ func (w *Writer) View(viewType string, id int) error {
 		w.err = err
 		return err
 	}
-	_, err := fmt.Fprintf(w.bw, "\\view{%s,%d}\n", viewType, id)
+	marker := fmt.Sprintf("\\view{%s,%d}", viewType, id)
+	if len(marker) > MaxLine {
+		w.err = fmt.Errorf("%w: marker %q is %d chars; view name too long", ErrLongLine, marker, len(marker))
+		return w.err
+	}
+	_, err := fmt.Fprintf(w.bw, "%s\n", marker)
 	return w.keep(err)
 }
 

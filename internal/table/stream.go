@@ -160,7 +160,7 @@ func (d *Data) ReadPayload(r *datastream.Reader) error {
 				d.colW[c] = cw
 			case "cell":
 				lastQuoted = nil
-				if len(fields) != 4 {
+				if len(fields) != 4 || fields[3] == "" {
 					return fmt.Errorf("table: bad cell %q", tok.Text)
 				}
 				row, err1 := strconv.Atoi(fields[1])

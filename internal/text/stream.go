@@ -126,6 +126,9 @@ func (d *Data) ReadPayload(r *datastream.Reader) error {
 		switch tok.Kind {
 		case datastream.TokEnd:
 			// Our own end marker: done.
+			if pendingObj != nil && r.Lenient() {
+				r.AddDiagnostic(tok.Line, "embedded %s had no \\view anchor; dropped", pendingObj.TypeName())
+			}
 			d.orig = content
 			d.length = len(content)
 			if d.length > 0 {
@@ -155,6 +158,10 @@ func (d *Data) ReadPayload(r *datastream.Reader) error {
 			pendingObj = obj
 		case datastream.TokView:
 			if pendingObj == nil {
+				if r.Lenient() {
+					r.AddDiagnostic(tok.Line, "\\view{%s,%d} with no preceding object; dropped", tok.Type, tok.ID)
+					continue
+				}
 				return fmt.Errorf("text: \\view{%s,%d} with no preceding object", tok.Type, tok.ID)
 			}
 			d.embeds = append(d.embeds, &Embedded{
@@ -167,6 +174,16 @@ func (d *Data) ReadPayload(r *datastream.Reader) error {
 }
 
 func (d *Data) readStyles(r *datastream.Reader, runs *[]Run) error {
+	// In lenient mode a malformed style line is dropped (with a
+	// diagnostic) rather than failing the whole document: style loss is
+	// recoverable, content loss is not.
+	bad := func(tok datastream.Token, format string, args ...any) error {
+		if r.Lenient() {
+			r.AddDiagnostic(tok.Line, "textstyles: "+format+"; dropped", args...)
+			return nil
+		}
+		return fmt.Errorf("text: "+format, args...)
+	}
 	for {
 		tok, err := r.Next()
 		if err != nil {
@@ -183,14 +200,20 @@ func (d *Data) readStyles(r *datastream.Reader, runs *[]Run) error {
 			switch fields[0] {
 			case "def":
 				if len(fields) != 7 {
-					return fmt.Errorf("text: bad style def %q", tok.Text)
+					if err := bad(tok, "bad style def %q", tok.Text); err != nil {
+						return err
+					}
+					continue
 				}
 				size, err1 := strconv.Atoi(fields[3])
 				style, err2 := graphics.ParseFontStyle(fields[4])
 				indent, err3 := strconv.Atoi(fields[5])
 				just, err4 := strconv.Atoi(fields[6])
 				if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
-					return fmt.Errorf("text: bad style def %q", tok.Text)
+					if err := bad(tok, "bad style def %q", tok.Text); err != nil {
+						return err
+					}
+					continue
 				}
 				if err := d.styles.Define(StyleDef{
 					Name:    fields[1],
@@ -198,22 +221,46 @@ func (d *Data) readStyles(r *datastream.Reader, runs *[]Run) error {
 					Indent:  indent,
 					Justify: Justify(just),
 				}); err != nil {
-					return err
+					if lerr := bad(tok, "unusable style def %q (%v)", tok.Text, err); lerr != nil {
+						return lerr
+					}
+					continue
 				}
 			case "run":
 				if len(fields) != 4 {
-					return fmt.Errorf("text: bad style run %q", tok.Text)
+					if err := bad(tok, "bad style run %q", tok.Text); err != nil {
+						return err
+					}
+					continue
 				}
 				start, err1 := strconv.Atoi(fields[1])
 				n, err2 := strconv.Atoi(fields[2])
 				if err1 != nil || err2 != nil || start < 0 || n < 0 {
-					return fmt.Errorf("text: bad style run %q", tok.Text)
+					if err := bad(tok, "bad style run %q", tok.Text); err != nil {
+						return err
+					}
+					continue
 				}
 				*runs = append(*runs, Run{Start: start, End: start + n, Style: fields[3]})
 			default:
-				return fmt.Errorf("text: unknown textstyles line %q", tok.Text)
+				if err := bad(tok, "unknown textstyles line %q", tok.Text); err != nil {
+					return err
+				}
 			}
+		case datastream.TokBegin:
+			if r.Lenient() {
+				r.AddDiagnostic(tok.Line, "textstyles: unexpected nested %s,%d; skipped", tok.Type, tok.ID)
+				if err := r.SkipObject(tok); err != nil {
+					return err
+				}
+				continue
+			}
+			return fmt.Errorf("text: unexpected %v inside textstyles", tok.Kind)
 		default:
+			if r.Lenient() {
+				r.AddDiagnostic(tok.Line, "textstyles: unexpected %v token; dropped", tok.Kind)
+				continue
+			}
 			return fmt.Errorf("text: unexpected %v inside textstyles", tok.Kind)
 		}
 	}

@@ -1,0 +1,207 @@
+package atk
+
+// End-to-end recovery tests: what a user actually gets back when a
+// document arrives damaged, and the registry-wide guarantee that every
+// component type survives its own external representation.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/components"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/table"
+	"atk/internal/text"
+)
+
+func mustRegistry(t *testing.T) *class.Registry {
+	t.Helper()
+	reg, err := components.StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func readSample(t *testing.T) []byte {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/sample.d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestLenientSalvagesCorruptedMarker is the headline recovery scenario:
+// one marker line in the committed sample is corrupted in transit. Strict
+// parsing must reject the file; lenient parsing must return a document
+// that still contains intact components.
+func TestLenientSalvagesCorruptedMarker(t *testing.T) {
+	raw := readSample(t)
+	// Drop the closing brace of the drawing's begin marker so its block
+	// degenerates to junk inside the surrounding text.
+	idx := bytes.Index(raw, []byte("\\begindata{drawing"))
+	if idx < 0 {
+		t.Fatal("fixture did not contain a drawing begin marker")
+	}
+	brace := idx + bytes.IndexByte(raw[idx:], '}')
+	corrupt := append(append([]byte{}, raw[:brace]...), raw[brace+1:]...)
+	reg := mustRegistry(t)
+
+	if _, err := core.ReadObject(datastream.NewReader(bytes.NewReader(corrupt)), reg); err == nil {
+		t.Fatal("strict mode accepted the corrupted document")
+	}
+
+	r := datastream.NewReaderOptions(bytes.NewReader(corrupt),
+		datastream.Options{Mode: datastream.Lenient})
+	obj, err := core.ReadObject(r, reg)
+	if err != nil {
+		t.Fatalf("lenient mode rejected the corrupted document: %v", err)
+	}
+	if len(r.Diagnostics()) == 0 {
+		t.Fatal("salvage produced no diagnostics")
+	}
+	doc, ok := obj.(*text.Data)
+	if !ok {
+		t.Fatalf("salvaged object is %T", obj)
+	}
+	intact := map[string]bool{}
+	for _, e := range doc.Embeds() {
+		intact[e.Obj.TypeName()] = true
+		if tb, ok := e.Obj.(*table.Data); ok {
+			if v, err := tb.Value(0, 1); err != nil || v != 42 {
+				t.Fatalf("salvaged table formula = %v, %v", v, err)
+			}
+		}
+	}
+	for _, want := range []string{"table", "eq", "raster", "animation"} {
+		if !intact[want] {
+			t.Errorf("component %q did not survive salvage (got %v)", want, intact)
+		}
+	}
+	if doc.Len() == 0 {
+		t.Error("salvaged document has no text")
+	}
+}
+
+// TestLenientSalvagesTruncatedDocument cuts the sample off mid-stream —
+// the mail-transit failure of the paper's campus deployment — and checks
+// that every component fully serialized before the cut survives.
+func TestLenientSalvagesTruncatedDocument(t *testing.T) {
+	raw := readSample(t)
+	cut := bytes.Index(raw, []byte("\\begindata{animation"))
+	if cut < 0 {
+		t.Fatal("fixture has no animation block")
+	}
+	truncated := raw[:cut+20] // mid-way through the animation's begin line
+
+	reg := mustRegistry(t)
+	if _, err := core.ReadObject(datastream.NewReader(bytes.NewReader(truncated)), reg); err == nil {
+		t.Fatal("strict mode accepted the truncated document")
+	}
+
+	r := datastream.NewReaderOptions(bytes.NewReader(truncated),
+		datastream.Options{Mode: datastream.Lenient})
+	obj, err := core.ReadObject(r, reg)
+	if err != nil {
+		t.Fatalf("lenient mode rejected the truncated document: %v", err)
+	}
+	doc, ok := obj.(*text.Data)
+	if !ok {
+		t.Fatalf("salvaged object is %T", obj)
+	}
+	intact := map[string]bool{}
+	for _, e := range doc.Embeds() {
+		intact[e.Obj.TypeName()] = true
+	}
+	for _, want := range []string{"table", "drawing", "eq", "raster"} {
+		if !intact[want] {
+			t.Errorf("pre-cut component %q lost (got %v)", want, intact)
+		}
+	}
+}
+
+// TestRegistryRoundTrip is the registry-wide property: every data object
+// class in the standard registry must survive write→read→write with its
+// structure — as witnessed by the serialized form — unchanged.
+func TestRegistryRoundTrip(t *testing.T) {
+	reg := mustRegistry(t)
+	tested := 0
+	for _, name := range reg.Names() {
+		obj, err := reg.NewObject(name)
+		if err != nil {
+			t.Errorf("%s: NewObject: %v", name, err)
+			continue
+		}
+		d, ok := obj.(core.DataObject)
+		if !ok {
+			continue // view classes have no external representation
+		}
+		tested++
+		t.Run(name, func(t *testing.T) {
+			var w1 bytes.Buffer
+			ds := datastream.NewWriter(&w1)
+			if _, err := core.WriteObject(ds, d); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			if err := ds.Close(); err != nil {
+				t.Fatal(err)
+			}
+			d2, err := core.ReadObject(datastream.NewReader(bytes.NewReader(w1.Bytes())), reg)
+			if err != nil {
+				t.Fatalf("read back: %v\nstream: %q", err, w1.String())
+			}
+			if d2.TypeName() != d.TypeName() {
+				t.Fatalf("type changed: %s -> %s", d.TypeName(), d2.TypeName())
+			}
+			var w2 bytes.Buffer
+			ds2 := datastream.NewWriter(&w2)
+			if _, err := core.WriteObject(ds2, d2); err != nil {
+				t.Fatalf("rewrite: %v", err)
+			}
+			if err := ds2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if w1.String() != w2.String() {
+				t.Fatalf("round trip changed the stream:\nfirst:  %q\nsecond: %q",
+					w1.String(), w2.String())
+			}
+		})
+	}
+	if tested < 5 {
+		t.Fatalf("only %d data-object classes exercised", tested)
+	}
+	// The committed compound sample gets the same treatment: parse, write,
+	// re-parse, write — the two renderings must match byte for byte.
+	raw := readSample(t)
+	obj, err := core.ReadObject(datastream.NewReader(bytes.NewReader(raw)), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w1 bytes.Buffer
+	ds := datastream.NewWriter(&w1)
+	if _, err := core.WriteObject(ds, obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	obj2, err := core.ReadObject(datastream.NewReader(bytes.NewReader(w1.Bytes())), reg)
+	if err != nil {
+		t.Fatalf("sample rewrite does not re-read: %v", err)
+	}
+	var w2 bytes.Buffer
+	ds2 := datastream.NewWriter(&w2)
+	if _, err := core.WriteObject(ds2, obj2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w2.String() {
+		t.Fatal("compound sample not stable under write→read→write")
+	}
+}

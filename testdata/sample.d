@@ -1,0 +1,70 @@
+\begindata{text,1}
+\begindata{textstyles,2}
+run 0 18 title
+\enddata{textstyles,2}
+The Andrew Toolkit
+A compound document exercising every standard component.
+
+A spreadsheet knows the answer: 
+\begindata{table,3}
+dims 2 2
+cell 0 0 t "the answer"
+cell 0 1 f "=42"
+cell 1 0 n 6
+cell 1 1 t "times nine"
+\enddata{table,3}
+\view{spread,3}
+
+
+A drawing of a line crossing a box: 
+\begindata{drawing,4}
+rect 8 8 40 24 w1 s0 f0
+line 0 0 48 32 w2 s0
+\enddata{drawing,4}
+\view{drawview,4}
+
+
+An equation: 
+\begindata{eq,5}
+frac(a, b) + x^2
+\enddata{eq,5}
+\view{eqview,5}
+
+
+A raster image: 
+\begindata{raster,6}
+bits 16 16
+0080
+0040
+fc23
+fc13
+fc0b
+fc07
+fc03
+fc03
+fc03
+fc03
+2000
+1000
+0800
+0400
+0200
+0100
+\enddata{raster,6}
+\view{rasterview,6}
+
+
+An animation of a sweeping line: 
+\begindata{animation,7}
+anim 2 2
+cel 0 1
+line 0 0 32 0 w1 s0
+cel 1 1
+line 0 0 32 32 w1 s0
+\enddata{animation,7}
+\view{animview,7}
+
+
+End of the sample document.
+
+\enddata{text,1}

@@ -12,18 +12,21 @@ test:
 
 # verify is the tier-1 gate: everything must pass before a change lands.
 # It builds and vets every package, runs the full test suite under the
-# race detector, and smoke-fuzzes the datastream reader.
+# race detector (which includes the golden-frame comparisons), and
+# smoke-fuzzes the datastream reader and the repaint equivalence oracle.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/datastream
+	$(GO) test -fuzz=FuzzRepaint -fuzztime=10s .
 
-# fuzz runs both fuzz targets for longer; extend FUZZTIME for real runs.
+# fuzz runs all fuzz targets for longer; extend FUZZTIME for real runs.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/datastream
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) .
+	$(GO) test -fuzz=FuzzRepaint -fuzztime=$(FUZZTIME) .
 
 # generate rebuilds committed artifacts (testdata/sample.d).
 generate:

@@ -793,3 +793,51 @@ func BenchmarkHelpBrowser(b *testing.B) {
 		im.FlushUpdates()
 	}
 }
+
+// BenchmarkIncrementalEdit quantifies the damage-region repaint pipeline:
+// a one-character edit in a 10,000-line document, flushed either through
+// the incremental line-repair path (region damage) or the whole-bounds
+// fallback. The pixels/flush metric counts framebuffer writes per flush;
+// the damage path must touch only the edited line's strip rather than the
+// whole window.
+func BenchmarkIncrementalEdit(b *testing.B) {
+	const line = "ten thousand line document body text\n"
+	for _, mode := range []struct {
+		name        string
+		incremental bool
+	}{{"damage", true}, {"full", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			reg := benchRegistry(b)
+			ws := memwin.New()
+			win, err := ws.NewWindow("edit", 560, 360)
+			if err != nil {
+				b.Fatal(err)
+			}
+			im := core.NewInteractionManager(ws, win)
+			doc := text.NewString(strings.Repeat(line, 10000))
+			doc.SetRegistry(reg)
+			tv := textview.New(reg)
+			tv.SetDataObject(doc)
+			tv.SetIncremental(mode.incremental)
+			im.SetChild(tv)
+			im.FullRedraw()
+
+			g := win.(*memwin.Window).Raster()
+			g.ResetCounters()
+			pos := 3*len(line) + 5 // mid-word on a visible line
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := doc.Insert(pos, "x"); err != nil {
+					b.Fatal(err)
+				}
+				im.FlushUpdates()
+				if err := doc.Delete(pos, 1); err != nil {
+					b.Fatal(err)
+				}
+				im.FlushUpdates()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(g.PixelsTouched())/float64(2*b.N), "pixels/flush")
+		})
+	}
+}

@@ -1,0 +1,182 @@
+package atk
+
+// FuzzRepaint is the pixel-equivalence property test for the damage-region
+// repaint pipeline: the fuzzer's bytes are decoded as a script of edits
+// against a compound document shown in three windows (text tree with an
+// embedded spreadsheet, a standalone spreadsheet on the same table, and a
+// WYSIWYG page view on the same document). After every checkpoint the
+// incremental flush's framebuffer must be byte-identical to a fresh
+// FullRedraw of the same tree — if damage regions ever under-cover an
+// edit's visual consequences, the two diverge and the fuzzer shrinks the
+// script.
+
+import (
+	"testing"
+
+	"atk/internal/components"
+	"atk/internal/core"
+	"atk/internal/pageview"
+	"atk/internal/table"
+	"atk/internal/tableview"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/widgets"
+	"atk/internal/wsys/memwin"
+)
+
+// repaintFixture is one document + table shown in three windows.
+type repaintFixture struct {
+	doc *text.Data
+	tbl *table.Data
+
+	ims  []*core.InteractionManager
+	wins []*memwin.Window
+	tv   *textview.View
+	sp   *tableview.Spread
+	pv   *pageview.View
+}
+
+func newRepaintFixture(t *testing.T) *repaintFixture {
+	t.Helper()
+	reg, err := components.StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := memwin.New()
+
+	doc := text.NewString("Dear David,\nEnclosed is a list of our expenses \nwith a running total below.\nSincerely yours\n")
+	doc.SetRegistry(reg)
+	tbl := table.New(2, 3)
+	tbl.SetRegistry(reg)
+	_ = tbl.SetNumber(0, 0, 120)
+	_ = tbl.SetNumber(0, 1, 80)
+	_ = tbl.SetFormula(0, 2, "=A1+B1")
+	_ = tbl.SetText(1, 0, "rent")
+	_ = tbl.SetText(1, 1, "food")
+	if err := doc.Embed(45, tbl, "spread"); err != nil {
+		t.Fatal(err)
+	}
+
+	fx := &repaintFixture{doc: doc, tbl: tbl}
+	newWin := func(title string, w, h int) (*core.InteractionManager, *memwin.Window) {
+		win, err := ws.NewWindow(title, w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im := core.NewInteractionManager(ws, win)
+		fx.ims = append(fx.ims, im)
+		fx.wins = append(fx.wins, win.(*memwin.Window))
+		return im, win.(*memwin.Window)
+	}
+
+	imText, _ := newWin("text", 560, 360)
+	fx.tv = textview.New(reg)
+	fx.tv.SetDataObject(doc)
+	imText.SetChild(widgets.NewFrame(widgets.NewScrollView(fx.tv)))
+
+	imSpread, _ := newWin("spread", 300, 150)
+	fx.sp = tableview.New(reg)
+	fx.sp.SetDataObject(tbl)
+	imSpread.SetChild(fx.sp)
+
+	imPage, _ := newWin("page", 560, 640)
+	fx.pv = pageview.New(reg)
+	fx.pv.SetDataObject(doc)
+	imPage.SetChild(fx.pv)
+
+	for _, im := range fx.ims {
+		im.FullRedraw()
+	}
+	return fx
+}
+
+// check asserts pixel equivalence on every window: the incrementally
+// flushed frame must match a full redraw of the same tree.
+func (fx *repaintFixture) check(t *testing.T) {
+	t.Helper()
+	for i, im := range fx.ims {
+		im.FlushUpdates()
+		got := fx.wins[i].Snapshot()
+		im.FullRedraw()
+		want := fx.wins[i].Snapshot()
+		if !got.Equal(want) {
+			diff := 0
+			for p := range got.Pix {
+				if got.Pix[p] != want.Pix[p] {
+					diff++
+				}
+			}
+			t.Fatalf("window %q: incremental flush differs from full redraw (%d of %d pixels)",
+				fx.wins[i].Title(), diff, len(got.Pix))
+		}
+	}
+}
+
+// applyOp decodes and applies one scripted operation. Operations cover
+// both fine-damage paths (single-line edits, cell changes, page flips)
+// and fallback paths (styles, scrolls, selections).
+func (fx *repaintFixture) applyOp(op, a, b byte) {
+	doc, tbl := fx.doc, fx.tbl
+	rows, cols := tbl.Dims()
+	pos := func(span int) int {
+		if span <= 0 {
+			return 0
+		}
+		return (int(a)<<8 | int(b)) % span
+	}
+	switch op % 11 {
+	case 0: // insert one printable rune
+		_ = doc.Insert(pos(doc.Len()+1), string(rune('a'+b%26)))
+	case 1: // insert a newline (splits a line: full-relayout path)
+		_ = doc.Insert(pos(doc.Len()+1), "\n")
+	case 2: // delete a short run
+		if doc.Len() > 0 {
+			p := pos(doc.Len())
+			n := 1 + int(b%3)
+			if p+n > doc.Len() {
+				n = doc.Len() - p
+			}
+			_ = doc.Delete(p, n)
+		}
+	case 3: // set a cell number (recalc ripples into the formula cell)
+		_ = tbl.SetNumber(int(a)%rows, int(b)%cols, float64(int(a)+int(b)))
+	case 4: // set a cell text
+		_ = tbl.SetText(int(a)%rows, int(b)%cols, string(rune('A'+b%26)))
+	case 5: // rewrite the formula
+		_ = tbl.SetFormula(0, 2, "=A1+B1")
+	case 6: // scroll the text view
+		fx.tv.ScrollTo(int(a) % (fx.tv.Lines() + 1))
+	case 7: // move the selection
+		fx.tv.SetSelection(pos(doc.Len()+1), int(b)%(doc.Len()+1))
+	case 8: // flip the page view
+		fx.pv.SetPage(int(a) % 4)
+	case 9: // restyle a range (whole-bounds fallback damage)
+		p := pos(doc.Len() + 1)
+		_ = doc.SetStyle(p, p+int(b%16), "title")
+	case 10: // move the spreadsheet selection
+		fx.sp.Select(int(a)%rows, int(b)%cols)
+	}
+}
+
+func FuzzRepaint(f *testing.F) {
+	// Seeds: one op per damage path, a mixed script, and a coalescing run
+	// (many ops between checkpoints).
+	f.Add([]byte{0, 0, 20})                              // insert mid-line
+	f.Add([]byte{3, 1, 1, 255, 0, 0})                    // cell edit + checkpoint
+	f.Add([]byte{1, 0, 5, 2, 0, 9, 9, 0, 30, 255, 0, 0}) // newline, delete, restyle
+	f.Add([]byte{6, 2, 0, 8, 1, 0, 10, 1, 2})            // scroll, page flip, select
+	f.Add([]byte{0, 0, 3, 0, 0, 60, 3, 0, 1, 4, 1, 2, 7, 0, 9, 255, 0, 0, 2, 0, 2})
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		fx := newRepaintFixture(t)
+		for i := 0; i+2 < len(script); i += 3 {
+			op, a, b := script[i], script[i+1], script[i+2]
+			if op == 255 { // explicit checkpoint between op batches
+				fx.check(t)
+				continue
+			}
+			fx.applyOp(op, a, b)
+		}
+		fx.check(t)
+	})
+}

@@ -1,0 +1,194 @@
+package atk
+
+// Golden-frame snapshot tests: each scene replicates one of the example
+// programs on the memwin backend, performs a scripted edit so the frame
+// exercises the damage-region repaint path, and compares the framebuffer
+// byte-for-byte against a committed PGM. Regenerate after intentional
+// rendering changes with:
+//
+//	go test -run TestGoldenFrames -update .
+//
+// and inspect the new testdata/golden/*.pgm in any image viewer before
+// committing.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atk/internal/chart"
+	"atk/internal/class"
+	"atk/internal/components"
+	"atk/internal/core"
+	"atk/internal/graphics"
+	"atk/internal/table"
+	"atk/internal/text"
+	"atk/internal/textview"
+	"atk/internal/widgets"
+	"atk/internal/wsys/memwin"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden/*.pgm instead of comparing")
+
+func goldenRegistry(t *testing.T) *class.Registry {
+	t.Helper()
+	reg, err := components.StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// goldenQuickstart is the examples/quickstart scene: styled text with an
+// embedded recalculating spreadsheet, edited after the first paint.
+func goldenQuickstart(t *testing.T, reg *class.Registry) *graphics.Bitmap {
+	ws := memwin.New()
+	win, err := ws.NewWindow("quickstart", 560, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := core.NewInteractionManager(ws, win)
+	doc := text.NewString("Expenses for the demo\nThe table below recalculates as cells change:\n\nTotal shown in C1.\n")
+	doc.SetRegistry(reg)
+	_ = doc.SetStyle(0, 21, "title")
+	tbl := table.New(2, 3)
+	tbl.SetRegistry(reg)
+	_ = tbl.SetNumber(0, 0, 120)
+	_ = tbl.SetNumber(0, 1, 80)
+	_ = tbl.SetFormula(0, 2, "=A1+B1")
+	_ = tbl.SetText(1, 0, "rent")
+	_ = tbl.SetText(1, 1, "food")
+	if err := doc.Embed(68, tbl, "spread"); err != nil {
+		t.Fatal(err)
+	}
+	tv := textview.New(reg)
+	tv.SetDataObject(doc)
+	im.SetChild(widgets.NewFrame(widgets.NewScrollView(tv)))
+	im.FullRedraw()
+	// The quickstart edit: a cell change recalculating the formula,
+	// repainted through the damage pipeline.
+	_ = tbl.SetNumber(0, 0, 200)
+	im.FlushUpdates()
+	return win.(*memwin.Window).Snapshot()
+}
+
+// goldenViewtree is the examples/viewtree scene: the paper's letter with
+// an embedded expenses table, then one character typed into the text.
+func goldenViewtree(t *testing.T, reg *class.Registry) *graphics.Bitmap {
+	ws := memwin.New()
+	win, err := ws.NewWindow("viewtree", 560, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := core.NewInteractionManager(ws, win)
+	letter := "February 11, 1988\n\nDear David,\nEnclosed is a list of our expenses \n\nHope you have a nice...\n"
+	for i := 1; i <= 30; i++ {
+		letter += fmt.Sprintf("(page body line %d)\n", i)
+	}
+	doc := text.NewString(letter)
+	doc.SetRegistry(reg)
+	tbl := table.New(3, 2)
+	tbl.SetRegistry(reg)
+	_ = tbl.SetText(0, 0, "David")
+	_ = tbl.SetNumber(0, 1, 120)
+	_ = tbl.SetText(1, 0, "travel")
+	_ = tbl.SetNumber(1, 1, 340)
+	_ = tbl.SetFormula(2, 1, "=B1+B2")
+	_ = doc.Embed(66, tbl, "spread")
+	tv := textview.New(reg)
+	tv.SetDataObject(doc)
+	im.SetChild(widgets.NewFrame(widgets.NewScrollView(tv)))
+	im.FullRedraw()
+	// One-character edit into the letter body: the incremental line path.
+	_ = doc.Insert(5, "x")
+	im.FlushUpdates()
+	return win.(*memwin.Window).Snapshot()
+}
+
+// goldenChartobserver is the examples/chartobserver pie-chart window:
+// the chart data observes the table, so a table edit repaints the chart.
+func goldenChartobserver(t *testing.T, reg *class.Registry) *graphics.Bitmap {
+	ws := memwin.New()
+	win, err := ws.NewWindow("pie chart", 200, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := table.New(4, 2)
+	tbl.SetRegistry(reg)
+	rows := []struct {
+		label string
+		v     float64
+	}{{"rent", 40}, {"food", 30}, {"books", 20}, {"misc", 10}}
+	for i, r := range rows {
+		_ = tbl.SetText(i, 0, r.label)
+		_ = tbl.SetNumber(i, 1, r.v)
+	}
+	cd := chart.New(tbl, 0, 1, 3, 1)
+	cd.SetRegistry(reg)
+	cd.Title = "Expenses 1988"
+	cd.XLabel = "category"
+	im := core.NewInteractionManager(ws, win)
+	cv := chart.NewView()
+	cv.SetDataObject(cd)
+	im.SetChild(cv)
+	im.FullRedraw()
+	// Double the rent through the data object; the observing chart
+	// repaints via the update cycle.
+	_ = tbl.SetNumber(0, 1, 80)
+	im.FlushUpdates()
+	return win.(*memwin.Window).Snapshot()
+}
+
+func TestGoldenFrames(t *testing.T) {
+	reg := goldenRegistry(t)
+	scenes := []struct {
+		name  string
+		build func(*testing.T, *class.Registry) *graphics.Bitmap
+	}{
+		{"quickstart", goldenQuickstart},
+		{"viewtree", goldenViewtree},
+		{"chartobserver", goldenChartobserver},
+	}
+	for _, sc := range scenes {
+		t.Run(sc.name, func(t *testing.T) {
+			got := sc.build(t, reg)
+			path := filepath.Join("testdata", "golden", sc.name+".pgm")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := graphics.EncodePGM(&buf, got); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%dx%d)", path, got.W, got.H)
+				return
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatalf("missing golden %s (run: go test -run TestGoldenFrames -update .): %v", path, err)
+			}
+			defer f.Close()
+			want, err := graphics.DecodePGM(f)
+			if err != nil {
+				t.Fatalf("corrupt golden %s: %v", path, err)
+			}
+			if !got.Equal(want) {
+				diff := 0
+				for i := range got.Pix {
+					if i < len(want.Pix) && got.Pix[i] != want.Pix[i] {
+						diff++
+					}
+				}
+				t.Errorf("%s: frame differs from golden (%d of %d pixels; rerun with -update and inspect)",
+					sc.name, diff, len(got.Pix))
+			}
+		})
+	}
+}

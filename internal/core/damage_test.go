@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"atk/internal/graphics"
+)
+
+// TestSetChildPurgesPending is the stale-pending regression test: damage
+// queued for a subtree detached via SetChild must be dropped at detach
+// time, not carried until the next flush.
+func TestSetChildPurgesPending(t *testing.T) {
+	im, _ := newTestIM(t)
+	l, r := newNoteView(), newNoteView()
+	split := newSplitView(l, r)
+	im.SetChild(split)
+	im.FlushUpdates()
+
+	im.WantUpdate(l)
+	im.WantUpdateRegion(r, graphics.RectRegion(graphics.XYWH(0, 0, 5, 5)))
+	if got := im.PendingViews(); got != 2 {
+		t.Fatalf("queued damage for 2 views, pending = %d", got)
+	}
+
+	replacement := newNoteView()
+	im.SetChild(replacement)
+	// Only the new child's own full-bounds request may remain.
+	if got := im.PendingViews(); got != 1 {
+		t.Fatalf("after SetChild, pending = %d, want 1 (the new child)", got)
+	}
+	im.FlushUpdates()
+	if l.updates != 0 || r.updates != 0 {
+		t.Fatalf("detached views repainted: l=%d r=%d", l.updates, r.updates)
+	}
+	if replacement.updates != 1 {
+		t.Fatalf("replacement painted %d times, want 1", replacement.updates)
+	}
+}
+
+// TestWantUpdateRegionCoalesces checks that damage for one view merges
+// into a single pending entry and a single repaint.
+func TestWantUpdateRegionCoalesces(t *testing.T) {
+	im, _ := newTestIM(t)
+	v := newNoteView()
+	im.SetChild(v)
+	im.FlushUpdates()
+
+	im.WantUpdateRegion(v, graphics.RectRegion(graphics.XYWH(0, 0, 10, 10)))
+	im.WantUpdateRegion(v, graphics.RectRegion(graphics.XYWH(30, 20, 10, 10)))
+	if got := im.PendingViews(); got != 1 {
+		t.Fatalf("pending = %d, want 1 coalesced entry", got)
+	}
+	im.FlushUpdates()
+	if v.updates != 2 { // 1 from SetChild flush + 1 now
+		t.Fatalf("updates = %d, want 2", v.updates)
+	}
+}
+
+// TestRegionDamageRestrictsPixels proves the end-to-end pixel guarantee:
+// a region-damaged flush touches only the damaged pixels, and the
+// backend is asked to flush exactly that region.
+func TestRegionDamageRestrictsPixels(t *testing.T) {
+	im, win := newTestIM(t)
+	v := newNoteView()
+	im.SetChild(v)
+	im.FlushUpdates()
+
+	g := win.Raster()
+	g.ResetCounters()
+	dmg := graphics.XYWH(10, 10, 20, 5)
+	im.WantUpdateRegion(v, graphics.RectRegion(dmg))
+	im.FlushUpdates()
+
+	if got := g.PixelsTouched(); got != int64(dmg.Dx()*dmg.Dy()) {
+		t.Fatalf("flush touched %d pixels, want exactly %d", got, dmg.Dx()*dmg.Dy())
+	}
+	if got := g.LastFlushRegion().Bounds(); got != dmg {
+		t.Fatalf("FlushRegion got %v, want %v", got, dmg)
+	}
+}
+
+// TestRegionDamageSubsumedByFullAncestor: region damage on a child is
+// dropped when an ancestor repaints its whole bounds in the same flush.
+func TestRegionDamageSubsumedByFullAncestor(t *testing.T) {
+	im, _ := newTestIM(t)
+	l, r := newNoteView(), newNoteView()
+	split := newSplitView(l, r)
+	im.SetChild(split)
+	im.FlushUpdates()
+	lBase := l.updates
+
+	im.WantUpdateRegion(l, graphics.RectRegion(graphics.XYWH(2, 2, 8, 8)))
+	im.WantUpdate(split)
+	im.FlushUpdates()
+	if l.updates != lBase {
+		t.Fatalf("child repainted separately (updates %d -> %d) though its ancestor covered it",
+			lBase, l.updates)
+	}
+}
+
+// TestWantUpdateSubsumesRegion: full damage posted for the same view
+// absorbs earlier (and later) region damage.
+func TestWantUpdateSubsumesRegion(t *testing.T) {
+	im, win := newTestIM(t)
+	v := newNoteView()
+	im.SetChild(v)
+	im.FlushUpdates()
+
+	im.WantUpdateRegion(v, graphics.RectRegion(graphics.XYWH(0, 0, 3, 3)))
+	im.WantUpdate(v)
+	im.WantUpdateRegion(v, graphics.RectRegion(graphics.XYWH(5, 5, 3, 3)))
+	g := win.Raster()
+	g.ResetCounters()
+	im.FlushUpdates()
+	w, h := v.Bounds().Dx(), v.Bounds().Dy()
+	if got := g.PixelsTouched(); got != int64(w*h) {
+		t.Fatalf("flush touched %d pixels, want the full %d", got, w*h)
+	}
+}
+
+// TestFlushRegionReachesBackend checks that a whole-bounds update flushes
+// the whole window region to the backend.
+func TestFlushRegionReachesBackend(t *testing.T) {
+	im, win := newTestIM(t)
+	v := newNoteView()
+	im.SetChild(v)
+	im.FlushUpdates()
+	want := graphics.XYWH(0, 0, 120, 60)
+	if got := win.Raster().LastFlushRegion().Bounds(); got != want {
+		t.Fatalf("FlushRegion bounds = %v, want %v", got, want)
+	}
+}

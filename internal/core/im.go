@@ -3,10 +3,18 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"atk/internal/graphics"
 	"atk/internal/wsys"
 )
+
+// damage is the pending repaint request for one view: either the whole
+// bounds, or a coalesced region in the view's local coordinates.
+type damage struct {
+	full   bool
+	region graphics.Region
+}
 
 // InteractionManager is the root of a view tree: a view wrapped around a
 // window supplied by the underlying window system (paper §3). It
@@ -28,7 +36,10 @@ type InteractionManager struct {
 	// that accepted the down, with coordinates translated.
 	grab View
 
-	pending  map[View]bool
+	// pendMu guards pending: observers may post damage from other
+	// goroutines while the event loop runs.
+	pendMu   sync.Mutex
+	pending  map[View]*damage
 	message  string
 	cursor   wsys.CursorShape
 	menus    *MenuSet
@@ -47,7 +58,7 @@ func NewInteractionManager(ws wsys.WindowSystem, win wsys.InteractionWindow) *In
 	im := &InteractionManager{
 		ws:      ws,
 		win:     win,
-		pending: make(map[View]bool),
+		pending: make(map[View]*damage),
 		menus:   NewMenuSet(),
 	}
 	im.InitView(im, "im")
@@ -66,6 +77,10 @@ func (im *InteractionManager) WindowSystem() wsys.WindowSystem { return im.ws }
 // and schedules a full redraw.
 func (im *InteractionManager) SetChild(v View) {
 	if im.child != nil {
+		// Purge before detaching: once the parent link is gone the subtree
+		// check cannot see these views, and stale entries would pin the
+		// detached tree in memory until the next flush.
+		im.purgePending(im.child)
 		im.child.SetParent(nil)
 	}
 	im.child = v
@@ -105,7 +120,51 @@ func (im *InteractionManager) WantUpdate(v View) {
 	if v == nil {
 		return
 	}
-	im.pending[v] = true
+	im.pendMu.Lock()
+	d := im.pending[v]
+	if d == nil {
+		d = &damage{}
+		im.pending[v] = d
+	}
+	d.full, d.region = true, graphics.EmptyRegion()
+	im.pendMu.Unlock()
+}
+
+// WantUpdateRegion implements View: queues damage for region r of v
+// (local coordinates), coalescing with damage already pending for v.
+func (im *InteractionManager) WantUpdateRegion(v View, r graphics.Region) {
+	if v == nil || r.Empty() {
+		return
+	}
+	im.pendMu.Lock()
+	d := im.pending[v]
+	if d == nil {
+		d = &damage{}
+		im.pending[v] = d
+	}
+	if !d.full {
+		d.region = d.region.Union(r)
+	}
+	im.pendMu.Unlock()
+}
+
+// PendingViews returns the number of views with queued damage (test and
+// instrumentation hook).
+func (im *InteractionManager) PendingViews() int {
+	im.pendMu.Lock()
+	defer im.pendMu.Unlock()
+	return len(im.pending)
+}
+
+// purgePending drops queued damage for every view in root's subtree.
+func (im *InteractionManager) purgePending(root View) {
+	im.pendMu.Lock()
+	for v := range im.pending {
+		if IsAncestor(root, v) {
+			delete(im.pending, v)
+		}
+	}
+	im.pendMu.Unlock()
 }
 
 // WantInputFocus implements View: transfers the focus immediately.
@@ -191,14 +250,12 @@ func (im *InteractionManager) HandleEvent(ev wsys.Event) {
 	case wsys.KeyEvent:
 		im.dispatchKey(ev)
 	case wsys.UpdateEvent:
-		if im.child != nil {
-			im.pending[im.child] = true
-		}
+		im.WantUpdate(im.child)
 	case wsys.ResizeEvent:
 		im.SetBounds(graphics.XYWH(0, 0, ev.Width, ev.Height))
 		if im.child != nil {
 			im.child.SetBounds(graphics.XYWH(0, 0, ev.Width, ev.Height))
-			im.pending[im.child] = true
+			im.WantUpdate(im.child)
 		}
 	case wsys.MenuEvent:
 		im.menus.Select(ev.MenuPath)
@@ -253,45 +310,70 @@ func (im *InteractionManager) Ticks() int64 { return im.ticks }
 // --- the update cycle ---
 
 // FlushUpdates performs the delayed update: pending views are repainted
-// parents-first (the update event travelling back down the tree), then
-// ancestors of updated views draw their overlays so material a parent
-// keeps on top of its children ends up in the right order.
+// parents-first (the update event travelling back down the tree), each
+// restricted to its damage region minus whatever shallower views already
+// repaint, then ancestors of updated views draw their overlays so
+// material a parent keeps on top of its children ends up in the right
+// order. Finally only the union of everything repainted is flushed to
+// the backend.
 func (im *InteractionManager) FlushUpdates() {
+	im.pendMu.Lock()
 	if len(im.pending) == 0 {
+		im.pendMu.Unlock()
 		return
 	}
-	views := make([]View, 0, len(im.pending))
-	for v := range im.pending {
+	pend := im.pending
+	im.pending = make(map[View]*damage)
+	im.pendMu.Unlock()
+
+	views := make([]View, 0, len(pend))
+	for v := range pend {
 		views = append(views, v)
 	}
-	im.pending = make(map[View]bool)
 	sort.Slice(views, func(i, j int) bool { return Depth(views[i]) < Depth(views[j]) })
 
-	// Drop views whose ancestor is also being fully repainted: the
-	// ancestor's update covers them.
-	var toDraw []View
-	for _, v := range views {
-		covered := false
-		for _, a := range toDraw {
-			if a != v && IsAncestor(a, v) {
-				covered = true
-				break
-			}
-		}
-		if !covered {
-			toDraw = append(toDraw, v)
-		}
+	// Accumulate device-space damage parents-first. Because the view tree
+	// is strict containment (siblings disjoint, children inside parents),
+	// subtracting the running covered region drops exactly the pixels some
+	// shallower view already repaints — the region-algebra replacement for
+	// the old quadratic ancestor scan.
+	winR := graphics.XYWH(0, 0, im.Bounds().Dx(), im.Bounds().Dy())
+	covered := graphics.EmptyRegion()
+	type job struct {
+		v   View
+		reg graphics.Region // device space: what this view repaints
 	}
-	for _, v := range toDraw {
+	var jobs []job
+	for _, v := range views {
 		if Root(v) != View(im) && Root(v) != im.Self() {
 			continue // detached view; request is stale
 		}
-		v.Update(im.DrawableFor(v))
+		origin := AbsOrigin(v)
+		devR := graphics.Rect{Min: origin, Max: origin.Add(graphics.Pt(v.Bounds().Dx(), v.Bounds().Dy()))}.Intersect(winR)
+		var dev graphics.Region
+		if d := pend[v]; d.full {
+			dev = graphics.RectRegion(devR)
+		} else {
+			dev = d.region.Translate(origin).IntersectRect(devR)
+		}
+		eff := dev.Subtract(covered)
+		if eff.Empty() {
+			continue
+		}
+		jobs = append(jobs, job{v, eff})
+		covered = covered.Union(eff)
 	}
-	// Overlay pass: every ancestor of an updated view, deepest last.
+	for _, j := range jobs {
+		d := im.DrawableFor(j.v)
+		d.SetRegion(j.reg)
+		j.v.Update(d)
+	}
+	// Overlay pass: every ancestor of an updated view, deepest last, each
+	// confined to the freshly repainted region so overlays never touch
+	// undamaged pixels.
 	overlays := map[View]bool{}
-	for _, v := range toDraw {
-		for a := v.Parent(); a != nil; a = a.Parent() {
+	for _, j := range jobs {
+		for a := j.v.Parent(); a != nil; a = a.Parent() {
 			overlays[a] = true
 		}
 	}
@@ -304,17 +386,24 @@ func (im *InteractionManager) FlushUpdates() {
 		if a == View(im) || a == im.Self() {
 			continue
 		}
-		a.DrawOverlay(im.DrawableFor(a))
+		d := im.DrawableFor(a)
+		d.SetRegion(covered)
+		a.DrawOverlay(d)
 	}
 	// A posted popup stays on top of whatever just repainted beneath it.
 	im.drawPopup()
-	_ = im.win.Graphic().Flush()
+	if im.popup != nil {
+		covered = covered.UnionRect(im.popup.rect)
+	}
+	_ = im.win.Graphic().FlushRegion(covered)
 }
 
 // FullRedraw repaints the whole tree unconditionally and clears any
 // pending update requests (they are subsumed).
 func (im *InteractionManager) FullRedraw() {
-	im.pending = make(map[View]bool)
+	im.pendMu.Lock()
+	im.pending = make(map[View]*damage)
+	im.pendMu.Unlock()
 	if im.child == nil {
 		return
 	}

@@ -147,7 +147,7 @@ func (st *popupState) hit(p graphics.Point) (MenuItem, bool) {
 func (im *InteractionManager) dismissPopup() {
 	im.popup = nil
 	if im.child != nil {
-		im.pending[im.child] = true
+		im.WantUpdate(im.child)
 		im.FlushUpdates()
 	}
 }

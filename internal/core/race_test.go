@@ -1,0 +1,40 @@
+//go:build race
+
+package core
+
+import (
+	"testing"
+
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+// TestConcurrentDamagePosting drives the event loop from one goroutine
+// while another posts WantUpdateRegion/WantUpdate and fires observer
+// notifications, exercising the pending-map and damage-coalescing paths
+// under the race detector. (Gated on -race: without the detector this
+// proves nothing the other tests don't.)
+func TestConcurrentDamagePosting(t *testing.T) {
+	im, win := newTestIM(t)
+	d := newNoteData()
+	v := newNoteView()
+	v.SetDataObject(d)
+	im.SetChild(v)
+	im.FullRedraw()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			d.SetText("tick") // NotifyObservers -> ObservedChanged -> WantUpdate
+			im.WantUpdateRegion(v, graphics.RectRegion(graphics.XYWH(i%100, i%40, 7, 5)))
+			im.WantUpdate(v)
+			win.Inject(wsys.KeyPress('x'))
+		}
+		win.Inject(wsys.Event{Kind: wsys.CloseEvent})
+	}()
+
+	im.Run(0)
+	<-done
+	im.FlushUpdates()
+}

@@ -72,6 +72,12 @@ type View interface {
 	// WantUpdate requests that v be repainted during the next update
 	// cycle (posted up the tree, coming back down as an update event).
 	WantUpdate(v View)
+	// WantUpdateRegion requests that only region r of v (in v's local
+	// coordinates) be repainted during the next update cycle. Damage
+	// coalesces per view in the pending set; a WantUpdate for the same
+	// view subsumes it. Views that cannot compute fine damage simply call
+	// WantUpdate — the whole-bounds fallback is always correct.
+	WantUpdateRegion(v View, r graphics.Region)
 	// WantInputFocus asks that v receive subsequent key events.
 	WantInputFocus(v View)
 	// ReceiveInputFocus notifies the view it now has the focus.
@@ -168,6 +174,13 @@ func (b *BaseView) Key(ev wsys.Event) bool { return false }
 func (b *BaseView) WantUpdate(v View) {
 	if b.parent != nil {
 		b.parent.WantUpdate(v)
+	}
+}
+
+// WantUpdateRegion implements View by forwarding up the tree.
+func (b *BaseView) WantUpdateRegion(v View, r graphics.Region) {
+	if b.parent != nil {
+		b.parent.WantUpdateRegion(v, r)
 	}
 }
 

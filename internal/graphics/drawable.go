@@ -14,6 +14,12 @@ type Drawable struct {
 	origin Point // local (0,0) in device space
 	clip   Rect  // device-space clip
 
+	// Damage clip: when set, draw operations touch only the pixels in
+	// region ∩ clip. The interaction manager installs the flush-time
+	// damage region here so a view's Update repaints damaged pixels only.
+	region    Region // device-space, disjoint rects
+	hasRegion bool
+
 	// Graphics state.
 	pen   Point // current point, local space
 	width int
@@ -35,7 +41,33 @@ func (d *Drawable) Graphic() Graphic { return d.g }
 func (d *Drawable) Retarget(g Graphic) {
 	d.g = g
 	d.clip = g.Bounds()
+	d.region = Region{}
+	d.hasRegion = false
 }
+
+// SetRegion restricts subsequent draw operations to reg (device space) in
+// addition to the clip rectangle. An empty reg removes the restriction.
+// When reg is a single rectangle that already contains the whole clip the
+// restriction is dropped too: the clip rect alone is equivalent and
+// cheaper.
+func (d *Drawable) SetRegion(reg Region) {
+	if reg.Empty() {
+		d.region = Region{}
+		d.hasRegion = false
+		return
+	}
+	if rs := reg.Rects(); len(rs) == 1 && d.clip == rs[0].Intersect(d.clip) {
+		d.region = Region{}
+		d.hasRegion = false
+		return
+	}
+	d.region = reg
+	d.hasRegion = true
+}
+
+// Region returns the damage region installed with SetRegion and whether
+// one is active.
+func (d *Drawable) Region() (Region, bool) { return d.region, d.hasRegion }
 
 // Sub returns a drawable for the child rectangle r of d (local space):
 // same Graphic, translated origin, clip intersected. Graphics state starts
@@ -43,12 +75,14 @@ func (d *Drawable) Retarget(g Graphic) {
 func (d *Drawable) Sub(r Rect) *Drawable {
 	dev := r.Translate(d.origin)
 	return &Drawable{
-		g:      d.g,
-		origin: dev.Min,
-		clip:   dev.Intersect(d.clip),
-		width:  1,
-		value:  Black,
-		font:   Open(DefaultFont),
+		g:         d.g,
+		origin:    dev.Min,
+		clip:      dev.Intersect(d.clip),
+		region:    d.region,
+		hasRegion: d.hasRegion,
+		width:     1,
+		value:     Black,
+		font:      Open(DefaultFont),
 	}
 }
 
@@ -77,7 +111,26 @@ func (d *Drawable) RestoreClip(c Rect) { d.clip = c }
 func (d *Drawable) dev(p Point) Point { return p.Add(d.origin) }
 func (d *Drawable) devR(r Rect) Rect  { return r.Translate(d.origin) }
 
-func (d *Drawable) apply() { d.g.SetClip(d.clip) }
+// emit runs fn once per effective clip rectangle. Without a damage
+// region that is the plain clip rect; with one, fn repeats under each
+// region rect intersected with the clip. Region rects are disjoint, so
+// even non-idempotent operations (InvertArea) execute at most once per
+// pixel.
+func (d *Drawable) emit(fn func()) {
+	if !d.hasRegion {
+		d.g.SetClip(d.clip)
+		fn()
+		return
+	}
+	for _, r := range d.region.Rects() {
+		c := r.Intersect(d.clip)
+		if c.Empty() {
+			continue
+		}
+		d.g.SetClip(c)
+		fn()
+	}
+}
 
 // --- graphics state ---
 
@@ -124,8 +177,7 @@ func (d *Drawable) Pen() Point { return d.pen }
 
 // LineTo strokes from the current point to p and moves the pen there.
 func (d *Drawable) LineTo(p Point) {
-	d.apply()
-	d.g.DrawLine(d.dev(d.pen), d.dev(p), d.width, d.value)
+	d.emit(func() { d.g.DrawLine(d.dev(d.pen), d.dev(p), d.width, d.value) })
 	d.pen = p
 }
 
@@ -134,69 +186,58 @@ func (d *Drawable) RLineTo(dx, dy int) { d.LineTo(d.pen.Add(Pt(dx, dy))) }
 
 // DrawLine strokes a segment without touching the pen.
 func (d *Drawable) DrawLine(a, b Point) {
-	d.apply()
-	d.g.DrawLine(d.dev(a), d.dev(b), d.width, d.value)
+	d.emit(func() { d.g.DrawLine(d.dev(a), d.dev(b), d.width, d.value) })
 }
 
 // DrawRect strokes the border of r.
 func (d *Drawable) DrawRect(r Rect) {
-	d.apply()
-	d.g.DrawRect(d.devR(r), d.width, d.value)
+	d.emit(func() { d.g.DrawRect(d.devR(r), d.width, d.value) })
 }
 
 // FillRect fills r with the current ink.
 func (d *Drawable) FillRect(r Rect) {
-	d.apply()
-	d.g.FillRect(d.devR(r), d.value)
+	d.emit(func() { d.g.FillRect(d.devR(r), d.value) })
 }
 
 // FillRectValue fills r with an explicit pixel value.
 func (d *Drawable) FillRectValue(r Rect, v Pixel) {
-	d.apply()
-	d.g.FillRect(d.devR(r), v)
+	d.emit(func() { d.g.FillRect(d.devR(r), v) })
 }
 
 // ClearRect fills r with the background.
 func (d *Drawable) ClearRect(r Rect) {
-	d.apply()
-	d.g.Clear(d.devR(r))
+	d.emit(func() { d.g.Clear(d.devR(r)) })
 }
 
 // DrawOval strokes the ellipse inscribed in r.
 func (d *Drawable) DrawOval(r Rect) {
-	d.apply()
-	d.g.DrawOval(d.devR(r), d.width, d.value)
+	d.emit(func() { d.g.DrawOval(d.devR(r), d.width, d.value) })
 }
 
 // FillOval fills the ellipse inscribed in r.
 func (d *Drawable) FillOval(r Rect) {
-	d.apply()
-	d.g.FillOval(d.devR(r), d.value)
+	d.emit(func() { d.g.FillOval(d.devR(r), d.value) })
 }
 
 // DrawArc strokes an elliptical arc (degrees, counterclockwise from 3
 // o'clock).
 func (d *Drawable) DrawArc(r Rect, startDeg, sweepDeg int) {
-	d.apply()
-	d.g.DrawArc(d.devR(r), startDeg, sweepDeg, d.width, d.value)
+	d.emit(func() { d.g.DrawArc(d.devR(r), startDeg, sweepDeg, d.width, d.value) })
 }
 
 // FillArc fills a pie wedge.
 func (d *Drawable) FillArc(r Rect, startDeg, sweepDeg int) {
-	d.apply()
-	d.g.FillArc(d.devR(r), startDeg, sweepDeg, d.value)
+	d.emit(func() { d.g.FillArc(d.devR(r), startDeg, sweepDeg, d.value) })
 }
 
 // DrawPolyline strokes consecutive segments, optionally closing the figure.
 func (d *Drawable) DrawPolyline(pts []Point, closed bool) {
-	d.apply()
-	d.g.DrawPolyline(d.devPts(pts), d.width, d.value, closed)
+	d.emit(func() { d.g.DrawPolyline(d.devPts(pts), d.width, d.value, closed) })
 }
 
 // FillPolygon fills a polygon with even-odd winding.
 func (d *Drawable) FillPolygon(pts []Point) {
-	d.apply()
-	d.g.FillPolygon(d.devPts(pts), d.value)
+	d.emit(func() { d.g.FillPolygon(d.devPts(pts), d.value) })
 }
 
 func (d *Drawable) devPts(pts []Point) []Point {
@@ -247,8 +288,7 @@ const (
 
 // DrawString draws s with its baseline starting at p and advances the pen.
 func (d *Drawable) DrawString(p Point, s string) {
-	d.apply()
-	d.g.DrawString(d.dev(p), s, d.font, d.value)
+	d.emit(func() { d.g.DrawString(d.dev(p), s, d.font, d.value) })
 	d.pen = p.Add(Pt(d.font.TextWidth(s), 0))
 }
 
@@ -282,20 +322,17 @@ func (d *Drawable) FontHeight() int { return d.font.Height() }
 
 // DrawBitmap copies bm with its origin at dst (local space).
 func (d *Drawable) DrawBitmap(dst Point, bm *Bitmap) {
-	d.apply()
-	d.g.DrawBitmap(d.dev(dst), bm)
+	d.emit(func() { d.g.DrawBitmap(d.dev(dst), bm) })
 }
 
 // CopyArea copies the src rectangle to dst; used for scrolling.
 func (d *Drawable) CopyArea(src Rect, dst Point) {
-	d.apply()
-	d.g.CopyArea(d.devR(src), d.dev(dst))
+	d.emit(func() { d.g.CopyArea(d.devR(src), d.dev(dst)) })
 }
 
 // InvertArea inverts r, the selection-highlight primitive.
 func (d *Drawable) InvertArea(r Rect) {
-	d.apply()
-	d.g.InvertArea(d.devR(r))
+	d.emit(func() { d.g.InvertArea(d.devR(r)) })
 }
 
 // Flush pushes buffered output to the medium.

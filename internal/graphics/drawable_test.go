@@ -54,6 +54,7 @@ func (g *recGraphic) DrawBitmap(d Point, bm *Bitmap) { g.rec("bitmap"); g.lastA 
 func (g *recGraphic) CopyArea(src Rect, d Point)     { g.rec("copy"); g.lastR = src }
 func (g *recGraphic) InvertArea(r Rect)              { g.rec("invert"); g.lastR = r }
 func (g *recGraphic) Flush() error                   { g.rec("flush"); return g.flushE }
+func (g *recGraphic) FlushRegion(reg Region) error   { g.rec("flushregion"); return g.flushE }
 
 func TestDrawableTranslatesCoordinates(t *testing.T) {
 	g := newRec(200, 100)

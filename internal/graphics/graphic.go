@@ -43,6 +43,12 @@ type Graphic interface {
 	InvertArea(r Rect)
 	// Flush pushes buffered output to the display medium.
 	Flush() error
+	// FlushRegion pushes at least the pixels of reg (device space) to the
+	// display medium. Backends are free to flush more — Flush is
+	// equivalent to FlushRegion over the whole surface — but a backend
+	// with an expensive present step (a remote window system) should push
+	// only the dirty rectangles.
+	FlushRegion(reg Region) error
 }
 
 // The helpers below implement the primitive scan conversions once, on top

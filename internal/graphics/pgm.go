@@ -1,0 +1,55 @@
+package graphics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// PGM (portable graymap, binary "P5") is the golden-frame format: one
+// byte per pixel matches Bitmap.Pix exactly, every image viewer opens
+// it, and the ASCII header makes diffs of size changes readable.
+
+// maxPGMPixels bounds decoded images (64M pixels ≈ any window we draw).
+const maxPGMPixels = 1 << 26
+
+// EncodePGM writes bm to w as a binary (P5) PGM image.
+func EncodePGM(w io.Writer, bm *Bitmap) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", bm.W, bm.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(bm.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodePGM reads a binary (P5) PGM image produced by EncodePGM.
+// Comments are not supported; the toolkit never writes them.
+func DecodePGM(r io.Reader) (*Bitmap, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, maxv int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &maxv); err != nil {
+		return nil, fmt.Errorf("pgm: bad header: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("pgm: not a binary PGM (magic %q)", magic)
+	}
+	if maxv != 255 {
+		return nil, fmt.Errorf("pgm: unsupported maxval %d", maxv)
+	}
+	if w <= 0 || h <= 0 || w*h > maxPGMPixels {
+		return nil, fmt.Errorf("pgm: bad dimensions %dx%d", w, h)
+	}
+	// Exactly one whitespace byte separates the header from the raster.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, fmt.Errorf("pgm: truncated header: %w", err)
+	}
+	bm := NewBitmap(w, h)
+	if _, err := io.ReadFull(br, bm.Pix); err != nil {
+		return nil, fmt.Errorf("pgm: truncated raster: %w", err)
+	}
+	return bm, nil
+}

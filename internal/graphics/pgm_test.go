@@ -1,0 +1,41 @@
+package graphics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	bm := NewBitmap(7, 5)
+	bm.Fill(XYWH(1, 1, 3, 2), Black)
+	bm.Set(6, 4, Gray)
+
+	var buf bytes.Buffer
+	if err := EncodePGM(&buf, bm); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(bm) {
+		t.Fatalf("round trip changed pixels:\n%s\nvs\n%s", bm.ASCII(), got.ASCII())
+	}
+}
+
+func TestPGMDecodeRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"P2\n2 2\n255\n....",       // ASCII graymap, unsupported
+		"P5\n2 2\n65535\n....",     // 16-bit maxval
+		"P5\n-3 2\n255\n....",      // negative width
+		"P5\n2 2\n255\n" + "ab",    // truncated raster
+		"P5\n99999 99999\n255\nxx", // over the pixel cap
+	}
+	for _, c := range cases {
+		if _, err := DecodePGM(strings.NewReader(c)); err == nil {
+			t.Errorf("DecodePGM(%q) succeeded, want error", c)
+		}
+	}
+}

@@ -222,6 +222,19 @@ func (g Region) Subtract(h Region) Region {
 	return combine(g, h, subtractSpans)
 }
 
+// Translate returns the region moved by d. Band ordering is preserved,
+// so the result needs no renormalization.
+func (g Region) Translate(d Point) Region {
+	if g.Empty() || (d.X == 0 && d.Y == 0) {
+		return g
+	}
+	out := make([]Rect, len(g.rects))
+	for i, r := range g.rects {
+		out[i] = r.Translate(d)
+	}
+	return Region{rects: out}
+}
+
 // UnionRect is shorthand for g.Union(RectRegion(r)).
 func (g Region) UnionRect(r Rect) Region { return g.Union(RectRegion(r)) }
 

@@ -1,0 +1,107 @@
+package graphics
+
+import "testing"
+
+func TestRegionTranslate(t *testing.T) {
+	reg := RectRegion(XYWH(1, 2, 3, 4)).UnionRect(XYWH(10, 20, 5, 5))
+	got := reg.Translate(Pt(7, -2))
+	want := RectRegion(XYWH(8, 0, 3, 4)).UnionRect(XYWH(17, 18, 5, 5))
+	if got.Area() != want.Area() || got.Bounds() != want.Bounds() {
+		t.Fatalf("Translate = %v, want %v", got.Rects(), want.Rects())
+	}
+	if !reg.Translate(Pt(0, 0)).Bounds().Eq(reg.Bounds()) {
+		t.Fatal("zero translate changed region")
+	}
+	if !EmptyRegion().Translate(Pt(3, 3)).Empty() {
+		t.Fatal("empty translate not empty")
+	}
+}
+
+// TestDrawableRegionClipsFill proves the damage-region clip: a fill over
+// the whole drawable touches only the pixels of the installed region.
+func TestDrawableRegionClipsFill(t *testing.T) {
+	bm := NewBitmap(40, 20)
+	g := &bitmapGraphic{bm: bm, clip: bm.Bounds()}
+	d := NewDrawable(g)
+
+	reg := RectRegion(XYWH(2, 3, 5, 4)).UnionRect(XYWH(20, 10, 6, 2))
+	d.SetRegion(reg)
+	d.FillRect(bm.Bounds())
+
+	for y := 0; y < bm.H; y++ {
+		for x := 0; x < bm.W; x++ {
+			in := reg.ContainsPoint(Pt(x, y))
+			if got := bm.At(x, y) == Black; got != in {
+				t.Fatalf("pixel (%d,%d): painted=%v, in region=%v", x, y, got, in)
+			}
+		}
+	}
+}
+
+// TestDrawableRegionPropagatesToSub checks that Sub inherits the damage
+// region so child views stay confined to their parent's damage.
+func TestDrawableRegionPropagatesToSub(t *testing.T) {
+	bm := NewBitmap(40, 20)
+	g := &bitmapGraphic{bm: bm, clip: bm.Bounds()}
+	d := NewDrawable(g)
+	d.SetRegion(RectRegion(XYWH(0, 0, 10, 20)))
+
+	sub := d.Sub(XYWH(5, 0, 30, 20))
+	sub.FillRect(XYWH(0, 0, 30, 20))
+
+	if got := bm.Count(bm.Bounds(), Black); got != 5*20 {
+		t.Fatalf("sub painted %d pixels, want %d (region ∩ sub clip)", got, 5*20)
+	}
+	if bm.At(10, 5) == Black {
+		t.Fatal("sub painted outside the inherited damage region")
+	}
+}
+
+// TestDrawableRegionInvertOnce checks that InvertArea under a multi-rect
+// region inverts each pixel at most once (region rects are disjoint).
+func TestDrawableRegionInvertOnce(t *testing.T) {
+	bm := NewBitmap(20, 10)
+	g := &bitmapGraphic{bm: bm, clip: bm.Bounds()}
+	d := NewDrawable(g)
+	// Two abutting rects that a sloppy implementation might overlap.
+	d.SetRegion(RectRegion(XYWH(0, 0, 10, 10)).UnionRect(XYWH(10, 0, 10, 10)))
+	d.InvertArea(bm.Bounds())
+	if got := bm.Count(bm.Bounds(), Black); got != 20*10 {
+		t.Fatalf("after invert, %d black pixels, want %d", got, 20*10)
+	}
+}
+
+// bitmapGraphic is a minimal raster Graphic for clip tests (the full
+// memwin backend lives in another package and cannot be imported here).
+type bitmapGraphic struct {
+	bm   *Bitmap
+	clip Rect
+}
+
+func (g *bitmapGraphic) Bounds() Rect   { return g.bm.Bounds() }
+func (g *bitmapGraphic) SetClip(r Rect) { g.clip = r.Intersect(g.bm.Bounds()) }
+func (g *bitmapGraphic) Clear(r Rect)   { g.bm.Fill(r.Intersect(g.clip), White) }
+func (g *bitmapGraphic) FillRect(r Rect, v Pixel) {
+	g.bm.Fill(r.Intersect(g.clip), v)
+}
+func (g *bitmapGraphic) set(v Pixel) func(x, y int) {
+	return func(x, y int) {
+		if Pt(x, y).In(g.clip) {
+			g.bm.Set(x, y, v)
+		}
+	}
+}
+func (g *bitmapGraphic) DrawLine(a, b Point, w int, v Pixel)            { RasterLine(a, b, w, g.set(v)) }
+func (g *bitmapGraphic) DrawRect(r Rect, w int, v Pixel)                {}
+func (g *bitmapGraphic) DrawOval(r Rect, w int, v Pixel)                {}
+func (g *bitmapGraphic) FillOval(r Rect, v Pixel)                       {}
+func (g *bitmapGraphic) DrawArc(r Rect, s, sw, w int, v Pixel)          {}
+func (g *bitmapGraphic) FillArc(r Rect, s, sw int, v Pixel)             {}
+func (g *bitmapGraphic) DrawPolyline(p []Point, w int, v Pixel, c bool) {}
+func (g *bitmapGraphic) FillPolygon(p []Point, v Pixel)                 {}
+func (g *bitmapGraphic) DrawString(p Point, s string, f *Font, v Pixel) {}
+func (g *bitmapGraphic) DrawBitmap(d Point, bm *Bitmap)                 {}
+func (g *bitmapGraphic) CopyArea(src Rect, d Point)                     {}
+func (g *bitmapGraphic) InvertArea(r Rect)                              { g.bm.Invert(r.Intersect(g.clip)) }
+func (g *bitmapGraphic) Flush() error                                   { return nil }
+func (g *bitmapGraphic) FlushRegion(reg Region) error                   { return nil }

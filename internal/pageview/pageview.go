@@ -79,10 +79,22 @@ func (v *View) Text() *text.Data {
 }
 
 // ObservedChanged implements core.View: the same delayed-update contract
-// as the screen view — repagination is deferred to the update cycle.
+// as the screen view — repagination is deferred to the update cycle. The
+// gray desk around the page never changes, so only the page rectangle is
+// damaged.
 func (v *View) ObservedChanged(obj core.DataObject, ch core.Change) {
 	v.dirty = true
-	v.WantUpdate(v.Self())
+	v.damagePage()
+}
+
+// damagePage posts the page rectangle (not the surrounding desk) as the
+// view's damage.
+func (v *View) damagePage() {
+	px := (v.Bounds().Dx() - PageW) / 2
+	if px < 0 {
+		px = 0
+	}
+	v.WantUpdateRegion(v.Self(), graphics.RectRegion(graphics.XYWH(px, 8, PageW, PageH)))
 }
 
 // Pages returns the page count (repaginating if needed).
@@ -105,7 +117,7 @@ func (v *View) SetPage(i int) {
 	}
 	if i != v.pageIdx {
 		v.pageIdx = i
-		v.WantUpdate(v.Self())
+		v.damagePage()
 	}
 }
 

@@ -151,6 +151,10 @@ func (t *TroffDevice) Flush() error {
 	return t.err
 }
 
+// FlushRegion implements graphics.Graphic; paper has no partial present,
+// so it behaves exactly like Flush.
+func (t *TroffDevice) FlushRegion(reg graphics.Region) error { return t.Flush() }
+
 // Print redraws v onto a printer device writing to w, using the view's
 // current size. This is the §4 mechanism verbatim: build a drawable over
 // the printer Graphic, redraw, restore nothing because the view never

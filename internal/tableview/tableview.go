@@ -65,6 +65,60 @@ func (v *Spread) Table() *table.Data {
 // Selected returns the selected cell.
 func (v *Spread) Selected() (int, int) { return v.selR, v.selC }
 
+// ObservedChanged implements core.View: a cell edit damages only the
+// changed cell plus every formula cell — a recalc may silently change
+// any dependent, and formulas are the only cells that depend on others.
+// Structural changes (dims, layout, embeds whose height may shift rows)
+// fall back to whole-bounds damage.
+func (v *Spread) ObservedChanged(obj core.DataObject, ch core.Change) {
+	d := v.Table()
+	if d == nil || ch.Kind != "cell" {
+		v.WantUpdate(v.Self())
+		return
+	}
+	rows, cols := d.Dims()
+	if cols <= 0 || ch.Pos < 0 || ch.Pos >= rows*cols {
+		v.WantUpdate(v.Self())
+		return
+	}
+	reg := graphics.EmptyRegion()
+	addCell := func(i int) bool {
+		r, c := i/cols, i%cols
+		cell, err := d.Cell(r, c)
+		if err != nil || cell.Kind == table.Embed {
+			return false // embedded cells can change row heights
+		}
+		if r >= v.topRow {
+			reg = reg.UnionRect(graphics.XYWH(v.colX(c), v.rowY(r), d.ColWidth(c), v.rowHeight(r)))
+		}
+		return true
+	}
+	if !addCell(ch.Pos) {
+		v.WantUpdate(v.Self())
+		return
+	}
+	for i := 0; i < rows*cols; i++ {
+		if i == ch.Pos {
+			continue
+		}
+		cell, err := d.Cell(i/cols, i%cols)
+		if err != nil {
+			continue
+		}
+		switch cell.Kind {
+		case table.Embed:
+			v.WantUpdate(v.Self())
+			return
+		case table.Formula:
+			if !addCell(i) {
+				v.WantUpdate(v.Self())
+				return
+			}
+		}
+	}
+	v.WantUpdateRegion(v.Self(), reg)
+}
+
 // Select moves the selection, committing any edit in progress.
 func (v *Spread) Select(r, c int) {
 	d := v.Table()

@@ -59,6 +59,10 @@ type View struct {
 	rects    map[*text.Embedded]graphics.Rect // local rects of visible children
 
 	readOnly bool
+	// noIncremental disables the single-line damage-repair path, forcing
+	// every edit through full relayout + whole-bounds damage (benchmark
+	// and debugging toggle; the zero value keeps incremental repaint on).
+	noIncremental bool
 	// lastSearch remembers the pattern for SearchAgain.
 	lastSearch string
 	// Inserted counts runes typed (benchmark instrumentation).
@@ -129,11 +133,17 @@ func (v *View) clampPos(pos int) int {
 	return pos
 }
 
-// ObservedChanged implements core.View: record that layout is stale and
-// adjust the caret across the edit (the delayed-update contract: no
+// SetIncremental toggles the incremental damage path (on by default).
+// With it off, every edit invalidates the whole layout and repaints the
+// full view — the pre-damage-region behaviour.
+func (v *View) SetIncremental(on bool) { v.noIncremental = !on }
+
+// ObservedChanged implements core.View: adjust the caret across the
+// edit, then either repair the layout in place and post line-rect damage
+// (a confined single-line edit) or mark the layout stale and fall back
+// to whole-bounds damage (the delayed-update contract either way: no
 // drawing happens here).
 func (v *View) ObservedChanged(obj core.DataObject, ch core.Change) {
-	v.dirty = true
 	switch ch.Kind {
 	case "insert", "child":
 		if v.dot >= ch.Pos {
@@ -147,7 +157,110 @@ func (v *View) ObservedChanged(obj core.DataObject, ch core.Change) {
 		v.mark = shrinkAcross(v.mark, ch.Pos, ch.Length)
 	}
 	v.dot, v.mark = v.clampPos(v.dot), v.clampPos(v.mark)
+	if r, ok := v.repairLine(ch); ok {
+		// Layout repaired in place: only the edited line's strip needs
+		// repainting — nothing at all when it is scrolled out of view.
+		if !r.Empty() {
+			v.WantUpdateRegion(v.Self(), graphics.RectRegion(r))
+		}
+		return
+	}
+	v.dirty = true
 	v.WantUpdate(v.Self())
+}
+
+// repairLine attempts the incremental layout repair for a confined
+// single-line insert or delete: re-lay just the edited line and, when
+// its boundaries and height are preserved, splice it into the line table
+// and shift later lines' rune ranges. It returns the local rectangle to
+// repaint and whether the repair succeeded; on failure the caller falls
+// back to full relayout with whole-bounds damage.
+func (v *View) repairLine(ch core.Change) (graphics.Rect, bool) {
+	if v.noIncremental || v.dirty || len(v.lines) == 0 || v.layoutW != v.Bounds().Dx() {
+		return graphics.Rect{}, false
+	}
+	d := v.Text()
+	if d == nil {
+		return graphics.Rect{}, false
+	}
+	var delta int
+	switch ch.Kind {
+	case "insert":
+		delta = ch.Length
+	case "delete":
+		delta = -ch.Length
+	default:
+		return graphics.Rect{}, false
+	}
+	// Locate the edited line in the pre-edit table. Lines are contiguous,
+	// so the first line whose end is at or past the edit position holds it.
+	li := -1
+	for i := range v.lines {
+		if ch.Pos <= v.lines[i].end {
+			li = i
+			break
+		}
+	}
+	// Edits at the very end of the buffer (and any edit touching the last
+	// line) can add or remove the trailing empty line, which a splice
+	// cannot express — let relayout handle the last line.
+	if li < 0 || li >= len(v.lines)-1 {
+		return graphics.Rect{}, false
+	}
+	old := v.lines[li]
+	if ch.Kind == "delete" && ch.Pos+ch.Length > old.end {
+		return graphics.Rect{}, false // spans the newline or the next line
+	}
+	// An edit at the start of a line that continues a wrapped previous
+	// line can re-flow that previous line; only a hard newline isolates.
+	if li > 0 {
+		prev := v.lines[li-1]
+		if prev.nlEnd == prev.end {
+			return graphics.Rect{}, false
+		}
+	}
+	for _, s := range old.segs {
+		if s.child != nil {
+			return graphics.Rect{}, false // embedded children move: full path
+		}
+	}
+	w := v.layoutW
+	newLn := v.layoutLine(d, old.start, w)
+	// The repair holds only if the line still covers exactly the shifted
+	// rune range at the same height: no re-wrap spilled into neighbours.
+	if newLn.nlEnd != old.nlEnd+delta || newLn.h != old.h {
+		return graphics.Rect{}, false
+	}
+	for _, s := range newLn.segs {
+		if s.child != nil {
+			return graphics.Rect{}, false
+		}
+	}
+	v.lines[li] = newLn
+	if delta != 0 {
+		for i := li + 1; i < len(v.lines); i++ {
+			ln := &v.lines[i]
+			ln.start += delta
+			ln.end += delta
+			ln.nlEnd += delta
+			for j := range ln.segs {
+				ln.segs[j].start += delta
+				ln.segs[j].end += delta
+			}
+		}
+	}
+	if li < v.topLine {
+		return graphics.Rect{}, true // scrolled above the viewport
+	}
+	y := 2
+	for i := v.topLine; i < li; i++ {
+		y += v.lines[i].h
+	}
+	h := v.Bounds().Dy()
+	if y >= h {
+		return graphics.Rect{}, true // scrolled below the viewport
+	}
+	return graphics.XYWH(0, y, v.Bounds().Dx(), min(old.h, h-y)), true
 }
 
 func shrinkAcross(x, pos, n int) int {

@@ -173,6 +173,20 @@ func (sv *ScrollView) FullUpdate(d *graphics.Drawable) {
 	sv.body.FullUpdate(d.Sub(sv.body.Bounds()))
 }
 
+// WantUpdate implements core.View: a whole-bounds repaint of the body
+// means its scroll state may have changed (content grew or shrank, or it
+// scrolled programmatically), which moves the bar's thumb — a sibling
+// whose geometry is derived from the body's ScrollInfo at draw time. The
+// bar is damaged along with the body before the request is forwarded up.
+// Region damage is exempt: the incremental line-repair path preserves
+// line count, heights and scroll position, so the thumb cannot move.
+func (sv *ScrollView) WantUpdate(v core.View) {
+	if v == core.View(sv.body) || v == sv.body.Self() {
+		sv.BaseView.WantUpdate(sv.bar)
+	}
+	sv.BaseView.WantUpdate(v)
+}
+
 // Hit implements core.View: the bar is offered the event when it lands on
 // it; everything else goes to the body.
 func (sv *ScrollView) Hit(a wsys.MouseAction, p graphics.Point, clicks int) core.View {

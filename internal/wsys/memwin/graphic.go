@@ -16,6 +16,12 @@ type Graphic struct {
 	clip graphics.Rect
 	// ops counts primitive calls; used by benchmarks comparing backends.
 	ops int64
+	// pixels counts raster writes that landed inside the clip — the
+	// "pixels touched" metric the repaint benchmarks report.
+	pixels int64
+	// lastFlush records the region passed to the most recent FlushRegion
+	// call (test introspection of the damage pipeline).
+	lastFlush graphics.Region
 }
 
 // NewGraphic returns a Graphic drawing into bm.
@@ -28,6 +34,15 @@ func (g *Graphic) Bitmap() *graphics.Bitmap { return g.bm }
 
 // Ops returns the number of primitive operations performed.
 func (g *Graphic) Ops() int64 { return g.ops }
+
+// PixelsTouched returns the number of in-clip pixel writes performed.
+func (g *Graphic) PixelsTouched() int64 { return g.pixels }
+
+// ResetCounters zeroes the ops and pixels-touched counters.
+func (g *Graphic) ResetCounters() { g.ops, g.pixels = 0, 0 }
+
+// LastFlushRegion returns the region of the most recent FlushRegion call.
+func (g *Graphic) LastFlushRegion() graphics.Region { return g.lastFlush }
 
 // Bounds implements graphics.Graphic.
 func (g *Graphic) Bounds() graphics.Rect { return g.bm.Bounds() }
@@ -42,6 +57,7 @@ func (g *Graphic) set(x, y int, v graphics.Pixel) {
 	if !graphics.Pt(x, y).In(g.clip) {
 		return
 	}
+	g.pixels++
 	g.bm.Set(x, y, v)
 }
 
@@ -55,7 +71,9 @@ func (g *Graphic) Clear(r graphics.Rect) { g.FillRect(r, graphics.White) }
 // FillRect implements graphics.Graphic.
 func (g *Graphic) FillRect(r graphics.Rect, v graphics.Pixel) {
 	g.ops++
-	g.bm.Fill(r.Intersect(g.clip), v)
+	c := r.Intersect(g.clip)
+	g.pixels += int64(c.Dx()) * int64(c.Dy())
+	g.bm.Fill(c, v)
 }
 
 // DrawLine implements graphics.Graphic.
@@ -176,8 +194,18 @@ func (g *Graphic) CopyArea(src graphics.Rect, dst graphics.Point) {
 // InvertArea implements graphics.Graphic.
 func (g *Graphic) InvertArea(r graphics.Rect) {
 	g.ops++
-	g.bm.Invert(r.Intersect(g.clip))
+	c := r.Intersect(g.clip)
+	g.pixels += int64(c.Dx()) * int64(c.Dy())
+	g.bm.Invert(c)
 }
 
 // Flush implements graphics.Graphic; memory surfaces need no flushing.
 func (g *Graphic) Flush() error { return nil }
+
+// FlushRegion implements graphics.Graphic. Memory surfaces need no
+// flushing either; the region is recorded so tests can observe what the
+// damage pipeline would have pushed to a real display.
+func (g *Graphic) FlushRegion(reg graphics.Region) error {
+	g.lastFlush = reg
+	return nil
+}

@@ -329,6 +329,10 @@ func (g *Graphic) InvertArea(r graphics.Rect) {
 // Flush implements graphics.Graphic.
 func (g *Graphic) Flush() error { return nil }
 
+// FlushRegion implements graphics.Graphic. The terminal grid is redrawn
+// wholesale by the driver, so partial flushes are a no-op here.
+func (g *Graphic) FlushRegion(reg graphics.Region) error { return nil }
+
 // Dump renders the screen as plain text, marking reverse-video cells by
 // substituting '▓' — tests use DumpASCII for the 7-bit variant.
 func (g *Graphic) Dump() string {

@@ -18,6 +18,7 @@ verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x .
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/datastream
 	$(GO) test -fuzz=FuzzRepaint -fuzztime=10s .
 
@@ -32,5 +33,7 @@ fuzz:
 generate:
 	$(GO) generate ./...
 
+# bench runs every experiment benchmark and records the text-indexing
+# results (entries plus derived speedups) in BENCH_text.json.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_text.json -filter E9TextIndexing

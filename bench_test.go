@@ -458,6 +458,129 @@ func BenchmarkE9MessageRoundTrip(b *testing.B) {
 	}
 }
 
+// --- E9b: text hot path — indexed piece table, cursors, lazy layout ---
+
+// editedDoc builds a document of n hard lines, then applies 1000
+// scattered single-word edits so the piece table is realistically
+// fragmented (~1000 pieces), the shape the indexes exist for.
+func editedDoc(b *testing.B, reg *class.Registry, n int) *text.Data {
+	b.Helper()
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "the quick brown fox jumps over line %d\n", i)
+	}
+	d := text.NewString(sb.String())
+	d.SetRegistry(reg)
+	d.WithoutUndo(func() {
+		step := d.Len() / 1001
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < 1000; i++ {
+			if err := d.Insert((i*step)%(d.Len()+1), "edit "); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return d
+}
+
+// BenchmarkE9TextIndexing quantifies the indexed text layer: point
+// lookups and line queries on a fragmented buffer, cursor iteration, and
+// full- versus viewport-lazy relayout. The Scan/Full variants replicate
+// the pre-index algorithms as baselines; benchjson derives the speedup
+// pairs into BENCH_text.json.
+func BenchmarkE9TextIndexing(b *testing.B) {
+	reg := benchRegistry(b)
+
+	b.Run("PointLookup", func(b *testing.B) {
+		d := editedDoc(b, reg, 10000)
+		n := d.Len()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.RuneAt((i * 7919) % n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("SequentialScan", func(b *testing.B) {
+		d := editedDoc(b, reg, 10000)
+		b.SetBytes(int64(d.Len()))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := d.Cursor(0)
+			runes := 0
+			for {
+				if _, ok := c.Next(); !ok {
+					break
+				}
+				runes++
+			}
+			if runes != d.Len() {
+				b.Fatalf("scanned %d of %d", runes, d.Len())
+			}
+		}
+	})
+
+	b.Run("LineStartIndexed", func(b *testing.B) {
+		d := editedDoc(b, reg, 100000)
+		end := d.Len() - 1 // inside the last content line
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if d.LineStart(end) <= 0 {
+				b.Fatal("bogus line start")
+			}
+		}
+	})
+
+	b.Run("LineStartScanBaseline", func(b *testing.B) {
+		// The pre-index algorithm: walk backwards rune by rune with
+		// RuneAt until a newline. (Conservative baseline — the original
+		// RuneAt was additionally a linear piece walk.)
+		d := editedDoc(b, reg, 100000)
+		end := d.Len() - 1 // inside the last content line
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pos := end
+			for pos > 0 {
+				r, err := d.RuneAt(pos - 1)
+				if err != nil || r == '\n' {
+					break
+				}
+				pos--
+			}
+			if pos <= 0 {
+				b.Fatal("bogus line start")
+			}
+		}
+	})
+
+	relayout := func(nLines int, viewport bool) func(*testing.B) {
+		return func(b *testing.B) {
+			d := editedDoc(b, reg, nLines)
+			v := textview.New(reg)
+			v.SetDataObject(d)
+			v.SetBounds(graphics.XYWH(0, 0, 560, 360))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.InvalidateLayout()
+				if viewport {
+					v.LayoutViewport()
+				} else {
+					if v.Lines() < nLines {
+						b.Fatal("layout lost lines")
+					}
+				}
+			}
+		}
+	}
+	b.Run("RelayoutFull10k", relayout(10000, false))
+	b.Run("RelayoutViewport10k", relayout(10000, true))
+	b.Run("RelayoutFull100k", relayout(100000, false))
+	b.Run("RelayoutViewport100k", relayout(100000, true))
+}
+
 // --- E10: deployment scale (§9: 3000 users; EZ displacing emacs) ---
 
 func BenchmarkE10Scale(b *testing.B) {

@@ -1,0 +1,152 @@
+// Command benchjson filters `go test -bench` output into a JSON record.
+// It reads the benchmark stream on stdin, echoes it unchanged to stdout
+// (so it sits in a pipeline without hiding results), and writes the
+// parsed entries whose name contains -filter to -out. When the text
+// indexing pairs are present it also derives the headline speedups —
+// indexed line lookup versus the rune-walk baseline, and viewport-lazy
+// relayout versus full relayout.
+//
+//	go test -bench=. -benchmem . | go run ./cmd/benchjson -out BENCH_text.json -filter E9TextIndexing
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type report struct {
+	Command    string             `json:"command"`
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks []entry            `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+// speedupPairs maps a derived-metric name to [baseline, improved] name
+// suffixes; the ratio baseline/improved lands in the speedups map.
+var speedupPairs = map[string][2]string{
+	"line_start_end_of_doc": {"LineStartScanBaseline", "LineStartIndexed"},
+	"relayout_10k_lines":    {"RelayoutFull10k", "RelayoutViewport10k"},
+	"relayout_100k_lines":   {"RelayoutFull100k", "RelayoutViewport100k"},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_text.json", "JSON output path")
+	filter := flag.String("filter", "", "only record benchmarks whose name contains this substring")
+	flag.Parse()
+
+	rep := report{Command: "go test -bench=. -benchmem ."}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		if e, ok := parseBench(line); ok && strings.Contains(e.Name, *filter) {
+			rep.Benchmarks = append(rep.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	rep.Speedups = deriveSpeedups(rep.Benchmarks)
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parseBench parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFoo/Bar-8   12345   987.6 ns/op   307.15 MB/s   16 B/op   2 allocs/op
+func parseBench(line string) (entry, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return entry{}, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return entry{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return entry{}, false
+	}
+	e := entry{Name: strings.TrimPrefix(f[0], "Benchmark"), Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		val := f[i]
+		switch f[i+1] {
+		case "ns/op":
+			e.NsPerOp, _ = strconv.ParseFloat(val, 64)
+		case "MB/s":
+			e.MBPerSec, _ = strconv.ParseFloat(val, 64)
+		case "B/op":
+			e.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			e.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	if e.NsPerOp == 0 {
+		return entry{}, false
+	}
+	return e, true
+}
+
+func deriveSpeedups(es []entry) map[string]float64 {
+	byName := map[string]entry{}
+	for _, e := range es {
+		if i := strings.LastIndex(e.Name, "/"); i >= 0 {
+			// Strip the leading group and trailing -P cpu suffix.
+			name := e.Name[i+1:]
+			if j := strings.LastIndex(name, "-"); j >= 0 {
+				if _, err := strconv.Atoi(name[j+1:]); err == nil {
+					name = name[:j]
+				}
+			}
+			byName[name] = e
+		}
+	}
+	out := map[string]float64{}
+	for metric, pair := range speedupPairs {
+		base, ok1 := byName[pair[0]]
+		fast, ok2 := byName[pair[1]]
+		if ok1 && ok2 && fast.NsPerOp > 0 {
+			out[metric] = round2(base.NsPerOp / fast.NsPerOp)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }

@@ -17,13 +17,14 @@ func (d *Data) Extract(start, end int) (*Data, error) {
 	}
 	out := New()
 	out.reg = d.reg
-	// Content, anchors included.
-	content := []rune(d.Slice(start, end))
+	// Content, anchors included — copied piece-walk-free via the index.
+	content := d.Runes(start, end)
 	out.orig = content
 	out.length = len(content)
 	if out.length > 0 {
 		out.pieces = []piece{{srcOrig, 0, out.length}}
 	}
+	out.buildNewlineIndex()
 	// Styles: definitions referenced by clipped runs, plus the runs.
 	for _, r := range d.runs {
 		s, e := max(r.Start, start), min(r.End, end)
@@ -57,7 +58,7 @@ func (d *Data) InsertData(pos int, src *Data) error {
 	}
 	// Insert the raw content (anchors included) in one piece-table splice;
 	// insertRunes shifts existing runs and embeds.
-	if err := d.insertRunes(pos, []rune(src.String()), "insert"); err != nil {
+	if err := d.insertRunes(pos, src.Runes(0, src.Len()), "insert"); err != nil {
 		return err
 	}
 	// Import style definitions and graft the runs.

@@ -120,6 +120,185 @@ func TestQuickInvariantsUnderRandomOps(t *testing.T) {
 	}
 }
 
+// TestQuickOracleMirror drives Insert/Delete/Undo/Redo/Compact against a
+// plain []rune oracle and checks every indexed read path — RuneAt, Slice,
+// LineStart/LineEnd/LineCount, and cursor iteration both ways — agrees
+// with the oracle after each step. This is the safety net for the piece
+// index and the incrementally-maintained newline index.
+func TestQuickOracleMirror(t *testing.T) {
+	type op struct {
+		Kind uint8
+		A, B uint16
+		S    string
+	}
+	agree := func(d *Data, want []rune) bool {
+		if d.Len() != len(want) {
+			t.Logf("len %d != %d", d.Len(), len(want))
+			return false
+		}
+		for i, w := range want {
+			if r, err := d.RuneAt(i); err != nil || r != w {
+				t.Logf("RuneAt(%d) = %q,%v want %q", i, r, err, w)
+				return false
+			}
+		}
+		if d.String() != string(want) {
+			t.Logf("String mismatch")
+			return false
+		}
+		// A couple of interior slices.
+		if n := len(want); n > 2 {
+			if d.Slice(1, n-1) != string(want[1:n-1]) {
+				t.Logf("Slice(1,%d) mismatch", n-1)
+				return false
+			}
+		}
+		// Cursor sweep, both directions.
+		c := d.Cursor(0)
+		for i, w := range want {
+			if r, ok := c.Next(); !ok || r != w {
+				t.Logf("cursor Next(%d) = %q,%v want %q", i, r, ok, w)
+				return false
+			}
+		}
+		if _, ok := c.Next(); ok {
+			t.Logf("cursor ran past end")
+			return false
+		}
+		for i := len(want) - 1; i >= 0; i-- {
+			if r, ok := c.Prev(); !ok || r != want[i] {
+				t.Logf("cursor Prev(%d) = %q,%v want %q", i, r, ok, want[i])
+				return false
+			}
+		}
+		// Line queries against a scan.
+		nls := 0
+		for _, r := range want {
+			if r == '\n' {
+				nls++
+			}
+		}
+		if d.LineCount() != nls+1 {
+			t.Logf("LineCount = %d want %d", d.LineCount(), nls+1)
+			return false
+		}
+		for pos := 0; pos <= len(want); pos++ {
+			if pos >= 1 {
+				ws := 0
+				for i := pos - 1; i >= 0; i-- {
+					if want[i] == '\n' {
+						ws = i + 1
+						break
+					}
+				}
+				if d.LineStart(pos) != ws {
+					t.Logf("LineStart(%d) = %d want %d", pos, d.LineStart(pos), ws)
+					return false
+				}
+			}
+			if pos < len(want) {
+				we := len(want)
+				for i := pos; i < len(want); i++ {
+					if want[i] == '\n' {
+						we = i
+						break
+					}
+				}
+				if d.LineEnd(pos) != we {
+					t.Logf("LineEnd(%d) = %d want %d", pos, d.LineEnd(pos), we)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	f := func(ops []op) bool {
+		d := NewString("seed\nline two\n")
+		oracle := []rune("seed\nline two\n")
+		var undoStack, redoStack [][]rune
+		for _, o := range ops {
+			n := len(oracle)
+			switch o.Kind % 5 {
+			case 0: // insert
+				pos := int(o.A) % (n + 1)
+				txt := o.S
+				if len(txt) > 12 {
+					txt = txt[:12]
+				}
+				ok := true
+				for _, r := range txt {
+					if r == AnchorRune {
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				rs := []rune(txt)
+				if len(rs) == 0 {
+					continue // Insert("") records no op
+				}
+				if err := d.Insert(pos, txt); err != nil {
+					return false
+				}
+				undoStack = append(undoStack, append([]rune(nil), oracle...))
+				redoStack = nil
+				oracle = append(oracle[:pos:pos], append(rs, oracle[pos:]...)...)
+			case 1: // delete
+				if n == 0 {
+					continue
+				}
+				pos := int(o.A) % n
+				cnt := int(o.B) % (n - pos + 1)
+				if cnt == 0 {
+					continue // Delete of zero records no op
+				}
+				if err := d.Delete(pos, cnt); err != nil {
+					return false
+				}
+				undoStack = append(undoStack, append([]rune(nil), oracle...))
+				redoStack = nil
+				oracle = append(oracle[:pos:pos], oracle[pos+cnt:]...)
+			case 2: // undo
+				if len(undoStack) == 0 {
+					if d.Undo() {
+						return false
+					}
+					continue
+				}
+				if !d.Undo() {
+					return false
+				}
+				redoStack = append(redoStack, oracle)
+				oracle = undoStack[len(undoStack)-1]
+				undoStack = undoStack[:len(undoStack)-1]
+			case 3: // redo
+				if len(redoStack) == 0 {
+					if d.Redo() {
+						return false
+					}
+					continue
+				}
+				if !d.Redo() {
+					return false
+				}
+				undoStack = append(undoStack, oracle)
+				oracle = redoStack[len(redoStack)-1]
+				redoStack = redoStack[:len(redoStack)-1]
+			case 4: // compact: content identical, indexes rebuilt
+				d.Compact()
+			}
+			if !agree(d, oracle) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickSliceConsistency: Slice(0,i)+Slice(i,len) == String for any
 // split point, however fragmented the piece table is.
 func TestQuickSliceConsistency(t *testing.T) {

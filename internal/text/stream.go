@@ -111,6 +111,8 @@ func (d *Data) ReadPayload(r *datastream.Reader) error {
 	// Reset.
 	d.orig, d.add, d.pieces, d.length = nil, nil, nil, 0
 	d.runs, d.embeds = nil, nil
+	d.bump()
+	d.nl = d.nl[:0]
 
 	var content []rune
 	var pendingObj core.DataObject
@@ -134,6 +136,8 @@ func (d *Data) ReadPayload(r *datastream.Reader) error {
 			if d.length > 0 {
 				d.pieces = []piece{{srcOrig, 0, d.length}}
 			}
+			d.bump()
+			d.buildNewlineIndex()
 			d.runs = runs
 			d.NotifyObservers(core.FullChange)
 			return nil

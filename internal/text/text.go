@@ -55,6 +55,15 @@ type Data struct {
 	pieces []piece
 	length int
 
+	// Derived indexes (see index.go). gen counts piece-table mutations;
+	// cum is the lazily rebuilt cumulative piece-start index; nl is the
+	// incrementally maintained newline index.
+	gen    uint64
+	cum    []int
+	cumGen uint64
+	cumOK  bool
+	nl     []int
+
 	styles *StyleTable
 	runs   []Run
 	embeds []*Embedded
@@ -85,6 +94,7 @@ func NewString(s string) *Data {
 	if d.length > 0 {
 		d.pieces = []piece{{srcOrig, 0, d.length}}
 	}
+	d.buildNewlineIndex()
 	return d
 }
 
@@ -100,18 +110,14 @@ func (d *Data) Runs() []Run { return d.runs }
 // Embeds returns the embedded components ordered by position (read-only).
 func (d *Data) Embeds() []*Embedded { return d.embeds }
 
-// RuneAt returns the rune at pos.
+// RuneAt returns the rune at pos, in O(log k) via the piece index.
 func (d *Data) RuneAt(pos int) (rune, error) {
 	if pos < 0 || pos >= d.length {
 		return 0, fmt.Errorf("%w: %d of %d", ErrRange, pos, d.length)
 	}
-	for _, p := range d.pieces {
-		if pos < p.n {
-			return d.src(p.src)[p.off+pos], nil
-		}
-		pos -= p.n
-	}
-	return 0, fmt.Errorf("%w: piece table inconsistent", ErrRange)
+	pi, po := d.pieceAt(pos)
+	p := d.pieces[pi]
+	return d.src(p.src)[p.off+po], nil
 }
 
 func (d *Data) src(s pieceSrc) []rune {
@@ -122,35 +128,10 @@ func (d *Data) src(s pieceSrc) []rune {
 }
 
 // Slice returns the runes in [start,end) as a string; anchors appear as
-// AnchorRune.
+// AnchorRune. The starting piece is found through the index, so a slice
+// near the end of a fragmented buffer does not walk every piece.
 func (d *Data) Slice(start, end int) string {
-	if start < 0 {
-		start = 0
-	}
-	if end > d.length {
-		end = d.length
-	}
-	if start >= end {
-		return ""
-	}
-	var b strings.Builder
-	b.Grow(end - start)
-	pos := 0
-	for _, p := range d.pieces {
-		if pos >= end {
-			break
-		}
-		pEnd := pos + p.n
-		if pEnd <= start {
-			pos = pEnd
-			continue
-		}
-		lo, hi := max(start, pos), min(end, pEnd)
-		seg := d.src(p.src)[p.off+lo-pos : p.off+hi-pos]
-		b.WriteString(string(seg))
-		pos = pEnd
-	}
-	return b.String()
+	return string(d.Runes(start, end))
 }
 
 // String returns the whole buffer.
@@ -179,6 +160,8 @@ func (d *Data) insertRunes(pos int, rs []rune, kind string) error {
 
 	d.pieces = d.spliceIn(pos, np)
 	d.length += len(rs)
+	d.bump()
+	d.noteInsert(pos, rs)
 	d.shiftForInsert(pos, len(rs))
 	d.NotifyObservers(core.Change{Kind: kind, Pos: pos, Length: len(rs)})
 	return nil
@@ -250,6 +233,8 @@ func (d *Data) Delete(pos, n int) error {
 	}
 	d.pieces = out
 	d.length -= n
+	d.bump()
+	d.noteDelete(pos, n)
 	d.shiftForDelete(pos, n)
 	d.NotifyObservers(core.Change{Kind: "delete", Pos: pos, Length: n})
 	return nil
@@ -349,18 +334,44 @@ func clampDel(x, pos, end, n int) int {
 }
 
 // Index returns the first occurrence of sub at or after from, or -1. The
-// search sees anchors as AnchorRune.
+// search sees anchors as AnchorRune. It iterates the buffer through a
+// cursor, so a search never materializes an O(n) copy of the document.
 func (d *Data) Index(sub string, from int) int {
 	if from < 0 {
 		from = 0
 	}
-	s := d.Slice(from, d.length)
-	i := strings.Index(s, sub)
-	if i < 0 {
+	pat := []rune(sub)
+	m := len(pat)
+	if m == 0 {
+		return from
+	}
+	if from+m > d.length {
 		return -1
 	}
-	// Convert the byte offset back to runes.
-	return from + len([]rune(s[:i]))
+	c := d.Cursor(from)
+	probe := d.Cursor(from)
+	for start := from; start+m <= d.length; start++ {
+		r, _ := c.Next()
+		if r != pat[0] {
+			continue
+		}
+		if m == 1 {
+			return start
+		}
+		probe.Seek(start + 1)
+		match := true
+		for j := 1; j < m; j++ {
+			rr, _ := probe.Next()
+			if rr != pat[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return start
+		}
+	}
+	return -1
 }
 
 // WordAt returns the word boundaries around pos (letters and digits).
@@ -369,16 +380,21 @@ func (d *Data) WordAt(pos int) (start, end int) {
 		return r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
 	}
 	start, end = pos, pos
+	if pos < 0 || pos > d.length {
+		return start, end
+	}
+	c := d.Cursor(pos)
 	for start > 0 {
-		r, err := d.RuneAt(start - 1)
-		if err != nil || !isWord(r) {
+		r, ok := c.Prev()
+		if !ok || !isWord(r) {
 			break
 		}
 		start--
 	}
+	c.Seek(pos)
 	for end < d.length {
-		r, err := d.RuneAt(end)
-		if err != nil || !isWord(r) {
+		r, ok := c.Next()
+		if !ok || !isWord(r) {
 			break
 		}
 		end++
@@ -386,37 +402,40 @@ func (d *Data) WordAt(pos int) (start, end int) {
 	return start, end
 }
 
-// LineStart returns the position just after the previous newline.
+// LineStart returns the position just after the previous newline, in
+// O(log L) via the newline index.
 func (d *Data) LineStart(pos int) int {
-	for pos > 0 {
-		r, err := d.RuneAt(pos - 1)
-		if err != nil || r == '\n' {
-			break
-		}
-		pos--
+	if pos <= 0 || pos > d.length {
+		return pos
 	}
-	return pos
+	i := sort.SearchInts(d.nl, pos)
+	if i == 0 {
+		return 0
+	}
+	return d.nl[i-1] + 1
 }
 
-// LineEnd returns the position of the next newline (or Len).
+// LineEnd returns the position of the next newline (or Len), in
+// O(log L) via the newline index.
 func (d *Data) LineEnd(pos int) int {
-	for pos < d.length {
-		r, err := d.RuneAt(pos)
-		if err != nil || r == '\n' {
-			break
-		}
-		pos++
+	if pos < 0 || pos >= d.length {
+		return pos
 	}
-	return pos
+	i := sort.SearchInts(d.nl, pos)
+	if i < len(d.nl) {
+		return d.nl[i]
+	}
+	return d.length
 }
 
 // PieceCount exposes fragmentation for benchmarks.
 func (d *Data) PieceCount() int { return len(d.pieces) }
 
 // Compact rebuilds the buffer into a single piece, shedding fragmentation
-// accumulated by editing.
+// accumulated by editing. Rune positions are unchanged, so the newline
+// index survives; the piece index and outstanding cursors re-seek.
 func (d *Data) Compact() {
-	s := []rune(d.String())
+	s := d.Runes(0, d.length)
 	d.orig = s
 	d.add = nil
 	if len(s) > 0 {
@@ -424,4 +443,5 @@ func (d *Data) Compact() {
 	} else {
 		d.pieces = nil
 	}
+	d.bump()
 }

@@ -6,9 +6,11 @@ import (
 )
 
 // FullUpdate implements core.View: paints the visible lines, embedded
-// children, selection highlight and caret.
+// children, selection highlight and caret. Painting only ever needs the
+// viewport laid out, so this is the lazy path — cost proportional to the
+// window, not the document.
 func (v *View) FullUpdate(d *graphics.Drawable) {
-	v.ensureLayout()
+	v.ensureViewport()
 	w, h := v.Bounds().Dx(), v.Bounds().Dy()
 	d.ClearRect(graphics.XYWH(0, 0, w, h))
 	for k := range v.rects {
@@ -120,7 +122,7 @@ func (v *View) caretGeometry() (x, y, h int, ok bool) {
 
 // posAt maps a local point to the nearest buffer position.
 func (v *View) posAt(p graphics.Point) int {
-	v.ensureLayout()
+	v.ensureViewport()
 	if len(v.lines) == 0 {
 		return 0
 	}
@@ -134,6 +136,11 @@ func (v *View) posAt(p graphics.Point) int {
 		y += v.lines[i].h
 	}
 	if li < 0 {
+		// Below everything laid out: clicks past the end land on the last
+		// line of the document, which needs the full layout.
+		if !v.complete {
+			v.ensureLayout()
+		}
 		li = len(v.lines) - 1
 	}
 	ln := v.lines[li]
@@ -150,9 +157,10 @@ func (v *View) posAt(p graphics.Point) int {
 			continue
 		}
 		x := seg.x
+		c := td.Cursor(seg.start)
 		for pos := seg.start; pos < seg.end; pos++ {
-			r, err := td.RuneAt(pos)
-			if err != nil {
+			r, ok := c.Next()
+			if !ok {
 				return pos
 			}
 			rw := seg.font.RuneWidth(r)

@@ -16,7 +16,7 @@ import (
 // type, only of where it placed it. Everything else moves the caret or
 // extends the selection.
 func (v *View) Hit(a wsys.MouseAction, p graphics.Point, clicks int) core.View {
-	v.ensureLayout()
+	v.ensureViewport()
 	if !v.dragging {
 		for e, r := range v.rects {
 			if p.In(r) {
@@ -173,7 +173,6 @@ func (v *View) controlKey(r rune) bool {
 // moveVertically moves the caret one layout line up or down, preserving
 // the x position approximately.
 func (v *View) moveVertically(down bool) {
-	v.ensureLayout()
 	li := v.lineOf(v.dot)
 	x := v.posToX(v.lines[li], v.dot)
 	if down {
@@ -181,19 +180,12 @@ func (v *View) moveVertically(down bool) {
 	} else {
 		li--
 	}
+	v.ensureLine(li)
 	if li < 0 || li >= len(v.lines) {
 		return
 	}
-	// Reuse posAt's per-line walk via a synthetic point.
-	y := 2
-	for i := v.topLine; i < li; i++ {
-		if i >= 0 && i < len(v.lines) {
-			y += v.lines[i].h
-		}
-	}
 	v.SetDot(v.posAtLine(li, x))
 	v.RevealDot()
-	_ = y
 }
 
 // posAtLine maps an x coordinate within line index li to a position.
@@ -208,9 +200,10 @@ func (v *View) posAtLine(li, x int) int {
 			continue
 		}
 		cx := seg.x
+		c := td.Cursor(seg.start)
 		for pos := seg.start; pos < seg.end; pos++ {
-			r, err := td.RuneAt(pos)
-			if err != nil {
+			r, ok := c.Next()
+			if !ok {
 				return pos
 			}
 			rw := seg.font.RuneWidth(r)

@@ -51,9 +51,16 @@ type View struct {
 	mark     int // selection anchor; selection is [min(dot,mark), max)
 	dragging bool
 
-	lines   []line
-	layoutW int
-	dirty   bool
+	// lines is a laid-out prefix of the document: lines[0] starts at rune
+	// 0 and consecutive lines are contiguous. When complete is false the
+	// prefix stops at a frontier and extendOne lays further lines on
+	// demand (the viewport-lazy contract; see DESIGN.md §8). layoutW is
+	// the width the prefix was laid at; dirty forces a discard before the
+	// next use.
+	lines    []line
+	layoutW  int
+	dirty    bool
+	complete bool
 
 	children map[*text.Embedded]core.View
 	rects    map[*text.Embedded]graphics.Rect // local rects of visible children
@@ -165,6 +172,13 @@ func (v *View) ObservedChanged(obj core.DataObject, ch core.Change) {
 		}
 		return
 	}
+	if v.resyncRepair(ch) {
+		// The line table was spliced and shifted in place (or truncated
+		// at the damage); heights may have changed, so repaint the whole
+		// view, but no full relayout is ever scheduled.
+		v.WantUpdate(v.Self())
+		return
+	}
 	v.dirty = true
 	v.WantUpdate(v.Self())
 }
@@ -187,6 +201,12 @@ func (v *View) repairLine(ch core.Change) (graphics.Rect, bool) {
 	switch ch.Kind {
 	case "insert":
 		delta = ch.Length
+		// Undo of a deletion that carried embeds notifies "insert" before
+		// the embed records are restored; laying the anchors out now would
+		// bind them to nil children. Leave it to the lazy path.
+		if anchorIn(d, ch.Pos, ch.Pos+ch.Length) {
+			return graphics.Rect{}, false
+		}
 	case "delete":
 		delta = -ch.Length
 	default:
@@ -263,6 +283,21 @@ func (v *View) repairLine(ch core.Change) (graphics.Rect, bool) {
 	return graphics.XYWH(0, y, v.Bounds().Dx(), min(old.h, h-y)), true
 }
 
+// anchorIn reports whether [start,end) contains an embed anchor rune.
+func anchorIn(d *text.Data, start, end int) bool {
+	c := d.Cursor(start)
+	for c.Pos() < end {
+		r, ok := c.Next()
+		if !ok {
+			return false
+		}
+		if r == text.AnchorRune {
+			return true
+		}
+	}
+	return false
+}
+
 func shrinkAcross(x, pos, n int) int {
 	switch {
 	case x <= pos:
@@ -276,47 +311,313 @@ func shrinkAcross(x, pos, n int) int {
 
 // --- layout ---
 
-// relayout rebuilds the line table for the current width.
-func (v *View) relayout() {
+// layoutSlackLines is how many display lines past the bottom of the
+// viewport the lazy layout keeps warm, so small scrolls repaint without
+// extending the line table.
+const layoutSlackLines = 8
+
+// syncLayout discards stale layout state (explicit invalidation or a
+// width change). It lays nothing out itself — extendOne does that on
+// demand.
+func (v *View) syncLayout() {
 	w := v.Bounds().Dx()
 	if w <= 0 {
 		w = 1
 	}
 	d := v.Text()
-	v.lines = v.lines[:0]
-	if d == nil {
-		v.dirty = false
-		return
+	if v.dirty || v.layoutW != w || d == nil {
+		v.lines = v.lines[:0]
+		v.complete = d == nil
+		v.layoutW = w
+		// With no data object there is nothing to lay out; stay dirty so
+		// a later attachment starts fresh.
+		v.dirty = d == nil
+	}
+}
+
+// extendOne lays the next display line at the frontier, reproducing the
+// from-scratch layout loop exactly: a trailing newline yields one final
+// empty line, and an empty document yields a single empty line. It
+// reports false once the layout is complete.
+func (v *View) extendOne(d *text.Data, w int) bool {
+	if v.complete {
+		return false
 	}
 	pos := 0
-	for pos <= d.Len() {
-		ln := v.layoutLine(d, pos, w)
-		v.lines = append(v.lines, ln)
-		if ln.nlEnd == pos { // safety: always progress
-			break
-		}
-		pos = ln.nlEnd
-		if pos == d.Len() {
-			// A trailing newline yields one final empty line; otherwise stop.
-			if r, err := d.RuneAt(pos - 1); err == nil && r == '\n' {
-				v.lines = append(v.lines, v.layoutLine(d, pos, w))
-			}
-			break
+	if n := len(v.lines); n > 0 {
+		pos = v.lines[n-1].nlEnd
+	}
+	ln := v.layoutLine(d, pos, w)
+	v.lines = append(v.lines, ln)
+	switch {
+	case ln.nlEnd == pos:
+		// No progress: the empty terminal line (empty document, or the
+		// line a trailing newline opens).
+		v.complete = true
+	case ln.nlEnd == d.Len():
+		// Reached the end; a trailing newline still owes one empty line.
+		if r, err := d.RuneAt(ln.nlEnd - 1); err != nil || r != '\n' {
+			v.complete = true
 		}
 	}
-	v.layoutW = w
-	v.dirty = false
+	return true
+}
+
+// ensureLayout materializes the full line table — the pre-lazy contract,
+// used by everything that needs the total line count (Lines, ScrollInfo,
+// ScrollTo, DesiredSize).
+func (v *View) ensureLayout() {
+	v.syncLayout()
+	d := v.Text()
+	if d == nil {
+		return
+	}
+	for !v.complete {
+		v.extendOne(d, v.layoutW)
+	}
 	if v.topLine > len(v.lines)-1 {
 		v.topLine = max(0, len(v.lines)-1)
 	}
 }
 
-// layoutLine lays out one display line starting at pos.
+// ensureViewport lays out only through the visible window plus slack:
+// the paint-path entry point, proportional to the viewport rather than
+// the document.
+func (v *View) ensureViewport() {
+	v.syncLayout()
+	d := v.Text()
+	if d == nil {
+		return
+	}
+	w := v.layoutW
+	for !v.complete && len(v.lines) <= v.topLine {
+		v.extendOne(d, w)
+	}
+	h := v.Bounds().Dy()
+	y := 2
+	i := v.topLine
+	for y < h {
+		for !v.complete && len(v.lines) <= i {
+			v.extendOne(d, w)
+		}
+		if i >= len(v.lines) {
+			break
+		}
+		y += v.lines[i].h
+		i++
+	}
+	for !v.complete && len(v.lines) < i+layoutSlackLines {
+		v.extendOne(d, w)
+	}
+	if v.complete && v.topLine > len(v.lines)-1 {
+		v.topLine = max(0, len(v.lines)-1)
+	}
+}
+
+// ensureLine extends the layout until line index li exists (or the
+// layout completes short of it).
+func (v *View) ensureLine(li int) {
+	v.syncLayout()
+	d := v.Text()
+	if d == nil {
+		return
+	}
+	for !v.complete && len(v.lines) <= li {
+		v.extendOne(d, v.layoutW)
+	}
+}
+
+// ensurePos extends the layout until the line containing pos exists.
+func (v *View) ensurePos(pos int) {
+	v.syncLayout()
+	d := v.Text()
+	if d == nil {
+		return
+	}
+	for !v.complete && (len(v.lines) == 0 || v.lines[len(v.lines)-1].nlEnd <= pos) {
+		v.extendOne(d, v.layoutW)
+	}
+}
+
+// LayoutViewport primes the viewport-lazy layout for the current scroll
+// position — what painting does implicitly. Exposed for benchmarks and
+// embedding hosts that want layout cost paid before the update cycle.
+func (v *View) LayoutViewport() { v.ensureViewport() }
+
+// LayoutComplete reports whether the whole document is laid out
+// (diagnostics and tests).
+func (v *View) LayoutComplete() bool { return v.complete }
+
+// InvalidateLayout discards the line table so the next use lays out from
+// scratch (benchmark and debugging hook).
+func (v *View) InvalidateLayout() { v.dirty = true }
+
+// resyncRepairBudget caps how many lines a single edit relays eagerly.
+// Past it the table is truncated at the damage and the tail is re-laid
+// lazily instead.
+const resyncRepairBudget = 256
+
+// resyncRepair is the general incremental repair: relay lines from the
+// edited line's hard start until a laid line boundary coincides with a
+// pre-edit line boundary beyond the edit, then splice the new lines in
+// and shift the surviving tail's rune ranges by the edit delta. Layout
+// from a position depends only on the buffer suffix from that position,
+// so a boundary match guarantees the shifted tail is exactly what a full
+// relayout would produce. Returns false when the caller must fall back
+// to a full discard (style changes, embeds in flight, stale layout).
+func (v *View) resyncRepair(ch core.Change) bool {
+	if v.noIncremental || v.dirty || len(v.lines) == 0 {
+		return false
+	}
+	w := v.Bounds().Dx()
+	if w <= 0 {
+		w = 1
+	}
+	if v.layoutW != w {
+		return false
+	}
+	d := v.Text()
+	if d == nil {
+		return false
+	}
+	var delta int
+	switch ch.Kind {
+	case "insert":
+		delta = ch.Length
+		// Same embed-in-flight hazard as repairLine: wait for the records.
+		if anchorIn(d, ch.Pos, ch.Pos+ch.Length) {
+			return false
+		}
+	case "delete":
+		delta = -ch.Length
+	default:
+		// "child" embeds notify before their record lands; "style" and
+		// "full" invalidate fonts wholesale.
+		return false
+	}
+	// Locate the edited line; edits past the laid-out frontier leave the
+	// prefix untouched.
+	li := -1
+	for i := range v.lines {
+		if ch.Pos <= v.lines[i].end {
+			li = i
+			break
+		}
+	}
+	if li < 0 {
+		return !v.complete
+	}
+	// Step back to a hard line start: wrap positions depend on content
+	// from the paragraph's hard start, so that is the safe relay point.
+	for li > 0 && v.lines[li-1].nlEnd == v.lines[li-1].end {
+		li--
+	}
+	// Lines carrying embedded children re-measure views during layout;
+	// keep that on the lazy path (as the pre-repair code did).
+	oldMin := ch.Pos
+	if delta < 0 {
+		oldMin = ch.Pos + ch.Length
+	}
+	var repl []line
+	pos := v.lines[li].start
+	oi := li
+	resynced := false
+	done := false
+	for {
+		if len(repl) > resyncRepairBudget {
+			break
+		}
+		ln := v.layoutLine(d, pos, w)
+		for _, s := range ln.segs {
+			if s.child != nil {
+				return false
+			}
+		}
+		repl = append(repl, ln)
+		if ln.nlEnd == pos {
+			done = true
+		} else if ln.nlEnd == d.Len() {
+			if r, err := d.RuneAt(ln.nlEnd - 1); err != nil || r != '\n' {
+				done = true
+			}
+		}
+		if done {
+			break
+		}
+		pos = ln.nlEnd
+		if pos == d.Len() {
+			// At EOF with a trailing newline: the terminal empty line is
+			// owed next. No resync here — whether the document ends in a
+			// newline is exactly what an EOF boundary match cannot see.
+			continue
+		}
+		// Resync: does this boundary coincide with a pre-edit line
+		// boundary past the edited range?
+		b := ln.nlEnd - delta
+		for oi < len(v.lines) && v.lines[oi].nlEnd < b {
+			oi++
+		}
+		if oi < len(v.lines) && v.lines[oi].nlEnd == b && b >= oldMin {
+			resynced = true
+			break
+		}
+		if oi >= len(v.lines) && !v.complete {
+			// Ran past the frontier of an incomplete prefix: the new
+			// lines simply become the new frontier.
+			break
+		}
+	}
+	switch {
+	case done:
+		// Relaid through the end of the document: the new lines replace
+		// everything from the damage on.
+		v.lines = append(v.lines[:li], repl...)
+		v.complete = true
+	case resynced:
+		nOld := oi + 1 - li
+		if len(repl) == nOld {
+			copy(v.lines[li:], repl)
+		} else {
+			spliced := make([]line, 0, len(v.lines)+len(repl)-nOld)
+			spliced = append(spliced, v.lines[:li]...)
+			spliced = append(spliced, repl...)
+			spliced = append(spliced, v.lines[oi+1:]...)
+			v.lines = spliced
+		}
+		if delta != 0 {
+			for i := li + len(repl); i < len(v.lines); i++ {
+				ln := &v.lines[i]
+				ln.start += delta
+				ln.end += delta
+				ln.nlEnd += delta
+				for j := range ln.segs {
+					ln.segs[j].start += delta
+					ln.segs[j].end += delta
+				}
+			}
+		}
+	default:
+		// Budget exhausted (or frontier reached): keep the repaired
+		// prefix, drop the stale tail, and let lazy extension re-lay it
+		// on demand.
+		v.lines = append(v.lines[:li], repl...)
+		v.complete = false
+	}
+	if v.complete && v.topLine > len(v.lines)-1 {
+		v.topLine = max(0, len(v.lines)-1)
+	}
+	return true
+}
+
+// layoutLine lays out one display line starting at pos. It iterates with
+// a single rune cursor and a single cached style span — one O(log k)
+// seek and then amortized O(1) per rune, instead of the O(pieces) RuneAt
+// and O(runs) StyleSpan per rune of the original.
 func (v *View) layoutLine(d *text.Data, pos, width int) line {
 	styleDef := d.Styles().Lookup(d.StyleAt(pos))
 	ln := line{start: pos, indent: styleDef.Indent}
 	x := styleDef.Indent
-	lastBreak, lastBreakX := -1, 0
+	lastBreak := -1
 	cur := pos
 	minFont := graphics.Open(styleDef.Font)
 	ln.h, ln.ascent = minFont.Height(), minFont.Ascent()
@@ -332,11 +633,18 @@ func (v *View) layoutLine(d *text.Data, pos, width int) line {
 
 	segStart, segStartX := pos, x
 	var segFont *graphics.Font
+	c := d.Cursor(pos)
+	// Style runs can overlap after InsertData grafts, so the linear
+	// StyleSpan stays the oracle; its answer is valid through spanEnd,
+	// letting us query once per span instead of once per rune.
+	spanEnd := pos
+	var f *graphics.Font
 	for cur < d.Len() {
-		spanStart, spanEnd, styleName := d.StyleSpan(cur)
-		_ = spanStart
-		def := d.Styles().Lookup(styleName)
-		f := graphics.Open(def.Font)
+		if cur >= spanEnd {
+			var styleName string
+			_, spanEnd, styleName = d.StyleSpan(cur)
+			f = graphics.Open(d.Styles().Lookup(styleName).Font)
+		}
 		if segFont == nil {
 			segFont = f
 		}
@@ -344,8 +652,8 @@ func (v *View) layoutLine(d *text.Data, pos, width int) line {
 			flushSeg(segStart, cur, segFont, segStartX)
 			segStart, segStartX, segFont = cur, x, f
 		}
-		r, err := d.RuneAt(cur)
-		if err != nil {
+		r, ok := c.Next()
+		if !ok {
 			break
 		}
 		if r == '\n' {
@@ -369,10 +677,7 @@ func (v *View) layoutLine(d *text.Data, pos, width int) line {
 			x += cw
 			cur++
 			segStart, segStartX = cur, x
-			lastBreak, lastBreakX = cur, x
-			if cur < spanEnd {
-				continue
-			}
+			lastBreak = cur
 			continue
 		}
 		rw := segFont.RuneWidth(r)
@@ -382,7 +687,6 @@ func (v *View) layoutLine(d *text.Data, pos, width int) line {
 				flushSeg(segStart, lastBreak, segFont, segStartX)
 				trimTrailing(&ln, lastBreak)
 				ln.end, ln.nlEnd = lastBreak, lastBreak
-				_ = lastBreakX
 			} else {
 				flushSeg(segStart, cur, segFont, segStartX)
 				ln.end, ln.nlEnd = cur, cur
@@ -391,7 +695,7 @@ func (v *View) layoutLine(d *text.Data, pos, width int) line {
 			return ln
 		}
 		if r == ' ' || r == '\t' {
-			lastBreak, lastBreakX = cur+1, x+rw
+			lastBreak = cur + 1
 		}
 		x += rw
 		cur++
@@ -402,9 +706,6 @@ func (v *View) layoutLine(d *text.Data, pos, width int) line {
 	}
 	flushSeg(segStart, cur, segFont, segStartX)
 	ln.end, ln.nlEnd = cur, cur
-	if cur == pos {
-		ln.nlEnd = pos // empty final line
-	}
 	v.growLine(&ln, segFont)
 	return ln
 }
@@ -478,16 +779,13 @@ func (v *View) childView(e *text.Embedded) core.View {
 	return cv
 }
 
-// Lines returns the number of layout lines (relayouting if needed).
+// Lines returns the total number of layout lines. This is the one query
+// that inherently needs the whole document laid out, so it materializes
+// the full layout (the eager half of the viewport-lazy contract; see
+// DESIGN.md §8). Paint-path code never calls it.
 func (v *View) Lines() int {
 	v.ensureLayout()
 	return len(v.lines)
-}
-
-func (v *View) ensureLayout() {
-	if v.dirty || v.layoutW != v.Bounds().Dx() {
-		v.relayout()
-	}
 }
 
 // SetBounds implements core.View.
@@ -523,7 +821,7 @@ func (v *View) DesiredSize(wHint, hHint int) (int, int) {
 
 // visibleLines returns how many lines fit in the view.
 func (v *View) visibleLines() int {
-	v.ensureLayout()
+	v.ensureViewport()
 	h := v.Bounds().Dy()
 	n := 0
 	for i := v.topLine; i < len(v.lines) && h > 0; i++ {
@@ -559,9 +857,10 @@ func (v *View) ScrollTo(top int) {
 	}
 }
 
-// lineOf returns the index of the layout line containing pos.
+// lineOf returns the index of the layout line containing pos, extending
+// the lazy layout just far enough to cover it.
 func (v *View) lineOf(pos int) int {
-	v.ensureLayout()
+	v.ensurePos(pos)
 	for i, ln := range v.lines {
 		if pos >= ln.start && pos < ln.nlEnd {
 			return i

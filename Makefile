@@ -21,6 +21,7 @@ verify:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/datastream
 	$(GO) test -fuzz=FuzzRepaint -fuzztime=10s .
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/persist
 
 # fuzz runs all fuzz targets for longer; extend FUZZTIME for real runs.
 FUZZTIME ?= 30s
@@ -28,6 +29,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/datastream
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) .
 	$(GO) test -fuzz=FuzzRepaint -fuzztime=$(FUZZTIME) .
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/persist
 
 # generate rebuilds committed artifacts (testdata/sample.d).
 generate:

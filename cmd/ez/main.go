@@ -26,6 +26,7 @@ import (
 	"atk/internal/datastream"
 	"atk/internal/graphics"
 	"atk/internal/pageview"
+	"atk/internal/persist"
 	"atk/internal/printing"
 	"atk/internal/script"
 	"atk/internal/spell"
@@ -58,31 +59,33 @@ func run(wm, typeText, save string, doPrint, page, lenient bool, scriptPath, pat
 	}
 	defer app.Close()
 
-	// Load or create the document.
+	// Load or create the document. Opening goes through the persist layer:
+	// if the previous session crashed, its edit journal is still beside
+	// the file and the journaled edits are replayed over the document.
 	var doc *text.Data
+	var df *persist.DocFile
 	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
 		mode := datastream.Strict
 		if lenient {
 			mode = datastream.Lenient
 		}
-		r := datastream.NewReaderOptions(f, datastream.Options{Mode: mode})
-		obj, err := core.ReadObject(r, app.Reg)
-		f.Close()
+		df, err = persist.Load(persist.OS, path, app.Reg, mode)
 		if err != nil {
-			return fmt.Errorf("reading %s: %w", path, err)
+			return err
 		}
-		for _, diag := range r.Diagnostics() {
+		for _, diag := range df.LoadDiags {
 			fmt.Fprintf(os.Stderr, "ez: %s: %s\n", path, diag)
 		}
-		td, ok := obj.(*text.Data)
-		if !ok {
-			return fmt.Errorf("%s holds a %s, not a text document", path, obj.TypeName())
+		for _, diag := range df.RecoveryDiags {
+			fmt.Fprintf(os.Stderr, "ez: %s: recovery: %s\n", path, diag)
 		}
-		doc = td
+		doc = df.Doc
+		// From here on, every edit is journaled; a crash at any point
+		// loses at most the unsynced tail of the journal.
+		if err := df.StartJournal(); err != nil {
+			fmt.Fprintf(os.Stderr, "ez: %s: journaling disabled: %v\n", path, err)
+		}
+		defer df.Close()
 	} else {
 		doc = text.NewString("Welcome to EZ.\n\nThis window is a frame holding a scroll bar,\n" +
 			"this text view, and a message line below.\n")
@@ -102,7 +105,23 @@ func run(wm, typeText, save string, doPrint, page, lenient bool, scriptPath, pat
 	}
 	frame := widgets.NewFrame(body)
 	app.IM.SetChild(frame)
-	frame.PostMessage(fmt.Sprintf("ez: %d characters", doc.Len()))
+	if df != nil && df.Replayed > 0 {
+		frame.PostMessage(df.RecoveryDiags[0] + " — save to keep them")
+	} else {
+		frame.PostMessage(fmt.Sprintf("ez: %d characters", doc.Len()))
+	}
+
+	// Idle autosave: whenever the event loop goes quiet with unsaved
+	// edits, force the journal to disk. This is what bounds the damage of
+	// a crash to "since the last idle moment", not "since the last save".
+	app.IM.SetIdleHook(func() {
+		if df == nil || !doc.Dirty() {
+			return
+		}
+		if err := df.Sync(); err != nil {
+			frame.PostMessage("autosave: " + err.Error())
+		}
+	})
 
 	// Application menus sit on top of whatever the focused component
 	// contributes; the spell checker is the extension package at work.
@@ -110,8 +129,8 @@ func run(wm, typeText, save string, doPrint, page, lenient bool, scriptPath, pat
 	app.IM.SetMenuHook(func(ms *core.MenuSet) {
 		_ = ms.Add("File~1/Save~10", func() {
 			frame.Ask("Save as:", func(name string) {
-				if err := saveDoc(doc, name); err != nil {
-					frame.PostMessage(err.Error())
+				if err := saveDoc(df, doc, name); err != nil {
+					frame.PostMessage("save failed: " + err.Error())
 					return
 				}
 				frame.PostMessage("saved " + name)
@@ -157,7 +176,7 @@ func run(wm, typeText, save string, doPrint, page, lenient bool, scriptPath, pat
 	app.Show(os.Stdout)
 
 	if save != "" {
-		if err := saveDoc(doc, save); err != nil {
+		if err := saveDoc(df, doc, save); err != nil {
 			return err
 		}
 		fmt.Printf("saved %s\n", save)
@@ -171,20 +190,13 @@ func run(wm, typeText, save string, doPrint, page, lenient bool, scriptPath, pat
 	return nil
 }
 
-// saveDoc writes doc to path in the external representation.
-func saveDoc(doc *text.Data, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// saveDoc writes doc to path atomically: the file on disk is the old
+// document until the instant it is the complete new one, and the write is
+// durable (fsync of file and directory) before success is reported. Saving
+// a journaled document to its own path also rotates the journal.
+func saveDoc(df *persist.DocFile, doc *text.Data, path string) error {
+	if df != nil && path == df.Path {
+		return df.Save()
 	}
-	w := datastream.NewWriter(f)
-	if _, err := core.WriteObject(w, doc); err != nil {
-		f.Close()
-		return err
-	}
-	if err := w.Close(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return persist.SaveDocument(persist.OS, path, doc)
 }

@@ -7,6 +7,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"atk/internal/components"
+	"atk/internal/datastream"
+	"atk/internal/persist"
 )
 
 func captureStdout(t *testing.T, f func() error) string {
@@ -106,6 +110,112 @@ func TestEZAppMenusSpell(t *testing.T) {
 	// screen dump.
 	if !strings.Contains(out, "questionable") {
 		t.Fatalf("spell message missing:\n%s", out)
+	}
+}
+
+func TestEZCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "doc.d")
+	captureStdout(t, func() error {
+		return run("termwin", "original text", saved, false, false, false, "", "")
+	})
+
+	// A session that edits, syncs its journal, and then dies: no Close, no
+	// Save — the journal file is simply left beside the document, exactly
+	// as a crash leaves it.
+	reg, err := components.NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := persist.Load(persist.OS, saved, reg, datastream.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := df.StartJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Doc.Insert(df.Doc.Len(), "RESCUED\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(persist.JournalPath(saved)); err != nil {
+		t.Fatalf("journal missing before crash: %v", err)
+	}
+
+	// ez reopens the document, finds the journal, replays the edit, and
+	// announces the recovery in the message line.
+	out := captureStdout(t, func() error {
+		return run("termwin", "", "", false, false, false, "", saved)
+	})
+	squeezed := strings.ReplaceAll(out, " ", "")
+	if !strings.Contains(squeezed, "RESCUED") {
+		t.Fatalf("recovered text missing from screen:\n%s", out)
+	}
+	if !strings.Contains(squeezed, "recovered1unsavededit") {
+		t.Fatalf("recovery message missing:\n%s", out)
+	}
+	// The session above ended cleanly, so the journal is gone: not saving
+	// the recovered edits was the user's decision this time.
+	if _, err := os.Stat(persist.JournalPath(saved)); err == nil {
+		t.Fatal("journal survived a clean exit")
+	}
+}
+
+func TestEZStaleJournalIgnored(t *testing.T) {
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "doc.d")
+	captureStdout(t, func() error {
+		return run("termwin", "current words", saved, false, false, false, "", "")
+	})
+	// A journal bound to some other version of the file (here: garbage
+	// with a valid shape would still fail its base CRC) must not be
+	// replayed over the wrong base.
+	reg, err := components.NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := persist.Load(persist.OS, saved, reg, datastream.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := df.StartJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Doc.Insert(0, "GHOST "); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The file changes behind the journal's back (a save by another
+	// program, or the crash window after a rename).
+	captureStdout(t, func() error {
+		return run("termwin", "replaced content", saved, false, false, false, "", "")
+	})
+	out := captureStdout(t, func() error {
+		return run("termwin", "", "", false, false, false, "", saved)
+	})
+	if strings.Contains(out, "GHOST") {
+		t.Fatalf("stale journal replayed over the wrong base:\n%s", out)
+	}
+}
+
+func TestEZSaveLeavesNoTempFile(t *testing.T) {
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "doc.d")
+	captureStdout(t, func() error {
+		return run("termwin", "atomic", saved, false, false, false, "", "")
+	})
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "doc.d" {
+			t.Fatalf("unexpected file %q left in save directory", e.Name())
+		}
 	}
 }
 

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"atk/internal/datastream"
@@ -55,10 +56,19 @@ type DataObject interface {
 	// RemoveObserver unregisters o if present.
 	RemoveObserver(o Observer)
 	// NotifyObservers delivers ch to every observer and bumps the
-	// modification timestamp.
+	// modification timestamp. An observer that panics during delivery is
+	// detached and reported through PanicHandler; the remaining observers
+	// still receive the change.
 	NotifyObservers(ch Change)
 	// Timestamp returns the logical time of the last notification.
 	Timestamp() uint64
+	// Generation returns the modification generation: it advances on every
+	// NotifyObservers, so persistence layers can detect edits cheaply.
+	Generation() uint64
+	// MarkClean records the current generation as the saved one.
+	MarkClean()
+	// Dirty reports whether the object has been modified since MarkClean.
+	Dirty() bool
 	// WritePayload writes the object's contents (markers excluded).
 	WritePayload(w *datastream.Writer) error
 	// ReadPayload restores contents from r. The object's begin token has
@@ -82,6 +92,7 @@ type BaseData struct {
 	viewName  string
 	observers []Observer
 	stamp     uint64
+	saved     uint64
 }
 
 // InitData wires the embedding object. self must be the outermost pointer
@@ -123,15 +134,41 @@ func (b *BaseData) RemoveObserver(o Observer) {
 // read-only). Exposed for tests and diagnostics.
 func (b *BaseData) Observers() []Observer { return b.observers }
 
-// NotifyObservers implements DataObject. Observers added or removed during
-// delivery do not affect the in-flight notification.
+// NotifyObservers implements DataObject. The observer slice is snapshotted
+// before dispatch, so observers added or removed during delivery do not
+// affect the in-flight notification. A panicking observer is detached and
+// reported through PanicHandler; delivery continues to the rest, keeping
+// the remaining view tree live (and autosave running) after one component
+// blows up.
 func (b *BaseData) NotifyObservers(ch Change) {
 	b.stamp = Now()
 	obs := append([]Observer(nil), b.observers...)
 	for _, o := range obs {
-		o.ObservedChanged(b.self, ch)
+		b.notifyOne(o, ch)
 	}
+}
+
+// notifyOne delivers ch to a single observer behind a panic barrier.
+func (b *BaseData) notifyOne(o Observer, ch Change) {
+	defer func() {
+		if p := recover(); p != nil {
+			b.RemoveObserver(o)
+			PanicHandler(fmt.Sprintf("observer %T detached after panic on %s change", o, ch.Kind), p)
+		}
+	}()
+	o.ObservedChanged(b.self, ch)
 }
 
 // Timestamp implements DataObject.
 func (b *BaseData) Timestamp() uint64 { return b.stamp }
+
+// Generation implements DataObject: the timestamp doubles as a generation
+// counter, monotone across every notification.
+func (b *BaseData) Generation() uint64 { return b.stamp }
+
+// MarkClean implements DataObject.
+func (b *BaseData) MarkClean() { b.saved = b.stamp }
+
+// Dirty implements DataObject. A freshly constructed object is dirty until
+// the first MarkClean: it has never been saved.
+func (b *BaseData) Dirty() bool { return b.stamp != b.saved }

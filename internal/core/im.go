@@ -49,6 +49,16 @@ type InteractionManager struct {
 	ticks    int64
 	closed   bool
 
+	// idleHook runs after each TickEvent's update flush — the hook the
+	// application hangs autosave on (ticks stand in for idle time in the
+	// simulated window systems). It runs behind a panic barrier.
+	idleHook func()
+
+	// broken quarantines views whose Update or DrawOverlay panicked: their
+	// damage is ignored and they are detached from their data objects, so
+	// one blown component leaves the rest of the tree repainting.
+	broken map[View]bool
+
 	// EventsHandled counts dispatched events (benchmark instrumentation).
 	EventsHandled int64
 }
@@ -238,12 +248,58 @@ func (im *InteractionManager) Menus() *MenuSet { return im.menus }
 
 // --- event dispatch ---
 
+// SetIdleHook installs f to run after every TickEvent (the simulated
+// systems' idle signal), behind a panic barrier. Applications use it to
+// flush the edit journal and autosave dirty documents; see cmd/ez.
+func (im *InteractionManager) SetIdleHook(f func()) { im.idleHook = f }
+
+// safely runs f behind a recover barrier, reporting a panic through
+// PanicHandler and returning whether f completed.
+func (im *InteractionManager) safely(what string, f func()) (ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			PanicHandler("interaction manager: "+what, p)
+		}
+	}()
+	f()
+	return true
+}
+
+// quarantine takes v out of the update cycle after it panicked: future
+// damage from it is dropped and it stops observing its data object, so
+// notification and repaint both keep flowing to the surviving views.
+func (im *InteractionManager) quarantine(v View, what string, p any) {
+	if im.broken == nil {
+		im.broken = make(map[View]bool)
+	}
+	im.broken[v] = true
+	if d := v.DataObject(); d != nil {
+		d.RemoveObserver(v)
+	}
+	PanicHandler(fmt.Sprintf("view %s detached after panic in %s", v.ViewName(), what), p)
+}
+
+// BrokenViews reports how many views have been quarantined after a panic
+// (test and diagnostics hook).
+func (im *InteractionManager) BrokenViews() int { return len(im.broken) }
+
 // HandleEvent dispatches one window-system event through the view tree
 // and then runs the update cycle, so each event's visual consequences are
 // flushed before the next event, as the original interaction manager
-// sequenced drawing.
+// sequenced drawing. Dispatch runs behind a panic barrier: a handler that
+// blows up loses its event, not the session — the update cycle and the
+// idle hook (autosave) still run.
 func (im *InteractionManager) HandleEvent(ev wsys.Event) {
 	im.EventsHandled++
+	im.safely(fmt.Sprintf("dispatching %v event", ev.Kind), func() { im.dispatch(ev) })
+	im.FlushUpdates()
+	if ev.Kind == wsys.TickEvent && im.idleHook != nil {
+		im.safely("idle hook", im.idleHook)
+	}
+}
+
+// dispatch routes one event to the view tree.
+func (im *InteractionManager) dispatch(ev wsys.Event) {
 	switch ev.Kind {
 	case wsys.MouseEvent:
 		im.dispatchMouse(ev)
@@ -269,7 +325,6 @@ func (im *InteractionManager) HandleEvent(ev wsys.Event) {
 	case wsys.CloseEvent:
 		im.closed = true
 	}
-	im.FlushUpdates()
 }
 
 // dispatchMouse routes a mouse event. Outside a grab, the event is passed
@@ -348,6 +403,9 @@ func (im *InteractionManager) FlushUpdates() {
 		if Root(v) != View(im) && Root(v) != im.Self() {
 			continue // detached view; request is stale
 		}
+		if im.broken[v] {
+			continue // quarantined after a panic; never repainted again
+		}
 		origin := AbsOrigin(v)
 		devR := graphics.Rect{Min: origin, Max: origin.Add(graphics.Pt(v.Bounds().Dx(), v.Bounds().Dy()))}.Intersect(winR)
 		var dev graphics.Region
@@ -366,7 +424,7 @@ func (im *InteractionManager) FlushUpdates() {
 	for _, j := range jobs {
 		d := im.DrawableFor(j.v)
 		d.SetRegion(j.reg)
-		j.v.Update(d)
+		im.updateOne(j.v, d)
 	}
 	// Overlay pass: every ancestor of an updated view, deepest last, each
 	// confined to the freshly repainted region so overlays never touch
@@ -383,12 +441,12 @@ func (im *InteractionManager) FlushUpdates() {
 	}
 	sort.Slice(ancestors, func(i, j int) bool { return Depth(ancestors[i]) < Depth(ancestors[j]) })
 	for _, a := range ancestors {
-		if a == View(im) || a == im.Self() {
+		if a == View(im) || a == im.Self() || im.broken[a] {
 			continue
 		}
 		d := im.DrawableFor(a)
 		d.SetRegion(covered)
-		a.DrawOverlay(d)
+		im.overlayOne(a, d)
 	}
 	// A posted popup stays on top of whatever just repainted beneath it.
 	im.drawPopup()
@@ -396,6 +454,27 @@ func (im *InteractionManager) FlushUpdates() {
 		covered = covered.UnionRect(im.popup.rect)
 	}
 	_ = im.win.Graphic().FlushRegion(covered)
+}
+
+// updateOne repaints one view behind a panic barrier; a panicking view is
+// quarantined so the rest of the flush proceeds.
+func (im *InteractionManager) updateOne(v View, d *graphics.Drawable) {
+	defer func() {
+		if p := recover(); p != nil {
+			im.quarantine(v, "Update", p)
+		}
+	}()
+	v.Update(d)
+}
+
+// overlayOne is updateOne for the overlay pass.
+func (im *InteractionManager) overlayOne(v View, d *graphics.Drawable) {
+	defer func() {
+		if p := recover(); p != nil {
+			im.quarantine(v, "DrawOverlay", p)
+		}
+	}()
+	v.DrawOverlay(d)
 }
 
 // FullRedraw repaints the whole tree unconditionally and clears any

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime/debug"
+)
+
+// Panic isolation. A component view is demand-loaded code the toolkit has
+// no control over; one misbehaving handler must not take the interaction
+// manager — and the user's unsaved work — down with it. Observer
+// notification and event dispatch therefore run behind recover barriers:
+// the offender is detached, the panic reported here, and the rest of the
+// view tree keeps dispatching (so idle autosave still runs afterwards).
+
+// PanicHandler receives every panic recovered by the toolkit's isolation
+// barriers, with a short context string naming what was detached or
+// skipped. The default writes the report and a stack trace to stderr;
+// applications and tests may replace it (it is not synchronized — install
+// before the event loop starts).
+var PanicHandler = func(context string, v any) {
+	fmt.Fprintf(os.Stderr, "core: recovered panic: %s: %v\n%s", context, v, debug.Stack())
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"testing"
+
+	"atk/internal/graphics"
+	"atk/internal/wsys"
+)
+
+// silencePanics swaps PanicHandler for a recorder for the duration of the
+// test, so isolation tests don't spew stack traces and can assert on what
+// was reported.
+func silencePanics(t *testing.T) *[]string {
+	t.Helper()
+	var reports []string
+	old := PanicHandler
+	PanicHandler = func(context string, v any) { reports = append(reports, context) }
+	t.Cleanup(func() { PanicHandler = old })
+	return &reports
+}
+
+// mutObserver mutates the observer list from inside a notification.
+type mutObserver struct {
+	got    int
+	during func(obj DataObject)
+}
+
+func (m *mutObserver) ObservedChanged(obj DataObject, ch Change) {
+	m.got++
+	if m.during != nil {
+		f := m.during
+		m.during = nil
+		f(obj)
+	}
+}
+
+// TestAddObserverDuringNotify is the mutate-while-notifying regression
+// test: observers registered (or removed) from inside ObservedChanged must
+// not corrupt the in-flight iteration — the snapshot taken before dispatch
+// delivers exactly once to each observer present when the change was
+// posted, and list changes take effect from the next notification.
+func TestAddObserverDuringNotify(t *testing.T) {
+	d := newNoteData()
+	late := &mutObserver{}
+	a := &mutObserver{}
+	b := &mutObserver{}
+	a.during = func(obj DataObject) { obj.AddObserver(late) }
+	d.AddObserver(a)
+	d.AddObserver(b)
+
+	d.SetText("one")
+	if a.got != 1 || b.got != 1 {
+		t.Fatalf("first notify: a=%d b=%d, want 1,1", a.got, b.got)
+	}
+	if late.got != 0 {
+		t.Fatalf("observer added mid-notify received the in-flight change")
+	}
+
+	d.SetText("two")
+	if a.got != 2 || b.got != 2 || late.got != 1 {
+		t.Fatalf("second notify: a=%d b=%d late=%d, want 2,2,1", a.got, b.got, late.got)
+	}
+
+	// Removal mid-notify: the removed observer still sees the in-flight
+	// change (it was present when posted) but not the next one.
+	b.during = func(obj DataObject) { obj.RemoveObserver(late) }
+	d.SetText("three")
+	if late.got != 2 {
+		t.Fatalf("late observer got %d changes, want 2 (snapshot covers in-flight)", late.got)
+	}
+	d.SetText("four")
+	if late.got != 2 {
+		t.Fatalf("removed observer still notified: got %d", late.got)
+	}
+}
+
+// bombObserver panics on every notification until defused.
+type bombObserver struct {
+	got   int
+	armed bool
+}
+
+func (o *bombObserver) ObservedChanged(obj DataObject, ch Change) {
+	o.got++
+	if o.armed {
+		panic("component view blew up")
+	}
+}
+
+// TestPanickingObserverDetached checks the isolation contract on
+// NotifyObservers: the panicking observer is detached and reported, every
+// other observer still receives the change, and subsequent notifications
+// skip the offender.
+func TestPanickingObserverDetached(t *testing.T) {
+	reports := silencePanics(t)
+	d := newNoteData()
+	before := &mutObserver{}
+	bomb := &bombObserver{armed: true}
+	after := &mutObserver{}
+	d.AddObserver(before)
+	d.AddObserver(bomb)
+	d.AddObserver(after)
+
+	d.SetText("boom")
+	if before.got != 1 || after.got != 1 {
+		t.Fatalf("survivors: before=%d after=%d, want 1,1", before.got, after.got)
+	}
+	if len(*reports) != 1 {
+		t.Fatalf("reported %d panics, want 1: %v", len(*reports), *reports)
+	}
+	if n := len(d.Observers()); n != 2 {
+		t.Fatalf("observer list has %d entries after detach, want 2", n)
+	}
+
+	d.SetText("again")
+	if bomb.got != 1 {
+		t.Fatalf("detached observer notified again: got %d", bomb.got)
+	}
+	if before.got != 2 || after.got != 2 {
+		t.Fatalf("second notify: before=%d after=%d, want 2,2", before.got, after.got)
+	}
+}
+
+// TestPanickingViewInThreeViewTree is the acceptance scenario: three views
+// in one tree observe the same data object; one panics on its change. The
+// other two must keep receiving changes and repainting, and the idle hook
+// (autosave's seat) must still run on ticks.
+func TestPanickingViewInThreeViewTree(t *testing.T) {
+	reports := silencePanics(t)
+	im, _ := newTestIM(t)
+	d := newNoteData()
+
+	left, right := newNoteView(), newNoteView()
+	bombV := &bombView{}
+	bombV.InitView(bombV, "bombview")
+	inner := newSplitView(left, bombV)
+	root := newSplitView(inner, right)
+	im.SetChild(root)
+	im.FlushUpdates()
+
+	left.SetDataObject(d)
+	bombV.SetDataObject(d)
+	right.SetDataObject(d)
+
+	autosaves := 0
+	im.SetIdleHook(func() { autosaves++ })
+
+	bombV.armed = true
+	d.SetText("first edit")
+	im.FlushUpdates()
+	if len(*reports) != 1 {
+		t.Fatalf("reports = %v, want exactly the observer detach", *reports)
+	}
+	if len(left.changes) != 1 || len(right.changes) != 1 {
+		t.Fatalf("survivor changes: left=%d right=%d, want 1,1", len(left.changes), len(right.changes))
+	}
+
+	// The survivors still dispatch and repaint on the next change, and the
+	// tick-driven idle hook still fires.
+	d.SetText("second edit")
+	im.HandleEvent(wsys.Event{Kind: wsys.TickEvent, Tick: 1})
+	if len(left.changes) != 2 || len(right.changes) != 2 {
+		t.Fatalf("after second edit: left=%d right=%d, want 2,2", len(left.changes), len(right.changes))
+	}
+	if left.updates < 2 || right.updates < 2 {
+		t.Fatalf("survivor repaints: left=%d right=%d, want >=2", left.updates, right.updates)
+	}
+	if autosaves != 1 {
+		t.Fatalf("idle hook ran %d times, want 1", autosaves)
+	}
+	if len(bombV.changes) != 1 {
+		t.Fatalf("panicking view saw %d changes, want 1 (detached after first)", len(bombV.changes))
+	}
+}
+
+// bombView panics inside ObservedChanged while armed.
+type bombView struct {
+	noteView
+	armed bool
+}
+
+func (v *bombView) ObservedChanged(obj DataObject, ch Change) {
+	v.changes = append(v.changes, ch)
+	if v.armed {
+		panic("view exploded in ObservedChanged")
+	}
+	v.WantUpdate(v)
+}
+
+// paintBombView panics inside Update (the repaint path) while armed.
+type paintBombView struct {
+	noteView
+	armed bool
+}
+
+func (v *paintBombView) ObservedChanged(obj DataObject, ch Change) {
+	v.changes = append(v.changes, ch)
+	v.WantUpdate(v) // post the outer view, not the embedded fixture
+}
+
+func (v *paintBombView) Update(d *graphics.Drawable) {
+	if v.armed {
+		panic("view exploded in Update")
+	}
+	v.noteView.Update(d)
+}
+
+// TestPanickingUpdateQuarantined checks the repaint barrier: a view whose
+// Update panics is quarantined (detached from its data object, damage
+// dropped) while sibling repaints and later flushes proceed.
+func TestPanickingUpdateQuarantined(t *testing.T) {
+	reports := silencePanics(t)
+	im, _ := newTestIM(t)
+	d := newNoteData()
+	ok := newNoteView()
+	bomb := &paintBombView{}
+	bomb.InitView(bomb, "paintbomb")
+	split := newSplitView(bomb, ok)
+	im.SetChild(split)
+	im.FlushUpdates() // initial paint, bomb disarmed
+
+	ok.SetDataObject(d)
+	bomb.SetDataObject(d)
+	bomb.armed = true
+	d.SetText("edit") // both views post damage; bomb's repaint panics
+	im.FlushUpdates()
+	if im.BrokenViews() != 1 {
+		t.Fatalf("BrokenViews = %d, want 1", im.BrokenViews())
+	}
+	if len(*reports) != 1 {
+		t.Fatalf("reports = %v", *reports)
+	}
+
+	okBefore := ok.updates
+	d.SetText("second edit") // bomb is off the observer list now
+	im.FlushUpdates()
+	if ok.updates != okBefore+1 {
+		t.Fatalf("surviving sibling repainted %d times, want %d", ok.updates, okBefore+1)
+	}
+	// The quarantined view's damage is dropped without another panic.
+	im.WantUpdate(bomb)
+	im.FlushUpdates()
+	if len(*reports) != 1 {
+		t.Fatalf("quarantined view repainted again: %v", *reports)
+	}
+}
+
+// TestDispatchPanicIsolated checks the event-dispatch barrier: a handler
+// panic loses that event only; the loop, later events, and the idle hook
+// keep working.
+func TestDispatchPanicIsolated(t *testing.T) {
+	reports := silencePanics(t)
+	im, _ := newTestIM(t)
+	v := newNoteView()
+	v.acceptMouse = true
+	im.SetChild(v)
+	im.FlushUpdates()
+	im.WantInputFocus(v)
+
+	im.SetIdleHook(func() { panic("autosave hook bug") })
+	im.HandleEvent(wsys.Event{Kind: wsys.TickEvent, Tick: 7})
+	if len(*reports) != 1 {
+		t.Fatalf("idle-hook panic not isolated: %v", *reports)
+	}
+	if im.Ticks() != 7 {
+		t.Fatalf("tick lost: %d", im.Ticks())
+	}
+
+	// A later event still dispatches normally.
+	im.SetIdleHook(nil)
+	im.HandleEvent(wsys.KeyPress('z'))
+	if len(v.keys) != 1 || v.keys[0] != 'z' {
+		t.Fatalf("keys after recovery = %v", v.keys)
+	}
+}
+
+// TestDirtyGeneration pins the dirty/generation contract autosave builds
+// on: fresh objects are dirty, MarkClean settles them, any notification
+// re-dirties, and Generation is monotone.
+func TestDirtyGeneration(t *testing.T) {
+	d := newNoteData()
+	if !d.Dirty() {
+		t.Fatal("fresh object should be dirty (never saved)")
+	}
+	d.MarkClean()
+	if d.Dirty() {
+		t.Fatal("clean after MarkClean")
+	}
+	g := d.Generation()
+	d.SetText("edit")
+	if !d.Dirty() {
+		t.Fatal("dirty after notification")
+	}
+	if d.Generation() <= g {
+		t.Fatalf("generation not monotone: %d -> %d", g, d.Generation())
+	}
+	d.MarkClean()
+	if d.Dirty() {
+		t.Fatal("clean after second MarkClean")
+	}
+}

@@ -1,0 +1,52 @@
+package datastream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The payload-line discipline — printable 7-bit ASCII plus tab, backslash
+// escapes for everything else, continuation-wrapped under MaxLine — is
+// exported here so other on-disk formats (the persist package's edit
+// journal) can frame arbitrary text with the exact same rules the external
+// representation uses.
+
+// EscapeLines renders one logical line of arbitrary text as physical lines
+// under the payload-line discipline: every rune outside printable ASCII is
+// \uHEX;-escaped, literal backslashes doubled, and the result wrapped with
+// continuation backslashes so no physical line exceeds MaxLine. Every
+// returned line but the last ends with the continuation backslash; none
+// carries a trailing newline. s must be a single logical line (no '\n').
+func EscapeLines(s string) []string {
+	var lines []string
+	var b strings.Builder
+	col := 0
+	emit := func(tok string) {
+		if col+len(tok) > MaxLine-1 { // leave room for a continuation '\'
+			b.WriteByte('\\')
+			lines = append(lines, b.String())
+			b.Reset()
+			col = 0
+		}
+		b.WriteString(tok)
+		col += len(tok)
+	}
+	for _, r := range s {
+		switch {
+		case r == '\\':
+			emit(`\\`)
+		case r == '\t' || (r >= 32 && r <= 126):
+			emit(string(r))
+		default:
+			emit(fmt.Sprintf(`\u%x;`, r))
+		}
+	}
+	return append(lines, b.String())
+}
+
+// DecodeLine decodes one physical payload line into b, undoing the escape
+// scheme. It reports cont=true when the line ended with a continuation
+// backslash, meaning the logical line continues on the next physical line.
+func DecodeLine(b *strings.Builder, line string) (cont bool, err error) {
+	return decodeInto(b, line)
+}

@@ -1,0 +1,74 @@
+package datastream
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEscapeLinesRoundTrip checks EscapeLines/DecodeLine are inverses and
+// honor the physical-line discipline for a spread of logical lines.
+func TestEscapeLinesRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"plain ascii",
+		`back\slash and \u fake escape`,
+		"tabs\tand\tmore",
+		"unicode: héllo wörld — ✓ 𝔘𝔫𝔦𝔠𝔬𝔡𝔢",
+		strings.Repeat("x", 500),
+		strings.Repeat(`\`, 200),
+		"control \x01\x02\x7f bytes",
+	}
+	for _, want := range cases {
+		lines := EscapeLines(want)
+		if len(lines) == 0 {
+			t.Fatalf("EscapeLines(%q) returned no lines", want)
+		}
+		var b strings.Builder
+		for i, ln := range lines {
+			if len(ln) > MaxLine {
+				t.Fatalf("EscapeLines(%q): line %d is %d chars", want, i, len(ln))
+			}
+			for j := 0; j < len(ln); j++ {
+				if c := ln[j]; c != '\t' && (c < 32 || c > 126) {
+					t.Fatalf("EscapeLines(%q): non-ASCII byte %#x in line %d", want, c, i)
+				}
+			}
+			cont, err := DecodeLine(&b, ln)
+			if err != nil {
+				t.Fatalf("DecodeLine(%q): %v", ln, err)
+			}
+			if cont != (i < len(lines)-1) {
+				t.Fatalf("EscapeLines(%q): line %d cont=%v, want %v", want, i, cont, i < len(lines)-1)
+			}
+		}
+		if got := b.String(); got != want {
+			t.Fatalf("round trip = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestEscapeLinesMatchesWriter pins that the writer's payload emission is
+// exactly the exported helper: a journal framed with EscapeLines stays
+// byte-compatible with WriteText output.
+func TestEscapeLinesMatchesWriter(t *testing.T) {
+	seg := "héllo — " + strings.Repeat("wide ", 40) + `\end`
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	if _, err := w.Begin("text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteText(seg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join(EscapeLines(seg), "\n") + "\n"
+	out := sb.String()
+	if !strings.Contains(out, want) {
+		t.Fatalf("writer output does not embed EscapeLines form:\n%q\nvs\n%q", out, want)
+	}
+}

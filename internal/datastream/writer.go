@@ -157,39 +157,19 @@ func (w *Writer) WriteText(s string) error {
 }
 
 // writeSegment emits one logical line, escaped and wrapped with
-// continuation backslashes as needed.
+// continuation backslashes as needed (the shared line discipline of
+// EscapeLines).
 func (w *Writer) writeSegment(seg string) {
-	col := 0
-	var b strings.Builder
-	flush := func(cont bool) {
-		if cont {
-			b.WriteByte('\\')
-		}
-		b.WriteByte('\n')
-		if _, err := w.bw.WriteString(b.String()); err != nil {
+	for _, line := range EscapeLines(seg) {
+		if _, err := w.bw.WriteString(line); err != nil {
 			w.keep(err)
+			return
 		}
-		b.Reset()
-		col = 0
-	}
-	emit := func(tok string) {
-		if col+len(tok) > MaxLine-1 { // leave room for a continuation '\'
-			flush(true)
-		}
-		b.WriteString(tok)
-		col += len(tok)
-	}
-	for _, r := range seg {
-		switch {
-		case r == '\\':
-			emit(`\\`)
-		case r == '\t' || (r >= 32 && r <= 126):
-			emit(string(r))
-		default:
-			emit(fmt.Sprintf(`\u%x;`, r))
+		if err := w.bw.WriteByte('\n'); err != nil {
+			w.keep(err)
+			return
 		}
 	}
-	flush(false)
 }
 
 // WriteRawLine emits one payload line verbatim. The component owns the

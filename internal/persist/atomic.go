@@ -1,0 +1,47 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// AtomicWrite replaces path with the bytes produced by write, so that at
+// every instant path holds either its old content or the complete new
+// content — never a prefix. The sequence is the classic one: write to a
+// temporary file in the same directory, fsync the file, close it, rename
+// it over path, then fsync the directory so the rename itself is durable.
+// On any error the old file is untouched and the temporary is removed
+// (best effort).
+func AtomicWrite(fsys FS, path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("persist: creating %s: %w", tmp, err)
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return cleanup(fmt.Errorf("persist: writing %s: %w", tmp, err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("persist: syncing %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("persist: closing %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("persist: renaming %s: %w", tmp, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		// The rename happened; only its durability is in doubt. Report it —
+		// callers must not claim durability they don't have.
+		return fmt.Errorf("persist: syncing directory of %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/text"
+)
+
+// DocFile ties a text document to its file and its edit journal, and owns
+// the crash-safety invariant: at every instant, reopening the file yields
+// either the last saved document or the saved document plus a prefix of
+// the journaled edits — never a torn hybrid. The moving parts:
+//
+//	save     AtomicWrite the serialized document, then atomically rewrite
+//	         the journal to an empty one bound to the new bytes. A crash
+//	         before the rename keeps the old file and old journal; after
+//	         it, the old journal no longer matches the file's CRC and is
+//	         ignored. Either way the invariant holds.
+//	edit     Each Insert/Delete/style change appends one CRC-framed record
+//	         to the journal (fsync-batched). A crash loses at most the
+//	         unsynced tail of the batch.
+//	open     Load the file; if a journal bound to exactly these bytes is
+//	         present, the last session crashed — replay its records over
+//	         the document and report the recovery.
+//	exit     Close discards the journal: an orderly exit where the user
+//	         declined to save is a decision, not an accident.
+//
+// Edits the record format cannot express (embedding a live component
+// graph, wholesale payload reloads) append a reset marker and stop the
+// journal; the next Sync checkpoints by saving the whole document.
+type DocFile struct {
+	fsys FS
+	// Path is the document file; the journal lives beside it at
+	// JournalPath(Path).
+	Path string
+	Doc  *text.Data
+
+	journal *Journal
+	stale   bool // journal no longer reconstructs Doc; checkpoint needed
+
+	// LoadDiags are datastream repair diagnostics from parsing the file.
+	LoadDiags []string
+	// RecoveryDiags describe journal recovery (or why it was skipped).
+	RecoveryDiags []string
+	// Replayed is how many journaled edits were recovered at load.
+	Replayed int
+
+	// replayed holds the raw recovered records so StartJournal can carry
+	// them into the fresh journal — a second crash before the next save
+	// must not lose what the first recovery restored.
+	replayed []string
+}
+
+// JournalPath returns where the edit journal for path lives.
+func JournalPath(path string) string { return path + ".journal" }
+
+// EncodeDocument serializes doc to the external representation.
+func EncodeDocument(doc *text.Data) ([]byte, error) {
+	var buf bytes.Buffer
+	w := datastream.NewWriter(&buf)
+	if _, err := core.WriteObject(w, doc); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SaveDocument atomically writes doc to path (the save-as path, with no
+// journal attached).
+func SaveDocument(fsys FS, path string, doc *text.Data) error {
+	b, err := EncodeDocument(doc)
+	if err != nil {
+		return err
+	}
+	return AtomicWrite(fsys, path, func(w io.Writer) error {
+		_, werr := w.Write(b)
+		return werr
+	})
+}
+
+// baseHeader is the journal header binding it to an exact saved file — a
+// CRC of the bytes, not an mtime, so touching the file or copying it
+// around cannot make a stale journal look current.
+func baseHeader(saved []byte) string {
+	return fmt.Sprintf("base %08x", crc32.ChecksumIEEE(saved))
+}
+
+// Load reads the document at path and, if a journal from a crashed session
+// is bound to it, replays the journaled edits over the document. Parse
+// repairs land in LoadDiags, the recovery report in RecoveryDiags. After a
+// clean load the document is marked clean; after a recovery it is left
+// dirty, since the file on disk no longer matches it.
+func Load(fsys FS, path string, reg *class.Registry, mode datastream.Mode) (*DocFile, error) {
+	raw, err := ReadFile(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	r := datastream.NewReaderOptions(bytes.NewReader(raw), datastream.Options{Mode: mode})
+	obj, err := core.ReadObject(r, reg)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	doc, ok := obj.(*text.Data)
+	if !ok {
+		return nil, fmt.Errorf("%s holds a %s, not a text document", path, obj.TypeName())
+	}
+	doc.SetRegistry(reg)
+	df := &DocFile{fsys: fsys, Path: path, Doc: doc}
+	for _, d := range r.Diagnostics() {
+		df.LoadDiags = append(df.LoadDiags, d.String())
+	}
+	df.recoverJournal(raw)
+	if df.Replayed == 0 {
+		doc.MarkClean()
+	}
+	return df, nil
+}
+
+// recoverJournal replays a leftover journal over the freshly loaded
+// document. Replay stops — keeping the prefix — at the first damaged,
+// undecodable, inapplicable, or reset record.
+func (df *DocFile) recoverJournal(saved []byte) {
+	diag := func(format string, args ...any) {
+		df.RecoveryDiags = append(df.RecoveryDiags, fmt.Sprintf(format, args...))
+	}
+	rep, err := ReplayJournal(df.fsys, JournalPath(df.Path))
+	if err != nil {
+		if err != ErrNoJournal {
+			diag("journal unreadable, ignoring it: %v", err)
+		}
+		return
+	}
+	if rep.Header != baseHeader(saved) {
+		// Either the header is inside the damaged region or the journal
+		// belongs to an older version of the file (crash between the save's
+		// rename and the journal rotation). The file is newer: trust it.
+		diag("ignoring leftover journal: it does not match this version of the document")
+		return
+	}
+	if rep.Damaged {
+		diag("journal tail damaged (%s); replaying the intact prefix", rep.Diag)
+	}
+	df.Doc.WithoutUndo(func() {
+		for i, payload := range rep.Records {
+			rec, derr := text.DecodeRecord(payload)
+			if derr != nil {
+				diag("stopping replay at record %d: %v", i+1, derr)
+				return
+			}
+			if rec.Kind == text.RecReset {
+				diag("stopping replay at record %d: %s — edits after that point were not journaled", i+1, rec.Text)
+				return
+			}
+			if aerr := df.Doc.ApplyRecord(rec); aerr != nil {
+				diag("stopping replay at record %d: %v", i+1, aerr)
+				return
+			}
+			df.Replayed++
+			df.replayed = append(df.replayed, payload)
+		}
+	})
+	if df.Replayed > 0 {
+		df.RecoveryDiags = append([]string{fmt.Sprintf(
+			"recovered %d unsaved edit(s) journaled by the previous session", df.Replayed)},
+			df.RecoveryDiags...)
+	}
+}
+
+// StartJournal begins journaling edits. The journal file is rewritten
+// atomically with the current base header plus any records recovered at
+// load (so a second crash loses nothing the first recovery restored), then
+// every subsequent edit appends.
+func (df *DocFile) StartJournal() error {
+	saved, err := ReadFile(df.fsys, df.Path)
+	if err != nil {
+		return err
+	}
+	j, err := CreateJournal(df.fsys, JournalPath(df.Path), baseHeader(saved), df.replayed)
+	if err != nil {
+		return err
+	}
+	df.journal = j
+	df.stale = false
+	df.Doc.SetEditLogger(df.logEdit)
+	return nil
+}
+
+// logEdit is the document's edit logger. An unjournalable edit appends the
+// reset marker, forces it to disk, and stops logging until the next
+// checkpoint; replay will stop at the marker rather than reconstruct a
+// wrong document.
+func (df *DocFile) logEdit(rec text.EditRecord) {
+	if df.journal == nil || df.stale || df.journal.Err() != nil {
+		return
+	}
+	if rec.Kind == text.RecReset {
+		_ = df.journal.Append(text.EncodeRecord(rec))
+		_ = df.journal.Sync()
+		df.stale = true
+		return
+	}
+	// Append errors latch inside the journal; Sync surfaces them and
+	// checkpoints.
+	_ = df.journal.Append(text.EncodeRecord(rec))
+}
+
+// Sync is the idle-time autosave step: it makes the journaled edits
+// durable. If the journal can no longer represent the document (a reset
+// marker or a latched write error), it checkpoints by saving the whole
+// document instead.
+func (df *DocFile) Sync() error {
+	if df.journal == nil {
+		return nil
+	}
+	if df.stale || df.journal.Err() != nil {
+		return df.Save()
+	}
+	return df.journal.Sync()
+}
+
+// Save atomically writes the document to its path and rotates the journal
+// to a fresh one bound to the new bytes.
+func (df *DocFile) Save() error {
+	b, err := EncodeDocument(df.Doc)
+	if err != nil {
+		return err
+	}
+	if err := AtomicWrite(df.fsys, df.Path, func(w io.Writer) error {
+		_, werr := w.Write(b)
+		return werr
+	}); err != nil {
+		return err
+	}
+	df.Doc.MarkClean()
+	df.replayed = nil
+	if df.journal == nil {
+		return nil
+	}
+	// Rotate: the old journal (bound to the old bytes) is atomically
+	// replaced by an empty one bound to the new bytes. Its handle's errors
+	// no longer matter — the records it guarded are in the saved file.
+	_ = df.journal.Close()
+	df.journal = nil
+	j, err := CreateJournal(df.fsys, JournalPath(df.Path), baseHeader(b), nil)
+	if err != nil {
+		df.stale = false
+		return fmt.Errorf("document saved, but journaling could not restart: %w", err)
+	}
+	df.journal = j
+	df.stale = false
+	return nil
+}
+
+// Dirty reports whether the document has edits not yet in the saved file.
+func (df *DocFile) Dirty() bool { return df.Doc.Dirty() }
+
+// Close ends the session cleanly: logging stops and the journal file is
+// removed. Discarding unsaved edits on an orderly exit is deliberate —
+// the user chose not to save — so only a crash leaves a journal behind.
+func (df *DocFile) Close() error {
+	df.Doc.SetEditLogger(nil)
+	if df.journal == nil {
+		return nil
+	}
+	_ = df.journal.Close()
+	df.journal = nil
+	if Exists(df.fsys, JournalPath(df.Path)) {
+		return df.fsys.Remove(JournalPath(df.Path))
+	}
+	return nil
+}

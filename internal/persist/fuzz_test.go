@@ -1,0 +1,80 @@
+package persist
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/text"
+)
+
+// replayOverDoc drives the full recovery path over arbitrary journal
+// bytes: parse, decode each record, apply it to a document. This is what a
+// crashed session's leftover file — or an attacker's crafted one — feeds
+// into ez at startup, so none of it may panic, and damage must only ever
+// shorten the replay, never corrupt the document structure.
+func replayOverDoc(b []byte) string {
+	rep := ReplayJournalBytes(b)
+	doc := text.NewString("seed content\nsecond line\n")
+	doc.WithoutUndo(func() {
+		for _, payload := range rep.Records {
+			rec, err := text.DecodeRecord(payload)
+			if err != nil {
+				return
+			}
+			if rec.Kind == text.RecReset {
+				return
+			}
+			if doc.ApplyRecord(rec) != nil {
+				return
+			}
+		}
+	})
+	return doc.String()
+}
+
+func FuzzJournalReplay(f *testing.F) {
+	// A well-formed journal.
+	mem := NewMemFS()
+	j, err := CreateJournal(mem, "j", "base 00000000", nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, r := range []string{
+		"i 0 hello", "d 2 3", "s 0 4 bold",
+		"i 5 " + strings.Repeat("wrap me ", 20),
+		"x embedded component",
+	} {
+		if err := j.Append(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	j.Close()
+	wellFormed, _ := ReadFile(mem, "j")
+	f.Add([]byte(wellFormed))
+	f.Add([]byte(wellFormed[:len(wellFormed)-7])) // torn tail
+	f.Add([]byte(JournalMagic + "\n"))
+	f.Add([]byte(JournalMagic + "\n0 00000000 base\n"))     // bad CRC
+	f.Add([]byte("not a journal at all"))
+	f.Add([]byte("%atkjournal1\n0 deadbeef \\u41;\\q\n"))   // bad escape
+	f.Add([]byte("%atkjournal1\n0 ffffffff i 999999 big\n")) // out-of-range edit
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		out := replayOverDoc(b)
+		if strings.ContainsRune(out, text.AnchorRune) {
+			t.Fatalf("replay smuggled an anchor rune into the buffer")
+		}
+	})
+}
+
+// TestFuzzSeedsReplaySafely runs the seed corpus deterministically so the
+// plain test suite exercises the same path without the fuzzing engine.
+func TestFuzzSeedsReplaySafely(t *testing.T) {
+	for _, s := range []string{
+		"", "not a journal", JournalMagic, JournalMagic + "\n",
+		JournalMagic + "\n0 00000000 base\n",
+		JournalMagic + "\n0 deadbeef i 0 x\n",
+		"%atkjournal1\n0 ffffffff i 999999 big\n",
+	} {
+		_ = replayOverDoc([]byte(s))
+	}
+}

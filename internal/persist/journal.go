@@ -1,0 +1,292 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+	"strings"
+
+	"atk/internal/datastream"
+)
+
+// The edit journal is an append-only write-ahead log. Each record is one
+// logical line framed with the datastream writer's line discipline
+// (printable 7-bit ASCII, backslash escapes, continuation-wrapped under 80
+// columns), carrying a sequence number and a CRC:
+//
+//	%atkjournal1
+//	0 4f2a91c3 base 89ab12cd
+//	1 0c77be01 i 12 hello
+//	2 91d00a2f d 3 4
+//
+// Record 0 is the header binding the journal to a specific saved document
+// (by CRC of its bytes). Sequence numbers are consecutive, and each CRC
+// covers "<seq> <payload>", so replay detects truncation, bit rot, and
+// splicing. Replay is tolerant of a damaged tail — a crash mid-append
+// leaves a torn last record, which is dropped with a diagnostic while
+// everything before it is kept — but never trusts anything after the first
+// damaged record.
+
+// JournalMagic is the first line of every journal file.
+const JournalMagic = "%atkjournal1"
+
+// Journal errors.
+var (
+	// ErrNoJournal reports that no journal file exists.
+	ErrNoJournal = errors.New("persist: no journal")
+	// ErrJournalClosed reports an append to a closed journal.
+	ErrJournalClosed = errors.New("persist: journal closed")
+)
+
+// DefaultBatchEvery is the default fsync batching: an explicit Sync (the
+// idle autosave) or every Nth append flushes, so a burst of typing costs
+// one fsync per batch, not per keystroke.
+const DefaultBatchEvery = 8
+
+// Journal is an append-only edit log open for writing.
+type Journal struct {
+	fsys FS
+	path string
+	f    File
+	seq  uint64
+	// BatchEvery bounds how many appends may ride on one fsync; 1 makes
+	// every append durable immediately. Set before the first Append.
+	BatchEvery int
+	pending    int
+	err        error
+}
+
+// frameRecord renders one record as its on-disk bytes (physical lines,
+// each newline-terminated).
+func frameRecord(seq uint64, payload string) string {
+	body := fmt.Sprintf("%d %08x %s", seq, recordCRC(seq, payload), payload)
+	return strings.Join(datastream.EscapeLines(body), "\n") + "\n"
+}
+
+func recordCRC(seq uint64, payload string) uint32 {
+	return crc32.ChecksumIEEE([]byte(fmt.Sprintf("%d %s", seq, payload)))
+}
+
+// CreateJournal atomically writes a fresh journal at path containing the
+// header and any carried-over records, then reopens it for appending. The
+// atomic rewrite means a crash mid-creation leaves either the previous
+// journal or the complete new one.
+func CreateJournal(fsys FS, path, header string, records []string) (*Journal, error) {
+	var b strings.Builder
+	b.WriteString(JournalMagic + "\n")
+	b.WriteString(frameRecord(0, header))
+	for i, rec := range records {
+		b.WriteString(frameRecord(uint64(i+1), rec))
+	}
+	err := AtomicWrite(fsys, path, func(w io.Writer) error {
+		_, werr := w.Write([]byte(b.String()))
+		return werr
+	})
+	if err != nil {
+		return nil, err
+	}
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{fsys: fsys, path: path, f: f, seq: uint64(len(records)), BatchEvery: DefaultBatchEvery}, nil
+}
+
+// OpenJournal reopens an existing, fully valid journal for appending,
+// continuing its sequence. The caller must have replayed it first and seen
+// Damaged == false; appending after a torn tail would bury valid records
+// behind junk. rep is that replay.
+func OpenJournal(fsys FS, path string, rep *Replay) (*Journal, error) {
+	if rep == nil || rep.Damaged {
+		return nil, fmt.Errorf("persist: refusing to append to a damaged journal (rewrite it)")
+	}
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{fsys: fsys, path: path, f: f, seq: uint64(len(rep.Records)), BatchEvery: DefaultBatchEvery}, nil
+}
+
+// Append writes one record. Durability is batched: the record is on disk
+// after the write but guaranteed stable only after the batch's fsync (every
+// BatchEvery appends) or an explicit Sync. The first error latches: once an
+// append fails the journal refuses further writes, so a disk-full journal
+// cannot silently drop arbitrary interior records.
+func (j *Journal) Append(rec string) error {
+	if j.err != nil {
+		return j.err
+	}
+	if j.f == nil {
+		return ErrJournalClosed
+	}
+	j.seq++
+	if _, err := j.f.Write([]byte(frameRecord(j.seq, rec))); err != nil {
+		j.err = fmt.Errorf("persist: journal append: %w", err)
+		return j.err
+	}
+	j.pending++
+	batch := j.BatchEvery
+	if batch <= 0 {
+		batch = DefaultBatchEvery
+	}
+	if j.pending >= batch {
+		return j.Sync()
+	}
+	return nil
+}
+
+// Sync makes every appended record durable.
+func (j *Journal) Sync() error {
+	if j.err != nil {
+		return j.err
+	}
+	if j.f == nil {
+		return ErrJournalClosed
+	}
+	if j.pending == 0 {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = fmt.Errorf("persist: journal sync: %w", err)
+		return j.err
+	}
+	j.pending = 0
+	return nil
+}
+
+// Seq returns the sequence number of the last appended record.
+func (j *Journal) Seq() uint64 { return j.seq }
+
+// Err returns the latched error, if any.
+func (j *Journal) Err() error { return j.err }
+
+// Close syncs and closes the journal file (the file remains on disk; see
+// DocFile for when it is discarded).
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.Sync()
+	if cerr := j.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// Replay is the result of reading a journal back.
+type Replay struct {
+	// Header is record 0.
+	Header string
+	// Records are the valid records after the header, in order.
+	Records []string
+	// Damaged reports that the file ended in (or contained) an invalid
+	// record; Records holds everything before the damage.
+	Damaged bool
+	// Diag describes the damage for the recovery report.
+	Diag string
+}
+
+// ReplayJournal reads the journal at path with truncated-tail tolerance:
+// it returns every consecutively valid record and stops at the first torn,
+// corrupt, or out-of-sequence one. A missing file returns ErrNoJournal;
+// only I/O errors are returned as errors — damage is data, not failure.
+func ReplayJournal(fsys FS, path string) (*Replay, error) {
+	b, err := ReadFile(fsys, path)
+	if err != nil {
+		if IsNotExist(err) {
+			return nil, ErrNoJournal
+		}
+		return nil, err
+	}
+	return replayBytes(b), nil
+}
+
+// replayBytes parses journal content. Exposed to the fuzzer via
+// ReplayJournalBytes.
+func replayBytes(b []byte) *Replay {
+	rep := &Replay{}
+	damage := func(format string, args ...any) *Replay {
+		rep.Damaged = true
+		rep.Diag = fmt.Sprintf(format, args...)
+		return rep
+	}
+	s := string(b)
+	// Magic line.
+	nl := strings.IndexByte(s, '\n')
+	if nl < 0 || s[:nl] != JournalMagic {
+		return damage("not a journal (bad magic line)")
+	}
+	s = s[nl+1:]
+	wantSeq := uint64(0)
+	sawHeader := false
+	for len(s) > 0 {
+		// One logical line: physical lines joined while continuations ask
+		// for more. A missing final newline is a torn append.
+		var logical strings.Builder
+		for {
+			nl = strings.IndexByte(s, '\n')
+			if nl < 0 {
+				return damage("torn record at end of journal (no newline); %d records kept", len(rep.Records))
+			}
+			line := s[:nl]
+			s = s[nl+1:]
+			cont, err := datastream.DecodeLine(&logical, line)
+			if err != nil {
+				return damage("undecodable record after seq %d: %v", wantSeq-1, err)
+			}
+			if !cont {
+				break
+			}
+			if len(s) == 0 {
+				return damage("continuation runs off end of journal; %d records kept", len(rep.Records))
+			}
+		}
+		seq, payload, ok := parseRecord(logical.String())
+		if !ok || seq != wantSeq {
+			return damage("invalid record where seq %d expected; %d records kept", wantSeq, len(rep.Records))
+		}
+		if !sawHeader {
+			rep.Header = payload
+			sawHeader = true
+		} else {
+			rep.Records = append(rep.Records, payload)
+		}
+		wantSeq++
+	}
+	if !sawHeader {
+		return damage("journal has no header record")
+	}
+	return rep
+}
+
+// ReplayJournalBytes parses raw journal bytes (the fuzzing entry point).
+func ReplayJournalBytes(b []byte) *Replay { return replayBytes(b) }
+
+// parseRecord splits "<seq> <crc> <payload>" and verifies the CRC.
+func parseRecord(body string) (seq uint64, payload string, ok bool) {
+	sp1 := strings.IndexByte(body, ' ')
+	if sp1 <= 0 {
+		return 0, "", false
+	}
+	seq, err := strconv.ParseUint(body[:sp1], 10, 64)
+	if err != nil {
+		return 0, "", false
+	}
+	rest := body[sp1+1:]
+	sp2 := strings.IndexByte(rest, ' ')
+	if sp2 != 8 { // fixed-width %08x
+		return 0, "", false
+	}
+	crc, err := strconv.ParseUint(rest[:8], 16, 32)
+	if err != nil {
+		return 0, "", false
+	}
+	payload = rest[9:]
+	if uint32(crc) != recordCRC(seq, payload) {
+		return 0, "", false
+	}
+	return seq, payload, true
+}

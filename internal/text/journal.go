@@ -1,0 +1,197 @@
+package text
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"atk/internal/core"
+)
+
+// Journalable edits. Every primitive mutation of the buffer — Insert,
+// Delete, style changes, and their undo/redo replays, which all funnel
+// through the same choke points — can be described by a small serializable
+// EditRecord. A persistence layer installs a logger with SetEditLogger and
+// receives one record per mutation, in order; replaying the records over a
+// copy of the pre-edit document reproduces the post-edit document. This is
+// the functional-shell separation: document state transitions exist
+// independently of any view, so a write-ahead log of them survives a crash
+// that the transient view tree does not.
+//
+// Not every operation is representable: embedding a live component drags
+// an arbitrary object graph along, so it is logged as RecReset — a marker
+// telling the journal owner the log no longer reconstructs the state and a
+// full checkpoint is required.
+
+// ErrUnjournalable reports a record that cannot be applied (a reset
+// marker, or an insert carrying anchor runes).
+var ErrUnjournalable = errors.New("text: operation not representable in the edit journal")
+
+// RecordKind discriminates edit records.
+type RecordKind uint8
+
+// Record kinds.
+const (
+	// RecInsert is a plain-text insertion at Pos.
+	RecInsert RecordKind = iota
+	// RecDelete removes N runes at Pos.
+	RecDelete
+	// RecStyle installs Runs as the complete style-run list.
+	RecStyle
+	// RecReset marks an operation the journal cannot represent (an
+	// embedded component, a wholesale payload reload). Replay must stop
+	// here; the owner should checkpoint the full document instead.
+	RecReset
+)
+
+// EditRecord is one serializable primitive edit.
+type EditRecord struct {
+	Kind RecordKind
+	Pos  int    // insert/delete position
+	N    int    // delete length
+	Text string // inserted text (RecInsert) or human-readable reason (RecReset)
+	Runs []Run  // complete run list (RecStyle)
+}
+
+// SetEditLogger installs fn to receive every subsequent primitive edit,
+// including those performed by Undo/Redo and WithoutUndo bulk rewrites
+// (they mutate state all the same). A nil fn detaches the logger. The
+// logger runs after the mutation is applied and must not reentrantly edit
+// the document.
+func (d *Data) SetEditLogger(fn func(EditRecord)) { d.editLog = fn }
+
+func (d *Data) logEdit(rec EditRecord) {
+	if d.editLog != nil {
+		d.editLog(rec)
+	}
+}
+
+// logStyle reports the post-change run list as a style record.
+func (d *Data) logStyle() {
+	if d.editLog == nil {
+		return
+	}
+	d.editLog(EditRecord{Kind: RecStyle, Runs: append([]Run(nil), d.runs...)})
+}
+
+// ApplyRecord replays one record onto the document. Callers replaying a
+// journal should wrap the loop in WithoutUndo so recovery does not flood
+// the user's undo history. RecReset (and any insert carrying anchors)
+// returns ErrUnjournalable: the journal owner must stop replay there.
+func (d *Data) ApplyRecord(rec EditRecord) error {
+	switch rec.Kind {
+	case RecInsert:
+		if strings.ContainsRune(rec.Text, AnchorRune) {
+			return ErrUnjournalable
+		}
+		return d.Insert(rec.Pos, rec.Text)
+	case RecDelete:
+		return d.Delete(rec.Pos, rec.N)
+	case RecStyle:
+		// Validate against the current buffer before installing directly
+		// (the run list replaces wholesale, like undo does): a corrupt
+		// record must not plant out-of-range runs for views to trip over.
+		prevEnd := 0
+		for _, r := range rec.Runs {
+			if r.Start < prevEnd || r.Start >= r.End || r.End > d.length || r.Style == "" {
+				return fmt.Errorf("%w: bad style run %+v", ErrRange, r)
+			}
+			prevEnd = r.End
+		}
+		d.runs = append([]Run(nil), rec.Runs...)
+		d.logStyle()
+		d.NotifyObservers(core.Change{Kind: "style", Pos: 0, Length: d.length})
+		return nil
+	case RecReset:
+		return ErrUnjournalable
+	default:
+		return fmt.Errorf("text: unknown record kind %d", rec.Kind)
+	}
+}
+
+// Wire format: one line per record, space-separated fields, arbitrary text
+// last so it may contain spaces. Framing (escaping, wrapping, CRC) is the
+// journal file's business — this is the raw payload.
+//
+//	i <pos> <text>
+//	d <pos> <n>
+//	s <start> <end> <style> [<start> <end> <style> ...]
+//	x <reason>
+
+// EncodeRecord renders rec as its wire form.
+func EncodeRecord(rec EditRecord) string {
+	switch rec.Kind {
+	case RecInsert:
+		return fmt.Sprintf("i %d %s", rec.Pos, rec.Text)
+	case RecDelete:
+		return fmt.Sprintf("d %d %d", rec.Pos, rec.N)
+	case RecStyle:
+		var b strings.Builder
+		b.WriteByte('s')
+		for _, r := range rec.Runs {
+			fmt.Fprintf(&b, " %d %d %s", r.Start, r.End, r.Style)
+		}
+		return b.String()
+	case RecReset:
+		return "x " + rec.Text
+	default:
+		return "x unknown record kind"
+	}
+}
+
+// DecodeRecord parses the wire form back into an EditRecord.
+func DecodeRecord(s string) (EditRecord, error) {
+	bad := func(format string, args ...any) (EditRecord, error) {
+		return EditRecord{}, fmt.Errorf("text: bad edit record %q: %s", s, fmt.Sprintf(format, args...))
+	}
+	if s == "" {
+		return bad("empty")
+	}
+	switch s[0] {
+	case 'i':
+		parts := strings.SplitN(s, " ", 3)
+		if len(parts) < 3 {
+			return bad("want 'i <pos> <text>'")
+		}
+		pos, err := strconv.Atoi(parts[1])
+		if err != nil || pos < 0 {
+			return bad("bad position %q", parts[1])
+		}
+		return EditRecord{Kind: RecInsert, Pos: pos, Text: parts[2]}, nil
+	case 'd':
+		parts := strings.Fields(s)
+		if len(parts) != 3 {
+			return bad("want 'd <pos> <n>'")
+		}
+		pos, err1 := strconv.Atoi(parts[1])
+		n, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || pos < 0 || n < 0 {
+			return bad("bad position or length")
+		}
+		return EditRecord{Kind: RecDelete, Pos: pos, N: n}, nil
+	case 's':
+		parts := strings.Fields(s)
+		if parts[0] != "s" || (len(parts)-1)%3 != 0 {
+			return bad("want 's (<start> <end> <style>)*'")
+		}
+		rec := EditRecord{Kind: RecStyle}
+		for i := 1; i < len(parts); i += 3 {
+			start, err1 := strconv.Atoi(parts[i])
+			end, err2 := strconv.Atoi(parts[i+1])
+			if err1 != nil || err2 != nil {
+				return bad("bad run bounds %q %q", parts[i], parts[i+1])
+			}
+			rec.Runs = append(rec.Runs, Run{Start: start, End: end, Style: parts[i+2]})
+		}
+		return rec, nil
+	case 'x':
+		reason := ""
+		if len(s) > 2 {
+			reason = s[2:]
+		}
+		return EditRecord{Kind: RecReset, Text: reason}, nil
+	default:
+		return bad("unknown kind %q", s[0])
+	}
+}

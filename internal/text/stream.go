@@ -108,6 +108,9 @@ func (d *Data) writeStyles(w *datastream.Writer) error {
 // object's own end marker, restoring content, styles and embedded
 // children (instantiated through the registry, demand-loading their code).
 func (d *Data) ReadPayload(r *datastream.Reader) error {
+	// A wholesale reload is not a journalable edit: tell any attached
+	// journal its log no longer reconstructs this document.
+	d.logEdit(EditRecord{Kind: RecReset, Text: "payload reloaded"})
 	// Reset.
 	d.orig, d.add, d.pieces, d.length = nil, nil, nil, 0
 	d.runs, d.embeds = nil, nil

@@ -145,6 +145,7 @@ func (d *Data) SetStyle(start, end int, name string) error {
 	if journal {
 		d.record(editOp{kind: opStyle, prev: prev, next: append([]Run(nil), merged...)})
 	}
+	d.logStyle()
 	d.NotifyObservers(core.Change{Kind: "style", Pos: start, Length: end - start})
 	return nil
 }
@@ -173,6 +174,7 @@ func (d *Data) ReplaceRuns(runs []Run) error {
 	if journal {
 		d.record(editOp{kind: opStyle, prev: prev, next: append([]Run(nil), d.runs...)})
 	}
+	d.logStyle()
 	d.NotifyObservers(core.Change{Kind: "style", Pos: 0, Length: d.length})
 	return nil
 }

@@ -77,6 +77,10 @@ type Data struct {
 	redoLog []editOp
 	inUndo  bool
 	noUndo  bool
+
+	// editLog receives every primitive mutation for write-ahead
+	// journaling (see journal.go); nil when no journal is attached.
+	editLog func(EditRecord)
 }
 
 // New returns an empty text object with the standard style table.
@@ -163,8 +167,26 @@ func (d *Data) insertRunes(pos int, rs []rune, kind string) error {
 	d.bump()
 	d.noteInsert(pos, rs)
 	d.shiftForInsert(pos, len(rs))
+	if d.editLog != nil {
+		// An insert carrying anchor runes (Embed, redo of a deletion that
+		// had embeds) drags live objects the journal cannot serialize.
+		if hasAnchor(rs) {
+			d.logEdit(EditRecord{Kind: RecReset, Text: "embedded component"})
+		} else {
+			d.logEdit(EditRecord{Kind: RecInsert, Pos: pos, Text: string(rs)})
+		}
+	}
 	d.NotifyObservers(core.Change{Kind: kind, Pos: pos, Length: len(rs)})
 	return nil
+}
+
+func hasAnchor(rs []rune) bool {
+	for _, r := range rs {
+		if r == AnchorRune {
+			return true
+		}
+	}
+	return false
 }
 
 // spliceIn returns the piece list with np inserted at rune position pos.
@@ -236,6 +258,7 @@ func (d *Data) Delete(pos, n int) error {
 	d.bump()
 	d.noteDelete(pos, n)
 	d.shiftForDelete(pos, n)
+	d.logEdit(EditRecord{Kind: RecDelete, Pos: pos, N: n})
 	d.NotifyObservers(core.Change{Kind: "delete", Pos: pos, Length: n})
 	return nil
 }

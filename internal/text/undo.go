@@ -100,6 +100,7 @@ func (d *Data) applyInverse(op editOp) {
 		d.restoreDeleted(op)
 	case opStyle:
 		d.runs = append([]Run(nil), op.prev...)
+		d.logStyle()
 		d.NotifyObservers(core.Change{Kind: "style"})
 	case opEmbed:
 		_ = d.Delete(op.pos, len([]rune(op.text)))
@@ -114,6 +115,7 @@ func (d *Data) applyForward(op editOp) {
 		_ = d.Delete(op.pos, len([]rune(op.text)))
 	case opStyle:
 		d.runs = append([]Run(nil), op.next...)
+		d.logStyle()
 		d.NotifyObservers(core.Change{Kind: "style"})
 	case opEmbed:
 		d.restoreDeleted(op)

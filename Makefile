@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify fuzz generate bench
+.PHONY: all build test verify fuzz generate bench bench-docserve
 
 all: build
 
@@ -22,6 +22,7 @@ verify:
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/datastream
 	$(GO) test -fuzz=FuzzRepaint -fuzztime=10s .
 	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/persist
+	$(GO) test -fuzz=FuzzServerProtocol -fuzztime=10s ./internal/docserve
 
 # fuzz runs all fuzz targets for longer; extend FUZZTIME for real runs.
 FUZZTIME ?= 30s
@@ -30,6 +31,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) .
 	$(GO) test -fuzz=FuzzRepaint -fuzztime=$(FUZZTIME) .
 	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/persist
+	$(GO) test -fuzz=FuzzServerProtocol -fuzztime=$(FUZZTIME) ./internal/docserve
 
 # generate rebuilds committed artifacts (testdata/sample.d).
 generate:
@@ -39,3 +41,11 @@ generate:
 # results (entries plus derived speedups) in BENCH_text.json.
 bench:
 	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_text.json -filter E9TextIndexing
+
+# bench-docserve measures the replication server's fan-out path (one
+# writer, 32 reader replicas) and records commits/s, deliveries/s, and
+# p99 fan-out lag in BENCH_docserve.json.
+bench-docserve:
+	$(GO) test -run=NONE -bench=DocServeFanout -benchmem ./internal/docserve | \
+		$(GO) run ./cmd/benchjson -out BENCH_docserve.json -filter DocServeFanout \
+		-cmd "go test -run=NONE -bench=DocServeFanout -benchmem ./internal/docserve"

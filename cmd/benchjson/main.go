@@ -26,6 +26,9 @@ type entry struct {
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units the fixed fields above do
+	// not cover (e.g. commits/s, p99-lag-ns from the docserve fan-out).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type report struct {
@@ -48,9 +51,10 @@ var speedupPairs = map[string][2]string{
 func main() {
 	out := flag.String("out", "BENCH_text.json", "JSON output path")
 	filter := flag.String("filter", "", "only record benchmarks whose name contains this substring")
+	cmd := flag.String("cmd", "go test -bench=. -benchmem .", "command recorded in the report")
 	flag.Parse()
 
-	rep := report{Command: "go test -bench=. -benchmem ."}
+	rep := report{Command: *cmd}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -113,6 +117,13 @@ func parseBench(line string) (entry, bool) {
 			e.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "allocs/op":
 			e.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		default:
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				if e.Extra == nil {
+					e.Extra = map[string]float64{}
+				}
+				e.Extra[f[i+1]] = v
+			}
 		}
 	}
 	if e.NsPerOp == 0 {

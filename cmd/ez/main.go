@@ -8,22 +8,32 @@
 // Usage:
 //
 //	ez [-wm memwin|termwin] [-lenient] [-type "text..."] [-save out.d] [-print] [file.d]
+//	ez -connect tcp:host:port -docname doc.d [-client id] [-type "text..."]
 //
 // With -lenient, a damaged document (truncated in transit, corrupted
 // markers) is opened anyway: the parser resynchronizes at marker
 // boundaries, salvages every component that still parses, and reports
 // each repair on stderr with its line number.
+//
+// With -connect, the document lives in an ezserve process instead of a
+// local file: ez attaches as a live replica, local edits replicate to
+// every other connected editor, and remote edits appear here. The persist
+// paths (journaling, -save to the document's own file) do not apply; the
+// server owns durability.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
+	"time"
 
 	"atk/internal/appkit"
 	"atk/internal/core"
 	"atk/internal/datastream"
+	"atk/internal/docserve"
 	"atk/internal/graphics"
 	"atk/internal/pageview"
 	"atk/internal/persist"
@@ -44,15 +54,56 @@ func main() {
 	page := flag.Bool("page", false, "use the WYSIWYG page view instead of the screen view")
 	scriptPath := flag.String("script", "", "drive the session from an event script file")
 	lenient := flag.Bool("lenient", false, "recover what can be salvaged from a damaged document")
+	connect := flag.String("connect", "", "attach to a served document, tcp:host:port or unix:/path")
+	docName := flag.String("docname", "", "served document name (with -connect)")
+	clientID := flag.String("client", "", "replica id presented to the server (default host.pid)")
 	flag.Parse()
 
-	if err := run(*wm, *typeText, *save, *doPrint, *page, *lenient, *scriptPath, flag.Arg(0)); err != nil {
+	err := runOpts(ezOpts{
+		wm: *wm, typeText: *typeText, save: *save,
+		doPrint: *doPrint, page: *page, lenient: *lenient,
+		scriptPath: *scriptPath, path: flag.Arg(0),
+		connect: *connect, docName: *docName, clientID: *clientID,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ez:", err)
 		os.Exit(1)
 	}
 }
 
+// ezOpts collects one session's configuration.
+type ezOpts struct {
+	wm, typeText, save         string
+	doPrint, page, lenient     bool
+	scriptPath, path           string
+	connect, docName, clientID string
+}
+
+// run is the historical entry point, kept for the local-file sessions the
+// tests drive positionally.
 func run(wm, typeText, save string, doPrint, page, lenient bool, scriptPath, path string) error {
+	return runOpts(ezOpts{wm: wm, typeText: typeText, save: save, doPrint: doPrint,
+		page: page, lenient: lenient, scriptPath: scriptPath, path: path})
+}
+
+// dialSpec dials "tcp:host:port" or "unix:/path".
+func dialSpec(spec string) (net.Conn, error) {
+	proto, addr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("bad connect spec %q (want tcp:host:port or unix:/path)", spec)
+	}
+	switch proto {
+	case "tcp", "unix":
+		return net.Dial(proto, addr)
+	default:
+		return nil, fmt.Errorf("unsupported connect protocol %q", proto)
+	}
+}
+
+func runOpts(o ezOpts) error {
+	wm, typeText, save := o.wm, o.typeText, o.save
+	doPrint, page, lenient := o.doPrint, o.page, o.lenient
+	scriptPath, path := o.scriptPath, o.path
 	app, err := appkit.New("ez", 640, 400, wm)
 	if err != nil {
 		return err
@@ -62,9 +113,35 @@ func run(wm, typeText, save string, doPrint, page, lenient bool, scriptPath, pat
 	// Load or create the document. Opening goes through the persist layer:
 	// if the previous session crashed, its edit journal is still beside
 	// the file and the journaled edits are replayed over the document.
+	// With -connect there is no local file at all: the document is a live
+	// replica of a served one, and edits flow both ways over the socket.
 	var doc *text.Data
 	var df *persist.DocFile
-	if path != "" {
+	var cl *docserve.Client
+	if o.connect != "" {
+		if o.docName == "" {
+			return fmt.Errorf("-connect requires -docname")
+		}
+		if o.clientID == "" {
+			host, _ := os.Hostname()
+			o.clientID = fmt.Sprintf("%s.%d", clientToken(host), os.Getpid())
+		}
+		conn, err := dialSpec(o.connect)
+		if err != nil {
+			return err
+		}
+		cl, err = docserve.Connect(conn, o.docName, docserve.ClientOptions{
+			ClientID:       o.clientID,
+			Registry:       app.Reg,
+			IdleTimeout:    60 * time.Second,
+			HeartbeatEvery: 10 * time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		doc = cl.Doc()
+	} else if path != "" {
 		mode := datastream.Strict
 		if lenient {
 			mode = datastream.Lenient
@@ -105,16 +182,27 @@ func run(wm, typeText, save string, doPrint, page, lenient bool, scriptPath, pat
 	}
 	frame := widgets.NewFrame(body)
 	app.IM.SetChild(frame)
-	if df != nil && df.Replayed > 0 {
+	switch {
+	case cl != nil:
+		frame.PostMessage(fmt.Sprintf("ez: connected to %s as %s, %d characters at seq %d",
+			o.docName, o.clientID, doc.Len(), cl.Confirmed()))
+	case df != nil && df.Replayed > 0:
 		frame.PostMessage(df.RecoveryDiags[0] + " — save to keep them")
-	} else {
+	default:
 		frame.PostMessage(fmt.Sprintf("ez: %d characters", doc.Len()))
 	}
 
-	// Idle autosave: whenever the event loop goes quiet with unsaved
-	// edits, force the journal to disk. This is what bounds the damage of
-	// a crash to "since the last idle moment", not "since the last save".
+	// Idle hook: for a local file, autosave — whenever the event loop goes
+	// quiet with unsaved edits, force the journal to disk, bounding crash
+	// damage to "since the last idle moment". For a connected replica,
+	// pump — apply whatever committed ops arrived while we were busy.
 	app.IM.SetIdleHook(func() {
+		if cl != nil {
+			if err := cl.Pump(); err != nil {
+				frame.PostMessage("connection: " + err.Error())
+			}
+			return
+		}
 		if df == nil || !doc.Dirty() {
 			return
 		}
@@ -173,6 +261,16 @@ func run(wm, typeText, save string, doPrint, page, lenient bool, scriptPath, pat
 		fmt.Printf("script: %d commands\n", n)
 	}
 
+	// A connected session waits for its edits to be confirmed (and any
+	// concurrent remote edits to arrive) before rendering or exiting, so
+	// what the user sees — and what -save captures — is committed state.
+	if cl != nil {
+		if err := cl.Sync(10 * time.Second); err != nil {
+			return fmt.Errorf("syncing with server: %w", err)
+		}
+		_ = cl.Pump()
+	}
+
 	app.Show(os.Stdout)
 
 	if save != "" {
@@ -188,6 +286,24 @@ func run(wm, typeText, save string, doPrint, page, lenient bool, scriptPath, pat
 		}
 	}
 	return nil
+}
+
+// clientToken squeezes a hostname into the protocol's client-id alphabet.
+func clientToken(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "ez"
+	}
+	return b.String()
 }
 
 // saveDoc writes doc to path atomically: the file on disk is the old

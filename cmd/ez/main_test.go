@@ -3,14 +3,18 @@ package main
 import (
 	"bytes"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"atk/internal/class"
 	"atk/internal/components"
 	"atk/internal/datastream"
+	"atk/internal/docserve"
 	"atk/internal/persist"
+	"atk/internal/text"
 )
 
 func captureStdout(t *testing.T, f func() error) string {
@@ -241,5 +245,51 @@ func TestEZLenientOpensDamagedDocument(t *testing.T) {
 	})
 	if !strings.Contains(strings.ReplaceAll(out, " ", ""), "salvage") {
 		t.Fatalf("salvaged screen:\n%s", out)
+	}
+}
+
+func TestEZConnectEditsSharedDocument(t *testing.T) {
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	doc := text.NewString("shared base\n")
+	doc.SetRegistry(reg)
+	h := docserve.NewHost("shared.d", doc, docserve.HostOptions{})
+	srv := docserve.NewServer(docserve.HostOptions{})
+	srv.AddHost(h)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	out := captureStdout(t, func() error {
+		return runOpts(ezOpts{
+			wm: "termwin", typeText: "over the wire ",
+			connect: "tcp:" + ln.Addr().String(), docName: "shared.d", clientID: "ez-test",
+		})
+	})
+	// The typed text was committed by the server before ez rendered or
+	// exited, so the authoritative document holds it.
+	if got := h.DocString(); !strings.Contains(got, "over the wire") {
+		t.Fatalf("host document %q missing typed text", got)
+	}
+	// (The caret glyph overlays one cell, so match a fragment clear of it.)
+	if !strings.Contains(strings.ReplaceAll(out, " ", ""), "overthewi") {
+		t.Fatalf("connected screen:\n%s", out)
+	}
+}
+
+func TestEZDialSpecRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "nope", "ftp:127.0.0.1:1"} {
+		if conn, err := dialSpec(bad); err == nil {
+			conn.Close()
+			t.Fatalf("dial spec %q accepted", bad)
+		}
+	}
+	if err := runOpts(ezOpts{wm: "termwin", connect: "tcp:127.0.0.1:1"}); err == nil {
+		t.Fatal("-connect without -docname accepted")
 	}
 }

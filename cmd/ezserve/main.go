@@ -1,0 +1,139 @@
+// Command ezserve hosts shared documents for networked editing: it opens
+// each named document through the crash-safe persist layer, listens on a
+// TCP or unix socket, and serves the docserve replication protocol — every
+// connected ez (or any other client) holds a live replica, edits anywhere
+// appear everywhere, and the authoritative op log doubles as the host's
+// edit journal, so a crashed server reopens to the saved document plus the
+// durable prefix of the committed edits.
+//
+// Usage:
+//
+//	ezserve [-listen tcp:host:port|unix:/path] [-sync 2s] [-stats 1m] doc.d [more.d ...]
+//
+// Clients attach with ez -connect tcp:host:port -docname doc.d.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"atk/internal/class"
+	"atk/internal/docserve"
+	"atk/internal/persist"
+	"atk/internal/text"
+)
+
+func main() {
+	listen := flag.String("listen", "tcp:127.0.0.1:7421", "listen address, tcp:host:port or unix:/path")
+	syncEvery := flag.Duration("sync", 2*time.Second, "how often to force journaled ops to disk")
+	statsEvery := flag.Duration("stats", time.Minute, "how often to log per-document stats (0 = never)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "ezserve: at least one document path is required")
+		os.Exit(2)
+	}
+
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		close(stop)
+	}()
+
+	if err := run(*listen, flag.Args(), *syncEvery, *statsEvery, os.Stderr, nil, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "ezserve:", err)
+		os.Exit(1)
+	}
+}
+
+// listenSpec opens a listener for "tcp:host:port" or "unix:/path".
+func listenSpec(spec string) (net.Listener, error) {
+	proto, addr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("bad listen spec %q (want tcp:host:port or unix:/path)", spec)
+	}
+	switch proto {
+	case "tcp", "unix":
+		return net.Listen(proto, addr)
+	default:
+		return nil, fmt.Errorf("unsupported listen protocol %q", proto)
+	}
+}
+
+// run serves the documents until stop closes, then shuts down cleanly
+// (saving every document). If ready is non-nil the bound address is sent
+// on it once the listener is up — tests use this to learn the port.
+func run(listen string, paths []string, syncEvery, statsEvery time.Duration,
+	logw io.Writer, ready chan<- net.Addr, stop <-chan struct{}) error {
+
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		return err
+	}
+	srv := docserve.NewServer(docserve.HostOptions{})
+	for _, p := range paths {
+		h, err := docserve.OpenHostFile(persist.OS, p, reg, docserve.HostOptions{})
+		if err != nil {
+			_ = srv.Close()
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		for _, diag := range h.RecoveryDiags() {
+			fmt.Fprintf(logw, "ezserve: %s: recovery: %s\n", p, diag)
+		}
+		srv.AddHost(h)
+		fmt.Fprintf(logw, "ezserve: serving %s\n", p)
+	}
+
+	ln, err := listenSpec(listen)
+	if err != nil {
+		_ = srv.Close()
+		return err
+	}
+	fmt.Fprintf(logw, "ezserve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	syncT := time.NewTicker(syncEvery)
+	defer syncT.Stop()
+	var statsC <-chan time.Time
+	if statsEvery > 0 {
+		statsT := time.NewTicker(statsEvery)
+		defer statsT.Stop()
+		statsC = statsT.C
+	}
+	for {
+		select {
+		case <-syncT.C:
+			for _, h := range srv.Hosts() {
+				if err := h.SyncNow(); err != nil {
+					fmt.Fprintf(logw, "ezserve: %s: sync: %v\n", h.Name(), err)
+				}
+			}
+		case <-statsC:
+			for _, h := range srv.Hosts() {
+				st := h.Stats()
+				fmt.Fprintf(logw, "ezserve: %s: sessions=%d seq=%d ops/s=%.1f broadcasts=%d lag(avg/max)=%s/%s slow-kicks=%d resyncs=%d/%d\n",
+					st.Name, st.Sessions, st.Seq, st.OpsPerSec, st.Broadcasts,
+					st.FanoutLagAvg, st.FanoutLagMax, st.SlowConsumerKicks, st.OpResyncs, st.SnapResyncs)
+			}
+		case err := <-serveErr:
+			_ = srv.Close()
+			return fmt.Errorf("accept: %w", err)
+		case <-stop:
+			fmt.Fprintln(logw, "ezserve: shutting down, saving documents")
+			return srv.Close()
+		}
+	}
+}

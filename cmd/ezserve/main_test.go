@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"atk/internal/class"
+	"atk/internal/datastream"
+	"atk/internal/docserve"
+	"atk/internal/persist"
+	"atk/internal/text"
+)
+
+func TestServeEditShutdownSaves(t *testing.T) {
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "shared.d")
+
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+
+	var logbuf bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run("tcp:127.0.0.1:0", []string{docPath}, 50*time.Millisecond, 0, &logbuf, ready, stop)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v\n%s", err, logbuf.String())
+	}
+
+	// Two editors on the served document.
+	dial := func(id string) *docserve.Client {
+		conn, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := docserve.Connect(conn, docPath, docserve.ClientOptions{ClientID: id, Registry: reg})
+		if err != nil {
+			t.Fatalf("connect %s: %v", id, err)
+		}
+		return c
+	}
+	a := dial("alice")
+	b := dial("bob")
+	if err := a.Doc().Insert(0, "written over the wire\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Sync(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WaitSeq(a.Confirmed(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Doc().String(); got != "written over the wire\n" {
+		t.Fatalf("bob sees %q", got)
+	}
+	_ = a.Close()
+	_ = b.Close()
+
+	// Shutdown saves the document; it reopens with the edits and no journal.
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v\n%s", err, logbuf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	df, err := persist.Load(persist.OS, docPath, reg, datastream.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Close()
+	if got := df.Doc.String(); got != "written over the wire\n" {
+		t.Fatalf("saved document %q", got)
+	}
+	if len(df.RecoveryDiags) != 0 {
+		t.Fatalf("clean shutdown left recovery work: %v", df.RecoveryDiags)
+	}
+	if !strings.Contains(logbuf.String(), "serving") {
+		t.Fatalf("log: %s", logbuf.String())
+	}
+	_ = os.Remove(docPath)
+}
+
+func TestListenSpecRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "nope", "ftp:127.0.0.1:1"} {
+		if ln, err := listenSpec(bad); err == nil {
+			ln.Close()
+			t.Fatalf("listen spec %q accepted", bad)
+		}
+	}
+}
+
+func TestServeUnixSocket(t *testing.T) {
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "u.d")
+	sock := filepath.Join(dir, "ez.sock")
+
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	var logbuf bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run("unix:"+sock, []string{docPath}, time.Second, 0, &logbuf, ready, stop)
+	}()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v\n%s", err, logbuf.String())
+	}
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := docserve.Connect(conn, docPath, docserve.ClientOptions{ClientID: "u", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Doc().Insert(0, "unix\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

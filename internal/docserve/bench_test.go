@@ -1,0 +1,113 @@
+package docserve
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"atk/internal/class"
+	"atk/internal/text"
+)
+
+// BenchmarkDocServeFanout measures the serving hot path: one writer
+// commits an op per iteration while 32 reader replicas each receive and
+// apply every committed op. Beyond the usual ns/op (one full commit
+// round trip), it reports committed ops per second, total fan-out
+// deliveries per second, and the 99th-percentile fan-out lag — the time
+// from the writer stamping the op to a reader having applied it.
+func BenchmarkDocServeFanout(b *testing.B) {
+	const readers = 32
+	newReg := func() *class.Registry {
+		reg := class.NewRegistry()
+		if err := text.Register(reg); err != nil {
+			b.Fatal(err)
+		}
+		return reg
+	}
+	doc := text.New()
+	doc.SetRegistry(newReg())
+	h := NewHost("bench.d", doc, HostOptions{QueueLen: 8192})
+	srv := NewServer(HostOptions{QueueLen: 8192})
+	srv.AddHost(h)
+	defer srv.Close()
+
+	dial := func(id string, opts ClientOptions) *Client {
+		cEnd, sEnd := net.Pipe()
+		go srv.HandleConn(sEnd)
+		opts.ClientID = id
+		opts.Registry = newReg()
+		c, err := Connect(cEnd, "bench.d", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+
+	// sendNanos[seq] is stamped by the writer just before the commit that
+	// will be assigned seq (the writer is the only committer and plain
+	// text produces no style checkpoints, so seq tracks the iteration).
+	// Delivery over the pipe orders each reader's load after the store.
+	sendNanos := make([]int64, b.N+1)
+	lags := make([][]int64, readers)
+	var target atomic.Uint64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		r := r
+		lags[r] = make([]int64, 0, b.N)
+		c := dial(fmt.Sprintf("reader%02d", r), ClientOptions{
+			OnRemoteOp: func(seq uint64) {
+				if seq < uint64(len(sendNanos)) {
+					lags[r] = append(lags[r], time.Now().UnixNano()-sendNanos[seq])
+				}
+			},
+		})
+		defer c.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := c.PumpWait(50 * time.Millisecond); err != nil {
+					return
+				}
+				if t := target.Load(); t != 0 && c.Confirmed() >= t {
+					return
+				}
+			}
+		}()
+	}
+	w := dial("writer", ClientOptions{})
+	defer w.Close()
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 1; i <= b.N; i++ {
+		sendNanos[i] = time.Now().UnixNano()
+		if err := w.Doc().Insert(w.Doc().Len(), "x"); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Sync(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	target.Store(uint64(b.N))
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	var all []int64
+	for _, l := range lags {
+		all = append(all, l...)
+	}
+	if len(all) != readers*b.N {
+		b.Fatalf("fan-out incomplete: %d deliveries, want %d", len(all), readers*b.N)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p99 := all[len(all)*99/100]
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "commits/s")
+	b.ReportMetric(float64(readers*b.N)/elapsed.Seconds(), "deliveries/s")
+	b.ReportMetric(float64(p99), "p99-lag-ns")
+}

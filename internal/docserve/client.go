@@ -1,0 +1,685 @@
+package docserve
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/text"
+)
+
+// Client is a live replica of a served document. It plugs into the rest of
+// the toolkit as an ordinary data object: Doc() returns a *text.Data that
+// views attach to and edit normally. Local edits apply immediately
+// (speculatively) and are streamed to the host in groups; the host's
+// committed order arrives back and the client rebases its unacknowledged
+// edits across it, so every replica converges on the server's document.
+//
+// The discipline is one op group in flight at a time: local edits buffer
+// while a group awaits its ack, and the next group is promoted only after
+// the ack (or its catch-up equivalent) lands. That guarantees the server
+// only ever rebases a group across *foreign* ops, which is what keeps the
+// transform on both ends a simple fold.
+//
+// Like text.Data itself, a Client is not safe for concurrent use: all
+// methods (and all edits to Doc()) belong to one owner goroutine, which
+// must call Pump (or PumpWait/Sync) to apply frames the reader goroutine
+// has queued. Only the connection reader and the optional heartbeat run
+// concurrently, and they touch nothing but the socket.
+type Client struct {
+	opts    ClientOptions
+	docName string
+
+	conn net.Conn
+	br   *bufio.Reader
+	wmu  sync.Mutex // guards bw: owner sends vs heartbeat pings
+	bw   *bufio.Writer
+
+	doc    *text.Data // visible replica: shadow + inflight + buffer
+	shadow *text.Data // confirmed replica: exactly the server at `confirmed`
+
+	epoch     uint64
+	confirmed uint64
+	live      bool
+	attached  bool
+	draining  bool // Resume is replaying the dead connection's leftovers
+
+	nextClientSeq uint64
+	inflight      *inflightGroup
+	buffer        []text.EditRecord
+
+	inbox  chan string // reader goroutine -> owner; closed on read error
+	hbStop chan struct{}
+	hbSeq  int
+
+	// DroppedPending counts local edits discarded by a snapshot resync (the
+	// host could not replay ops across the gap, so unconfirmed local work
+	// could not be rebased and did not survive).
+	DroppedPending int
+
+	lastErr error
+	closed  bool
+}
+
+// inflightGroup is the one op group awaiting its ack.
+type inflightGroup struct {
+	clientSeq uint64
+	recs      []text.EditRecord
+}
+
+// ClientOptions tune a replica. The zero value needs ClientID and Registry
+// filled in; everything else has defaults.
+type ClientOptions struct {
+	// ClientID names this replica to the host; it must be unique among the
+	// document's clients (reconnects reuse it — that is how the host knows
+	// a resumed session's dedup state).
+	ClientID string
+	// Registry decodes document snapshots.
+	Registry *class.Registry
+	// IdleTimeout is the per-read deadline (0 = none). With HeartbeatEvery
+	// set below it, a healthy connection never trips it.
+	IdleTimeout time.Duration
+	// HeartbeatEvery pings the host periodically so its idle timeout sees a
+	// live session even when the user stops typing (0 = no heartbeats).
+	HeartbeatEvery time.Duration
+	// MaxGroup bounds records per op group. Default 256.
+	MaxGroup int
+	// InboxLen bounds frames queued between the reader goroutine and Pump.
+	// Default 1024.
+	InboxLen int
+	// OnRemoteOp, if set, is called (on the owner goroutine, from Pump)
+	// after each foreign committed op is applied.
+	OnRemoteOp func(seq uint64)
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.MaxGroup <= 0 {
+		o.MaxGroup = 256
+	}
+	if o.MaxGroup > MaxRecordsPerOp {
+		o.MaxGroup = MaxRecordsPerOp
+	}
+	if o.InboxLen <= 0 {
+		o.InboxLen = 1024
+	}
+	return o
+}
+
+// Connect attaches to docName over conn: hello, synchronous catch-up to
+// the live point (snapshot included), then background reader + heartbeat.
+// On success the client owns conn.
+func Connect(conn net.Conn, docName string, opts ClientOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	if !nameOK(opts.ClientID) {
+		conn.Close()
+		return nil, errors.New("docserve: a valid ClientID is required")
+	}
+	if !nameOK(docName) {
+		conn.Close()
+		return nil, errors.New("docserve: bad document name")
+	}
+	if opts.Registry == nil {
+		conn.Close()
+		return nil, errors.New("docserve: a class registry is required to decode snapshots")
+	}
+	c := &Client{
+		opts:    opts,
+		docName: docName,
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		bw:      bufio.NewWriter(conn),
+	}
+	if err := c.sendRaw(encodeHello(docName, opts.ClientID)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.catchUp(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !c.attached {
+		conn.Close()
+		return nil, errors.New("docserve: server went live without a snapshot")
+	}
+	c.startReader()
+	c.startHeartbeat()
+	return c, nil
+}
+
+// Resume reattaches over a fresh connection after a disconnect, presenting
+// the epoch and confirmed seq so the host can replay just the missed ops.
+// Unacknowledged local edits survive: the in-flight group is re-sent (the
+// host answers idempotently if it had in fact committed it) and buffered
+// edits promote as usual. Only a snapshot resync — the host's history
+// window no longer reaching our resume point — discards them, counted in
+// DroppedPending.
+func (c *Client) Resume(conn net.Conn) error {
+	c.stopHeartbeat()
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	// Apply whatever the old reader delivered before it noticed the loss;
+	// those frames are valid committed state and our resume point must
+	// account for them. Kick notices (err/bye) are why we are here — skip.
+	if c.inbox != nil {
+		c.draining = true
+		for f := range c.inbox {
+			if v := verbOf(f); v == "err" || v == "bye" {
+				continue
+			}
+			if err := c.handleFrame(f); err != nil {
+				c.draining = false
+				return err
+			}
+		}
+		c.draining = false
+	}
+	c.lastErr = nil
+	c.live = false
+	c.closed = false
+	c.wmu.Lock()
+	c.conn = conn
+	c.bw = bufio.NewWriter(conn)
+	c.wmu.Unlock()
+	c.br = bufio.NewReader(conn)
+	if err := c.sendRaw(encodeHelloResume(c.docName, c.opts.ClientID, c.epoch, c.confirmed)); err != nil {
+		return err
+	}
+	if err := c.catchUp(); err != nil {
+		return err
+	}
+	c.startReader()
+	c.startHeartbeat()
+	return nil
+}
+
+// catchUp processes frames synchronously until the host says live.
+func (c *Client) catchUp() error {
+	for {
+		if c.opts.IdleTimeout > 0 {
+			_ = c.conn.SetReadDeadline(time.Now().Add(c.opts.IdleTimeout))
+		}
+		frame, err := readFrame(c.br)
+		if err != nil {
+			return fmt.Errorf("docserve: catch-up read: %w", err)
+		}
+		if err := c.handleFrame(frame); err != nil {
+			return err
+		}
+		if c.live {
+			return nil
+		}
+	}
+}
+
+// startReader spawns the connection reader for the current conn. It is the
+// inbox's only sender and closes it when the connection dies.
+func (c *Client) startReader() {
+	inbox := make(chan string, c.opts.InboxLen)
+	c.inbox = inbox
+	conn, br, idle := c.conn, c.br, c.opts.IdleTimeout
+	go func() {
+		defer close(inbox)
+		for {
+			if idle > 0 {
+				_ = conn.SetReadDeadline(time.Now().Add(idle))
+			}
+			frame, err := readFrame(br)
+			if err != nil {
+				return
+			}
+			inbox <- frame
+		}
+	}()
+}
+
+func (c *Client) startHeartbeat() {
+	if c.opts.HeartbeatEvery <= 0 {
+		return
+	}
+	stop := make(chan struct{})
+	c.hbStop = stop
+	go func() {
+		t := time.NewTicker(c.opts.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.hbSeq++
+				if c.sendRaw(fmt.Sprintf("ping hb%d", c.hbSeq)) != nil {
+					return // reader will notice the dead conn and close the inbox
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+func (c *Client) stopHeartbeat() {
+	if c.hbStop != nil {
+		close(c.hbStop)
+		c.hbStop = nil
+	}
+}
+
+// Close says bye and tears the connection down. The bye is best-effort
+// with a short deadline: a wedged server must not make Close hang.
+func (c *Client) Close() error {
+	c.stopHeartbeat()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	_ = c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_ = c.sendRaw("bye")
+	return c.conn.Close()
+}
+
+// Doc returns the visible replica. Edit it like any document; edits
+// replicate automatically.
+func (c *Client) Doc() *text.Data { return c.doc }
+
+// Confirmed returns the last server seq this replica has applied.
+func (c *Client) Confirmed() uint64 { return c.confirmed }
+
+// Epoch returns the host journal generation this replica is attached to.
+func (c *Client) Epoch() uint64 { return c.epoch }
+
+// PendingCount returns how many local edit records await confirmation.
+func (c *Client) PendingCount() int {
+	n := len(c.buffer)
+	if c.inflight != nil {
+		n += len(c.inflight.recs)
+	}
+	return n
+}
+
+// Err returns the latched fatal error, if any. A client with an error is
+// dead until Resume.
+func (c *Client) Err() error { return c.lastErr }
+
+// Live reports whether the replica has caught up to the host's stream.
+func (c *Client) Live() bool { return c.live }
+
+// Pump applies every frame the reader has queued, without blocking. Call
+// it from the owner's idle loop.
+func (c *Client) Pump() error {
+	for {
+		select {
+		case f, ok := <-c.inbox:
+			if !ok {
+				if c.lastErr == nil {
+					c.lastErr = errors.New("docserve: connection lost")
+				}
+				return c.lastErr
+			}
+			if err := c.handleFrame(f); err != nil {
+				return err
+			}
+		default:
+			return c.lastErr
+		}
+	}
+}
+
+// PumpWait blocks up to d for at least one frame, then drains the rest.
+func (c *Client) PumpWait(d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case f, ok := <-c.inbox:
+		if !ok {
+			if c.lastErr == nil {
+				c.lastErr = errors.New("docserve: connection lost")
+			}
+			return c.lastErr
+		}
+		if err := c.handleFrame(f); err != nil {
+			return err
+		}
+		return c.Pump()
+	case <-t.C:
+		return c.lastErr
+	}
+}
+
+// Sync pumps until every local edit is confirmed or timeout elapses.
+func (c *Client) Sync(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := c.Pump(); err != nil {
+			return err
+		}
+		if c.inflight == nil && len(c.buffer) == 0 {
+			return nil
+		}
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return fmt.Errorf("docserve: sync timed out with %d edits pending", c.PendingCount())
+		}
+		if err := c.PumpWait(rem); err != nil {
+			return err
+		}
+	}
+}
+
+// WaitSeq pumps until the replica has applied server seq or beyond.
+func (c *Client) WaitSeq(seq uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := c.Pump(); err != nil {
+			return err
+		}
+		if c.confirmed >= seq {
+			return nil
+		}
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return fmt.Errorf("docserve: timed out at seq %d waiting for %d", c.confirmed, seq)
+		}
+		if err := c.PumpWait(rem); err != nil {
+			return err
+		}
+	}
+}
+
+// fatal latches err and returns it; the client is dead until Resume.
+func (c *Client) fatal(err error) error {
+	if c.lastErr == nil {
+		c.lastErr = err
+	}
+	return err
+}
+
+// handleFrame dispatches one server frame on the owner goroutine.
+func (c *Client) handleFrame(frame string) error {
+	switch verbOf(frame) {
+	case "snap":
+		return c.handleSnap(frame)
+	case "op":
+		m, err := parseCommitted(frame)
+		if err != nil {
+			return c.fatal(err)
+		}
+		return c.handleCommitted(m)
+	case "ok":
+		cseq, n, hi, err := fields3(frame, "ok")
+		if err != nil {
+			return c.fatal(err)
+		}
+		return c.handleAck(cseq, int(n), hi)
+	case "live":
+		return c.handleLive(frame)
+	case "pong":
+		return nil
+	case "bye":
+		return c.fatal(errors.New("docserve: server closed the session"))
+	case "err":
+		reason, _ := restOf(frame, 1)
+		return c.fatal(fmt.Errorf("docserve: server error: %s", reason))
+	default:
+		return c.fatal(fmt.Errorf("docserve: unknown frame %q", verbOf(frame)))
+	}
+}
+
+// decodeSnapshot parses a document snapshot body.
+func decodeSnapshot(b []byte, reg *class.Registry) (*text.Data, error) {
+	r := datastream.NewReaderOptions(bytes.NewReader(b), datastream.Options{Mode: datastream.Strict})
+	obj, err := core.ReadObject(r, reg)
+	if err != nil {
+		return nil, fmt.Errorf("docserve: snapshot: %w", err)
+	}
+	doc, ok := obj.(*text.Data)
+	if !ok {
+		return nil, fmt.Errorf("docserve: snapshot holds a %s, not a text document", obj.TypeName())
+	}
+	doc.SetRegistry(reg)
+	return doc, nil
+}
+
+func (c *Client) handleSnap(frame string) error {
+	parts := strings.SplitN(frame, " ", 4)
+	if len(parts) < 3 || parts[0] != "snap" {
+		return c.fatal(fmt.Errorf("%w: snap", errBadFrame))
+	}
+	epoch, err1 := strconv.ParseUint(parts[1], 10, 64)
+	seq, err2 := strconv.ParseUint(parts[2], 10, 64)
+	if err1 != nil || err2 != nil {
+		return c.fatal(fmt.Errorf("%w: snap header", errBadFrame))
+	}
+	body := ""
+	if len(parts) == 4 {
+		body = parts[3]
+	}
+	snapDoc, err := decodeSnapshot([]byte(body), c.opts.Registry)
+	if err != nil {
+		return c.fatal(err)
+	}
+	shadow, err := decodeSnapshot([]byte(body), c.opts.Registry)
+	if err != nil {
+		return c.fatal(err)
+	}
+	if !c.attached {
+		c.doc = snapDoc
+		c.doc.SetEditLogger(c.onEdit)
+		c.attached = true
+	} else {
+		// Resync snapshot: rebuild the visible document in place (views
+		// stay attached to it) to exactly the server state. Unconfirmed
+		// local edits cannot be rebased across an unknown gap; they are
+		// discarded and counted. ApplyRecord keeps the rebuild out of the
+		// edit logger, and WithoutUndo keeps it out of the user's undo.
+		if len(snapDoc.Embeds()) > 0 {
+			return c.fatal(errors.New("docserve: snapshot with embedded components cannot be resynced in place"))
+		}
+		var aerr error
+		c.doc.WithoutUndo(func() {
+			if n := c.doc.Len(); n > 0 {
+				aerr = c.doc.ApplyRecord(text.EditRecord{Kind: text.RecDelete, Pos: 0, N: n})
+			}
+			if aerr == nil && snapDoc.Len() > 0 {
+				aerr = c.doc.ApplyRecord(text.EditRecord{Kind: text.RecInsert, Pos: 0, Text: snapDoc.String()})
+			}
+			if aerr == nil {
+				aerr = c.doc.ApplyRecord(text.EditRecord{Kind: text.RecStyle, Runs: snapDoc.Runs()})
+			}
+		})
+		if aerr != nil {
+			return c.fatal(aerr)
+		}
+		c.DroppedPending += c.PendingCount()
+		c.inflight = nil
+		c.buffer = nil
+	}
+	c.shadow = shadow
+	c.epoch, c.confirmed = epoch, seq
+	return nil
+}
+
+func (c *Client) handleCommitted(m committedMsg) error {
+	if !c.attached {
+		return c.fatal(errors.New("docserve: committed op before any snapshot"))
+	}
+	if m.seq != c.confirmed+1 {
+		return c.fatal(fmt.Errorf("docserve: op sequence gap: got %d want %d", m.seq, c.confirmed+1))
+	}
+	rec, err := text.DecodeRecord(m.payload)
+	if err != nil {
+		return c.fatal(err)
+	}
+
+	if m.clientID == c.opts.ClientID {
+		// Our own committed op, re-delivered during catch-up: an implicit
+		// ack for the front of the in-flight group. The server's record
+		// equals our transformed copy (both sides folded the same bridge),
+		// so the visible document already contains it — only the shadow
+		// advances.
+		if c.inflight == nil || len(c.inflight.recs) == 0 || m.clientSeq != c.inflight.clientSeq {
+			return c.fatal(fmt.Errorf("docserve: unexpected echo of own op group %d", m.clientSeq))
+		}
+		var aerr error
+		c.shadow.WithoutUndo(func() { aerr = c.shadow.ApplyRecord(rec) })
+		if aerr != nil {
+			return c.fatal(fmt.Errorf("docserve: echoed op inapplicable: %w", aerr))
+		}
+		c.confirmed = m.seq
+		c.inflight.recs = c.inflight.recs[1:]
+		if len(c.inflight.recs) == 0 {
+			c.inflight = nil
+			c.maybePromote()
+		}
+		return nil
+	}
+
+	// A foreign committed op: rebase the pending local edits across it and
+	// its visible-document form across them, then apply.
+	one := []text.EditRecord{rec}
+	if c.inflight != nil {
+		c.inflight.recs, one = xformDual(c.inflight.recs, one, true)
+	}
+	var vis []text.EditRecord
+	c.buffer, vis = xformDual(c.buffer, one, true)
+	var aerr error
+	c.doc.WithoutUndo(func() {
+		for _, r := range vis {
+			if aerr = c.doc.ApplyRecord(r); aerr != nil {
+				return
+			}
+		}
+	})
+	if aerr != nil {
+		return c.fatal(fmt.Errorf("docserve: remote op inapplicable: %w", aerr))
+	}
+	c.shadow.WithoutUndo(func() { aerr = c.shadow.ApplyRecord(rec) })
+	if aerr != nil {
+		return c.fatal(fmt.Errorf("docserve: remote op inapplicable to shadow: %w", aerr))
+	}
+	c.confirmed = m.seq
+	if c.opts.OnRemoteOp != nil {
+		c.opts.OnRemoteOp(m.seq)
+	}
+	return nil
+}
+
+func (c *Client) handleAck(clientSeq uint64, n int, hi uint64) error {
+	if c.inflight == nil || clientSeq != c.inflight.clientSeq {
+		return c.fatal(fmt.Errorf("docserve: stray ack for group %d", clientSeq))
+	}
+	// A group that rebased to nothing leaves no trace in the op stream, so
+	// when its ack is lost with a connection the re-sent copy is answered
+	// from the server's dedup window with the hi recorded at original
+	// commit time — by now behind our confirmed. Our own transformed copy
+	// must agree it was nothing (it folded the same bridge); then there is
+	// simply nothing to apply.
+	if n == 0 && len(c.inflight.recs) == 0 && hi <= c.confirmed {
+		c.inflight = nil
+		c.maybePromote()
+		return nil
+	}
+	// Every bridge op reached us before the ack (the stream is ordered), so
+	// our transformed in-flight copy must match what the server committed.
+	if n != len(c.inflight.recs) || hi != c.confirmed+uint64(n) {
+		return c.fatal(fmt.Errorf("docserve: ack mismatch: server committed %d records to seq %d, client has %d at seq %d",
+			n, hi, len(c.inflight.recs), c.confirmed))
+	}
+	var aerr error
+	c.shadow.WithoutUndo(func() {
+		for _, r := range c.inflight.recs {
+			if aerr = c.shadow.ApplyRecord(r); aerr != nil {
+				return
+			}
+		}
+	})
+	if aerr != nil {
+		return c.fatal(fmt.Errorf("docserve: acked group inapplicable to shadow: %w", aerr))
+	}
+	c.confirmed = hi
+	c.inflight = nil
+	c.maybePromote()
+	return nil
+}
+
+func (c *Client) handleLive(frame string) error {
+	f := strings.Fields(frame)
+	if len(f) != 2 {
+		return c.fatal(fmt.Errorf("%w: live", errBadFrame))
+	}
+	seq, err := strconv.ParseUint(f[1], 10, 64)
+	if err != nil || seq != c.confirmed {
+		return c.fatal(fmt.Errorf("docserve: live at %s but replica confirmed %d", f[1], c.confirmed))
+	}
+	c.live = true
+	if c.inflight != nil {
+		// The group (or just its ack) was lost with the old connection.
+		// Re-send against the caught-up base; the host's dedup answers
+		// idempotently if it had committed it after all.
+		c.sendGroup()
+	} else {
+		c.maybePromote()
+	}
+	return nil
+}
+
+// onEdit is the visible document's edit logger: every local mutation lands
+// here (ApplyRecord replays are suppressed upstream), buffers, and
+// promotes when the wire is free.
+func (c *Client) onEdit(rec text.EditRecord) {
+	if rec.Kind == text.RecReset {
+		_ = c.fatal(fmt.Errorf("docserve: %s: cannot be replicated", rec.Text))
+		return
+	}
+	c.buffer = append(c.buffer, rec)
+	c.maybePromote()
+}
+
+// maybePromote moves buffered edits into a new in-flight group when the
+// previous one is confirmed and the stream is live.
+func (c *Client) maybePromote() {
+	if !c.live || c.lastErr != nil || c.closed || c.inflight != nil || len(c.buffer) == 0 {
+		return
+	}
+	k := len(c.buffer)
+	if k > c.opts.MaxGroup {
+		k = c.opts.MaxGroup
+	}
+	c.nextClientSeq++
+	c.inflight = &inflightGroup{clientSeq: c.nextClientSeq, recs: c.buffer[:k:k]}
+	c.buffer = append([]text.EditRecord(nil), c.buffer[k:]...)
+	c.sendGroup()
+}
+
+func (c *Client) sendGroup() {
+	payloads := make([]string, len(c.inflight.recs))
+	for i, r := range c.inflight.recs {
+		payloads[i] = text.EncodeRecord(r)
+	}
+	c.send(encodeOpGroup(c.inflight.clientSeq, c.confirmed, payloads))
+}
+
+// send writes a frame on the owner goroutine, latching failures (the
+// in-flight state is kept so Resume can re-send).
+func (c *Client) send(line string) {
+	if c.draining {
+		return // the old connection is gone; Resume re-sends what matters
+	}
+	if err := c.sendRaw(line); err != nil && c.lastErr == nil {
+		c.lastErr = fmt.Errorf("docserve: send: %w", err)
+	}
+}
+
+// sendRaw writes a frame; safe from the heartbeat goroutine too.
+func (c *Client) sendRaw(line string) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeFrame(c.bw, line)
+}

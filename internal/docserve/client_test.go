@@ -1,0 +1,202 @@
+package docserve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scriptServer runs fn against the server end of a pipe and reports its
+// error on the returned channel.
+func scriptServer(sEnd net.Conn) (*bufio.Reader, *bufio.Writer) {
+	return bufio.NewReader(sEnd), bufio.NewWriter(sEnd)
+}
+
+// TestClientRebaseDeterministic drives a client against a hand-written
+// server script so every transform step is pinned down exactly: the
+// client's speculative insert at 0 loses the position tie to the
+// server-earlier foreign insert and shifts right.
+func TestClientRebaseDeterministic(t *testing.T) {
+	reg := testReg(t)
+	snap := encodeDoc(t, newDoc(t, "hello"))
+
+	cEnd, sEnd := net.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		defer sEnd.Close() // script done; pipe writes are synchronous, all frames delivered
+		errc <- func() error {
+			br, bw := scriptServer(sEnd)
+			f, err := readFrame(br)
+			if err != nil {
+				return err
+			}
+			hello, err := parseHello(f)
+			if err != nil {
+				return fmt.Errorf("hello %q: %w", f, err)
+			}
+			if hello.doc != "doc" || hello.clientID != "me" || hello.resume {
+				return fmt.Errorf("unexpected hello %+v", hello)
+			}
+			if err := writeFrame(bw, encodeSnap(5, 0, snap)); err != nil {
+				return err
+			}
+			if err := writeFrame(bw, encodeLive(0)); err != nil {
+				return err
+			}
+			f, err = readFrame(br)
+			if err != nil {
+				return err
+			}
+			g, err := parseOpGroup(f)
+			if err != nil {
+				return fmt.Errorf("op group %q: %w", f, err)
+			}
+			if g.clientSeq != 1 || g.baseSeq != 0 || len(g.payloads) != 1 || g.payloads[0] != "i 0 abc" {
+				return fmt.Errorf("unexpected op group %+v", g)
+			}
+			// Serialize a foreign insert at the same position FIRST, then
+			// commit the client's group after it.
+			if err := writeFrame(bw, encodeCommitted(1, "other", 1, "i 0 ZZ")); err != nil {
+				return err
+			}
+			if err := writeFrame(bw, encodeAck(1, 1, 2)); err != nil {
+				return err
+			}
+			return nil
+		}()
+	}()
+
+	c, err := Connect(cEnd, "doc", ClientOptions{ClientID: "me", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Epoch() != 5 || !c.Live() {
+		t.Fatalf("epoch %d live %v", c.Epoch(), c.Live())
+	}
+	mustInsert(t, c.Doc(), 0, "abc")
+	if err := c.WaitSeq(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("script: %v", err)
+	}
+	if got := c.Doc().String(); got != "ZZabchello" {
+		t.Fatalf("visible doc %q, want %q", got, "ZZabchello")
+	}
+	if got := c.shadow.String(); got != "ZZabchello" {
+		t.Fatalf("shadow %q diverged from visible doc", got)
+	}
+	if c.Confirmed() != 2 || c.PendingCount() != 0 {
+		t.Fatalf("confirmed %d pending %d", c.Confirmed(), c.PendingCount())
+	}
+}
+
+// TestClientAckMismatchIsFatal pins the strict ack check: a server that
+// claims a different record count than the client's rebased group is a
+// protocol violation, not something to paper over.
+func TestClientAckMismatchIsFatal(t *testing.T) {
+	reg := testReg(t)
+	snap := encodeDoc(t, newDoc(t, "hello"))
+
+	cEnd, sEnd := net.Pipe()
+	go func() {
+		defer sEnd.Close()
+		br, bw := scriptServer(sEnd)
+		if _, err := readFrame(br); err != nil {
+			return
+		}
+		_ = writeFrame(bw, encodeSnap(1, 0, snap))
+		_ = writeFrame(bw, encodeLive(0))
+		if _, err := readFrame(br); err != nil {
+			return
+		}
+		_ = writeFrame(bw, encodeAck(1, 5, 9)) // nonsense
+	}()
+
+	c, err := Connect(cEnd, "doc", ClientOptions{ClientID: "me", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mustInsert(t, c.Doc(), 0, "x")
+	err = c.WaitSeq(9, 2*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "ack mismatch") {
+		t.Fatalf("want ack mismatch error, got %v", err)
+	}
+	if c.Err() == nil {
+		t.Fatal("fatal error not latched")
+	}
+}
+
+// TestClientSeqGapIsFatal: a committed op that skips a seq means lost
+// state; the client must refuse rather than apply it at the wrong place.
+func TestClientSeqGapIsFatal(t *testing.T) {
+	reg := testReg(t)
+	snap := encodeDoc(t, newDoc(t, "hello"))
+
+	cEnd, sEnd := net.Pipe()
+	go func() {
+		defer sEnd.Close()
+		br, bw := scriptServer(sEnd)
+		if _, err := readFrame(br); err != nil {
+			return
+		}
+		_ = writeFrame(bw, encodeSnap(1, 0, snap))
+		_ = writeFrame(bw, encodeLive(0))
+		_ = writeFrame(bw, encodeCommitted(7, "other", 1, "i 0 ZZ"))
+	}()
+
+	c, err := Connect(cEnd, "doc", ClientOptions{ClientID: "me", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.WaitSeq(7, 2*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "sequence gap") {
+		t.Fatalf("want sequence gap error, got %v", err)
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	reg := testReg(t)
+	mk := func() net.Conn { a, _ := net.Pipe(); return a }
+	if _, err := Connect(mk(), "doc", ClientOptions{Registry: reg}); err == nil {
+		t.Fatal("missing ClientID accepted")
+	}
+	if _, err := Connect(mk(), "doc", ClientOptions{ClientID: "bad id", Registry: reg}); err == nil {
+		t.Fatal("invalid ClientID accepted")
+	}
+	if _, err := Connect(mk(), "bad doc", ClientOptions{ClientID: "c", Registry: reg}); err == nil {
+		t.Fatal("invalid doc name accepted")
+	}
+	if _, err := Connect(mk(), "doc", ClientOptions{ClientID: "c"}); err == nil {
+		t.Fatal("missing registry accepted")
+	}
+}
+
+// TestClientUndoReplicates: undo is a local affair but its effect is an
+// ordinary edit record, so it must travel like any other op.
+func TestClientUndoReplicates(t *testing.T) {
+	reg := testReg(t)
+	h := NewHost("d", newDoc(t, "stable "), HostOptions{})
+	srv := NewServer(HostOptions{})
+	srv.AddHost(h)
+	a := pipeClient(t, srv, "d", "alice", reg)
+	b := pipeClient(t, srv, "d", "bob", reg)
+
+	mustInsert(t, a.Doc(), 7, "oops")
+	if err := a.Sync(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Doc().Undo() {
+		t.Fatal("nothing to undo")
+	}
+	convergeAll(t, h, a, b)
+	if got := h.DocString(); got != "stable " {
+		t.Fatalf("undo did not replicate: %q", got)
+	}
+}

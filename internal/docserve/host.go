@@ -1,0 +1,480 @@
+// Package docserve is the networked shared-document subsystem: a document
+// host that makes remote processes first-class observers of a data object.
+// The paper's observer mechanism (§2) stretched over a socket: one
+// authoritative text document lives in the server, N client sessions each
+// hold a live replica, local edits are speculative and rebased on ack, and
+// every committed op fans out to every attached session so all replicas
+// converge on the server's total order. The op log is the same CRC-framed
+// journal the crash-safe document lifecycle uses (internal/persist), so
+// the server's durability story is the editor's: after a crash the host
+// reopens to the saved document plus a durable prefix of the committed
+// ops, never a torn hybrid.
+package docserve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atk/internal/class"
+	"atk/internal/datastream"
+	"atk/internal/persist"
+	"atk/internal/text"
+)
+
+// HostOptions tune one served document. The zero value gets sane defaults.
+type HostOptions struct {
+	// HistoryLimit is how many committed ops the host keeps in memory for
+	// op-level resync. A reconnect whose gap exceeds it falls back to a
+	// full snapshot. Default 4096.
+	HistoryLimit int
+	// QueueLen bounds each session's outbound queue. A session whose queue
+	// is full when a broadcast arrives is a slow consumer and is
+	// disconnected — fan-out never blocks on one laggard and never buffers
+	// unbounded memory. Default 256.
+	QueueLen int
+	// IdleTimeout is the per-session read deadline; a session silent for
+	// this long (no ops, no pings) is disconnected. Default 60s.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one outbound frame write. Default 10s.
+	WriteTimeout time.Duration
+	// MaxSessions bounds concurrent sessions per document. Default 1024.
+	MaxSessions int
+}
+
+func (o HostOptions) withDefaults() HostOptions {
+	if o.HistoryLimit <= 0 {
+		o.HistoryLimit = 4096
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 256
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 60 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 1024
+	}
+	return o
+}
+
+// committedOp is one op in the authoritative order.
+type committedOp struct {
+	seq       uint64
+	clientID  string
+	clientSeq uint64
+	wire      string
+}
+
+// clientState is what the host remembers about a client identity across
+// sessions (reconnects), for idempotent re-sends.
+type clientState struct {
+	lastSeq uint64
+	// acks maps recently committed clientSeqs to their ack, so an op
+	// re-sent after a lost ack is answered, not re-applied.
+	acks map[uint64]ackRange
+}
+
+type ackRange struct {
+	n  int
+	hi uint64
+}
+
+// ackRetain bounds the per-client dedup window.
+const ackRetain = 64
+
+// hostOrigin is the reserved clientID for ops the host itself commits
+// (style checkpoints). Sessions may not attach under it.
+const hostOrigin = ":host"
+
+// Host serves one shared document.
+type Host struct {
+	name  string
+	opts  HostOptions
+	epoch uint64
+	start time.Time
+
+	mu       sync.Mutex
+	doc      *text.Data
+	df       *persist.DocFile // nil for a memory-only host
+	seq      uint64
+	hist     []committedOp // trailing window; hist[len-1].seq == seq
+	sessions map[*session]struct{}
+	clients  map[string]*clientState
+	nextSID  uint64
+	closed   bool
+
+	// Counters under mu.
+	opsApplied         uint64
+	opsTransformedAway uint64
+	broadcasts         uint64
+	slowKicks          uint64
+	protoErrors        uint64
+	snapResyncs        uint64
+	opResyncs          uint64
+	journalErrors      uint64
+	styleCheckpoints   uint64
+
+	// Fan-out lag, updated by session writer goroutines (atomics).
+	lagSum   atomic.Int64 // nanoseconds
+	lagCount atomic.Int64
+	lagMax   atomic.Int64
+}
+
+// NewHost wraps doc (which the host now owns: nothing else may mutate it)
+// as a served document with no backing file.
+func NewHost(name string, doc *text.Data, opts HostOptions) *Host {
+	return &Host{
+		name:     name,
+		opts:     opts.withDefaults(),
+		epoch:    rand.Uint64() | 1, // never zero, never reused across restarts in practice
+		start:    time.Now(),
+		doc:      doc,
+		sessions: map[*session]struct{}{},
+		clients:  map[string]*clientState{},
+	}
+}
+
+// OpenHostFile opens (creating if absent) the document at path through the
+// crash-safe persist layer and serves it: a leftover journal from a
+// crashed server is replayed, then a fresh journal records every op the
+// host commits, in commit order — the journal IS the replication log.
+func OpenHostFile(fsys persist.FS, path string, reg *class.Registry, opts HostOptions) (*Host, error) {
+	if !persist.Exists(fsys, path) {
+		if err := persist.SaveDocument(fsys, path, text.New()); err != nil {
+			return nil, fmt.Errorf("docserve: creating %s: %w", path, err)
+		}
+	}
+	df, err := persist.Load(fsys, path, reg, datastream.Strict)
+	if err != nil {
+		return nil, err
+	}
+	if err := df.StartJournalDetached(); err != nil {
+		return nil, err
+	}
+	h := NewHost(path, df.Doc, opts)
+	h.df = df
+	return h, nil
+}
+
+// Name returns the host's document name.
+func (h *Host) Name() string { return h.name }
+
+// RecoveryDiags surfaces the persist layer's recovery report (what a
+// crashed predecessor left behind), empty for memory-only hosts.
+func (h *Host) RecoveryDiags() []string {
+	if h.df == nil {
+		return nil
+	}
+	return h.df.RecoveryDiags
+}
+
+// Snapshot returns the document's current external representation and the
+// op seq it reflects.
+func (h *Host) Snapshot() ([]byte, uint64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b, err := persist.EncodeDocument(h.doc)
+	return b, h.seq, err
+}
+
+// DocString returns the served document's text (test and tooling aid).
+func (h *Host) DocString() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.doc.String()
+}
+
+// SyncNow makes journaled ops durable; if the journal latched an error it
+// checkpoints by atomically saving the whole document instead. This is the
+// server's idle/periodic autosave step.
+func (h *Host) SyncNow() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.df == nil {
+		return nil
+	}
+	return h.df.Sync()
+}
+
+// Checkpoint atomically saves the document and rotates the journal.
+func (h *Host) Checkpoint() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.df == nil {
+		return nil
+	}
+	return h.df.Save()
+}
+
+// Close disconnects every session and, for a file-backed host, saves the
+// document and discards the journal — a clean shutdown, like an editor
+// exiting after a save.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	h.closed = true
+	for s := range h.sessions {
+		h.killLocked(s, "server shutting down", false)
+	}
+	df := h.df
+	h.mu.Unlock()
+	if df == nil {
+		return nil
+	}
+	if err := df.Save(); err != nil {
+		df.Close()
+		return err
+	}
+	return df.Close()
+}
+
+// commitGroup is the ordering point: it rebases one client op group onto
+// the authoritative log, applies it, journals it, fans it out, and acks
+// the originator. Any protocol violation kills the session.
+func (h *Host) commitGroup(s *session, g opGroupMsg) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cs := h.clients[s.clientID]
+	hadRuns := len(h.doc.Runs()) > 0
+
+	// Idempotence: a group re-sent after a lost ack is answered from the
+	// retained ack, never re-applied.
+	if g.clientSeq <= cs.lastSeq {
+		if r, ok := cs.acks[g.clientSeq]; ok {
+			h.enqueueLocked(s, encodeAck(g.clientSeq, r.n, r.hi))
+			return
+		}
+		h.failLocked(s, "duplicate op older than the dedup window")
+		return
+	}
+	if g.clientSeq != cs.lastSeq+1 {
+		h.failLocked(s, fmt.Sprintf("op sequence gap: got %d want %d", g.clientSeq, cs.lastSeq+1))
+		return
+	}
+	if g.baseSeq > h.seq {
+		h.failLocked(s, "op based on a future server seq")
+		return
+	}
+
+	// Decode the group.
+	recs := make([]text.EditRecord, 0, len(g.payloads))
+	for _, p := range g.payloads {
+		rec, err := text.DecodeRecord(p)
+		if err != nil {
+			h.failLocked(s, err.Error())
+			return
+		}
+		if rec.Kind == text.RecReset {
+			h.failLocked(s, "unjournalable edit cannot be replicated")
+			return
+		}
+		recs = append(recs, rec)
+	}
+
+	// Rebase across everything committed since the client's base. The
+	// single-in-flight-group discipline guarantees those are all foreign
+	// ops (the client's own earlier ops are <= its acked base).
+	bridge, ok := h.bridgeLocked(s, g.baseSeq)
+	if !ok {
+		return
+	}
+	recs, _ = xformDual(recs, bridge, true)
+
+	// Apply, journal, broadcast — one op at a time, in commit order.
+	n := 0
+	for _, rec := range recs {
+		if err := h.doc.ApplyRecord(rec); err != nil {
+			// The transform guarantees applicability for honest clients; a
+			// record that still fails is hostile or corrupt. Everything
+			// already applied is committed — ack it before killing.
+			h.finishAckLocked(s, cs, g.clientSeq, n)
+			h.failLocked(s, fmt.Sprintf("inapplicable op after rebase: %v", err))
+			return
+		}
+		h.seq++
+		n++
+		wire := text.EncodeRecord(rec)
+		h.hist = append(h.hist, committedOp{seq: h.seq, clientID: s.clientID, clientSeq: g.clientSeq, wire: wire})
+		if over := len(h.hist) - h.opts.HistoryLimit; over > 0 {
+			h.hist = h.hist[over:]
+		}
+		if h.df != nil {
+			if err := h.df.AppendRecord(wire); err != nil {
+				h.journalErrors++
+			}
+		}
+		frame := encodeCommitted(h.seq, s.clientID, g.clientSeq, wire)
+		for other := range h.sessions {
+			if other == s {
+				continue
+			}
+			h.enqueueLocked(other, frame)
+			h.broadcasts++
+		}
+	}
+	h.opsApplied += uint64(n)
+	if n == 0 {
+		h.opsTransformedAway++
+	}
+	h.finishAckLocked(s, cs, g.clientSeq, n)
+
+	// Style-run growth is state-dependent (text typed strictly inside a
+	// run joins it), so two replicas that applied the same ops in
+	// different transform orders can disagree about run boundaries even
+	// though their text is identical — no state-free record transform can
+	// close that gap. The host is the authority: after any commit that
+	// touched styled text it republishes its complete run list as a
+	// committed op of its own. Style records are wholesale last-writer-
+	// wins, so the checkpoint lands last on every replica and pins the
+	// runs to the server's exactly.
+	if n > 0 && (hadRuns || len(h.doc.Runs()) > 0) {
+		h.commitStyleCheckpointLocked()
+	}
+}
+
+// commitStyleCheckpointLocked commits the host's current run list as an
+// op of its own, fanned to every session (originator included).
+func (h *Host) commitStyleCheckpointLocked() {
+	rec := text.EditRecord{Kind: text.RecStyle, Runs: append([]text.Run(nil), h.doc.Runs()...)}
+	h.seq++
+	wire := text.EncodeRecord(rec)
+	h.hist = append(h.hist, committedOp{seq: h.seq, clientID: hostOrigin, wire: wire})
+	if over := len(h.hist) - h.opts.HistoryLimit; over > 0 {
+		h.hist = h.hist[over:]
+	}
+	if h.df != nil {
+		if err := h.df.AppendRecord(wire); err != nil {
+			h.journalErrors++
+		}
+	}
+	frame := encodeCommitted(h.seq, hostOrigin, 0, wire)
+	for sess := range h.sessions {
+		h.enqueueLocked(sess, frame)
+		h.broadcasts++
+	}
+	h.styleCheckpoints++
+}
+
+// finishAckLocked records and sends the ack for a committed group.
+func (h *Host) finishAckLocked(s *session, cs *clientState, clientSeq uint64, n int) {
+	cs.lastSeq = clientSeq
+	cs.acks[clientSeq] = ackRange{n: n, hi: h.seq}
+	for k := range cs.acks {
+		if k+ackRetain < clientSeq {
+			delete(cs.acks, k)
+		}
+	}
+	h.enqueueLocked(s, encodeAck(clientSeq, n, h.seq))
+}
+
+// bridgeLocked collects the committed ops with seq > baseSeq, decoded, for
+// rebasing an incoming group. It fails the session if the window no longer
+// reaches baseSeq (resync required) or if it would cross the client's own
+// ops (a protocol violation of the one-in-flight discipline).
+func (h *Host) bridgeLocked(s *session, baseSeq uint64) ([]text.EditRecord, bool) {
+	if baseSeq == h.seq {
+		return nil, true
+	}
+	if len(h.hist) == 0 || h.hist[0].seq > baseSeq+1 {
+		h.failLocked(s, "base seq fell out of the resync window; reconnect")
+		return nil, false
+	}
+	var bridge []text.EditRecord
+	for _, op := range h.hist {
+		if op.seq <= baseSeq {
+			continue
+		}
+		if op.clientID == s.clientID {
+			h.failLocked(s, "op overlaps the client's own committed ops")
+			return nil, false
+		}
+		rec, err := text.DecodeRecord(op.wire)
+		if err != nil {
+			h.failLocked(s, "internal: undecodable history record")
+			return nil, false
+		}
+		bridge = append(bridge, rec)
+	}
+	return bridge, true
+}
+
+// Stats is a point-in-time metrics snapshot of one served document.
+type Stats struct {
+	Name     string
+	Sessions int
+	// Seq is the authoritative op count (the replication log position).
+	Seq        uint64
+	OpsApplied uint64
+	// OpsTransformedAway counts client groups that rebased to nothing.
+	OpsTransformedAway uint64
+	// Broadcasts counts op frames enqueued for fan-out.
+	Broadcasts uint64
+	// SlowConsumerKicks counts sessions disconnected because their
+	// outbound queue overflowed or a write timed out.
+	SlowConsumerKicks uint64
+	ProtocolErrors    uint64
+	SnapResyncs       uint64
+	OpResyncs         uint64
+	JournalErrors     uint64
+	// StyleCheckpoints counts host-committed wholesale run republications.
+	StyleCheckpoints uint64
+	// QueueDepthMax is the deepest current outbound queue.
+	QueueDepthMax int
+	// FanoutLagAvg/Max measure enqueue-to-write latency of fan-out frames.
+	FanoutLagAvg time.Duration
+	FanoutLagMax time.Duration
+	Uptime       time.Duration
+	// OpsPerSec is OpsApplied smoothed over uptime.
+	OpsPerSec float64
+}
+
+// Stats snapshots the host's metrics surface.
+func (h *Host) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := Stats{
+		Name:               h.name,
+		Sessions:           len(h.sessions),
+		Seq:                h.seq,
+		OpsApplied:         h.opsApplied,
+		OpsTransformedAway: h.opsTransformedAway,
+		Broadcasts:         h.broadcasts,
+		SlowConsumerKicks:  h.slowKicks,
+		ProtocolErrors:     h.protoErrors,
+		SnapResyncs:        h.snapResyncs,
+		OpResyncs:          h.opResyncs,
+		JournalErrors:      h.journalErrors,
+		StyleCheckpoints:   h.styleCheckpoints,
+		Uptime:             time.Since(h.start),
+	}
+	for s := range h.sessions {
+		if d := len(s.out); d > st.QueueDepthMax {
+			st.QueueDepthMax = d
+		}
+	}
+	if c := h.lagCount.Load(); c > 0 {
+		st.FanoutLagAvg = time.Duration(h.lagSum.Load() / c)
+	}
+	st.FanoutLagMax = time.Duration(h.lagMax.Load())
+	if secs := st.Uptime.Seconds(); secs > 0 {
+		st.OpsPerSec = float64(st.OpsApplied) / secs
+	}
+	return st
+}
+
+func (h *Host) noteLag(d time.Duration) {
+	n := int64(d)
+	h.lagSum.Add(n)
+	h.lagCount.Add(1)
+	for {
+		old := h.lagMax.Load()
+		if n <= old || h.lagMax.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package docserve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"atk/internal/datastream"
+)
+
+// Wire protocol. Every message is one logical line framed with the
+// datastream payload-line discipline (EscapeLines/DecodeLine): printable
+// 7-bit ASCII, backslash escapes for everything else — newlines included —
+// and continuation-wrapped physical lines. The same rules that let a
+// document travel through mail (paper §5) let it travel through a socket,
+// and let a whole document snapshot ride inside a single logical line.
+//
+// Client -> server:
+//
+//	hello atkdoc1 <doc> <clientID>                  first attach
+//	hello atkdoc1 <doc> <clientID> <epoch> <since>  reconnect, ops wanted
+//	op <clientSeq> <baseSeq> <k> <len>:<payload>... speculative edit group
+//	ping <token>
+//	bye
+//
+// Server -> client:
+//
+//	snap <epoch> <seq> <document bytes>            full-document resync
+//	op <seq> <clientID> <clientSeq> <payload>      one committed edit
+//	ok <clientSeq> <n> <hi>                        ack: group committed as
+//	                                               n records ending at hi
+//	live <seq>                                     catch-up done, stream on
+//	pong <token>
+//	err <reason>                                   fatal; connection closes
+//	bye
+//
+// An op group's records are length-prefixed (byte length of the payload,
+// then ':', then the payload verbatim) because record payloads contain
+// spaces. Everything else is space-separated with the free-form field
+// last.
+
+// Proto is the protocol identifier expected in hello.
+const Proto = "atkdoc1"
+
+// Frame limits. A hostile or broken peer gets a protocol error, never an
+// unbounded allocation.
+const (
+	// MaxFrameBytes bounds one decoded logical line (the snapshot is the
+	// big one; 8 MiB of escaped document is a very large document).
+	MaxFrameBytes = 8 << 20
+	// MaxPhysicalLine bounds one physical line. The writer wraps at 80
+	// columns; tolerating more costs nothing, but a line that never ends
+	// is an attack, not a document.
+	MaxPhysicalLine = 1 << 16
+	// MaxRecordsPerOp bounds one op group.
+	MaxRecordsPerOp = 1024
+)
+
+// Protocol errors.
+var (
+	errFrameTooLong = errors.New("docserve: frame exceeds limit")
+	errBadFrame     = errors.New("docserve: malformed frame")
+)
+
+// writeFrame writes one logical line to w and flushes.
+func writeFrame(w *bufio.Writer, line string) error {
+	for _, ph := range datastream.EscapeLines(line) {
+		if _, err := w.WriteString(ph); err != nil {
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// readFrame reads one logical line from r, joining continuation-wrapped
+// physical lines and undoing the escape scheme.
+func readFrame(r *bufio.Reader) (string, error) {
+	var b strings.Builder
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		line = strings.TrimSuffix(line, "\n")
+		if len(line) > MaxPhysicalLine {
+			return "", errFrameTooLong
+		}
+		cont, derr := datastream.DecodeLine(&b, line)
+		if derr != nil {
+			return "", fmt.Errorf("%w: %v", errBadFrame, derr)
+		}
+		if b.Len() > MaxFrameBytes {
+			return "", errFrameTooLong
+		}
+		if !cont {
+			return b.String(), nil
+		}
+	}
+}
+
+// nameOK restricts document and client names to a safe token alphabet so
+// they can sit between spaces on the wire.
+func nameOK(s string) bool {
+	if s == "" || len(s) > 256 {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.' || r == '_' || r == '-' || r == '/' || r == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// helloMsg is a parsed hello.
+type helloMsg struct {
+	doc      string
+	clientID string
+	// resume is true when the client presented an epoch+since pair.
+	resume bool
+	epoch  uint64
+	since  uint64
+}
+
+func encodeHello(doc, clientID string) string {
+	return fmt.Sprintf("hello %s %s %s", Proto, doc, clientID)
+}
+
+func encodeHelloResume(doc, clientID string, epoch, since uint64) string {
+	return fmt.Sprintf("hello %s %s %s %d %d", Proto, doc, clientID, epoch, since)
+}
+
+func parseHello(frame string) (helloMsg, error) {
+	f := strings.Fields(frame)
+	if len(f) < 4 || f[0] != "hello" {
+		return helloMsg{}, fmt.Errorf("%w: want hello", errBadFrame)
+	}
+	if f[1] != Proto {
+		return helloMsg{}, fmt.Errorf("docserve: protocol %q not supported (want %s)", f[1], Proto)
+	}
+	h := helloMsg{doc: f[2], clientID: f[3]}
+	if !nameOK(h.doc) || !nameOK(h.clientID) {
+		return helloMsg{}, fmt.Errorf("%w: bad document or client name", errBadFrame)
+	}
+	switch len(f) {
+	case 4:
+		return h, nil
+	case 6:
+		epoch, err1 := strconv.ParseUint(f[4], 10, 64)
+		since, err2 := strconv.ParseUint(f[5], 10, 64)
+		if err1 != nil || err2 != nil {
+			return helloMsg{}, fmt.Errorf("%w: bad resume point", errBadFrame)
+		}
+		h.resume, h.epoch, h.since = true, epoch, since
+		return h, nil
+	default:
+		return helloMsg{}, fmt.Errorf("%w: hello field count", errBadFrame)
+	}
+}
+
+// encodeOpGroup renders a client op group. Payloads are the text package's
+// record wire forms.
+func encodeOpGroup(clientSeq, baseSeq uint64, payloads []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "op %d %d %d ", clientSeq, baseSeq, len(payloads))
+	for _, p := range payloads {
+		b.WriteString(strconv.Itoa(len(p)))
+		b.WriteByte(':')
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// opGroupMsg is a parsed client op group.
+type opGroupMsg struct {
+	clientSeq uint64
+	baseSeq   uint64
+	payloads  []string
+}
+
+func parseOpGroup(frame string) (opGroupMsg, error) {
+	rest, ok := strings.CutPrefix(frame, "op ")
+	if !ok {
+		return opGroupMsg{}, errBadFrame
+	}
+	var g opGroupMsg
+	var k int
+	// Three numeric fields, then the length-prefixed blob.
+	for i := 0; i < 3; i++ {
+		sp := strings.IndexByte(rest, ' ')
+		if sp <= 0 {
+			return opGroupMsg{}, fmt.Errorf("%w: op header", errBadFrame)
+		}
+		v, err := strconv.ParseUint(rest[:sp], 10, 64)
+		if err != nil {
+			return opGroupMsg{}, fmt.Errorf("%w: op header: %v", errBadFrame, err)
+		}
+		switch i {
+		case 0:
+			g.clientSeq = v
+		case 1:
+			g.baseSeq = v
+		case 2:
+			k = int(v)
+		}
+		rest = rest[sp+1:]
+	}
+	if k < 0 || k > MaxRecordsPerOp {
+		return opGroupMsg{}, fmt.Errorf("%w: %d records in one op", errBadFrame, k)
+	}
+	for i := 0; i < k; i++ {
+		colon := strings.IndexByte(rest, ':')
+		if colon <= 0 || colon > 9 {
+			return opGroupMsg{}, fmt.Errorf("%w: record length prefix", errBadFrame)
+		}
+		n, err := strconv.Atoi(rest[:colon])
+		if err != nil || n < 0 || n > len(rest)-colon-1 {
+			return opGroupMsg{}, fmt.Errorf("%w: record length", errBadFrame)
+		}
+		g.payloads = append(g.payloads, rest[colon+1:colon+1+n])
+		rest = rest[colon+1+n:]
+	}
+	if rest != "" {
+		return opGroupMsg{}, fmt.Errorf("%w: trailing bytes after op group", errBadFrame)
+	}
+	return g, nil
+}
+
+// Server-side frames.
+
+func encodeSnap(epoch, seq uint64, doc []byte) string {
+	return fmt.Sprintf("snap %d %d %s", epoch, seq, doc)
+}
+
+func encodeCommitted(seq uint64, clientID string, clientSeq uint64, payload string) string {
+	return fmt.Sprintf("op %d %s %d %s", seq, clientID, clientSeq, payload)
+}
+
+func encodeAck(clientSeq uint64, n int, hi uint64) string {
+	return fmt.Sprintf("ok %d %d %d", clientSeq, n, hi)
+}
+
+func encodeLive(seq uint64) string { return fmt.Sprintf("live %d", seq) }
+
+// committedMsg is a parsed server-committed op.
+type committedMsg struct {
+	seq       uint64
+	clientID  string
+	clientSeq uint64
+	payload   string
+}
+
+func parseCommitted(frame string) (committedMsg, error) {
+	parts := strings.SplitN(frame, " ", 5)
+	if len(parts) != 5 || parts[0] != "op" {
+		return committedMsg{}, fmt.Errorf("%w: committed op", errBadFrame)
+	}
+	seq, err1 := strconv.ParseUint(parts[1], 10, 64)
+	cseq, err2 := strconv.ParseUint(parts[3], 10, 64)
+	if err1 != nil || err2 != nil || !nameOK(parts[2]) {
+		return committedMsg{}, fmt.Errorf("%w: committed op header", errBadFrame)
+	}
+	return committedMsg{seq: seq, clientID: parts[2], clientSeq: cseq, payload: parts[4]}, nil
+}
+
+// fields3 parses "<verb> <a> <b> <c>" with numeric a/b/c.
+func fields3(frame, verb string) (a, b, c uint64, err error) {
+	f := strings.Fields(frame)
+	if len(f) != 4 || f[0] != verb {
+		return 0, 0, 0, fmt.Errorf("%w: %s", errBadFrame, verb)
+	}
+	a, err1 := strconv.ParseUint(f[1], 10, 64)
+	b, err2 := strconv.ParseUint(f[2], 10, 64)
+	c, err3 := strconv.ParseUint(f[3], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, 0, 0, fmt.Errorf("%w: %s fields", errBadFrame, verb)
+	}
+	return a, b, c, nil
+}
+
+// verbOf returns the first word of a frame.
+func verbOf(frame string) string {
+	if sp := strings.IndexByte(frame, ' '); sp >= 0 {
+		return frame[:sp]
+	}
+	return frame
+}
+
+// restOf returns everything after the first n space-separated fields.
+func restOf(frame string, n int) (string, bool) {
+	for i := 0; i < n; i++ {
+		sp := strings.IndexByte(frame, ' ')
+		if sp < 0 {
+			return "", false
+		}
+		frame = frame[sp+1:]
+	}
+	return frame, true
+}

@@ -1,0 +1,161 @@
+package docserve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server multiplexes document hosts behind one listener. The accept loop
+// reads each connection's hello, routes it to the named host, and the
+// host's session machinery takes over.
+type Server struct {
+	opts HostOptions
+
+	mu     sync.Mutex
+	hosts  map[string]*Host
+	opener func(name string) (*Host, error)
+	lns    []net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns an empty server; opts are the defaults for hosts the
+// opener creates.
+func NewServer(opts HostOptions) *Server {
+	return &Server{opts: opts.withDefaults(), hosts: map[string]*Host{}}
+}
+
+// AddHost registers a host under its document name.
+func (s *Server) AddHost(h *Host) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hosts[h.name] = h
+}
+
+// SetOpener installs an on-demand document opener, called (under the
+// server lock) the first time an unknown document name is attached.
+func (s *Server) SetOpener(fn func(name string) (*Host, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opener = fn
+}
+
+// Hosts snapshots the currently open hosts.
+func (s *Server) Hosts() []*Host {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Host, 0, len(s.hosts))
+	for _, h := range s.hosts {
+		out = append(out, h)
+	}
+	return out
+}
+
+func (s *Server) host(name string) (*Host, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("docserve: server closed")
+	}
+	if h, ok := s.hosts[name]; ok {
+		return h, nil
+	}
+	if s.opener == nil {
+		return nil, fmt.Errorf("docserve: no document %q", name)
+	}
+	h, err := s.opener(name)
+	if err != nil {
+		return nil, err
+	}
+	s.hosts[name] = h
+	return h, nil
+}
+
+// Serve accepts connections from ln until the listener is closed. It
+// returns the accept error (net.ErrClosed after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("docserve: server closed")
+	}
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.HandleConn(conn)
+		}()
+	}
+}
+
+// HandleConn runs one connection to completion (exported so tests and
+// in-process transports can hand the server a net.Pipe end directly).
+func (s *Server) HandleConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	reject := func(reason string) {
+		bw := bufio.NewWriter(conn)
+		_ = conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		_ = writeFrame(bw, "err "+reason)
+		_ = conn.Close()
+	}
+	if s.opts.IdleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+	}
+	frame, err := readFrame(br)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	hello, err := parseHello(frame)
+	if err != nil {
+		reject(err.Error())
+		return
+	}
+	h, err := s.host(hello.doc)
+	if err != nil {
+		reject(err.Error())
+		return
+	}
+	sess, err := h.attach(conn, hello)
+	if err != nil {
+		reject(err.Error())
+		return
+	}
+	sess.serve()
+}
+
+// Close stops accepting, disconnects every session, and closes every host
+// (saving file-backed documents).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	lns := s.lns
+	s.lns = nil
+	hosts := make([]*Host, 0, len(s.hosts))
+	for _, h := range s.hosts {
+		hosts = append(hosts, h)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	var first error
+	for _, h := range hosts {
+		if err := h.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.wg.Wait()
+	return first
+}

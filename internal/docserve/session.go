@@ -1,0 +1,216 @@
+package docserve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"atk/internal/persist"
+)
+
+// session is one attached client connection. Its lifecycle:
+//
+//	reader goroutine (serveSession)  conn -> frames -> host.commitGroup
+//	writer goroutine (writeLoop)     out queue -> conn
+//
+// The out queue is a bounded channel. Broadcasts enqueue without blocking;
+// a full queue means the consumer is slower than the op stream, and the
+// session is disconnected on the spot (backpressure by eviction — one
+// stuck reader must never stall fan-out to the healthy ones or grow an
+// unbounded buffer). A frame that takes longer than WriteTimeout to write
+// is the same disease at the kernel-buffer level and gets the same cure.
+type session struct {
+	h        *Host
+	conn     net.Conn
+	id       uint64
+	clientID string
+
+	out  chan outFrame
+	dead chan struct{}
+	once sync.Once
+}
+
+type outFrame struct {
+	line string
+	t    time.Time
+}
+
+// attach registers a new session and queues its catch-up under one lock
+// hold, so no committed op can slip between the catch-up point and the
+// live stream: everything after the returned session's snapshot/op replay
+// arrives through the queue in commit order.
+func (h *Host) attach(conn net.Conn, hello helloMsg) (*session, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, fmt.Errorf("document %s is shutting down", h.name)
+	}
+	if hello.clientID == hostOrigin {
+		return nil, fmt.Errorf("client id %q is reserved", hostOrigin)
+	}
+	if len(h.sessions) >= h.opts.MaxSessions {
+		return nil, fmt.Errorf("document %s is full (%d sessions)", h.name, len(h.sessions))
+	}
+	h.nextSID++
+	s := &session{
+		h:        h,
+		conn:     conn,
+		id:       h.nextSID,
+		clientID: hello.clientID,
+		out:      make(chan outFrame, h.opts.QueueLen),
+		dead:     make(chan struct{}),
+	}
+	if h.clients[s.clientID] == nil {
+		h.clients[s.clientID] = &clientState{acks: map[uint64]ackRange{}}
+	}
+	h.sessions[s] = struct{}{}
+
+	// Catch-up: op replay when the client's resume point is inside the
+	// history window (and small enough to fit the queue), else a full
+	// snapshot. Both end with `live`.
+	if hello.resume && hello.epoch == h.epoch && hello.since <= h.seq &&
+		h.opsSinceLocked(hello.since) >= 0 &&
+		h.opsSinceLocked(hello.since) <= h.opts.QueueLen/2 {
+		for _, op := range h.hist {
+			if op.seq > hello.since {
+				h.enqueueLocked(s, encodeCommitted(op.seq, op.clientID, op.clientSeq, op.wire))
+			}
+		}
+		h.opResyncs++
+	} else {
+		b, err := persist.EncodeDocument(h.doc)
+		if err != nil {
+			delete(h.sessions, s)
+			return nil, err
+		}
+		h.enqueueLocked(s, encodeSnap(h.epoch, h.seq, b))
+		h.snapResyncs++
+	}
+	h.enqueueLocked(s, encodeLive(h.seq))
+	return s, nil
+}
+
+// opsSinceLocked returns how many history ops follow since, or -1 when the
+// window no longer reaches back that far.
+func (h *Host) opsSinceLocked(since uint64) int {
+	if since == h.seq {
+		return 0
+	}
+	if len(h.hist) == 0 || h.hist[0].seq > since+1 {
+		return -1
+	}
+	return int(h.seq - since)
+}
+
+// serveSession runs the session to completion: writer goroutine plus the
+// reader loop in the calling goroutine. The caller owns conn no more.
+func (s *session) serve() {
+	go s.writeLoop()
+	br := bufio.NewReader(s.conn)
+	for {
+		if s.h.opts.IdleTimeout > 0 {
+			_ = s.conn.SetReadDeadline(time.Now().Add(s.h.opts.IdleTimeout))
+		}
+		frame, err := readFrame(br)
+		if err != nil {
+			s.kill("read: "+err.Error(), false)
+			return
+		}
+		switch verbOf(frame) {
+		case "op":
+			g, perr := parseOpGroup(frame)
+			if perr != nil {
+				s.fail(perr.Error())
+				return
+			}
+			s.h.commitGroup(s, g)
+		case "ping":
+			tok, _ := restOf(frame, 1)
+			s.h.mu.Lock()
+			s.h.enqueueLocked(s, "pong "+tok)
+			s.h.mu.Unlock()
+		case "bye":
+			s.kill("client said bye", false)
+			return
+		default:
+			s.fail("unknown frame " + verbOf(frame))
+			return
+		}
+		select {
+		case <-s.dead:
+			return
+		default:
+		}
+	}
+}
+
+// writeLoop drains the out queue onto the wire, measuring fan-out lag.
+func (s *session) writeLoop() {
+	bw := bufio.NewWriter(s.conn)
+	for {
+		select {
+		case f := <-s.out:
+			if s.h.opts.WriteTimeout > 0 {
+				_ = s.conn.SetWriteDeadline(time.Now().Add(s.h.opts.WriteTimeout))
+			}
+			if err := writeFrame(bw, f.line); err != nil {
+				s.kill("write: "+err.Error(), true)
+				return
+			}
+			s.h.noteLag(time.Since(f.t))
+		case <-s.dead:
+			return
+		}
+	}
+}
+
+// enqueueLocked queues one frame for a session, disconnecting it if the
+// queue is full (the slow-consumer policy). Host lock held.
+func (h *Host) enqueueLocked(s *session, line string) {
+	select {
+	case s.out <- outFrame{line: line, t: time.Now()}:
+	default:
+		h.killLocked(s, "slow consumer: outbound queue overflow", true)
+	}
+}
+
+// failLocked reports a protocol error to the session and disconnects it.
+func (h *Host) failLocked(s *session, reason string) {
+	h.protoErrors++
+	// Best-effort err frame; if the queue is full the kill tells the story.
+	select {
+	case s.out <- outFrame{line: "err " + reason, t: time.Now()}:
+	default:
+	}
+	h.killLocked(s, reason, false)
+}
+
+func (s *session) fail(reason string) {
+	s.h.mu.Lock()
+	s.h.failLocked(s, reason)
+	s.h.mu.Unlock()
+}
+
+func (s *session) kill(reason string, slow bool) {
+	s.h.mu.Lock()
+	s.h.killLocked(s, reason, slow)
+	s.h.mu.Unlock()
+}
+
+// killLocked tears a session down exactly once: out of the registry, dead
+// channel closed (stopping both loops), connection closed. Host lock held.
+func (h *Host) killLocked(s *session, reason string, slow bool) {
+	if _, ok := h.sessions[s]; ok {
+		delete(h.sessions, s)
+		if slow {
+			h.slowKicks++
+		}
+	}
+	s.once.Do(func() {
+		close(s.dead)
+		_ = s.conn.Close()
+	})
+	_ = reason // reasons surface via err frames and stats; keep for debugging
+}

@@ -179,6 +179,20 @@ func (df *DocFile) recoverJournal(saved []byte) {
 // load (so a second crash loses nothing the first recovery restored), then
 // every subsequent edit appends.
 func (df *DocFile) StartJournal() error {
+	if err := df.StartJournalDetached(); err != nil {
+		return err
+	}
+	df.Doc.SetEditLogger(df.logEdit)
+	return nil
+}
+
+// StartJournalDetached begins journaling WITHOUT installing the document's
+// edit logger: the owner appends records explicitly with AppendRecord.
+// This is the replication-server mode (internal/docserve): the server
+// applies client ops with ApplyRecord — which deliberately bypasses the
+// edit logger — and journals exactly the records it commits, in its own
+// authoritative order.
+func (df *DocFile) StartJournalDetached() error {
 	saved, err := ReadFile(df.fsys, df.Path)
 	if err != nil {
 		return err
@@ -189,8 +203,27 @@ func (df *DocFile) StartJournal() error {
 	}
 	df.journal = j
 	df.stale = false
-	df.Doc.SetEditLogger(df.logEdit)
 	return nil
+}
+
+// AppendRecord journals one already-encoded edit record (detached mode).
+// Errors latch inside the journal; the next Sync checkpoints by saving the
+// whole document, so a sick journal degrades durability but never
+// correctness.
+func (df *DocFile) AppendRecord(payload string) error {
+	if df.journal == nil || df.stale {
+		return nil
+	}
+	return df.journal.Append(payload)
+}
+
+// JournalErr reports the journal's latched error, nil when healthy or when
+// no journal is attached.
+func (df *DocFile) JournalErr() error {
+	if df.journal == nil {
+		return nil
+	}
+	return df.journal.Err()
 }
 
 // logEdit is the document's edit logger. An unjournalable edit appends the

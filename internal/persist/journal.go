@@ -162,15 +162,37 @@ func (j *Journal) Seq() uint64 { return j.seq }
 // Err returns the latched error, if any.
 func (j *Journal) Err() error { return j.err }
 
-// Close syncs and closes the journal file (the file remains on disk; see
-// DocFile for when it is discarded).
+// Close flushes every batched-but-unsynced record and closes the journal
+// file (the file remains on disk; see DocFile for when it is discarded).
+// The flush runs even when an earlier append latched an error: records
+// acknowledged before the failure are on the file and deserve their fsync —
+// replay tolerates the torn tail the failed append may have left, but it
+// cannot recover records the kernel was never asked to keep. Any sync or
+// close failure latches, so Err() keeps reporting it after Close.
 func (j *Journal) Close() error {
 	if j.f == nil {
 		return nil
 	}
-	err := j.Sync()
-	if cerr := j.f.Close(); err == nil && cerr != nil {
-		err = cerr
+	err := j.err
+	if j.pending > 0 {
+		if serr := j.f.Sync(); serr != nil {
+			if j.err == nil {
+				j.err = fmt.Errorf("persist: journal sync: %w", serr)
+			}
+			if err == nil {
+				err = j.err
+			}
+		} else {
+			j.pending = 0
+		}
+	}
+	if cerr := j.f.Close(); cerr != nil {
+		if j.err == nil {
+			j.err = fmt.Errorf("persist: journal close: %w", cerr)
+		}
+		if err == nil {
+			err = j.err
+		}
 	}
 	j.f = nil
 	return err

@@ -412,3 +412,74 @@ func TestJournalLatchesWriteError(t *testing.T) {
 		t.Fatal("torn tail not reported")
 	}
 }
+
+// TestJournalCloseFlushesBatchTail crashes immediately after Close: the
+// records of the unfinished fsync batch were acknowledged by Append, so
+// Close must make them durable before letting go of the file handle.
+func TestJournalCloseFlushesBatchTail(t *testing.T) {
+	mem := NewMemFS()
+	j, err := CreateJournal(mem, "j", "base 00000000", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.BatchEvery = 100 // no automatic fsync within this test
+	for i := 0; i < 3; i++ {
+		if err := j.Append("i 0 x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mem.Crash()
+	rep, err := ReplayJournal(mem, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Damaged || len(rep.Records) != 3 {
+		t.Fatalf("after crash-past-Close: damaged=%v records=%d want 3 (%s)",
+			rep.Damaged, len(rep.Records), rep.Diag)
+	}
+}
+
+// TestJournalCloseFlushesDespiteLatchedError is the sharper regression: an
+// append fails (ENOSPC) and latches, then the journal is closed and the
+// machine dies. The records acknowledged BEFORE the failure were written
+// but never fsynced — the old Close skipped the flush because Sync
+// returned the latched error first, silently losing them. Close must
+// best-effort-sync the acknowledged prefix; replay then drops the torn
+// tail of the failed append and keeps everything before it.
+func TestJournalCloseFlushesDespiteLatchedError(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	j, err := CreateJournal(ffs, "j", "base 00000000", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.BatchEvery = 100
+	if err := j.Append("i 0 acknowledged"); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailWriteAt = ffs.writes + 1
+	if err := j.Append("i 12 doomed"); err == nil {
+		t.Fatal("short write not reported")
+	}
+	if err := j.Close(); err == nil {
+		t.Fatal("Close must surface the latched error")
+	}
+	if j.Err() == nil {
+		t.Fatal("error must stay latched after Close")
+	}
+	mem.Crash()
+	rep, err := ReplayJournal(mem, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 1 || rep.Records[0] != "i 0 acknowledged" {
+		t.Fatalf("acknowledged record lost: records=%v damaged=%v (%s)",
+			rep.Records, rep.Damaged, rep.Diag)
+	}
+	if !rep.Damaged {
+		t.Fatal("the torn half-written record should read as damage")
+	}
+}

@@ -62,14 +62,14 @@ type EditRecord struct {
 func (d *Data) SetEditLogger(fn func(EditRecord)) { d.editLog = fn }
 
 func (d *Data) logEdit(rec EditRecord) {
-	if d.editLog != nil {
+	if d.editLog != nil && !d.applying {
 		d.editLog(rec)
 	}
 }
 
 // logStyle reports the post-change run list as a style record.
 func (d *Data) logStyle() {
-	if d.editLog == nil {
+	if d.editLog == nil || d.applying {
 		return
 	}
 	d.editLog(EditRecord{Kind: RecStyle, Runs: append([]Run(nil), d.runs...)})
@@ -79,7 +79,16 @@ func (d *Data) logStyle() {
 // journal should wrap the loop in WithoutUndo so recovery does not flood
 // the user's undo history. RecReset (and any insert carrying anchors)
 // returns ErrUnjournalable: the journal owner must stop replay there.
+//
+// ApplyRecord is safe to call while a SetEditLogger is installed: the
+// mutation it performs is NOT re-reported to the logger. The record came
+// from a journal or a replication peer — echoing it back into the
+// applier's own log would double it (and, over a network, bounce it
+// between replicas forever).
 func (d *Data) ApplyRecord(rec EditRecord) error {
+	prev := d.applying
+	d.applying = true
+	defer func() { d.applying = prev }()
 	switch rec.Kind {
 	case RecInsert:
 		if strings.ContainsRune(rec.Text, AnchorRune) {

@@ -181,3 +181,42 @@ func TestApplyRecordRejectsBadStyleRuns(t *testing.T) {
 		t.Fatal("anchor leaked into buffer")
 	}
 }
+
+// TestApplyRecordDoesNotEchoIntoLogger pins the replication contract: a
+// record applied via ApplyRecord while a SetEditLogger is installed must
+// NOT be re-reported to the logger. A networked replica journals its own
+// local edits through the logger; echoing an applied remote op back into
+// that log would double it (and bounce it between replicas forever).
+func TestApplyRecordDoesNotEchoIntoLogger(t *testing.T) {
+	d := NewString("hello world")
+	var logged []EditRecord
+	d.SetEditLogger(func(rec EditRecord) { logged = append(logged, rec) })
+
+	remote := []EditRecord{
+		{Kind: RecInsert, Pos: 5, Text: " big"},
+		{Kind: RecDelete, Pos: 0, N: 5},
+		{Kind: RecStyle, Runs: []Run{{0, 4, "bold"}}},
+	}
+	for _, rec := range remote {
+		if err := d.ApplyRecord(rec); err != nil {
+			t.Fatalf("apply %+v: %v", rec, err)
+		}
+	}
+	if len(logged) != 0 {
+		t.Fatalf("ApplyRecord echoed %d records into the logger: %+v", len(logged), logged)
+	}
+	if got := d.String(); got != " big world" {
+		t.Fatalf("document after remote ops = %q", got)
+	}
+
+	// Local edits must still reach the logger afterwards.
+	if err := d.Insert(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(logged) != 2 || logged[0].Kind != RecInsert || logged[1].Kind != RecDelete {
+		t.Fatalf("local edits after ApplyRecord logged as %+v, want insert+delete", logged)
+	}
+}

@@ -81,6 +81,10 @@ type Data struct {
 	// editLog receives every primitive mutation for write-ahead
 	// journaling (see journal.go); nil when no journal is attached.
 	editLog func(EditRecord)
+	// applying suppresses editLog while ApplyRecord replays a record from
+	// elsewhere (a recovery, a replication peer): an applied remote op must
+	// never echo back into the applier's own journal.
+	applying bool
 }
 
 // New returns an empty text object with the standard style table.

@@ -91,6 +91,10 @@ type ClientOptions struct {
 	// HeartbeatEvery pings the host periodically so its idle timeout sees a
 	// live session even when the user stops typing (0 = no heartbeats).
 	HeartbeatEvery time.Duration
+	// HandshakeTimeout bounds each read during Connect/Resume catch-up
+	// when IdleTimeout is unset, so a server that accepts but never
+	// streams makes Connect fail instead of hang. Default 30s.
+	HandshakeTimeout time.Duration
 	// MaxGroup bounds records per op group. Default 256.
 	MaxGroup int
 	// InboxLen bounds frames queued between the reader goroutine and Pump.
@@ -110,6 +114,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	}
 	if o.InboxLen <= 0 {
 		o.InboxLen = 1024
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 30 * time.Second
 	}
 	return o
 }
@@ -202,12 +209,17 @@ func (c *Client) Resume(conn net.Conn) error {
 	return nil
 }
 
-// catchUp processes frames synchronously until the host says live.
+// catchUp processes frames synchronously until the host says live. Every
+// catch-up read carries a deadline — IdleTimeout when set, else
+// HandshakeTimeout — so Connect/Resume fail instead of hanging on a
+// server that accepted the hello but never streams.
 func (c *Client) catchUp() error {
+	d := c.opts.IdleTimeout
+	if d <= 0 {
+		d = c.opts.HandshakeTimeout
+	}
 	for {
-		if c.opts.IdleTimeout > 0 {
-			_ = c.conn.SetReadDeadline(time.Now().Add(c.opts.IdleTimeout))
-		}
+		_ = c.conn.SetReadDeadline(time.Now().Add(d))
 		frame, err := readFrame(c.br)
 		if err != nil {
 			return fmt.Errorf("docserve: catch-up read: %w", err)
@@ -216,6 +228,9 @@ func (c *Client) catchUp() error {
 			return err
 		}
 		if c.live {
+			// The handshake deadline must not outlive the handshake: the
+			// steady-state reader sets its own (or runs without one).
+			_ = c.conn.SetReadDeadline(time.Time{})
 			return nil
 		}
 	}
@@ -357,17 +372,25 @@ func (c *Client) PumpWait(d time.Duration) error {
 func (c *Client) Sync(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		if err := c.Pump(); err != nil {
-			return err
-		}
+		// Success is checked before any pump error: Pump latches
+		// "connection lost" the moment it drains past the inbox's closed
+		// end, which may be the very call that confirmed the last edit.
+		// Reaching the goal and then losing the connection is success.
+		err := c.Pump()
 		if c.inflight == nil && len(c.buffer) == 0 {
 			return nil
+		}
+		if err != nil {
+			return err
 		}
 		rem := time.Until(deadline)
 		if rem <= 0 {
 			return fmt.Errorf("docserve: sync timed out with %d edits pending", c.PendingCount())
 		}
 		if err := c.PumpWait(rem); err != nil {
+			if c.inflight == nil && len(c.buffer) == 0 {
+				return nil // the frame that confirmed the last edit came with the loss
+			}
 			return err
 		}
 	}
@@ -377,17 +400,23 @@ func (c *Client) Sync(timeout time.Duration) error {
 func (c *Client) WaitSeq(seq uint64, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		if err := c.Pump(); err != nil {
-			return err
-		}
+		// As in Sync: the frames that reach seq and the connection loss
+		// can arrive in the same Pump; the goal being met wins.
+		err := c.Pump()
 		if c.confirmed >= seq {
 			return nil
+		}
+		if err != nil {
+			return err
 		}
 		rem := time.Until(deadline)
 		if rem <= 0 {
 			return fmt.Errorf("docserve: timed out at seq %d waiting for %d", c.confirmed, seq)
 		}
 		if err := c.PumpWait(rem); err != nil {
+			if c.confirmed >= seq {
+				return nil // the frame that reached seq came with the loss
+			}
 			return err
 		}
 	}

@@ -79,7 +79,9 @@ func TestClientRebaseDeterministic(t *testing.T) {
 	}
 	mustInsert(t, c.Doc(), 0, "abc")
 	if err := c.WaitSeq(2, 5*time.Second); err != nil {
-		t.Fatal(err)
+		// The script's error explains most client-side failures (it closes
+		// the pipe on its way out); don't let the symptom mask the cause.
+		t.Fatalf("client: %v (script: %v)", err, <-errc)
 	}
 	if err := <-errc; err != nil {
 		t.Fatalf("script: %v", err)
@@ -158,6 +160,29 @@ func TestClientSeqGapIsFatal(t *testing.T) {
 	err = c.WaitSeq(7, 2*time.Second)
 	if err == nil || !strings.Contains(err.Error(), "sequence gap") {
 		t.Fatalf("want sequence gap error, got %v", err)
+	}
+}
+
+// TestConnectTimesOutOnMuteServer: a server that accepts the hello but
+// never sends snap/live must fail Connect within the handshake deadline,
+// not hang forever (the default options used to carry no deadline at all).
+func TestConnectTimesOutOnMuteServer(t *testing.T) {
+	reg := testReg(t)
+	cEnd, sEnd := net.Pipe()
+	defer sEnd.Close()
+	go func() {
+		br := bufio.NewReader(sEnd)
+		_, _ = readFrame(br) // swallow the hello, then go mute
+	}()
+	start := time.Now()
+	_, err := Connect(cEnd, "doc", ClientOptions{
+		ClientID: "me", Registry: reg, HandshakeTimeout: 100 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("connect to a mute server succeeded")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("connect took %v to fail; handshake deadline not applied", d)
 	}
 }
 

@@ -42,6 +42,23 @@ type HostOptions struct {
 	WriteTimeout time.Duration
 	// MaxSessions bounds concurrent sessions per document. Default 1024.
 	MaxSessions int
+	// ClientRetention is how long a disconnected client identity's dedup
+	// state (last group seq + recent acks) is kept for reconnect
+	// idempotence. State older than this is pruned; a client resuming
+	// after that gets a snapshot resync and starts a fresh dedup history.
+	// Default 10m.
+	ClientRetention time.Duration
+	// MaxClients bounds the client-identity map outright (a hostile peer
+	// minting fresh IDs at connection rate must not grow it without
+	// limit): past the bound, the longest-idle disconnected identities
+	// are evicted early. Default 4 * MaxSessions.
+	MaxClients int
+	// MaxSnapshotBytes bounds the served document's encoded size. Commits
+	// that would push the encoding past it are rejected, because a
+	// document too big to snapshot can never again be joined or
+	// snapshot-resynced. Defaults to (and is clamped to) the protocol
+	// frame limit less header room.
+	MaxSnapshotBytes int
 }
 
 func (o HostOptions) withDefaults() HostOptions {
@@ -60,8 +77,22 @@ func (o HostOptions) withDefaults() HostOptions {
 	if o.MaxSessions <= 0 {
 		o.MaxSessions = 1024
 	}
+	if o.ClientRetention <= 0 {
+		o.ClientRetention = 10 * time.Minute
+	}
+	if o.MaxClients <= 0 {
+		o.MaxClients = 4 * o.MaxSessions
+	}
+	if o.MaxSnapshotBytes <= 0 || o.MaxSnapshotBytes > maxServeBytes {
+		o.MaxSnapshotBytes = maxServeBytes
+	}
 	return o
 }
+
+// maxServeBytes is the hard ceiling on a served document's encoded size:
+// the snap frame must decode within MaxFrameBytes on the client, header
+// included.
+const maxServeBytes = MaxFrameBytes - 64
 
 // committedOp is one op in the authoritative order.
 type committedOp struct {
@@ -72,12 +103,23 @@ type committedOp struct {
 }
 
 // clientState is what the host remembers about a client identity across
-// sessions (reconnects), for idempotent re-sends.
+// sessions (reconnects), for idempotent re-sends. Identities are not kept
+// forever: once no session holds one, it expires after ClientRetention
+// (or earlier under MaxClients pressure) — otherwise every clientID ever
+// seen would leak a map entry for the host's lifetime.
 type clientState struct {
 	lastSeq uint64
 	// acks maps recently committed clientSeqs to their ack, so an op
 	// re-sent after a lost ack is answered, not re-applied.
 	acks map[uint64]ackRange
+	// seeded flips true at the first committed group: a freshly (re)minted
+	// identity adopts whatever clientSeq its first group carries, so a
+	// client whose state was pruned can reconnect mid-count.
+	seeded bool
+	// sessions counts live sessions attached under this identity;
+	// idleSince is when it last dropped to zero (the retention clock).
+	sessions  int
+	idleSince time.Time
 }
 
 type ackRange struct {
@@ -87,6 +129,31 @@ type ackRange struct {
 
 // ackRetain bounds the per-client dedup window.
 const ackRetain = 64
+
+// pruneClientsLocked expires disconnected client identities: every one
+// idle past the retention window, then — while the map still exceeds
+// MaxClients — the longest-idle remainder. Live identities are never
+// evicted (MaxSessions already bounds those).
+func (h *Host) pruneClientsLocked(now time.Time) {
+	for id, cs := range h.clients {
+		if cs.sessions == 0 && now.Sub(cs.idleSince) >= h.opts.ClientRetention {
+			delete(h.clients, id)
+		}
+	}
+	for len(h.clients) > h.opts.MaxClients {
+		oldestID := ""
+		var oldest time.Time
+		for id, cs := range h.clients {
+			if cs.sessions == 0 && (oldestID == "" || cs.idleSince.Before(oldest)) {
+				oldestID, oldest = id, cs.idleSince
+			}
+		}
+		if oldestID == "" {
+			return
+		}
+		delete(h.clients, oldestID)
+	}
+}
 
 // hostOrigin is the reserved clientID for ops the host itself commits
 // (style checkpoints). Sessions may not attach under it.
@@ -108,6 +175,10 @@ type Host struct {
 	clients  map[string]*clientState
 	nextSID  uint64
 	closed   bool
+	// encUpper over-estimates len(EncodeDocument(doc)); refreshed exactly
+	// whenever a commit or attach needs the truth. Guards the snapshot
+	// size limit without re-encoding the document on every commit.
+	encUpper int
 
 	// Counters under mu.
 	opsApplied         uint64
@@ -129,7 +200,7 @@ type Host struct {
 // NewHost wraps doc (which the host now owns: nothing else may mutate it)
 // as a served document with no backing file.
 func NewHost(name string, doc *text.Data, opts HostOptions) *Host {
-	return &Host{
+	h := &Host{
 		name:     name,
 		opts:     opts.withDefaults(),
 		epoch:    rand.Uint64() | 1, // never zero, never reused across restarts in practice
@@ -138,6 +209,10 @@ func NewHost(name string, doc *text.Data, opts HostOptions) *Host {
 		sessions: map[*session]struct{}{},
 		clients:  map[string]*clientState{},
 	}
+	// Pessimistic until the first exact encode (first attach or first
+	// guarded commit recomputes).
+	h.encUpper = h.opts.MaxSnapshotBytes
+	return h
 }
 
 // OpenHostFile opens (creating if absent) the document at path through the
@@ -243,17 +318,25 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 	hadRuns := len(h.doc.Runs()) > 0
 
 	// Idempotence: a group re-sent after a lost ack is answered from the
-	// retained ack, never re-applied.
-	if g.clientSeq <= cs.lastSeq {
-		if r, ok := cs.acks[g.clientSeq]; ok {
-			h.enqueueLocked(s, encodeAck(g.clientSeq, r.n, r.hi))
+	// retained ack, never re-applied. An unseeded identity (first contact,
+	// or dedup state pruned while it was away) adopts its first group's
+	// clientSeq instead of demanding 1, so pruning never strands an honest
+	// client mid-count.
+	if cs.seeded {
+		if g.clientSeq <= cs.lastSeq {
+			if r, ok := cs.acks[g.clientSeq]; ok {
+				h.enqueueLocked(s, encodeAck(g.clientSeq, r.n, r.hi))
+				return
+			}
+			h.failLocked(s, "duplicate op older than the dedup window")
 			return
 		}
-		h.failLocked(s, "duplicate op older than the dedup window")
-		return
-	}
-	if g.clientSeq != cs.lastSeq+1 {
-		h.failLocked(s, fmt.Sprintf("op sequence gap: got %d want %d", g.clientSeq, cs.lastSeq+1))
+		if g.clientSeq != cs.lastSeq+1 {
+			h.failLocked(s, fmt.Sprintf("op sequence gap: got %d want %d", g.clientSeq, cs.lastSeq+1))
+			return
+		}
+	} else if g.clientSeq == 0 {
+		h.failLocked(s, "op group seq 0")
 		return
 	}
 	if g.baseSeq > h.seq {
@@ -285,6 +368,25 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 	}
 	recs, _ = xformDual(recs, bridge, true)
 
+	// A document the host cannot snapshot is a document no session can
+	// ever join or resync again, so a group that would push the encoding
+	// past the serveable limit is rejected before any of it applies.
+	// encUpper is a cheap running over-estimate; only a group that would
+	// cross the limit pays for an exact re-encode.
+	growth := 0
+	for _, rec := range recs {
+		growth += recGrowth(rec)
+	}
+	if h.encUpper+growth > h.opts.MaxSnapshotBytes {
+		if b, err := persist.EncodeDocument(h.doc); err == nil {
+			h.encUpper = len(b)
+		}
+		if h.encUpper+growth > h.opts.MaxSnapshotBytes {
+			h.failLocked(s, fmt.Sprintf("document full: commit would exceed the %d-byte snapshot limit", h.opts.MaxSnapshotBytes))
+			return
+		}
+	}
+
 	// Apply, journal, broadcast — one op at a time, in commit order.
 	n := 0
 	for _, rec := range recs {
@@ -298,6 +400,7 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 		}
 		h.seq++
 		n++
+		h.encUpper += recGrowth(rec)
 		wire := text.EncodeRecord(rec)
 		h.hist = append(h.hist, committedOp{seq: h.seq, clientID: s.clientID, clientSeq: g.clientSeq, wire: wire})
 		if over := len(h.hist) - h.opts.HistoryLimit; over > 0 {
@@ -337,6 +440,26 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 	}
 }
 
+// recGrowth over-estimates how many bytes applying rec can add to the
+// document's encoded external representation. The escape discipline
+// expands a byte to at most 5 (`\u7f;`), plus continuation-wrap overhead;
+// 6x is safely above both. Deletes count zero — the estimate only ever
+// overshoots, and the exact re-encode at the limit pulls it back down.
+func recGrowth(rec text.EditRecord) int {
+	switch rec.Kind {
+	case text.RecInsert:
+		return 6*len(rec.Text) + 16
+	case text.RecStyle:
+		n := 128
+		for _, r := range rec.Runs {
+			n += 256 + 6*len(r.Style)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
 // commitStyleCheckpointLocked commits the host's current run list as an
 // op of its own, fanned to every session (originator included).
 func (h *Host) commitStyleCheckpointLocked() {
@@ -362,6 +485,7 @@ func (h *Host) commitStyleCheckpointLocked() {
 
 // finishAckLocked records and sends the ack for a committed group.
 func (h *Host) finishAckLocked(s *session, cs *clientState, clientSeq uint64, n int) {
+	cs.seeded = true
 	cs.lastSeq = clientSeq
 	cs.acks[clientSeq] = ackRange{n: n, hi: h.seq}
 	for k := range cs.acks {
@@ -407,6 +531,9 @@ func (h *Host) bridgeLocked(s *session, baseSeq uint64) ([]text.EditRecord, bool
 type Stats struct {
 	Name     string
 	Sessions int
+	// TrackedClients is how many client identities' dedup state the host
+	// currently retains (live sessions plus recently disconnected).
+	TrackedClients int
 	// Seq is the authoritative op count (the replication log position).
 	Seq        uint64
 	OpsApplied uint64
@@ -440,6 +567,7 @@ func (h *Host) Stats() Stats {
 	st := Stats{
 		Name:               h.name,
 		Sessions:           len(h.sessions),
+		TrackedClients:     len(h.clients),
 		Seq:                h.seq,
 		OpsApplied:         h.opsApplied,
 		OpsTransformedAway: h.opsTransformedAway,

@@ -82,13 +82,9 @@ func writeFrame(w *bufio.Writer, line string) error {
 func readFrame(r *bufio.Reader) (string, error) {
 	var b strings.Builder
 	for {
-		line, err := r.ReadString('\n')
+		line, err := readPhysicalLine(r)
 		if err != nil {
 			return "", err
-		}
-		line = strings.TrimSuffix(line, "\n")
-		if len(line) > MaxPhysicalLine {
-			return "", errFrameTooLong
 		}
 		cont, derr := datastream.DecodeLine(&b, line)
 		if derr != nil {
@@ -99,6 +95,33 @@ func readFrame(r *bufio.Reader) (string, error) {
 		}
 		if !cont {
 			return b.String(), nil
+		}
+	}
+}
+
+// readPhysicalLine reads one newline-terminated line, accumulating at most
+// MaxPhysicalLine bytes. A line that keeps going past the cap aborts with
+// errFrameTooLong *before* being buffered — a peer streaming bytes with no
+// newline (pre-hello, unauthenticated) must cost bounded memory, which a
+// whole-line ReadString would not guarantee.
+func readPhysicalLine(r *bufio.Reader) (string, error) {
+	var buf []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		switch err {
+		case bufio.ErrBufferFull:
+			if len(buf) > MaxPhysicalLine {
+				return "", errFrameTooLong
+			}
+		case nil:
+			buf = buf[:len(buf)-1] // strip the newline
+			if len(buf) > MaxPhysicalLine {
+				return "", errFrameTooLong
+			}
+			return string(buf), nil
+		default:
+			return "", err
 		}
 	}
 }

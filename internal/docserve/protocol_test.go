@@ -69,6 +69,36 @@ func TestReadFrameRejectsOverlongPhysicalLine(t *testing.T) {
 	}
 }
 
+// endlessReader yields 'x' bytes forever, counting what was consumed: the
+// hostile peer that sends a line that never ends.
+type endlessReader struct{ consumed int }
+
+func (e *endlessReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'x'
+	}
+	e.consumed += len(p)
+	return len(p), nil
+}
+
+func TestReadFrameBoundsEndlessLine(t *testing.T) {
+	// A stream with no newline at all must abort with errFrameTooLong after
+	// consuming O(MaxPhysicalLine) bytes, not buffer until OOM (or spin
+	// forever). The old ReadString-based reader buffered the whole "line"
+	// before any limit check ran.
+	src := &endlessReader{}
+	_, err := readFrame(bufio.NewReader(src))
+	if err == nil {
+		t.Fatal("endless line accepted")
+	}
+	if !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("wrong error for endless line: %v", err)
+	}
+	if max := MaxPhysicalLine + 64*1024; src.consumed > max {
+		t.Fatalf("endless line consumed %d bytes before aborting (cap %d)", src.consumed, max)
+	}
+}
+
 func TestReadFrameRejectsBadEscape(t *testing.T) {
 	for _, raw := range []string{"bad \\uzz; escape\n", "bad \\q escape\n"} {
 		if _, err := readFrame(bufio.NewReader(strings.NewReader(raw))); err == nil {

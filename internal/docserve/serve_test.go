@@ -3,6 +3,7 @@ package docserve
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"net"
 	"strings"
 	"testing"
@@ -364,6 +365,153 @@ func TestServeIdleTimeoutAndHeartbeat(t *testing.T) {
 	mustInsert(t, beating.Doc(), 0, "alive ")
 	if err := beating.Sync(5 * time.Second); err != nil {
 		t.Fatalf("heartbeating client was kicked: %v", err)
+	}
+}
+
+// waitSessions blocks until the host has exactly n live sessions.
+func waitSessions(t *testing.T, h *Host, n int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for h.Stats().Sessions != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached %d sessions: %+v", n, h.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClientStatePruned: a disconnected identity's dedup state expires
+// after the retention window instead of leaking for the host's lifetime.
+func TestClientStatePruned(t *testing.T) {
+	reg := testReg(t)
+	h := NewHost("d", newDoc(t, "base\n"), HostOptions{ClientRetention: 30 * time.Millisecond})
+	srv := NewServer(HostOptions{})
+	srv.AddHost(h)
+	a := pipeClient(t, srv, "d", "alice", reg)
+
+	ghost := pipeClient(t, srv, "d", "ghost", reg)
+	mustInsert(t, ghost.Doc(), 0, "boo ")
+	if err := ghost.Sync(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_ = ghost.Close()
+	waitSessions(t, h, 1)
+	if st := h.Stats(); st.TrackedClients != 2 {
+		t.Fatalf("want alice+ghost tracked right after disconnect, got %+v", st)
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	b := pipeClient(t, srv, "d", "bob", reg) // attach runs the pruner
+	if st := h.Stats(); st.TrackedClients != 2 {
+		t.Fatalf("ghost state not pruned: %+v", st)
+	}
+	mustInsert(t, b.Doc(), 0, "hi ")
+	convergeAll(t, h, a, b)
+}
+
+// TestClientStateBounded: a peer minting fresh client IDs at connection
+// rate cannot grow the identity map past MaxClients.
+func TestClientStateBounded(t *testing.T) {
+	reg := testReg(t)
+	h := NewHost("d", newDoc(t, "base\n"), HostOptions{MaxClients: 4})
+	srv := NewServer(HostOptions{})
+	srv.AddHost(h)
+
+	for i := 0; i < 12; i++ {
+		cEnd, sEnd := net.Pipe()
+		go srv.HandleConn(sEnd)
+		c, err := Connect(cEnd, "d", ClientOptions{ClientID: fmt.Sprintf("minted-%d", i), Registry: reg})
+		if err != nil {
+			t.Fatalf("connect %d: %v", i, err)
+		}
+		_ = c.Close()
+		waitSessions(t, h, 0)
+	}
+	// The map may briefly hold MaxClients+1 (the pruner runs before the
+	// new identity is added), never more.
+	if st := h.Stats(); st.TrackedClients > 5 {
+		t.Fatalf("identity map unbounded: %+v", st)
+	}
+}
+
+// TestReconnectAfterPruneGetsSnapshot: a client resuming after its dedup
+// state expired is given a snapshot resync (dropping unconfirmed work),
+// never an op replay that could re-apply an unrecognizable in-flight
+// group; its later edits commit fine mid-count via first-group seeding.
+func TestReconnectAfterPruneGetsSnapshot(t *testing.T) {
+	reg := testReg(t)
+	h := NewHost("d", newDoc(t, "base\n"), HostOptions{ClientRetention: 20 * time.Millisecond})
+	srv := NewServer(HostOptions{})
+	srv.AddHost(h)
+	a := pipeClient(t, srv, "d", "alice", reg)
+	b := pipeClient(t, srv, "d", "bob", reg)
+
+	mustInsert(t, b.Doc(), 0, "one ") // bob is seeded well past clientSeq 0
+	if err := b.Sync(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.conn.Close()
+	waitSessions(t, h, 1)
+	mustInsert(t, b.Doc(), 0, "limbo ")
+	time.Sleep(50 * time.Millisecond) // outlive the retention window
+
+	resumeVia(t, srv, b)
+	if b.DroppedPending == 0 {
+		t.Fatal("post-prune resume must drop unconfirmed work via snapshot resync")
+	}
+	if strings.Contains(h.DocString(), "limbo") {
+		t.Fatalf("dropped edit reached the host: %q", h.DocString())
+	}
+	// Fresh identity, non-fresh clientSeq: the next group must still land.
+	mustInsert(t, b.Doc(), 0, "back ")
+	convergeAll(t, h, a, b)
+	if !strings.Contains(h.DocString(), "back ") {
+		t.Fatalf("post-prune edit lost: %q", h.DocString())
+	}
+}
+
+// TestSnapshotSizeLimitRejectsCommit: a commit that would push the
+// document's encoding past the serveable snapshot size is refused (the
+// session is failed), and the document stays joinable.
+func TestSnapshotSizeLimitRejectsCommit(t *testing.T) {
+	reg := testReg(t)
+	h := NewHost("d", newDoc(t, "small\n"), HostOptions{MaxSnapshotBytes: 2048})
+	srv := NewServer(HostOptions{})
+	srv.AddHost(h)
+	a := pipeClient(t, srv, "d", "alice", reg)
+
+	mustInsert(t, a.Doc(), 0, strings.Repeat("blob ", 1000))
+	err := a.Sync(5 * time.Second)
+	if err == nil {
+		t.Fatal("oversized commit accepted")
+	}
+	if h.Stats().Seq != 0 {
+		t.Fatalf("oversized commit advanced the log: %+v", h.Stats())
+	}
+	// The document is still its old self and still serveable.
+	b := pipeClient(t, srv, "d", "bob", reg)
+	if got := b.Doc().String(); got != "small\n" {
+		t.Fatalf("late joiner sees %q", got)
+	}
+}
+
+// TestSnapshotSizeLimitRejectsAttach: serving a document already past the
+// snapshot limit yields a clear server-side error at attach, not a
+// client-side frame-limit failure after the bytes were shipped.
+func TestSnapshotSizeLimitRejectsAttach(t *testing.T) {
+	reg := testReg(t)
+	big := newDoc(t, strings.Repeat("x", 4000))
+	srv := NewServer(HostOptions{})
+	srv.AddHost(NewHost("d", big, HostOptions{MaxSnapshotBytes: 2048}))
+
+	cEnd, sEnd := net.Pipe()
+	go srv.HandleConn(sEnd)
+	_, err := Connect(cEnd, "d", ClientOptions{ClientID: "c", Registry: reg})
+	if err == nil {
+		t.Fatal("oversized document attach accepted")
+	}
+	if !strings.Contains(err.Error(), "too large") {
+		t.Fatalf("wrong attach rejection: %v", err)
 	}
 }
 

@@ -53,6 +53,7 @@ func (h *Host) attach(conn net.Conn, hello helloMsg) (*session, error) {
 	if len(h.sessions) >= h.opts.MaxSessions {
 		return nil, fmt.Errorf("document %s is full (%d sessions)", h.name, len(h.sessions))
 	}
+	h.pruneClientsLocked(time.Now())
 	h.nextSID++
 	s := &session{
 		h:        h,
@@ -62,15 +63,29 @@ func (h *Host) attach(conn net.Conn, hello helloMsg) (*session, error) {
 		out:      make(chan outFrame, h.opts.QueueLen),
 		dead:     make(chan struct{}),
 	}
-	if h.clients[s.clientID] == nil {
-		h.clients[s.clientID] = &clientState{acks: map[uint64]ackRange{}}
+	cs := h.clients[s.clientID]
+	known := cs != nil
+	if !known {
+		cs = &clientState{acks: map[uint64]ackRange{}}
+		h.clients[s.clientID] = cs
 	}
 	h.sessions[s] = struct{}{}
+	cs.sessions++
+	detach := func() {
+		delete(h.sessions, s)
+		if cs.sessions--; cs.sessions == 0 {
+			cs.idleSince = time.Now()
+		}
+	}
 
 	// Catch-up: op replay when the client's resume point is inside the
 	// history window (and small enough to fit the queue), else a full
-	// snapshot. Both end with `live`.
-	if hello.resume && hello.epoch == h.epoch && hello.since <= h.seq &&
+	// snapshot. Both end with `live`. A resume from an identity whose
+	// dedup state was pruned gets the snapshot path regardless: op replay
+	// would invite the client to re-send an in-flight group we may have
+	// already committed and can no longer recognize, while a snapshot
+	// resync makes it drop unconfirmed work instead of duplicating it.
+	if known && hello.resume && hello.epoch == h.epoch && hello.since <= h.seq &&
 		h.opsSinceLocked(hello.since) >= 0 &&
 		h.opsSinceLocked(hello.since) <= h.opts.QueueLen/2 {
 		for _, op := range h.hist {
@@ -82,8 +97,14 @@ func (h *Host) attach(conn net.Conn, hello helloMsg) (*session, error) {
 	} else {
 		b, err := persist.EncodeDocument(h.doc)
 		if err != nil {
-			delete(h.sessions, s)
+			detach()
 			return nil, err
+		}
+		h.encUpper = len(b)
+		if len(b) > h.opts.MaxSnapshotBytes {
+			detach()
+			return nil, fmt.Errorf("document %s is too large to serve a snapshot (%d > %d bytes)",
+				h.name, len(b), h.opts.MaxSnapshotBytes)
 		}
 		h.enqueueLocked(s, encodeSnap(h.epoch, h.seq, b))
 		h.snapResyncs++
@@ -206,6 +227,11 @@ func (h *Host) killLocked(s *session, reason string, slow bool) {
 		delete(h.sessions, s)
 		if slow {
 			h.slowKicks++
+		}
+		if cs := h.clients[s.clientID]; cs != nil {
+			if cs.sessions--; cs.sessions == 0 {
+				cs.idleSince = time.Now()
+			}
 		}
 	}
 	s.once.Do(func() {

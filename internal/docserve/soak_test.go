@@ -25,7 +25,12 @@ const (
 // replica's external representation is byte-identical to the host's.
 // Run it under -race (make verify does) to sweep the locking too.
 func TestSoakConcurrentSessions(t *testing.T) {
-	h := NewHost("soak", newDoc(t, "The quick brown fox jumps over the lazy dog\n"), HostOptions{})
+	// QueueLen must cover the worst-case burst: in-process pipes have zero
+	// latency, so all ~9*30 commits plus style checkpoints can land while a
+	// session's writer goroutine is starved; the default 256 intermittently
+	// kicked healthy clients as "slow". Eviction itself is covered by
+	// TestServeSlowConsumerKicked.
+	h := NewHost("soak", newDoc(t, "The quick brown fox jumps over the lazy dog\n"), HostOptions{QueueLen: 4096})
 	srv := NewServer(HostOptions{})
 	srv.AddHost(h)
 

@@ -42,10 +42,12 @@ generate:
 bench:
 	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_text.json -filter E9TextIndexing
 
-# bench-docserve measures the replication server's fan-out path (one
-# writer, 32 reader replicas) and records commits/s, deliveries/s, and
-# p99 fan-out lag in BENCH_docserve.json.
+# bench-docserve measures the replication server's serving paths — the
+# single-document fan-out bench (one writer, 32 reader replicas) and the
+# sharded multi-document bench (8 documents, each with a writer and 4
+# readers) — and records commits/s, deliveries/s, and p99 fan-out lag in
+# BENCH_docserve.json.
 bench-docserve:
-	$(GO) test -run=NONE -bench=DocServeFanout -benchmem ./internal/docserve | \
-		$(GO) run ./cmd/benchjson -out BENCH_docserve.json -filter DocServeFanout \
-		-cmd "go test -run=NONE -bench=DocServeFanout -benchmem ./internal/docserve"
+	$(GO) test -run=NONE -bench=DocServe -benchtime=3s -benchmem ./internal/docserve | \
+		$(GO) run ./cmd/benchjson -out BENCH_docserve.json -filter DocServe \
+		-cmd "go test -run=NONE -bench=DocServe -benchtime=3s -benchmem ./internal/docserve"

@@ -124,8 +124,8 @@ func run(listen string, paths []string, syncEvery, statsEvery time.Duration,
 		case <-statsC:
 			for _, h := range srv.Hosts() {
 				st := h.Stats()
-				fmt.Fprintf(logw, "ezserve: %s: sessions=%d seq=%d ops/s=%.1f broadcasts=%d lag(avg/max)=%s/%s slow-kicks=%d resyncs=%d/%d\n",
-					st.Name, st.Sessions, st.Seq, st.OpsPerSec, st.Broadcasts,
+				fmt.Fprintf(logw, "ezserve: %s: sessions=%d seq=%d ops/s=%.1f broadcasts=%d frames=%d lag(avg/max)=%s/%s slow-kicks=%d resyncs=%d/%d\n",
+					st.Name, st.Sessions, st.Seq, st.OpsPerSec, st.Broadcasts, st.FanoutFrames,
 					st.FanoutLagAvg, st.FanoutLagMax, st.SlowConsumerKicks, st.OpResyncs, st.SnapResyncs)
 			}
 		case err := <-serveErr:

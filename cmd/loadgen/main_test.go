@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"atk/internal/class"
+	"atk/internal/docserve"
+	"atk/internal/text"
+)
+
+// TestRunAgainstLiveServer drives a short mix against an in-process
+// docserve server and checks the JSONL stream: parseable sample lines, a
+// closing summary, and nonzero work in every mix dimension.
+func TestRunAgainstLiveServer(t *testing.T) {
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	doc := text.New()
+	doc.SetRegistry(reg)
+	h := docserve.NewHost("load.d", doc, docserve.HostOptions{})
+	srv := docserve.NewServer(docserve.HostOptions{})
+	srv.AddHost(h)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback TCP: %v", err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	var out, log bytes.Buffer
+	mix := Mix{Writers: 2, Readers: 3, Churners: 1}
+	err = run("tcp:"+ln.Addr().String(), "load.d", mix,
+		600*time.Millisecond, 150*time.Millisecond, &out, &log)
+	if err != nil {
+		t.Fatalf("run: %v\nlog:\n%s", err, log.String())
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(out.Bytes()))
+	var last sampleRec
+	samples := 0
+	for dec.More() {
+		var rec sampleRec
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("bad JSONL: %v\n%s", err, out.String())
+		}
+		if rec.Kind == "sample" {
+			samples++
+		}
+		last = rec
+	}
+	if samples == 0 {
+		t.Fatalf("no sample lines emitted:\n%s", out.String())
+	}
+	if last.Kind != "summary" {
+		t.Fatalf("stream does not end with a summary:\n%s", out.String())
+	}
+	if last.Commits == 0 || last.Deliveries == 0 || last.Attaches == 0 {
+		t.Fatalf("idle mix dimension: %+v", last)
+	}
+	if last.Errors != 0 {
+		t.Fatalf("session errors during run: %+v\nlog:\n%s", last, log.String())
+	}
+	// The server side agrees work happened and saw no protocol abuse.
+	// (SlowConsumerKicks is legitimately nonzero: a churner hanging up
+	// mid-fan-out looks like a slow consumer to the server.)
+	st := h.Stats()
+	if st.OpsApplied == 0 || st.ProtocolErrors != 0 {
+		t.Fatalf("server stats: %+v", st)
+	}
+}
+
+// TestRunRejectsBadTargets pins the fail-fast paths: an empty mix, a bad
+// dial spec, and an unknown document all fail before spawning sessions.
+func TestRunRejectsBadTargets(t *testing.T) {
+	var out, log bytes.Buffer
+	if err := run("tcp:127.0.0.1:1", "d", Mix{}, time.Second, time.Second, &out, &log); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	if err := run("garbage", "d", Mix{Writers: 1}, time.Second, time.Second, &out, &log); err == nil {
+		t.Fatal("bad connect spec accepted")
+	}
+
+	srv := docserve.NewServer(docserve.HostOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback TCP: %v", err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	err = run("tcp:"+ln.Addr().String(), "no-such-doc", Mix{Writers: 1},
+		time.Second, time.Second, &out, &log)
+	if err == nil {
+		t.Fatal("unknown document accepted")
+	}
+	if out.Len() != 0 {
+		t.Fatalf("failed probe still emitted samples:\n%s", out.String())
+	}
+}

@@ -47,6 +47,78 @@ func TestEscapeLinesRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAppendEscapedMatchesEscapeLines pins the byte-path encoder to the
+// string-path one: AppendEscaped (and its []byte twin) must produce
+// exactly the joined EscapeLines wire form, and DecodeAppend must invert
+// it line by line, agreeing with DecodeLine.
+func TestAppendEscapedMatchesEscapeLines(t *testing.T) {
+	cases := []string{
+		"",
+		"plain ascii",
+		`back\slash and \u fake escape`,
+		"tabs\tand\tmore",
+		"unicode: héllo wörld — ✓ 𝔘𝔫𝔦𝔠𝔬𝔡𝔢",
+		strings.Repeat("x", 500),
+		strings.Repeat(`\`, 200),
+		"control \x01\x02\x7f bytes",
+		"newline \n inside",
+		strings.Repeat("é", 300),
+	}
+	for _, s := range cases {
+		want := strings.Join(EscapeLines(s), "\n") + "\n"
+		if got := string(AppendEscaped(nil, s)); got != want {
+			t.Fatalf("AppendEscaped(%q) =\n%q\nwant\n%q", s, got, want)
+		}
+		if got := string(AppendEscapedBytes(nil, []byte(s))); got != want {
+			t.Fatalf("AppendEscapedBytes(%q) =\n%q\nwant\n%q", s, got, want)
+		}
+		// Reuse: appending onto a prefix must not disturb either part.
+		pre := AppendEscaped([]byte("prefix|"), s)
+		if string(pre) != "prefix|"+want {
+			t.Fatalf("AppendEscaped with prefix diverged for %q", s)
+		}
+		// Decode the wire form back with DecodeAppend.
+		var dst []byte
+		for _, ln := range strings.Split(strings.TrimSuffix(want, "\n"), "\n") {
+			var cont bool
+			var err error
+			dst, cont, err = DecodeAppend(dst, []byte(ln))
+			if err != nil {
+				t.Fatalf("DecodeAppend(%q): %v", ln, err)
+			}
+			_ = cont
+		}
+		if string(dst) != s {
+			t.Fatalf("DecodeAppend round trip = %q, want %q", dst, s)
+		}
+	}
+}
+
+// TestDecodeAppendMatchesDecodeLine feeds malformed and exotic physical
+// lines to both decoders and demands identical accept/reject behavior.
+func TestDecodeAppendMatchesDecodeLine(t *testing.T) {
+	lines := []string{
+		"plain", `trailing\`, `\\`, `\u41;`, `\u1f4;`, `\u;`, `\uzz;`,
+		`\u41`, `\q`, `a\u0;b`,
+		"\\u7fffffff;", "\\u80000000;", "\\uffffffff0;",
+	}
+	for _, ln := range lines {
+		var sb strings.Builder
+		wantCont, wantErr := DecodeLine(&sb, ln)
+		got, gotCont, gotErr := DecodeAppend(nil, []byte(ln))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("DecodeAppend(%q) err=%v, DecodeLine err=%v", ln, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if gotCont != wantCont || string(got) != sb.String() {
+			t.Fatalf("DecodeAppend(%q) = %q cont=%v, DecodeLine = %q cont=%v",
+				ln, got, gotCont, sb.String(), wantCont)
+		}
+	}
+}
+
 // TestEscapeLinesMatchesWriter pins that the writer's payload emission is
 // exactly the exported helper: a journal framed with EscapeLines stays
 // byte-compatible with WriteText output.

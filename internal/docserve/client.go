@@ -44,8 +44,7 @@ type Client struct {
 	wmu  sync.Mutex // guards bw: owner sends vs heartbeat pings
 	bw   *bufio.Writer
 
-	doc    *text.Data // visible replica: shadow + inflight + buffer
-	shadow *text.Data // confirmed replica: exactly the server at `confirmed`
+	doc *text.Data // visible replica: confirmed state + inflight + buffer
 
 	epoch     uint64
 	confirmed uint64
@@ -60,6 +59,15 @@ type Client struct {
 	inbox  chan string // reader goroutine -> owner; closed on read error
 	hbStop chan struct{}
 	hbSeq  int
+
+	// pumpTimer is PumpWait's reusable wait timer (owner goroutine only).
+	pumpTimer *time.Timer
+
+	// Reusable send buffers: wire holds escaped physical bytes (under
+	// wmu); lineBuf/recBuf build op-group logical lines (owner goroutine).
+	wire    []byte
+	lineBuf []byte
+	recBuf  []byte
 
 	// DroppedPending counts local edits discarded by a snapshot resync (the
 	// host could not replay ops across the gap, so unconfirmed local work
@@ -218,9 +226,10 @@ func (c *Client) catchUp() error {
 	if d <= 0 {
 		d = c.opts.HandshakeTimeout
 	}
+	fr := frameReader{br: c.br}
 	for {
 		_ = c.conn.SetReadDeadline(time.Now().Add(d))
-		frame, err := readFrame(c.br)
+		frame, err := fr.next()
 		if err != nil {
 			return fmt.Errorf("docserve: catch-up read: %w", err)
 		}
@@ -244,11 +253,19 @@ func (c *Client) startReader() {
 	conn, br, idle := c.conn, c.br, c.opts.IdleTimeout
 	go func() {
 		defer close(inbox)
+		fr := frameReader{br: br}
+		var dlSet time.Time
 		for {
+			// Throttled like the server's reader: refresh the deadline only
+			// after a quarter of the idle window, so a busy stream is not
+			// paying a timer update per frame.
 			if idle > 0 {
-				_ = conn.SetReadDeadline(time.Now().Add(idle))
+				if now := time.Now(); now.Sub(dlSet) > idle/4 {
+					_ = conn.SetReadDeadline(now.Add(idle))
+					dlSet = now
+				}
 			}
-			frame, err := readFrame(br)
+			frame, err := fr.next()
 			if err != nil {
 				return
 			}
@@ -349,8 +366,8 @@ func (c *Client) Pump() error {
 
 // PumpWait blocks up to d for at least one frame, then drains the rest.
 func (c *Client) PumpWait(d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
+	// Fast path: a frame is already queued — no timer needed at all. In a
+	// busy stream this is the common case.
 	select {
 	case f, ok := <-c.inbox:
 		if !ok {
@@ -363,7 +380,39 @@ func (c *Client) PumpWait(d time.Duration) error {
 			return err
 		}
 		return c.Pump()
-	case <-t.C:
+	default:
+	}
+	// The wait timer is reused across calls (PumpWait runs once per
+	// delivered frame in a read-mostly replica's idle loop; a fresh timer
+	// per call is measurable garbage). Stop-and-drain leaves it ready for
+	// the next Reset.
+	if c.pumpTimer == nil {
+		c.pumpTimer = time.NewTimer(d)
+	} else {
+		c.pumpTimer.Reset(d)
+	}
+	stop := func() {
+		if !c.pumpTimer.Stop() {
+			select {
+			case <-c.pumpTimer.C:
+			default:
+			}
+		}
+	}
+	select {
+	case f, ok := <-c.inbox:
+		stop()
+		if !ok {
+			if c.lastErr == nil {
+				c.lastErr = errors.New("docserve: connection lost")
+			}
+			return c.lastErr
+		}
+		if err := c.handleFrame(f); err != nil {
+			return err
+		}
+		return c.Pump()
+	case <-c.pumpTimer.C:
 		return c.lastErr
 	}
 }
@@ -494,10 +543,6 @@ func (c *Client) handleSnap(frame string) error {
 	if err != nil {
 		return c.fatal(err)
 	}
-	shadow, err := decodeSnapshot([]byte(body), c.opts.Registry)
-	if err != nil {
-		return c.fatal(err)
-	}
 	if !c.attached {
 		c.doc = snapDoc
 		c.doc.SetEditLogger(c.onEdit)
@@ -530,7 +575,6 @@ func (c *Client) handleSnap(frame string) error {
 		c.inflight = nil
 		c.buffer = nil
 	}
-	c.shadow = shadow
 	c.epoch, c.confirmed = epoch, seq
 	return nil
 }
@@ -551,15 +595,9 @@ func (c *Client) handleCommitted(m committedMsg) error {
 		// Our own committed op, re-delivered during catch-up: an implicit
 		// ack for the front of the in-flight group. The server's record
 		// equals our transformed copy (both sides folded the same bridge),
-		// so the visible document already contains it — only the shadow
-		// advances.
+		// so the visible document already contains it.
 		if c.inflight == nil || len(c.inflight.recs) == 0 || m.clientSeq != c.inflight.clientSeq {
 			return c.fatal(fmt.Errorf("docserve: unexpected echo of own op group %d", m.clientSeq))
-		}
-		var aerr error
-		c.shadow.WithoutUndo(func() { aerr = c.shadow.ApplyRecord(rec) })
-		if aerr != nil {
-			return c.fatal(fmt.Errorf("docserve: echoed op inapplicable: %w", aerr))
 		}
 		c.confirmed = m.seq
 		c.inflight.recs = c.inflight.recs[1:]
@@ -570,28 +608,31 @@ func (c *Client) handleCommitted(m committedMsg) error {
 		return nil
 	}
 
-	// A foreign committed op: rebase the pending local edits across it and
-	// its visible-document form across them, then apply.
-	one := []text.EditRecord{rec}
-	if c.inflight != nil {
-		c.inflight.recs, one = xformDual(c.inflight.recs, one, true)
-	}
-	var vis []text.EditRecord
-	c.buffer, vis = xformDual(c.buffer, one, true)
+	// A foreign committed op. The read-mostly replica — nothing in flight,
+	// nothing buffered — applies it straight to the visible document; only
+	// a replica with pending local edits pays for the dual transform.
 	var aerr error
-	c.doc.WithoutUndo(func() {
-		for _, r := range vis {
-			if aerr = c.doc.ApplyRecord(r); aerr != nil {
-				return
-			}
+	if c.inflight == nil && len(c.buffer) == 0 {
+		c.doc.WithoutUndo(func() { aerr = c.doc.ApplyRecord(rec) })
+	} else {
+		// Rebase the pending local edits across the foreign op and its
+		// visible-document form across them, then apply.
+		one := []text.EditRecord{rec}
+		if c.inflight != nil {
+			c.inflight.recs, one = xformDual(c.inflight.recs, one, true)
 		}
-	})
+		var vis []text.EditRecord
+		c.buffer, vis = xformDual(c.buffer, one, true)
+		c.doc.WithoutUndo(func() {
+			for _, r := range vis {
+				if aerr = c.doc.ApplyRecord(r); aerr != nil {
+					return
+				}
+			}
+		})
+	}
 	if aerr != nil {
 		return c.fatal(fmt.Errorf("docserve: remote op inapplicable: %w", aerr))
-	}
-	c.shadow.WithoutUndo(func() { aerr = c.shadow.ApplyRecord(rec) })
-	if aerr != nil {
-		return c.fatal(fmt.Errorf("docserve: remote op inapplicable to shadow: %w", aerr))
 	}
 	c.confirmed = m.seq
 	if c.opts.OnRemoteOp != nil {
@@ -620,17 +661,6 @@ func (c *Client) handleAck(clientSeq uint64, n int, hi uint64) error {
 	if n != len(c.inflight.recs) || hi != c.confirmed+uint64(n) {
 		return c.fatal(fmt.Errorf("docserve: ack mismatch: server committed %d records to seq %d, client has %d at seq %d",
 			n, hi, len(c.inflight.recs), c.confirmed))
-	}
-	var aerr error
-	c.shadow.WithoutUndo(func() {
-		for _, r := range c.inflight.recs {
-			if aerr = c.shadow.ApplyRecord(r); aerr != nil {
-				return
-			}
-		}
-	})
-	if aerr != nil {
-		return c.fatal(fmt.Errorf("docserve: acked group inapplicable to shadow: %w", aerr))
 	}
 	c.confirmed = hi
 	c.inflight = nil
@@ -687,21 +717,36 @@ func (c *Client) maybePromote() {
 	c.sendGroup()
 }
 
+// sendGroup encodes and sends the in-flight group, building the logical
+// line in reusable buffers (encodeOpGroup is the string reference form).
+// Failures latch; the in-flight state is kept so Resume can re-send.
 func (c *Client) sendGroup() {
-	payloads := make([]string, len(c.inflight.recs))
-	for i, r := range c.inflight.recs {
-		payloads[i] = text.EncodeRecord(r)
-	}
-	c.send(encodeOpGroup(c.inflight.clientSeq, c.confirmed, payloads))
-}
-
-// send writes a frame on the owner goroutine, latching failures (the
-// in-flight state is kept so Resume can re-send).
-func (c *Client) send(line string) {
 	if c.draining {
 		return // the old connection is gone; Resume re-sends what matters
 	}
-	if err := c.sendRaw(line); err != nil && c.lastErr == nil {
+	b := c.lineBuf[:0]
+	b = append(b, "op "...)
+	b = strconv.AppendUint(b, c.inflight.clientSeq, 10)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, c.confirmed, 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(len(c.inflight.recs)), 10)
+	b = append(b, ' ')
+	for _, r := range c.inflight.recs {
+		c.recBuf = text.AppendRecord(c.recBuf[:0], r)
+		b = strconv.AppendInt(b, int64(len(c.recBuf)), 10)
+		b = append(b, ':')
+		b = append(b, c.recBuf...)
+	}
+	c.lineBuf = b
+	c.wmu.Lock()
+	c.wire = datastream.AppendEscapedBytes(c.wire[:0], b)
+	_, err := c.bw.Write(c.wire)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil && c.lastErr == nil {
 		c.lastErr = fmt.Errorf("docserve: send: %w", err)
 	}
 }
@@ -710,5 +755,9 @@ func (c *Client) send(line string) {
 func (c *Client) sendRaw(line string) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return writeFrame(c.bw, line)
+	c.wire = datastream.AppendEscaped(c.wire[:0], line)
+	if _, err := c.bw.Write(c.wire); err != nil {
+		return err
+	}
+	return c.bw.Flush()
 }

@@ -89,9 +89,6 @@ func TestClientRebaseDeterministic(t *testing.T) {
 	if got := c.Doc().String(); got != "ZZabchello" {
 		t.Fatalf("visible doc %q, want %q", got, "ZZabchello")
 	}
-	if got := c.shadow.String(); got != "ZZabchello" {
-		t.Fatalf("shadow %q diverged from visible doc", got)
-	}
 	if c.Confirmed() != 2 || c.PendingCount() != 0 {
 		t.Fatalf("confirmed %d pending %d", c.Confirmed(), c.PendingCount())
 	}

@@ -1,0 +1,122 @@
+package docserve
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"atk/internal/datastream"
+)
+
+// Encode-once fan-out. A committed op used to be re-escaped by every
+// session's write loop — O(sessions) EscapeLines calls and string garbage
+// per commit. Now the host encodes each outbound frame to wire bytes
+// exactly once, into a reference-counted pooled buffer; sessions enqueue
+// the shared buffer and their write loops copy bytes to the socket.
+//
+// Lifetime rules:
+//   - getFrame returns a buffer with one reference (the creator's).
+//   - Every enqueue retains; the writing session releases after the bytes
+//     are on the wire (or when the session dies with frames still queued).
+//   - The creator releases its own reference when done fanning out.
+//   - At zero references the buffer returns to the pool; nobody may touch
+//     it after their release.
+//
+// One buffer may carry several logical lines (commit coalescing): the
+// wire protocol is self-framing — each logical line ends at its first
+// non-continuation newline — so receivers need no batching awareness.
+
+type frameBuf struct {
+	b    []byte
+	refs atomic.Int32
+}
+
+var framePool = sync.Pool{New: func() any { return &frameBuf{} }}
+
+// maxPooledFrame keeps snapshot-sized buffers from pinning the pool.
+const maxPooledFrame = 64 << 10
+
+// getFrame returns an empty wire buffer holding one reference.
+func getFrame() *frameBuf {
+	fb := framePool.Get().(*frameBuf)
+	fb.b = fb.b[:0]
+	fb.refs.Store(1)
+	return fb
+}
+
+func (fb *frameBuf) retain() { fb.refs.Add(1) }
+
+// release drops one reference; the last one returns the buffer to the
+// pool (unless it grew past the pooling cap).
+func (fb *frameBuf) release() {
+	if fb.refs.Add(-1) == 0 && cap(fb.b) <= maxPooledFrame {
+		framePool.Put(fb)
+	}
+}
+
+// appendLine appends the escaped wire form of one logical line.
+func (fb *frameBuf) appendLine(line string) {
+	fb.b = datastream.AppendEscaped(fb.b, line)
+}
+
+// Host-side wire encoders. They build the logical line in the host's
+// scratch buffer (host lock held) and escape it straight into the frame —
+// the append-path twins of the encode* string helpers in protocol.go,
+// which remain the reference forms (and the client/test path).
+
+// lineScratch grows a reusable logical-line buffer under the host lock.
+func (h *Host) lineScratch() []byte { return h.encScratch[:0] }
+
+func (h *Host) doneScratch(sc []byte, fb *frameBuf) {
+	fb.b = datastream.AppendEscapedBytes(fb.b, sc)
+	if cap(sc) > maxPooledFrame { // a snapshot blew it up; let it go
+		sc = nil
+	}
+	h.encScratch = sc[:0]
+}
+
+// appendCommittedLocked appends "op <seq> <clientID> <clientSeq> <wire>".
+func (h *Host) appendCommittedLocked(fb *frameBuf, seq uint64, clientID string, clientSeq uint64, wire string) {
+	sc := h.lineScratch()
+	sc = append(sc, "op "...)
+	sc = strconv.AppendUint(sc, seq, 10)
+	sc = append(sc, ' ')
+	sc = append(sc, clientID...)
+	sc = append(sc, ' ')
+	sc = strconv.AppendUint(sc, clientSeq, 10)
+	sc = append(sc, ' ')
+	sc = append(sc, wire...)
+	h.doneScratch(sc, fb)
+}
+
+// appendAckLocked appends "ok <clientSeq> <n> <hi>".
+func (h *Host) appendAckLocked(fb *frameBuf, clientSeq uint64, n int, hi uint64) {
+	sc := h.lineScratch()
+	sc = append(sc, "ok "...)
+	sc = strconv.AppendUint(sc, clientSeq, 10)
+	sc = append(sc, ' ')
+	sc = strconv.AppendInt(sc, int64(n), 10)
+	sc = append(sc, ' ')
+	sc = strconv.AppendUint(sc, hi, 10)
+	h.doneScratch(sc, fb)
+}
+
+// appendSnapLocked appends "snap <epoch> <seq> <doc bytes>".
+func (h *Host) appendSnapLocked(fb *frameBuf, epoch, seq uint64, doc []byte) {
+	sc := h.lineScratch()
+	sc = append(sc, "snap "...)
+	sc = strconv.AppendUint(sc, epoch, 10)
+	sc = append(sc, ' ')
+	sc = strconv.AppendUint(sc, seq, 10)
+	sc = append(sc, ' ')
+	sc = append(sc, doc...)
+	h.doneScratch(sc, fb)
+}
+
+// appendLiveLocked appends "live <seq>".
+func (h *Host) appendLiveLocked(fb *frameBuf, seq uint64) {
+	sc := h.lineScratch()
+	sc = append(sc, "live "...)
+	sc = strconv.AppendUint(sc, seq, 10)
+	h.doneScratch(sc, fb)
+}

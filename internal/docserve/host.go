@@ -179,11 +179,28 @@ type Host struct {
 	// whenever a commit or attach needs the truth. Guards the snapshot
 	// size limit without re-encoding the document on every commit.
 	encUpper int
+	// exactOK/exactSeq/exactSize memoize the last exact encode: while the
+	// seq has not moved, the document has not changed (every mutation is a
+	// seq-bumping commit), so a run of rejected borderline commits pays
+	// for one re-encode, not one each.
+	exactOK   bool
+	exactSeq  uint64
+	exactSize int
+	// snapFrame caches the encoded snap frame for the state at snapSeq, so
+	// a burst of joins costs one document encode, not one per session.
+	snapFrame *frameBuf
+	snapSeq   uint64
+	// encScratch is the reusable logical-line build buffer (see frame.go).
+	encScratch []byte
+	// attachGate, when set, runs in attach's unlocked encode window (test
+	// hook proving commits stay live during a large attach).
+	attachGate func()
 
 	// Counters under mu.
 	opsApplied         uint64
 	opsTransformedAway uint64
 	broadcasts         uint64
+	fanoutFrames       uint64
 	slowKicks          uint64
 	protoErrors        uint64
 	snapResyncs        uint64
@@ -296,6 +313,10 @@ func (h *Host) Close() error {
 	for s := range h.sessions {
 		h.killLocked(s, "server shutting down", false)
 	}
+	if h.snapFrame != nil {
+		h.snapFrame.release()
+		h.snapFrame = nil
+	}
 	df := h.df
 	h.mu.Unlock()
 	if df == nil {
@@ -325,7 +346,7 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 	if cs.seeded {
 		if g.clientSeq <= cs.lastSeq {
 			if r, ok := cs.acks[g.clientSeq]; ok {
-				h.enqueueLocked(s, encodeAck(g.clientSeq, r.n, r.hi))
+				h.enqueueLineLocked(s, encodeAck(g.clientSeq, r.n, r.hi))
 				return
 			}
 			h.failLocked(s, "duplicate op older than the dedup window")
@@ -378,8 +399,18 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 		growth += recGrowth(rec)
 	}
 	if h.encUpper+growth > h.opts.MaxSnapshotBytes {
-		if b, err := persist.EncodeDocument(h.doc); err == nil {
-			h.encUpper = len(b)
+		// The over-estimate says the limit is at risk; fall back to the
+		// exact size, re-encoding only if the seq has moved since the last
+		// exact measurement (the document cannot change without a commit
+		// bumping the seq, so a run of rejected borderline groups costs
+		// one encode, not one each).
+		if !h.exactOK || h.exactSeq != h.seq {
+			if b, err := persist.EncodeDocument(h.doc); err == nil {
+				h.exactOK, h.exactSeq, h.exactSize = true, h.seq, len(b)
+			}
+		}
+		if h.exactOK && h.exactSeq == h.seq {
+			h.encUpper = h.exactSize
 		}
 		if h.encUpper+growth > h.opts.MaxSnapshotBytes {
 			h.failLocked(s, fmt.Sprintf("document full: commit would exceed the %d-byte snapshot limit", h.opts.MaxSnapshotBytes))
@@ -387,14 +418,21 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 		}
 	}
 
-	// Apply, journal, broadcast — one op at a time, in commit order.
+	// Apply, journal, and coalesce the whole group into one outbound wire
+	// buffer. The originator is excluded from its own ops' fan-out (it
+	// learns of them via the ack), so the shared frame's audience is the
+	// same for every op in the group — one encode, one queue slot, one
+	// socket write per receiving session, however many ops committed.
+	var fan *frameBuf
 	n := 0
 	for _, rec := range recs {
 		if err := h.doc.ApplyRecord(rec); err != nil {
 			// The transform guarantees applicability for honest clients; a
 			// record that still fails is hostile or corrupt. Everything
-			// already applied is committed — ack it before killing.
-			h.finishAckLocked(s, cs, g.clientSeq, n)
+			// already applied is committed — fan it out and ack it before
+			// killing the session.
+			h.flushFanLocked(s, fan, n)
+			h.sendAckLocked(s, cs, g.clientSeq, n, h.seq)
 			h.failLocked(s, fmt.Sprintf("inapplicable op after rebase: %v", err))
 			return
 		}
@@ -411,20 +449,16 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 				h.journalErrors++
 			}
 		}
-		frame := encodeCommitted(h.seq, s.clientID, g.clientSeq, wire)
-		for other := range h.sessions {
-			if other == s {
-				continue
-			}
-			h.enqueueLocked(other, frame)
-			h.broadcasts++
+		if fan == nil {
+			fan = getFrame()
 		}
+		h.appendCommittedLocked(fan, h.seq, s.clientID, g.clientSeq, wire)
 	}
 	h.opsApplied += uint64(n)
 	if n == 0 {
 		h.opsTransformedAway++
 	}
-	h.finishAckLocked(s, cs, g.clientSeq, n)
+	hi := h.seq // the ack's hi: the group's ops, not the checkpoint below
 
 	// Style-run growth is state-dependent (text typed strictly inside a
 	// run joins it), so two replicas that applied the same ops in
@@ -434,10 +468,64 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 	// touched styled text it republishes its complete run list as a
 	// committed op of its own. Style records are wholesale last-writer-
 	// wins, so the checkpoint lands last on every replica and pins the
-	// runs to the server's exactly.
+	// runs to the server's exactly. It rides the group's fan frame for the
+	// other sessions and follows the ack in the originator's frame, where
+	// it arrives as the eagerly-applied foreign op at hi+1.
+	ckWire := ""
+	var ckSeq uint64
 	if n > 0 && (hadRuns || len(h.doc.Runs()) > 0) {
-		h.commitStyleCheckpointLocked()
+		ckSeq, ckWire = h.commitStyleCheckpointLocked()
+		if fan == nil {
+			fan = getFrame()
+		}
+		h.appendCommittedLocked(fan, ckSeq, hostOrigin, 0, ckWire)
 	}
+	h.flushFanLocked(s, fan, n+btoi(ckWire != ""))
+
+	af := getFrame()
+	h.appendAckLocked(af, g.clientSeq, n, hi)
+	if ckWire != "" {
+		h.appendCommittedLocked(af, ckSeq, hostOrigin, 0, ckWire)
+		h.broadcasts++
+	}
+	h.recordAckLocked(cs, g.clientSeq, n, hi)
+	h.enqueueDataLocked(s, af, time.Now())
+	af.release()
+
+	// Any commit invalidates the cached snapshot; drop it now rather than
+	// pinning a stale document encoding until the next join.
+	if h.snapFrame != nil && h.snapSeq != h.seq {
+		h.snapFrame.release()
+		h.snapFrame = nil
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// flushFanLocked enqueues the group's shared wire buffer to every
+// session except the originator and drops the
+// creator's reference. nops is how many committed ops the buffer carries
+// (for the Broadcasts counter, which predates coalescing and counts
+// op-deliveries, not frames).
+func (h *Host) flushFanLocked(origin *session, fan *frameBuf, nops int) {
+	if fan == nil {
+		return
+	}
+	now := time.Now()
+	for other := range h.sessions {
+		if other == origin {
+			continue
+		}
+		h.enqueueDataLocked(other, fan, now)
+		h.broadcasts += uint64(nops)
+	}
+	h.fanoutFrames++
+	fan.release()
 }
 
 // recGrowth over-estimates how many bytes applying rec can add to the
@@ -461,11 +549,12 @@ func recGrowth(rec text.EditRecord) int {
 }
 
 // commitStyleCheckpointLocked commits the host's current run list as an
-// op of its own, fanned to every session (originator included).
-func (h *Host) commitStyleCheckpointLocked() {
+// op of its own and returns it for the caller to fan out (it must reach
+// every session, originator included).
+func (h *Host) commitStyleCheckpointLocked() (seq uint64, wire string) {
 	rec := text.EditRecord{Kind: text.RecStyle, Runs: append([]text.Run(nil), h.doc.Runs()...)}
 	h.seq++
-	wire := text.EncodeRecord(rec)
+	wire = text.EncodeRecord(rec)
 	h.hist = append(h.hist, committedOp{seq: h.seq, clientID: hostOrigin, wire: wire})
 	if over := len(h.hist) - h.opts.HistoryLimit; over > 0 {
 		h.hist = h.hist[over:]
@@ -475,25 +564,31 @@ func (h *Host) commitStyleCheckpointLocked() {
 			h.journalErrors++
 		}
 	}
-	frame := encodeCommitted(h.seq, hostOrigin, 0, wire)
-	for sess := range h.sessions {
-		h.enqueueLocked(sess, frame)
-		h.broadcasts++
-	}
 	h.styleCheckpoints++
+	return h.seq, wire
 }
 
-// finishAckLocked records and sends the ack for a committed group.
-func (h *Host) finishAckLocked(s *session, cs *clientState, clientSeq uint64, n int) {
+// recordAckLocked retains the ack for a committed group so a re-send
+// after a lost ack is answered from memory.
+func (h *Host) recordAckLocked(cs *clientState, clientSeq uint64, n int, hi uint64) {
 	cs.seeded = true
 	cs.lastSeq = clientSeq
-	cs.acks[clientSeq] = ackRange{n: n, hi: h.seq}
+	cs.acks[clientSeq] = ackRange{n: n, hi: hi}
 	for k := range cs.acks {
 		if k+ackRetain < clientSeq {
 			delete(cs.acks, k)
 		}
 	}
-	h.enqueueLocked(s, encodeAck(clientSeq, n, h.seq))
+}
+
+// sendAckLocked records and sends the ack for a committed group (the
+// error path; the happy path coalesces the ack with the style checkpoint).
+func (h *Host) sendAckLocked(s *session, cs *clientState, clientSeq uint64, n int, hi uint64) {
+	h.recordAckLocked(cs, clientSeq, n, hi)
+	fb := getFrame()
+	h.appendAckLocked(fb, clientSeq, n, hi)
+	h.enqueueDataLocked(s, fb, time.Now())
+	fb.release()
 }
 
 // bridgeLocked collects the committed ops with seq > baseSeq, decoded, for
@@ -539,8 +634,12 @@ type Stats struct {
 	OpsApplied uint64
 	// OpsTransformedAway counts client groups that rebased to nothing.
 	OpsTransformedAway uint64
-	// Broadcasts counts op frames enqueued for fan-out.
+	// Broadcasts counts op deliveries enqueued for fan-out (one per
+	// committed op per receiving session).
 	Broadcasts uint64
+	// FanoutFrames counts the coalesced wire buffers those deliveries
+	// rode in — Broadcasts/FanoutFrames is the coalescing ratio.
+	FanoutFrames uint64
 	// SlowConsumerKicks counts sessions disconnected because their
 	// outbound queue overflowed or a write timed out.
 	SlowConsumerKicks uint64
@@ -572,6 +671,7 @@ func (h *Host) Stats() Stats {
 		OpsApplied:         h.opsApplied,
 		OpsTransformedAway: h.opsTransformedAway,
 		Broadcasts:         h.broadcasts,
+		FanoutFrames:       h.fanoutFrames,
 		SlowConsumerKicks:  h.slowKicks,
 		ProtocolErrors:     h.protoErrors,
 		SnapResyncs:        h.snapResyncs,

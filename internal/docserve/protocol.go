@@ -126,6 +126,71 @@ func readPhysicalLine(r *bufio.Reader) (string, error) {
 	}
 }
 
+// frameReader reads logical lines like readFrame but amortizes the
+// buffers: the physical-line scratch and the decode scratch live across
+// frames, so a long-lived session reader (server or client) costs one
+// string allocation per frame instead of rebuilding the plumbing each
+// time. readFrame remains the stateless reference form.
+type frameReader struct {
+	br   *bufio.Reader
+	line []byte // physical-line overflow scratch
+	dec  []byte // decoded logical-line scratch
+}
+
+func (fr *frameReader) next() (string, error) {
+	fr.dec = fr.dec[:0]
+	for {
+		line, err := fr.readLine()
+		if err != nil {
+			return "", err
+		}
+		var cont bool
+		fr.dec, cont, err = datastream.DecodeAppend(fr.dec, line)
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", errBadFrame, err)
+		}
+		if len(fr.dec) > MaxFrameBytes {
+			return "", errFrameTooLong
+		}
+		if !cont {
+			return string(fr.dec), nil
+		}
+	}
+}
+
+// readLine reads one newline-terminated physical line under the same
+// bounded-memory rules as readPhysicalLine. The returned slice aliases
+// either the bufio buffer (the common whole-line-in-buffer case — no
+// copy) or fr.line; it is valid until the next readLine call.
+func (fr *frameReader) readLine() ([]byte, error) {
+	chunk, err := fr.br.ReadSlice('\n')
+	if err == nil {
+		if len(chunk)-1 > MaxPhysicalLine {
+			return nil, errFrameTooLong
+		}
+		return chunk[:len(chunk)-1], nil
+	}
+	fr.line = append(fr.line[:0], chunk...)
+	for {
+		switch err {
+		case bufio.ErrBufferFull:
+			if len(fr.line) > MaxPhysicalLine {
+				return nil, errFrameTooLong
+			}
+		case nil:
+			fr.line = fr.line[:len(fr.line)-1]
+			if len(fr.line) > MaxPhysicalLine {
+				return nil, errFrameTooLong
+			}
+			return fr.line, nil
+		default:
+			return nil, err
+		}
+		chunk, err = fr.br.ReadSlice('\n')
+		fr.line = append(fr.line, chunk...)
+	}
+}
+
 // nameOK restricts document and client names to a safe token alphabet so
 // they can sit between spaces on the wire.
 func nameOK(s string) bool {
@@ -282,16 +347,43 @@ type committedMsg struct {
 }
 
 func parseCommitted(frame string) (committedMsg, error) {
-	parts := strings.SplitN(frame, " ", 5)
-	if len(parts) != 5 || parts[0] != "op" {
+	// Manual field walk, no SplitN slice: this parse runs once per
+	// committed op per replica, the single hottest line in a read-mostly
+	// client.
+	rest, ok := strings.CutPrefix(frame, "op ")
+	if !ok {
 		return committedMsg{}, fmt.Errorf("%w: committed op", errBadFrame)
 	}
-	seq, err1 := strconv.ParseUint(parts[1], 10, 64)
-	cseq, err2 := strconv.ParseUint(parts[3], 10, 64)
-	if err1 != nil || err2 != nil || !nameOK(parts[2]) {
-		return committedMsg{}, fmt.Errorf("%w: committed op header", errBadFrame)
+	var m committedMsg
+	for i := 0; i < 3; i++ {
+		sp := strings.IndexByte(rest, ' ')
+		if sp <= 0 {
+			return committedMsg{}, fmt.Errorf("%w: committed op", errBadFrame)
+		}
+		field := rest[:sp]
+		rest = rest[sp+1:]
+		switch i {
+		case 0:
+			seq, err := strconv.ParseUint(field, 10, 64)
+			if err != nil {
+				return committedMsg{}, fmt.Errorf("%w: committed op header", errBadFrame)
+			}
+			m.seq = seq
+		case 1:
+			if !nameOK(field) {
+				return committedMsg{}, fmt.Errorf("%w: committed op header", errBadFrame)
+			}
+			m.clientID = field
+		case 2:
+			cseq, err := strconv.ParseUint(field, 10, 64)
+			if err != nil {
+				return committedMsg{}, fmt.Errorf("%w: committed op header", errBadFrame)
+			}
+			m.clientSeq = cseq
+		}
 	}
-	return committedMsg{seq: seq, clientID: parts[2], clientSeq: cseq, payload: parts[4]}, nil
+	m.payload = rest
+	return m, nil
 }
 
 // fields3 parses "<verb> <a> <b> <c>" with numeric a/b/c.

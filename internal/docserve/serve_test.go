@@ -299,8 +299,10 @@ func TestServeSlowConsumerKicked(t *testing.T) {
 	b := pipeClient(t, srv, "d", "bob", reg)
 
 	// A raw session that says hello and then never reads another byte: its
-	// write loop wedges on the first frame, its queue fills, and the first
-	// broadcast that finds the queue full disconnects it.
+	// write loop wedges on the first flush, its queue fills, and the first
+	// broadcast that finds the data queue at QueueLen disconnects it. The
+	// write loop may absorb a few early frames into its buffered batch
+	// before the flush wedges, so drive several times QueueLen commits.
 	rawC, rawS := net.Pipe()
 	go srv.HandleConn(rawS)
 	bw := bufio.NewWriter(rawC)
@@ -309,7 +311,7 @@ func TestServeSlowConsumerKicked(t *testing.T) {
 	}
 	defer rawC.Close()
 
-	for i := 0; i < 6; i++ {
+	for i := 0; i < 16; i++ {
 		mustInsert(t, a.Doc(), 0, "x")
 		if err := a.Sync(5 * time.Second); err != nil {
 			t.Fatalf("healthy writer blocked by slow consumer at op %d: %v", i, err)

@@ -11,11 +11,14 @@ import (
 
 // Server multiplexes document hosts behind one listener. The accept loop
 // reads each connection's hello, routes it to the named host, and the
-// host's session machinery takes over.
+// host's session machinery takes over. Each host is a shard: it owns its
+// own lock, journal, history window, and sessions, so traffic on one
+// document never contends with another's — the only shared state is this
+// routing map, read-locked on the attach path.
 type Server struct {
 	opts HostOptions
 
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	hosts  map[string]*Host
 	opener func(name string) (*Host, error)
 	lns    []net.Listener
@@ -46,8 +49,8 @@ func (s *Server) SetOpener(fn func(name string) (*Host, error)) {
 
 // Hosts snapshots the currently open hosts.
 func (s *Server) Hosts() []*Host {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]*Host, 0, len(s.hosts))
 	for _, h := range s.hosts {
 		out = append(out, h)
@@ -56,6 +59,18 @@ func (s *Server) Hosts() []*Host {
 }
 
 func (s *Server) host(name string) (*Host, error) {
+	// Fast path: attaches to an already-open document share a read lock,
+	// so a join storm on many documents never serializes here.
+	s.mu.RLock()
+	h, ok := s.hosts[name]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return nil, errors.New("docserve: server closed")
+	}
+	if ok {
+		return h, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

@@ -56,13 +56,38 @@ type Journal struct {
 	BatchEvery int
 	pending    int
 	err        error
+	// wbuf/scratch are reusable append buffers (see appendFrameRecord).
+	wbuf    []byte
+	scratch []byte
 }
 
 // frameRecord renders one record as its on-disk bytes (physical lines,
 // each newline-terminated).
 func frameRecord(seq uint64, payload string) string {
-	body := fmt.Sprintf("%d %08x %s", seq, recordCRC(seq, payload), payload)
-	return strings.Join(datastream.EscapeLines(body), "\n") + "\n"
+	b, _ := appendFrameRecord(nil, nil, seq, payload)
+	return string(b)
+}
+
+// appendFrameRecord appends frameRecord's bytes onto dst, using scratch
+// for the unescaped body; it returns the grown dst and scratch for reuse.
+// The append path runs once per committed op on a replication host, so it
+// reuses the caller's buffers instead of building throwaway strings.
+func appendFrameRecord(dst, scratch []byte, seq uint64, payload string) (out, scratchOut []byte) {
+	// Build the CRC input "<seq> <payload>" first, then open nine bytes
+	// in the middle for the "<crc> " hex field — one buffer, no Sprintf.
+	body := strconv.AppendUint(scratch[:0], seq, 10)
+	body = append(body, ' ')
+	seqLen := len(body)
+	body = append(body, payload...)
+	crc := crc32.ChecksumIEEE(body)
+	body = append(body, "000000000"...)
+	copy(body[seqLen+9:], body[seqLen:len(body)-9])
+	const hexDigits = "0123456789abcdef"
+	for i, shift := 0, 28; shift >= 0; i, shift = i+1, shift-4 {
+		body[seqLen+i] = hexDigits[(crc>>shift)&0xf]
+	}
+	body[seqLen+8] = ' '
+	return datastream.AppendEscapedBytes(dst, body), body
 }
 
 func recordCRC(seq uint64, payload string) uint32 {
@@ -122,7 +147,8 @@ func (j *Journal) Append(rec string) error {
 		return ErrJournalClosed
 	}
 	j.seq++
-	if _, err := j.f.Write([]byte(frameRecord(j.seq, rec))); err != nil {
+	j.wbuf, j.scratch = appendFrameRecord(j.wbuf[:0], j.scratch, j.seq, rec)
+	if _, err := j.f.Write(j.wbuf); err != nil {
 		j.err = fmt.Errorf("persist: journal append: %w", err)
 		return j.err
 	}

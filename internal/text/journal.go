@@ -128,6 +128,39 @@ func (d *Data) ApplyRecord(rec EditRecord) error {
 //	s <start> <end> <style> [<start> <end> <style> ...]
 //	x <reason>
 
+// AppendRecord appends rec's wire form onto dst — EncodeRecord for hot
+// paths that reuse a build buffer (a replica re-encodes every record it
+// sends, once per op group).
+func AppendRecord(dst []byte, rec EditRecord) []byte {
+	switch rec.Kind {
+	case RecInsert:
+		dst = append(dst, "i "...)
+		dst = strconv.AppendInt(dst, int64(rec.Pos), 10)
+		dst = append(dst, ' ')
+		return append(dst, rec.Text...)
+	case RecDelete:
+		dst = append(dst, "d "...)
+		dst = strconv.AppendInt(dst, int64(rec.Pos), 10)
+		dst = append(dst, ' ')
+		return strconv.AppendInt(dst, int64(rec.N), 10)
+	case RecStyle:
+		dst = append(dst, 's')
+		for _, r := range rec.Runs {
+			dst = append(dst, ' ')
+			dst = strconv.AppendInt(dst, int64(r.Start), 10)
+			dst = append(dst, ' ')
+			dst = strconv.AppendInt(dst, int64(r.End), 10)
+			dst = append(dst, ' ')
+			dst = append(dst, r.Style...)
+		}
+		return dst
+	case RecReset:
+		return append(append(dst, "x "...), rec.Text...)
+	default:
+		return append(dst, "x unknown record kind"...)
+	}
+}
+
 // EncodeRecord renders rec as its wire form.
 func EncodeRecord(rec EditRecord) string {
 	switch rec.Kind {
@@ -159,15 +192,20 @@ func DecodeRecord(s string) (EditRecord, error) {
 	}
 	switch s[0] {
 	case 'i':
-		parts := strings.SplitN(s, " ", 3)
-		if len(parts) < 3 {
+		// Manual parse, no SplitN slice: inserts dominate replication
+		// streams, where this runs once per committed op per replica.
+		if len(s) < 2 || s[1] != ' ' {
 			return bad("want 'i <pos> <text>'")
 		}
-		pos, err := strconv.Atoi(parts[1])
-		if err != nil || pos < 0 {
-			return bad("bad position %q", parts[1])
+		sp := strings.IndexByte(s[2:], ' ')
+		if sp < 0 {
+			return bad("want 'i <pos> <text>'")
 		}
-		return EditRecord{Kind: RecInsert, Pos: pos, Text: parts[2]}, nil
+		pos, err := strconv.Atoi(s[2 : 2+sp])
+		if err != nil || pos < 0 {
+			return bad("bad position %q", s[2:2+sp])
+		}
+		return EditRecord{Kind: RecInsert, Pos: pos, Text: s[2+sp+1:]}, nil
 	case 'd':
 		parts := strings.Fields(s)
 		if len(parts) != 3 {

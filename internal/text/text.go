@@ -151,7 +151,20 @@ func (d *Data) Insert(pos int, s string) error {
 	if strings.ContainsRune(s, AnchorRune) {
 		return fmt.Errorf("text: cannot insert anchor rune directly")
 	}
-	return d.insertRunes(pos, []rune(s), "insert")
+	if pos < 0 || pos > d.length {
+		return fmt.Errorf("%w: insert at %d of %d", ErrRange, pos, d.length)
+	}
+	if s == "" {
+		return nil
+	}
+	// Decode straight into the add buffer: replication and journal replay
+	// insert thousands of small strings, and a throwaway []rune(s) per
+	// call is measurable garbage on that path.
+	off := len(d.add)
+	for _, r := range s {
+		d.add = append(d.add, r)
+	}
+	return d.insertPlaced(pos, off, s, "insert")
 }
 
 func (d *Data) insertRunes(pos int, rs []rune, kind string) error {
@@ -161,26 +174,35 @@ func (d *Data) insertRunes(pos int, rs []rune, kind string) error {
 	if len(rs) == 0 {
 		return nil
 	}
-	d.record(editOp{kind: opInsert, pos: pos, text: string(rs)})
 	off := len(d.add)
 	d.add = append(d.add, rs...)
-	np := piece{srcAdd, off, len(rs)}
+	return d.insertPlaced(pos, off, string(rs), kind)
+}
 
-	d.pieces = d.spliceIn(pos, np)
-	d.length += len(rs)
+// insertPlaced finishes an insert whose runes already sit in the add
+// buffer at [off, len(d.add)): splice, indexes, undo, journal, notify.
+// s is the same content as a string (callers usually have it for free).
+func (d *Data) insertPlaced(pos, off int, s, kind string) error {
+	rs := d.add[off:len(d.add):len(d.add)]
+	n := len(rs)
+	if !d.inUndo && !d.noUndo {
+		d.record(editOp{kind: opInsert, pos: pos, text: s})
+	}
+	d.spliceIn(pos, piece{srcAdd, off, n})
+	d.length += n
 	d.bump()
 	d.noteInsert(pos, rs)
-	d.shiftForInsert(pos, len(rs))
+	d.shiftForInsert(pos, n)
 	if d.editLog != nil {
 		// An insert carrying anchor runes (Embed, redo of a deletion that
 		// had embeds) drags live objects the journal cannot serialize.
 		if hasAnchor(rs) {
 			d.logEdit(EditRecord{Kind: RecReset, Text: "embedded component"})
 		} else {
-			d.logEdit(EditRecord{Kind: RecInsert, Pos: pos, Text: string(rs)})
+			d.logEdit(EditRecord{Kind: RecInsert, Pos: pos, Text: s})
 		}
 	}
-	d.NotifyObservers(core.Change{Kind: kind, Pos: pos, Length: len(rs)})
+	d.NotifyObservers(core.Change{Kind: kind, Pos: pos, Length: n})
 	return nil
 }
 
@@ -193,32 +215,116 @@ func hasAnchor(rs []rune) bool {
 	return false
 }
 
-// spliceIn returns the piece list with np inserted at rune position pos.
-func (d *Data) spliceIn(pos int, np piece) []piece {
-	out := make([]piece, 0, len(d.pieces)+2)
-	placed := false
+// spliceIn splices np into the piece list at rune position pos, in place.
+// Sequential edits stay O(1) amortized: a piece that lands right after an
+// add-buffer piece it is contiguous with merges into it (typing, journal
+// replay, and replication fan-out all produce such runs), and the general
+// case shifts the tail within the existing backing array instead of
+// reallocating the whole list per edit.
+func (d *Data) spliceIn(pos int, np piece) {
+	ps := d.pieces
+	if pos == d.length { // append at the end
+		if k := len(ps); k > 0 {
+			if p := &ps[k-1]; p.src == srcAdd && p.off+p.n == np.off {
+				p.n += np.n
+				return
+			}
+		}
+		d.pieces = append(ps, np)
+		return
+	}
 	cur := 0
-	for _, p := range d.pieces {
-		if !placed && pos <= cur {
-			out = append(out, np)
-			placed = true
+	for i := range ps {
+		p := ps[i]
+		if pos == cur {
+			// Piece boundary: merge into the preceding add piece when
+			// contiguous, else open one slot at i.
+			if i > 0 {
+				if prev := &ps[i-1]; prev.src == srcAdd && prev.off+prev.n == np.off {
+					prev.n += np.n
+					return
+				}
+			}
+			d.insertPieces(i, np, piece{}, 1)
+			return
 		}
-		if !placed && pos < cur+p.n {
-			// Split p.
-			left := piece{p.src, p.off, pos - cur}
+		if pos < cur+p.n {
+			// Split p: the left part stays at i, np and the right part
+			// take two fresh slots after it.
+			ps[i] = piece{p.src, p.off, pos - cur}
 			right := piece{p.src, p.off + (pos - cur), p.n - (pos - cur)}
-			out = append(out, left, np, right)
-			placed = true
-			cur += p.n
-			continue
+			d.insertPieces(i+1, np, right, 2)
+			return
 		}
-		out = append(out, p)
 		cur += p.n
 	}
-	if !placed {
-		out = append(out, np)
+	d.pieces = append(ps, np) // unreachable (pos == length handled), kept safe
+}
+
+// insertPieces opens k (1 or 2) slots at index i, filling them with a
+// (and b when k == 2), reusing the backing array when capacity allows.
+func (d *Data) insertPieces(i int, a, b piece, k int) {
+	ps := d.pieces
+	if len(ps)+k <= cap(ps) {
+		ps = ps[:len(ps)+k]
+		copy(ps[i+k:], ps[i:])
+	} else {
+		grown := make([]piece, len(ps)+k, (len(ps)+k)*3/2+4)
+		copy(grown, ps[:i])
+		copy(grown[i+k:], ps[i:])
+		ps = grown
 	}
-	return out
+	ps[i] = a
+	if k == 2 {
+		ps[i+1] = b
+	}
+	d.pieces = ps
+}
+
+// spliceOut removes the rune range [pos, pos+n), n > 0, from the piece
+// list in place. At most one piece splits (a deletion strictly inside
+// it); every other shape shrinks the list or keeps its length.
+func (d *Data) spliceOut(pos, n int) {
+	ps := d.pieces
+	end := pos + n
+	cur := 0
+	i0 := 0
+	for ; i0 < len(ps); i0++ {
+		if cur+ps[i0].n > pos {
+			break
+		}
+		cur += ps[i0].n
+	}
+	var repl [2]piece
+	k := 0
+	if cur < pos { // left remainder of the first affected piece
+		p := ps[i0]
+		repl[k] = piece{p.src, p.off, pos - cur}
+		k++
+	}
+	i1 := i0
+	for i1 < len(ps) && cur+ps[i1].n <= end {
+		cur += ps[i1].n
+		i1++
+	}
+	if i1 < len(ps) && cur < end { // right remainder of the piece spanning end
+		p := ps[i1]
+		cut := end - cur
+		repl[k] = piece{p.src, p.off + cut, p.n - cut}
+		k++
+		i1++
+	}
+	removed := i1 - i0
+	if k <= removed {
+		copy(ps[i0:], repl[:k])
+		copy(ps[i0+k:], ps[i1:])
+		clear(ps[len(ps)-removed+k:])
+		d.pieces = ps[:len(ps)-removed+k]
+		return
+	}
+	// k == 2, removed == 1: the deletion split one piece in two.
+	ps[i0] = repl[0]
+	d.insertPieces(i0+1, repl[1], piece{}, 1)
 }
 
 // Delete removes [pos, pos+n). Embedded components inside the range are
@@ -230,7 +336,10 @@ func (d *Data) Delete(pos, n int) error {
 	if n == 0 {
 		return nil
 	}
-	if !d.inUndo {
+	if !d.inUndo && !d.noUndo {
+		// Capturing the deleted text (d.Slice) is itself an allocation;
+		// skip the whole capture when journaling is off, not just the
+		// record() call — replication replay runs with undo suspended.
 		op := editOp{kind: opDelete, pos: pos, text: d.Slice(pos, pos+n)}
 		for _, e := range d.embeds {
 			if e.Pos >= pos && e.Pos < pos+n {
@@ -239,25 +348,7 @@ func (d *Data) Delete(pos, n int) error {
 		}
 		d.record(op)
 	}
-	out := make([]piece, 0, len(d.pieces)+1)
-	cur := 0
-	end := pos + n
-	for _, p := range d.pieces {
-		pEnd := cur + p.n
-		switch {
-		case pEnd <= pos || cur >= end: // untouched
-			out = append(out, p)
-		default:
-			if cur < pos { // left remainder
-				out = append(out, piece{p.src, p.off, pos - cur})
-			}
-			if pEnd > end { // right remainder
-				out = append(out, piece{p.src, p.off + (end - cur), pEnd - end})
-			}
-		}
-		cur = pEnd
-	}
-	d.pieces = out
+	d.spliceOut(pos, n)
 	d.length -= n
 	d.bump()
 	d.noteDelete(pos, n)

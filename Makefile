@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify fuzz generate bench bench-docserve
+.PHONY: all build test verify fuzz generate bench bench-docserve slo
 
 all: build
 
@@ -23,6 +23,7 @@ verify:
 	$(GO) test -fuzz=FuzzRepaint -fuzztime=10s .
 	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/persist
 	$(GO) test -fuzz=FuzzServerProtocol -fuzztime=10s ./internal/docserve
+	$(GO) run ./cmd/slogate -bench BENCH_text.json -bench BENCH_docserve.json
 
 # fuzz runs all fuzz targets for longer; extend FUZZTIME for real runs.
 FUZZTIME ?= 30s
@@ -51,3 +52,16 @@ bench-docserve:
 	$(GO) test -run=NONE -bench=DocServe -benchtime=3s -benchmem ./internal/docserve | \
 		$(GO) run ./cmd/benchjson -out BENCH_docserve.json -filter DocServe \
 		-cmd "go test -run=NONE -bench=DocServe -benchtime=3s -benchmem ./internal/docserve"
+
+# slo runs the fault-scenario suite (internal/slo) SLO_RERUNS times per
+# scenario against a live in-process docserve server — slow consumers,
+# injected connect/read latency, mid-stream partitions, journal
+# write/fsync faults, hostile floods — writes per-run JSONL samples and
+# summaries under slo_artifacts/, then gates: hard assertions
+# (convergence, liveness, fault-armed proof) fail on any violating
+# rerun; soft latency SLOs fail only when the regression exceeds
+# cross-rerun noise (>= 3 reruns for a variance allowance).
+SLO_RERUNS ?= 3
+slo:
+	$(GO) run ./cmd/slogate -run -reruns $(SLO_RERUNS) -artifacts slo_artifacts \
+		-bench BENCH_text.json -bench BENCH_docserve.json

@@ -6,7 +6,12 @@
 // indexed line lookup versus the rune-walk baseline, and viewport-lazy
 // relayout versus full relayout.
 //
-//	go test -bench=. -benchmem . | go run ./cmd/benchjson -out BENCH_text.json -filter E9TextIndexing
+// Repeated occurrences of the same benchmark name (go test -count=N)
+// are merged into one entry carrying the mean, the rerun count, and the
+// cross-rerun sample stddev of ns/op and each custom metric — the
+// variance cmd/slogate's gates use to tell a regression from noise.
+//
+//	go test -bench=. -benchmem -count=3 . | go run ./cmd/benchjson -out BENCH_text.json -filter E9TextIndexing
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -29,6 +35,13 @@ type entry struct {
 	// Extra holds custom b.ReportMetric units the fixed fields above do
 	// not cover (e.g. commits/s, p99-lag-ns from the docserve fan-out).
 	Extra map[string]float64 `json:"extra,omitempty"`
+	// Reruns > 1 marks a merged entry (go test -count=N): the values
+	// above are cross-rerun means and the stddev fields below carry the
+	// sample standard deviation so gates can compare regressions to
+	// noise.
+	Reruns        int                `json:"reruns,omitempty"`
+	NsPerOpStddev float64            `json:"ns_per_op_stddev,omitempty"`
+	ExtraStddev   map[string]float64 `json:"extra_stddev,omitempty"`
 }
 
 type report struct {
@@ -48,6 +61,92 @@ var speedupPairs = map[string][2]string{
 	"relayout_100k_lines":   {"RelayoutFull100k", "RelayoutViewport100k"},
 }
 
+// collector accumulates parsed benchmark lines, merging reruns of the
+// same name while preserving first-seen order.
+type collector struct {
+	order []string
+	runs  map[string][]entry
+}
+
+func newCollector() *collector {
+	return &collector{runs: map[string][]entry{}}
+}
+
+func (c *collector) add(e entry) {
+	if _, seen := c.runs[e.Name]; !seen {
+		c.order = append(c.order, e.Name)
+	}
+	c.runs[e.Name] = append(c.runs[e.Name], e)
+}
+
+// finalize merges each name's reruns into one entry: means for every
+// value, rerun count, and sample stddev for ns/op and the custom
+// metrics. Single-run entries pass through untouched (no rerun fields).
+func (c *collector) finalize() []entry {
+	out := make([]entry, 0, len(c.order))
+	for _, name := range c.order {
+		runs := c.runs[name]
+		if len(runs) == 1 {
+			out = append(out, runs[0])
+			continue
+		}
+		m := entry{Name: name, Reruns: len(runs)}
+		var ns []float64
+		extras := map[string][]float64{}
+		for _, e := range runs {
+			m.Iterations += e.Iterations
+			m.MBPerSec += e.MBPerSec
+			m.BytesPerOp += e.BytesPerOp
+			m.AllocsPerOp += e.AllocsPerOp
+			ns = append(ns, e.NsPerOp)
+			for k, v := range e.Extra {
+				extras[k] = append(extras[k], v)
+			}
+		}
+		n := int64(len(runs))
+		m.Iterations /= n
+		m.MBPerSec /= float64(n)
+		m.BytesPerOp /= n
+		m.AllocsPerOp /= n
+		m.NsPerOp, m.NsPerOpStddev = meanStddev(ns)
+		for k, vs := range extras {
+			mean, sd := meanStddev(vs)
+			if m.Extra == nil {
+				m.Extra = map[string]float64{}
+			}
+			m.Extra[k] = mean
+			if sd > 0 {
+				if m.ExtraStddev == nil {
+					m.ExtraStddev = map[string]float64{}
+				}
+				m.ExtraStddev[k] = sd
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// meanStddev returns the mean and sample standard deviation of vs.
+func meanStddev(vs []float64) (mean, stddev float64) {
+	if len(vs) == 0 {
+		return 0, 0
+	}
+	for _, v := range vs {
+		mean += v
+	}
+	mean /= float64(len(vs))
+	if len(vs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, v := range vs {
+		d := v - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(vs)-1))
+}
+
 func main() {
 	out := flag.String("out", "BENCH_text.json", "JSON output path")
 	filter := flag.String("filter", "", "only record benchmarks whose name contains this substring")
@@ -55,6 +154,7 @@ func main() {
 	flag.Parse()
 
 	rep := report{Command: *cmd}
+	col := newCollector()
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -69,7 +169,7 @@ func main() {
 			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		}
 		if e, ok := parseBench(line); ok && strings.Contains(e.Name, *filter) {
-			rep.Benchmarks = append(rep.Benchmarks, e)
+			col.add(e)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -77,6 +177,7 @@ func main() {
 		os.Exit(1)
 	}
 
+	rep.Benchmarks = col.finalize()
 	rep.Speedups = deriveSpeedups(rep.Benchmarks)
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

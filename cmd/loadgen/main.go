@@ -13,30 +13,27 @@
 // default), and a final "summary" object closes the stream — JSONL, ready
 // for a plotting pipeline or a jq one-liner.
 //
+// The engine lives in internal/slo/driver, shared with the SLO
+// fault-scenario harness (cmd/slogate); loadgen is the open-ended CLI
+// face of it.
+//
 // Usage:
 //
 //	loadgen -connect tcp:host:port -doc shared.d \
 //	    [-writers 2] [-readers 8] [-churners 1] \
-//	    [-duration 30s] [-rate 0] [-sample 1s] [-out samples.jsonl]
+//	    [-duration 30s] [-rate 0] [-sample 1s] [-seed 0] [-out samples.jsonl]
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"os"
-	"sort"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"atk/internal/class"
 	"atk/internal/docserve"
-	"atk/internal/text"
+	"atk/internal/slo/driver"
 )
 
 func main() {
@@ -48,6 +45,7 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "how long to run")
 	rate := flag.Float64("rate", 0, "per-writer ops/second cap (0 = as fast as acks allow)")
 	sample := flag.Duration("sample", time.Second, "JSONL sample interval")
+	seed := flag.Int64("seed", 0, "deterministic writer edit streams (0 = seed from the clock)")
 	out := flag.String("out", "-", "JSONL output path (- = stdout)")
 	flag.Parse()
 	if *doc == "" {
@@ -65,313 +63,31 @@ func main() {
 		w = f
 	}
 	mix := Mix{Writers: *writers, Readers: *readers, Churners: *churners, Rate: *rate}
-	if err := run(*connect, *doc, mix, *duration, *sample, w, os.Stderr); err != nil {
+	if err := runSeeded(*connect, *doc, mix, *duration, *sample, *seed, w, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
 // Mix is the session mix one run drives.
-type Mix struct {
-	Writers  int
-	Readers  int
-	Churners int
-	// Rate caps each writer's ops/second; 0 means ack-limited.
-	Rate float64
-}
-
-// dialSpec dials "tcp:host:port" or "unix:/path".
-func dialSpec(spec string) (net.Conn, error) {
-	proto, addr, ok := strings.Cut(spec, ":")
-	if !ok {
-		return nil, fmt.Errorf("bad connect spec %q (want tcp:host:port or unix:/path)", spec)
-	}
-	switch proto {
-	case "tcp", "unix":
-		return net.Dial(proto, addr)
-	default:
-		return nil, fmt.Errorf("unsupported connect protocol %q", proto)
-	}
-}
-
-// lat collects latency observations for windowed percentile reporting.
-type lat struct {
-	mu  sync.Mutex
-	obs []time.Duration
-}
-
-func (l *lat) add(d time.Duration) {
-	l.mu.Lock()
-	l.obs = append(l.obs, d)
-	l.mu.Unlock()
-}
-
-// take drains the current window.
-func (l *lat) take() []time.Duration {
-	l.mu.Lock()
-	obs := l.obs
-	l.obs = nil
-	l.mu.Unlock()
-	return obs
-}
-
-// pctUS returns the p-th percentile of obs in microseconds, 0 if empty.
-func pctUS(obs []time.Duration, p int) int64 {
-	if len(obs) == 0 {
-		return 0
-	}
-	sort.Slice(obs, func(i, j int) bool { return obs[i] < obs[j] })
-	return obs[len(obs)*p/100].Microseconds()
-}
-
-// sampleRec is one JSONL output line.
-type sampleRec struct {
-	Kind       string  `json:"kind"` // "sample" or "summary"
-	ElapsedSec float64 `json:"elapsed_sec"`
-	// Cumulative counters.
-	Commits    uint64 `json:"commits"`
-	Deliveries uint64 `json:"deliveries"`
-	Attaches   uint64 `json:"attaches"`
-	Errors     uint64 `json:"errors"`
-	// Window (since the previous sample) latency percentiles, µs.
-	CommitP50us int64 `json:"commit_p50_us"`
-	CommitP99us int64 `json:"commit_p99_us"`
-	AttachP50us int64 `json:"attach_p50_us"`
-	AttachP99us int64 `json:"attach_p99_us"`
-}
+type Mix = driver.Mix
 
 // run drives the mix against the served document for the given duration,
 // writing one JSON sample line per interval to out and a final summary.
 // Logw gets human-readable progress; tests pass a buffer for both.
 func run(connect, doc string, mix Mix, duration, sampleEvery time.Duration,
 	out io.Writer, logw io.Writer) error {
+	return runSeeded(connect, doc, mix, duration, sampleEvery, 0, out, logw)
+}
 
-	if mix.Writers <= 0 && mix.Readers <= 0 && mix.Churners <= 0 {
-		return fmt.Errorf("empty mix: no writers, readers, or churners")
-	}
-	newReg := func() (*class.Registry, error) {
-		reg := class.NewRegistry()
-		if err := text.Register(reg); err != nil {
-			return nil, err
-		}
-		return reg, nil
-	}
-	dial := func(id string) (*docserve.Client, error) {
-		reg, err := newReg()
-		if err != nil {
-			return nil, err
-		}
-		conn, err := dialSpec(connect)
-		if err != nil {
-			return nil, err
-		}
-		c, err := docserve.Connect(conn, doc, docserve.ClientOptions{ClientID: id, Registry: reg})
-		if err != nil {
-			conn.Close()
-			return nil, err
-		}
-		return c, nil
-	}
-
-	// Fail fast on an unreachable server or unknown document before
-	// spawning the fleet.
-	probe, err := dial("loadgen-probe")
-	if err != nil {
-		return err
-	}
-	_ = probe.Close()
-
-	var (
-		commits    atomic.Uint64
-		deliveries atomic.Uint64
-		attaches   atomic.Uint64
-		errCount   atomic.Uint64
-		commitLat  lat
-		attachLat  lat
-	)
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	noteErr := func(who string, err error) {
-		errCount.Add(1)
-		select {
-		case <-stop: // shutdown races are not errors worth logging
-		default:
-			fmt.Fprintf(logw, "loadgen: %s: %v\n", who, err)
-		}
-	}
-
-	for i := 0; i < mix.Writers; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			id := fmt.Sprintf("lg-w%d", i)
-			c, err := dial(id)
-			if err != nil {
-				noteErr(id, err)
-				return
-			}
-			defer c.Close()
-			rng := rand.New(rand.NewSource(time.Now().UnixNano() + int64(i)))
-			var tick <-chan time.Time
-			if mix.Rate > 0 {
-				t := time.NewTicker(time.Duration(float64(time.Second) / mix.Rate))
-				defer t.Stop()
-				tick = t.C
-			}
-			words := []string{"load ", "gen ", "x", "line\n", "ω€"}
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				if tick != nil {
-					select {
-					case <-tick:
-					case <-stop:
-						return
-					}
-				}
-				d := c.Doc()
-				start := time.Now()
-				var eerr error
-				if n := d.Len(); n > 4096 && rng.Intn(2) == 0 {
-					// Keep the document from growing without bound.
-					eerr = d.Delete(rng.Intn(n-64), 64)
-				} else {
-					eerr = d.Insert(rng.Intn(n+1), words[rng.Intn(len(words))])
-				}
-				if eerr == nil {
-					eerr = c.Sync(10 * time.Second)
-				}
-				if eerr != nil {
-					noteErr(id, eerr)
-					return
-				}
-				commitLat.add(time.Since(start))
-				commits.Add(1)
-			}
-		}(i)
-	}
-
-	for i := 0; i < mix.Readers; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			id := fmt.Sprintf("lg-r%d", i)
-			reg, err := newReg()
-			if err != nil {
-				noteErr(id, err)
-				return
-			}
-			conn, err := dialSpec(connect)
-			if err != nil {
-				noteErr(id, err)
-				return
-			}
-			c, err := docserve.Connect(conn, doc, docserve.ClientOptions{
-				ClientID: id, Registry: reg,
-				OnRemoteOp: func(uint64) { deliveries.Add(1) },
-			})
-			if err != nil {
-				conn.Close()
-				noteErr(id, err)
-				return
-			}
-			defer c.Close()
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				if err := c.PumpWait(100 * time.Millisecond); err != nil {
-					noteErr(id, err)
-					return
-				}
-			}
-		}(i)
-	}
-
-	for i := 0; i < mix.Churners; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			for n := 0; ; n++ {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				// A fresh identity every attach exercises the cold snapshot
-				// path the way new joiners do.
-				id := fmt.Sprintf("lg-c%d-%d", i, n)
-				start := time.Now()
-				c, err := dial(id)
-				if err != nil {
-					noteErr(id, err)
-					return
-				}
-				attachLat.add(time.Since(start))
-				attaches.Add(1)
-				_ = c.Close()
-			}
-		}(i)
-	}
-
-	emit := func(kind string, elapsed time.Duration) error {
-		cw, aw := commitLat.take(), attachLat.take()
-		rec := sampleRec{
-			Kind:        kind,
-			ElapsedSec:  elapsed.Seconds(),
-			Commits:     commits.Load(),
-			Deliveries:  deliveries.Load(),
-			Attaches:    attaches.Load(),
-			Errors:      errCount.Load(),
-			CommitP50us: pctUS(cw, 50),
-			CommitP99us: pctUS(cw, 99),
-			AttachP50us: pctUS(aw, 50),
-			AttachP99us: pctUS(aw, 99),
-		}
-		b, err := json.Marshal(rec)
-		if err != nil {
-			return err
-		}
-		_, err = fmt.Fprintf(out, "%s\n", b)
-		return err
-	}
-
-	fmt.Fprintf(logw, "loadgen: driving %s at %s: %d writers, %d readers, %d churners for %s\n",
-		doc, connect, mix.Writers, mix.Readers, mix.Churners, duration)
-	start := time.Now()
-	ticker := time.NewTicker(sampleEvery)
-	defer ticker.Stop()
-	deadline := time.NewTimer(duration)
-	defer deadline.Stop()
-	var emitErr error
-loop:
-	for {
-		select {
-		case <-ticker.C:
-			if emitErr = emit("sample", time.Since(start)); emitErr != nil {
-				break loop
-			}
-		case <-deadline.C:
-			break loop
-		}
-	}
-	close(stop)
-	wg.Wait()
-	if emitErr != nil {
-		return emitErr
-	}
-	if err := emit("summary", time.Since(start)); err != nil {
-		return err
-	}
-	fmt.Fprintf(logw, "loadgen: done: %d commits, %d deliveries, %d attaches, %d errors\n",
-		commits.Load(), deliveries.Load(), attaches.Load(), errCount.Load())
-	if e := errCount.Load(); e > 0 {
-		return fmt.Errorf("%d session errors (see log)", e)
-	}
-	return nil
+func runSeeded(connect, doc string, mix Mix, duration, sampleEvery time.Duration,
+	seed int64, out io.Writer, logw io.Writer) error {
+	return driver.Run(mix, driver.Options{
+		Dial:        func(string) (net.Conn, error) { return docserve.DialSpec(connect) },
+		Doc:         doc,
+		Seed:        seed,
+		SampleEvery: sampleEvery,
+		Out:         out,
+		Log:         logw,
+	}, duration)
 }

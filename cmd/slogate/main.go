@@ -1,0 +1,147 @@
+// Command slogate is the release gate: it evaluates the fault-scenario
+// SLO suite (internal/slo) and the committed benchmark numbers
+// (BENCH_*.json) against their thresholds and exits nonzero when the
+// tree has regressed.
+//
+// Two modes:
+//
+//	slogate -bench BENCH_text.json -bench BENCH_docserve.json
+//	    evaluate only (make verify): re-check existing scenario
+//	    artifacts, if any, plus the bench gates.
+//
+//	slogate -run -reruns 3 -artifacts slo_artifacts -bench ...
+//	    execute every builtin scenario N times first (make slo), then
+//	    evaluate everything.
+//
+// Scenario assertions are rerun-aware: a hard assertion (convergence,
+// liveness, fault-armed proof) fails if any rerun violated it; a soft
+// SLO fails only when the mean violates its threshold by more than the
+// cross-rerun noise (sample stddev, needing at least 3 reruns for an
+// allowance). -gates replaces the builtin bench gates with a JSON list —
+// which is also how the test suite proves a regression actually trips a
+// nonzero exit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"atk/internal/slo"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slogate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	run := fs.Bool("run", false, "execute the builtin scenarios before evaluating")
+	reruns := fs.Int("reruns", 3, "scenario reruns (variance gates need >= 3)")
+	artifacts := fs.String("artifacts", "slo_artifacts", "scenario artifact directory")
+	scale := fs.Float64("scale", 1, "time scale for scenario phases (tests compress)")
+	scenario := fs.String("scenario", "", "only run/evaluate scenarios whose name contains this")
+	gatesPath := fs.String("gates", "", "JSON file of bench gates replacing the builtin set")
+	var benches multiFlag
+	fs.Var(&benches, "bench", "benchjson report to gate on (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *run {
+		for _, sc := range slo.Builtin() {
+			if !strings.Contains(sc.Name, *scenario) {
+				continue
+			}
+			for k := 0; k < *reruns; k++ {
+				if _, err := slo.Run(sc, slo.RunOptions{
+					ArtifactsDir: *artifacts,
+					RunIndex:     k,
+					TimeScale:    *scale,
+					Log:          stderr,
+				}); err != nil {
+					fmt.Fprintf(stderr, "slogate: %s run%d: %v\n", sc.Name, k, err)
+					return 2
+				}
+			}
+		}
+	}
+
+	var results []slo.GateResult
+
+	// Scenario gates, when artifacts exist.
+	if _, err := os.Stat(*artifacts); err == nil {
+		summaries, err := slo.LoadSummaries(*artifacts)
+		if err != nil {
+			fmt.Fprintf(stderr, "slogate: %v\n", err)
+			return 2
+		}
+		if *scenario != "" {
+			for name := range summaries {
+				if !strings.Contains(name, *scenario) {
+					delete(summaries, name)
+				}
+			}
+		}
+		if len(summaries) == 0 {
+			fmt.Fprintf(stderr, "slogate: no scenario summaries under %s\n", *artifacts)
+		}
+		results = append(results, slo.EvaluateScenarioGates(summaries)...)
+	} else {
+		fmt.Fprintf(stderr, "slogate: no scenario artifacts at %s; evaluating bench gates only (make slo generates them)\n", *artifacts)
+	}
+
+	// Bench gates.
+	if len(benches) > 0 {
+		var reports []*slo.BenchReport
+		for _, p := range benches {
+			r, err := slo.LoadBenchReport(p)
+			if err != nil {
+				fmt.Fprintf(stderr, "slogate: %v\n", err)
+				return 2
+			}
+			reports = append(reports, r)
+		}
+		gates := slo.DefaultBenchGates()
+		if *gatesPath != "" {
+			blob, err := os.ReadFile(*gatesPath)
+			if err != nil {
+				fmt.Fprintf(stderr, "slogate: %v\n", err)
+				return 2
+			}
+			gates = nil
+			if err := json.Unmarshal(blob, &gates); err != nil {
+				fmt.Fprintf(stderr, "slogate: %s: %v\n", *gatesPath, err)
+				return 2
+			}
+		}
+		results = append(results, slo.EvaluateBenchGates(gates, reports)...)
+	}
+
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "slogate: nothing to evaluate (no artifacts, no -bench files)")
+		return 2
+	}
+	failed := 0
+	for _, g := range results {
+		fmt.Fprintln(stdout, g.String())
+		if !g.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stdout, "slogate: FAIL: %d/%d gates\n", failed, len(results))
+		return 1
+	}
+	fmt.Fprintf(stdout, "slogate: PASS: %d gates\n", len(results))
+	return 0
+}

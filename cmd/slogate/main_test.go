@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The committed BENCH_*.json files are the gate's real inputs; the tests
+// run against them so a threshold that drifts out of step with the
+// recorded numbers is caught here, not in CI after a merge.
+const (
+	benchText     = "../../BENCH_text.json"
+	benchDocserve = "../../BENCH_docserve.json"
+)
+
+// TestBenchGatesPassOnCommittedNumbers pins the release invariant: the
+// default gates pass on the numbers checked into the tree.
+func TestBenchGatesPassOnCommittedNumbers(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := realMain([]string{
+		"-artifacts", filepath.Join(t.TempDir(), "none"),
+		"-bench", benchText, "-bench", benchDocserve,
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "slogate: PASS") {
+		t.Fatalf("no PASS verdict:\n%s", out.String())
+	}
+}
+
+// TestInjectedRegressionFailsGate is the acceptance check that the gate
+// actually gates: replace the bench gates with one no tree can meet and
+// the exit code must go nonzero.
+func TestInjectedRegressionFailsGate(t *testing.T) {
+	gates := filepath.Join(t.TempDir(), "gates.json")
+	impossible := `[{"name":"impossible_allocs","bench":"DocServeFanout","metric":"allocs_per_op","op":"<=","threshold":1}]`
+	if err := os.WriteFile(gates, []byte(impossible), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	code := realMain([]string{
+		"-artifacts", filepath.Join(t.TempDir(), "none"),
+		"-bench", benchDocserve, "-gates", gates,
+	}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("flipped threshold exited %d, want 1\nstdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL bench/impossible_allocs") {
+		t.Fatalf("missing failure line:\n%s", out.String())
+	}
+}
+
+// TestRunModeProducesAndGatesArtifacts runs one real scenario (time
+// compressed) through the CLI and checks the artifacts are produced,
+// evaluated, and passed.
+func TestRunModeProducesAndGatesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	code := realMain([]string{
+		"-run", "-reruns", "2", "-scale", "0.5",
+		"-scenario", "baseline_load",
+		"-artifacts", dir,
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	for k := 0; k < 2; k++ {
+		p := filepath.Join(dir, "baseline_load", "run"+string(rune('0'+k)), "summary.json")
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("missing artifact: %v", err)
+		}
+	}
+	if !strings.Contains(out.String(), "baseline_load/replicas_converge") {
+		t.Fatalf("scenario gates not evaluated:\n%s", out.String())
+	}
+}
+
+// TestNothingToEvaluateIsAnError pins that an empty invocation cannot
+// masquerade as a passing gate.
+func TestNothingToEvaluateIsAnError(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := realMain([]string{"-artifacts", filepath.Join(t.TempDir(), "none")}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr:\n%s", code, errw.String())
+	}
+}

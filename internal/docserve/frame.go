@@ -47,10 +47,18 @@ func getFrame() *frameBuf {
 func (fb *frameBuf) retain() { fb.refs.Add(1) }
 
 // release drops one reference; the last one returns the buffer to the
-// pool (unless it grew past the pooling cap).
+// pool (unless it grew past the pooling cap). Releasing a buffer that is
+// already at zero references panics: the extra release would let the pool
+// hand the buffer to a new owner while the old one still writes to it —
+// silent cross-session frame corruption — so the bug must be loud.
 func (fb *frameBuf) release() {
-	if fb.refs.Add(-1) == 0 && cap(fb.b) <= maxPooledFrame {
-		framePool.Put(fb)
+	switch n := fb.refs.Add(-1); {
+	case n == 0:
+		if cap(fb.b) <= maxPooledFrame {
+			framePool.Put(fb)
+		}
+	case n < 0:
+		panic("docserve: frameBuf released more times than retained")
 	}
 }
 

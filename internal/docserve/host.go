@@ -695,6 +695,22 @@ func (h *Host) Stats() Stats {
 	return st
 }
 
+// LagWindow returns the fan-out lag accumulated since the previous call
+// (or since the host started) and resets the accumulators, so a caller
+// can measure enqueue-to-write latency per phase of a fault scenario
+// rather than only since boot. The three counters are reset one atomic
+// at a time; a concurrent flush may land between them, which skews a
+// window by at most one frame — fine for statistics.
+func (h *Host) LagWindow() (avg, max time.Duration, count int64) {
+	count = h.lagCount.Swap(0)
+	sum := h.lagSum.Swap(0)
+	max = time.Duration(h.lagMax.Swap(0))
+	if count > 0 {
+		avg = time.Duration(sum / count)
+	}
+	return avg, max, count
+}
+
 func (h *Host) noteLag(d time.Duration) {
 	n := int64(d)
 	h.lagSum.Add(n)

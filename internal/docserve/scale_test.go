@@ -220,6 +220,7 @@ func TestSoakMultiDocument(t *testing.T) {
 		srv.AddHost(hosts[d])
 	}
 
+	seed := testSeed(t, 100)
 	type slot struct {
 		c   *Client
 		err error
@@ -237,7 +238,7 @@ func TestSoakMultiDocument(t *testing.T) {
 					if err := text.Register(reg); err != nil {
 						return err
 					}
-					rng := rand.New(rand.NewSource(int64(100*d + k)))
+					rng := rand.New(rand.NewSource(seed + int64(100*d+k)))
 					cEnd, sEnd := net.Pipe()
 					go srv.HandleConn(sEnd)
 					c, err := Connect(cEnd, fmt.Sprintf("doc%d", d),

@@ -1,0 +1,34 @@
+package docserve
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// testSeed is the single seeding point for every randomized docserve
+// test. Each test passes its historical default seed; the helper honors
+// DOCSERVE_SEED for replay and, when the test fails, logs the seed so a
+// soak flake is reproducible instead of an opaque one-off:
+//
+//	DOCSERVE_SEED=1000 go test -run TestSoakConcurrentSessions ./internal/docserve
+//
+// Per-goroutine RNGs derive from the returned base seed plus a stable
+// offset, so one seed replays the whole fleet.
+func testSeed(t *testing.T, def int64) int64 {
+	t.Helper()
+	seed := def
+	if s := os.Getenv("DOCSERVE_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad DOCSERVE_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("randomized test failed; replay with DOCSERVE_SEED=%d", seed)
+		}
+	})
+	return seed
+}

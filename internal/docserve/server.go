@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,6 +19,13 @@ import (
 // routing map, read-locked on the attach path.
 type Server struct {
 	opts HostOptions
+
+	// rejected counts connections turned away before a session existed:
+	// unreadable or malformed hellos, unknown documents, full hosts. It is
+	// the server-level complement of Host.Stats().ProtocolErrors, which
+	// only sees violations after attach — a hostile-bytes flood lands
+	// here.
+	rejected atomic.Uint64
 
 	mu     sync.RWMutex
 	hosts  map[string]*Host
@@ -119,6 +128,7 @@ func (s *Server) Serve(ln net.Listener) error {
 func (s *Server) HandleConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	reject := func(reason string) {
+		s.rejected.Add(1)
 		bw := bufio.NewWriter(conn)
 		_ = conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		_ = writeFrame(bw, "err "+reason)
@@ -129,6 +139,7 @@ func (s *Server) HandleConn(conn net.Conn) {
 	}
 	frame, err := readFrame(br)
 	if err != nil {
+		s.rejected.Add(1)
 		_ = conn.Close()
 		return
 	}
@@ -148,6 +159,26 @@ func (s *Server) HandleConn(conn net.Conn) {
 		return
 	}
 	sess.serve()
+}
+
+// Rejections returns how many connections the server has turned away at
+// the door (before any session attached).
+func (s *Server) Rejections() uint64 { return s.rejected.Load() }
+
+// DialSpec dials a server address of the form "tcp:host:port" or
+// "unix:/path" — the spec syntax ezserve listens on and loadgen and the
+// SLO harness dial.
+func DialSpec(spec string) (net.Conn, error) {
+	proto, addr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("docserve: bad connect spec %q (want tcp:host:port or unix:/path)", spec)
+	}
+	switch proto {
+	case "tcp", "unix":
+		return net.Dial(proto, addr)
+	default:
+		return nil, fmt.Errorf("docserve: unsupported connect protocol %q", proto)
+	}
 }
 
 // Close stops accepting, disconnects every session, and closes every host

@@ -34,6 +34,7 @@ func TestSoakConcurrentSessions(t *testing.T) {
 	srv := NewServer(HostOptions{})
 	srv.AddHost(h)
 
+	seed := testSeed(t, 1000)
 	clients := make([]*Client, soakClients)
 	errs := make([]error, soakClients)
 	var wg sync.WaitGroup
@@ -41,7 +42,7 @@ func TestSoakConcurrentSessions(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = soakClient(srv, i, &clients[i])
+			errs[i] = soakClient(srv, seed+int64(i), i, &clients[i])
 		}(i)
 	}
 	wg.Wait()
@@ -88,13 +89,14 @@ func TestSoakConcurrentSessions(t *testing.T) {
 // with frequent pumping, and for the first two clients, mid-stream
 // disconnect/reconnect cycles with offline edits in between. The client is
 // left connected and fully synced in *slot for the main goroutine's
-// convergence check (the WaitGroup hands ownership back).
-func soakClient(srv *Server, i int, slot **Client) error {
+// convergence check (the WaitGroup hands ownership back). seed comes from
+// testSeed so a failure names the replayable base seed.
+func soakClient(srv *Server, seed int64, i int, slot **Client) error {
 	reg := class.NewRegistry()
 	if err := text.Register(reg); err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(int64(1000 + i)))
+	rng := rand.New(rand.NewSource(seed))
 	cEnd, sEnd := net.Pipe()
 	go srv.HandleConn(sEnd)
 	c, err := Connect(cEnd, "soak", ClientOptions{ClientID: fmt.Sprintf("soaker-%d", i), Registry: reg})

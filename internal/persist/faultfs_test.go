@@ -1,0 +1,85 @@
+package persist
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestFaultFSRecurringFaults pins the recurring fault modes: with
+// SetRecurring(w, s) armed, every w-th write and every s-th fsync fails,
+// indefinitely, and disarming stops the injection without disturbing the
+// op counters the one-shot modes use.
+func TestFaultFSRecurringFaults(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	f, err := fs.Create("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetRecurring(2, 3)
+
+	var writeFails, syncFails int
+	for i := 1; i <= 6; i++ {
+		if _, err := f.Write([]byte("0123456789")); err != nil {
+			if !errors.Is(err, ErrNoSpace) {
+				t.Fatalf("write %d: %v, want ErrNoSpace", i, err)
+			}
+			writeFails++
+		}
+		if err := f.Sync(); err != nil {
+			if !errors.Is(err, ErrSyncFailed) {
+				t.Fatalf("sync %d: %v, want ErrSyncFailed", i, err)
+			}
+			syncFails++
+		}
+	}
+	if writeFails != 3 {
+		t.Fatalf("writes 1..6 with every-2nd failing: %d failures, want 3", writeFails)
+	}
+	if syncFails != 2 {
+		t.Fatalf("syncs 1..6 with every-3rd failing: %d failures, want 2", syncFails)
+	}
+	if got := fs.Recurred(); got != 5 {
+		t.Fatalf("Recurred() = %d, want 5", got)
+	}
+
+	fs.SetRecurring(0, 0)
+	for i := 0; i < 8; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatalf("write after disarm: %v", err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync after disarm: %v", err)
+		}
+	}
+}
+
+// TestFaultFSConcurrentArm sweeps the injector's locking: one goroutine
+// writes and syncs through the filesystem while another arms and disarms
+// the recurring faults. Run under -race (make verify does); the test only
+// asserts that every failure is one of the injected kinds.
+func TestFaultFSConcurrentArm(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	f, err := fs.Create("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			fs.SetRecurring(3, 4)
+			fs.SetRecurring(0, 0)
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		if _, err := f.Write([]byte("y")); err != nil && !errors.Is(err, ErrNoSpace) {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Sync(); err != nil && !errors.Is(err, ErrSyncFailed) {
+			t.Errorf("sync: %v", err)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,183 @@
+package driver
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"atk/internal/class"
+	"atk/internal/docserve"
+	"atk/internal/persist"
+	"atk/internal/text"
+)
+
+func startServer(t *testing.T, docName string) (*docserve.Host, string) {
+	t.Helper()
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	doc := text.New()
+	doc.SetRegistry(reg)
+	h := docserve.NewHost(docName, doc, docserve.HostOptions{})
+	srv := docserve.NewServer(docserve.HostOptions{})
+	srv.AddHost(h)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback TCP: %v", err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return h, ln.Addr().String()
+}
+
+// TestDriverPhasesAndConvergence runs the scenario-harness shape end to
+// end: phased measurement windows, then a post-Stop convergence check of
+// every surviving replica against the host snapshot.
+func TestDriverPhasesAndConvergence(t *testing.T) {
+	h, addr := startServer(t, "drv.d")
+
+	var log bytes.Buffer
+	d, err := New(Mix{Writers: 2, Readers: 2, Rate: 400}, Options{
+		Dial: func(string) (net.Conn, error) { return net.Dial("tcp", addr) },
+		Doc:  "drv.d",
+		Seed: 7,
+		Log:  &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d.BeginPhase("warmup")
+	time.Sleep(200 * time.Millisecond)
+	warm := d.EndPhase()
+	d.BeginPhase("inject")
+	time.Sleep(200 * time.Millisecond)
+	inj := d.EndPhase()
+	if err := d.Stop(); err != nil {
+		t.Fatalf("stop: %v\nlog:\n%s", err, log.String())
+	}
+	defer d.CloseAll()
+
+	if warm.Phase != "warmup" || inj.Phase != "inject" {
+		t.Fatalf("phase labels: %q, %q", warm.Phase, inj.Phase)
+	}
+	if warm.Commits == 0 || inj.Commits == 0 {
+		t.Fatalf("idle phase: warmup=%+v inject=%+v\nlog:\n%s", warm, inj, log.String())
+	}
+	// Phase counters are deltas: both phases saw fresh work, and the
+	// second phase's delta is not cumulative over the first.
+	if inj.Commits >= warm.Commits+inj.Commits {
+		t.Fatalf("inject delta looks cumulative: warmup=%d inject=%d", warm.Commits, inj.Commits)
+	}
+	if d.Errors() != 0 {
+		t.Fatalf("%d session errors\nlog:\n%s", d.Errors(), log.String())
+	}
+
+	clients := d.Clients()
+	if len(clients) != 4 {
+		t.Fatalf("want 4 live clients after stop, got %d", len(clients))
+	}
+	hostBytes, finalSeq, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range clients {
+		if err := c.WaitSeq(finalSeq, 10*time.Second); err != nil {
+			t.Fatalf("client %d catching up to seq %d: %v", i, finalSeq, err)
+		}
+		got, err := persist.EncodeDocument(c.Doc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, hostBytes) {
+			t.Fatalf("client %d diverged at seq %d", i, finalSeq)
+		}
+	}
+}
+
+// TestDriverTolerantResume cuts every session's connection mid-run and
+// checks tolerant mode heals the fleet: resumes happen, the run keeps
+// committing afterward, and the replicas still converge.
+func TestDriverTolerantResume(t *testing.T) {
+	h, addr := startServer(t, "res.d")
+
+	var conns connTracker
+	var log bytes.Buffer
+	d, err := New(Mix{Writers: 2, Readers: 1, Rate: 400}, Options{
+		Dial: func(string) (net.Conn, error) {
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return conns.track(c), nil
+		},
+		Doc:      "res.d",
+		Seed:     11,
+		Log:      &log,
+		Tolerant: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	conns.closeAll() // the "partition"
+	time.Sleep(400 * time.Millisecond)
+	if err := d.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.CloseAll()
+
+	if d.Resumes() == 0 {
+		t.Fatalf("no resumes after cutting every connection\nlog:\n%s", log.String())
+	}
+	clients := d.Clients()
+	if len(clients) == 0 {
+		t.Fatalf("no live clients after recovery\nlog:\n%s", log.String())
+	}
+	hostBytes, finalSeq, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range clients {
+		if err := c.WaitSeq(finalSeq, 10*time.Second); err != nil {
+			t.Fatalf("client %d catching up: %v", i, err)
+		}
+		got, err := persist.EncodeDocument(c.Doc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, hostBytes) {
+			t.Fatalf("client %d diverged after resume", i)
+		}
+	}
+}
+
+// connTracker records every dialed conn so a test can sever them all.
+type connTracker struct {
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (ct *connTracker) track(c net.Conn) net.Conn {
+	ct.mu.Lock()
+	ct.conns = append(ct.conns, c)
+	ct.mu.Unlock()
+	return c
+}
+
+func (ct *connTracker) closeAll() {
+	ct.mu.Lock()
+	for _, c := range ct.conns {
+		_ = c.Close()
+	}
+	ct.conns = nil
+	ct.mu.Unlock()
+}

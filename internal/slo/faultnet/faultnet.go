@@ -1,0 +1,194 @@
+// Package faultnet injects network faults into docserve connections for
+// the SLO fault-scenario harness: connect latency, per-read delay,
+// seeded intermittent read stalls (a slow consumer), and scheduled
+// mid-stream connection cuts (a partition).
+//
+// An Injector wraps a dial function. Faults apply only while the
+// injector is Armed — the scenario runner arms it for the inject phase
+// and disarms it for recovery — and every random decision derives from
+// the plan's seed plus a per-connection index, so a scenario replays the
+// same fault pattern run after run.
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Plan declares the faults one scenario injects.
+type Plan struct {
+	// Seed drives every per-connection random decision. Connection i
+	// uses Seed+i, so the fault pattern is a pure function of the plan
+	// and the dial order.
+	Seed int64
+	// ConnectDelay stalls each dial while armed (handshake latency).
+	ConnectDelay time.Duration
+	// ReadDelay stalls every read while armed (path latency).
+	ReadDelay time.Duration
+	// StallFrac makes that fraction of reads stall for StallFor while
+	// armed — an intermittently slow consumer, the kind the server's
+	// bounded session queues exist to absorb or evict.
+	StallFrac float64
+	StallFor  time.Duration
+	// CutAfter hard-closes each connection that long after arming (or
+	// after dialing, if dialed while armed) — a mid-stream partition.
+	// CutJitter spreads the cuts out: connection i is cut at
+	// CutAfter + [0, CutJitter) drawn from its seeded RNG.
+	CutAfter  time.Duration
+	CutJitter time.Duration
+}
+
+// Injector wraps dials with the plan's faults and a global arm switch.
+type Injector struct {
+	plan Plan
+
+	mu     sync.Mutex
+	armed  bool
+	nconns int
+	conns  []*faultConn
+	cuts   uint64
+}
+
+// NewInjector builds an injector for the plan, initially disarmed.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{plan: plan}
+}
+
+// WrapDial returns a dial function whose connections carry the plan's
+// faults while the injector is armed.
+func (inj *Injector) WrapDial(dial func() (net.Conn, error)) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		if inj.Armed() && inj.plan.ConnectDelay > 0 {
+			time.Sleep(inj.plan.ConnectDelay)
+		}
+		c, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return inj.register(c), nil
+	}
+}
+
+func (inj *Injector) register(c net.Conn) *faultConn {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	fc := &faultConn{
+		Conn: c,
+		inj:  inj,
+		rng:  rand.New(rand.NewSource(inj.plan.Seed + int64(inj.nconns))),
+	}
+	inj.nconns++
+	inj.conns = append(inj.conns, fc)
+	if inj.armed {
+		inj.scheduleCutLocked(fc)
+	}
+	return fc
+}
+
+// Arm turns the plan's faults on: reads and dials start hurting, and
+// every currently open connection (plus any dialed while armed) gets its
+// partition cut scheduled.
+func (inj *Injector) Arm() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.armed {
+		return
+	}
+	inj.armed = true
+	for _, fc := range inj.conns {
+		inj.scheduleCutLocked(fc)
+	}
+}
+
+// Disarm turns faults off and cancels pending cuts. Connections already
+// cut stay dead — recovery is the client's job, not the injector's.
+func (inj *Injector) Disarm() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.armed = false
+	for _, fc := range inj.conns {
+		if fc.cutTimer != nil {
+			fc.cutTimer.Stop()
+			fc.cutTimer = nil
+		}
+	}
+}
+
+// Armed reports whether faults currently apply.
+func (inj *Injector) Armed() bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.armed
+}
+
+// Cuts returns how many connections the partition plan severed.
+func (inj *Injector) Cuts() uint64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.cuts
+}
+
+func (inj *Injector) scheduleCutLocked(fc *faultConn) {
+	if inj.plan.CutAfter <= 0 || fc.cutTimer != nil || fc.closed {
+		return
+	}
+	delay := inj.plan.CutAfter
+	if inj.plan.CutJitter > 0 {
+		fc.mu.Lock()
+		delay += time.Duration(fc.rng.Int63n(int64(inj.plan.CutJitter)))
+		fc.mu.Unlock()
+	}
+	fc.cutTimer = time.AfterFunc(delay, func() {
+		inj.mu.Lock()
+		severed := !fc.closed
+		if severed {
+			inj.cuts++
+		}
+		inj.mu.Unlock()
+		if severed {
+			_ = fc.Conn.Close()
+		}
+	})
+}
+
+// faultConn applies the injector's armed faults to one connection.
+type faultConn struct {
+	net.Conn
+	inj      *Injector
+	cutTimer *time.Timer // guarded by inj.mu
+	closed   bool        // guarded by inj.mu
+
+	mu  sync.Mutex // guards rng (reads can race resumes of the same conn)
+	rng *rand.Rand
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	if fc.inj.Armed() {
+		plan := fc.inj.plan
+		if plan.ReadDelay > 0 {
+			time.Sleep(plan.ReadDelay)
+		}
+		if plan.StallFrac > 0 && plan.StallFor > 0 {
+			fc.mu.Lock()
+			stall := fc.rng.Float64() < plan.StallFrac
+			fc.mu.Unlock()
+			if stall {
+				time.Sleep(plan.StallFor)
+			}
+		}
+	}
+	return fc.Conn.Read(p)
+}
+
+func (fc *faultConn) Close() error {
+	fc.inj.mu.Lock()
+	fc.closed = true
+	if fc.cutTimer != nil {
+		fc.cutTimer.Stop()
+		fc.cutTimer = nil
+	}
+	fc.inj.mu.Unlock()
+	return fc.Conn.Close()
+}

@@ -1,0 +1,194 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeDial returns a dial func producing one side of a fresh net.Pipe
+// and a channel of the peer ends.
+func pipeDial() (func() (net.Conn, error), chan net.Conn) {
+	peers := make(chan net.Conn, 16)
+	return func() (net.Conn, error) {
+		a, b := net.Pipe()
+		peers <- b
+		return a, nil
+	}, peers
+}
+
+// TestDisarmedIsTransparent pins that a disarmed injector adds nothing:
+// bytes flow and dials are instant.
+func TestDisarmedIsTransparent(t *testing.T) {
+	dial, peers := pipeDial()
+	inj := NewInjector(Plan{Seed: 1, ConnectDelay: time.Second, ReadDelay: time.Second, CutAfter: time.Millisecond})
+	wrapped := inj.WrapDial(dial)
+
+	start := time.Now()
+	c, err := wrapped()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("disarmed dial took %v", d)
+	}
+	peer := <-peers
+	go func() { peer.Write([]byte("hi")); peer.Close() }()
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	// The plan's CutAfter must not fire while disarmed.
+	time.Sleep(20 * time.Millisecond)
+	if n := inj.Cuts(); n != 0 {
+		t.Fatalf("disarmed injector cut %d connections", n)
+	}
+}
+
+// TestConnectAndReadDelay pins that arming injects the declared
+// latencies into dial and read.
+func TestConnectAndReadDelay(t *testing.T) {
+	dial, peers := pipeDial()
+	inj := NewInjector(Plan{Seed: 1, ConnectDelay: 50 * time.Millisecond, ReadDelay: 30 * time.Millisecond})
+	wrapped := inj.WrapDial(dial)
+	inj.Arm()
+
+	start := time.Now()
+	c, err := wrapped()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("armed dial took only %v, want >= 50ms", d)
+	}
+	peer := <-peers
+	go func() { peer.Write([]byte("x")) }()
+	start = time.Now()
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("armed read took only %v, want >= 30ms", d)
+	}
+}
+
+// TestCutSeversArmedConns pins the partition fault: arming schedules a
+// cut on an already-open connection, after which both reads and writes
+// fail; Cuts counts it.
+func TestCutSeversArmedConns(t *testing.T) {
+	dial, peers := pipeDial()
+	inj := NewInjector(Plan{Seed: 1, CutAfter: 10 * time.Millisecond, CutJitter: 5 * time.Millisecond})
+	wrapped := inj.WrapDial(dial)
+
+	c, err := wrapped()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-peers // leave the peer open; the cut must come from the injector
+	inj.Arm()
+
+	buf := make([]byte, 1)
+	errc := make(chan error, 1)
+	go func() { _, err := c.Read(buf); errc <- err }()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("read succeeded after cut")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cut never severed the connection")
+	}
+	if n := inj.Cuts(); n != 1 {
+		t.Fatalf("Cuts() = %d, want 1", n)
+	}
+	if _, err := c.Write([]byte("y")); err == nil {
+		t.Fatal("write succeeded after cut")
+	}
+}
+
+// TestDisarmCancelsPendingCuts pins recovery-phase semantics: disarming
+// before the cut fires leaves the connection healthy.
+func TestDisarmCancelsPendingCuts(t *testing.T) {
+	dial, peers := pipeDial()
+	inj := NewInjector(Plan{Seed: 1, CutAfter: 50 * time.Millisecond})
+	wrapped := inj.WrapDial(dial)
+
+	c, err := wrapped()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	peer := <-peers
+	inj.Arm()
+	inj.Disarm()
+	time.Sleep(80 * time.Millisecond)
+
+	go func() { peer.Write([]byte("ok")) }()
+	buf := make([]byte, 2)
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("connection dead after disarm: %v", err)
+	}
+	if n := inj.Cuts(); n != 0 {
+		t.Fatalf("disarmed injector still cut %d connections", n)
+	}
+}
+
+// TestStallPatternIsSeeded pins determinism: two injectors with the same
+// plan make identical stall decisions for the same connection index.
+func TestStallPatternIsSeeded(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		dial, peers := pipeDial()
+		inj := NewInjector(Plan{Seed: seed, StallFrac: 0.5, StallFor: 3 * time.Millisecond})
+		c, err := inj.WrapDial(dial)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		peer := <-peers
+		go func() {
+			for i := 0; i < 20; i++ {
+				peer.Write([]byte("z"))
+			}
+		}()
+		inj.Arm()
+		var out []bool
+		buf := make([]byte, 1)
+		for i := 0; i < 20; i++ {
+			start := time.Now()
+			if _, err := c.Read(buf); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, time.Since(start) >= 3*time.Millisecond)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	stalls := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at read %d: %v vs %v", i, a, b)
+		}
+		if a[i] {
+			stalls++
+		}
+	}
+	if stalls == 0 || stalls == len(a) {
+		t.Fatalf("stall fraction 0.5 produced %d/%d stalls", stalls, len(a))
+	}
+}
+
+// TestDialErrorPassthrough pins that dial failures surface unwrapped.
+func TestDialErrorPassthrough(t *testing.T) {
+	sentinel := errors.New("refused")
+	inj := NewInjector(Plan{Seed: 1})
+	wrapped := inj.WrapDial(func() (net.Conn, error) { return nil, sentinel })
+	if _, err := wrapped(); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the dial error", err)
+	}
+}

@@ -1,0 +1,90 @@
+package slo
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestVarianceGateSoft pins the rerun-aware rule for soft SLOs: the gate
+// fails only when the mean violates the threshold by more than the
+// cross-rerun noise.
+func TestVarianceGateSoft(t *testing.T) {
+	a := Assertion{Name: "lat", Metric: "m", Op: "<=", Value: 100}
+	cases := []struct {
+		name string
+		vs   []float64
+		pass bool
+	}{
+		{"clean mean passes", []float64{90, 95, 99}, true},
+		{"violated mean, <3 reruns, no allowance", []float64{150, 90}, false},
+		{"violated mean within noise passes", []float64{90, 95, 125}, true}, // mean 103.3, stddev 18.9
+		{"violated mean beyond noise fails", []float64{200, 210, 190}, false},
+		{"single rerun violation fails", []float64{150}, false},
+		{"no values fails", nil, false},
+	}
+	for _, tc := range cases {
+		if got := varianceGate(a, tc.vs); got.Pass != tc.pass {
+			t.Errorf("%s: pass=%v, want %v (%s)", tc.name, got.Pass, tc.pass, got.Detail)
+		}
+	}
+}
+
+// TestVarianceGateHard pins that hard assertions get no variance
+// allowance: one violating rerun fails the gate.
+func TestVarianceGateHard(t *testing.T) {
+	a := Assertion{Name: "converge", Metric: "diverged", Op: "<=", Value: 0, Hard: true}
+	if g := varianceGate(a, []float64{0, 0, 0}); !g.Pass {
+		t.Errorf("clean hard gate failed: %s", g.Detail)
+	}
+	if g := varianceGate(a, []float64{0, 1, 0}); g.Pass {
+		t.Error("hard gate passed with a violating rerun")
+	}
+	// A >= floor works symmetrically.
+	b := Assertion{Name: "armed", Metric: "cuts", Op: ">=", Value: 1, Hard: true}
+	if g := varianceGate(b, []float64{3, 0, 2}); g.Pass {
+		t.Error("hard floor passed with a violating rerun")
+	}
+}
+
+// TestAssertionMissingMetricFails pins that a gate measuring nothing
+// (metric absent → NaN) fails rather than silently passing.
+func TestAssertionMissingMetricFails(t *testing.T) {
+	a := Assertion{Name: "x", Metric: "nope", Op: "<=", Value: 10}
+	if !a.violated(math.NaN()) {
+		t.Error("NaN did not violate")
+	}
+	results, pass := evaluate([]Assertion{a}, map[string]float64{})
+	if pass || results[0].Pass {
+		t.Error("missing metric passed evaluation")
+	}
+}
+
+// TestBenchGatesOnFixture pins bench-gate lookup across metric kinds and
+// that a missing benchmark fails loudly.
+func TestBenchGatesOnFixture(t *testing.T) {
+	rep := &BenchReport{
+		Benchmarks: []BenchEntry{{
+			Name:        "DocServeFanout",
+			NsPerOp:     75000,
+			AllocsPerOp: 42,
+			Extra:       map[string]float64{"deliveries/s": 400000},
+		}},
+		Speedups: map[string]float64{"line_start_end_of_doc": 36},
+	}
+	gates := []BenchGate{
+		{Name: "allocs", Bench: "Fanout", Metric: "allocs_per_op", Op: "<=", Threshold: 128},
+		{Name: "deliveries", Bench: "Fanout", Metric: "extra:deliveries/s", Op: ">=", Threshold: 100000},
+		{Name: "speedup", Metric: "speedup:line_start_end_of_doc", Op: ">=", Threshold: 5},
+		{Name: "missing", Bench: "NoSuchBench", Metric: "ns_per_op", Op: "<=", Threshold: 1e9},
+	}
+	rs := EvaluateBenchGates(gates, []*BenchReport{rep})
+	for i, want := range []bool{true, true, true, false} {
+		if rs[i].Pass != want {
+			t.Errorf("gate %s: pass=%v, want %v (%s)", rs[i].Gate, rs[i].Pass, want, rs[i].Detail)
+		}
+	}
+	if !strings.Contains(rs[3].Detail, "not found") {
+		t.Errorf("missing-bench detail: %q", rs[3].Detail)
+	}
+}

@@ -1,0 +1,290 @@
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"atk/internal/class"
+	"atk/internal/docserve"
+	"atk/internal/persist"
+	"atk/internal/slo/driver"
+	"atk/internal/slo/faultnet"
+	"atk/internal/text"
+)
+
+// RunOptions configure one scenario execution.
+type RunOptions struct {
+	// ArtifactsDir, when set, receives
+	// <dir>/<scenario>/run<RunIndex>/{samples.jsonl,summary.json}.
+	ArtifactsDir string
+	RunIndex     int
+	// TimeScale multiplies every phase duration (tests run compressed
+	// scenarios at e.g. 0.4). Default 1.
+	TimeScale float64
+	// Log receives progress; nil discards.
+	Log io.Writer
+}
+
+// Run executes one scenario run end to end and returns its summary.
+// Errors are harness failures (cannot listen, cannot write artifacts);
+// SLO violations are not errors — they land in Summary.Assertions.
+func Run(sc Scenario, opts RunOptions) (*Summary, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	if opts.TimeScale <= 0 {
+		opts.TimeScale = 1
+	}
+	if opts.Log == nil {
+		opts.Log = io.Discard
+	}
+	scale := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * opts.TimeScale)
+	}
+	started := time.Now()
+
+	// --- the server under test ---
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		return nil, err
+	}
+	const docName = "slo.d"
+	var (
+		host    *docserve.Host
+		faultFS *persist.FaultFS
+	)
+	hostOpts := docserve.HostOptions{QueueLen: 4096}
+	if sc.JournalWriteEvery > 0 || sc.JournalSyncEvery > 0 {
+		// Durability faults: serve a file-backed document whose journal
+		// lives on a FaultFS; SetRecurring arms it during inject.
+		faultFS = persist.NewFaultFS(persist.NewMemFS())
+		h, err := docserve.OpenHostFile(faultFS, docName, reg, hostOpts)
+		if err != nil {
+			return nil, fmt.Errorf("slo: opening file-backed host: %w", err)
+		}
+		host = h
+	} else {
+		doc := text.New()
+		doc.SetRegistry(reg)
+		host = docserve.NewHost(docName, doc, hostOpts)
+	}
+	srv := docserve.NewServer(hostOpts)
+	srv.AddHost(host)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("slo: no loopback TCP: %w", err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	// --- fault injection plumbing ---
+	plan := faultnet.Plan{Seed: sc.Seed}
+	if sc.Net != nil {
+		plan = *sc.Net
+		plan.Seed = sc.Seed
+		// Cut timings are anchored to the inject phase, so they compress
+		// with it; injected latencies (ConnectDelay, ReadDelay, StallFor)
+		// are SLO inputs with fixed thresholds and do not scale.
+		plan.CutAfter = scale(plan.CutAfter)
+		plan.CutJitter = scale(plan.CutJitter)
+	}
+	inj := faultnet.NewInjector(plan)
+	dial := inj.WrapDial(func() (net.Conn, error) { return net.Dial("tcp", addr) })
+
+	// --- artifacts ---
+	var sampleOut io.Writer
+	runDir := ""
+	if opts.ArtifactsDir != "" {
+		runDir = filepath.Join(opts.ArtifactsDir, sc.Name, fmt.Sprintf("run%d", opts.RunIndex))
+		if err := os.MkdirAll(runDir, 0o755); err != nil {
+			return nil, err
+		}
+		f, err := os.Create(filepath.Join(runDir, "samples.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sampleOut = f
+	}
+
+	// --- the offered load ---
+	d, err := driver.New(sc.Mix, driver.Options{
+		Dial:        func(string) (net.Conn, error) { return dial() },
+		Doc:         docName,
+		Seed:        sc.Seed,
+		SampleEvery: scale(100 * time.Millisecond),
+		Out:         sampleOut,
+		Log:         opts.Log,
+		Tolerant:    true,
+		IDPrefix:    "slo-",
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Start(); err != nil {
+		return nil, fmt.Errorf("slo: %s: starting load: %w", sc.Name, err)
+	}
+	fmt.Fprintf(opts.Log, "slo: %s run%d: warmup %v, inject %v, recovery %v (seed %d)\n",
+		sc.Name, opts.RunIndex, scale(sc.Warmup), scale(sc.Inject), scale(sc.Recovery), sc.Seed)
+
+	metrics := map[string]float64{}
+	lagInto := func(phase string) {
+		_, lagMax, _ := host.LagWindow()
+		metrics[phase+".fanout_lag_max_ms"] = float64(lagMax.Microseconds()) / 1000
+	}
+
+	// --- warmup ---
+	d.BeginPhase("warmup")
+	time.Sleep(scale(sc.Warmup))
+	warm := d.EndPhase()
+	lagInto("warmup")
+
+	// --- inject ---
+	inj.Arm()
+	if faultFS != nil {
+		faultFS.SetRecurring(sc.JournalWriteEvery, sc.JournalSyncEvery)
+	}
+	stopFlood := make(chan struct{})
+	var floodWG sync.WaitGroup
+	for i := 0; i < sc.FloodConns; i++ {
+		floodWG.Add(1)
+		go func(i int) {
+			defer floodWG.Done()
+			flood(addr, sc.Seed+1000+int64(i), stopFlood)
+		}(i)
+	}
+	d.BeginPhase("inject")
+	time.Sleep(scale(sc.Inject))
+	injected := d.EndPhase()
+	lagInto("inject")
+
+	// --- recovery ---
+	inj.Disarm()
+	if faultFS != nil {
+		faultFS.SetRecurring(0, 0)
+	}
+	close(stopFlood)
+	floodWG.Wait()
+	d.BeginPhase("recovery")
+	time.Sleep(scale(sc.Recovery))
+	recovery := d.EndPhase()
+	lagInto("recovery")
+
+	// --- stop and measure convergence ---
+	if err := d.Stop(); err != nil {
+		return nil, fmt.Errorf("slo: %s: stopping load: %w", sc.Name, err)
+	}
+	defer d.CloseAll()
+	t0 := time.Now()
+	hostBytes, finalSeq, err := host.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("slo: %s: host snapshot: %w", sc.Name, err)
+	}
+	clients := d.Clients()
+	diverged := 0
+	for _, c := range clients {
+		if err := c.WaitSeq(finalSeq, 10*time.Second); err != nil {
+			diverged++
+			continue
+		}
+		got, err := persist.EncodeDocument(c.Doc())
+		if err != nil || !bytes.Equal(got, hostBytes) {
+			diverged++
+		}
+	}
+	recoveryMS := float64(time.Since(t0).Microseconds()) / 1000
+
+	// --- metrics ---
+	phases := []driver.PhaseStats{warm, injected, recovery}
+	for _, p := range phases {
+		phaseMetrics(metrics, p)
+	}
+	st := host.Stats()
+	metrics["recovery_ms"] = recoveryMS
+	metrics["diverged"] = float64(diverged)
+	metrics["live_replicas"] = float64(len(clients))
+	metrics["errors"] = float64(d.Errors())
+	metrics["resumes"] = float64(d.Resumes())
+	metrics["net_cuts"] = float64(inj.Cuts())
+	metrics["journal_errors"] = float64(st.JournalErrors)
+	metrics["protocol_errors"] = float64(st.ProtocolErrors)
+	metrics["slow_kicks"] = float64(st.SlowConsumerKicks)
+	metrics["server_rejects"] = float64(srv.Rejections())
+
+	results, pass := evaluate(sc.Assertions, metrics)
+	sum := &Summary{
+		Scenario:     sc.Name,
+		Seed:         sc.Seed,
+		DurationSec:  time.Since(started).Seconds(),
+		Phases:       phases,
+		LiveReplicas: len(clients),
+		Diverged:     diverged,
+		RecoveryMS:   recoveryMS,
+		Metrics:      metrics,
+		Assertions:   results,
+		Pass:         pass,
+	}
+	if runDir != "" {
+		blob, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(runDir, "summary.json"), append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	verdict := "PASS"
+	if !pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(opts.Log, "slo: %s run%d: %s (%d live, %d diverged, recovery %.0fms)\n",
+		sc.Name, opts.RunIndex, verdict, len(clients), diverged, recoveryMS)
+	return sum, nil
+}
+
+// flood sprays seeded garbage at the listener over fresh connections
+// until told to stop — a hostile peer the server must reject without
+// letting it affect paying sessions.
+func flood(addr string, seed int64, stop <-chan struct{}) {
+	rng := rand.New(rand.NewSource(seed))
+	junk := make([]byte, 256)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			// Listener gone or refused; back off briefly.
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		for i := range junk {
+			junk[i] = byte(rng.Intn(256))
+		}
+		_, _ = c.Write(junk)
+		_, _ = c.Write([]byte("\n"))
+		_ = c.Close()
+		// Pace the flood: the scenario wants sustained abuse, not an
+		// accept-loop benchmark.
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

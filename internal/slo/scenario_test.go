@@ -1,0 +1,128 @@
+package slo
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testScale compresses scenario phases so the suite stays fast; fault
+// thresholds in the builtin scenarios are chosen to hold at this scale.
+const testScale = 0.5
+
+// findScenario pulls one builtin by name.
+func findScenario(t *testing.T, name string) Scenario {
+	t.Helper()
+	for _, sc := range Builtin() {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	t.Fatalf("no builtin scenario %q", name)
+	return Scenario{}
+}
+
+// TestBuiltinScenariosPass runs every builtin scenario once at
+// compressed time scale and requires all assertions to pass and the
+// artifacts to land on disk — the same invariant `make slo` gates on,
+// so a scenario that rots fails here first.
+func TestBuiltinScenariosPass(t *testing.T) {
+	dir := t.TempDir()
+	for _, sc := range Builtin() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			sum, err := Run(sc, RunOptions{ArtifactsDir: dir, TimeScale: testScale})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sum.Pass {
+				for _, a := range sum.Assertions {
+					if !a.Pass {
+						t.Errorf("assertion %s: %s %s %g, got %g", a.Name, a.Metric, a.Op, a.Value, a.Got)
+					}
+				}
+				t.Fatalf("scenario failed (live=%d diverged=%d recovery=%.0fms)",
+					sum.LiveReplicas, sum.Diverged, sum.RecoveryMS)
+			}
+			for _, f := range []string{"samples.jsonl", "summary.json"} {
+				p := filepath.Join(dir, sc.Name, "run0", f)
+				if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+					t.Fatalf("artifact %s missing or empty: %v", p, err)
+				}
+			}
+			// The written summary round-trips through the gate loader.
+			blob, err := os.ReadFile(filepath.Join(dir, sc.Name, "run0", "summary.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Summary
+			if err := json.Unmarshal(blob, &back); err != nil {
+				t.Fatal(err)
+			}
+			if back.Scenario != sc.Name || len(back.Assertions) != len(sc.Assertions) {
+				t.Fatalf("summary round-trip mangled: %+v", back)
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminism pins the replay contract: the same scenario at
+// the same seed produces the same assertion-outcome vector run after
+// run. (Raw latencies jitter; verdicts must not.)
+func TestScenarioDeterminism(t *testing.T) {
+	sc := findScenario(t, "partition_midstream")
+	outcomes := func() []bool {
+		sum, err := Run(sc, RunOptions{TimeScale: testScale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for _, a := range sum.Assertions {
+			out = append(out, a.Pass)
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different verdicts at assertion %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestScenarioGatesAcrossReruns runs one scenario twice into an artifact
+// dir and checks LoadSummaries + EvaluateScenarioGates see both reruns.
+func TestScenarioGatesAcrossReruns(t *testing.T) {
+	dir := t.TempDir()
+	sc := findScenario(t, "baseline_load")
+	for k := 0; k < 2; k++ {
+		if _, err := Run(sc, RunOptions{ArtifactsDir: dir, RunIndex: k, TimeScale: testScale}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	summaries, err := LoadSummaries(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(summaries["baseline_load"]); n != 2 {
+		t.Fatalf("loaded %d reruns, want 2", n)
+	}
+	for _, g := range EvaluateScenarioGates(summaries) {
+		if g.N != 2 {
+			t.Fatalf("gate %s evaluated %d reruns, want 2", g.Gate, g.N)
+		}
+	}
+}
+
+// TestScenarioValidation pins the declarative guardrails.
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Run(Scenario{}, RunOptions{}); err == nil {
+		t.Fatal("empty scenario accepted")
+	}
+	bad := findScenario(t, "baseline_load")
+	bad.Assertions = append(bad.Assertions, Assertion{Name: "x", Metric: "m", Op: "=="})
+	if _, err := Run(bad, RunOptions{}); err == nil {
+		t.Fatal("bad assertion op accepted")
+	}
+}

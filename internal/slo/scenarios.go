@@ -1,0 +1,105 @@
+package slo
+
+import (
+	"time"
+
+	"atk/internal/slo/driver"
+	"atk/internal/slo/faultnet"
+)
+
+// Builtin returns the scenario suite `make slo` runs. Thresholds are
+// deliberately generous — they are SLOs for a loopback harness, meant to
+// catch collapses (divergence, deadlock, recovery that never happens),
+// not to re-measure the benchmarks; BENCH_*.json gates own raw speed.
+// Hard assertions are correctness properties with zero variance
+// allowance; the rest go through the slogate variance rule.
+func Builtin() []Scenario {
+	const (
+		warmup   = 250 * time.Millisecond
+		inject   = 600 * time.Millisecond
+		recovery = 300 * time.Millisecond
+	)
+	std := func(extra ...Assertion) []Assertion {
+		base := []Assertion{
+			{Name: "replicas_converge", Metric: "diverged", Op: "<=", Value: 0, Hard: true},
+			{Name: "live_under_fault", Metric: "inject.commits", Op: ">=", Value: 1, Hard: true},
+			{Name: "recovers", Metric: "recovery.commits", Op: ">=", Value: 1, Hard: true},
+			{Name: "recovery_bounded", Metric: "recovery_ms", Op: "<=", Value: 8000},
+		}
+		return append(base, extra...)
+	}
+	return []Scenario{
+		{
+			Name:        "baseline_load",
+			Description: "clean run: no faults; establishes that the harness itself is quiet",
+			Mix:         driver.Mix{Writers: 2, Readers: 4, Churners: 1, Rate: 200},
+			Seed:        1001,
+			Warmup:      warmup, Inject: inject, Recovery: recovery,
+			Assertions: std(
+				Assertion{Name: "no_session_errors", Metric: "errors", Op: "<=", Value: 0},
+				Assertion{Name: "commit_latency", Metric: "inject.commit_p95_ms", Op: "<=", Value: 500},
+			),
+		},
+		{
+			Name:        "slow_consumer",
+			Description: "a fraction of reads stall: bounded queues must absorb or evict without hurting writers",
+			Mix:         driver.Mix{Writers: 2, Readers: 6, Rate: 200},
+			Seed:        1002,
+			Warmup:      warmup, Inject: inject, Recovery: recovery,
+			Net:        &faultnet.Plan{StallFrac: 0.12, StallFor: 40 * time.Millisecond},
+			Assertions: std(
+				Assertion{Name: "commit_latency", Metric: "inject.commit_p95_ms", Op: "<=", Value: 1000},
+			),
+		},
+		{
+			Name:        "connect_read_latency",
+			Description: "every dial and read pays injected latency: attach and delivery degrade gracefully",
+			Mix:         driver.Mix{Writers: 2, Readers: 3, Churners: 2, Rate: 200},
+			Seed:        1003,
+			Warmup:      warmup, Inject: inject, Recovery: recovery,
+			Net:        &faultnet.Plan{ConnectDelay: 30 * time.Millisecond, ReadDelay: 2 * time.Millisecond},
+			Assertions: std(
+				// Proves the fault was actually armed: churner attaches during
+				// inject must pay at least the injected connect delay.
+				Assertion{Name: "fault_armed", Metric: "inject.attach_p95_ms", Op: ">=", Value: 20, Hard: true},
+				Assertion{Name: "attach_recovers", Metric: "recovery.attach_p95_ms", Op: "<=", Value: 250},
+			),
+		},
+		{
+			Name:        "partition_midstream",
+			Description: "connections are cut mid-stream: sessions resume, rebase pending edits, and converge",
+			Mix:         driver.Mix{Writers: 2, Readers: 2, Rate: 200},
+			Seed:        1004,
+			Warmup:      warmup, Inject: inject, Recovery: recovery,
+			Net:        &faultnet.Plan{CutAfter: 150 * time.Millisecond, CutJitter: 100 * time.Millisecond},
+			Assertions: std(
+				Assertion{Name: "fault_armed", Metric: "net_cuts", Op: ">=", Value: 1, Hard: true},
+				Assertion{Name: "sessions_resumed", Metric: "resumes", Op: ">=", Value: 1, Hard: true},
+			),
+		},
+		{
+			Name:        "journal_faults",
+			Description: "journal writes and fsyncs fail during inject: durability degrades, availability must not",
+			Mix:         driver.Mix{Writers: 2, Readers: 2, Rate: 200},
+			Seed:        1005,
+			Warmup:      warmup, Inject: inject, Recovery: recovery,
+			JournalWriteEvery: 7,
+			JournalSyncEvery:  5,
+			Assertions: std(
+				Assertion{Name: "fault_armed", Metric: "journal_errors", Op: ">=", Value: 1, Hard: true},
+			),
+		},
+		{
+			Name:        "hostile_flood",
+			Description: "garbage-spraying connections hammer the listener: rejected without hurting sessions",
+			Mix:         driver.Mix{Writers: 2, Readers: 2, Churners: 1, Rate: 200},
+			Seed:        1006,
+			Warmup:      warmup, Inject: inject, Recovery: recovery,
+			FloodConns: 3,
+			Assertions: std(
+				Assertion{Name: "fault_armed", Metric: "server_rejects", Op: ">=", Value: 1, Hard: true},
+				Assertion{Name: "commit_latency", Metric: "inject.commit_p95_ms", Op: "<=", Value: 1000},
+			),
+		},
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify fuzz generate bench bench-docserve slo
+.PHONY: all build test verify fuzz generate bench bench-docserve bench-stream slo
 
 all: build
 
@@ -23,7 +23,7 @@ verify:
 	$(GO) test -fuzz=FuzzRepaint -fuzztime=10s .
 	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/persist
 	$(GO) test -fuzz=FuzzServerProtocol -fuzztime=10s ./internal/docserve
-	$(GO) run ./cmd/slogate -bench BENCH_text.json -bench BENCH_docserve.json
+	$(GO) run ./cmd/slogate -bench BENCH_text.json -bench BENCH_docserve.json -bench BENCH_stream.json
 
 # fuzz runs all fuzz targets for longer; extend FUZZTIME for real runs.
 FUZZTIME ?= 30s
@@ -38,9 +38,10 @@ fuzz:
 generate:
 	$(GO) generate ./...
 
-# bench runs every experiment benchmark and records the text-indexing
-# results (entries plus derived speedups) in BENCH_text.json.
-bench:
+# bench runs the streaming large-document suite, then every experiment
+# benchmark, recording the text-indexing results (entries plus derived
+# speedups) in BENCH_text.json.
+bench: bench-stream
 	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_text.json -filter E9TextIndexing
 
 # bench-docserve measures the replication server's serving paths — the
@@ -53,6 +54,16 @@ bench-docserve:
 		$(GO) run ./cmd/benchjson -out BENCH_docserve.json -filter DocServe \
 		-cmd "go test -run=NONE -bench=DocServe -benchtime=3s -benchmem ./internal/docserve"
 
+# bench-stream measures the streaming large-document pipeline: the
+# 100 MB open (time-to-first-paint and live heap, streamed vs eager) and
+# the chunked snapshot attach of a document past the per-frame bound.
+# Results (plus the derived open_large_doc / open_rss_ratio speedups)
+# land in BENCH_stream.json, which cmd/slogate holds to release floors.
+bench-stream:
+	$(GO) test -run=NONE -bench=Stream -benchtime=1x -benchmem . | \
+		$(GO) run ./cmd/benchjson -out BENCH_stream.json -filter Stream \
+		-cmd "go test -run=NONE -bench=Stream -benchtime=1x -benchmem ."
+
 # slo runs the fault-scenario suite (internal/slo) SLO_RERUNS times per
 # scenario against a live in-process docserve server — slow consumers,
 # injected connect/read latency, mid-stream partitions, journal
@@ -64,4 +75,4 @@ bench-docserve:
 SLO_RERUNS ?= 3
 slo:
 	$(GO) run ./cmd/slogate -run -reruns $(SLO_RERUNS) -artifacts slo_artifacts \
-		-bench BENCH_text.json -bench BENCH_docserve.json
+		-bench BENCH_text.json -bench BENCH_docserve.json -bench BENCH_stream.json

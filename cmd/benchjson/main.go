@@ -59,6 +59,15 @@ var speedupPairs = map[string][2]string{
 	"line_start_end_of_doc": {"LineStartScanBaseline", "LineStartIndexed"},
 	"relayout_10k_lines":    {"RelayoutFull10k", "RelayoutViewport10k"},
 	"relayout_100k_lines":   {"RelayoutFull100k", "RelayoutViewport100k"},
+	"open_large_doc":        {"OpenLargeDocEager", "OpenLargeDocStreamed"},
+}
+
+// extraRatioPairs derives ratios from a custom metric instead of ns/op:
+// key -> {baseline name, improved name, extra unit}. The ratio
+// baseline/improved joins the speedups map (e.g. the eager open's live
+// heap over the streamed open's).
+var extraRatioPairs = map[string][3]string{
+	"open_rss_ratio": {"OpenLargeDocEager", "OpenLargeDocStreamed", "heap-mb"},
 }
 
 // collector accumulates parsed benchmark lines, merging reruns of the
@@ -253,6 +262,13 @@ func deriveSpeedups(es []entry) map[string]float64 {
 		fast, ok2 := byName[pair[1]]
 		if ok1 && ok2 && fast.NsPerOp > 0 {
 			out[metric] = round2(base.NsPerOp / fast.NsPerOp)
+		}
+	}
+	for metric, trio := range extraRatioPairs {
+		base, ok1 := byName[trio[0]]
+		fast, ok2 := byName[trio[1]]
+		if ok1 && ok2 && base.Extra[trio[2]] > 0 && fast.Extra[trio[2]] > 0 {
+			out[metric] = round2(base.Extra[trio[2]] / fast.Extra[trio[2]])
 		}
 	}
 	if len(out) == 0 {

@@ -98,3 +98,26 @@ func TestSpeedupsFromMergedEntries(t *testing.T) {
 		t.Fatalf("speedup = %v, want 40 (440/11)", got)
 	}
 }
+
+// TestExtraRatioDerivation pins the custom-metric ratio path: the
+// open-RSS ratio divides the pair's heap-mb metrics, not their ns/op.
+func TestExtraRatioDerivation(t *testing.T) {
+	col := newCollector()
+	for _, l := range []string{
+		"BenchmarkStreamPipeline/OpenLargeDocEager-8 1 2000000 ns/op 500 heap-mb",
+		"BenchmarkStreamPipeline/OpenLargeDocStreamed-8 1 1000 ns/op 2.5 heap-mb",
+	} {
+		e, ok := parseBench(l)
+		if !ok {
+			t.Fatalf("rejected %q", l)
+		}
+		col.add(e)
+	}
+	sp := deriveSpeedups(col.finalize())
+	if got := sp["open_large_doc"]; got != 2000 {
+		t.Fatalf("open_large_doc speedup = %v, want 2000", got)
+	}
+	if got := sp["open_rss_ratio"]; got != 200 {
+		t.Fatalf("open_rss_ratio = %v, want 200 (500/2.5)", got)
+	}
+}

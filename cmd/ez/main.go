@@ -146,7 +146,10 @@ func runOpts(o ezOpts) error {
 		if lenient {
 			mode = datastream.Lenient
 		}
-		df, err = persist.Load(persist.OS, path, app.Reg, mode)
+		// The streaming open: a large document with a valid offset index
+		// appears immediately and faults content in as the user scrolls;
+		// anything else falls back to the eager load inside.
+		df, err = persist.LoadStreaming(persist.OS, path, app.Reg, mode)
 		if err != nil {
 			return err
 		}
@@ -189,7 +192,9 @@ func runOpts(o ezOpts) error {
 	case df != nil && df.Replayed > 0:
 		frame.PostMessage(df.RecoveryDiags[0] + " — save to keep them")
 	default:
-		frame.PostMessage(fmt.Sprintf("ez: %d characters", doc.Len()))
+		// A streamed open hasn't faulted the tail in yet; count it anyway
+		// so the message line reports the document, not the loaded prefix.
+		frame.PostMessage(fmt.Sprintf("ez: %d characters", doc.Len()+doc.PendingRunes()))
 	}
 
 	// Idle hook: for a local file, autosave — whenever the event loop goes

@@ -14,6 +14,7 @@ import (
 const (
 	benchText     = "../../BENCH_text.json"
 	benchDocserve = "../../BENCH_docserve.json"
+	benchStream   = "../../BENCH_stream.json"
 )
 
 // TestBenchGatesPassOnCommittedNumbers pins the release invariant: the
@@ -22,7 +23,7 @@ func TestBenchGatesPassOnCommittedNumbers(t *testing.T) {
 	var out, errw bytes.Buffer
 	code := realMain([]string{
 		"-artifacts", filepath.Join(t.TempDir(), "none"),
-		"-bench", benchText, "-bench", benchDocserve,
+		"-bench", benchText, "-bench", benchDocserve, "-bench", benchStream,
 	}, &out, &errw)
 	if code != 0 {
 		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())

@@ -1,0 +1,262 @@
+package datastream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestStreamReaderSequential checks that a full sequential read through
+// tiny windows reproduces the source exactly.
+func TestStreamReaderSequential(t *testing.T) {
+	data := []byte(strings.Repeat("the quick brown fox\n", 100))
+	sr, err := NewStreamReaderSize(bytes.NewReader(data), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Size() != int64(len(data)) {
+		t.Fatalf("Size = %d, want %d", sr.Size(), len(data))
+	}
+	got, err := io.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("sequential read mismatch: %d bytes vs %d", len(got), len(data))
+	}
+}
+
+// TestStreamReaderSeek checks seek semantics and that seeking outside the
+// window costs no I/O until the next read.
+func TestStreamReaderSeek(t *testing.T) {
+	data := []byte("0123456789abcdefghijklmnopqrstuvwxyz")
+	sr, err := NewStreamReaderSize(bytes.NewReader(data), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off, _ := sr.Seek(10, io.SeekStart); off != 10 {
+		t.Fatalf("SeekStart: off = %d", off)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(sr, buf); err != nil || string(buf) != "abcd" {
+		t.Fatalf("read at 10 = %q, %v", buf, err)
+	}
+	if off, _ := sr.Seek(-4, io.SeekCurrent); off != 10 {
+		t.Fatalf("SeekCurrent: off = %d", off)
+	}
+	if off, _ := sr.Seek(-2, io.SeekEnd); off != int64(len(data)-2) {
+		t.Fatalf("SeekEnd: off = %d", off)
+	}
+	got, _ := io.ReadAll(sr)
+	if string(got) != "yz" {
+		t.Fatalf("tail read = %q", got)
+	}
+	if _, err := sr.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	// Seeking past EOF is allowed (like os.File); the read reports EOF.
+	if _, err := sr.Seek(1000, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Read(buf); err != io.EOF {
+		t.Fatalf("read past EOF = %v, want io.EOF", err)
+	}
+}
+
+// TestStreamReaderLargeRead checks that reads bigger than the window
+// bypass it and still leave the position consistent.
+func TestStreamReaderLargeRead(t *testing.T) {
+	data := bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7}, 1000)
+	sr, err := NewStreamReaderSize(bytes.NewReader(data), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 4096)
+	n, err := io.ReadFull(sr, big)
+	if err != nil || n != 4096 {
+		t.Fatalf("large read: %d, %v", n, err)
+	}
+	if !bytes.Equal(big, data[:4096]) {
+		t.Fatal("large read returned wrong bytes")
+	}
+	if sr.Offset() != 4096 {
+		t.Fatalf("Offset = %d after large read", sr.Offset())
+	}
+	rest, err := io.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rest, data[4096:]) {
+		t.Fatal("tail after large read mismatched")
+	}
+}
+
+// TestStreamReaderSkipByOffset is the open-without-loading shape: parse a
+// header through a Reader layered on the StreamReader, then Seek straight
+// to a payload offset recorded in an index and read from there, never
+// touching the bytes in between.
+func TestStreamReaderSkipByOffset(t *testing.T) {
+	var doc bytes.Buffer
+	doc.WriteString("\\begindata{text,1}\n")
+	payloadStart := int64(doc.Len())
+	for i := 0; i < 1000; i++ {
+		doc.WriteString("payload line that the lazy open never decodes\n")
+	}
+	payloadEnd := int64(doc.Len())
+	doc.WriteString("\\enddata{text,1}\n")
+
+	counting := &countingReadSeeker{ReadSeeker: bytes.NewReader(doc.Bytes())}
+	sr, err := NewStreamReaderSize(counting, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse just the header.
+	r := NewReader(sr)
+	tok, err := r.Next()
+	if err != nil || tok.Kind != TokBegin || tok.Type != "text" {
+		t.Fatalf("header parse: %+v, %v", tok, err)
+	}
+	// Skip the payload by offset — no decode, no read of the middle.
+	if _, err := sr.Seek(payloadEnd, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	tail, err := io.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tail) != "\\enddata{text,1}\n" {
+		t.Fatalf("tail after skip = %q", tail)
+	}
+	// The Reader's internal bufio reads ahead 4 KiB for the header parse;
+	// anything near the 46 KB payload would mean the skip actually scanned.
+	if max := int64(8192); counting.read > max {
+		t.Fatalf("skip read %d bytes of a %d-byte payload region", counting.read, payloadEnd-payloadStart)
+	}
+}
+
+type countingReadSeeker struct {
+	io.ReadSeeker
+	read int64
+}
+
+func (c *countingReadSeeker) Read(p []byte) (int, error) {
+	n, err := c.ReadSeeker.Read(p)
+	c.read += int64(n)
+	return n, err
+}
+
+// errSeeker fails every read, to check error latching.
+type errSeeker struct{ size int64 }
+
+func (e *errSeeker) Read(p []byte) (int, error) { return 0, errors.New("boom") }
+func (e *errSeeker) Seek(off int64, whence int) (int64, error) {
+	if whence == io.SeekEnd {
+		return e.size, nil
+	}
+	return off, nil
+}
+
+func TestStreamReaderLatchesErrors(t *testing.T) {
+	sr, err := NewStreamReaderSize(&errSeeker{size: 100}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Read(make([]byte, 8)); err == nil {
+		t.Fatal("read through failing source succeeded")
+	}
+	if _, err := sr.Seek(0, io.SeekStart); err == nil {
+		t.Fatal("seek after latched error succeeded")
+	}
+}
+
+// FuzzStreamReader holds the StreamReader to two equivalences against the
+// all-in-memory path, on arbitrary documents:
+//
+//   - Token equivalence: a Reader over a StreamReader (any window size)
+//     delivers exactly the token stream a Reader over a bytes.Reader
+//     delivers, including the terminal error.
+//   - Seek/read equivalence: an arbitrary schedule of seeks and reads
+//     returns exactly the bytes that slicing the source would.
+func FuzzStreamReader(f *testing.F) {
+	seeds := []string{
+		"",
+		"\\begindata{text,1}\nhello\n\\enddata{text,1}\n",
+		"\\begindata{text,1}\n\\begindata{table,2}\ndims 2 2\n\\enddata{table,2}\n\\view{tableview,2}\n\\enddata{text,1}\n",
+		"\\begindata{text,1}\nhello\n\\enddata{text,1\nworld\n",
+		"\\enddata{ghost,9}\n",
+		"a\\\nb\nc\n", "a\\",
+		"\x00\x01\x7f\n",
+		strings.Repeat("payload\n", 40),
+	}
+	for _, s := range seeds {
+		f.Add(s, uint8(7), uint16(0x1234))
+	}
+	f.Fuzz(func(t *testing.T, data string, chunk uint8, plan uint16) {
+		window := int(chunk%64) + 1
+
+		// Token equivalence, both modes.
+		for _, mode := range []Mode{Strict, Lenient} {
+			sr, err := NewStreamReaderSize(strings.NewReader(data), window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed := NewReaderOptions(sr, Options{Mode: mode})
+			direct := NewReaderOptions(strings.NewReader(data), Options{Mode: mode})
+			for n := 0; ; n++ {
+				if n > len(data)+64 {
+					t.Fatalf("mode %v: runaway token stream", mode)
+				}
+				st, serr := streamed.Next()
+				dt, derr := direct.Next()
+				if (serr == nil) != (derr == nil) {
+					t.Fatalf("mode %v: error divergence: streamed %v, direct %v", mode, serr, derr)
+				}
+				if serr != nil {
+					if serr.Error() != derr.Error() {
+						t.Fatalf("mode %v: error text divergence: %q vs %q", mode, serr, derr)
+					}
+					break
+				}
+				if st != dt {
+					t.Fatalf("mode %v: token divergence: %+v vs %+v", mode, st, dt)
+				}
+			}
+		}
+
+		// Seek/read equivalence against slicing. The plan bits drive a
+		// deterministic schedule of seeks and short reads.
+		sr, err := NewStreamReaderSize(strings.NewReader(data), window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := 0
+		state := uint32(plan) | 1
+		next := func(n uint32) int {
+			state = state*1664525 + 1013904223
+			return int(state % (n + 1))
+		}
+		for step := 0; step < 16; step++ {
+			if next(3) == 0 && len(data) > 0 {
+				pos = next(uint32(len(data)))
+				if _, err := sr.Seek(int64(pos), io.SeekStart); err != nil {
+					t.Fatalf("seek to %d: %v", pos, err)
+				}
+			}
+			want := data[min(pos, len(data)):min(pos+next(97), len(data))]
+			buf := make([]byte, len(want))
+			n, err := io.ReadFull(sr, buf)
+			if n != len(want) || (err != nil && err != io.EOF && err != io.ErrUnexpectedEOF) {
+				t.Fatalf("read [%d:%d+%d): n=%d err=%v", pos, pos, len(want), n, err)
+			}
+			if string(buf[:n]) != want {
+				t.Fatalf("read at %d returned %q, want %q", pos, buf[:n], want)
+			}
+			pos += n
+			if got := sr.Offset(); got != int64(pos) {
+				t.Fatalf("Offset = %d, want %d", got, pos)
+			}
+		}
+	})
+}

@@ -50,6 +50,8 @@ type Client struct {
 	confirmed uint64
 	live      bool
 	attached  bool
+	// snapAcc assembles an in-progress chunked snapshot (snapr frames).
+	snapAcc *snapAccum
 	draining  bool // Resume is replaying the dead connection's leftovers
 
 	nextClientSeq uint64
@@ -484,6 +486,8 @@ func (c *Client) handleFrame(frame string) error {
 	switch verbOf(frame) {
 	case "snap":
 		return c.handleSnap(frame)
+	case "snapr":
+		return c.handleSnapRange(frame)
 	case "op":
 		m, err := parseCommitted(frame)
 		if err != nil {
@@ -539,7 +543,64 @@ func (c *Client) handleSnap(frame string) error {
 	if len(parts) == 4 {
 		body = parts[3]
 	}
-	snapDoc, err := decodeSnapshot([]byte(body), c.opts.Registry)
+	c.snapAcc = nil // a whole snapshot supersedes any partial range run
+	return c.applySnapshot(epoch, seq, []byte(body))
+}
+
+// snapAccum collects the snapr range frames of one chunked snapshot until
+// the announced total arrives.
+type snapAccum struct {
+	epoch, seq uint64
+	total      int
+	buf        []byte
+}
+
+// handleSnapRange accumulates one "snapr <epoch> <seq> <total> <offset>
+// <chunk>" frame. The server stages ranges in order and gapless, so any
+// discontinuity is a protocol error, not something to repair.
+func (c *Client) handleSnapRange(frame string) error {
+	parts := strings.SplitN(frame, " ", 6)
+	if len(parts) < 5 || parts[0] != "snapr" {
+		return c.fatal(fmt.Errorf("%w: snapr", errBadFrame))
+	}
+	epoch, err1 := strconv.ParseUint(parts[1], 10, 64)
+	seq, err2 := strconv.ParseUint(parts[2], 10, 64)
+	total, err3 := strconv.Atoi(parts[3])
+	offset, err4 := strconv.Atoi(parts[4])
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || total < 0 || offset < 0 {
+		return c.fatal(fmt.Errorf("%w: snapr header", errBadFrame))
+	}
+	body := ""
+	if len(parts) == 6 {
+		body = parts[5]
+	}
+	if c.snapAcc == nil {
+		if offset != 0 {
+			return c.fatal(fmt.Errorf("docserve: snapshot range starts at offset %d, not 0", offset))
+		}
+		c.snapAcc = &snapAccum{epoch: epoch, seq: seq, total: total, buf: make([]byte, 0, total)}
+	}
+	acc := c.snapAcc
+	if epoch != acc.epoch || seq != acc.seq || total != acc.total || offset != len(acc.buf) {
+		c.snapAcc = nil
+		return c.fatal(errors.New("docserve: snapshot range out of order"))
+	}
+	if len(acc.buf)+len(body) > total {
+		c.snapAcc = nil
+		return c.fatal(errors.New("docserve: snapshot ranges overflow the announced size"))
+	}
+	acc.buf = append(acc.buf, body...)
+	if len(acc.buf) < total {
+		return nil
+	}
+	c.snapAcc = nil
+	return c.applySnapshot(acc.epoch, acc.seq, acc.buf)
+}
+
+// applySnapshot installs a complete snapshot body — from one snap frame
+// or an assembled snapr run — as the confirmed state at (epoch, seq).
+func (c *Client) applySnapshot(epoch, seq uint64, body []byte) error {
+	snapDoc, err := decodeSnapshot(body, c.opts.Registry)
 	if err != nil {
 		return c.fatal(err)
 	}

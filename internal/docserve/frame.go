@@ -109,16 +109,54 @@ func (h *Host) appendAckLocked(fb *frameBuf, clientSeq uint64, n int, hi uint64)
 	h.doneScratch(sc, fb)
 }
 
-// appendSnapLocked appends "snap <epoch> <seq> <doc bytes>".
-func (h *Host) appendSnapLocked(fb *frameBuf, epoch, seq uint64, doc []byte) {
-	sc := h.lineScratch()
-	sc = append(sc, "snap "...)
-	sc = strconv.AppendUint(sc, epoch, 10)
-	sc = append(sc, ' ')
-	sc = strconv.AppendUint(sc, seq, 10)
-	sc = append(sc, ' ')
-	sc = append(sc, doc...)
-	h.doneScratch(sc, fb)
+// buildSnapFrames renders a document snapshot as wire frames: one classic
+// "snap" frame when the encoding fits the per-frame bound, else a run of
+// "snapr" range frames each carrying at most perFrame document bytes.
+// Unlike the Locked encoders above it uses only local scratch — snapshot
+// framing runs in attach's unlocked window, where escaping a 100 MB
+// document must not stall commits. Each returned frame holds one
+// reference owned by the caller.
+func buildSnapFrames(epoch, seq uint64, doc []byte, perFrame int) []*frameBuf {
+	if len(doc) <= perFrame {
+		fb := getFrame()
+		sc := make([]byte, 0, len(doc)+32)
+		sc = append(sc, "snap "...)
+		sc = strconv.AppendUint(sc, epoch, 10)
+		sc = append(sc, ' ')
+		sc = strconv.AppendUint(sc, seq, 10)
+		sc = append(sc, ' ')
+		sc = append(sc, doc...)
+		fb.b = datastream.AppendEscapedBytes(fb.b, sc)
+		return []*frameBuf{fb}
+	}
+	frames := make([]*frameBuf, 0, (len(doc)+perFrame-1)/perFrame)
+	scratch := make([]byte, 0, perFrame+64)
+	for off := 0; off < len(doc); off += perFrame {
+		end := min(off+perFrame, len(doc))
+		fb := getFrame()
+		sc := scratch[:0]
+		sc = append(sc, "snapr "...)
+		sc = strconv.AppendUint(sc, epoch, 10)
+		sc = append(sc, ' ')
+		sc = strconv.AppendUint(sc, seq, 10)
+		sc = append(sc, ' ')
+		sc = strconv.AppendInt(sc, int64(len(doc)), 10)
+		sc = append(sc, ' ')
+		sc = strconv.AppendInt(sc, int64(off), 10)
+		sc = append(sc, ' ')
+		sc = append(sc, doc[off:end]...)
+		fb.b = datastream.AppendEscapedBytes(fb.b, sc)
+		scratch = sc
+		frames = append(frames, fb)
+	}
+	return frames
+}
+
+// releaseFrames drops the caller's reference on every frame in the list.
+func releaseFrames(frames []*frameBuf) {
+	for _, fb := range frames {
+		fb.release()
+	}
 }
 
 // appendLiveLocked appends "live <seq>".

@@ -53,12 +53,19 @@ type HostOptions struct {
 	// limit): past the bound, the longest-idle disconnected identities
 	// are evicted early. Default 4 * MaxSessions.
 	MaxClients int
-	// MaxSnapshotBytes bounds the served document's encoded size. Commits
-	// that would push the encoding past it are rejected, because a
-	// document too big to snapshot can never again be joined or
-	// snapshot-resynced. Defaults to (and is clamped to) the protocol
-	// frame limit less header room.
+	// MaxSnapshotBytes bounds how many document bytes one snapshot frame
+	// carries. A document whose encoding fits is served as a single
+	// classic "snap" frame; a bigger one streams as a run of "snapr"
+	// range frames, each at most this large — so this is a framing knob,
+	// not a document-size ceiling. Defaults to (and is clamped to) the
+	// protocol frame limit less header room.
 	MaxSnapshotBytes int
+	// MaxDocBytes, when positive, bounds the served document's encoded
+	// size outright: a commit that would push the encoding past it is
+	// rejected with a "document full" error naming this limit. Zero means
+	// unlimited — chunked snapshots mean a large document can always be
+	// joined and resynced, so no ceiling is required for correctness.
+	MaxDocBytes int
 }
 
 func (o HostOptions) withDefaults() HostOptions {
@@ -89,9 +96,9 @@ func (o HostOptions) withDefaults() HostOptions {
 	return o
 }
 
-// maxServeBytes is the hard ceiling on a served document's encoded size:
-// the snap frame must decode within MaxFrameBytes on the client, header
-// included.
+// maxServeBytes is the hard ceiling on one snapshot frame's document
+// bytes: the snap/snapr frame must decode within MaxFrameBytes on the
+// client, header included.
 const maxServeBytes = MaxFrameBytes - 64
 
 // committedOp is one op in the authoritative order.
@@ -176,8 +183,8 @@ type Host struct {
 	nextSID  uint64
 	closed   bool
 	// encUpper over-estimates len(EncodeDocument(doc)); refreshed exactly
-	// whenever a commit or attach needs the truth. Guards the snapshot
-	// size limit without re-encoding the document on every commit.
+	// whenever a commit or attach needs the truth. Guards the MaxDocBytes
+	// retention limit without re-encoding the document on every commit.
 	encUpper int
 	// exactOK/exactSeq/exactSize memoize the last exact encode: while the
 	// seq has not moved, the document has not changed (every mutation is a
@@ -186,10 +193,11 @@ type Host struct {
 	exactOK   bool
 	exactSeq  uint64
 	exactSize int
-	// snapFrame caches the encoded snap frame for the state at snapSeq, so
-	// a burst of joins costs one document encode, not one per session.
-	snapFrame *frameBuf
-	snapSeq   uint64
+	// snapFrames caches the encoded snapshot frames (one snap frame, or a
+	// run of snapr range frames) for the state at snapSeq, so a burst of
+	// joins costs one document encode, not one per session.
+	snapFrames []*frameBuf
+	snapSeq    uint64
 	// encScratch is the reusable logical-line build buffer (see frame.go).
 	encScratch []byte
 	// attachGate, when set, runs in attach's unlocked encode window (test
@@ -204,6 +212,7 @@ type Host struct {
 	slowKicks          uint64
 	protoErrors        uint64
 	snapResyncs        uint64
+	snapChunks         uint64
 	opResyncs          uint64
 	journalErrors      uint64
 	styleCheckpoints   uint64
@@ -227,8 +236,9 @@ func NewHost(name string, doc *text.Data, opts HostOptions) *Host {
 		clients:  map[string]*clientState{},
 	}
 	// Pessimistic until the first exact encode (first attach or first
-	// guarded commit recomputes).
-	h.encUpper = h.opts.MaxSnapshotBytes
+	// guarded commit recomputes). Only meaningful under a MaxDocBytes
+	// retention limit; with no limit the guard never consults it.
+	h.encUpper = h.opts.MaxDocBytes
 	return h
 }
 
@@ -313,10 +323,8 @@ func (h *Host) Close() error {
 	for s := range h.sessions {
 		h.killLocked(s, "server shutting down", false)
 	}
-	if h.snapFrame != nil {
-		h.snapFrame.release()
-		h.snapFrame = nil
-	}
+	releaseFrames(h.snapFrames)
+	h.snapFrames = nil
 	df := h.df
 	h.mu.Unlock()
 	if df == nil {
@@ -389,32 +397,34 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 	}
 	recs, _ = xformDual(recs, bridge, true)
 
-	// A document the host cannot snapshot is a document no session can
-	// ever join or resync again, so a group that would push the encoding
-	// past the serveable limit is rejected before any of it applies.
+	// Snapshot size no longer bounds the document (big snapshots stream
+	// as range frames), so a commit is rejected only when it would cross
+	// an actual retention limit: the operator-set MaxDocBytes ceiling.
 	// encUpper is a cheap running over-estimate; only a group that would
 	// cross the limit pays for an exact re-encode.
-	growth := 0
-	for _, rec := range recs {
-		growth += recGrowth(rec)
-	}
-	if h.encUpper+growth > h.opts.MaxSnapshotBytes {
-		// The over-estimate says the limit is at risk; fall back to the
-		// exact size, re-encoding only if the seq has moved since the last
-		// exact measurement (the document cannot change without a commit
-		// bumping the seq, so a run of rejected borderline groups costs
-		// one encode, not one each).
-		if !h.exactOK || h.exactSeq != h.seq {
-			if b, err := persist.EncodeDocument(h.doc); err == nil {
-				h.exactOK, h.exactSeq, h.exactSize = true, h.seq, len(b)
+	if h.opts.MaxDocBytes > 0 {
+		growth := 0
+		for _, rec := range recs {
+			growth += recGrowth(rec)
+		}
+		if h.encUpper+growth > h.opts.MaxDocBytes {
+			// The over-estimate says the limit is at risk; fall back to the
+			// exact size, re-encoding only if the seq has moved since the last
+			// exact measurement (the document cannot change without a commit
+			// bumping the seq, so a run of rejected borderline groups costs
+			// one encode, not one each).
+			if !h.exactOK || h.exactSeq != h.seq {
+				if b, err := persist.EncodeDocument(h.doc); err == nil {
+					h.exactOK, h.exactSeq, h.exactSize = true, h.seq, len(b)
+				}
 			}
-		}
-		if h.exactOK && h.exactSeq == h.seq {
-			h.encUpper = h.exactSize
-		}
-		if h.encUpper+growth > h.opts.MaxSnapshotBytes {
-			h.failLocked(s, fmt.Sprintf("document full: commit would exceed the %d-byte snapshot limit", h.opts.MaxSnapshotBytes))
-			return
+			if h.exactOK && h.exactSeq == h.seq {
+				h.encUpper = h.exactSize
+			}
+			if h.encUpper+growth > h.opts.MaxDocBytes {
+				h.failLocked(s, fmt.Sprintf("document full: commit would push the encoded document past the %d-byte retention limit (MaxDocBytes)", h.opts.MaxDocBytes))
+				return
+			}
 		}
 	}
 
@@ -494,9 +504,9 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 
 	// Any commit invalidates the cached snapshot; drop it now rather than
 	// pinning a stale document encoding until the next join.
-	if h.snapFrame != nil && h.snapSeq != h.seq {
-		h.snapFrame.release()
-		h.snapFrame = nil
+	if len(h.snapFrames) > 0 && h.snapSeq != h.seq {
+		releaseFrames(h.snapFrames)
+		h.snapFrames = nil
 	}
 }
 
@@ -645,7 +655,10 @@ type Stats struct {
 	SlowConsumerKicks uint64
 	ProtocolErrors    uint64
 	SnapResyncs       uint64
-	OpResyncs         uint64
+	// SnapChunks counts snapr range frames staged for chunked snapshot
+	// delivery (zero while every served document fits one snap frame).
+	SnapChunks uint64
+	OpResyncs  uint64
 	JournalErrors     uint64
 	// StyleCheckpoints counts host-committed wholesale run republications.
 	StyleCheckpoints uint64
@@ -675,6 +688,7 @@ func (h *Host) Stats() Stats {
 		SlowConsumerKicks:  h.slowKicks,
 		ProtocolErrors:     h.protoErrors,
 		SnapResyncs:        h.snapResyncs,
+		SnapChunks:         h.snapChunks,
 		OpResyncs:          h.opResyncs,
 		JournalErrors:      h.journalErrors,
 		StyleCheckpoints:   h.styleCheckpoints,

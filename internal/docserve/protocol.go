@@ -28,6 +28,13 @@ import (
 // Server -> client:
 //
 //	snap <epoch> <seq> <document bytes>            full-document resync
+//	snapr <epoch> <seq> <total> <offset> <chunk>   one snapshot range frame:
+//	                                               chunk is bytes
+//	                                               [offset, offset+len) of a
+//	                                               total-byte document; ranges
+//	                                               arrive in order, gapless,
+//	                                               and the snapshot applies
+//	                                               when offset+len == total
 //	op <seq> <clientID> <clientSeq> <payload>      one committed edit
 //	ok <clientSeq> <n> <hi>                        ack: group committed as
 //	                                               n records ending at hi

@@ -174,6 +174,55 @@ func TestServeCommitsLiveDuringAttach(t *testing.T) {
 	}
 }
 
+// TestServeCommitsLiveDuringChunkedAttach pins the chunked-attach path:
+// a document far past the per-frame snapshot bound streams to a joiner
+// as snapr range frames, commits from an established session land while
+// the joiner's snapshot is being encoded and framed, and the joiner
+// still converges byte-identical.
+func TestServeCommitsLiveDuringChunkedAttach(t *testing.T) {
+	reg := testReg(t)
+	h := NewHost("d", newDoc(t, strings.Repeat("chunked cargo\n", 3000)), HostOptions{MaxSnapshotBytes: 4096})
+	srv := NewServer(HostOptions{})
+	srv.AddHost(h)
+
+	var armed atomic.Bool
+	gateRan := make(chan error, 1)
+	var early *Client
+	h.attachGate = func() {
+		if !armed.CompareAndSwap(true, false) {
+			return
+		}
+		if err := early.Doc().Insert(0, "live-during-attach "); err != nil {
+			gateRan <- err
+			return
+		}
+		gateRan <- early.Sync(3 * time.Second)
+	}
+
+	early = pipeClient(t, srv, "d", "early", reg)
+	mustInsert(t, early.Doc(), 0, "warm ")
+	if err := early.Sync(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	armed.Store(true)
+	late := pipeClient(t, srv, "d", "late", reg)
+	select {
+	case err := <-gateRan:
+		if err != nil {
+			t.Fatalf("commit during chunked attach: %v", err)
+		}
+	default:
+		t.Fatal("attach gate never ran: attach skipped the encode path")
+	}
+	if st := h.Stats(); st.SnapChunks < 2 {
+		t.Fatalf("chunked attach staged %d snapr chunks, want >= 2", st.SnapChunks)
+	}
+	convergeAll(t, h, early, late)
+	if !strings.Contains(late.Doc().String(), "live-during-attach") {
+		t.Fatal("joiner missed the op committed during its chunked attach")
+	}
+}
+
 // TestServeCoalescedFanout pins commit-group coalescing: a multi-record
 // group fans out as fewer wire buffers than op deliveries.
 func TestServeCoalescedFanout(t *testing.T) {

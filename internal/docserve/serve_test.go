@@ -472,12 +472,12 @@ func TestReconnectAfterPruneGetsSnapshot(t *testing.T) {
 	}
 }
 
-// TestSnapshotSizeLimitRejectsCommit: a commit that would push the
-// document's encoding past the serveable snapshot size is refused (the
-// session is failed), and the document stays joinable.
-func TestSnapshotSizeLimitRejectsCommit(t *testing.T) {
+// TestDocByteLimitRejectsCommit: a commit that would push the document's
+// encoding past the operator-set MaxDocBytes retention limit is refused
+// with an err frame naming the limit, and the document stays joinable.
+func TestDocByteLimitRejectsCommit(t *testing.T) {
 	reg := testReg(t)
-	h := NewHost("d", newDoc(t, "small\n"), HostOptions{MaxSnapshotBytes: 2048})
+	h := NewHost("d", newDoc(t, "small\n"), HostOptions{MaxDocBytes: 2048})
 	srv := NewServer(HostOptions{})
 	srv.AddHost(h)
 	a := pipeClient(t, srv, "d", "alice", reg)
@@ -486,6 +486,9 @@ func TestSnapshotSizeLimitRejectsCommit(t *testing.T) {
 	err := a.Sync(5 * time.Second)
 	if err == nil {
 		t.Fatal("oversized commit accepted")
+	}
+	if !strings.Contains(err.Error(), "document full") || !strings.Contains(err.Error(), "2048") {
+		t.Fatalf("rejection must name the retention limit: %v", err)
 	}
 	if h.Stats().Seq != 0 {
 		t.Fatalf("oversized commit advanced the log: %+v", h.Stats())
@@ -497,24 +500,52 @@ func TestSnapshotSizeLimitRejectsCommit(t *testing.T) {
 	}
 }
 
-// TestSnapshotSizeLimitRejectsAttach: serving a document already past the
-// snapshot limit yields a clear server-side error at attach, not a
-// client-side frame-limit failure after the bytes were shipped.
-func TestSnapshotSizeLimitRejectsAttach(t *testing.T) {
+// TestCommitBeyondSnapshotFrameAllowed: without a MaxDocBytes limit, a
+// document may grow far past the per-frame snapshot bound — the old
+// "snapshot limit" no longer rejects commits, because chunked snapr
+// frames keep any size joinable.
+func TestCommitBeyondSnapshotFrameAllowed(t *testing.T) {
 	reg := testReg(t)
-	big := newDoc(t, strings.Repeat("x", 4000))
+	h := NewHost("d", newDoc(t, "small\n"), HostOptions{MaxSnapshotBytes: 2048})
 	srv := NewServer(HostOptions{})
-	srv.AddHost(NewHost("d", big, HostOptions{MaxSnapshotBytes: 2048}))
+	srv.AddHost(h)
+	a := pipeClient(t, srv, "d", "alice", reg)
 
-	cEnd, sEnd := net.Pipe()
-	go srv.HandleConn(sEnd)
-	_, err := Connect(cEnd, "d", ClientOptions{ClientID: "c", Registry: reg})
-	if err == nil {
-		t.Fatal("oversized document attach accepted")
+	mustInsert(t, a.Doc(), 0, strings.Repeat("blob ", 1000))
+	if err := a.Sync(5 * time.Second); err != nil {
+		t.Fatalf("commit past the per-frame bound rejected: %v", err)
 	}
-	if !strings.Contains(err.Error(), "too large") {
-		t.Fatalf("wrong attach rejection: %v", err)
+	b := pipeClient(t, srv, "d", "bob", reg)
+	convergeAll(t, h, a, b)
+}
+
+// TestChunkedAttachServesLargeDocument: a document bigger than the
+// per-frame snapshot bound attaches by streaming snapr range frames, and
+// the replica converges byte-identical. The second joiner rides the
+// chunked snapshot cache.
+func TestChunkedAttachServesLargeDocument(t *testing.T) {
+	reg := testReg(t)
+	big := newDoc(t, strings.Repeat("wide载\n", 2000))
+	h := NewHost("d", big, HostOptions{MaxSnapshotBytes: 2048})
+	srv := NewServer(HostOptions{})
+	srv.AddHost(h)
+
+	a := pipeClient(t, srv, "d", "alice", reg)
+	if got, want := a.Doc().Len(), big.Len(); got != want {
+		t.Fatalf("chunked attach delivered %d runes, want %d", got, want)
 	}
+	chunks := h.Stats().SnapChunks
+	if chunks < 2 {
+		t.Fatalf("large attach used %d snapr chunks, want >= 2", chunks)
+	}
+	// Second joiner: served from the cached chunk frames (no re-encode),
+	// still counted as chunk deliveries.
+	b := pipeClient(t, srv, "d", "bob", reg)
+	if h.Stats().SnapChunks <= chunks {
+		t.Fatal("cached chunked attach did not count snapr frames")
+	}
+	mustInsert(t, a.Doc(), 0, "edited after chunked attach: ")
+	convergeAll(t, h, a, b)
 }
 
 func TestServeRoutingAndRejects(t *testing.T) {

@@ -112,11 +112,17 @@ func (h *Host) attach(conn net.Conn, hello helloMsg) (*session, error) {
 	}
 
 	h.snapResyncs++
-	if h.snapFrame != nil && h.snapSeq == h.seq {
+	if len(h.snapFrames) > 0 && h.snapSeq == h.seq {
 		// The seq-keyed snapshot cache holds the current state already
-		// encoded: attach costs no encode at all.
-		h.snapFrame.retain()
-		s.catchup = append(s.catchup, h.snapFrame)
+		// encoded (one snap frame, or a run of snapr range frames): attach
+		// costs no encode at all.
+		for _, fb := range h.snapFrames {
+			fb.retain()
+			s.catchup = append(s.catchup, fb)
+		}
+		if n := len(h.snapFrames); n > 1 {
+			h.snapChunks += uint64(n)
+		}
 		live := getFrame()
 		h.appendLiveLocked(live, h.seq)
 		s.catchup = append(s.catchup, live)
@@ -125,9 +131,12 @@ func (h *Host) attach(conn net.Conn, hello helloMsg) (*session, error) {
 
 	// Cache miss: capture the document state under the lock (a piece-table
 	// extract — one rune copy, far cheaper than the escape-encode), then
-	// release it while encoding so concurrent commits are not stalled.
-	// They enqueue into s.out in commit order with seq > seq0, exactly the
-	// ops the seq0 snapshot needs appended.
+	// release it while encoding and framing so concurrent commits are not
+	// stalled. They enqueue into s.out in commit order with seq > seq0,
+	// exactly the ops the seq0 snapshot needs appended. A document bigger
+	// than the per-frame bound streams to the client as a run of snapr
+	// range frames instead of one oversized snap frame, so document size
+	// no longer caps joinability.
 	clone, err := h.doc.Extract(0, h.doc.Len())
 	if err != nil {
 		h.discardSessionLocked(s)
@@ -139,9 +148,14 @@ func (h *Host) attach(conn net.Conn, hello helloMsg) (*session, error) {
 		h.attachGate()
 	}
 	b, encErr := persist.EncodeDocument(clone)
+	var frames []*frameBuf
+	if encErr == nil {
+		frames = buildSnapFrames(epoch, seq0, b, h.opts.MaxSnapshotBytes)
+	}
 	h.mu.Lock()
 	if _, live := h.sessions[s]; !live {
 		// Evicted while encoding (queue overflow under a commit storm).
+		releaseFrames(frames)
 		s.releaseQueued()
 		return nil, fmt.Errorf("document %s: session disconnected during attach", h.name)
 	}
@@ -149,25 +163,21 @@ func (h *Host) attach(conn net.Conn, hello helloMsg) (*session, error) {
 		h.discardSessionLocked(s)
 		return nil, encErr
 	}
-	if len(b) > h.opts.MaxSnapshotBytes {
-		h.discardSessionLocked(s)
-		return nil, fmt.Errorf("document %s is too large to serve a snapshot (%d > %d bytes)",
-			h.name, len(b), h.opts.MaxSnapshotBytes)
+	s.catchup = append(s.catchup, frames...)
+	if n := len(frames); n > 1 {
+		h.snapChunks += uint64(n)
 	}
-	fb := getFrame()
-	h.appendSnapLocked(fb, epoch, seq0, b)
-	s.catchup = append(s.catchup, fb)
 	live := getFrame()
 	h.appendLiveLocked(live, seq0)
 	s.catchup = append(s.catchup, live)
 	if h.seq == seq0 {
 		// Still current: publish to the snapshot cache and refresh the
 		// size accounting with the exact truth.
-		if h.snapFrame != nil {
-			h.snapFrame.release()
+		releaseFrames(h.snapFrames)
+		for _, fb := range frames {
+			fb.retain()
 		}
-		fb.retain()
-		h.snapFrame, h.snapSeq = fb, seq0
+		h.snapFrames, h.snapSeq = frames, seq0
 		h.encUpper = len(b)
 		h.exactOK, h.exactSeq, h.exactSize = true, seq0, len(b)
 	}

@@ -43,6 +43,11 @@ type DocFile struct {
 
 	journal *Journal
 	stale   bool // journal no longer reconstructs Doc; checkpoint needed
+	// baseCRC is the journal header binding to the saved bytes, cached by
+	// whoever last had those bytes (or their CRC) in hand — Load, Save,
+	// or the streaming open — so starting a journal does not have to read
+	// the whole file back just to hash it.
+	baseCRC string
 
 	// LoadDiags are datastream repair diagnostics from parsing the file.
 	LoadDiags []string
@@ -74,16 +79,34 @@ func EncodeDocument(doc *text.Data) ([]byte, error) {
 }
 
 // SaveDocument atomically writes doc to path (the save-as path, with no
-// journal attached).
+// journal attached) and refreshes the offset-index sidecar.
 func SaveDocument(fsys FS, path string, doc *text.Data) error {
+	if err := doc.LoadAll(); err != nil {
+		return fmt.Errorf("persist: refusing to save a truncated document: %w", err)
+	}
 	b, err := EncodeDocument(doc)
 	if err != nil {
 		return err
 	}
-	return AtomicWrite(fsys, path, func(w io.Writer) error {
+	if err := AtomicWrite(fsys, path, func(w io.Writer) error {
 		_, werr := w.Write(b)
 		return werr
-	})
+	}); err != nil {
+		return err
+	}
+	writeSidecar(fsys, path, b)
+	return nil
+}
+
+// writeSidecar refreshes the offset index beside a just-saved document.
+// Best-effort: the index only accelerates later opens, so a failure to
+// write it removes any stale one and otherwise lets the save stand. (A
+// stale sidecar would be rejected at open by its size/CRC binding anyway;
+// removing it just saves that open the wasted validation.)
+func writeSidecar(fsys FS, path string, doc []byte) {
+	if err := WriteIndex(fsys, path, BuildIndex(doc)); err != nil {
+		_ = fsys.Remove(IndexPath(path))
+	}
 }
 
 // baseHeader is the journal header binding it to an exact saved file — a
@@ -113,7 +136,7 @@ func Load(fsys FS, path string, reg *class.Registry, mode datastream.Mode) (*Doc
 		return nil, fmt.Errorf("%s holds a %s, not a text document", path, obj.TypeName())
 	}
 	doc.SetRegistry(reg)
-	df := &DocFile{fsys: fsys, Path: path, Doc: doc}
+	df := &DocFile{fsys: fsys, Path: path, Doc: doc, baseCRC: baseHeader(raw)}
 	for _, d := range r.Diagnostics() {
 		df.LoadDiags = append(df.LoadDiags, d.String())
 	}
@@ -193,11 +216,18 @@ func (df *DocFile) StartJournal() error {
 // edit logger — and journals exactly the records it commits, in its own
 // authoritative order.
 func (df *DocFile) StartJournalDetached() error {
-	saved, err := ReadFile(df.fsys, df.Path)
-	if err != nil {
-		return err
+	// Load cached the base header when it had the saved bytes in hand;
+	// re-reading the whole file here just to hash it again would double
+	// the open's I/O (and on a large document, dominate it). The read
+	// below survives only for DocFiles built by hand in tests.
+	if df.baseCRC == "" {
+		saved, err := ReadFile(df.fsys, df.Path)
+		if err != nil {
+			return err
+		}
+		df.baseCRC = baseHeader(saved)
 	}
-	j, err := CreateJournal(df.fsys, JournalPath(df.Path), baseHeader(saved), df.replayed)
+	j, err := CreateJournal(df.fsys, JournalPath(df.Path), df.baseCRC, df.replayed)
 	if err != nil {
 		return err
 	}
@@ -262,6 +292,12 @@ func (df *DocFile) Sync() error {
 // Save atomically writes the document to its path and rotates the journal
 // to a fresh one bound to the new bytes.
 func (df *DocFile) Save() error {
+	// A streamed document saves its tail too — and if the tail could not
+	// be loaded, overwriting the original with the truncated buffer would
+	// destroy the very bytes the document is still missing.
+	if err := df.Doc.LoadAll(); err != nil {
+		return fmt.Errorf("persist: refusing to save a truncated document: %w", err)
+	}
 	b, err := EncodeDocument(df.Doc)
 	if err != nil {
 		return err
@@ -272,6 +308,8 @@ func (df *DocFile) Save() error {
 	}); err != nil {
 		return err
 	}
+	writeSidecar(df.fsys, df.Path, b)
+	df.baseCRC = baseHeader(b)
 	df.Doc.MarkClean()
 	df.replayed = nil
 	if df.journal == nil {
@@ -282,7 +320,7 @@ func (df *DocFile) Save() error {
 	// no longer matter — the records it guarded are in the saved file.
 	_ = df.journal.Close()
 	df.journal = nil
-	j, err := CreateJournal(df.fsys, JournalPath(df.Path), baseHeader(b), nil)
+	j, err := CreateJournal(df.fsys, JournalPath(df.Path), df.baseCRC, nil)
 	if err != nil {
 		df.stale = false
 		return fmt.Errorf("document saved, but journaling could not restart: %w", err)
@@ -300,6 +338,9 @@ func (df *DocFile) Dirty() bool { return df.Doc.Dirty() }
 // the user chose not to save — so only a crash leaves a journal behind.
 func (df *DocFile) Close() error {
 	df.Doc.SetEditLogger(nil)
+	// A streamed document's tail loader holds the file open; release it.
+	// Content never faulted in is simply never read — the file keeps it.
+	df.Doc.SetTailLoader(nil)
 	if df.journal == nil {
 		return nil
 	}

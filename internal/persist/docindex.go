@@ -1,0 +1,419 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+
+	"atk/internal/datastream"
+)
+
+// The offset index is a sidecar written beside every saved document
+// (IndexPath), describing the saved bytes well enough that a later open
+// can map the document without parsing it: where the top component's
+// content payload begins and ends, how many runes and logical lines it
+// holds, and a byte/rune offset mark every markEvery logical lines. Each
+// record is CRC-framed with the same line discipline as the edit journal:
+//
+//	%atkindex1
+//	0 <crc> meta <docLen> <docCRC> <headLen> <headCRC> <runes> <lines>
+//	1 <crc> comp <type> <id> <contentStart> <contentEnd> <streamable>
+//	2 <crc> mark <line> <rune> <byte>
+//	...
+//
+// The meta record binds the sidecar to one exact saved file: the open
+// path trusts the index only when the file's size equals docLen AND the
+// CRC of its first headLen bytes equals headCRC. docCRC is the CRC of the
+// whole file, carried so the journal can be bound to the saved bytes
+// without re-reading them. An index that fails any check — bad magic,
+// torn record, CRC mismatch, stale binding — is simply not used; the open
+// falls back to the full parse. The index is an accelerator, never an
+// authority: wrong bytes are impossible, only slow opens.
+
+// IndexMagic is the first line of every offset-index sidecar.
+const IndexMagic = "%atkindex1"
+
+// markEvery is how many logical content lines separate offset marks.
+const markEvery = 4096
+
+// headProbe is how many leading bytes the meta record's head CRC covers.
+const headProbe = 4096
+
+// IndexPath returns where the offset index for path lives.
+func IndexPath(path string) string { return path + ".idx" }
+
+// IndexMark maps one logical content line to its offsets: Rune is the
+// content-rune position at which the line's text begins, Byte the file
+// offset of its first physical line.
+type IndexMark struct {
+	Line int
+	Rune int
+	Byte int64
+}
+
+// DocIndex is the parsed offset index of one saved document.
+type DocIndex struct {
+	// Binding to the saved file (see the meta record).
+	DocLen  int64
+	DocCRC  uint32
+	HeadLen int
+	HeadCRC uint32
+
+	// Content geometry of the top-level component.
+	CompType     string
+	CompID       int
+	ContentStart int64 // file offset of the first content payload line
+	ContentEnd   int64 // file offset of the closing \enddata line
+	Streamable   bool
+
+	// Totals over the content payload.
+	Runes int
+	Lines int
+
+	Marks []IndexMark
+}
+
+// MarkBefore returns the last mark at or before the given logical line
+// (zero value when no mark precedes it).
+func (ix *DocIndex) MarkBefore(line int) IndexMark {
+	best := IndexMark{}
+	for _, m := range ix.Marks {
+		if m.Line <= line {
+			best = m
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// BuildIndex scans one saved document and derives its offset index in a
+// single pass. It never fails: a document whose shape the streaming open
+// cannot serve (embedded components, multiple top-level objects, odd
+// nesting) yields an index with Streamable == false, which still binds
+// the sidecar to the bytes and still lets the journal reuse docCRC.
+func BuildIndex(doc []byte) *DocIndex {
+	ix := &DocIndex{
+		DocLen:  int64(len(doc)),
+		DocCRC:  crc32.ChecksumIEEE(doc),
+		HeadLen: min(len(doc), headProbe),
+	}
+	ix.HeadCRC = crc32.ChecksumIEEE(doc[:ix.HeadLen])
+
+	// Physical-line walker over the raw bytes — no per-line allocation,
+	// because this runs over the whole document at every save.
+	pos := 0
+	nextLine := func() ([]byte, int, bool) {
+		if pos >= len(doc) {
+			return nil, pos, false
+		}
+		start := pos
+		nl := bytes.IndexByte(doc[pos:], '\n')
+		if nl < 0 {
+			pos = len(doc)
+			return doc[start:], start, true
+		}
+		pos += nl + 1
+		return doc[start : start+nl], start, true
+	}
+	beginPrefix := []byte(`\begindata{`)
+
+	// Top-level begin marker.
+	line, _, ok := nextLine()
+	typ, id, merr := splitMarker(string(line), `\begindata{`)
+	if !ok || merr != nil {
+		return ix
+	}
+	ix.CompType, ix.CompID = typ, id
+	endMarker := []byte(fmt.Sprintf(`\enddata{%s,%d}`, typ, id))
+	if typ != "text" {
+		return ix
+	}
+
+	// Optional textstyles block, which must be flat.
+	contentStart := pos
+	line, off, ok := nextLine()
+	if ok && bytes.HasPrefix(line, beginPrefix) {
+		styp, sid, serr := splitMarker(string(line), `\begindata{`)
+		if serr != nil || styp != "textstyles" {
+			return ix
+		}
+		styleEnd := []byte(fmt.Sprintf(`\enddata{%s,%d}`, styp, sid))
+		for {
+			line, _, ok = nextLine()
+			if !ok || bytes.HasPrefix(line, beginPrefix) {
+				return ix
+			}
+			if bytes.Equal(line, styleEnd) {
+				break
+			}
+		}
+		contentStart = pos
+		line, off, ok = nextLine()
+	}
+	ix.ContentStart = int64(contentStart)
+
+	// Content payload: logical text lines only, up to our end marker.
+	var scratch []byte
+	logicalStart := off
+	inLogical := false
+	for ok {
+		if !inLogical && bytes.Equal(line, endMarker) {
+			ix.ContentEnd = int64(off)
+			// Nothing may follow the end marker.
+			if pos != len(doc) {
+				return ix
+			}
+			ix.Streamable = true
+			return ix
+		}
+		if !inLogical && (bytes.HasPrefix(line, beginPrefix) || bytes.HasPrefix(line, []byte(`\view{`)) || bytes.HasPrefix(line, []byte(`\enddata{`))) {
+			return ix // embedded object or foreign nesting: not streamable
+		}
+		if !inLogical {
+			logicalStart = off
+			scratch = scratch[:0]
+		}
+		var cont bool
+		var derr error
+		scratch, cont, derr = datastream.DecodeAppend(scratch, line)
+		if derr != nil {
+			return ix
+		}
+		inLogical = cont
+		if !cont {
+			if ix.Lines%markEvery == 0 {
+				ix.Marks = append(ix.Marks, IndexMark{Line: ix.Lines, Rune: contentRuneOffset(ix.Runes, ix.Lines), Byte: int64(logicalStart)})
+			}
+			ix.Runes += utf8.RuneCount(scratch)
+			ix.Lines++
+		}
+		line, off, ok = nextLine()
+	}
+	return ix // EOF before the end marker: torn file, not streamable
+}
+
+// contentRuneOffset is where logical line number `lines` begins in the
+// joined content: the runes of every earlier line plus one join newline
+// between each adjacent pair.
+func contentRuneOffset(runesSoFar, lines int) int {
+	if lines == 0 {
+		return 0
+	}
+	return runesSoFar + lines
+}
+
+// ContentRunes returns the total rune length of the joined content.
+func (ix *DocIndex) ContentRunes() int {
+	if ix.Lines == 0 {
+		return 0
+	}
+	return ix.Runes + ix.Lines - 1
+}
+
+// splitMarker parses `PREFIXtype,id}` (the datastream marker shape).
+func splitMarker(line, prefix string) (typ string, id int, err error) {
+	if !strings.HasPrefix(line, prefix) {
+		return "", 0, fmt.Errorf("not a %s marker", prefix)
+	}
+	body := line[len(prefix):]
+	if !strings.HasSuffix(body, "}") {
+		return "", 0, fmt.Errorf("missing closing brace in %q", line)
+	}
+	body = body[:len(body)-1]
+	comma := strings.LastIndexByte(body, ',')
+	if comma < 0 {
+		return "", 0, fmt.Errorf("missing comma in %q", line)
+	}
+	id, err = strconv.Atoi(strings.TrimSpace(body[comma+1:]))
+	if err != nil {
+		return "", 0, fmt.Errorf("bad id in %q", line)
+	}
+	return strings.TrimSpace(body[:comma]), id, nil
+}
+
+// encode renders the sidecar's full on-disk bytes.
+func (ix *DocIndex) encode() []byte {
+	var b strings.Builder
+	b.WriteString(IndexMagic + "\n")
+	seq := uint64(0)
+	rec := func(payload string) {
+		b.WriteString(frameRecord(seq, payload))
+		seq++
+	}
+	rec(fmt.Sprintf("meta %d %08x %d %08x %d %d", ix.DocLen, ix.DocCRC, ix.HeadLen, ix.HeadCRC, ix.Runes, ix.Lines))
+	streamable := 0
+	if ix.Streamable {
+		streamable = 1
+	}
+	rec(fmt.Sprintf("comp %s %d %d %d %d", ix.CompType, ix.CompID, ix.ContentStart, ix.ContentEnd, streamable))
+	for _, m := range ix.Marks {
+		rec(fmt.Sprintf("mark %d %d %d", m.Line, m.Rune, m.Byte))
+	}
+	return []byte(b.String())
+}
+
+// WriteIndex atomically writes the sidecar for path.
+func WriteIndex(fsys FS, path string, ix *DocIndex) error {
+	b := ix.encode()
+	return AtomicWrite(fsys, IndexPath(path), func(w io.Writer) error {
+		_, err := w.Write(b)
+		return err
+	})
+}
+
+// parseIndex decodes sidecar bytes. Unlike journal replay there is no
+// tolerated damage: any torn, corrupt, or out-of-order record invalidates
+// the whole index, because a half-trusted accelerator is worse than none.
+func parseIndex(b []byte) (*DocIndex, error) {
+	s := string(b)
+	nl := strings.IndexByte(s, '\n')
+	if nl < 0 || s[:nl] != IndexMagic {
+		return nil, fmt.Errorf("persist: not an offset index (bad magic)")
+	}
+	s = s[nl+1:]
+	ix := &DocIndex{}
+	wantSeq := uint64(0)
+	for len(s) > 0 {
+		var logical strings.Builder
+		for {
+			nl = strings.IndexByte(s, '\n')
+			if nl < 0 {
+				return nil, fmt.Errorf("persist: torn index record")
+			}
+			line := s[:nl]
+			s = s[nl+1:]
+			cont, err := datastream.DecodeLine(&logical, line)
+			if err != nil {
+				return nil, fmt.Errorf("persist: undecodable index record: %w", err)
+			}
+			if !cont {
+				break
+			}
+			if len(s) == 0 {
+				return nil, fmt.Errorf("persist: index continuation runs off the end")
+			}
+		}
+		seq, payload, ok := parseRecord(logical.String())
+		if !ok || seq != wantSeq {
+			return nil, fmt.Errorf("persist: invalid index record where seq %d expected", wantSeq)
+		}
+		if err := ix.applyRecord(seq, payload); err != nil {
+			return nil, err
+		}
+		wantSeq++
+	}
+	if wantSeq < 2 {
+		return nil, fmt.Errorf("persist: index missing meta/comp records")
+	}
+	return ix, nil
+}
+
+func (ix *DocIndex) applyRecord(seq uint64, payload string) error {
+	f := strings.Fields(payload)
+	bad := func() error { return fmt.Errorf("persist: malformed index record %q", payload) }
+	if len(f) == 0 {
+		return bad()
+	}
+	switch f[0] {
+	case "meta":
+		if seq != 0 || len(f) != 7 {
+			return bad()
+		}
+		docLen, e1 := strconv.ParseInt(f[1], 10, 64)
+		docCRC, e2 := strconv.ParseUint(f[2], 16, 32)
+		headLen, e3 := strconv.Atoi(f[3])
+		headCRC, e4 := strconv.ParseUint(f[4], 16, 32)
+		runes, e5 := strconv.Atoi(f[5])
+		lines, e6 := strconv.Atoi(f[6])
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil || e5 != nil || e6 != nil {
+			return bad()
+		}
+		ix.DocLen, ix.DocCRC = docLen, uint32(docCRC)
+		ix.HeadLen, ix.HeadCRC = headLen, uint32(headCRC)
+		ix.Runes, ix.Lines = runes, lines
+	case "comp":
+		if seq != 1 || len(f) != 6 {
+			return bad()
+		}
+		id, e1 := strconv.Atoi(f[2])
+		start, e2 := strconv.ParseInt(f[3], 10, 64)
+		end, e3 := strconv.ParseInt(f[4], 10, 64)
+		streamable, e4 := strconv.Atoi(f[5])
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+			return bad()
+		}
+		ix.CompType, ix.CompID = f[1], id
+		ix.ContentStart, ix.ContentEnd = start, end
+		ix.Streamable = streamable == 1
+	case "mark":
+		if seq < 2 || len(f) != 4 {
+			return bad()
+		}
+		line, e1 := strconv.Atoi(f[1])
+		runeOff, e2 := strconv.Atoi(f[2])
+		byteOff, e3 := strconv.ParseInt(f[3], 10, 64)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return bad()
+		}
+		if n := len(ix.Marks); n > 0 && ix.Marks[n-1].Line >= line {
+			return bad()
+		}
+		ix.Marks = append(ix.Marks, IndexMark{Line: line, Rune: runeOff, Byte: byteOff})
+	default:
+		return bad()
+	}
+	return nil
+}
+
+// LoadIndex reads and validates the offset index for path against the
+// document file itself: sizes must match and the head-probe CRC must
+// agree. Any failure returns an error; callers treat every error the same
+// way — fall back to the full parse.
+func LoadIndex(fsys FS, path string) (*DocIndex, error) {
+	b, err := ReadFile(fsys, IndexPath(path))
+	if err != nil {
+		return nil, err
+	}
+	ix, err := parseIndex(b)
+	if err != nil {
+		return nil, err
+	}
+	size, err := fsys.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if size != ix.DocLen {
+		return nil, fmt.Errorf("persist: offset index is stale (file %d bytes, index says %d)", size, ix.DocLen)
+	}
+	if ix.HeadLen < 0 || int64(ix.HeadLen) > size {
+		return nil, fmt.Errorf("persist: offset index head probe out of range")
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	head := make([]byte, ix.HeadLen)
+	if _, err := io.ReadFull(f, head); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(head) != ix.HeadCRC {
+		return nil, fmt.Errorf("persist: offset index does not match the document bytes")
+	}
+	if ix.Streamable {
+		if ix.ContentStart < 0 || ix.ContentEnd < ix.ContentStart || ix.ContentEnd > size {
+			return nil, fmt.Errorf("persist: offset index content range out of bounds")
+		}
+		for _, m := range ix.Marks {
+			if m.Byte < ix.ContentStart || m.Byte > ix.ContentEnd {
+				return nil, fmt.Errorf("persist: offset index mark out of bounds")
+			}
+		}
+	}
+	return ix, nil
+}

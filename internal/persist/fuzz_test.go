@@ -53,9 +53,9 @@ func FuzzJournalReplay(f *testing.F) {
 	f.Add([]byte(wellFormed))
 	f.Add([]byte(wellFormed[:len(wellFormed)-7])) // torn tail
 	f.Add([]byte(JournalMagic + "\n"))
-	f.Add([]byte(JournalMagic + "\n0 00000000 base\n"))     // bad CRC
+	f.Add([]byte(JournalMagic + "\n0 00000000 base\n")) // bad CRC
 	f.Add([]byte("not a journal at all"))
-	f.Add([]byte("%atkjournal1\n0 deadbeef \\u41;\\q\n"))   // bad escape
+	f.Add([]byte("%atkjournal1\n0 deadbeef \\u41;\\q\n"))    // bad escape
 	f.Add([]byte("%atkjournal1\n0 ffffffff i 999999 big\n")) // out-of-range edit
 
 	f.Fuzz(func(t *testing.T, b []byte) {

@@ -1,0 +1,367 @@
+package persist
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"atk/internal/datastream"
+	"atk/internal/text"
+)
+
+// bigContent builds deterministic multi-line content exercising the
+// escape scheme: long lines (continuation-wrapped on disk), backslashes,
+// and non-ASCII runes.
+func bigContent(lines int) string {
+	var b strings.Builder
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&b, "line %d: ", i)
+		switch i % 4 {
+		case 0:
+			b.WriteString(strings.Repeat("stream ", 20)) // wraps past MaxLine
+		case 1:
+			b.WriteString(`back\slash and tab:	end`)
+		case 2:
+			b.WriteString("café — φ ≠ ψ")
+		case 3:
+			b.WriteString("plain")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("last line, no trailing newline")
+	return b.String()
+}
+
+func docText(d *text.Data) string {
+	return string(d.Runes(0, d.Len()))
+}
+
+func TestStreamingOpenMatchesEager(t *testing.T) {
+	mem := NewMemFS()
+	reg := newReg(t)
+	content := bigContent(3000) // several tail chunks' worth on disk
+	doc := text.NewString(content)
+	if err := doc.SetStyle(3, 40, "bold"); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveDocument(mem, "doc.d", doc); err != nil {
+		t.Fatal(err)
+	}
+	if !Exists(mem, IndexPath("doc.d")) {
+		t.Fatal("save wrote no offset index")
+	}
+
+	df, err := LoadStreaming(mem, "doc.d", reg, datastream.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !df.Doc.Pending() {
+		t.Fatal("streaming open did not defer the content")
+	}
+	if df.Doc.Len() != 0 {
+		t.Fatalf("streamed prefix holds %d runes of content before any fault-in", df.Doc.Len())
+	}
+	if df.Dirty() {
+		t.Fatal("streamed open reports dirty")
+	}
+	wantRunes := len([]rune(content))
+	if got := df.Doc.PendingRunes(); got != wantRunes {
+		t.Fatalf("PendingRunes = %d, want %d", got, wantRunes)
+	}
+
+	// Fault in one chunk: the document grows but is not yet complete.
+	if err := df.Doc.LoadMore(); err != nil {
+		t.Fatal(err)
+	}
+	if df.Doc.Len() == 0 {
+		t.Fatal("LoadMore delivered nothing")
+	}
+	if !df.Doc.Pending() || df.Doc.Len() >= wantRunes {
+		t.Fatalf("one chunk loaded the whole %d-rune document (%d)", wantRunes, df.Doc.Len())
+	}
+	if !strings.HasPrefix(content, docText(df.Doc)) {
+		t.Fatal("partially loaded content is not a prefix of the document")
+	}
+	if df.Dirty() {
+		t.Fatal("fault-in marked the document dirty")
+	}
+
+	if err := df.Doc.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if df.Doc.Pending() || df.Doc.PendingRunes() != 0 {
+		t.Fatal("LoadAll left content pending")
+	}
+	if got := docText(df.Doc); got != content {
+		t.Fatalf("streamed content differs from saved content (%d vs %d runes)", len([]rune(got)), len([]rune(content)))
+	}
+	// Styles parsed from the head survive alongside the streamed content.
+	if len(df.Doc.Runs()) == 0 {
+		t.Fatal("style runs lost in streaming open")
+	}
+
+	eager := load(t, mem, reg)
+	if docText(eager.Doc) != docText(df.Doc) {
+		t.Fatal("streamed and eager opens disagree")
+	}
+}
+
+func TestStreamedEditForcesFullLoad(t *testing.T) {
+	mem := NewMemFS()
+	reg := newReg(t)
+	content := bigContent(120)
+	if err := SaveDocument(mem, "doc.d", text.NewString(content)); err != nil {
+		t.Fatal(err)
+	}
+	df, err := LoadStreaming(mem, "doc.d", reg, datastream.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !df.Doc.Pending() {
+		t.Fatal("streaming open did not defer the content")
+	}
+	// Load-before-mutate: the insert position must mean what it means in
+	// the complete document.
+	if err := df.Doc.Insert(0, "X"); err != nil {
+		t.Fatal(err)
+	}
+	if df.Doc.Pending() {
+		t.Fatal("mutating a streamed document left content pending")
+	}
+	if got := docText(df.Doc); got != "X"+content {
+		t.Fatal("edit on streamed document corrupted content")
+	}
+}
+
+func TestStreamedJournalBindsToSavedBytes(t *testing.T) {
+	// The streamed open never reads the full file, so the journal header
+	// CRC comes from the offset index. Prove it matches by crashing and
+	// letting the eager open's recovery accept the journal.
+	mem := NewMemFS()
+	reg := newReg(t)
+	content := bigContent(80)
+	if err := SaveDocument(mem, "doc.d", text.NewString(content)); err != nil {
+		t.Fatal(err)
+	}
+	df, err := LoadStreaming(mem, "doc.d", reg, datastream.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !df.Doc.Pending() {
+		t.Fatal("streaming open did not defer the content")
+	}
+	if err := df.StartJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Doc.Insert(0, "recovered"); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mem.SyncDir("")
+	// Crash: no Close, reopen from disk.
+	rec := load(t, mem, reg)
+	if rec.Replayed == 0 {
+		t.Fatalf("journal from streamed session not recovered: %v", rec.RecoveryDiags)
+	}
+	if got := docText(rec.Doc); got != "recovered"+content {
+		t.Fatal("recovery over streamed-session journal produced wrong content")
+	}
+}
+
+func TestStreamingFallsBackWhenJournalPresent(t *testing.T) {
+	mem := NewMemFS()
+	reg := newReg(t)
+	content := bigContent(60)
+	if err := SaveDocument(mem, "doc.d", text.NewString(content)); err != nil {
+		t.Fatal(err)
+	}
+	df, err := LoadStreaming(mem, "doc.d", reg, datastream.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := df.StartJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Doc.Insert(0, "Y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash with a journal on disk: the next open must take the eager
+	// path so recovery can replay over the complete document.
+	df2, err := LoadStreaming(mem, "doc.d", reg, datastream.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df2.Doc.Pending() {
+		t.Fatal("streaming open ignored a leftover journal")
+	}
+	if df2.Replayed == 0 {
+		t.Fatalf("recovery skipped: %v", df2.RecoveryDiags)
+	}
+	if got := docText(df2.Doc); got != "Y"+content {
+		t.Fatal("recovery produced wrong content")
+	}
+}
+
+func TestStreamingFallsBackOnUnstreamableShape(t *testing.T) {
+	mem := NewMemFS()
+	reg := newReg(t)
+	doc := text.NewString("host text")
+	child := text.NewString("embedded")
+	if err := doc.Embed(4, child, "textview"); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveDocument(mem, "doc.d", doc); err != nil {
+		t.Fatal(err)
+	}
+	// The sidecar exists but marks the shape unstreamable.
+	ix, err := LoadIndex(mem, "doc.d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Streamable {
+		t.Fatal("document with embedded component marked streamable")
+	}
+	df, err := LoadStreaming(mem, "doc.d", reg, datastream.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Doc.Pending() {
+		t.Fatal("unstreamable document opened lazily")
+	}
+	if len(df.Doc.Embeds()) != 1 {
+		t.Fatalf("embeds = %d, want 1", len(df.Doc.Embeds()))
+	}
+}
+
+// TestCorruptIndexFallsBackToFullParse is the recovery guarantee: a bad
+// sidecar — truncated, bit-flipped, wrong magic, stale against the file
+// — must never change the opened bytes, only the speed of the open.
+func TestCorruptIndexFallsBackToFullParse(t *testing.T) {
+	content := bigContent(150)
+	seed := func(t *testing.T) (*MemFS, []byte) {
+		t.Helper()
+		mem := NewMemFS()
+		if err := SaveDocument(mem, "doc.d", text.NewString(content)); err != nil {
+			t.Fatal(err)
+		}
+		ib, err := ReadFile(mem, IndexPath("doc.d"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mem, ib
+	}
+	rewrite := func(t *testing.T, mem *MemFS, b []byte) {
+		t.Helper()
+		f, err := mem.Create(IndexPath("doc.d"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		name   string
+		mangle func(t *testing.T, mem *MemFS, ib []byte)
+	}{
+		{"truncated", func(t *testing.T, mem *MemFS, ib []byte) {
+			rewrite(t, mem, ib[:len(ib)/2])
+		}},
+		{"bit flip in record", func(t *testing.T, mem *MemFS, ib []byte) {
+			mut := append([]byte(nil), ib...)
+			mut[len(mut)/2] ^= 0x20
+			rewrite(t, mem, mut)
+		}},
+		{"bad magic", func(t *testing.T, mem *MemFS, ib []byte) {
+			rewrite(t, mem, append([]byte("%atkjournal1\n"), ib...))
+		}},
+		{"empty", func(t *testing.T, mem *MemFS, ib []byte) {
+			rewrite(t, mem, nil)
+		}},
+		{"missing", func(t *testing.T, mem *MemFS, ib []byte) {
+			if err := mem.Remove(IndexPath("doc.d")); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"stale after rewrite", func(t *testing.T, mem *MemFS, ib []byte) {
+			// The document changes but the old sidecar stays behind.
+			if err := SaveDocument(mem, "other.d", text.NewString(content+"tail\n")); err != nil {
+				t.Fatal(err)
+			}
+			nb, err := ReadFile(mem, "other.d")
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := mem.Create("doc.d")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(nb); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			rewrite(t, mem, ib)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mem, ib := seed(t)
+			tc.mangle(t, mem, ib)
+			reg := newReg(t)
+			df, err := LoadStreaming(mem, "doc.d", reg, datastream.Strict)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := df.Doc.LoadAll(); err != nil {
+				t.Fatal(err)
+			}
+			ref := load(t, mem, reg)
+			if docText(df.Doc) != docText(ref.Doc) {
+				t.Fatalf("%s: corrupt index changed the opened bytes", tc.name)
+			}
+		})
+	}
+}
+
+func TestBuildIndexGeometry(t *testing.T) {
+	content := bigContent(50)
+	doc := text.NewString(content)
+	b, err := EncodeDocument(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildIndex(b)
+	if !ix.Streamable {
+		t.Fatal("plain text document not streamable")
+	}
+	if got, want := ix.ContentRunes(), len([]rune(content)); got != want {
+		t.Fatalf("ContentRunes = %d, want %d", got, want)
+	}
+	if got, want := ix.Lines, strings.Count(content, "\n")+1; got != want {
+		t.Fatalf("Lines = %d, want %d", got, want)
+	}
+	if len(ix.Marks) == 0 || ix.Marks[0].Line != 0 || ix.Marks[0].Byte != ix.ContentStart {
+		t.Fatalf("first mark %+v does not anchor the content start %d", ix.Marks, ix.ContentStart)
+	}
+	// The index round-trips through its on-disk form.
+	back, err := parseIndex(ix.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DocCRC != ix.DocCRC || back.ContentStart != ix.ContentStart ||
+		back.ContentEnd != ix.ContentEnd || back.Runes != ix.Runes ||
+		back.Lines != ix.Lines || len(back.Marks) != len(ix.Marks) ||
+		back.Streamable != ix.Streamable {
+		t.Fatalf("round-trip mismatch:\n%+v\n%+v", ix, back)
+	}
+}

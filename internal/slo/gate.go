@@ -237,6 +237,14 @@ func DefaultBenchGates() []BenchGate {
 		{Name: "multidoc_commits", Bench: "DocServeMultiDoc", Metric: "extra:commits/s", Op: ">=", Threshold: 10000},
 		{Name: "line_index_speedup", Metric: "speedup:line_start_end_of_doc", Op: ">=", Threshold: 5},
 		{Name: "relayout_speedup", Metric: "speedup:relayout_100k_lines", Op: ">=", Threshold: 100},
+		// The streaming large-document pipeline (BENCH_stream.json): a
+		// 100 MB document must open at least 10x faster to first paint and
+		// hold at least 5x less live heap than the eager load, and an
+		// attach past the per-frame snapshot bound must actually stream as
+		// snapr chunk frames.
+		{Name: "open_ttfp_speedup", Metric: "speedup:open_large_doc", Op: ">=", Threshold: 10},
+		{Name: "open_rss_ratio", Metric: "speedup:open_rss_ratio", Op: ">=", Threshold: 5},
+		{Name: "chunked_attach_chunks", Bench: "StreamChunkedAttach", Metric: "extra:chunks/attach", Op: ">=", Threshold: 2},
 	}
 }
 

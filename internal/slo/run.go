@@ -9,6 +9,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -61,7 +62,7 @@ func Run(sc Scenario, opts RunOptions) (*Summary, error) {
 		host    *docserve.Host
 		faultFS *persist.FaultFS
 	)
-	hostOpts := docserve.HostOptions{QueueLen: 4096}
+	hostOpts := docserve.HostOptions{QueueLen: 4096, MaxSnapshotBytes: sc.SnapFrameBytes}
 	if sc.JournalWriteEvery > 0 || sc.JournalSyncEvery > 0 {
 		// Durability faults: serve a file-backed document whose journal
 		// lives on a FaultFS; SetRecurring arms it during inject.
@@ -74,6 +75,11 @@ func Run(sc Scenario, opts RunOptions) (*Summary, error) {
 	} else {
 		doc := text.New()
 		doc.SetRegistry(reg)
+		if sc.PreloadRunes > 0 {
+			if err := doc.Insert(0, preloadContent(sc.PreloadRunes)); err != nil {
+				return nil, fmt.Errorf("slo: preloading document: %w", err)
+			}
+		}
 		host = docserve.NewHost(docName, doc, hostOpts)
 	}
 	srv := docserve.NewServer(hostOpts)
@@ -216,6 +222,7 @@ func Run(sc Scenario, opts RunOptions) (*Summary, error) {
 	metrics["resumes"] = float64(d.Resumes())
 	metrics["net_cuts"] = float64(inj.Cuts())
 	metrics["journal_errors"] = float64(st.JournalErrors)
+	metrics["snap_chunks"] = float64(st.SnapChunks)
 	metrics["protocol_errors"] = float64(st.ProtocolErrors)
 	metrics["slow_kicks"] = float64(st.SlowConsumerKicks)
 	metrics["server_rejects"] = float64(srv.Rejections())
@@ -249,6 +256,18 @@ func Run(sc Scenario, opts RunOptions) (*Summary, error) {
 	fmt.Fprintf(opts.Log, "slo: %s run%d: %s (%d live, %d diverged, recovery %.0fms)\n",
 		sc.Name, opts.RunIndex, verdict, len(clients), diverged, recoveryMS)
 	return sum, nil
+}
+
+// preloadContent builds sc.PreloadRunes runes of deterministic multi-line
+// text (ASCII, so runes == bytes) for the large-attach scenario.
+func preloadContent(n int) string {
+	const line = "preloaded payload line for the large-attach scenario 0123456789\n"
+	var sb strings.Builder
+	sb.Grow(n + len(line))
+	for sb.Len() < n {
+		sb.WriteString(line)
+	}
+	return sb.String()[:n]
 }
 
 // flood sprays seeded garbage at the listener over fresh connections

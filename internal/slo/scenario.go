@@ -50,6 +50,14 @@ type Scenario struct {
 	// FloodConns opens that many hostile connections during inject, each
 	// spraying seeded garbage at the listener in a loop.
 	FloodConns int
+	// PreloadRunes seeds the served document with that many runes before
+	// the load starts, so every attach happens against an already-large
+	// document. Memory-backed hosts only.
+	PreloadRunes int
+	// SnapFrameBytes, when > 0, overrides the host's MaxSnapshotBytes
+	// (the per-frame snapshot bound), forcing attaches of the preloaded
+	// document to stream as chunked snapr range frames.
+	SnapFrameBytes int
 	Assertions []Assertion
 }
 

@@ -90,6 +90,26 @@ func Builtin() []Scenario {
 			),
 		},
 		{
+			Name:        "large_attach",
+			Description: "attaches stream a preloaded large document as chunked snapr frames while commits stay live and some consumers stall",
+			Mix:         driver.Mix{Writers: 2, Readers: 3, Churners: 2, Rate: 200},
+			Seed:        1007,
+			Warmup:      warmup, Inject: inject, Recovery: recovery,
+			// 200k runes against an 8 KiB per-frame bound: every snapshot
+			// attach must chunk (~25+ snapr frames), and — because there is
+			// no MaxDocBytes — commits keep landing far past the old
+			// single-frame ceiling.
+			PreloadRunes:   200_000,
+			SnapFrameBytes: 8 << 10,
+			Net:            &faultnet.Plan{StallFrac: 0.1, StallFor: 30 * time.Millisecond},
+			Assertions: std(
+				// Proves the chunked path was actually exercised: attaches
+				// staged snapr range frames.
+				Assertion{Name: "fault_armed", Metric: "snap_chunks", Op: ">=", Value: 1, Hard: true},
+				Assertion{Name: "commit_latency", Metric: "inject.commit_p95_ms", Op: "<=", Value: 1000},
+			),
+		},
+		{
 			Name:        "hostile_flood",
 			Description: "garbage-spraying connections hammer the listener: rejected without hurting sessions",
 			Mix:         driver.Mix{Writers: 2, Readers: 2, Churners: 1, Rate: 200},

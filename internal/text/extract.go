@@ -12,6 +12,7 @@ import (
 // first half of cut/copy, and the clipboard's external representation
 // makes the eventual copy when it serializes.
 func (d *Data) Extract(start, end int) (*Data, error) {
+	d.ensureLoaded()
 	if start < 0 || end > d.length || start > end {
 		return nil, fmt.Errorf("%w: extract [%d,%d) of %d", ErrRange, start, end, d.length)
 	}

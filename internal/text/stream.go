@@ -43,6 +43,7 @@ func (d *Data) registry() *class.Registry {
 
 // WritePayload implements core.DataObject.
 func (d *Data) WritePayload(w *datastream.Writer) error {
+	d.ensureLoaded()
 	if err := d.writeStyles(w); err != nil {
 		return err
 	}
@@ -111,7 +112,9 @@ func (d *Data) ReadPayload(r *datastream.Reader) error {
 	// A wholesale reload is not a journalable edit: tell any attached
 	// journal its log no longer reconstructs this document.
 	d.logEdit(EditRecord{Kind: RecReset, Text: "payload reloaded"})
-	// Reset.
+	// Reset (a reload supersedes any deferred tail).
+	d.closeTail()
+	d.tailErr = nil
 	d.orig, d.add, d.pieces, d.length = nil, nil, nil, 0
 	d.runs, d.embeds = nil, nil
 	d.bump()

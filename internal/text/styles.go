@@ -100,6 +100,7 @@ func (t *StyleTable) Names() []string {
 // SetStyle applies the named style to [start,end), splitting and merging
 // runs as needed so runs stay sorted and non-overlapping.
 func (d *Data) SetStyle(start, end int, name string) error {
+	d.ensureLoaded()
 	if start < 0 || end > d.length || start > end {
 		return fmt.Errorf("%w: style [%d,%d) of %d", ErrRange, start, end, d.length)
 	}
@@ -155,6 +156,7 @@ func (d *Data) SetStyle(start, end int, name string) error {
 // Runs must be sorted, non-overlapping, in range, and reference defined
 // styles; the whole replacement is a single journal entry.
 func (d *Data) ReplaceRuns(runs []Run) error {
+	d.ensureLoaded()
 	prevEnd := 0
 	for _, r := range runs {
 		if r.Start < prevEnd || r.Start >= r.End || r.End > d.length {

@@ -78,6 +78,11 @@ type Data struct {
 	inUndo  bool
 	noUndo  bool
 
+	// tail faults in deferred content for open-without-loading documents
+	// (see lazy.go); nil once fully loaded. tailErr latches a load failure.
+	tail    TailLoader
+	tailErr error
+
 	// editLog receives every primitive mutation for write-ahead
 	// journaling (see journal.go); nil when no journal is attached.
 	editLog func(EditRecord)
@@ -151,6 +156,7 @@ func (d *Data) Insert(pos int, s string) error {
 	if strings.ContainsRune(s, AnchorRune) {
 		return fmt.Errorf("text: cannot insert anchor rune directly")
 	}
+	d.ensureLoaded()
 	if pos < 0 || pos > d.length {
 		return fmt.Errorf("%w: insert at %d of %d", ErrRange, pos, d.length)
 	}
@@ -168,6 +174,7 @@ func (d *Data) Insert(pos int, s string) error {
 }
 
 func (d *Data) insertRunes(pos int, rs []rune, kind string) error {
+	d.ensureLoaded()
 	if pos < 0 || pos > d.length {
 		return fmt.Errorf("%w: insert at %d of %d", ErrRange, pos, d.length)
 	}
@@ -330,6 +337,7 @@ func (d *Data) spliceOut(pos, n int) {
 // Delete removes [pos, pos+n). Embedded components inside the range are
 // dropped from the embed list.
 func (d *Data) Delete(pos, n int) error {
+	d.ensureLoaded()
 	if pos < 0 || n < 0 || pos+n > d.length {
 		return fmt.Errorf("%w: delete [%d,%d) of %d", ErrRange, pos, pos+n, d.length)
 	}
@@ -553,6 +561,7 @@ func (d *Data) PieceCount() int { return len(d.pieces) }
 // accumulated by editing. Rune positions are unchanged, so the newline
 // index survives; the piece index and outstanding cursors re-seek.
 func (d *Data) Compact() {
+	d.ensureLoaded()
 	s := d.Runes(0, d.length)
 	d.orig = s
 	d.add = nil

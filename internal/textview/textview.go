@@ -162,6 +162,19 @@ func (v *View) ObservedChanged(obj core.DataObject, ch core.Change) {
 	case "delete":
 		v.dot = shrinkAcross(v.dot, ch.Pos, ch.Length)
 		v.mark = shrinkAcross(v.mark, ch.Pos, ch.Length)
+	case "load":
+		// A streamed document faulted in content at its end (ch.Pos is the
+		// old length). The laid prefix is untouched; only lines that ended
+		// exactly at the old end may continue differently, so drop them and
+		// reopen the frontier instead of discarding the whole layout.
+		if !v.dirty {
+			for len(v.lines) > 0 && v.lines[len(v.lines)-1].nlEnd >= ch.Pos {
+				v.lines = v.lines[:len(v.lines)-1]
+			}
+			v.complete = false
+		}
+		v.WantUpdate(v.Self())
+		return
 	}
 	v.dot, v.mark = v.clampPos(v.dot), v.clampPos(v.mark)
 	if r, ok := v.repairLine(ch); ok {
@@ -343,6 +356,7 @@ func (v *View) extendOne(d *text.Data, w int) bool {
 	if v.complete {
 		return false
 	}
+	v.faultAhead(d)
 	pos := 0
 	if n := len(v.lines); n > 0 {
 		pos = v.lines[n-1].nlEnd
@@ -361,6 +375,35 @@ func (v *View) extendOne(d *text.Data, w int) bool {
 		}
 	}
 	return true
+}
+
+// loadHorizonRunes is how much loaded content the layout keeps ahead of
+// its frontier in a streamed document, so a display line never ends at a
+// chunk boundary artificially (one display line is bounded by the view
+// width, far under this horizon).
+const loadHorizonRunes = 4096
+
+// faultAhead pulls chunks of a streamed document in until the loaded
+// content runs a horizon past the layout frontier (or the tail is
+// exhausted). This is where open-without-loading meets the viewport-lazy
+// layout: scrolling faults in exactly the chunks the frontier reaches.
+func (v *View) faultAhead(d *text.Data) {
+	if !d.Pending() {
+		return
+	}
+	frontier := func() int {
+		if n := len(v.lines); n > 0 {
+			return v.lines[n-1].nlEnd
+		}
+		return 0
+	}
+	for d.Pending() && d.Len()-frontier() < loadHorizonRunes {
+		if d.LoadMore() != nil {
+			break
+		}
+		// The load notification may have reopened the frontier line;
+		// frontier() re-reads it each pass.
+	}
 }
 
 // ensureLayout materializes the full line table — the pre-lazy contract,
@@ -836,15 +879,27 @@ func (v *View) visibleLines() int {
 	return n
 }
 
-// ScrollInfo implements widgets.Scrollee.
+// ScrollInfo implements widgets.Scrollee. For a streamed document with
+// content still unloaded it reports an estimated total (laid lines plus
+// the offset index's pending-line count) instead of materializing the
+// layout — scrollbar geometry must not force a 100 MB load.
 func (v *View) ScrollInfo() (total, top, visible int) {
+	if d := v.Text(); d != nil && d.Pending() {
+		vis := v.visibleLines()
+		return len(v.lines) + d.PendingLines(), v.topLine, vis
+	}
 	v.ensureLayout()
 	return len(v.lines), v.topLine, v.visibleLines()
 }
 
-// ScrollTo implements widgets.Scrollee.
+// ScrollTo implements widgets.Scrollee. Scrolling a streamed document
+// extends layout (and faults content in) only through the target line.
 func (v *View) ScrollTo(top int) {
-	v.ensureLayout()
+	if d := v.Text(); d != nil && d.Pending() {
+		v.ensureLine(top)
+	} else {
+		v.ensureLayout()
+	}
 	if top > len(v.lines)-1 {
 		top = len(v.lines) - 1
 	}

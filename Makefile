@@ -66,12 +66,15 @@ bench-stream:
 
 # slo runs the fault-scenario suite (internal/slo) SLO_RERUNS times per
 # scenario against a live in-process docserve server — slow consumers,
-# injected connect/read latency, mid-stream partitions, journal
+# injected connect/read latency, mid-stream partitions, rapid connection
+# flapping, a graceful host drain + restart mid-load, journal
 # write/fsync faults, hostile floods — writes per-run JSONL samples and
 # summaries under slo_artifacts/, then gates: hard assertions
-# (convergence, liveness, fault-armed proof) fail on any violating
-# rerun; soft latency SLOs fail only when the regression exceeds
-# cross-rerun noise (>= 3 reruns for a variance allowance).
+# (convergence, zero lost edits across the restart, liveness,
+# fault-armed proof) fail on any violating rerun; soft latency SLOs fail
+# only when the regression exceeds cross-rerun noise (>= 3 reruns for a
+# variance allowance). Gates derive from each scenario's own assertions,
+# so new scenarios flow in automatically.
 SLO_RERUNS ?= 3
 slo:
 	$(GO) run ./cmd/slogate -run -reruns $(SLO_RERUNS) -artifacts slo_artifacts \

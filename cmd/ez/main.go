@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -86,20 +87,6 @@ func run(wm, typeText, save string, doPrint, page, lenient bool, scriptPath, pat
 		page: page, lenient: lenient, scriptPath: scriptPath, path: path})
 }
 
-// dialSpec dials "tcp:host:port" or "unix:/path".
-func dialSpec(spec string) (net.Conn, error) {
-	proto, addr, ok := strings.Cut(spec, ":")
-	if !ok {
-		return nil, fmt.Errorf("bad connect spec %q (want tcp:host:port or unix:/path)", spec)
-	}
-	switch proto {
-	case "tcp", "unix":
-		return net.Dial(proto, addr)
-	default:
-		return nil, fmt.Errorf("unsupported connect protocol %q", proto)
-	}
-}
-
 func runOpts(o ezOpts) error {
 	wm, typeText, save := o.wm, o.typeText, o.save
 	doPrint, page, lenient := o.doPrint, o.page, o.lenient
@@ -118,6 +105,7 @@ func runOpts(o ezOpts) error {
 	var doc *text.Data
 	var df *persist.DocFile
 	var cl *docserve.Client
+	var frame *widgets.Frame // set below; OnState fires only from Pump, after it exists
 	if o.connect != "" {
 		if o.docName == "" {
 			return fmt.Errorf("-connect requires -docname")
@@ -126,7 +114,7 @@ func runOpts(o ezOpts) error {
 			host, _ := os.Hostname()
 			o.clientID = fmt.Sprintf("%s.%d", clientToken(host), os.Getpid())
 		}
-		conn, err := dialSpec(o.connect)
+		conn, err := docserve.DialSpec(o.connect)
 		if err != nil {
 			return err
 		}
@@ -135,6 +123,23 @@ func runOpts(o ezOpts) error {
 			Registry:       app.Reg,
 			IdleTimeout:    60 * time.Second,
 			HeartbeatEvery: 10 * time.Second,
+			// Self-healing: a lost connection degrades to offline-buffered
+			// editing and redials the same spec instead of a dead replica.
+			Dial:        func() (net.Conn, error) { return docserve.DialSpec(o.connect) },
+			OfflineFS:   persist.OS,
+			OfflinePath: offlinePath(o.docName, o.clientID),
+			OnState: func(s docserve.ConnState, cause error) {
+				if frame == nil {
+					return
+				}
+				msg := "connection: " + s.String()
+				if s == docserve.StateConnected {
+					msg = "connection: restored"
+				} else if cause != nil {
+					msg += " (" + cause.Error() + ")"
+				}
+				frame.PostMessage(msg)
+			},
 		})
 		if err != nil {
 			return err
@@ -183,7 +188,7 @@ func runOpts(o ezOpts) error {
 		pv.SetDataObject(doc)
 		body = pv
 	}
-	frame := widgets.NewFrame(body)
+	frame = widgets.NewFrame(body)
 	app.IM.SetChild(frame)
 	switch {
 	case cl != nil:
@@ -269,9 +274,21 @@ func runOpts(o ezOpts) error {
 	// A connected session waits for its edits to be confirmed (and any
 	// concurrent remote edits to arrive) before rendering or exiting, so
 	// what the user sees — and what -save captures — is committed state.
+	// With the connection down there is no point waiting the full window:
+	// the offline journal already holds every unconfirmed edit durably, so
+	// name it and exit instead of giving up silently.
 	if cl != nil {
-		if err := cl.Sync(10 * time.Second); err != nil {
-			return fmt.Errorf("syncing with server: %w", err)
+		patience := 10 * time.Second
+		if cl.State() != docserve.StateConnected {
+			patience = 2 * time.Second
+		}
+		if err := cl.Sync(patience); err != nil {
+			if jpath, n, ferr := cl.FlushOffline(); ferr == nil && jpath != "" && n > 0 {
+				fmt.Fprintf(os.Stderr, "ez: connection %s; %d unconfirmed edits kept in %s — they replay on the next connect as %s, or recover them by hand\n",
+					cl.State(), n, jpath, o.clientID)
+			} else {
+				return fmt.Errorf("syncing with server: %w", err)
+			}
 		}
 		_ = cl.Pump()
 	}
@@ -291,6 +308,14 @@ func runOpts(o ezOpts) error {
 		}
 	}
 	return nil
+}
+
+// offlinePath is where a connected session's offline edit journal lives:
+// deterministic in (document, client id), so a session restarted with the
+// same -client recovers a crashed predecessor's offline edits.
+func offlinePath(docName, clientID string) string {
+	return filepath.Join(os.TempDir(),
+		fmt.Sprintf("ez-offline.%s.%s.journal", clientToken(docName), clientToken(clientID)))
 }
 
 // clientToken squeezes a hostname into the protocol's client-id alphabet.

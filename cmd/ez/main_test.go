@@ -285,8 +285,10 @@ func TestEZConnectEditsSharedDocument(t *testing.T) {
 }
 
 func TestEZDialSpecRejectsGarbage(t *testing.T) {
+	// ez dials through docserve.DialSpec (one spec parser for the whole
+	// tree); bad specs surface before any session state exists.
 	for _, bad := range []string{"", "nope", "ftp:127.0.0.1:1"} {
-		if conn, err := dialSpec(bad); err == nil {
+		if conn, err := docserve.DialSpec(bad); err == nil {
 			conn.Close()
 			t.Fatalf("dial spec %q accepted", bad)
 		}

@@ -8,12 +8,20 @@
 //
 // Usage:
 //
-//	ezserve [-listen tcp:host:port|unix:/path] [-sync 2s] [-stats 1m] doc.d [more.d ...]
+//	ezserve [-listen tcp:host:port|unix:/path] [-sync 2s] [-stats 1m] [-drain 5s] doc.d [more.d ...]
 //
 // Clients attach with ez -connect tcp:host:port -docname doc.d.
+//
+// On SIGTERM or interrupt the server drains instead of dropping dead:
+// every session gets a "bye draining <retry-after-ms>" frame, outbound
+// queues flush, each document is saved with a host-state sidecar beside
+// it, and a server restarted on the same files resumes the drained
+// sessions where they left off — self-healing clients reconnect without
+// losing an edit. -drain bounds how long the flush may take.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +42,7 @@ func main() {
 	listen := flag.String("listen", "tcp:127.0.0.1:7421", "listen address, tcp:host:port or unix:/path")
 	syncEvery := flag.Duration("sync", 2*time.Second, "how often to force journaled ops to disk")
 	statsEvery := flag.Duration("stats", time.Minute, "how often to log per-document stats (0 = never)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for flushing sessions on SIGTERM")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "ezserve: at least one document path is required")
@@ -48,7 +57,7 @@ func main() {
 		close(stop)
 	}()
 
-	if err := run(*listen, flag.Args(), *syncEvery, *statsEvery, os.Stderr, nil, stop); err != nil {
+	if err := run(*listen, flag.Args(), *syncEvery, *statsEvery, *drain, os.Stderr, nil, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "ezserve:", err)
 		os.Exit(1)
 	}
@@ -68,10 +77,11 @@ func listenSpec(spec string) (net.Listener, error) {
 	}
 }
 
-// run serves the documents until stop closes, then shuts down cleanly
-// (saving every document). If ready is non-nil the bound address is sent
-// on it once the listener is up — tests use this to learn the port.
-func run(listen string, paths []string, syncEvery, statsEvery time.Duration,
+// run serves the documents until stop closes, then drains gracefully
+// within drainTimeout (bye broadcast, queue flush, save, host-state
+// sidecar). If ready is non-nil the bound address is sent on it once the
+// listener is up — tests use this to learn the port.
+func run(listen string, paths []string, syncEvery, statsEvery, drainTimeout time.Duration,
 	logw io.Writer, ready chan<- net.Addr, stop <-chan struct{}) error {
 
 	reg := class.NewRegistry()
@@ -132,8 +142,13 @@ func run(listen string, paths []string, syncEvery, statsEvery time.Duration,
 			_ = srv.Close()
 			return fmt.Errorf("accept: %w", err)
 		case <-stop:
-			fmt.Fprintln(logw, "ezserve: shutting down, saving documents")
-			return srv.Close()
+			fmt.Fprintf(logw, "ezserve: draining sessions (up to %s), saving documents\n", drainTimeout)
+			if drainTimeout <= 0 {
+				drainTimeout = 5 * time.Second
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			defer cancel()
+			return srv.Shutdown(ctx)
 		}
 	}
 }

@@ -30,7 +30,7 @@ func TestServeEditShutdownSaves(t *testing.T) {
 	stop := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		done <- run("tcp:127.0.0.1:0", []string{docPath}, 50*time.Millisecond, 0, &logbuf, ready, stop)
+		done <- run("tcp:127.0.0.1:0", []string{docPath}, 50*time.Millisecond, 0, 5*time.Second, &logbuf, ready, stop)
 	}()
 	var addr net.Addr
 	select {
@@ -95,6 +95,172 @@ func TestServeEditShutdownSaves(t *testing.T) {
 	_ = os.Remove(docPath)
 }
 
+// TestDrainRestartResume is the graceful-drain proof: a stopped ezserve
+// (the stop channel is what SIGTERM closes in main) sends the drain bye
+// and saves before exiting, and self-healing clients — including one
+// holding an edit made while the server was down — auto-resume against a
+// server restarted on the same files without losing an edit. On failure
+// the server logs are written under $DRAIN_ARTIFACTS_DIR for CI.
+func TestDrainRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "drain.d")
+	sock := filepath.Join(dir, "drain.sock")
+
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+
+	var logbuf bytes.Buffer
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		if adir := os.Getenv("DRAIN_ARTIFACTS_DIR"); adir != "" {
+			_ = os.MkdirAll(adir, 0o755)
+			_ = os.WriteFile(filepath.Join(adir, "drain_restart_server.log"), logbuf.Bytes(), 0o644)
+		}
+		t.Logf("server log:\n%s", logbuf.String())
+	})
+
+	start := func() (chan error, chan struct{}) {
+		ready := make(chan net.Addr, 1)
+		stop := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			done <- run("unix:"+sock, []string{docPath}, 20*time.Millisecond, 0, 5*time.Second, &logbuf, ready, stop)
+		}()
+		select {
+		case <-ready:
+		case err := <-done:
+			t.Fatalf("server exited early: %v\n%s", err, logbuf.String())
+		}
+		return done, stop
+	}
+	done, stop := start()
+
+	var causes []string
+	dial := func(id string) *docserve.Client {
+		conn, err := net.Dial("unix", sock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := docserve.Connect(conn, docPath, docserve.ClientOptions{
+			ClientID:    id,
+			Registry:    reg,
+			Dial:        func() (net.Conn, error) { return net.Dial("unix", sock) },
+			BackoffBase: 5 * time.Millisecond,
+			BackoffCap:  50 * time.Millisecond,
+			BackoffSeed: 1,
+			OnState: func(s docserve.ConnState, cause error) {
+				if id == "alice" && cause != nil {
+					causes = append(causes, s.String()+": "+cause.Error())
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("connect %s: %v", id, err)
+		}
+		return c
+	}
+	a := dial("alice")
+	defer a.Close()
+	b := dial("bob")
+	defer b.Close()
+	if err := a.Doc().Insert(0, "before the restart\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Sync(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WaitSeq(a.Confirmed(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain. The saved document must already hold the committed edit.
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v\n%s", err, logbuf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	df, err := persist.Load(persist.OS, docPath, reg, datastream.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := df.Doc.String(); got != "before the restart\n" {
+		t.Fatalf("drained save holds %q", got)
+	}
+	if len(df.RecoveryDiags) != 0 {
+		t.Fatalf("drain left recovery work: %v", df.RecoveryDiags)
+	}
+	_ = df.Close()
+	if !persist.Exists(persist.OS, docserve.HostStatePath(docPath)) {
+		t.Fatal("drain left no host-state sidecar")
+	}
+
+	// The clients notice the loss (the drain bye) and start healing; an
+	// edit made while the server is down buffers offline.
+	_ = a.Pump()
+	_ = b.Pump()
+	if err := a.Doc().Insert(0, "typed while offline\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same state; both clients must resume on their own.
+	done2, stop2 := start()
+	defer func() {
+		close(stop2)
+		<-done2
+	}()
+	wait := func(c *docserve.Client, name string) {
+		deadline := time.Now().Add(15 * time.Second)
+		for c.State() != docserve.StateConnected {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s did not resume: state %s err %v", name, c.State(), c.Err())
+			}
+			if err := c.PumpWait(20 * time.Millisecond); err != nil {
+				t.Fatalf("%s pump: %v", name, err)
+			}
+		}
+	}
+	wait(a, "alice")
+	wait(b, "bob")
+	if err := a.Sync(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WaitSeq(a.Confirmed(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := "typed while offline\nbefore the restart\n"
+	if got := a.Doc().String(); got != want {
+		t.Fatalf("alice converged on %q", got)
+	}
+	if got := b.Doc().String(); got != want {
+		t.Fatalf("bob converged on %q", got)
+	}
+	// Zero lost edits, via resume — not a snapshot resync that drops work.
+	if a.DroppedPending != 0 || b.DroppedPending != 0 {
+		t.Fatalf("resync dropped edits: alice %d bob %d", a.DroppedPending, b.DroppedPending)
+	}
+	if a.Reconnects() < 1 || b.Reconnects() < 1 {
+		t.Fatalf("expected auto-resume, got reconnects alice=%d bob=%d", a.Reconnects(), b.Reconnects())
+	}
+	// The loss was reported as the server's own drain notice.
+	foundDrain := false
+	for _, c := range causes {
+		if strings.Contains(c, "draining") {
+			foundDrain = true
+		}
+	}
+	if !foundDrain {
+		t.Fatalf("no drain bye surfaced in state transitions: %v", causes)
+	}
+}
+
 func TestListenSpecRejectsGarbage(t *testing.T) {
 	for _, bad := range []string{"", "nope", "ftp:127.0.0.1:1"} {
 		if ln, err := listenSpec(bad); err == nil {
@@ -118,7 +284,7 @@ func TestServeUnixSocket(t *testing.T) {
 	stop := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		done <- run("unix:"+sock, []string{docPath}, time.Second, 0, &logbuf, ready, stop)
+		done <- run("unix:"+sock, []string{docPath}, time.Second, 0, 5*time.Second, &logbuf, ready, stop)
 	}()
 	select {
 	case <-ready:

@@ -5,15 +5,18 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"atk/internal/class"
 	"atk/internal/core"
 	"atk/internal/datastream"
+	"atk/internal/persist"
 	"atk/internal/text"
 )
 
@@ -75,9 +78,31 @@ type Client struct {
 	// host could not replay ops across the gap, so unconfirmed local work
 	// could not be rebased and did not survive).
 	DroppedPending int
+	// OfflineRecovered counts edits replayed from a crashed predecessor's
+	// offline journal at Connect.
+	OfflineRecovered int
 
 	lastErr error
 	closed  bool
+
+	// Self-healing state (see heal.go). state and reconnects are atomics so
+	// any goroutine may observe them; everything else is owner-only except
+	// rng and the channels, which the supervisor owns while it runs.
+	state      atomic.Int32  // ConnState
+	reconnects atomic.Uint64 // successful resumes
+	healing    bool          // a supervisor is (re)dialing
+	connLost   bool          // lastErr latched by a transport loss, not a protocol error
+	attempts   int           // dial attempts this outage
+	resumeErr  error         // last failed heal-resume cause, for the give-up report
+	rng        *rand.Rand    // backoff jitter; owner creates, supervisor uses while running
+	healc      chan healEvent
+	healAck    chan bool
+	superStop  chan struct{}
+	superDone  chan struct{}
+
+	// Offline edit durability (see heal.go).
+	offline    *persist.Journal
+	offlineErr error
 }
 
 // inflightGroup is the one op group awaiting its ack.
@@ -113,6 +138,39 @@ type ClientOptions struct {
 	// OnRemoteOp, if set, is called (on the owner goroutine, from Pump)
 	// after each foreign committed op is applied.
 	OnRemoteOp func(seq uint64)
+
+	// Dial, if set, makes the client self-heal: on connection loss a
+	// supervisor goroutine redials through it with exponential backoff and
+	// full jitter, and the next Pump resumes the session. Unset, a lost
+	// connection latches the client dead (the historical behavior); the
+	// owner may still call Resume by hand.
+	Dial func() (net.Conn, error)
+	// BackoffBase/BackoffCap bound the redial schedule: attempt n sleeps
+	// rand(0, min(BackoffCap, BackoffBase<<(n-1))). Defaults 50ms / 3s.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// MaxAttempts caps dial attempts per outage before the client latches
+	// Failed. 0 means retry forever.
+	MaxAttempts int
+	// OfflineAfter is how many consecutive failed attempts demote
+	// Reconnecting to Offline (the user-visible "this outage is real").
+	// Default 3.
+	OfflineAfter int
+	// BackoffSeed seeds the jitter for reproducible schedules in tests.
+	// 0 seeds from the clock.
+	BackoffSeed int64
+	// OnState, if set, is called on each connection-state transition, on
+	// the owner goroutine, with the error that caused it (nil on recovery).
+	OnState func(s ConnState, cause error)
+
+	// OfflineFS/OfflinePath, when both set, enable the offline edit
+	// journal: while disconnected every pending and new local edit is kept
+	// in a CRC-framed journal at OfflinePath (fsync per append), so a crash
+	// of the editor itself while offline loses nothing. Connect replays a
+	// leftover journal when the server state still matches it exactly, and
+	// sets a non-replayable one aside as OfflinePath+".stale".
+	OfflineFS   persist.FS
+	OfflinePath string
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -127,6 +185,15 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	}
 	if o.HandshakeTimeout <= 0 {
 		o.HandshakeTimeout = 30 * time.Second
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 3 * time.Second
+	}
+	if o.OfflineAfter <= 0 {
+		o.OfflineAfter = 3
 	}
 	return o
 }
@@ -155,6 +222,11 @@ func Connect(conn net.Conn, docName string, opts ClientOptions) (*Client, error)
 		br:      bufio.NewReader(conn),
 		bw:      bufio.NewWriter(conn),
 	}
+	seed := opts.BackoffSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c.rng = rand.New(rand.NewSource(seed))
 	if err := c.sendRaw(encodeHello(docName, opts.ClientID)); err != nil {
 		conn.Close()
 		return nil, err
@@ -167,6 +239,9 @@ func Connect(conn net.Conn, docName string, opts ClientOptions) (*Client, error)
 		conn.Close()
 		return nil, errors.New("docserve: server went live without a snapshot")
 	}
+	// A crashed predecessor session may have left offline edits behind;
+	// replay them before the background reader starts.
+	c.recoverOffline()
 	c.startReader()
 	c.startHeartbeat()
 	return c, nil
@@ -184,21 +259,8 @@ func (c *Client) Resume(conn net.Conn) error {
 	if c.conn != nil {
 		_ = c.conn.Close()
 	}
-	// Apply whatever the old reader delivered before it noticed the loss;
-	// those frames are valid committed state and our resume point must
-	// account for them. Kick notices (err/bye) are why we are here — skip.
-	if c.inbox != nil {
-		c.draining = true
-		for f := range c.inbox {
-			if v := verbOf(f); v == "err" || v == "bye" {
-				continue
-			}
-			if err := c.handleFrame(f); err != nil {
-				c.draining = false
-				return err
-			}
-		}
-		c.draining = false
+	if err := c.drainDeadInbox(); err != nil {
+		return err
 	}
 	c.lastErr = nil
 	c.live = false
@@ -307,10 +369,23 @@ func (c *Client) stopHeartbeat() {
 }
 
 // Close says bye and tears the connection down. The bye is best-effort
-// with a short deadline: a wedged server must not make Close hang.
+// with a short deadline: a wedged server must not make Close hang. An
+// in-flight reconnect supervisor is stopped; the offline journal is kept
+// on disk iff it still holds unconfirmed edits (FlushOffline first to
+// learn its path), and removed otherwise.
 func (c *Client) Close() error {
 	c.stopHeartbeat()
+	c.stopSupervisor()
+	c.healing = false
 	c.closed = true
+	if c.offline != nil {
+		_ = c.offline.Sync()
+		_ = c.offline.Close()
+		if c.PendingCount() == 0 {
+			_ = c.opts.OfflineFS.Remove(c.opts.OfflinePath)
+		}
+		c.offline = nil
+	}
 	if c.conn == nil {
 		return nil
 	}
@@ -346,19 +421,26 @@ func (c *Client) Err() error { return c.lastErr }
 func (c *Client) Live() bool { return c.live }
 
 // Pump applies every frame the reader has queued, without blocking. Call
-// it from the owner's idle loop.
+// it from the owner's idle loop. With a Dial configured, Pump is also
+// where healing happens: a detected loss starts the supervisor, and a
+// successful redial resumes the session — both on this goroutine, so the
+// replica never sees concurrent mutation.
 func (c *Client) Pump() error {
+	c.pumpHeal()
+	if err := c.pumpLost(); err != nil {
+		return err
+	}
 	for {
+		if c.inbox == nil {
+			return c.lastErr
+		}
 		select {
 		case f, ok := <-c.inbox:
 			if !ok {
-				if c.lastErr == nil {
-					c.lastErr = errors.New("docserve: connection lost")
-				}
-				return c.lastErr
+				return c.lostConn(errors.New("docserve: connection lost"), 0)
 			}
 			if err := c.handleFrame(f); err != nil {
-				return err
+				return c.frameErr(err)
 			}
 		default:
 			return c.lastErr
@@ -366,23 +448,52 @@ func (c *Client) Pump() error {
 	}
 }
 
+// pumpLost converts a transport-loss latch (a failed send, noticed before
+// the reader saw the dead socket) into a heal.
+func (c *Client) pumpLost() error {
+	if !c.connLost {
+		return nil
+	}
+	c.connLost = false
+	cause := c.lastErr
+	c.lastErr = nil
+	return c.lostConn(cause, 0)
+}
+
+// frameErr routes a handleFrame error: a server drain notice starts a
+// heal; anything else is already latched fatal.
+func (c *Client) frameErr(err error) error {
+	var lost *connLostError
+	if errors.As(err, &lost) {
+		return c.lostConn(lost.cause, lost.retryAfter)
+	}
+	return err
+}
+
 // PumpWait blocks up to d for at least one frame, then drains the rest.
+// While healing it waits on the supervisor instead — a successful redial
+// wakes it to resume rather than sleeping out the full wait.
 func (c *Client) PumpWait(d time.Duration) error {
-	// Fast path: a frame is already queued — no timer needed at all. In a
-	// busy stream this is the common case.
-	select {
-	case f, ok := <-c.inbox:
-		if !ok {
-			if c.lastErr == nil {
-				c.lastErr = errors.New("docserve: connection lost")
+	c.pumpHeal()
+	if err := c.pumpLost(); err != nil {
+		return err
+	}
+	if c.inbox != nil {
+		// Fast path: a frame is already queued — no timer needed at all. In
+		// a busy stream this is the common case.
+		select {
+		case f, ok := <-c.inbox:
+			if !ok {
+				return c.lostConn(errors.New("docserve: connection lost"), 0)
 			}
-			return c.lastErr
+			if err := c.handleFrame(f); err != nil {
+				return c.frameErr(err)
+			}
+			return c.Pump()
+		default:
 		}
-		if err := c.handleFrame(f); err != nil {
-			return err
-		}
-		return c.Pump()
-	default:
+	} else if !c.healing {
+		return c.lastErr
 	}
 	// The wait timer is reused across calls (PumpWait runs once per
 	// delivered frame in a read-mostly replica's idle loop; a fresh timer
@@ -401,17 +512,28 @@ func (c *Client) PumpWait(d time.Duration) error {
 			}
 		}
 	}
+	if c.inbox == nil {
+		// Healing: the only thing worth waking for is a supervisor event.
+		select {
+		case ev := <-c.healc:
+			stop()
+			c.handleHealEvent(ev)
+			if c.inbox != nil {
+				return c.Pump()
+			}
+			return c.lastErr
+		case <-c.pumpTimer.C:
+			return c.lastErr
+		}
+	}
 	select {
 	case f, ok := <-c.inbox:
 		stop()
 		if !ok {
-			if c.lastErr == nil {
-				c.lastErr = errors.New("docserve: connection lost")
-			}
-			return c.lastErr
+			return c.lostConn(errors.New("docserve: connection lost"), 0)
 		}
 		if err := c.handleFrame(f); err != nil {
-			return err
+			return c.frameErr(err)
 		}
 		return c.Pump()
 	case <-c.pumpTimer.C:
@@ -478,6 +600,11 @@ func (c *Client) fatal(err error) error {
 	if c.lastErr == nil {
 		c.lastErr = err
 	}
+	// A latch during a heal attempt is the attempt failing, not the client
+	// dying — handleHealEvent clears it and the supervisor retries.
+	if c.attached && !c.healing && !c.closed {
+		c.setState(StateFailed, c.lastErr)
+	}
 	return err
 }
 
@@ -505,6 +632,15 @@ func (c *Client) handleFrame(frame string) error {
 	case "pong":
 		return nil
 	case "bye":
+		if reason, retryAfter, ok := parseBye(frame); ok {
+			// A drain notice: the server is going away on purpose and says
+			// when to come back. Not latched — Pump turns it into a heal
+			// (or a plain error for clients without a Dial).
+			return &connLostError{
+				cause:      fmt.Errorf("docserve: server draining: %s", reason),
+				retryAfter: retryAfter,
+			}
+		}
 		return c.fatal(errors.New("docserve: server closed the session"))
 	case "err":
 		reason, _ := restOf(frame, 1)
@@ -632,9 +768,17 @@ func (c *Client) applySnapshot(epoch, seq uint64, body []byte) error {
 		if aerr != nil {
 			return c.fatal(aerr)
 		}
-		c.DroppedPending += c.PendingCount()
+		if dropped := c.PendingCount(); dropped > 0 {
+			c.DroppedPending += dropped
+			if c.offline != nil {
+				// The journaled edits did not survive the resync; keep them
+				// recoverable by hand instead of deleting them on ack.
+				c.dropOffline(".dropped")
+			}
+		}
 		c.inflight = nil
 		c.buffer = nil
+		c.maybeDiscardOffline()
 	}
 	c.epoch, c.confirmed = epoch, seq
 	return nil
@@ -665,6 +809,7 @@ func (c *Client) handleCommitted(m committedMsg) error {
 		if len(c.inflight.recs) == 0 {
 			c.inflight = nil
 			c.maybePromote()
+			c.maybeDiscardOffline()
 		}
 		return nil
 	}
@@ -715,6 +860,7 @@ func (c *Client) handleAck(clientSeq uint64, n int, hi uint64) error {
 	if n == 0 && len(c.inflight.recs) == 0 && hi <= c.confirmed {
 		c.inflight = nil
 		c.maybePromote()
+		c.maybeDiscardOffline()
 		return nil
 	}
 	// Every bridge op reached us before the ack (the stream is ordered), so
@@ -726,6 +872,7 @@ func (c *Client) handleAck(clientSeq uint64, n int, hi uint64) error {
 	c.confirmed = hi
 	c.inflight = nil
 	c.maybePromote()
+	c.maybeDiscardOffline()
 	return nil
 }
 
@@ -759,6 +906,7 @@ func (c *Client) onEdit(rec text.EditRecord) {
 		return
 	}
 	c.buffer = append(c.buffer, rec)
+	c.logOffline(rec)
 	c.maybePromote()
 }
 
@@ -809,6 +957,9 @@ func (c *Client) sendGroup() {
 	c.wmu.Unlock()
 	if err != nil && c.lastErr == nil {
 		c.lastErr = fmt.Errorf("docserve: send: %w", err)
+		// A failed send is a transport loss: the next Pump heals it (the
+		// in-flight state is kept, so the resumed session re-sends).
+		c.connLost = true
 	}
 }
 

@@ -1,0 +1,148 @@
+//go:build race
+
+package docserve
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRaceCloseDuringHeal closes the client while its supervisor is
+// mid-redial — dialing, sleeping a backoff, or parked on a dialed
+// connection waiting for the owner's verdict. Close must stop the
+// supervisor, reap any parked connection, and leave no goroutine
+// touching client state afterwards. (Race-gated: without the detector
+// this proves little the plain tests don't.)
+func TestRaceCloseDuringHeal(t *testing.T) {
+	h := NewHost("closerace.d", newDoc(t, "base\n"), HostOptions{})
+	srv := NewServer(HostOptions{})
+	srv.AddHost(h)
+	seed := testSeed(t, 2000)
+	rng := rand.New(rand.NewSource(seed))
+
+	for i := 0; i < 40; i++ {
+		cEnd, sEnd := net.Pipe()
+		go srv.HandleConn(sEnd)
+		// The dial runs on the supervisor goroutine: give it its own rng
+		// rather than sharing the test goroutine's.
+		dialRng := rand.New(rand.NewSource(seed + 100 + int64(i)))
+		dial := func() (net.Conn, error) {
+			// Stagger dial latency so Close lands in every supervisor
+			// phase across iterations.
+			time.Sleep(time.Duration(dialRng.Intn(3)) * time.Millisecond)
+			nc, ns := net.Pipe()
+			go srv.HandleConn(ns)
+			return nc, nil
+		}
+		c, err := Connect(cEnd, "closerace.d", ClientOptions{
+			ClientID:    fmt.Sprintf("racer-%d", i),
+			Registry:    testReg(t),
+			Dial:        dial,
+			BackoffBase: time.Millisecond,
+			BackoffCap:  2 * time.Millisecond,
+			BackoffSeed: seed + int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustInsert(t, c.Doc(), 0, "x")
+		_ = c.conn.Close()
+		// Let the heal advance a random distance: not at all, mid-backoff,
+		// or all the way through a resume.
+		for k := rng.Intn(4); k > 0; k-- {
+			_ = c.PumpWait(time.Millisecond)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("iteration %d: close: %v", i, err)
+		}
+	}
+}
+
+// TestRaceKillConnMidCommitSoak is the tentpole's soak: a killer
+// goroutine keeps cutting whatever connection the client currently
+// holds while the owner goroutine commits edits, so resumes race
+// in-flight groups over and over. At quiescence the replica must still
+// converge byte-identically with zero dropped edits — and the race
+// detector sweeps the supervisor/owner handoff the whole time.
+func TestRaceKillConnMidCommitSoak(t *testing.T) {
+	h := NewHost("killsoak.d", newDoc(t, "seed line\n"), HostOptions{QueueLen: 4096})
+	srv := NewServer(HostOptions{})
+	srv.AddHost(h)
+	seed := testSeed(t, 3000)
+
+	var connMu sync.Mutex
+	var latest net.Conn
+	track := func(nc net.Conn) net.Conn {
+		connMu.Lock()
+		latest = nc
+		connMu.Unlock()
+		return nc
+	}
+	dial := func() (net.Conn, error) {
+		nc, ns := net.Pipe()
+		go srv.HandleConn(ns)
+		return track(nc), nil
+	}
+	cEnd, sEnd := net.Pipe()
+	go srv.HandleConn(sEnd)
+	c, err := Connect(track(cEnd), "killsoak.d", ClientOptions{
+		ClientID:    "soaker",
+		Registry:    testReg(t),
+		Dial:        dial,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  4 * time.Millisecond,
+		BackoffSeed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	stop := make(chan struct{})
+	var killerWG sync.WaitGroup
+	killerWG.Add(1)
+	go func() {
+		defer killerWG.Done()
+		krng := rand.New(rand.NewSource(seed + 1))
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Duration(1+krng.Intn(4)) * time.Millisecond):
+			}
+			connMu.Lock()
+			if latest != nil {
+				_ = latest.Close()
+			}
+			connMu.Unlock()
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(seed + 2))
+	for op := 0; op < 150; op++ {
+		if err := randomEdit(c, rng); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		if err := c.Pump(); err != nil {
+			t.Fatalf("pump after op %d: %v", op, err)
+		}
+		if rng.Intn(3) == 0 {
+			_ = c.PumpWait(time.Millisecond)
+		}
+	}
+	close(stop)
+	killerWG.Wait()
+	waitReconnect(t, c, 1)
+	if err := c.Sync(10 * time.Second); err != nil {
+		t.Fatalf("final sync: %v", err)
+	}
+	convergeAll(t, h, c)
+	if c.DroppedPending != 0 {
+		t.Fatalf("soak dropped %d edits", c.DroppedPending)
+	}
+	t.Logf("soak survived %d reconnects", c.Reconnects())
+}

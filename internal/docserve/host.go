@@ -66,6 +66,9 @@ type HostOptions struct {
 	// unlimited — chunked snapshots mean a large document can always be
 	// joined and resynced, so no ceiling is required for correctness.
 	MaxDocBytes int
+	// DrainRetryAfter is the retry-after hint a graceful drain's bye frame
+	// carries: clients should not redial sooner. Default 1s.
+	DrainRetryAfter time.Duration
 }
 
 func (o HostOptions) withDefaults() HostOptions {
@@ -92,6 +95,9 @@ func (o HostOptions) withDefaults() HostOptions {
 	}
 	if o.MaxSnapshotBytes <= 0 || o.MaxSnapshotBytes > maxServeBytes {
 		o.MaxSnapshotBytes = maxServeBytes
+	}
+	if o.DrainRetryAfter <= 0 {
+		o.DrainRetryAfter = time.Second
 	}
 	return o
 }
@@ -182,6 +188,12 @@ type Host struct {
 	clients  map[string]*clientState
 	nextSID  uint64
 	closed   bool
+	// draining rejects new attaches while in-flight commits still land
+	// (the bye -> queue-flush window of a graceful drain).
+	draining bool
+	// fsys is where the host-state sidecar goes on drain; set by
+	// OpenHostFile, nil for memory-only hosts.
+	fsys persist.FS
 	// encUpper over-estimates len(EncodeDocument(doc)); refreshed exactly
 	// whenever a commit or attach needs the truth. Guards the MaxDocBytes
 	// retention limit without re-encoding the document on every commit.
@@ -261,6 +273,11 @@ func OpenHostFile(fsys persist.FS, path string, reg *class.Registry, opts HostOp
 	}
 	h := NewHost(path, df.Doc, opts)
 	h.df = df
+	h.fsys = fsys
+	// A graceful drain leaves a host-state sidecar beside the file; adopt
+	// it (same epoch, same seq, same dedup state) so drained clients
+	// resume instead of resyncing.
+	h.adoptState(fsys, path)
 	return h, nil
 }
 
@@ -343,6 +360,12 @@ func (h *Host) Close() error {
 func (h *Host) commitGroup(s *session, g opGroupMsg) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.closed {
+		// The document is already saved (Close/Drain); applying now would
+		// commit an op durability never sees.
+		h.failLocked(s, "document "+h.name+" is shutting down")
+		return
+	}
 	cs := h.clients[s.clientID]
 	hadRuns := len(h.doc.Runs()) > 0
 

@@ -41,7 +41,15 @@ import (
 //	live <seq>                                     catch-up done, stream on
 //	pong <token>
 //	err <reason>                                   fatal; connection closes
-//	bye
+//	bye                                            session kicked, no retry
+//	bye <reason> <retry-after-ms>                  graceful drain: the host is
+//	                                               going away on purpose;
+//	                                               reconnect no sooner than
+//	                                               retry-after-ms from now
+//	                                               (a floor on the first
+//	                                               redial delay — jitter
+//	                                               spreads clients above it,
+//	                                               never below)
 //
 // An op group's records are length-prefixed (byte length of the payload,
 // then ':', then the payload verbatim) because record payloads contain

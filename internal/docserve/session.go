@@ -61,7 +61,7 @@ const controlHeadroom = 8
 func (h *Host) attach(conn net.Conn, hello helloMsg) (*session, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.closed {
+	if h.closed || h.draining {
 		return nil, fmt.Errorf("document %s is shutting down", h.name)
 	}
 	if hello.clientID == hostOrigin {

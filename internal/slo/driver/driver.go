@@ -161,7 +161,6 @@ type Driver struct {
 	deliveries atomic.Uint64
 	attaches   atomic.Uint64
 	errCount   atomic.Uint64
-	resumes    atomic.Uint64
 	commitLat  latRec
 	attachLat  latRec
 
@@ -272,15 +271,27 @@ func (d *Driver) snapshot() counters {
 		deliveries: d.deliveries.Load(),
 		attaches:   d.attaches.Load(),
 		errors:     d.errCount.Load(),
-		resumes:    d.resumes.Load(),
+		resumes:    d.Resumes(),
 	}
 }
 
 // Errors returns the cumulative session error count.
 func (d *Driver) Errors() uint64 { return d.errCount.Load() }
 
-// Resumes returns how many successful session resumes healed a fault.
-func (d *Driver) Resumes() uint64 { return d.resumes.Load() }
+// Resumes returns how many successful session resumes healed a fault,
+// summed from the clients' own reconnect counters — tolerant mode rides
+// the Client's built-in supervisor, so the clients are the ledger.
+func (d *Driver) Resumes() uint64 {
+	d.clientMu.Lock()
+	defer d.clientMu.Unlock()
+	var n uint64
+	for _, c := range d.clients {
+		if c != nil {
+			n += c.Reconnects()
+		}
+	}
+	return n
+}
 
 // Stop halts the fleet and joins every goroutine, emits the final
 // summary sample, and returns any sample-write error. The writers' and
@@ -298,7 +309,7 @@ func (d *Driver) Stop() error {
 		d.emit("summary")
 	}
 	fmt.Fprintf(d.opts.Log, "driver: done: %d commits, %d deliveries, %d attaches, %d resumes, %d errors\n",
-		d.commits.Load(), d.deliveries.Load(), d.attaches.Load(), d.resumes.Load(), d.errCount.Load())
+		d.commits.Load(), d.deliveries.Load(), d.attaches.Load(), d.Resumes(), d.errCount.Load())
 	d.emitMu.Lock()
 	defer d.emitMu.Unlock()
 	return d.emitErr
@@ -422,25 +433,21 @@ func (d *Driver) connectRetry(role string, extra ...func(*docserve.ClientOptions
 	}
 }
 
-// resume heals a dead client over fresh connections until it succeeds or
-// the driver stops. Returns false when the session should give up.
-func (d *Driver) resume(c *docserve.Client, role string) bool {
-	if !d.opts.Tolerant {
-		return false
-	}
-	for {
-		if !d.backoff() {
-			return false
+// healOpts wires the Client's built-in self-healing for tolerant runs:
+// product and harness exercise one reconnect code path (the supervisor in
+// internal/docserve, the same one ez ships with), with a fast seeded
+// schedule so scenarios replay deterministically.
+func (d *Driver) healOpts(slot int, role string) func(*docserve.ClientOptions) {
+	return func(co *docserve.ClientOptions) {
+		if !d.opts.Tolerant {
+			return
 		}
-		conn, err := d.opts.Dial(role)
-		if err == nil {
-			if err = c.Resume(conn); err == nil {
-				d.resumes.Add(1)
-				return true
-			}
-			conn.Close()
+		co.Dial = func() (net.Conn, error) { return d.opts.Dial(role) }
+		co.BackoffBase = 5 * time.Millisecond
+		co.BackoffCap = 250 * time.Millisecond
+		if d.opts.Seed != 0 {
+			co.BackoffSeed = d.opts.Seed + 7777 + int64(slot)
 		}
-		d.noteErr(role+" resume", err)
 	}
 }
 
@@ -453,7 +460,7 @@ func (d *Driver) setClient(slot int, c *docserve.Client) {
 func (d *Driver) writerLoop(i int) {
 	defer d.wg.Done()
 	role := fmt.Sprintf("w%d", i)
-	c := d.connectRetry(role)
+	c := d.connectRetry(role, d.healOpts(i, role))
 	if c == nil {
 		return
 	}
@@ -496,8 +503,10 @@ func (d *Driver) writerLoop(i int) {
 			eerr = c.Sync(d.opts.SyncTimeout)
 		}
 		if eerr != nil {
+			// With tolerant healing the client resumes itself inside
+			// Sync/Pump; a latched error means it gave up for real.
 			d.noteErr(role, eerr)
-			if !d.resume(c, role) {
+			if !d.opts.Tolerant || c.Err() != nil || !d.backoff() {
 				return
 			}
 			continue
@@ -522,7 +531,7 @@ func (d *Driver) writerDrain(c *docserve.Client, role string) {
 func (d *Driver) readerLoop(i int) {
 	defer d.wg.Done()
 	role := fmt.Sprintf("r%d", i)
-	c := d.connectRetry(role, func(co *docserve.ClientOptions) {
+	c := d.connectRetry(role, d.healOpts(d.mix.Writers+i, role), func(co *docserve.ClientOptions) {
 		co.OnRemoteOp = func(uint64) { d.deliveries.Add(1) }
 	})
 	if c == nil {
@@ -535,7 +544,7 @@ func (d *Driver) readerLoop(i int) {
 		}
 		if err := c.PumpWait(100 * time.Millisecond); err != nil {
 			d.noteErr(role, err)
-			if !d.resume(c, role) {
+			if !d.opts.Tolerant || c.Err() != nil || !d.backoff() {
 				return
 			}
 		}

@@ -2,6 +2,7 @@ package slo
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -61,13 +62,25 @@ func Run(sc Scenario, opts RunOptions) (*Summary, error) {
 	var (
 		host    *docserve.Host
 		faultFS *persist.FaultFS
+		hostFS  persist.FS
 	)
-	hostOpts := docserve.HostOptions{QueueLen: 4096, MaxSnapshotBytes: sc.SnapFrameBytes}
+	// DrainRetryAfter only matters when a scenario drains the host
+	// (HostRestart); scaled down so healed clients redial promptly.
+	hostOpts := docserve.HostOptions{
+		QueueLen: 4096, MaxSnapshotBytes: sc.SnapFrameBytes,
+		DrainRetryAfter: 25 * time.Millisecond,
+	}
 	if sc.JournalWriteEvery > 0 || sc.JournalSyncEvery > 0 {
 		// Durability faults: serve a file-backed document whose journal
 		// lives on a FaultFS; SetRecurring arms it during inject.
 		faultFS = persist.NewFaultFS(persist.NewMemFS())
-		h, err := docserve.OpenHostFile(faultFS, docName, reg, hostOpts)
+		hostFS = faultFS
+	} else if sc.HostRestart {
+		// Restart needs a document the reopened host can reload.
+		hostFS = persist.NewMemFS()
+	}
+	if hostFS != nil {
+		h, err := docserve.OpenHostFile(hostFS, docName, reg, hostOpts)
 		if err != nil {
 			return nil, fmt.Errorf("slo: opening file-backed host: %w", err)
 		}
@@ -89,7 +102,7 @@ func Run(sc Scenario, opts RunOptions) (*Summary, error) {
 		return nil, fmt.Errorf("slo: no loopback TCP: %w", err)
 	}
 	go func() { _ = srv.Serve(ln) }()
-	defer srv.Close()
+	defer func() { _ = srv.Close() }()
 	addr := ln.Addr().String()
 
 	// --- fault injection plumbing ---
@@ -169,7 +182,37 @@ func Run(sc Scenario, opts RunOptions) (*Summary, error) {
 		}(i)
 	}
 	d.BeginPhase("inject")
-	time.Sleep(scale(sc.Inject))
+	hostRestarts := 0
+	if sc.HostRestart {
+		// A third of the way into inject the host drains — bye broadcast,
+		// queue flush, save, host-state sidecar — and a fresh server
+		// reopens the same files on the same address. The load's clients
+		// must auto-resume across the gap on their own.
+		time.Sleep(scale(sc.Inject) / 3)
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := srv.Shutdown(sctx)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("slo: %s: drain: %w", sc.Name, err)
+		}
+		h, err := docserve.OpenHostFile(hostFS, docName, reg, hostOpts)
+		if err != nil {
+			return nil, fmt.Errorf("slo: %s: reopening host: %w", sc.Name, err)
+		}
+		host = h
+		srv = docserve.NewServer(hostOpts)
+		srv.AddHost(host)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("slo: %s: relisten on %s: %w", sc.Name, addr, err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		hostRestarts++
+		fmt.Fprintf(opts.Log, "slo: %s run%d: host drained and restarted on %s\n", sc.Name, opts.RunIndex, addr)
+		time.Sleep(scale(sc.Inject) - scale(sc.Inject)/3)
+	} else {
+		time.Sleep(scale(sc.Inject))
+	}
 	injected := d.EndPhase()
 	lagInto("inject")
 
@@ -197,15 +240,20 @@ func Run(sc Scenario, opts RunOptions) (*Summary, error) {
 	}
 	clients := d.Clients()
 	diverged := 0
+	lostEdits := 0
 	for _, c := range clients {
 		if err := c.WaitSeq(finalSeq, 10*time.Second); err != nil {
 			diverged++
+			lostEdits += c.DroppedPending + c.PendingCount()
 			continue
 		}
 		got, err := persist.EncodeDocument(c.Doc())
 		if err != nil || !bytes.Equal(got, hostBytes) {
 			diverged++
 		}
+		// Converged or not, a client holding unconfirmed or dropped edits
+		// after the convergence window has lost user work.
+		lostEdits += c.DroppedPending + c.PendingCount()
 	}
 	recoveryMS := float64(time.Since(t0).Microseconds()) / 1000
 
@@ -221,6 +269,8 @@ func Run(sc Scenario, opts RunOptions) (*Summary, error) {
 	metrics["errors"] = float64(d.Errors())
 	metrics["resumes"] = float64(d.Resumes())
 	metrics["net_cuts"] = float64(inj.Cuts())
+	metrics["lost_edits"] = float64(lostEdits)
+	metrics["host_restarts"] = float64(hostRestarts)
 	metrics["journal_errors"] = float64(st.JournalErrors)
 	metrics["snap_chunks"] = float64(st.SnapChunks)
 	metrics["protocol_errors"] = float64(st.ProtocolErrors)

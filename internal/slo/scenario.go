@@ -58,7 +58,12 @@ type Scenario struct {
 	// (the per-frame snapshot bound), forcing attaches of the preloaded
 	// document to stream as chunked snapr range frames.
 	SnapFrameBytes int
-	Assertions []Assertion
+	// HostRestart serves the document from a file-backed host and, a
+	// third of the way into inject, drains the server (bye broadcast,
+	// save, host-state sidecar) and restarts it on the same files and
+	// address: clients must auto-resume without losing an edit.
+	HostRestart bool
+	Assertions  []Assertion
 }
 
 // Assertion is one gate condition over the scenario's metrics.

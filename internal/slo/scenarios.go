@@ -78,6 +78,32 @@ func Builtin() []Scenario {
 			),
 		},
 		{
+			Name:        "host_restart",
+			Description: "the host drains mid-run and restarts on the same files: sessions auto-resume with zero lost edits",
+			Mix:         driver.Mix{Writers: 2, Readers: 2, Rate: 200},
+			Seed:        1008,
+			Warmup:      warmup, Inject: inject, Recovery: recovery,
+			HostRestart: true,
+			Assertions: std(
+				Assertion{Name: "fault_armed", Metric: "host_restarts", Op: ">=", Value: 1, Hard: true},
+				Assertion{Name: "no_lost_edits", Metric: "lost_edits", Op: "<=", Value: 0, Hard: true},
+				Assertion{Name: "sessions_resumed", Metric: "resumes", Op: ">=", Value: 1, Hard: true},
+			),
+		},
+		{
+			Name:        "connection_flap",
+			Description: "connections are cut again and again: the client heal loop reconnects every time without dropping work",
+			Mix:         driver.Mix{Writers: 2, Readers: 2, Rate: 200},
+			Seed:        1009,
+			Warmup:      warmup, Inject: inject, Recovery: recovery,
+			Net:        &faultnet.Plan{CutAfter: 60 * time.Millisecond, CutJitter: 60 * time.Millisecond},
+			Assertions: std(
+				Assertion{Name: "fault_armed", Metric: "net_cuts", Op: ">=", Value: 1, Hard: true},
+				Assertion{Name: "sessions_resumed", Metric: "resumes", Op: ">=", Value: 1, Hard: true},
+				Assertion{Name: "no_lost_edits", Metric: "lost_edits", Op: "<=", Value: 0, Hard: true},
+			),
+		},
+		{
 			Name:        "journal_faults",
 			Description: "journal writes and fsyncs fail during inject: durability degrades, availability must not",
 			Mix:         driver.Mix{Writers: 2, Readers: 2, Rate: 200},

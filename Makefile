@@ -23,6 +23,7 @@ verify:
 	$(GO) test -fuzz=FuzzRepaint -fuzztime=10s .
 	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/persist
 	$(GO) test -fuzz=FuzzServerProtocol -fuzztime=10s ./internal/docserve
+	$(GO) test -fuzz=FuzzOpsCodec -fuzztime=10s ./internal/ops
 	$(GO) run ./cmd/slogate -bench BENCH_text.json -bench BENCH_docserve.json -bench BENCH_stream.json
 
 # fuzz runs all fuzz targets for longer; extend FUZZTIME for real runs.
@@ -33,6 +34,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzRepaint -fuzztime=$(FUZZTIME) .
 	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/persist
 	$(GO) test -fuzz=FuzzServerProtocol -fuzztime=$(FUZZTIME) ./internal/docserve
+	$(GO) test -fuzz=FuzzOpsCodec -fuzztime=$(FUZZTIME) ./internal/ops
 
 # generate rebuilds committed artifacts (testdata/sample.d).
 generate:

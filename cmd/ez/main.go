@@ -140,6 +140,12 @@ func runOpts(o ezOpts) error {
 				}
 				frame.PostMessage(msg)
 			},
+			OnReset: func(reason string) {
+				if frame == nil {
+					return
+				}
+				frame.PostMessage("replication ended: " + reason + " — reopen to reconnect")
+			},
 		})
 		if err != nil {
 			return err
@@ -165,6 +171,14 @@ func runOpts(o ezOpts) error {
 			fmt.Fprintf(os.Stderr, "ez: %s: recovery: %s\n", path, diag)
 		}
 		doc = df.Doc
+		// A reset makes the journal stale (the edit had no op form); tell
+		// the user their crash-safety window just widened to "last save".
+		df.OnReset = func(reason string) {
+			if frame == nil {
+				return
+			}
+			frame.PostMessage("journal paused: " + reason + " — save to checkpoint")
+		}
 		// From here on, every edit is journaled; a crash at any point
 		// loses at most the unsynced tail of the journal.
 		if err := df.StartJournal(); err != nil {

@@ -32,10 +32,9 @@ import (
 	"syscall"
 	"time"
 
-	"atk/internal/class"
+	"atk/internal/components"
 	"atk/internal/docserve"
 	"atk/internal/persist"
-	"atk/internal/text"
 )
 
 func main() {
@@ -84,12 +83,16 @@ func listenSpec(spec string) (net.Listener, error) {
 func run(listen string, paths []string, syncEvery, statsEvery, drainTimeout time.Duration,
 	logw io.Writer, ready chan<- net.Addr, stop <-chan struct{}) error {
 
-	reg := class.NewRegistry()
-	if err := text.Register(reg); err != nil {
-		return err
-	}
 	srv := docserve.NewServer(docserve.HostOptions{})
 	for _, p := range paths {
+		// Each host gets its own full component catalog: embed ops carry
+		// arbitrary \begindata payloads, and instantiating one demand-loads
+		// its unit. Per-host registries keep demand loading unsynchronized.
+		reg, err := components.NewRegistry()
+		if err != nil {
+			_ = srv.Close()
+			return err
+		}
 		h, err := docserve.OpenHostFile(persist.OS, p, reg, docserve.HostOptions{})
 		if err != nil {
 			_ = srv.Close()

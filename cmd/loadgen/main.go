@@ -4,6 +4,9 @@
 //   - writers commit random edits as fast as the rate cap and the ack
 //     round-trip allow, measuring commit latency (edit applied locally to
 //     ack received);
+//   - table writers commit cell and structural ops against the document's
+//     embedded table — the component-typed op path — embedding one if the
+//     document has none;
 //   - readers hold live replicas and pump every committed op, measuring
 //     delivery throughput;
 //   - churners open a session, catch up to live, and disconnect, over and
@@ -20,7 +23,7 @@
 // Usage:
 //
 //	loadgen -connect tcp:host:port -doc shared.d \
-//	    [-writers 2] [-readers 8] [-churners 1] \
+//	    [-writers 2] [-tablewriters 0] [-readers 8] [-churners 1] \
 //	    [-duration 30s] [-rate 0] [-sample 1s] [-seed 0] [-out samples.jsonl]
 package main
 
@@ -40,6 +43,7 @@ func main() {
 	connect := flag.String("connect", "tcp:127.0.0.1:7421", "server address, tcp:host:port or unix:/path")
 	doc := flag.String("doc", "", "document name to drive (required)")
 	writers := flag.Int("writers", 2, "sessions committing random edits")
+	tablewriters := flag.Int("tablewriters", 0, "sessions committing cell/structural ops against the document's embedded table")
 	readers := flag.Int("readers", 8, "sessions holding live replicas")
 	churners := flag.Int("churners", 1, "sessions repeatedly attaching and leaving")
 	duration := flag.Duration("duration", 30*time.Second, "how long to run")
@@ -62,7 +66,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	mix := Mix{Writers: *writers, Readers: *readers, Churners: *churners, Rate: *rate}
+	mix := Mix{Writers: *writers, TableWriters: *tablewriters, Readers: *readers, Churners: *churners, Rate: *rate}
 	if err := runSeeded(*connect, *doc, mix, *duration, *sample, *seed, w, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"atk/internal/class"
+	"atk/internal/table"
 	"atk/internal/text"
 )
 
@@ -94,6 +95,114 @@ func BenchmarkDocServeFanout(b *testing.B) {
 		}
 	}
 	target.Store(uint64(b.N))
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	var all []int64
+	for _, l := range lags {
+		all = append(all, l...)
+	}
+	if len(all) != readers*b.N {
+		b.Fatalf("fan-out incomplete: %d deliveries, want %d", len(all), readers*b.N)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p99 := all[len(all)*99/100]
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "commits/s")
+	b.ReportMetric(float64(readers*b.N)/elapsed.Seconds(), "deliveries/s")
+	b.ReportMetric(float64(p99), "p99-lag-ns")
+}
+
+// BenchmarkDocServeTableCollab measures the component-typed op path: one
+// writer commits a cell-set per iteration against an embedded table while
+// 16 reader replicas apply every committed table op into their own live
+// table components. Reports commits/s and p99 fan-out lag (writer stamps
+// the op, reader has mutated its replica's cell). Table ops skip the text
+// checkpoint machinery entirely, so this doubles as a regression floor
+// for the registry dispatch overhead.
+func BenchmarkDocServeTableCollab(b *testing.B) {
+	const readers = 16
+	newReg := func() *class.Registry {
+		reg := class.NewRegistry()
+		if err := text.Register(reg); err != nil {
+			b.Fatal(err)
+		}
+		if err := table.Register(reg); err != nil {
+			b.Fatal(err)
+		}
+		return reg
+	}
+	doc := text.New()
+	doc.SetRegistry(newReg())
+	h := NewHost("bench.d", doc, HostOptions{QueueLen: 8192})
+	srv := NewServer(HostOptions{QueueLen: 8192})
+	srv.AddHost(h)
+	defer srv.Close()
+
+	dial := func(id string, opts ClientOptions) *Client {
+		cEnd, sEnd := net.Pipe()
+		go srv.HandleConn(sEnd)
+		opts.ClientID = id
+		opts.Registry = newReg()
+		c, err := Connect(cEnd, "bench.d", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+
+	// seq 1 is the embed op; cell-set i lands at seq i+1. Readers record
+	// lag only for the cell ops.
+	sendNanos := make([]int64, b.N+2)
+	lags := make([][]int64, readers)
+	var target atomic.Uint64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		r := r
+		lags[r] = make([]int64, 0, b.N)
+		c := dial(fmt.Sprintf("reader%02d", r), ClientOptions{
+			OnRemoteOp: func(seq uint64) {
+				if seq >= 2 && seq < uint64(len(sendNanos)) {
+					lags[r] = append(lags[r], time.Now().UnixNano()-sendNanos[seq])
+				}
+			},
+		})
+		defer c.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := c.PumpWait(50 * time.Millisecond); err != nil {
+					return
+				}
+				if t := target.Load(); t != 0 && c.Confirmed() >= t {
+					return
+				}
+			}
+		}()
+	}
+	w := dial("writer", ClientOptions{})
+	defer w.Close()
+	td := table.New(8, 8)
+	if err := w.Embed(0, td, ""); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Sync(10 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 1; i <= b.N; i++ {
+		sendNanos[i+1] = time.Now().UnixNano()
+		if err := td.SetNumber(i%8, (i/8)%8, float64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Sync(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	target.Store(uint64(b.N) + 1)
 	wg.Wait()
 	elapsed := time.Since(start)
 	b.StopTimer()

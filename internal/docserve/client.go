@@ -16,7 +16,9 @@ import (
 	"atk/internal/class"
 	"atk/internal/core"
 	"atk/internal/datastream"
+	"atk/internal/ops"
 	"atk/internal/persist"
+	"atk/internal/table"
 	"atk/internal/text"
 )
 
@@ -59,7 +61,7 @@ type Client struct {
 
 	nextClientSeq uint64
 	inflight      *inflightGroup
-	buffer        []text.EditRecord
+	buffer        []ops.Op
 
 	inbox  chan string // reader goroutine -> owner; closed on read error
 	hbStop chan struct{}
@@ -78,6 +80,11 @@ type Client struct {
 	// host could not replay ops across the gap, so unconfirmed local work
 	// could not be rebased and did not survive).
 	DroppedPending int
+	// Resets counts local mutations the op model could not express (an
+	// object embedded outside Client.Embed, a component inside a table
+	// cell). Each one latches the client — the replica has diverged from
+	// anything the wire can reconcile — after surfacing through OnReset.
+	Resets int
 	// OfflineRecovered counts edits replayed from a crashed predecessor's
 	// offline journal at Connect.
 	OfflineRecovered int
@@ -108,7 +115,7 @@ type Client struct {
 // inflightGroup is the one op group awaiting its ack.
 type inflightGroup struct {
 	clientSeq uint64
-	recs      []text.EditRecord
+	recs      []ops.Op
 }
 
 // ClientOptions tune a replica. The zero value needs ClientID and Registry
@@ -138,6 +145,10 @@ type ClientOptions struct {
 	// OnRemoteOp, if set, is called (on the owner goroutine, from Pump)
 	// after each foreign committed op is applied.
 	OnRemoteOp func(seq uint64)
+	// OnReset, if set, is called (owner goroutine) when a local mutation
+	// cannot be expressed as a replicable op, just before the client
+	// latches fatal — the UI's chance to say why the session ended.
+	OnReset func(reason string)
 
 	// Dial, if set, makes the client self-heal: on connection loss a
 	// supervisor goroutine redials through it with exponential backoff and
@@ -744,6 +755,12 @@ func (c *Client) applySnapshot(epoch, seq uint64, body []byte) error {
 		c.doc = snapDoc
 		c.doc.SetEditLogger(c.onEdit)
 		c.attached = true
+		// Components that arrived inside the snapshot replicate too: wire
+		// their op loggers so a cell edit in an embedded table buffers
+		// like a keystroke.
+		for _, e := range c.doc.Embeds() {
+			c.wireEmbedded(e)
+		}
 	} else {
 		// Resync snapshot: rebuild the visible document in place (views
 		// stay attached to it) to exactly the server state. Unconfirmed
@@ -791,7 +808,7 @@ func (c *Client) handleCommitted(m committedMsg) error {
 	if m.seq != c.confirmed+1 {
 		return c.fatal(fmt.Errorf("docserve: op sequence gap: got %d want %d", m.seq, c.confirmed+1))
 	}
-	rec, err := text.DecodeRecord(m.payload)
+	op, err := ops.Decode(m.payload)
 	if err != nil {
 		return c.fatal(err)
 	}
@@ -819,23 +836,21 @@ func (c *Client) handleCommitted(m committedMsg) error {
 	// a replica with pending local edits pays for the dual transform.
 	var aerr error
 	if c.inflight == nil && len(c.buffer) == 0 {
-		c.doc.WithoutUndo(func() { aerr = c.doc.ApplyRecord(rec) })
+		aerr = c.applyForeign(op)
 	} else {
 		// Rebase the pending local edits across the foreign op and its
 		// visible-document form across them, then apply.
-		one := []text.EditRecord{rec}
+		one := []ops.Op{op}
 		if c.inflight != nil {
-			c.inflight.recs, one = xformDual(c.inflight.recs, one, true)
+			c.inflight.recs, one = ops.XformDual(c.inflight.recs, one, true)
 		}
-		var vis []text.EditRecord
-		c.buffer, vis = xformDual(c.buffer, one, true)
-		c.doc.WithoutUndo(func() {
-			for _, r := range vis {
-				if aerr = c.doc.ApplyRecord(r); aerr != nil {
-					return
-				}
+		var vis []ops.Op
+		c.buffer, vis = ops.XformDual(c.buffer, one, true)
+		for _, r := range vis {
+			if aerr = c.applyForeign(r); aerr != nil {
+				break
 			}
-		})
+		}
 	}
 	if aerr != nil {
 		return c.fatal(fmt.Errorf("docserve: remote op inapplicable: %w", aerr))
@@ -897,17 +912,118 @@ func (c *Client) handleLive(frame string) error {
 	return nil
 }
 
+// applyForeign applies one committed foreign op to the visible document.
+// A foreign embed op creates a component this replica has never seen; its
+// op logger is wired right here so the next cell edit replicates.
+func (c *Client) applyForeign(op ops.Op) error {
+	if err := ops.Apply(c.doc, op); err != nil {
+		return err
+	}
+	if op.Kind == ops.KindEmbed {
+		if e := c.doc.EmbeddedAt(op.Embed.Pos); e != nil {
+			c.wireEmbedded(e)
+		}
+	}
+	return nil
+}
+
 // onEdit is the visible document's edit logger: every local mutation lands
 // here (ApplyRecord replays are suppressed upstream), buffers, and
 // promotes when the wire is free.
 func (c *Client) onEdit(rec text.EditRecord) {
 	if rec.Kind == text.RecReset {
-		_ = c.fatal(fmt.Errorf("docserve: %s: cannot be replicated", rec.Text))
+		c.noteReset(rec.Text)
 		return
 	}
-	c.buffer = append(c.buffer, rec)
-	c.logOffline(rec)
+	c.enqueue(ops.TextOp(rec))
+}
+
+// enqueue buffers one replicable local op, journals it for offline
+// durability, and promotes when the wire is free.
+func (c *Client) enqueue(op ops.Op) {
+	c.buffer = append(c.buffer, op)
+	c.logOffline(op)
 	c.maybePromote()
+}
+
+// noteReset handles a local mutation the op model cannot express: count
+// it, give the UI its say, then latch — the replica has diverged from
+// anything the wire can reconcile.
+func (c *Client) noteReset(reason string) {
+	c.Resets++
+	if c.opts.OnReset != nil {
+		c.opts.OnReset(reason)
+	}
+	_ = c.fatal(fmt.Errorf("docserve: %s: cannot be replicated", reason))
+}
+
+// wireEmbedded installs the replication op logger on an embedded
+// component, if its kind replicates. The closure reads e.Pos at emit time,
+// so the anchor the op ships is wherever concurrent text edits have moved
+// the table to by then.
+func (c *Client) wireEmbedded(e *text.Embedded) {
+	td, ok := e.Obj.(*table.Data)
+	if !ok {
+		return
+	}
+	td.SetOpLogger(func(op table.Op) {
+		// A committed delete may have swallowed the anchor since wiring:
+		// the component left the document, so its edits are local-only now.
+		// (Identity check — another embed may occupy the stale position.)
+		if c.doc.EmbeddedAt(e.Pos) != e {
+			td.SetOpLogger(nil)
+			return
+		}
+		if op.Kind == table.OpReset {
+			c.noteReset(op.Reason)
+			return
+		}
+		c.enqueue(ops.Op{Kind: ops.KindTable, Table: ops.TableOp{Pos: e.Pos, Op: op}})
+	})
+}
+
+// Embed inserts obj as an embedded component at pos and replicates it: the
+// object is encoded once into a \begindata payload, applied locally, and
+// shipped as an embed op every replica applies identically. Tables
+// embedded this way replicate their cell edits live. viewName "" selects
+// the object's default view.
+func (c *Client) Embed(pos int, obj core.DataObject, viewName string) error {
+	if c.lastErr != nil {
+		return c.lastErr
+	}
+	if !c.attached {
+		return errors.New("docserve: Embed before any snapshot")
+	}
+	var payload bytes.Buffer
+	w := datastream.NewWriter(&payload)
+	if _, err := core.WriteObject(w, obj); err != nil {
+		return fmt.Errorf("docserve: encoding embed payload: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("docserve: encoding embed payload: %w", err)
+	}
+	var aerr error
+	err := c.doc.ApplyExternal(func() error {
+		aerr = c.doc.Embed(pos, obj, viewName)
+		return aerr
+	})
+	if err == nil {
+		err = aerr
+	}
+	if err != nil {
+		return err
+	}
+	if e := c.doc.EmbeddedAt(pos); e != nil {
+		c.wireEmbedded(e)
+		// Ship the locally resolved view name ("" already expanded to the
+		// object's default), so every replica records the same view even if
+		// its own default resolution would differ.
+		viewName = e.ViewName
+	}
+	c.enqueue(ops.Op{Kind: ops.KindEmbed, Embed: ops.EmbedOp{
+		Pos: pos, ViewName: viewName, Payload: append([]byte(nil), payload.Bytes()...),
+	}})
+	return nil
 }
 
 // maybePromote moves buffered edits into a new in-flight group when the
@@ -922,7 +1038,7 @@ func (c *Client) maybePromote() {
 	}
 	c.nextClientSeq++
 	c.inflight = &inflightGroup{clientSeq: c.nextClientSeq, recs: c.buffer[:k:k]}
-	c.buffer = append([]text.EditRecord(nil), c.buffer[k:]...)
+	c.buffer = append([]ops.Op(nil), c.buffer[k:]...)
 	c.sendGroup()
 }
 
@@ -942,7 +1058,7 @@ func (c *Client) sendGroup() {
 	b = strconv.AppendInt(b, int64(len(c.inflight.recs)), 10)
 	b = append(b, ' ')
 	for _, r := range c.inflight.recs {
-		c.recBuf = text.AppendRecord(c.recBuf[:0], r)
+		c.recBuf = ops.MustAppend(c.recBuf[:0], r)
 		b = strconv.AppendInt(b, int64(len(c.recBuf)), 10)
 		b = append(b, ':')
 		b = append(b, c.recBuf...)

@@ -9,8 +9,8 @@ import (
 	"strings"
 	"time"
 
+	"atk/internal/ops"
 	"atk/internal/persist"
-	"atk/internal/text"
 )
 
 // Connection self-healing. With ClientOptions.Dial set, a lost connection
@@ -384,11 +384,11 @@ func (c *Client) openOffline() {
 	var recs []string
 	if c.inflight != nil {
 		for _, r := range c.inflight.recs {
-			recs = append(recs, text.EncodeRecord(r))
+			recs = append(recs, ops.MustEncode(r))
 		}
 	}
 	for _, r := range c.buffer {
-		recs = append(recs, text.EncodeRecord(r))
+		recs = append(recs, ops.MustEncode(r))
 	}
 	j, err := persist.CreateJournal(c.opts.OfflineFS, c.opts.OfflinePath, header, recs)
 	if err != nil {
@@ -405,11 +405,11 @@ func offlineHeader(doc, clientID string, epoch, confirmed uint64) string {
 }
 
 // logOffline appends one just-applied local edit to the offline journal.
-func (c *Client) logOffline(rec text.EditRecord) {
+func (c *Client) logOffline(op ops.Op) {
 	if c.offline == nil {
 		return
 	}
-	if err := c.offline.Append(text.EncodeRecord(rec)); err != nil && c.offlineErr == nil {
+	if err := c.offline.Append(ops.MustEncode(op)); err != nil && c.offlineErr == nil {
 		c.offlineErr = err
 	}
 }
@@ -471,29 +471,24 @@ func (c *Client) recoverOffline() {
 		_ = c.opts.OfflineFS.Rename(c.opts.OfflinePath, c.opts.OfflinePath+".stale")
 		return
 	}
-	recs := make([]text.EditRecord, 0, len(rep.Records))
+	recs := make([]ops.Op, 0, len(rep.Records))
 	for _, wire := range rep.Records {
-		rec, derr := text.DecodeRecord(wire)
+		op, derr := ops.Decode(wire)
 		if derr != nil {
 			_ = c.opts.OfflineFS.Rename(c.opts.OfflinePath, c.opts.OfflinePath+".stale")
 			return
 		}
-		recs = append(recs, rec)
+		recs = append(recs, op)
 	}
-	// Re-apply to the visible replica (ApplyRecord stays out of the edit
+	// Re-apply to the visible replica (op application stays out of the edit
 	// logger and the user's undo) and re-inject into the pipeline; the
-	// journal keeps protecting them until they confirm.
-	var aerr error
-	c.doc.WithoutUndo(func() {
-		for _, r := range recs {
-			if aerr = c.doc.ApplyRecord(r); aerr != nil {
-				return
-			}
+	// journal keeps protecting them until they confirm. An embed op replayed
+	// here recreates its component, which must be wired like any other.
+	for _, r := range recs {
+		if aerr := c.applyForeign(r); aerr != nil {
+			_ = c.opts.OfflineFS.Rename(c.opts.OfflinePath, c.opts.OfflinePath+".stale")
+			return
 		}
-	})
-	if aerr != nil {
-		_ = c.opts.OfflineFS.Rename(c.opts.OfflinePath, c.opts.OfflinePath+".stale")
-		return
 	}
 	c.buffer = append(c.buffer, recs...)
 	if j, jerr := persist.CreateJournal(c.opts.OfflineFS, c.opts.OfflinePath,

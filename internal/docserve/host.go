@@ -20,6 +20,7 @@ import (
 
 	"atk/internal/class"
 	"atk/internal/datastream"
+	"atk/internal/ops"
 	"atk/internal/persist"
 	"atk/internal/text"
 )
@@ -217,17 +218,20 @@ type Host struct {
 	attachGate func()
 
 	// Counters under mu.
-	opsApplied         uint64
-	opsTransformedAway uint64
-	broadcasts         uint64
-	fanoutFrames       uint64
-	slowKicks          uint64
-	protoErrors        uint64
-	snapResyncs        uint64
-	snapChunks         uint64
-	opResyncs          uint64
-	journalErrors      uint64
-	styleCheckpoints   uint64
+	opsApplied          uint64
+	opsTransformedAway  uint64
+	broadcasts          uint64
+	fanoutFrames        uint64
+	slowKicks           uint64
+	protoErrors         uint64
+	snapResyncs         uint64
+	snapChunks          uint64
+	opResyncs           uint64
+	journalErrors       uint64
+	styleCheckpoints    uint64
+	tableOps            uint64
+	embedOps            uint64
+	unjournalableResets uint64
 
 	// Fan-out lag, updated by session writer goroutines (atomics).
 	lagSum   atomic.Int64 // nanoseconds
@@ -396,19 +400,24 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 		return
 	}
 
-	// Decode the group.
-	recs := make([]text.EditRecord, 0, len(g.payloads))
+	// Decode the group through the op registry: bare records are text
+	// edits, tagged `t <kind> …` frames are table or embed ops.
+	group := make([]ops.Op, 0, len(g.payloads))
 	for _, p := range g.payloads {
-		rec, err := text.DecodeRecord(p)
+		op, err := ops.Decode(p)
 		if err != nil {
 			h.failLocked(s, err.Error())
 			return
 		}
-		if rec.Kind == text.RecReset {
+		if _, isReset := ops.IsReset(op); isReset {
+			// A well-behaved client never ships a reset marker — it
+			// surfaces the fallback locally instead. Count it so the SLO
+			// layer can assert the op model kept every edit expressible.
+			h.unjournalableResets++
 			h.failLocked(s, "unjournalable edit cannot be replicated")
 			return
 		}
-		recs = append(recs, rec)
+		group = append(group, op)
 	}
 
 	// Rebase across everything committed since the client's base. The
@@ -418,7 +427,7 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 	if !ok {
 		return
 	}
-	recs, _ = xformDual(recs, bridge, true)
+	group, _ = ops.XformDual(group, bridge, true)
 
 	// Snapshot size no longer bounds the document (big snapshots stream
 	// as range frames), so a commit is rejected only when it would cross
@@ -427,8 +436,8 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 	// cross the limit pays for an exact re-encode.
 	if h.opts.MaxDocBytes > 0 {
 		growth := 0
-		for _, rec := range recs {
-			growth += recGrowth(rec)
+		for _, op := range group {
+			growth += ops.Growth(op)
 		}
 		if h.encUpper+growth > h.opts.MaxDocBytes {
 			// The over-estimate says the limit is at risk; fall back to the
@@ -458,8 +467,9 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 	// socket write per receiving session, however many ops committed.
 	var fan *frameBuf
 	n := 0
-	for _, rec := range recs {
-		if err := h.doc.ApplyRecord(rec); err != nil {
+	groupHasText := false
+	for _, op := range group {
+		if err := ops.Apply(h.doc, op); err != nil {
 			// The transform guarantees applicability for honest clients; a
 			// record that still fails is hostile or corrupt. Everything
 			// already applied is committed — fan it out and ack it before
@@ -471,8 +481,22 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 		}
 		h.seq++
 		n++
-		h.encUpper += recGrowth(rec)
-		wire := text.EncodeRecord(rec)
+		h.encUpper += ops.Growth(op)
+		switch op.Kind {
+		case ops.KindText:
+			groupHasText = true
+		case ops.KindTable:
+			// Table ops move no text positions and touch no style runs:
+			// they can never desynchronize run boundaries, so a table-only
+			// group commits without a style checkpoint.
+			h.tableOps++
+		case ops.KindEmbed:
+			// An embed op splices one anchor rune into the rune sequence,
+			// so it perturbs style runs exactly like a text insert does.
+			h.embedOps++
+			groupHasText = true
+		}
+		wire := ops.MustEncode(op)
 		h.hist = append(h.hist, committedOp{seq: h.seq, clientID: s.clientID, clientSeq: g.clientSeq, wire: wire})
 		if over := len(h.hist) - h.opts.HistoryLimit; over > 0 {
 			h.hist = h.hist[over:]
@@ -506,7 +530,7 @@ func (h *Host) commitGroup(s *session, g opGroupMsg) {
 	// it arrives as the eagerly-applied foreign op at hi+1.
 	ckWire := ""
 	var ckSeq uint64
-	if n > 0 && (hadRuns || len(h.doc.Runs()) > 0) {
+	if n > 0 && groupHasText && (hadRuns || len(h.doc.Runs()) > 0) {
 		ckSeq, ckWire = h.commitStyleCheckpointLocked()
 		if fan == nil {
 			fan = getFrame()
@@ -561,26 +585,6 @@ func (h *Host) flushFanLocked(origin *session, fan *frameBuf, nops int) {
 	fan.release()
 }
 
-// recGrowth over-estimates how many bytes applying rec can add to the
-// document's encoded external representation. The escape discipline
-// expands a byte to at most 5 (`\u7f;`), plus continuation-wrap overhead;
-// 6x is safely above both. Deletes count zero — the estimate only ever
-// overshoots, and the exact re-encode at the limit pulls it back down.
-func recGrowth(rec text.EditRecord) int {
-	switch rec.Kind {
-	case text.RecInsert:
-		return 6*len(rec.Text) + 16
-	case text.RecStyle:
-		n := 128
-		for _, r := range rec.Runs {
-			n += 256 + 6*len(r.Style)
-		}
-		return n
-	default:
-		return 0
-	}
-}
-
 // commitStyleCheckpointLocked commits the host's current run list as an
 // op of its own and returns it for the caller to fan out (it must reach
 // every session, originator included).
@@ -628,7 +632,7 @@ func (h *Host) sendAckLocked(s *session, cs *clientState, clientSeq uint64, n in
 // rebasing an incoming group. It fails the session if the window no longer
 // reaches baseSeq (resync required) or if it would cross the client's own
 // ops (a protocol violation of the one-in-flight discipline).
-func (h *Host) bridgeLocked(s *session, baseSeq uint64) ([]text.EditRecord, bool) {
+func (h *Host) bridgeLocked(s *session, baseSeq uint64) ([]ops.Op, bool) {
 	if baseSeq == h.seq {
 		return nil, true
 	}
@@ -636,7 +640,7 @@ func (h *Host) bridgeLocked(s *session, baseSeq uint64) ([]text.EditRecord, bool
 		h.failLocked(s, "base seq fell out of the resync window; reconnect")
 		return nil, false
 	}
-	var bridge []text.EditRecord
+	var bridge []ops.Op
 	for _, op := range h.hist {
 		if op.seq <= baseSeq {
 			continue
@@ -645,12 +649,12 @@ func (h *Host) bridgeLocked(s *session, baseSeq uint64) ([]text.EditRecord, bool
 			h.failLocked(s, "op overlaps the client's own committed ops")
 			return nil, false
 		}
-		rec, err := text.DecodeRecord(op.wire)
+		dec, err := ops.Decode(op.wire)
 		if err != nil {
 			h.failLocked(s, "internal: undecodable history record")
 			return nil, false
 		}
-		bridge = append(bridge, rec)
+		bridge = append(bridge, dec)
 	}
 	return bridge, true
 }
@@ -680,11 +684,18 @@ type Stats struct {
 	SnapResyncs       uint64
 	// SnapChunks counts snapr range frames staged for chunked snapshot
 	// delivery (zero while every served document fits one snap frame).
-	SnapChunks uint64
-	OpResyncs  uint64
-	JournalErrors     uint64
+	SnapChunks    uint64
+	OpResyncs     uint64
+	JournalErrors uint64
 	// StyleCheckpoints counts host-committed wholesale run republications.
 	StyleCheckpoints uint64
+	// TableOps / EmbedOps count committed non-text ops by kind.
+	TableOps uint64
+	EmbedOps uint64
+	// UnjournalableResets counts groups rejected because a client shipped
+	// a reset marker — an edit the op model cannot express. A healthy
+	// deployment holds this at zero; the SLO gates assert it.
+	UnjournalableResets uint64
 	// QueueDepthMax is the deepest current outbound queue.
 	QueueDepthMax int
 	// FanoutLagAvg/Max measure enqueue-to-write latency of fan-out frames.
@@ -700,22 +711,25 @@ func (h *Host) Stats() Stats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	st := Stats{
-		Name:               h.name,
-		Sessions:           len(h.sessions),
-		TrackedClients:     len(h.clients),
-		Seq:                h.seq,
-		OpsApplied:         h.opsApplied,
-		OpsTransformedAway: h.opsTransformedAway,
-		Broadcasts:         h.broadcasts,
-		FanoutFrames:       h.fanoutFrames,
-		SlowConsumerKicks:  h.slowKicks,
-		ProtocolErrors:     h.protoErrors,
-		SnapResyncs:        h.snapResyncs,
-		SnapChunks:         h.snapChunks,
-		OpResyncs:          h.opResyncs,
-		JournalErrors:      h.journalErrors,
-		StyleCheckpoints:   h.styleCheckpoints,
-		Uptime:             time.Since(h.start),
+		Name:                h.name,
+		Sessions:            len(h.sessions),
+		TrackedClients:      len(h.clients),
+		Seq:                 h.seq,
+		OpsApplied:          h.opsApplied,
+		OpsTransformedAway:  h.opsTransformedAway,
+		Broadcasts:          h.broadcasts,
+		FanoutFrames:        h.fanoutFrames,
+		SlowConsumerKicks:   h.slowKicks,
+		ProtocolErrors:      h.protoErrors,
+		SnapResyncs:         h.snapResyncs,
+		SnapChunks:          h.snapChunks,
+		OpResyncs:           h.opResyncs,
+		JournalErrors:       h.journalErrors,
+		StyleCheckpoints:    h.styleCheckpoints,
+		TableOps:            h.tableOps,
+		EmbedOps:            h.embedOps,
+		UnjournalableResets: h.unjournalableResets,
+		Uptime:              time.Since(h.start),
 	}
 	for s := range h.sessions {
 		if d := len(s.out); d > st.QueueDepthMax {

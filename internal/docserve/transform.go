@@ -1,179 +1,23 @@
 package docserve
 
 import (
-	"unicode/utf8"
-
+	"atk/internal/ops"
 	"atk/internal/text"
 )
 
-// Operational transform over text.EditRecord. The server totally orders
-// all edits; every replica reaches the server's final state by rewriting
-// ops across one another with these functions. The rules are the classic
-// insert/delete rebase plus wholesale last-writer-wins for style records
-// (a RecStyle carries the complete run list, exactly like undo does):
-//
-//   - an insert at or left of a position shifts it right;
-//   - a delete left of a position shifts it left; a position inside a
-//     deleted range collapses to the range start;
-//   - an insert strictly inside a delete's range is swallowed by it: the
-//     insert vanishes and the delete widens to cover the inserted text.
-//     (The alternative — splitting the delete around the insert — keeps
-//     the typed text but cannot converge on style runs: one order grows
-//     the surrounding run around the insert, the other deletes the run
-//     before the insert lands, and no state-free transform can repair
-//     that. Text typed into a region someone else was deleting goes with
-//     the region, deterministically, on every replica.);
-//   - two overlapping deletes shrink to the not-yet-deleted remainder;
-//   - of two concurrent style records the server-later one wins wholesale,
-//     and inserts/deletes shift a style record's runs like the buffer's
-//     own shiftForInsert/shiftForDelete do.
-//
-// Ties (two inserts at the same position) are broken by server order: the
-// earlier-committed insert keeps the position, the later one shifts right.
-// Both the server and every client run the same pairwise transforms over
-// the same sequences in the same order, which is what makes the replicas
-// byte-identical when the dust settles.
+// The text operational transform moved to internal/ops when ops grew
+// per-component-kind transforms (table, embed) that reuse the same index
+// arithmetic; see ops/xform.go for the rules. These wrappers keep the
+// package-local names the replication code and its tests grew up with.
 
 // xform rewrites rec — valid in some document state C — to be valid in
-// C+against (the state after `against` applied). recLater is the server
-// ordering: true when rec is (or will be) committed after against. The
-// result is a sequence (a delete can split in two; a record can vanish).
+// C+against. recLater is the server-order tiebreak.
 func xform(rec, against text.EditRecord, recLater bool) []text.EditRecord {
-	one := func() []text.EditRecord { return []text.EditRecord{rec} }
-	switch against.Kind {
-	case text.RecStyle:
-		if rec.Kind == text.RecStyle {
-			if recLater {
-				return one() // later wholesale list wins
-			}
-			return nil // earlier list is superseded entirely
-		}
-		return one() // style changes move no positions
-
-	case text.RecInsert:
-		q, m := against.Pos, utf8.RuneCountInString(against.Text)
-		switch rec.Kind {
-		case text.RecInsert:
-			if rec.Pos > q || (rec.Pos == q && recLater) {
-				rec.Pos += m
-			}
-			return one()
-		case text.RecDelete:
-			p, n := rec.Pos, rec.N
-			switch {
-			case q <= p:
-				rec.Pos += m
-				return one()
-			case q >= p+n:
-				return one()
-			default:
-				// The insert landed strictly inside the range being
-				// deleted: the delete swallows it (see the package rule
-				// above — the dual case erases the insert).
-				rec.N += m
-				return one()
-			}
-		case text.RecStyle:
-			rec.Runs = shiftRunsInsert(rec.Runs, q, m)
-			return one()
-		}
-
-	case text.RecDelete:
-		q, m := against.Pos, against.N
-		switch rec.Kind {
-		case text.RecInsert:
-			switch {
-			case rec.Pos <= q:
-				return one()
-			case rec.Pos >= q+m:
-				rec.Pos -= m
-				return one()
-			default:
-				// Strictly inside the deleted range: swallowed (the dual
-				// case widens the delete over this insert).
-				return nil
-			}
-		case text.RecDelete:
-			newP := mapDel(rec.Pos, q, m)
-			newEnd := mapDel(rec.Pos+rec.N, q, m)
-			if newEnd <= newP {
-				return nil // fully swallowed by the other delete
-			}
-			rec.Pos, rec.N = newP, newEnd-newP
-			return one()
-		case text.RecStyle:
-			rec.Runs = shiftRunsDelete(rec.Runs, q, m)
-			return one()
-		}
-	}
-	// RecReset never travels (callers reject it before transforming).
-	return one()
+	return ops.XformText(rec, against, recLater)
 }
 
-// mapDel maps position x across a delete of m runes at q.
-func mapDel(x, q, m int) int {
-	switch {
-	case x <= q:
-		return x
-	case x >= q+m:
-		return x - m
-	default:
-		return q
-	}
-}
-
-// shiftRunsInsert returns a fresh run list shifted across an insert of m
-// runes at q (same growth rule as Data.shiftForInsert: a run strictly
-// containing q grows, one ending exactly at q does not).
-func shiftRunsInsert(runs []text.Run, q, m int) []text.Run {
-	out := make([]text.Run, 0, len(runs))
-	for _, r := range runs {
-		if r.Start >= q {
-			r.Start += m
-		}
-		if r.End > q {
-			r.End += m
-		}
-		out = append(out, r)
-	}
-	return out
-}
-
-// shiftRunsDelete returns a fresh run list clamped across a delete of m
-// runes at q; runs that collapse to nothing are dropped.
-func shiftRunsDelete(runs []text.Run, q, m int) []text.Run {
-	out := make([]text.Run, 0, len(runs))
-	for _, r := range runs {
-		r.Start = mapDel(r.Start, q, m)
-		r.End = mapDel(r.End, q, m)
-		if r.Start < r.End {
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
-// xformDual rewrites two op sequences past each other: xs and ys are both
-// valid in the same state C (each sequential within itself); the results
-// are xs valid in C+ys and ys valid in C+xs. xsLater says xs is the
-// server-later side (the tiebreak for every pairwise transform inside).
-// Applying C+xs+ys2 and C+ys+xs2 yields the same document — the property
-// the randomized transform tests pin down.
+// xformDual rewrites two record sequences past each other; see
+// ops.XformDualText.
 func xformDual(xs, ys []text.EditRecord, xsLater bool) (xs2, ys2 []text.EditRecord) {
-	if len(xs) == 0 || len(ys) == 0 {
-		// Clip capacities so a later append on a returned slice can never
-		// scribble into the caller's backing array.
-		return xs[:len(xs):len(xs)], ys[:len(ys):len(ys)]
-	}
-	if len(xs) == 1 && len(ys) == 1 {
-		return xform(xs[0], ys[0], xsLater), xform(ys[0], xs[0], !xsLater)
-	}
-	if len(xs) > 1 {
-		head, ys1 := xformDual(xs[:1], ys, xsLater)
-		tail, ysOut := xformDual(xs[1:], ys1, xsLater)
-		return append(head, tail...), ysOut
-	}
-	xs1, head := xformDual(xs, ys[:1], xsLater)
-	xsOut, tail := xformDual(xs1, ys[1:], xsLater)
-	return xsOut, append(head, tail...)
+	return ops.XformDualText(xs, ys, xsLater)
 }

@@ -1,0 +1,135 @@
+package ops
+
+import (
+	"strings"
+	"testing"
+
+	"atk/internal/table"
+	"atk/internal/text"
+)
+
+// Round-trip identity over every kind: encode → decode → encode must be
+// byte-stable, and the decoded op must reproduce the original.
+func TestCodecRoundTrip(t *testing.T) {
+	cases := []Op{
+		TextOp(text.EditRecord{Kind: text.RecInsert, Pos: 3, Text: "héllo\nworld"}),
+		TextOp(text.EditRecord{Kind: text.RecDelete, Pos: 0, N: 7}),
+		TextOp(text.EditRecord{Kind: text.RecStyle, Runs: []text.Run{{Start: 1, End: 4, Style: "bold"}}}),
+		{Kind: KindTable, Table: TableOp{Pos: 12, Op: table.Op{Kind: table.OpCellSet, R: 2, C: 3,
+			Cell: table.CellSpec{Kind: table.Text, Str: "x y\tz"}}}},
+		{Kind: KindTable, Table: TableOp{Pos: 0, Op: table.Op{Kind: table.OpCellSet, R: 0, C: 0,
+			Cell: table.CellSpec{Kind: table.Number, Value: -2.5}}}},
+		{Kind: KindTable, Table: TableOp{Pos: 1, Op: table.Op{Kind: table.OpCellSet, R: 1, C: 1}}},
+		{Kind: KindTable, Table: TableOp{Pos: 4, Op: table.Op{Kind: table.OpRowInsert, R: 1, N: 2}}},
+		{Kind: KindTable, Table: TableOp{Pos: 4, Op: table.Op{Kind: table.OpColDelete, C: 0, N: 1}}},
+		{Kind: KindEmbed, Embed: EmbedOp{Pos: 9, ViewName: "chart", Payload: []byte("\\begindata{table,1}\n\\enddata{table,1}")}},
+		{Kind: KindEmbed, Embed: EmbedOp{Pos: 0, Payload: []byte("payload with\nnewline")}},
+	}
+	for _, want := range cases {
+		wire, err := Encode(want)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", want, err)
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("decode %q: %v", wire, err)
+		}
+		wire2, err := Encode(got)
+		if err != nil {
+			t.Fatalf("re-encode %+v: %v", got, err)
+		}
+		if wire2 != wire {
+			t.Fatalf("unstable encoding: %q -> %q", wire, wire2)
+		}
+		if got.Kind != want.Kind {
+			t.Fatalf("kind mismatch: %q decoded as %+v", wire, got)
+		}
+	}
+}
+
+// The text kind travels untagged; a tagged "t text …" frame is a protocol
+// violation, as is any unknown kind.
+func TestDecodeRejects(t *testing.T) {
+	for _, bad := range []string{
+		"t text i 0 hello", // text must be untagged
+		"t video 3 blob",   // unknown kind
+		"t table notanint c 0 0 e",
+		"t table 3 c 0 0 q", // unknown cell kind
+		"t table -1 c 0 0 e",
+		"t table 3 rd 0 0", // zero-count structural op
+		"t embed 3",        // missing payload
+		"t embed x view p",
+		"q 1 2", // unknown text verb
+		"",
+	} {
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("Decode(%q) accepted", bad)
+		}
+	}
+}
+
+// Old journals and op streams are bare text records; they must decode as
+// kind=text with zero migration.
+func TestDecodeBareTextBackCompat(t *testing.T) {
+	rec := text.EditRecord{Kind: text.RecInsert, Pos: 5, Text: "legacy"}
+	wire := text.EncodeRecord(rec)
+	if strings.HasPrefix(wire, "t ") {
+		t.Fatalf("text wire form %q collides with the tag prefix", wire)
+	}
+	op, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Kind != KindText || op.Text.Text != "legacy" {
+		t.Fatalf("bare record decoded as %+v", op)
+	}
+}
+
+// FuzzOpsCodec feeds the decoder hostile bytes (never panic, error or
+// not) and checks canonical-form stability: whatever decodes must
+// re-encode to a fixed point — encode(decode(x)) == encode(decode(encode(decode(x)))).
+func FuzzOpsCodec(f *testing.F) {
+	seeds := []string{
+		"i 3 hello",
+		"d 0 7",
+		"s 2 1:4:bold",
+		"x reason",
+		"t table 12 c 2 3 t \"x y\"",
+		"t table 0 c 0 0 n -2.5",
+		"t table 1 c 1 1 e",
+		"t table 4 ri 1 2",
+		"t table 4 rd 0 1",
+		"t table 4 ci 2 1",
+		"t table 4 cd 0 1",
+		"t embed 9 chart \\begindata{table,1}",
+		"t embed 0 - raw payload",
+		"t text i 0 nope",
+		"t bogus 1 2 3",
+		"t table 999999999999999999999 c 0 0 e",
+		"t embed 1 v ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		op, err := Decode(s)
+		if err != nil {
+			return // rejected cleanly; all the fuzzer demands
+		}
+		wire, err := Encode(op)
+		if err != nil {
+			t.Fatalf("decoded op %+v does not re-encode: %v", op, err)
+		}
+		op2, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-decode: %v", wire, err)
+		}
+		wire2, err := Encode(op2)
+		if err != nil {
+			t.Fatalf("re-encode of %q: %v", wire, err)
+		}
+		if wire2 != wire {
+			t.Fatalf("canonical form unstable: %q -> %q", wire, wire2)
+		}
+	})
+}

@@ -1,0 +1,410 @@
+package ops
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"atk/internal/class"
+	"atk/internal/core"
+	"atk/internal/datastream"
+	"atk/internal/table"
+	"atk/internal/text"
+)
+
+// --- randomized table-op commutativity --------------------------------
+//
+// The convergence property the whole subsystem rests on (TP1): for any
+// state S and any two ops a, b both valid in S,
+//
+//	apply(apply(S, a), T(b, a)) == apply(apply(S, b), T(a, b))
+//
+// where T rewrites one op across the other with a consistent server-order
+// tiebreak. These tests check it over randomized states and op pairs, at
+// table granularity first and then over full documents with embedded
+// components.
+
+func randGrid(rng *rand.Rand) *table.Data {
+	rows := 1 + rng.Intn(5)
+	cols := 1 + rng.Intn(5)
+	d := table.New(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			switch rng.Intn(4) {
+			case 0:
+				// leave empty
+			case 1:
+				if err := d.SetText(r, c, fmt.Sprintf("s%d.%d", r, c)); err != nil {
+					panic(err)
+				}
+			case 2:
+				if err := d.SetNumber(r, c, float64(rng.Intn(1000))); err != nil {
+					panic(err)
+				}
+			case 3:
+				if err := d.SetFormula(r, c, "=1+2"); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return d
+}
+
+func gridFingerprint(d *table.Data) string {
+	rows, cols := d.Dims()
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%dx%d", rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cell, err := d.Cell(r, c)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Fprintf(&b, "|%d:%q:%g", cell.Kind, cell.Str, cell.Value)
+		}
+	}
+	return b.String()
+}
+
+func cloneGrid(d *table.Data) *table.Data {
+	rows, cols := d.Dims()
+	n := table.New(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cell, _ := d.Cell(r, c)
+			switch cell.Kind {
+			case table.Text:
+				_ = n.SetText(r, c, cell.Str)
+			case table.Number:
+				_ = n.SetNumber(r, c, cell.Value)
+			case table.Formula:
+				_ = n.SetFormula(r, c, cell.Str)
+			}
+		}
+	}
+	return n
+}
+
+// randTableOp generates an op valid against a rows x cols grid.
+func randTableOp(rng *rand.Rand, rows, cols int) (table.Op, bool) {
+	kinds := []table.OpKind{table.OpCellSet, table.OpRowInsert, table.OpRowDelete, table.OpColInsert, table.OpColDelete}
+	k := kinds[rng.Intn(len(kinds))]
+	switch k {
+	case table.OpCellSet:
+		if rows == 0 || cols == 0 {
+			return table.Op{}, false
+		}
+		op := table.Op{Kind: k, R: rng.Intn(rows), C: rng.Intn(cols)}
+		switch rng.Intn(3) {
+		case 0:
+			op.Cell = table.CellSpec{Kind: table.Text, Str: fmt.Sprintf("w%d", rng.Intn(100))}
+		case 1:
+			op.Cell = table.CellSpec{Kind: table.Number, Value: float64(rng.Intn(100))}
+		default:
+			// empty (clear)
+		}
+		return op, true
+	case table.OpRowInsert:
+		return table.Op{Kind: k, R: rng.Intn(rows + 1), N: 1 + rng.Intn(2)}, true
+	case table.OpRowDelete:
+		if rows == 0 {
+			return table.Op{}, false
+		}
+		r := rng.Intn(rows)
+		return table.Op{Kind: k, R: r, N: 1 + rng.Intn(rows-r)}, true
+	case table.OpColInsert:
+		return table.Op{Kind: k, C: rng.Intn(cols + 1), N: 1 + rng.Intn(2)}, true
+	default:
+		if cols == 0 {
+			return table.Op{}, false
+		}
+		c := rng.Intn(cols)
+		return table.Op{Kind: k, C: c, N: 1 + rng.Intn(cols-c)}, true
+	}
+}
+
+func TestXformTableOpCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		base := randGrid(rng)
+		rows, cols := base.Dims()
+		a, ok := randTableOp(rng, rows, cols)
+		if !ok {
+			continue
+		}
+		b, ok := randTableOp(rng, rows, cols)
+		if !ok {
+			continue
+		}
+
+		// Side 1: a commits first, b rebases across it (b is server-later).
+		s1 := cloneGrid(base)
+		if err := s1.ApplyOp(a); err != nil {
+			t.Fatalf("iter %d: apply a=%+v: %v", i, a, err)
+		}
+		if b2, keep := xformTableOp(b, a, true); keep {
+			if err := s1.ApplyOp(b2); err != nil {
+				t.Fatalf("iter %d: apply T(b,a)=%+v after a=%+v: %v", i, b2, a, err)
+			}
+		}
+
+		// Side 2: b commits first, a rebases across it (a is server-earlier
+		// in the tiebreak — the dual of side 1's ordering).
+		s2 := cloneGrid(base)
+		if err := s2.ApplyOp(b); err != nil {
+			t.Fatalf("iter %d: apply b=%+v: %v", i, b, err)
+		}
+		if a2, keep := xformTableOp(a, b, false); keep {
+			if err := s2.ApplyOp(a2); err != nil {
+				t.Fatalf("iter %d: apply T(a,b)=%+v after b=%+v: %v", i, a2, b, err)
+			}
+		}
+
+		if f1, f2 := gridFingerprint(s1), gridFingerprint(s2); f1 != f2 {
+			t.Fatalf("iter %d: diverged\n  a=%+v\n  b=%+v\n  a-then-b': %s\n  b-then-a': %s",
+				i, a, b, f1, f2)
+		}
+	}
+}
+
+// --- randomized document-level commutativity ---------------------------
+
+func opsTestRegistry(t testing.TB) *class.Registry {
+	t.Helper()
+	reg := class.NewRegistry()
+	if err := text.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func encodeDoc(t testing.TB, doc *text.Data) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := datastream.NewWriter(&buf)
+	if _, err := core.WriteObject(w, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func cloneDoc(t testing.TB, doc *text.Data, reg *class.Registry) *text.Data {
+	t.Helper()
+	b := encodeDoc(t, doc)
+	r := datastream.NewReaderOptions(bytes.NewReader(b), datastream.Options{Mode: datastream.Strict})
+	obj, err := core.ReadObject(r, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := obj.(*text.Data)
+	if !ok {
+		t.Fatalf("clone decoded a %s", obj.TypeName())
+	}
+	d.SetRegistry(reg)
+	return d
+}
+
+func embedPayload(t testing.TB, obj core.DataObject) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := datastream.NewWriter(&buf)
+	if _, err := core.WriteObject(w, obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// baseDoc builds the randomized starting state: text with one embedded
+// table somewhere inside it.
+func baseDoc(t testing.TB, rng *rand.Rand, reg *class.Registry) *text.Data {
+	doc := text.NewString("the quick brown fox jumps over the lazy dog")
+	doc.SetRegistry(reg)
+	td := table.New(2+rng.Intn(3), 2+rng.Intn(3))
+	_ = td.SetNumber(0, 0, 42)
+	_ = td.SetText(1, 1, "seed")
+	if err := doc.Embed(5+rng.Intn(10), td, ""); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// randDocOp generates a document-level op valid against doc's current
+// state: a text edit, a table op addressed at a live table anchor, or an
+// embed insert.
+func randDocOp(t testing.TB, rng *rand.Rand, doc *text.Data) (Op, bool) {
+	switch rng.Intn(6) {
+	case 0, 1: // insert
+		pos := rng.Intn(doc.Len() + 1)
+		return TextOp(text.EditRecord{Kind: text.RecInsert, Pos: pos, Text: fmt.Sprintf("+%c", 'a'+rune(rng.Intn(26)))}), true
+	case 2: // delete
+		if doc.Len() == 0 {
+			return Op{}, false
+		}
+		pos := rng.Intn(doc.Len())
+		n := 1 + rng.Intn(minInt(4, doc.Len()-pos))
+		return TextOp(text.EditRecord{Kind: text.RecDelete, Pos: pos, N: n}), true
+	case 3: // embed a fresh table
+		pos := rng.Intn(doc.Len() + 1)
+		td := table.New(2, 2)
+		_ = td.SetNumber(0, 0, float64(rng.Intn(100)))
+		return Op{Kind: KindEmbed, Embed: EmbedOp{Pos: pos, Payload: embedPayload(t, td)}}, true
+	default: // table op on a live embedded table
+		embeds := doc.Embeds()
+		var tables []*text.Embedded
+		for _, e := range embeds {
+			if _, ok := e.Obj.(*table.Data); ok {
+				tables = append(tables, e)
+			}
+		}
+		if len(tables) == 0 {
+			return Op{}, false
+		}
+		e := tables[rng.Intn(len(tables))]
+		td := e.Obj.(*table.Data)
+		rows, cols := td.Dims()
+		top, ok := randTableOp(rng, rows, cols)
+		if !ok {
+			return Op{}, false
+		}
+		return Op{Kind: KindTable, Table: TableOp{Pos: e.Pos, Op: top}}, true
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestXformDocOpsCommute is the document-level TP1 check: any valid op
+// pair — text vs text, text vs table, table vs embed, embed vs embed —
+// converges byte-identically under both application orders.
+func TestXformDocOpsCommute(t *testing.T) {
+	reg := opsTestRegistry(t)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1500; i++ {
+		base := baseDoc(t, rng, reg)
+		a, ok := randDocOp(t, rng, base)
+		if !ok {
+			continue
+		}
+		b, ok := randDocOp(t, rng, base)
+		if !ok {
+			continue
+		}
+
+		s1 := cloneDoc(t, base, reg)
+		if err := Apply(s1, a); err != nil {
+			t.Fatalf("iter %d: apply a=%+v: %v", i, a, err)
+		}
+		for _, op := range Xform(b, a, true) {
+			if err := Apply(s1, op); err != nil {
+				t.Fatalf("iter %d: apply T(b,a)=%+v after a=%+v: %v", i, op, a, err)
+			}
+		}
+
+		s2 := cloneDoc(t, base, reg)
+		if err := Apply(s2, b); err != nil {
+			t.Fatalf("iter %d: apply b=%+v: %v", i, b, err)
+		}
+		for _, op := range Xform(a, b, false) {
+			if err := Apply(s2, op); err != nil {
+				t.Fatalf("iter %d: apply T(a,b)=%+v after b=%+v: %v", i, op, b, err)
+			}
+		}
+
+		e1, e2 := encodeDoc(t, s1), encodeDoc(t, s2)
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("iter %d: diverged\n  a=%+v\n  b=%+v\n  a-first: %q\n  b-first: %q",
+				i, a, b, e1, e2)
+		}
+	}
+}
+
+// TestTwoClientRebaseDeterminism scripts the server's rebase exactly as
+// docserve runs it: two clients each build a local op sequence against the
+// same base; the server commits A's group first and rebases B's across it
+// with XformDual; both clients fold the dual bridge. All three replicas
+// must land byte-identical — including the embedded tables' cells.
+func TestTwoClientRebaseDeterminism(t *testing.T) {
+	reg := opsTestRegistry(t)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 400; i++ {
+		base := baseDoc(t, rng, reg)
+
+		// Client A applies a local sequence; each op is generated against
+		// A's current (already mutated) state, like real typing.
+		docA := cloneDoc(t, base, reg)
+		var as []Op
+		for n := 1 + rng.Intn(4); len(as) < n; {
+			op, ok := randDocOp(t, rng, docA)
+			if !ok {
+				break
+			}
+			if err := Apply(docA, op); err != nil {
+				t.Fatalf("iter %d: A local apply %+v: %v", i, op, err)
+			}
+			as = append(as, op)
+		}
+
+		docB := cloneDoc(t, base, reg)
+		var bs []Op
+		for n := 1 + rng.Intn(4); len(bs) < n; {
+			op, ok := randDocOp(t, rng, docB)
+			if !ok {
+				break
+			}
+			if err := Apply(docB, op); err != nil {
+				t.Fatalf("iter %d: B local apply %+v: %v", i, op, err)
+			}
+			bs = append(bs, op)
+		}
+		if len(as) == 0 || len(bs) == 0 {
+			continue
+		}
+
+		// The server commits as first, then bs rebased across as. The dual
+		// also yields as rebased across bs — the bridge it fans to B.
+		bs2, as2 := XformDual(bs, as, true)
+
+		server := cloneDoc(t, base, reg)
+		for _, op := range append(append([]Op{}, as...), bs2...) {
+			if err := Apply(server, op); err != nil {
+				t.Fatalf("iter %d: server apply %+v: %v", i, op, err)
+			}
+		}
+
+		// Client A receives bs2 as foreign committed ops.
+		for _, op := range bs2 {
+			if err := Apply(docA, op); err != nil {
+				t.Fatalf("iter %d: A foreign apply %+v: %v", i, op, err)
+			}
+		}
+		// Client B folds the bridge: as transformed past its local bs.
+		for _, op := range as2 {
+			if err := Apply(docB, op); err != nil {
+				t.Fatalf("iter %d: B bridge apply %+v: %v", i, op, err)
+			}
+		}
+
+		es := encodeDoc(t, server)
+		if ea := encodeDoc(t, docA); !bytes.Equal(es, ea) {
+			t.Fatalf("iter %d: A diverged from server\n  as=%+v\n  bs=%+v\n  server: %q\n  A: %q", i, as, bs, es, ea)
+		}
+		if eb := encodeDoc(t, docB); !bytes.Equal(es, eb) {
+			t.Fatalf("iter %d: B diverged from server\n  as=%+v\n  bs=%+v\n  server: %q\n  B: %q", i, as, bs, es, eb)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"atk/internal/class"
 	"atk/internal/core"
 	"atk/internal/datastream"
+	"atk/internal/ops"
+	"atk/internal/table"
 	"atk/internal/text"
 )
 
@@ -60,6 +62,17 @@ type DocFile struct {
 	// them into the fresh journal — a second crash before the next save
 	// must not lose what the first recovery restored.
 	replayed []string
+
+	// attached records that StartJournal installed the document's edit
+	// logger (owner-driven mode, as opposed to the replication server's
+	// detached mode); Save re-wires embedded components only then.
+	attached bool
+
+	// OnReset, when set, is called each time the journal goes stale
+	// because an edit could not be represented (reason from the reset);
+	// the UI surfaces it so "your last edit forced a full checkpoint" is
+	// visible rather than silent.
+	OnReset func(reason string)
 }
 
 // JournalPath returns where the edit journal for path lives.
@@ -173,16 +186,19 @@ func (df *DocFile) recoverJournal(saved []byte) {
 	}
 	df.Doc.WithoutUndo(func() {
 		for i, payload := range rep.Records {
-			rec, derr := text.DecodeRecord(payload)
+			// Frames decode through the op registry: a bare record is a
+			// text edit (every pre-registry journal replays unchanged), a
+			// tagged `t <kind> …` frame is a table or embed op.
+			op, derr := ops.Decode(payload)
 			if derr != nil {
 				diag("stopping replay at record %d: %v", i+1, derr)
 				return
 			}
-			if rec.Kind == text.RecReset {
-				diag("stopping replay at record %d: %s — edits after that point were not journaled", i+1, rec.Text)
+			if reason, isReset := ops.IsReset(op); isReset {
+				diag("stopping replay at record %d: %s — edits after that point were not journaled", i+1, reason)
 				return
 			}
-			if aerr := df.Doc.ApplyRecord(rec); aerr != nil {
+			if aerr := ops.Apply(df.Doc, op); aerr != nil {
 				diag("stopping replay at record %d: %v", i+1, aerr)
 				return
 			}
@@ -200,13 +216,51 @@ func (df *DocFile) recoverJournal(saved []byte) {
 // StartJournal begins journaling edits. The journal file is rewritten
 // atomically with the current base header plus any records recovered at
 // load (so a second crash loses nothing the first recovery restored), then
-// every subsequent edit appends.
+// every subsequent edit appends. Embedded tables are wired too: their
+// cell and structural edits journal as tagged op frames, so a crash in a
+// spreadsheet session replays like one in a prose session.
 func (df *DocFile) StartJournal() error {
 	if err := df.StartJournalDetached(); err != nil {
 		return err
 	}
 	df.Doc.SetEditLogger(df.logEdit)
+	df.attached = true
+	df.wireComponents()
 	return nil
+}
+
+// wireComponents installs op loggers on the journal-capable embedded
+// components (tables). A mutation the op model cannot express stales the
+// journal exactly like a text reset record does.
+func (df *DocFile) wireComponents() {
+	for _, e := range df.Doc.Embeds() {
+		td, ok := e.Obj.(*table.Data)
+		if !ok {
+			continue
+		}
+		e := e // the closure reads the live anchor position at emit time
+		td.SetOpLogger(func(op table.Op) {
+			// A delete may have swallowed the anchor since wiring: the
+			// component left the document, so its edits no longer belong
+			// in the journal (identity check — another embed may occupy
+			// the stale position).
+			if df.Doc.EmbeddedAt(e.Pos) != e {
+				td.SetOpLogger(nil)
+				return
+			}
+			if op.Kind == table.OpReset {
+				df.reset(op.Reason)
+				return
+			}
+			if df.journal == nil || df.stale || df.journal.Err() != nil {
+				return
+			}
+			_ = df.journal.Append(ops.MustEncode(ops.Op{
+				Kind:  ops.KindTable,
+				Table: ops.TableOp{Pos: e.Pos, Op: op},
+			}))
+		})
+	}
 }
 
 // StartJournalDetached begins journaling WITHOUT installing the document's
@@ -265,14 +319,26 @@ func (df *DocFile) logEdit(rec text.EditRecord) {
 		return
 	}
 	if rec.Kind == text.RecReset {
-		_ = df.journal.Append(text.EncodeRecord(rec))
-		_ = df.journal.Sync()
-		df.stale = true
+		df.reset(rec.Text)
 		return
 	}
 	// Append errors latch inside the journal; Sync surfaces them and
 	// checkpoints.
 	_ = df.journal.Append(text.EncodeRecord(rec))
+}
+
+// reset appends the reset marker, forces it to disk, and stops logging
+// until the next checkpoint; replay will stop at the marker rather than
+// reconstruct a wrong document.
+func (df *DocFile) reset(reason string) {
+	if df.journal != nil && !df.stale && df.journal.Err() == nil {
+		_ = df.journal.Append(text.EncodeRecord(text.EditRecord{Kind: text.RecReset, Text: reason}))
+		_ = df.journal.Sync()
+	}
+	df.stale = true
+	if df.OnReset != nil {
+		df.OnReset(reason)
+	}
 }
 
 // Sync is the idle-time autosave step: it makes the journaled edits
@@ -327,6 +393,12 @@ func (df *DocFile) Save() error {
 	}
 	df.journal = j
 	df.stale = false
+	if df.attached {
+		// A checkpoint often follows a reset (a freshly embedded
+		// component); anything embedded since the last wiring pass starts
+		// journaling from here.
+		df.wireComponents()
+	}
 	return nil
 }
 

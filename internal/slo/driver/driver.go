@@ -32,6 +32,7 @@ import (
 
 	"atk/internal/class"
 	"atk/internal/docserve"
+	"atk/internal/table"
 	"atk/internal/text"
 )
 
@@ -40,6 +41,10 @@ type Mix struct {
 	Writers  int
 	Readers  int
 	Churners int
+	// TableWriters commit seeded cell edits (and the occasional structural
+	// op) against the document's embedded table — the component-typed op
+	// path. The first table writer embeds a table if the document has none.
+	TableWriters int
 	// Rate caps each writer's ops/second; 0 means ack-limited.
 	Rate float64
 }
@@ -88,6 +93,11 @@ func (o Options) withDefaults() (Options, error) {
 		o.Registry = func() (*class.Registry, error) {
 			reg := class.NewRegistry()
 			if err := text.Register(reg); err != nil {
+				return nil, err
+			}
+			// Table is in the default set so table-writer mixes (and any
+			// document that already embeds one) decode without wiring.
+			if err := table.Register(reg); err != nil {
 				return nil, err
 			}
 			return reg, nil
@@ -160,6 +170,7 @@ type Driver struct {
 	commits    atomic.Uint64
 	deliveries atomic.Uint64
 	attaches   atomic.Uint64
+	tableOps   atomic.Uint64
 	errCount   atomic.Uint64
 	commitLat  latRec
 	attachLat  latRec
@@ -184,7 +195,7 @@ type Driver struct {
 
 // New validates the mix and options. Call Start to spawn the fleet.
 func New(mix Mix, opts Options) (*Driver, error) {
-	if mix.Writers <= 0 && mix.Readers <= 0 && mix.Churners <= 0 {
+	if mix.Writers <= 0 && mix.Readers <= 0 && mix.Churners <= 0 && mix.TableWriters <= 0 {
 		return nil, fmt.Errorf("driver: empty mix: no writers, readers, or churners")
 	}
 	o, err := opts.withDefaults()
@@ -206,11 +217,15 @@ func (d *Driver) Start() error {
 
 	d.start = time.Now()
 	d.phaseName, d.phaseStart = "run", d.start
-	d.clients = make([]*docserve.Client, d.mix.Writers+d.mix.Readers)
+	d.clients = make([]*docserve.Client, d.mix.Writers+d.mix.TableWriters+d.mix.Readers)
 
 	for i := 0; i < d.mix.Writers; i++ {
 		d.wg.Add(1)
 		go d.writerLoop(i)
+	}
+	for i := 0; i < d.mix.TableWriters; i++ {
+		d.wg.Add(1)
+		go d.tableWriterLoop(i)
 	}
 	for i := 0; i < d.mix.Readers; i++ {
 		d.wg.Add(1)
@@ -224,8 +239,8 @@ func (d *Driver) Start() error {
 		d.wg.Add(1)
 		go d.sampleLoop()
 	}
-	fmt.Fprintf(d.opts.Log, "driver: driving %s: %d writers, %d readers, %d churners\n",
-		d.opts.Doc, d.mix.Writers, d.mix.Readers, d.mix.Churners)
+	fmt.Fprintf(d.opts.Log, "driver: driving %s: %d writers, %d table writers, %d readers, %d churners\n",
+		d.opts.Doc, d.mix.Writers, d.mix.TableWriters, d.mix.Readers, d.mix.Churners)
 	return nil
 }
 
@@ -516,6 +531,149 @@ func (d *Driver) writerLoop(i int) {
 	}
 }
 
+// tableWriterLoop drives the component-typed op path: seeded cell edits
+// (and the occasional structural op) against the document's embedded
+// table, one committed group per edit, measured like text commits.
+func (d *Driver) tableWriterLoop(i int) {
+	defer d.wg.Done()
+	role := fmt.Sprintf("tw%d", i)
+	slot := d.mix.Writers + i
+	c := d.connectRetry(role, d.healOpts(slot, role))
+	if c == nil {
+		return
+	}
+	d.setClient(slot, c)
+	seed := d.opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed + 500 + int64(i)))
+	td, err := d.findOrEmbedTable(c)
+	if err != nil {
+		d.noteErr(role, err)
+		return
+	}
+	var tick <-chan time.Time
+	if d.mix.Rate > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / d.mix.Rate))
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		if d.stopping() {
+			d.writerDrain(c, role)
+			return
+		}
+		if tick != nil {
+			select {
+			case <-tick:
+			case <-d.stop:
+				d.writerDrain(c, role)
+				return
+			}
+		}
+		start := time.Now()
+		// A concurrent text delete can swallow the table's anchor; edits
+		// to the orphaned component stop replicating, so find (or embed)
+		// a live one before editing.
+		if !tableEmbedded(c, td) {
+			var ferr error
+			if td, ferr = d.findOrEmbedTable(c); ferr != nil {
+				d.noteErr(role, ferr)
+				if !d.opts.Tolerant || c.Err() != nil || !d.backoff() {
+					return
+				}
+				continue
+			}
+		}
+		eerr := d.tableEdit(rng, td)
+		if eerr == nil {
+			eerr = c.Sync(d.opts.SyncTimeout)
+		}
+		if eerr != nil {
+			d.noteErr(role, eerr)
+			if !d.opts.Tolerant || c.Err() != nil || !d.backoff() {
+				return
+			}
+			continue
+		}
+		d.commitLat.add(time.Since(start))
+		d.commits.Add(1)
+		d.tableOps.Add(1)
+	}
+}
+
+// tableEmbedded reports whether td is still one of the document's live
+// embedded components.
+func tableEmbedded(c *docserve.Client, td *table.Data) bool {
+	for _, e := range c.Doc().Embeds() {
+		if e.Obj == td {
+			return true
+		}
+	}
+	return false
+}
+
+// findOrEmbedTable returns the replica's embedded table, embedding a
+// fresh 4x4 at position 0 when the document has none yet. (Concurrent
+// first writers may each embed one; every writer edits the table it
+// found or made, and the transform keeps all replicas identical.)
+func (d *Driver) findOrEmbedTable(c *docserve.Client) (*table.Data, error) {
+	for _, e := range c.Doc().Embeds() {
+		if td, ok := e.Obj.(*table.Data); ok {
+			return td, nil
+		}
+	}
+	td := table.New(4, 4)
+	if err := c.Embed(0, td, ""); err != nil {
+		return nil, err
+	}
+	if err := c.Sync(d.opts.SyncTimeout); err != nil {
+		return nil, err
+	}
+	return td, nil
+}
+
+// tableEdit makes one seeded mutation: mostly cell-sets, occasionally a
+// structural op, with the grid held to a bounded size.
+func (d *Driver) tableEdit(rng *rand.Rand, td *table.Data) error {
+	rows, cols := td.Dims()
+	if rows == 0 || cols == 0 {
+		return td.InsertRows(0, 1)
+	}
+	switch r := rng.Intn(16); {
+	case r == 0 && rows < 16:
+		return td.InsertRows(rng.Intn(rows+1), 1)
+	case r == 1 && rows > 4:
+		return td.DeleteRows(rng.Intn(rows), 1)
+	case r == 2 && cols < 16:
+		return td.InsertCols(rng.Intn(cols+1), 1)
+	case r == 3 && cols > 4:
+		return td.DeleteCols(rng.Intn(cols), 1)
+	case r < 10:
+		return td.SetNumber(rng.Intn(rows), rng.Intn(cols), float64(rng.Intn(10000)))
+	default:
+		return td.SetText(rng.Intn(rows), rng.Intn(cols), fmt.Sprintf("cell-%d", rng.Intn(1000)))
+	}
+}
+
+// TableOps returns how many table-op commits the table writers landed.
+func (d *Driver) TableOps() uint64 { return d.tableOps.Load() }
+
+// Resets sums the clients' reset counters — local mutations the op model
+// could not express. A healthy component-typed run holds this at zero.
+func (d *Driver) Resets() uint64 {
+	d.clientMu.Lock()
+	defer d.clientMu.Unlock()
+	var n uint64
+	for _, c := range d.clients {
+		if c != nil {
+			n += uint64(c.Resets)
+		}
+	}
+	return n
+}
+
 // writerDrain gives a stopping writer one chance to commit edits still
 // pending on a live connection, so quiescence after Stop is real: every
 // surviving replica's edits are either committed or bound to a dead
@@ -531,13 +689,14 @@ func (d *Driver) writerDrain(c *docserve.Client, role string) {
 func (d *Driver) readerLoop(i int) {
 	defer d.wg.Done()
 	role := fmt.Sprintf("r%d", i)
-	c := d.connectRetry(role, d.healOpts(d.mix.Writers+i, role), func(co *docserve.ClientOptions) {
+	slot := d.mix.Writers + d.mix.TableWriters + i
+	c := d.connectRetry(role, d.healOpts(slot, role), func(co *docserve.ClientOptions) {
 		co.OnRemoteOp = func(uint64) { d.deliveries.Add(1) }
 	})
 	if c == nil {
 		return
 	}
-	d.setClient(d.mix.Writers+i, c)
+	d.setClient(slot, c)
 	for {
 		if d.stopping() {
 			return

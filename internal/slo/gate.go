@@ -235,6 +235,11 @@ func DefaultBenchGates() []BenchGate {
 		{Name: "fanout_deliveries", Bench: "DocServeFanout", Metric: "extra:deliveries/s", Op: ">=", Threshold: 100000},
 		{Name: "fanout_p99_lag", Bench: "DocServeFanout", Metric: "extra:p99-lag-ns", Op: "<=", Threshold: 5e6},
 		{Name: "multidoc_commits", Bench: "DocServeMultiDoc", Metric: "extra:commits/s", Op: ">=", Threshold: 10000},
+		// The component-typed op path (table cell-sets fanned out to 16
+		// live replicas) must not collapse relative to plain text commits:
+		// registry dispatch and table transforms are per-op constant work.
+		{Name: "tablecollab_commits", Bench: "DocServeTableCollab", Metric: "extra:commits/s", Op: ">=", Threshold: 1000},
+		{Name: "tablecollab_p99_lag", Bench: "DocServeTableCollab", Metric: "extra:p99-lag-ns", Op: "<=", Threshold: 5e6},
 		{Name: "line_index_speedup", Metric: "speedup:line_start_end_of_doc", Op: ">=", Threshold: 5},
 		{Name: "relayout_speedup", Metric: "speedup:relayout_100k_lines", Op: ">=", Threshold: 100},
 		// The streaming large-document pipeline (BENCH_stream.json): a

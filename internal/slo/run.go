@@ -19,6 +19,7 @@ import (
 	"atk/internal/persist"
 	"atk/internal/slo/driver"
 	"atk/internal/slo/faultnet"
+	"atk/internal/table"
 	"atk/internal/text"
 )
 
@@ -58,6 +59,9 @@ func Run(sc Scenario, opts RunOptions) (*Summary, error) {
 	if err := text.Register(reg); err != nil {
 		return nil, err
 	}
+	if err := table.Register(reg); err != nil {
+		return nil, err
+	}
 	const docName = "slo.d"
 	var (
 		host    *docserve.Host
@@ -91,6 +95,16 @@ func Run(sc Scenario, opts RunOptions) (*Summary, error) {
 		if sc.PreloadRunes > 0 {
 			if err := doc.Insert(0, preloadContent(sc.PreloadRunes)); err != nil {
 				return nil, fmt.Errorf("slo: preloading document: %w", err)
+			}
+		}
+		if sc.PreloadTable {
+			// A seeded table makes the component-typed op path deterministic:
+			// every table writer finds this one instead of racing to embed.
+			if err := doc.Insert(0, "table: \n"); err != nil {
+				return nil, fmt.Errorf("slo: preloading table anchor: %w", err)
+			}
+			if err := doc.Embed(7, table.New(4, 4), ""); err != nil {
+				return nil, fmt.Errorf("slo: preloading table: %w", err)
 			}
 		}
 		host = docserve.NewHost(docName, doc, hostOpts)
@@ -276,6 +290,12 @@ func Run(sc Scenario, opts RunOptions) (*Summary, error) {
 	metrics["protocol_errors"] = float64(st.ProtocolErrors)
 	metrics["slow_kicks"] = float64(st.SlowConsumerKicks)
 	metrics["server_rejects"] = float64(srv.Rejections())
+	metrics["table_ops"] = float64(st.TableOps)
+	metrics["embed_ops"] = float64(st.EmbedOps)
+	// table_resets folds host-side unjournalable mutations together with
+	// client-side ones: either means a component edit escaped the op model.
+	metrics["table_resets"] = float64(st.UnjournalableResets) + float64(d.Resets())
+	metrics["style_checkpoints"] = float64(st.StyleCheckpoints)
 
 	results, pass := evaluate(sc.Assertions, metrics)
 	sum := &Summary{

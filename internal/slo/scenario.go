@@ -54,6 +54,10 @@ type Scenario struct {
 	// the load starts, so every attach happens against an already-large
 	// document. Memory-backed hosts only.
 	PreloadRunes int
+	// PreloadTable embeds a seeded 4x4 table in the served document before
+	// the load starts, so table writers deterministically share one
+	// component instead of racing to embed. Memory-backed hosts only.
+	PreloadTable bool
 	// SnapFrameBytes, when > 0, overrides the host's MaxSnapshotBytes
 	// (the per-frame snapshot bound), forcing attaches of the preloaded
 	// document to stream as chunked snapr range frames.

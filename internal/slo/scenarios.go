@@ -136,6 +136,23 @@ func Builtin() []Scenario {
 			),
 		},
 		{
+			Name:        "table_collab",
+			Description: "table writers commit cell and structural ops against a shared embedded table while text writers type: component-typed ops converge byte-identically with zero resets and zero style checkpoints",
+			Mix:         driver.Mix{Writers: 1, TableWriters: 2, Readers: 3, Rate: 200},
+			Seed:        1010,
+			Warmup:      warmup, Inject: inject, Recovery: recovery,
+			PreloadTable: true,
+			Assertions: std(
+				// Proves the component path was actually exercised, and that no
+				// table mutation fell off the op model (a reset means a replica
+				// had to be rebuilt — the exact failure this PR removes).
+				Assertion{Name: "fault_armed", Metric: "table_ops", Op: ">=", Value: 1, Hard: true},
+				Assertion{Name: "no_table_resets", Metric: "table_resets", Op: "<=", Value: 0, Hard: true},
+				// Table-only groups must not trigger text style checkpoints.
+				Assertion{Name: "no_style_checkpoints", Metric: "style_checkpoints", Op: "<=", Value: 0, Hard: true},
+			),
+		},
+		{
 			Name:        "hostile_flood",
 			Description: "garbage-spraying connections hammer the listener: rejected without hurting sessions",
 			Mix:         driver.Mix{Writers: 2, Readers: 2, Churners: 1, Rate: 200},

@@ -142,7 +142,9 @@ func (d *Data) ReadPayload(r *datastream.Reader) error {
 				}
 				rows, err1 := strconv.Atoi(fields[1])
 				cols, err2 := strconv.Atoi(fields[2])
-				if err1 != nil || err2 != nil || rows < 1 || cols < 1 {
+				// Zero rows or cols is legal: concurrent structural deletes
+				// can legitimately compose to an empty grid (see ops.go).
+				if err1 != nil || err2 != nil || rows < 0 || cols < 0 {
 					return fmt.Errorf("table: bad dims %q", tok.Text)
 				}
 				d.rows, d.cols = rows, cols

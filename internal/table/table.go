@@ -57,6 +57,11 @@ type Data struct {
 	reg *class.Registry
 	// Recalcs counts full recalculations (benchmark instrumentation).
 	Recalcs int64
+
+	// opLog receives every local mutation as a replicable Op (see ops.go);
+	// applying suppresses it while ApplyOp replays a peer's committed op.
+	opLog    func(Op)
+	applying bool
 }
 
 // DefaultColWidth is the pixel width of a column with no explicit width.
@@ -129,6 +134,11 @@ func (d *Data) setCell(r, c int, cell Cell) error {
 	}
 	d.cells[i] = cell
 	d.recalc()
+	if spec, ok := specOf(cell); ok {
+		d.logOp(Op{Kind: OpCellSet, R: r, C: c, Cell: spec})
+	} else {
+		d.logOp(Op{Kind: OpReset, Reason: "embedded component in table cell"})
+	}
 	d.NotifyObservers(core.Change{Kind: "cell", Pos: i})
 	return nil
 }

@@ -119,6 +119,22 @@ func (d *Data) ApplyRecord(rec EditRecord) error {
 	}
 }
 
+// ApplyExternal runs fn — an arbitrary mutation of this document or its
+// embedded components — with the edit logger suppressed and undo capture
+// off, the same discipline ApplyRecord applies to a single record. It is
+// the seam for replication layers applying a peer's committed op that is
+// richer than one EditRecord (embedding a component, mutating a table):
+// the mutation must happen exactly once and must not echo back into the
+// applier's own edit log.
+func (d *Data) ApplyExternal(fn func() error) error {
+	prev := d.applying
+	d.applying = true
+	defer func() { d.applying = prev }()
+	var err error
+	d.WithoutUndo(func() { err = fn() })
+	return err
+}
+
 // Wire format: one line per record, space-separated fields, arbitrary text
 // last so it may contain spaces. Framing (escaping, wrapping, CRC) is the
 // journal file's business — this is the raw payload.

@@ -41,6 +41,11 @@ func (d *Data) registry() *class.Registry {
 	return class.Default
 }
 
+// Registry returns the registry embedded components decode through
+// (class.Default when none was set) — replication layers applying
+// embed-insert ops need the same registry the document itself uses.
+func (d *Data) Registry() *class.Registry { return d.registry() }
+
 // WritePayload implements core.DataObject.
 func (d *Data) WritePayload(w *datastream.Writer) error {
 	d.ensureLoaded()
